@@ -1,0 +1,16 @@
+//! Regenerates the **Lemma 1 / Lemma 2 / Appendix C.3** analysis
+//! experiments (E5).
+
+use qid_bench::experiments::{
+    run_c3_table, run_collision_experiment, run_kkt_worst_case, KktConfig,
+};
+use qid_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[kkt] scale = {scale:?}");
+    run_c3_table().print();
+    let cfg = KktConfig::paper(scale);
+    run_kkt_worst_case(cfg).print();
+    run_collision_experiment(cfg, 10).print();
+}

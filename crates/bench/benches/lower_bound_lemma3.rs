@@ -1,0 +1,10 @@
+//! Regenerates the **Lemma 3** lower-bound shape (experiment E1).
+
+use qid_bench::experiments::{run_lemma3, Lemma3Config};
+use qid_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[lemma3] scale = {scale:?}");
+    run_lemma3(Lemma3Config::paper(scale)).print();
+}

@@ -1,0 +1,10 @@
+//! Regenerates the **Lemma 4** lower-bound shape (experiment E2).
+
+use qid_bench::experiments::{run_lemma4, Lemma4Config};
+use qid_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[lemma4] scale = {scale:?}");
+    run_lemma4(Lemma4Config::paper(scale)).print();
+}

@@ -1,0 +1,10 @@
+//! Regenerates the **Proposition 1** minimum-key comparison (E4).
+
+use qid_bench::experiments::{run_minkey_comparison, MinKeyConfig};
+use qid_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[minkey] scale = {scale:?}");
+    run_minkey_comparison(MinKeyConfig::paper(scale)).print();
+}

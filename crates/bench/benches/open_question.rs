@@ -1,0 +1,11 @@
+//! Explores the paper's **open question** (E7): the gap between
+//! `Ω(√(log m / ε))` and `Θ(m/√ε)` for constant failure probability.
+
+use qid_bench::experiments::{run_open_question, OpenQuestionConfig};
+use qid_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[open-question] scale = {scale:?}");
+    run_open_question(OpenQuestionConfig::paper(scale)).print();
+}

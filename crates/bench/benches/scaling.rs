@@ -1,0 +1,11 @@
+//! Regenerates the **cost-scaling sweep** (E6b): sample sizes and
+//! build/query times of both filters as ε shrinks.
+
+use qid_bench::experiments::{run_scaling, ScalingConfig};
+use qid_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[scaling] scale = {scale:?}");
+    run_scaling(ScalingConfig::paper(scale)).print();
+}

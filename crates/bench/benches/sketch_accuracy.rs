@@ -1,0 +1,18 @@
+//! Regenerates the **Theorem 2** sketch experiments (E3): accuracy
+//! sweep plus the Section 3.2 hard-instance decoding demonstration.
+
+use qid_bench::experiments::{
+    run_hard_instance_decode, run_sketch_accuracy, SketchAccuracyConfig,
+};
+use qid_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[sketch] scale = {scale:?}");
+    run_sketch_accuracy(SketchAccuracyConfig::paper(scale)).print();
+    let (k, t, m) = match scale {
+        Scale::Smoke => (3, 3, 4),
+        _ => (5, 4, 8),
+    };
+    run_hard_instance_decode(k, t, m, 1234).print();
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper's **Table 1**. Scale via `QID_SCALE=full`.
+
+use qid_bench::experiments::{run_table1, Table1Config};
+use qid_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[table1] scale = {scale:?} (set QID_SCALE=full for paper-size data)");
+    let table = run_table1(Table1Config::paper(scale));
+    table.print();
+}

@@ -1,0 +1,185 @@
+//! **E5 — Lemma 1 / 2 and Appendix C.3**: the worst-case clique
+//! profile, and the `Θ(m/√ε)` sample bound it implies.
+//!
+//! Three parts:
+//! 1. the C.3 counter-example reproduced exactly;
+//! 2. the two-value family dominating free-form local search (Lemma 1);
+//! 3. the collision experiment of Lemma 2: sampling `C·m/√ε` balls from
+//!    the worst profile collides w.h.p. — the tuple filter's engine.
+
+use qid_core::analysis::{
+    best_two_value_profile, c3_example, distinct_nonzero_values, local_search_worst_profile,
+    NonCollision,
+};
+use qid_sampling::alias::AliasTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::Table;
+use crate::timing::parallel_trials;
+use crate::Scale;
+
+/// Parameters for the worst-case profile experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct KktConfig {
+    /// Profile length `n`.
+    pub n: usize,
+    /// Constraint slack `ε`.
+    pub eps: f64,
+    /// Balls drawn per collision trial factor sweep.
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KktConfig {
+    /// Defaults at the given scale.
+    pub fn paper(scale: Scale) -> Self {
+        KktConfig {
+            n: 200,
+            eps: 0.04,
+            trials: scale.trials(600),
+            seed: 99,
+        }
+    }
+}
+
+/// Part 1+2: the C.3 example and the two-value dominance sweep.
+pub fn run_kkt_worst_case(cfg: KktConfig) -> Table {
+    let mut table = Table::new(
+        "Lemma 1 — worst-case profiles have ≤ 2 distinct values (f = e_r)",
+        &["n", "eps", "r", "f(two-value opt)", "f(free search)", "distinct vals (opt)"],
+    );
+
+    // The exact C.3 setting first, then larger sweeps.
+    let settings = [
+        (40usize, 0.25f64, 10usize),
+        (cfg.n / 4, cfg.eps * 4.0, 8),
+        (cfg.n / 2, cfg.eps * 2.0, 10),
+        (cfg.n, cfg.eps, 12),
+    ];
+    for &(n, eps, r) in &settings {
+        let two = best_two_value_profile(n, eps, r);
+        let free = local_search_worst_profile(n, eps, r, 2_000, cfg.seed);
+        table.row(vec![
+            n.to_string(),
+            format!("{eps}"),
+            r.to_string(),
+            format!("{:.4e}", two.objective),
+            format!("{:.4e}", free.objective),
+            distinct_nonzero_values(&two.profile, 1e-9).to_string(),
+        ]);
+    }
+    table
+}
+
+/// Part 1 alone: the Appendix C.3 numbers, printed exactly.
+pub fn run_c3_table() -> Table {
+    let (f1, f2) = c3_example();
+    let mut table = Table::new(
+        "Appendix C.3 — equal blocks are not optimal (n = 40, eps' = 1/16, r = 10)",
+        &["profile", "f(s) = e_10(s)"],
+    );
+    table.row(vec!["s1 = (2.5 × 16)".to_string(), format!("{f1:.2}")]);
+    table.row(vec!["s2 = (10, 1 × 30)".to_string(), format!("{f2:.0}")]);
+    table
+}
+
+/// Part 3 — Lemma 2's collision bound: drawing `C·m/√ε` balls from the
+/// worst two-value profile (scaled to mass `n`) collides with
+/// probability `→ 1`; the analytic non-collision probability is printed
+/// alongside the Monte-Carlo estimate.
+pub fn run_collision_experiment(cfg: KktConfig, m: usize) -> Table {
+    let worst = best_two_value_profile(cfg.n, cfg.eps, (m as f64 / cfg.eps.sqrt()) as usize);
+    let nc = NonCollision::new(&worst.profile);
+    let alias_weights: Vec<f64> = worst.profile.iter().copied().filter(|&v| v > 0.0).collect();
+    let alias = AliasTable::new(&alias_weights);
+
+    let mut table = Table::new(
+        format!(
+            "Lemma 2 — collision probability drawing r balls from the worst profile (n = {}, eps = {}, m = {m})",
+            cfg.n, cfg.eps
+        ),
+        &["r", "r/(m/√ε)", "P(collision) analytic", "P(collision) empirical"],
+    );
+
+    let unit = m as f64 / cfg.eps.sqrt();
+    for &frac in &[0.25, 0.5, 1.0, 2.0] {
+        let r = ((unit * frac).round() as usize).max(2);
+        let analytic = 1.0 - nc.with_replacement(r);
+        let seeds: Vec<u64> = (0..cfg.trials as u64)
+            .map(|t| cfg.seed ^ t.wrapping_mul(0x2545_f491) ^ ((r as u64) << 20))
+            .collect();
+        let hits: usize = parallel_trials(&seeds, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut seen = vec![false; alias_weights.len()];
+            for _ in 0..r {
+                let c = alias.sample(&mut rng);
+                if seen[c] {
+                    return 1usize;
+                }
+                seen[c] = true;
+            }
+            0usize
+        })
+        .into_iter()
+        .sum();
+        table.row(vec![
+            r.to_string(),
+            format!("{frac:.2}"),
+            format!("{analytic:.4}"),
+            format!("{:.4}", hits as f64 / cfg.trials as f64),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c3_table_exact() {
+        let t = run_c3_table();
+        // f(s1) = C(16,10)·2.5^10 = 76,370,239.2578125 (prints rounded).
+        assert!(t.cell(0, 1).starts_with("76370239.2"), "{}", t.cell(0, 1));
+        assert_eq!(t.cell(1, 1), "173116515");
+    }
+
+    #[test]
+    fn two_value_dominates_everywhere() {
+        let cfg = KktConfig {
+            n: 32,
+            eps: 0.25,
+            trials: 10,
+            seed: 1,
+        };
+        let t = run_kkt_worst_case(cfg);
+        for row in 0..t.n_rows() {
+            let two: f64 = t.cell(row, 3).parse().unwrap();
+            let free: f64 = t.cell(row, 4).parse().unwrap();
+            assert!(two >= free * (1.0 - 1e-6), "row {row}: {two} < {free}");
+            let distinct: usize = t.cell(row, 5).parse().unwrap();
+            assert!(distinct <= 2);
+        }
+    }
+
+    #[test]
+    fn collision_grows_with_r_and_matches_analytic() {
+        let cfg = KktConfig {
+            n: 64,
+            eps: 0.25,
+            trials: 150,
+            seed: 8,
+        };
+        let t = run_collision_experiment(cfg, 4);
+        let mut prev = 0.0f64;
+        for row in 0..t.n_rows() {
+            let analytic: f64 = t.cell(row, 2).parse().unwrap();
+            let emp: f64 = t.cell(row, 3).parse().unwrap();
+            assert!((analytic - emp).abs() < 0.15, "row {row}: {analytic} vs {emp}");
+            assert!(analytic >= prev - 1e-9, "collision must not shrink with r");
+            prev = analytic;
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! **E1 — Lemma 3's lower bound, empirically** (Section 2.2).
+//!
+//! On the grid data set `[q]^m` every singleton attribute set is bad;
+//! detecting *all* of them needs `Ω(√(q·log m)) = Ω(√(log m / ε))`
+//! sampled tuples. We sweep the sample size `r` and measure the
+//! probability that the tuple filter rejects every singleton,
+//! alongside the proof's analytic envelope
+//! `P(detect all) ≤ (1 − ∏_{i<r}(1 − i/q))^m`.
+
+use qid_dataset::generator::GridDataset;
+use qid_dataset::AttrId;
+use qid_sampling::birthday::non_collision_prob_uniform;
+
+use crate::report::Table;
+use crate::timing::parallel_trials;
+use crate::Scale;
+
+/// Parameters for the Lemma 3 experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct Lemma3Config {
+    /// Grid base `q ≈ 1/ε`.
+    pub q: u64,
+    /// Number of attributes `m` (must satisfy `log m < q/4`).
+    pub m: usize,
+    /// Monte-Carlo trials per sample size.
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Lemma3Config {
+    /// Defaults at the given scale.
+    pub fn paper(scale: Scale) -> Self {
+        Lemma3Config {
+            q: 100,
+            m: 20,
+            trials: scale.trials(400),
+            seed: 33,
+        }
+    }
+}
+
+/// Runs E1: sweep `r` around the `√(q·ln m)` threshold.
+pub fn run_lemma3(cfg: Lemma3Config) -> Table {
+    let grid = GridDataset::new(cfg.q, cfg.m);
+    let threshold = ((cfg.q as f64) * (cfg.m as f64).ln()).sqrt();
+    let mut table = Table::new(
+        format!(
+            "Lemma 3 — detect all {} bad singletons on [{}]^{}; threshold √(q·ln m) ≈ {threshold:.1}",
+            cfg.m, cfg.q, cfg.m
+        ),
+        &["r (samples)", "r/√(q·ln m)", "P(detect all)", "analytic upper bound"],
+    );
+
+    let fracs = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0];
+    for &frac in &fracs {
+        let r = ((threshold * frac).round() as usize).max(2);
+        let seeds: Vec<u64> = (0..cfg.trials as u64)
+            .map(|t| cfg.seed ^ (t.wrapping_mul(0x9e37_79b9)) ^ (r as u64) << 32)
+            .collect();
+        let hits: usize = parallel_trials(&seeds, |seed| {
+            let sample = grid.sample(r, seed);
+            // Did every singleton get caught (some pair of samples
+            // collides on that coordinate)?
+            let all_detected = (0..cfg.m).all(|a| {
+                let attrs = [AttrId::new(a)];
+                qid_core::separation::unseparated_pairs(&sample, &attrs) > 0
+            });
+            usize::from(all_detected)
+        })
+        .into_iter()
+        .sum();
+        let p_hat = hits as f64 / cfg.trials as f64;
+
+        // Analytic envelope from the proof: detection of one coordinate
+        // is a birthday collision among q bins; coordinates are
+        // independent, so P(detect all) = (1 − ∏(1−i/q))^m exactly for
+        // with-replacement sampling.
+        let p_theory = (1.0 - non_collision_prob_uniform(cfg.q, r as u64)).powi(cfg.m as i32);
+
+        table.row(vec![
+            r.to_string(),
+            format!("{frac:.2}"),
+            format!("{p_hat:.3}"),
+            format!("{p_theory:.3}"),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_probability_increases_with_r() {
+        let cfg = Lemma3Config {
+            q: 25,
+            m: 5,
+            trials: 60,
+            seed: 5,
+        };
+        let t = run_lemma3(cfg);
+        assert_eq!(t.n_rows(), 7);
+        let first: f64 = t.cell(0, 2).parse().unwrap();
+        let last: f64 = t.cell(t.n_rows() - 1, 2).parse().unwrap();
+        assert!(
+            last >= first,
+            "P(detect) should grow with r: {first} → {last}"
+        );
+        // At 3× the threshold detection should be near-certain.
+        assert!(last > 0.8, "last = {last}");
+    }
+
+    #[test]
+    fn empirical_tracks_theory() {
+        let cfg = Lemma3Config {
+            q: 25,
+            m: 4,
+            trials: 150,
+            seed: 9,
+        };
+        let t = run_lemma3(cfg);
+        for row in 0..t.n_rows() {
+            let emp: f64 = t.cell(row, 2).parse().unwrap();
+            let theory: f64 = t.cell(row, 3).parse().unwrap();
+            assert!(
+                (emp - theory).abs() < 0.2,
+                "row {row}: empirical {emp} vs theory {theory}"
+            );
+        }
+    }
+}

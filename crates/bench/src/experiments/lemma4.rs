@@ -1,0 +1,163 @@
+//! **E2 — Lemma 4's lower bound, empirically** (Section 2.3).
+//!
+//! On the planted-clique data set, coordinate `{0}` is bad but its
+//! auxiliary graph has a *single* clique of size `√(2ε)·n`: rejecting
+//! `{0}` requires sampling two of its members, which takes `Θ(m/√ε)`
+//! draws to succeed with probability `1 − e^{−m}`. We sweep `r` and
+//! report the empirical failure probability next to the hypergeometric
+//! truth `P(fail) ≥ P(at most one clique member among r draws)`.
+
+use qid_dataset::generator::{planted_clique, planted_clique_size};
+use qid_dataset::AttrId;
+
+use crate::report::Table;
+use crate::timing::parallel_trials;
+use crate::Scale;
+
+/// Parameters for the Lemma 4 experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct Lemma4Config {
+    /// Data-set size (the proof wants `n ≫ m²/ε`).
+    pub n: usize,
+    /// Number of attributes.
+    pub m: usize,
+    /// Separation slack.
+    pub eps: f64,
+    /// Monte-Carlo trials per sample size.
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Lemma4Config {
+    /// Defaults at the given scale.
+    pub fn paper(scale: Scale) -> Self {
+        Lemma4Config {
+            n: scale.rows(100_000),
+            m: 12,
+            eps: 0.01,
+            trials: scale.trials(400),
+            seed: 44,
+        }
+    }
+}
+
+/// Exact probability that sampling `r` rows without replacement from
+/// `n` rows containing a clique of size `c` picks **at most one**
+/// clique member (the filter then *cannot* reject `{0}`).
+fn fail_prob_exact(n: usize, c: usize, r: usize) -> f64 {
+    // P(0 members) + P(1 member), hypergeometric, computed in log space.
+    let ln_choose = |n: usize, k: usize| -> f64 {
+        if k > n {
+            return f64::NEG_INFINITY;
+        }
+        let mut v = 0.0f64;
+        for i in 0..k {
+            v += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+        }
+        v
+    };
+    let denom = ln_choose(n, r);
+    let p0 = (ln_choose(n - c, r) - denom).exp();
+    let p1 = if r >= 1 {
+        ((c as f64).ln() + ln_choose(n - c, r - 1) - denom).exp()
+    } else {
+        0.0
+    };
+    p0 + p1
+}
+
+/// Runs E2: sweep `r` as multiples of `m/√ε`.
+pub fn run_lemma4(cfg: Lemma4Config) -> Table {
+    let clique = planted_clique_size(cfg.n, cfg.eps);
+    let scale_r = cfg.m as f64 / cfg.eps.sqrt();
+    let mut table = Table::new(
+        format!(
+            "Lemma 4 — reject the planted bad coordinate; n = {}, m = {}, eps = {}, clique = {clique}; unit r = m/√ε ≈ {scale_r:.0}",
+            cfg.n, cfg.m, cfg.eps
+        ),
+        &["r (samples)", "r/(m/√ε)", "P(fail to reject)", "exact P(≤1 clique hit)", "e^-m"],
+    );
+
+    let ds = planted_clique(cfg.n, cfg.m, cfg.eps, cfg.seed);
+    let fracs = [0.05, 0.1, 0.25, 0.5, 1.0, 2.0];
+    for &frac in &fracs {
+        let r = ((scale_r * frac).round() as usize).clamp(2, cfg.n);
+        let seeds: Vec<u64> = (0..cfg.trials as u64)
+            .map(|t| cfg.seed ^ t.wrapping_mul(0x5851_f42d) ^ ((r as u64) << 24))
+            .collect();
+        let fails: usize = parallel_trials(&seeds, |seed| {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let rows = qid_sampling::swor::sample_indices(&mut rng, cfg.n, r);
+            let sample = ds.gather(&rows);
+            let rejected =
+                qid_core::separation::unseparated_pairs(&sample, &[AttrId::new(0)]) > 0;
+            usize::from(!rejected)
+        })
+        .into_iter()
+        .sum();
+        let p_fail = fails as f64 / cfg.trials as f64;
+        let p_exact = fail_prob_exact(cfg.n, clique, r);
+
+        table.row(vec![
+            r.to_string(),
+            format!("{frac:.2}"),
+            format!("{p_fail:.3}"),
+            format!("{p_exact:.3}"),
+            format!("{:.2e}", (-(cfg.m as f64)).exp()),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_probability_decreases_with_r() {
+        let cfg = Lemma4Config {
+            n: 5_000,
+            m: 6,
+            eps: 0.01,
+            trials: 80,
+            seed: 2,
+        };
+        let t = run_lemma4(cfg);
+        let first: f64 = t.cell(0, 2).parse().unwrap();
+        let last: f64 = t.cell(t.n_rows() - 1, 2).parse().unwrap();
+        assert!(first >= last, "fail prob should shrink: {first} → {last}");
+    }
+
+    #[test]
+    fn empirical_matches_hypergeometric() {
+        let cfg = Lemma4Config {
+            n: 4_000,
+            m: 5,
+            eps: 0.02,
+            trials: 200,
+            seed: 6,
+        };
+        let t = run_lemma4(cfg);
+        for row in 0..t.n_rows() {
+            let emp: f64 = t.cell(row, 2).parse().unwrap();
+            let exact: f64 = t.cell(row, 3).parse().unwrap();
+            assert!(
+                (emp - exact).abs() < 0.15,
+                "row {row}: empirical {emp} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_formula_sane() {
+        // r = 2 out of n with clique c: P(fail) = 1 − C(c,2)/C(n,2).
+        let p = fail_prob_exact(100, 10, 2);
+        let expected = 1.0 - (45.0 / 4950.0);
+        assert!((p - expected).abs() < 1e-9, "{p} vs {expected}");
+        // Sampling everything always catches the clique (c ≥ 2).
+        let p = fail_prob_exact(50, 5, 50);
+        assert!(p.abs() < 1e-9);
+    }
+}

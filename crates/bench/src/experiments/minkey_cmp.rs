@@ -1,0 +1,129 @@
+//! **E4 — Proposition 1**: approximate minimum keys, MX vs. refined.
+//!
+//! Compares the Motwani–Xu greedy (ground set = `Θ(m/ε)` explicit
+//! pairs) against this paper's partition-refinement greedy (implicit
+//! ground set over `Θ(m/√ε)` tuples) and — where affordable — the exact
+//! minimum on the same sample. Reports key sizes, runtimes, and the
+//! quality of the returned key measured on the *full* data set.
+
+use qid_core::minkey::{GreedyRefineMinKey, MxGreedyMinKey};
+use qid_core::filter::FilterParams;
+use qid_core::oracle::ExactOracle;
+
+use crate::report::{fmt_duration, Table};
+use crate::timing::time;
+use crate::workloads::table1_workloads;
+use crate::Scale;
+
+/// Parameters for the minimum-key comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct MinKeyConfig {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Separation slack.
+    pub eps: f64,
+    /// Trials (different sampling seeds) to average over.
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl MinKeyConfig {
+    /// Defaults at the given scale.
+    pub fn paper(scale: Scale) -> Self {
+        MinKeyConfig {
+            scale,
+            eps: 0.001,
+            trials: scale.trials(6),
+            seed: 66,
+        }
+    }
+}
+
+/// Runs E4 and returns the comparison table.
+pub fn run_minkey_comparison(cfg: MinKeyConfig) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Proposition 1 — approximate minimum eps-separation keys (eps = {}, {} trials)",
+            cfg.eps, cfg.trials
+        ),
+        &[
+            "Dataset",
+            "|key| MX",
+            "|key| ours",
+            "T MX",
+            "T ours",
+            "sep. ratio MX",
+            "sep. ratio ours",
+        ],
+    );
+
+    for w in table1_workloads(cfg.scale, cfg.seed) {
+        let ds = &w.dataset;
+        let params = FilterParams::new(cfg.eps);
+        let oracle = ExactOracle::new(ds);
+
+        let mut size_mx = 0usize;
+        let mut size_ours = 0usize;
+        let mut t_mx = std::time::Duration::ZERO;
+        let mut t_ours = std::time::Duration::ZERO;
+        let mut ratio_mx = 0.0f64;
+        let mut ratio_ours = 0.0f64;
+
+        for trial in 0..cfg.trials {
+            let seed = cfg.seed.wrapping_add(trial as u64 * 131);
+
+            let (mx, d) = time(|| MxGreedyMinKey::new(params).run(ds, seed));
+            t_mx += d;
+            size_mx += mx.key_size();
+            ratio_mx += oracle.separation_ratio(&mx.attrs);
+
+            let (ours, d) = time(|| GreedyRefineMinKey::new(params).run(ds, seed));
+            t_ours += d;
+            size_ours += ours.key_size();
+            ratio_ours += oracle.separation_ratio(&ours.attrs);
+        }
+
+        let k = cfg.trials as f64;
+        table.row(vec![
+            w.name.to_string(),
+            format!("{:.1}", size_mx as f64 / k),
+            format!("{:.1}", size_ours as f64 / k),
+            fmt_duration(t_mx / cfg.trials as u32),
+            fmt_duration(t_ours / cfg.trials as u32),
+            format!("{:.6}", ratio_mx / k),
+            format!("{:.6}", ratio_ours / k),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_comparable_keys() {
+        let cfg = MinKeyConfig {
+            scale: Scale::Smoke,
+            eps: 0.01,
+            trials: 2,
+            seed: 4,
+        };
+        let t = run_minkey_comparison(cfg);
+        assert_eq!(t.n_rows(), 3);
+        for row in 0..3 {
+            let mx: f64 = t.cell(row, 1).parse().unwrap();
+            let ours: f64 = t.cell(row, 2).parse().unwrap();
+            // Key sizes should be within a couple attributes of each
+            // other; both must find *some* small key.
+            assert!(mx >= 1.0 && ours >= 1.0);
+            assert!((mx - ours).abs() <= 3.0, "row {row}: {mx} vs {ours}");
+            // Both keys separate ≥ 1−10ε of pairs on the full data.
+            let r_mx: f64 = t.cell(row, 5).parse().unwrap();
+            let r_ours: f64 = t.cell(row, 6).parse().unwrap();
+            assert!(r_mx > 1.0 - 10.0 * cfg.eps, "row {row}: MX ratio {r_mx}");
+            assert!(r_ours > 1.0 - 10.0 * cfg.eps, "row {row}: ours ratio {r_ours}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! **E6b — cost scaling in ε** (complements the Criterion micro suite).
+//!
+//! The paper's complexity claims: the MX filter stores `m/ε` pairs and
+//! answers in `O(|A|·m/ε)`; the tuple filter stores `m/√ε` tuples and
+//! answers in `O(|A|·(m/√ε)·log)`. Sweeping ε exposes the `1/ε` vs
+//! `1/√ε` growth directly — the quadratic gap is the paper's headline.
+
+use qid_core::filter::{FilterParams, PairSampleFilter, SeparationFilter, TupleSampleFilter};
+use qid_dataset::generator::covtype_like_scaled;
+use qid_dataset::AttrId;
+
+use crate::report::{fmt_count, fmt_duration, Table};
+use crate::timing::time_avg;
+use crate::Scale;
+
+/// Parameters for the scaling sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingConfig {
+    /// Rows in the backing data set.
+    pub n_rows: usize,
+    /// Queries per timing average.
+    pub reps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ScalingConfig {
+    /// Defaults at the given scale.
+    pub fn paper(scale: Scale) -> Self {
+        ScalingConfig {
+            n_rows: scale.rows(200_000),
+            reps: match scale {
+                Scale::Smoke => 3,
+                _ => 20,
+            },
+            seed: 88,
+        }
+    }
+}
+
+/// Runs the ε sweep on a Covtype-shaped data set and reports sample
+/// sizes, build times and per-query times for both filters.
+pub fn run_scaling(cfg: ScalingConfig) -> Table {
+    let ds = covtype_like_scaled(cfg.seed, cfg.n_rows);
+    let attrs: Vec<AttrId> = (0..ds.n_attrs()).step_by(3).map(AttrId::new).collect();
+    let mut table = Table::new(
+        format!(
+            "Cost scaling in eps — Covtype shape, n = {}, |A| = {} (query avg over {} reps)",
+            fmt_count(ds.n_rows()),
+            attrs.len(),
+            cfg.reps
+        ),
+        &["eps", "S MX", "S ours", "build MX", "build ours", "query MX", "query ours"],
+    );
+
+    for &eps in &[0.01, 0.003, 0.001, 0.0003] {
+        let params = FilterParams::new(eps);
+
+        let t0 = std::time::Instant::now();
+        let pair = PairSampleFilter::build(&ds, params, cfg.seed);
+        let build_mx = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        let tuple = TupleSampleFilter::build(&ds, params, cfg.seed);
+        let build_ours = t0.elapsed();
+
+        let q_mx = time_avg(cfg.reps, || {
+            std::hint::black_box(pair.query(&attrs));
+        });
+        let q_ours = time_avg(cfg.reps, || {
+            std::hint::black_box(tuple.query(&attrs));
+        });
+
+        table.row(vec![
+            format!("{eps}"),
+            fmt_count(pair.sample_size()),
+            fmt_count(tuple.sample_size()),
+            fmt_duration(build_mx),
+            fmt_duration(build_ours),
+            fmt_duration(q_mx),
+            fmt_duration(q_ours),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shows_quadratic_sample_gap() {
+        let cfg = ScalingConfig {
+            n_rows: 3_000,
+            reps: 2,
+            seed: 1,
+        };
+        let t = run_scaling(cfg);
+        assert_eq!(t.n_rows(), 4);
+        // At the last row (eps = 0.0003) the MX/ours sample ratio must
+        // be ≈ 1/√eps ≈ 57.7.
+        let s_mx: f64 = t.cell(3, 1).replace(',', "").parse().unwrap();
+        let s_ours: f64 = t.cell(3, 2).replace(',', "").parse().unwrap();
+        let ratio = s_mx / s_ours;
+        assert!((45.0..70.0).contains(&ratio), "ratio {ratio}");
+    }
+}

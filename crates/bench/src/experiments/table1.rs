@@ -1,0 +1,134 @@
+//! **T1 — the paper's Table 1**: sample size, running time, agreement.
+//!
+//! For each data set (Adult / Covtype / CPS shapes), build the
+//! Motwani–Xu pair filter (★) and this paper's tuple filter (★★) with
+//! `ε = 0.001`, query ~100 random attribute subsets, and report:
+//! sample sizes `S`, average running time `T` over the trials
+//! (build + all queries, as a cold run of the tool would pay), and the
+//! percentage of queries on which the two algorithms agree.
+
+use qid_core::filter::{FilterParams, PairSampleFilter, SeparationFilter, TupleSampleFilter};
+
+use crate::report::{fmt_count, fmt_duration, Table};
+use crate::timing::time;
+use crate::workloads::{random_attr_subsets, table1_workloads};
+use crate::Scale;
+
+/// Parameters for the Table 1 reproduction.
+#[derive(Clone, Copy, Debug)]
+pub struct Table1Config {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Trials to average times over (paper: 10).
+    pub trials: usize,
+    /// Number of random attribute subsets to query (paper: ~100).
+    pub n_subsets: usize,
+    /// Separation slack (paper: 0.001).
+    pub eps: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Table1Config {
+    /// The paper's settings at the given scale.
+    pub fn paper(scale: Scale) -> Self {
+        Table1Config {
+            scale,
+            trials: scale.trials(10),
+            n_subsets: match scale {
+                Scale::Smoke => 20,
+                _ => 100,
+            },
+            eps: 0.001,
+            seed: 20_230_613,
+        }
+    }
+}
+
+/// Runs T1 and returns the paper-style table.
+pub fn run_table1(cfg: Table1Config) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Table 1 — sample size (S), avg time (T) over {} trials, agreement (A); eps = {}",
+            cfg.trials, cfg.eps
+        ),
+        &["Dataset", "n", "m", "S (MX)", "S (ours)", "T (MX)", "T (ours)", "A %"],
+    );
+
+    for w in table1_workloads(cfg.scale, cfg.seed) {
+        let ds = &w.dataset;
+        let m = ds.n_attrs();
+        let params = FilterParams::new(cfg.eps);
+        let subsets = random_attr_subsets(m, cfg.n_subsets, cfg.seed ^ 0xabcd);
+
+        let mut t_mx = std::time::Duration::ZERO;
+        let mut t_ours = std::time::Duration::ZERO;
+        let mut s_mx = 0usize;
+        let mut s_ours = 0usize;
+        let mut agreements = 0usize;
+        let mut queries = 0usize;
+
+        for trial in 0..cfg.trials {
+            let seed = cfg.seed.wrapping_add(trial as u64);
+
+            let (mx_decisions, d_mx) = time(|| {
+                let f = PairSampleFilter::build(ds, params, seed);
+                s_mx = f.sample_size();
+                subsets.iter().map(|a| f.query(a)).collect::<Vec<_>>()
+            });
+            t_mx += d_mx;
+
+            let (our_decisions, d_ours) = time(|| {
+                let f = TupleSampleFilter::build(ds, params, seed);
+                s_ours = f.sample_size();
+                subsets.iter().map(|a| f.query(a)).collect::<Vec<_>>()
+            });
+            t_ours += d_ours;
+
+            agreements += mx_decisions
+                .iter()
+                .zip(&our_decisions)
+                .filter(|(a, b)| a == b)
+                .count();
+            queries += subsets.len();
+        }
+
+        table.row(vec![
+            w.name.to_string(),
+            fmt_count(ds.n_rows()),
+            m.to_string(),
+            fmt_count(s_mx),
+            fmt_count(s_ours),
+            fmt_duration(t_mx / cfg.trials as u32),
+            fmt_duration(t_ours / cfg.trials as u32),
+            format!("{:.0}%", 100.0 * agreements as f64 / queries as f64),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_three_rows() {
+        let cfg = Table1Config {
+            scale: Scale::Smoke,
+            trials: 1,
+            n_subsets: 5,
+            eps: 0.01,
+            seed: 1,
+        };
+        let t = run_table1(cfg);
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.cell(0, 0), "Adult");
+        assert_eq!(t.cell(1, 0), "Covtype");
+        assert_eq!(t.cell(2, 0), "CPS");
+        // Sample-size ratio must be ~1/√ε = 10 at ε = 0.01.
+        let s_mx: usize = t.cell(0, 3).replace(',', "").parse().unwrap();
+        let s_ours: usize = t.cell(0, 4).replace(',', "").parse().unwrap();
+        let ratio = s_mx as f64 / s_ours as f64;
+        assert!((8.0..12.0).contains(&ratio), "ratio {ratio}");
+    }
+}

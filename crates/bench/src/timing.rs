@@ -1,0 +1,97 @@
+//! Wall-clock timing helpers for the experiment harness.
+
+use std::time::{Duration, Instant};
+
+/// Times one call.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Mean duration of `trials` calls (each call may return a value that is
+/// dropped; use [`time`] when the value matters).
+pub fn time_avg(trials: usize, mut f: impl FnMut()) -> Duration {
+    assert!(trials > 0, "need at least one trial");
+    let start = Instant::now();
+    for _ in 0..trials {
+        f();
+    }
+    start.elapsed() / trials as u32
+}
+
+/// Runs independent trials on worker threads (crossbeam scoped), one
+/// seed per trial, and collects the results in seed order. Used by the
+/// statistically heavy lower-bound experiments.
+pub fn parallel_trials<T: Send>(
+    seeds: &[u64],
+    f: impl Fn(u64) -> T + Sync,
+) -> Vec<T> {
+    let n_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(seeds.len().max(1));
+    let mut results: Vec<Option<T>> = Vec::with_capacity(seeds.len());
+    results.resize_with(seeds.len(), || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = std::sync::Mutex::new(&mut results);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= seeds.len() {
+                    break;
+                }
+                let out = f(seeds[i]);
+                let mut guard = results_mutex.lock().expect("no poisoned trials");
+                guard[i] = Some(out);
+            });
+        }
+    })
+    .expect("trial worker panicked");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every trial index visited"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_value() {
+        let (v, d) = time(|| 2 + 2);
+        assert_eq!(v, 4);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn time_avg_divides() {
+        let d = time_avg(10, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(d < Duration::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let _ = time_avg(0, || {});
+    }
+
+    #[test]
+    fn parallel_trials_preserve_order() {
+        let seeds: Vec<u64> = (0..32).collect();
+        let out = parallel_trials(&seeds, |s| s * 2);
+        assert_eq!(out, (0..32).map(|s| s * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_trials_empty() {
+        let out: Vec<u64> = parallel_trials(&[], |s| s);
+        assert!(out.is_empty());
+    }
+}

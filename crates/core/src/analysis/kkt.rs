@@ -1,0 +1,358 @@
+//! Lemma 1, empirically: searching the worst-case clique profile.
+//!
+//! Lemma 1 (proved with KKT + LICQ in the paper) says the maximiser of
+//! `f(s) = e_r(s)` over the region `P` has **at most two distinct
+//! non-zero values**. This module provides:
+//!
+//! * a pairwise-transfer local search ascending `f` over `P`
+//!   ([`local_search_worst_profile`]) whose fixed points can be checked
+//!   for the two-value property ([`distinct_nonzero_values`]);
+//! * the Appendix C.3 counter-example ([`c3_example`]) showing the
+//!   *equal-blocks* profile is **not** optimal — computed exactly.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use super::profiles::is_feasible;
+use super::symmetric::elementary_symmetric;
+
+/// A locally optimal profile found by [`local_search_worst_profile`].
+#[derive(Clone, Debug)]
+pub struct WorstCaseProfile {
+    /// The profile `s` (length `n`, descending).
+    pub profile: Vec<f64>,
+    /// `f(s) = e_r(s)` at the optimum.
+    pub objective: f64,
+    /// Number of ascent steps accepted.
+    pub steps_accepted: usize,
+}
+
+/// Evaluates the paper's objective `f_r(s) = e_r(s)`.
+pub fn objective(profile: &[f64], r: usize) -> f64 {
+    elementary_symmetric(profile, r)[r]
+}
+
+/// Gradient coordinate `∂f/∂s_i = e_{r−1}(s \ {s_i})`, computed for all
+/// `i` via polynomial division of the DP table — `O(n·r)` total.
+pub fn gradient(profile: &[f64], r: usize) -> Vec<f64> {
+    let e = elementary_symmetric(profile, r);
+    profile
+        .iter()
+        .map(|&si| {
+            // d_j = e_j(s \ i) satisfies d_j = e_j − s_i·d_{j−1}.
+            let mut d_prev = 1.0f64; // d_0
+            for ej in e.iter().take(r).skip(1) {
+                d_prev = ej - si * d_prev;
+            }
+            if r == 0 {
+                0.0
+            } else {
+                d_prev // d_{r−1}
+            }
+        })
+        .collect()
+}
+
+/// Ascends `f(s) = e_r(s)` over `P` by pairwise mass transfers: pick
+/// coordinates `(i, j)` with gradient favouring `i`, move `δ` of mass
+/// from `j` to `i` (preserving `Σs = n`), accept if the move stays in
+/// `P` and increases `f`. Lemma 1 predicts fixed points with ≤ 2
+/// distinct non-zero values.
+///
+/// Deterministic given `seed`; `iters` bounds the number of proposals.
+pub fn local_search_worst_profile(
+    n: usize,
+    eps: f64,
+    r: usize,
+    iters: usize,
+    seed: u64,
+) -> WorstCaseProfile {
+    assert!(n >= 2 && r >= 2, "need n, r >= 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Start from the feasible s̃ of Eq. (5) perturbed a little (starting
+    // *on* a suspected optimum would make the search trivial).
+    let mut s = super::profiles::tilde_profile(n, eps);
+    debug_assert!(is_feasible(&s, n as f64, eps));
+
+    let mut best = objective(&s, r);
+    let mut accepted = 0usize;
+    for _ in 0..iters {
+        let grad = gradient(&s, r);
+        // Propose: move mass from a random donor with s_j > 0 toward a
+        // random receiver with higher gradient.
+        let j = rng.random_range(0..n);
+        if s[j] <= 0.0 {
+            continue;
+        }
+        let i = rng.random_range(0..n);
+        if i == j || grad[i] <= grad[j] {
+            continue;
+        }
+        // Try a few step sizes, largest first.
+        let mut moved = false;
+        for frac in [1.0, 0.5, 0.25, 0.1] {
+            let delta = s[j] * frac;
+            let mut cand = s.clone();
+            cand[j] -= delta;
+            cand[i] += delta;
+            if !is_feasible(&cand, n as f64, eps) {
+                continue;
+            }
+            let val = objective(&cand, r);
+            if val > best * (1.0 + 1e-12) {
+                s = cand;
+                best = val;
+                accepted += 1;
+                moved = true;
+                break;
+            }
+        }
+        let _ = moved;
+    }
+    s.sort_unstable_by(|a, b| b.partial_cmp(a).expect("profiles are finite"));
+    WorstCaseProfile {
+        profile: s,
+        objective: best,
+        steps_accepted: accepted,
+    }
+}
+
+/// Exhaustively optimises `f(s) = e_r(s)` over the **two-value family**
+/// Lemma 1 proves sufficient: profiles with `k_a` entries of value `a`
+/// and `k_b` entries of value `b` (either may be the whole support).
+///
+/// Candidates enumerated:
+/// * *interior* optima — by complementary slackness the quadratic
+///   constraint is slack there (`μ = 0`), and the unconstrained
+///   maximiser on a fixed support is uniform: `k` entries of `n/k`
+///   (feasible iff `n²/k ≥ εn²/4`), for every support size `k ≥ r`;
+/// * *boundary* optima — both constraints tight: for each pair
+///   `(k_a, k_b)` the two equations `k_a·a + k_b·b = n`,
+///   `k_a·a² + k_b·b² = εn²/4` determine `a, b` up to a quadratic
+///   (both roots are tried).
+///
+/// Returns the best profile found and its objective. `O(n²·nr)` overall
+/// — exact up to floating point, no randomness.
+pub fn best_two_value_profile(n: usize, eps: f64, r: usize) -> WorstCaseProfile {
+    assert!(n >= 2 && r >= 2, "need n, r >= 2");
+    let nf = n as f64;
+    let q = eps * nf * nf / 4.0;
+    let mut best: Option<(Vec<f64>, f64)> = None;
+
+    let mut consider = |profile: Vec<f64>| {
+        if !is_feasible(&profile, nf, eps) {
+            return;
+        }
+        let val = objective(&profile, r);
+        if best.as_ref().is_none_or(|(_, b)| val > *b) {
+            best = Some((profile, val));
+        }
+    };
+
+    // Interior candidates: uniform on k entries.
+    for k in r..=n {
+        let mut v = vec![nf / k as f64; k];
+        v.resize(n, 0.0);
+        consider(v);
+    }
+
+    // Boundary candidates: k_a entries of a, k_b of b, both constraints
+    // tight.
+    for ka in 1..n {
+        for kb in 1..=(n - ka) {
+            let (kaf, kbf) = (ka as f64, kb as f64);
+            // a²·k_a(k_a+k_b) − 2n·k_a·a + (n² − q·k_b) = 0
+            let aa = kaf * (kaf + kbf);
+            let bb = -2.0 * nf * kaf;
+            let cc = nf * nf - q * kbf;
+            let disc = bb * bb - 4.0 * aa * cc;
+            if disc < 0.0 {
+                continue;
+            }
+            for sign in [-1.0, 1.0] {
+                let a = (-bb + sign * disc.sqrt()) / (2.0 * aa);
+                if !(a.is_finite() && a >= 0.0) {
+                    continue;
+                }
+                let b = (nf - kaf * a) / kbf;
+                if !(b.is_finite() && b >= 0.0) {
+                    continue;
+                }
+                let mut v = Vec::with_capacity(n);
+                v.extend(std::iter::repeat_n(a, ka));
+                v.extend(std::iter::repeat_n(b, kb));
+                v.resize(n, 0.0);
+                consider(v);
+            }
+        }
+    }
+
+    let (mut profile, objective) =
+        best.expect("the all-mass-on-r-entries profile is always feasible");
+    profile.sort_unstable_by(|x, y| y.partial_cmp(x).expect("finite"));
+    WorstCaseProfile {
+        profile,
+        objective,
+        steps_accepted: 0,
+    }
+}
+
+/// Counts distinct non-zero values in a profile up to relative
+/// tolerance `tol` (values within `tol·max` of each other cluster).
+pub fn distinct_nonzero_values(profile: &[f64], tol: f64) -> usize {
+    let mut vals: Vec<f64> = profile.iter().copied().filter(|&v| v > 1e-12).collect();
+    if vals.is_empty() {
+        return 0;
+    }
+    vals.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let scale = vals.last().copied().unwrap_or(1.0);
+    let mut clusters = 1usize;
+    for w in vals.windows(2) {
+        if (w[1] - w[0]) > tol * scale {
+            clusters += 1;
+        }
+    }
+    clusters
+}
+
+/// The Appendix C.3 example, computed exactly: with `n = 40`,
+/// `ε′ = 1/4² = 0.0625`, `r = 10`,
+///
+/// * `s₁` = 16 entries of 2.5 (the equal-blocks profile):
+///   `f(s₁) ≈ 76,370,239.25…`
+/// * `s₂` = (10, 1×30): `f(s₂) = 173,116,515` — strictly larger,
+///
+/// so the intuition "the optimum is the uniform profile" is **false**
+/// (both are exact in f64: the values are ≪ 2⁵³).
+pub fn c3_example() -> (f64, f64) {
+    let s1: Vec<f64> = vec![2.5; 16];
+    let mut s2: Vec<f64> = vec![10.0];
+    s2.extend(std::iter::repeat_n(1.0, 30));
+    (objective(&s1, 10), objective(&s2, 10))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c3_values_match_paper() {
+        let (f1, f2) = c3_example();
+        // Paper: f(s1) ≈ 76370239.25…, f(s2) = 173116515.
+        assert!((f1 - 76_370_239.25).abs() < 1.0, "f(s1) = {f1}");
+        assert_eq!(f2, 173_116_515.0, "f(s2) = {f2}");
+        assert!(f2 > f1, "the equal-blocks profile must lose");
+    }
+
+    #[test]
+    fn c3_s2_value_by_combinatorics() {
+        // e_10(10, 1^30) = C(30,10) + 10·C(30,9).
+        fn c(n: u64, k: u64) -> f64 {
+            let mut v = 1.0f64;
+            for i in 0..k {
+                v = v * (n - i) as f64 / (i + 1) as f64;
+            }
+            v
+        }
+        let expected = c(30, 10) + 10.0 * c(30, 9);
+        assert_eq!(expected, 173_116_515.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let s = [3.0, 1.0, 2.0, 0.5, 1.5];
+        let r = 3;
+        let g = gradient(&s, r);
+        let h = 1e-6;
+        for i in 0..s.len() {
+            let mut plus = s.to_vec();
+            plus[i] += h;
+            let fd = (objective(&plus, r) - objective(&s, r)) / h;
+            assert!(
+                (g[i] - fd).abs() < 1e-3 * fd.abs().max(1.0),
+                "∂f/∂s_{i}: analytic {} vs fd {fd}",
+                g[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_is_symmetric_for_equal_entries() {
+        let s = [2.0, 2.0, 1.0];
+        let g = gradient(&s, 2);
+        assert!((g[0] - g[1]).abs() < 1e-12);
+        // ∂e_2/∂s_2 = s_0 + s_1 = 4; ∂e_2/∂s_0 = s_1 + s_2 = 3.
+        assert!((g[2] - 4.0).abs() < 1e-12);
+        assert!((g[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_search_improves_over_equal_blocks() {
+        // n = 40, ε = 4·ε′ = 0.25 (so the constraint is Σs² ≥ ε′n²),
+        // r = 10 — the C.3 setting. The search must find something at
+        // least as good as the equal-blocks profile.
+        let n = 40;
+        let eps = 0.25;
+        let r = 10;
+        let eq = super::super::profiles::equal_blocks_profile(n, eps);
+        let f_eq = objective(&eq, r);
+        let found = local_search_worst_profile(n, eps, r, 3000, 7);
+        assert!(
+            found.objective >= f_eq,
+            "search {} must be ≥ equal-blocks {f_eq}",
+            found.objective
+        );
+        assert!(is_feasible(&found.profile, n as f64, eps));
+    }
+
+    #[test]
+    fn two_value_family_dominates_local_search() {
+        // Lemma 1's operational content: the optimum lives in the
+        // two-value family, so the exhaustive two-value search must be
+        // at least as good as any fixed point the free-form local
+        // search reaches.
+        for (n, eps, r, seed) in [(30usize, 0.3f64, 6usize, 3u64), (40, 0.25, 10, 7), (24, 0.5, 4, 1)] {
+            let free = local_search_worst_profile(n, eps, r, 4000, seed);
+            let two = best_two_value_profile(n, eps, r);
+            assert!(
+                two.objective >= free.objective * (1.0 - 1e-9),
+                "n={n} eps={eps} r={r}: two-value {} < free search {}",
+                two.objective,
+                free.objective
+            );
+            assert!(
+                distinct_nonzero_values(&two.profile, 1e-9) <= 2,
+                "two-value profile must have ≤ 2 distinct values"
+            );
+        }
+    }
+
+    #[test]
+    fn two_value_optimum_beats_c3_equal_blocks() {
+        // In the C.3 setting the optimum must be ≥ f(s2) = 173,116,515,
+        // strictly above the equal-blocks 76,370,239.25.
+        let best = best_two_value_profile(40, 0.25, 10);
+        let (f_eq, f_s2) = c3_example();
+        assert!(best.objective >= f_s2, "{} < {f_s2}", best.objective);
+        assert!(best.objective > f_eq);
+    }
+
+    #[test]
+    fn distinct_value_counter() {
+        assert_eq!(distinct_nonzero_values(&[0.0, 0.0], 0.01), 0);
+        assert_eq!(distinct_nonzero_values(&[5.0, 5.0, 0.0], 0.01), 1);
+        assert_eq!(distinct_nonzero_values(&[5.0, 1.0, 1.0], 0.01), 2);
+        assert_eq!(distinct_nonzero_values(&[5.0, 3.0, 1.0], 0.01), 3);
+        // Clustering: 5.0 and 5.01 merge at 1% tolerance of max.
+        assert_eq!(distinct_nonzero_values(&[5.0, 5.01, 1.0], 0.01), 2);
+    }
+
+    #[test]
+    fn deterministic_search() {
+        let a = local_search_worst_profile(20, 0.2, 4, 500, 11);
+        let b = local_search_worst_profile(20, 0.2, 4, 500, 11);
+        assert_eq!(a.profile, b.profile);
+        assert_eq!(a.objective, b.objective);
+    }
+}

@@ -1,0 +1,31 @@
+//! The paper's analysis, executable.
+//!
+//! Section 2.1 reduces the tuple filter's correctness to a question
+//! about **balls into bins**: sample `r` balls whose colors follow the
+//! multinomial `D_s = (s_1/n, …, s_n/n)` of a clique-size profile
+//! `s ∈ P` (constraints: `Σ s_i = n`, `Σ s_i² ≥ ε n²/4`, `s ≥ 0`); how
+//! large must `r` be so two balls collide w.h.p. *for the worst
+//! feasible `s`*?
+//!
+//! * [`symmetric`] — the non-collision probability is an elementary
+//!   symmetric polynomial: `P_{r,D_s}(ξ) = r!/n^r · e_r(s)`; this module
+//!   computes `e_r` (O(nr) DP) and the with/without-replacement
+//!   probabilities plus Claim 1's ratio bound.
+//! * [`profiles`] — the named feasible profiles of the paper (the
+//!   equal-blocks profile, the `s̃` profile of Eq. (5), the planted
+//!   profile of Lemma 4) and a feasibility checker.
+//! * [`kkt`] — Lemma 1 made empirical: a pairwise-transfer local search
+//!   ascends `f(s) = e_r(s)` over `P` and reports the number of
+//!   distinct non-zero values in the optimum (the lemma proves ≤ 2);
+//!   plus the Appendix C.3 counter-example, exactly.
+
+pub mod kkt;
+pub mod profiles;
+pub mod symmetric;
+
+pub use kkt::{
+    best_two_value_profile, c3_example, distinct_nonzero_values, local_search_worst_profile,
+    WorstCaseProfile,
+};
+pub use profiles::{equal_blocks_profile, planted_profile, tilde_profile};
+pub use symmetric::NonCollision;

@@ -1,0 +1,115 @@
+//! Named clique-size profiles from the paper, and feasibility checks.
+
+/// The feasibility region `P` of the paper's worst-case optimisation
+/// (Section 2.1, constraints (1)–(3)): `Σ s_i = n`, `Σ s_i² ≥ ε n²/4`,
+/// `s_i ≥ 0`.
+pub fn is_feasible(profile: &[f64], n: f64, eps: f64) -> bool {
+    let sum: f64 = profile.iter().sum();
+    let sumsq: f64 = profile.iter().map(|&s| s * s).sum();
+    profile.iter().all(|&s| s >= 0.0)
+        && (sum - n).abs() <= 1e-9 * n.max(1.0)
+        && sumsq + 1e-9 * n.max(1.0) >= eps * n * n / 4.0
+}
+
+/// The "equal blocks" profile the paper warns is *not* always optimal:
+/// `1/ε′` non-zero entries of value `ε′·n`, with `ε′ = ε/4`.
+///
+/// Only exactly feasible when `1/ε′` is an integer — the paper rounds
+/// `ε` down to a power of `1/4` precisely so that it is.
+///
+/// # Panics
+/// Panics if `ε` is so large that no block fits.
+pub fn equal_blocks_profile(n: usize, eps: f64) -> Vec<f64> {
+    let eps_p = eps / 4.0;
+    let blocks = (1.0 / eps_p).round() as usize;
+    assert!(blocks >= 1, "eps too large");
+    let value = eps_p * n as f64;
+    let mut v = vec![value; blocks];
+    v.resize(n, 0.0);
+    v
+}
+
+/// The profile `s̃` of Eq. (5): one entry `√ε·n/2`, then
+/// `(1 − √ε/2)·n` ones, zeros elsewhere — the feasible point used to
+/// show the optimum has many non-zero entries.
+///
+/// The one-count is floored and the big entry absorbs the remainder,
+/// so `Σ s_i = n` holds exactly and the big entry is ≥ `√ε·n/2`
+/// (keeping constraint (1) satisfied) for any `n`, `ε`.
+pub fn tilde_profile(n: usize, eps: f64) -> Vec<f64> {
+    let ones = ((1.0 - eps.sqrt() / 2.0) * n as f64).floor() as usize;
+    let ones = ones.min(n.saturating_sub(1));
+    let big = (n - ones) as f64;
+    let mut v = Vec::with_capacity(n);
+    v.push(big);
+    v.extend(std::iter::repeat_n(1.0, ones));
+    v.resize(n, 0.0);
+    v
+}
+
+/// The Lemma 4 planted profile: one clique of `√(2ε)·n`, singletons
+/// elsewhere.
+pub fn planted_profile(n: usize, eps: f64) -> Vec<f64> {
+    let big = ((2.0 * eps).sqrt() * n as f64).ceil();
+    let singles = n as f64 - big;
+    assert!(singles >= 0.0, "clique exceeds n");
+    let mut v = Vec::with_capacity(n);
+    v.push(big);
+    v.extend(std::iter::repeat_n(1.0, singles as usize));
+    v.resize(n, 0.0);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_blocks_is_feasible() {
+        let n = 400;
+        let eps = 1.0 / 16.0; // ε′ = 1/64
+        let p = equal_blocks_profile(n, eps);
+        assert!(is_feasible(&p, n as f64, eps), "profile {p:?}");
+        // Exactly 64 non-zero blocks of 6.25 each.
+        assert_eq!(p.iter().filter(|&&x| x > 0.0).count(), 64);
+        assert!((p[0] - 6.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tilde_profile_matches_eq5() {
+        // The paper's Appendix C.3 example scale: n = 40, ε′ = 1/16
+        // means ε = 1/4 in the constraint Σs² ≥ ε n²/4 = ε′n².
+        let n = 40;
+        let eps = 0.25;
+        let p = tilde_profile(n, eps);
+        assert!((p[0] - 10.0).abs() < 1e-12); // √ε·n/2 = 0.5·40/2 = 10
+        let ones = p.iter().filter(|&&x| (x - 1.0).abs() < 1e-12).count();
+        assert_eq!(ones, 30); // (1−√ε/2)·n = 0.75·40 = 30
+        assert!(is_feasible(&p, n as f64, eps));
+    }
+
+    #[test]
+    fn planted_profile_feasible_and_bad() {
+        let n = 1000;
+        let eps = 0.01;
+        let p = planted_profile(n, eps);
+        let big = p[0];
+        assert!((big - (2.0f64 * eps).sqrt().mul_add(n as f64, 0.0).ceil()).abs() < 1e-9);
+        // Total mass n.
+        let total: f64 = p.iter().sum();
+        assert!((total - n as f64).abs() < 1e-9);
+        // Its unseparated pairs exceed ε·C(n,2) (Lemma 4's badness).
+        let unsep = big * (big - 1.0) / 2.0;
+        assert!(unsep > eps * (n as f64) * (n as f64 - 1.0) / 2.0);
+    }
+
+    #[test]
+    fn feasibility_rejects_wrong_mass_or_small_sumsq() {
+        assert!(!is_feasible(&[1.0, 1.0], 3.0, 0.1)); // wrong sum
+        // All-singleton profile: Σs² = n, constraint needs εn²/4 = 25·0.4.
+        let p = vec![1.0; 10];
+        assert!(!is_feasible(&p, 10.0, 0.9));
+        assert!(is_feasible(&p, 10.0, 0.1)); // 10 ≥ 0.1·100/4 = 2.5
+        assert!(!is_feasible(&[-1.0, 11.0], 10.0, 0.1)); // negative entry
+    }
+}

@@ -1,0 +1,242 @@
+//! Elementary symmetric polynomials and non-collision probabilities.
+
+/// Computes `e_0(v), …, e_r(v)` — the elementary symmetric polynomials —
+/// by the standard `O(|v|·r)` dynamic program
+/// `e_j ← e_j + v_i·e_{j−1}`.
+///
+/// This is the paper's `f_r(s) = Σ_{j_1<…<j_r} s_{j_1}⋯s_{j_r}`.
+pub fn elementary_symmetric(values: &[f64], r: usize) -> Vec<f64> {
+    let mut e = vec![0.0f64; r + 1];
+    e[0] = 1.0;
+    for &v in values {
+        // Descend so each value is used at most once.
+        for j in (1..=r).rev() {
+            e[j] += v * e[j - 1];
+        }
+    }
+    e
+}
+
+/// Non-collision probabilities for ball colors drawn from the
+/// multinomial `D_s` of a clique-size profile `s` (the paper's
+/// Section 2.1 notation `P_{r,D_s}(ξ)` and `P_{r,D_s,⋄}(ξ)`).
+#[derive(Clone, Debug)]
+pub struct NonCollision {
+    /// Normalised profile `p_i = s_i/n` (zeros removed).
+    probs: Vec<f64>,
+    /// `n = Σ s_i`.
+    n: f64,
+}
+
+impl NonCollision {
+    /// Creates the calculator for a profile `s` (entries are clique
+    /// sizes; zeros allowed and ignored).
+    ///
+    /// # Panics
+    /// Panics if the profile is empty, has a negative entry, or sums to
+    /// zero.
+    pub fn new(profile: &[f64]) -> Self {
+        assert!(!profile.is_empty(), "profile must be non-empty");
+        assert!(
+            profile.iter().all(|&s| s >= 0.0 && s.is_finite()),
+            "profile entries must be non-negative and finite"
+        );
+        let n: f64 = profile.iter().sum();
+        assert!(n > 0.0, "profile must have positive total mass");
+        let probs = profile
+            .iter()
+            .filter(|&&s| s > 0.0)
+            .map(|&s| s / n)
+            .collect();
+        NonCollision { probs, n }
+    }
+
+    /// The total mass `n`.
+    pub fn n(&self) -> f64 {
+        self.n
+    }
+
+    /// `P_{r,D_s}(ξ)` — probability that `r` balls drawn **with
+    /// replacement** all have distinct colors:
+    /// `r!/n^r · e_r(s) = r! · e_r(p)`.
+    pub fn with_replacement(&self, r: usize) -> f64 {
+        if r <= 1 {
+            return 1.0;
+        }
+        if r > self.probs.len() {
+            return 0.0; // pigeonhole on colors
+        }
+        let e = elementary_symmetric(&self.probs, r);
+        // r!·e_r(p): the running product stays ≤ 1 (it is a probability
+        // once all r factors are applied, and partial products of
+        // j!·e_r only grow toward it), so accumulate factorial directly.
+        let mut result = e[r];
+        for j in 1..=r {
+            result *= j as f64;
+        }
+        result.clamp(0.0, 1.0)
+    }
+
+    /// `P_{r,D_s,⋄}(ξ)` — non-collision when sampling **without
+    /// replacement** from the underlying `n` balls:
+    /// `P_⋄ = P_w · Π_{i=0}^{r−1} n/(n−i)`.
+    ///
+    /// # Panics
+    /// Panics if `r > n` (cannot draw that many distinct balls).
+    pub fn without_replacement(&self, r: usize) -> f64 {
+        if r <= 1 {
+            return 1.0;
+        }
+        assert!(
+            (r as f64) <= self.n,
+            "cannot draw {r} balls without replacement from n = {}",
+            self.n
+        );
+        let mut factor = 1.0f64;
+        for i in 0..r {
+            factor *= self.n / (self.n - i as f64);
+        }
+        (self.with_replacement(r) * factor).clamp(0.0, 1.0)
+    }
+
+    /// Claim 1's correction factor `n^r / (n·(n−1)⋯(n−r+1))`, with its
+    /// bound `≤ e^{r(r−1)/(n−r+1)}` — exposed so tests can check the
+    /// claim numerically.
+    pub fn replacement_correction(&self, r: usize) -> f64 {
+        let mut factor = 1.0f64;
+        for i in 0..r {
+            factor *= self.n / (self.n - i as f64);
+        }
+        factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_e_r(values: &[f64], r: usize) -> f64 {
+        // Exponential enumeration — test oracle only.
+        fn rec(values: &[f64], r: usize, start: usize) -> f64 {
+            if r == 0 {
+                return 1.0;
+            }
+            let mut total = 0.0;
+            for i in start..values.len() {
+                total += values[i] * rec(values, r - 1, i + 1);
+            }
+            total
+        }
+        rec(values, r, 0)
+    }
+
+    #[test]
+    fn dp_matches_naive_expansion() {
+        let vals = [2.0, 0.5, 3.0, 1.0, 4.0];
+        let e = elementary_symmetric(&vals, 5);
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..=5 {
+            let naive = naive_e_r(&vals, r);
+            assert!(
+                (e[r] - naive).abs() < 1e-9 * naive.abs().max(1.0),
+                "e_{r}: dp {} vs naive {naive}",
+                e[r]
+            );
+        }
+    }
+
+    #[test]
+    fn e0_is_one_er_beyond_len_zero() {
+        let e = elementary_symmetric(&[1.0, 2.0], 4);
+        assert_eq!(e[0], 1.0);
+        assert_eq!(e[3], 0.0);
+        assert_eq!(e[4], 0.0);
+    }
+
+    #[test]
+    fn uniform_profile_matches_birthday() {
+        // n balls of n distinct colors, uniform: with-replacement
+        // non-collision = ∏ (1 − i/n) — the classic birthday formula.
+        let n = 365usize;
+        let profile = vec![1.0f64; n];
+        let nc = NonCollision::new(&profile);
+        let p23 = nc.with_replacement(23);
+        let exact = qid_sampling::birthday::non_collision_prob_uniform(365, 23);
+        assert!(
+            (p23 - exact).abs() < 1e-9,
+            "symmetric-poly {p23} vs birthday {exact}"
+        );
+    }
+
+    #[test]
+    fn without_replacement_on_distinct_balls_is_one() {
+        // All clique sizes 1: sampling distinct balls never collides.
+        let nc = NonCollision::new(&vec![1.0; 50]);
+        for r in [2usize, 10, 50] {
+            let p = nc.without_replacement(r);
+            assert!((p - 1.0).abs() < 1e-9, "r={r}: {p}");
+        }
+    }
+
+    #[test]
+    fn one_big_clique_always_collides() {
+        let nc = NonCollision::new(&[10.0]);
+        assert_eq!(nc.with_replacement(2), 0.0);
+    }
+
+    #[test]
+    fn two_cliques_hand_computed() {
+        // s = (2, 2): n = 4. Two draws with replacement: P(different
+        // colors) = 2·(1/2)·(1/2) = 1/2.
+        let nc = NonCollision::new(&[2.0, 2.0]);
+        assert!((nc.with_replacement(2) - 0.5).abs() < 1e-12);
+        // Without replacement: P = 1/2 · (4²/(4·3)) = 2/3. Check by
+        // direct count: pick 2 of 4 balls, 4 cross pairs of C(4,2)=6.
+        assert!((nc.without_replacement(2) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn claim1_correction_bound() {
+        // Claim 1: the correction is ≤ e^{r(r−1)/(n−r+1)}.
+        for &(n, r) in &[(100usize, 10usize), (1000, 50), (50, 7)] {
+            let nc = NonCollision::new(&vec![1.0; n]);
+            let corr = nc.replacement_correction(r);
+            let bound = ((r * (r - 1)) as f64 / (n - r + 1) as f64).exp();
+            assert!(
+                corr <= bound + 1e-9,
+                "n={n} r={r}: correction {corr} > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_in_r() {
+        let nc = NonCollision::new(&[5.0, 3.0, 2.0, 2.0, 1.0, 1.0]);
+        let mut prev = 1.0;
+        for r in 2..=6 {
+            let p = nc.with_replacement(r);
+            assert!(p <= prev + 1e-12, "r={r}: {p} > {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn zeros_in_profile_ignored() {
+        let a = NonCollision::new(&[3.0, 0.0, 2.0, 0.0]);
+        let b = NonCollision::new(&[3.0, 2.0]);
+        assert!((a.with_replacement(2) - b.with_replacement(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total mass")]
+    fn zero_profile_rejected() {
+        let _ = NonCollision::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "without replacement")]
+    fn without_replacement_r_gt_n() {
+        let nc = NonCollision::new(&[2.0, 1.0]);
+        let _ = nc.without_replacement(4);
+    }
+}

@@ -1,0 +1,209 @@
+//! The auxiliary-graph view `G_A`.
+//!
+//! Section 2 of the paper: draw an edge between tuples `x_i, x_j`
+//! whenever the attribute set `A` fails to separate them. Because
+//! non-separation is transitive, `G_A` is a disjoint union of cliques,
+//! so `G_A` is fully described by its **clique-size profile** — the
+//! vector `s = (s_1, …)` of group sizes. Every probabilistic statement
+//! in the paper is a statement about this profile.
+
+use qid_dataset::{AttrId, Dataset};
+
+use crate::separation::group_sizes;
+
+/// The clique-size profile of an auxiliary graph `G_A`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliqueProfile {
+    /// Clique sizes, descending; singletons included.
+    sizes: Vec<usize>,
+    /// Total number of vertices `n = Σ sizes`.
+    n: usize,
+}
+
+impl CliqueProfile {
+    /// Builds the profile of `G_attrs` for a data set (exact, sort-based).
+    pub fn from_dataset(ds: &Dataset, attrs: &[AttrId]) -> Self {
+        Self::from_sizes(group_sizes(ds, attrs))
+    }
+
+    /// Builds a profile from raw group sizes.
+    ///
+    /// # Panics
+    /// Panics if any size is zero.
+    pub fn from_sizes(mut sizes: Vec<usize>) -> Self {
+        assert!(sizes.iter().all(|&s| s > 0), "clique sizes must be positive");
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let n = sizes.iter().sum();
+        CliqueProfile { sizes, n }
+    }
+
+    /// Total number of vertices (tuples).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Clique sizes in descending order.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Number of cliques (including singletons).
+    pub fn n_cliques(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Number of edges of `G_A` — the pairs `A` fails to separate:
+    /// `Γ_A = Σ C(s_i, 2)`.
+    pub fn unseparated_pairs(&self) -> u128 {
+        self.sizes
+            .iter()
+            .map(|&s| {
+                let s = s as u128;
+                s * (s - 1) / 2
+            })
+            .sum()
+    }
+
+    /// Number of pairs `A` separates.
+    pub fn separated_pairs(&self) -> u128 {
+        self.total_pairs() - self.unseparated_pairs()
+    }
+
+    /// `C(n, 2)`.
+    pub fn total_pairs(&self) -> u128 {
+        let n = self.n as u128;
+        n * n.saturating_sub(1) / 2
+    }
+
+    /// The separation ratio in `[0, 1]` (1 for keys; by convention 1 for
+    /// data sets with fewer than two tuples).
+    pub fn separation_ratio(&self) -> f64 {
+        let total = self.total_pairs();
+        if total == 0 {
+            return 1.0;
+        }
+        self.separated_pairs() as f64 / total as f64
+    }
+
+    /// Is the attribute set **bad** — separating fewer than
+    /// `(1−ε)·C(n,2)` pairs?
+    pub fn is_bad(&self, eps: f64) -> bool {
+        (self.unseparated_pairs() as f64) > eps * self.total_pairs() as f64
+    }
+
+    /// Is this a key (every pair separated)?
+    pub fn is_key(&self) -> bool {
+        self.unseparated_pairs() == 0
+    }
+
+    /// `Σ s_i²` — the quantity constrained by the paper's worst-case
+    /// optimisation (constraint (1): `Σ s_i² ≥ ε n²/4` for bad sets).
+    pub fn sum_squares(&self) -> u128 {
+        self.sizes.iter().map(|&s| (s as u128) * (s as u128)).sum()
+    }
+
+    /// Verifies the paper's derivation "`Γ_A ≥ ε C(n,2)` implies
+    /// `Σ s_i² ≥ ε n²/4` for sufficiently large n" for this profile.
+    pub fn satisfies_quadratic_constraint(&self, eps: f64) -> bool {
+        self.sum_squares() as f64 >= eps * (self.n as f64).powi(2) / 4.0
+    }
+
+    /// The probability that a single uniformly sampled vertex lands in a
+    /// clique of size ≥ 2 (used by the lower-bound analyses).
+    pub fn mass_in_nontrivial_cliques(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let covered: usize = self.sizes.iter().filter(|&&s| s >= 2).sum();
+        covered as f64 / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qid_dataset::{DatasetBuilder, Value};
+
+    fn profile(sizes: &[usize]) -> CliqueProfile {
+        CliqueProfile::from_sizes(sizes.to_vec())
+    }
+
+    #[test]
+    fn counts_and_ratios() {
+        let p = profile(&[3, 2, 1]);
+        assert_eq!(p.n(), 6);
+        assert_eq!(p.n_cliques(), 3);
+        assert_eq!(p.unseparated_pairs(), 3 + 1);
+        assert_eq!(p.total_pairs(), 15);
+        assert_eq!(p.separated_pairs(), 11);
+        assert!((p.separation_ratio() - 11.0 / 15.0).abs() < 1e-12);
+        assert_eq!(p.sum_squares(), 9 + 4 + 1);
+    }
+
+    #[test]
+    fn sizes_sorted_descending() {
+        let p = profile(&[1, 5, 3]);
+        assert_eq!(p.sizes(), &[5, 3, 1]);
+    }
+
+    #[test]
+    fn key_profile() {
+        let p = profile(&[1, 1, 1, 1]);
+        assert!(p.is_key());
+        assert!(!p.is_bad(0.0001));
+        assert_eq!(p.separation_ratio(), 1.0);
+        assert_eq!(p.mass_in_nontrivial_cliques(), 0.0);
+    }
+
+    #[test]
+    fn badness_threshold() {
+        // One clique of 2 in 10 vertices: 1 unseparated of 45 pairs.
+        let p = profile(&[2, 1, 1, 1, 1, 1, 1, 1, 1]);
+        assert!(p.is_bad(0.01)); // 1 > 0.45 pairs
+        assert!(!p.is_bad(0.05)); // 1 < 2.25 pairs
+    }
+
+    #[test]
+    fn from_dataset_matches_manual() {
+        let mut b = DatasetBuilder::new(["a"]);
+        for v in [1, 1, 2, 3, 3, 3] {
+            b.push_row([Value::Int(v)]).unwrap();
+        }
+        let ds = b.finish();
+        let p = CliqueProfile::from_dataset(&ds, &[AttrId::new(0)]);
+        assert_eq!(p.sizes(), &[3, 2, 1]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let p = CliqueProfile::from_sizes(vec![]);
+        assert_eq!(p.n(), 0);
+        assert!(p.is_key());
+        assert_eq!(p.separation_ratio(), 1.0);
+        let p = profile(&[1]);
+        assert_eq!(p.total_pairs(), 0);
+        assert_eq!(p.separation_ratio(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        let _ = profile(&[2, 0]);
+    }
+
+    #[test]
+    fn quadratic_constraint_from_badness() {
+        // Lemma derivation check: for a clearly bad profile the Σs²
+        // constraint holds.
+        let p = profile(&[50, 1, 1, 1, 1, 1, 1, 1, 1, 1]); // n=59
+        let eps = 0.2;
+        assert!(p.is_bad(eps));
+        assert!(p.satisfies_quadratic_constraint(eps));
+    }
+
+    #[test]
+    fn mass_in_nontrivial() {
+        let p = profile(&[4, 2, 1, 1, 1, 1]);
+        assert!((p.mass_in_nontrivial_cliques() - 0.6).abs() < 1e-12);
+    }
+}

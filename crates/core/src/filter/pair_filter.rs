@@ -1,0 +1,213 @@
+//! The Motwani–Xu pair-sampling filter (`Θ(m/ε)` samples) — the
+//! baseline this paper improves on.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qid_dataset::{AttrId, Dataset};
+use qid_sampling::pairs::PairSampler;
+
+use super::{FilterDecision, FilterParams, SeparationFilter};
+
+/// Motwani–Xu (2008): sample `R' = Θ(m/ε)` i.i.d. uniform *pairs* of
+/// tuples; reject `A` iff it fails to separate some sampled pair.
+///
+/// Correctness: a bad `A` separates each uniform pair with probability
+/// `< 1−ε`, so it survives all `|R'|` pairs with probability
+/// `≤ (1−ε)^{|R'|} ≤ e^{−ε|R'|} = e^{−Θ(m)}`; a union bound over `2^m`
+/// subsets gives the for-all guarantee. Query cost `O(|A| · s)` with
+/// early exit.
+///
+/// Storage layout: the `s` sampled pairs are kept as a single gathered
+/// mini data set of `2s` rows where pair `i` is rows `(i, s+i)` — codes
+/// stay comparable and the query is pure integer compares.
+#[derive(Clone, Debug)]
+pub struct PairSampleFilter {
+    pairs: Dataset,
+    s: usize,
+    params: FilterParams,
+}
+
+impl PairSampleFilter {
+    /// Builds the filter by sampling pairs from a materialised data set.
+    ///
+    /// # Panics
+    /// Panics if the data set has fewer than 2 rows (no pairs exist).
+    pub fn build(ds: &Dataset, params: FilterParams, seed: u64) -> Self {
+        assert!(
+            ds.n_rows() >= 2,
+            "pair filter needs at least 2 tuples, got {}",
+            ds.n_rows()
+        );
+        let s = params.pair_sample_size(ds.n_attrs());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sampler = PairSampler::new(ds.n_rows());
+        let drawn = sampler.with_replacement(&mut rng, s);
+        let mut rows = Vec::with_capacity(2 * s);
+        rows.extend(drawn.iter().map(|&(i, _)| i));
+        rows.extend(drawn.iter().map(|&(_, j)| j));
+        PairSampleFilter {
+            pairs: ds.gather(&rows),
+            s,
+            params,
+        }
+    }
+
+    /// Wraps an already-drawn pair sample laid out as `2s` rows with
+    /// pair `i` at rows `(i, s+i)` (used by the streaming builder).
+    ///
+    /// # Panics
+    /// Panics if the row count is odd.
+    pub fn from_pair_rows(pairs: Dataset, params: FilterParams) -> Self {
+        assert!(
+            pairs.n_rows().is_multiple_of(2),
+            "pair layout requires an even row count, got {}",
+            pairs.n_rows()
+        );
+        let s = pairs.n_rows() / 2;
+        PairSampleFilter { pairs, s, params }
+    }
+
+    /// The parameters used to size the sample.
+    pub fn params(&self) -> FilterParams {
+        self.params
+    }
+
+    /// The stored pairs as index pairs into [`Self::pair_rows`].
+    pub fn n_pairs(&self) -> usize {
+        self.s
+    }
+
+    /// The underlying `2s`-row mini data set.
+    pub fn pair_rows(&self) -> &Dataset {
+        &self.pairs
+    }
+}
+
+impl SeparationFilter for PairSampleFilter {
+    fn query(&self, attrs: &[AttrId]) -> FilterDecision {
+        if attrs.is_empty() {
+            // The empty set separates nothing.
+            return if self.s == 0 {
+                FilterDecision::Accept
+            } else {
+                FilterDecision::Reject
+            };
+        }
+        for i in 0..self.s {
+            if self.pairs.rows_agree_on(i, self.s + i, attrs) {
+                return FilterDecision::Reject;
+            }
+        }
+        FilterDecision::Accept
+    }
+
+    fn sample_size(&self) -> usize {
+        self.s
+    }
+
+    fn stored_bytes(&self) -> usize {
+        self.pairs.code_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "pair-sample (Motwani-Xu)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qid_dataset::{DatasetBuilder, Value};
+
+    fn attrs(ids: &[usize]) -> Vec<AttrId> {
+        ids.iter().map(|&i| AttrId::new(i)).collect()
+    }
+
+    fn fixture(n: usize) -> Dataset {
+        let mut b = DatasetBuilder::new(["id", "const", "half"]);
+        for i in 0..n {
+            b.push_row([
+                Value::Int(i as i64),
+                Value::Int(0),
+                Value::Int((i % 2) as i64),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn accepts_keys_always() {
+        let ds = fixture(300);
+        for seed in 0..10 {
+            let f = PairSampleFilter::build(&ds, FilterParams::new(0.01), seed);
+            assert_eq!(f.query(&attrs(&[0])), FilterDecision::Accept);
+            assert_eq!(f.query(&attrs(&[0, 2])), FilterDecision::Accept);
+        }
+    }
+
+    #[test]
+    fn rejects_very_bad_subsets() {
+        let ds = fixture(300);
+        for seed in 0..10 {
+            let f = PairSampleFilter::build(&ds, FilterParams::new(0.01), seed);
+            assert_eq!(f.query(&attrs(&[1])), FilterDecision::Reject);
+            assert_eq!(f.query(&attrs(&[2])), FilterDecision::Reject);
+        }
+    }
+
+    #[test]
+    fn sample_size_formula() {
+        let ds = fixture(100);
+        let f = PairSampleFilter::build(&ds, FilterParams::new(0.01), 1);
+        // m = 3, ε = 0.01 → 300 pairs, stored as 600 rows.
+        assert_eq!(f.sample_size(), 300);
+        assert_eq!(f.n_pairs(), 300);
+        assert_eq!(f.pair_rows().n_rows(), 600);
+        assert_eq!(f.stored_bytes(), 600 * 3 * 4);
+    }
+
+    #[test]
+    fn pairs_are_distinct_tuples() {
+        let ds = fixture(50);
+        let f = PairSampleFilter::build(&ds, FilterParams::new(0.05), 9);
+        // Every stored pair consists of two different source rows, so the
+        // key attribute always separates them.
+        assert_eq!(f.query(&attrs(&[0])), FilterDecision::Accept);
+    }
+
+    #[test]
+    fn empty_attr_set() {
+        let ds = fixture(20);
+        let f = PairSampleFilter::build(&ds, FilterParams::new(0.1), 2);
+        assert_eq!(f.query(&[]), FilterDecision::Reject);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let ds = fixture(100);
+        let a = PairSampleFilter::build(&ds, FilterParams::new(0.05), 5);
+        let b = PairSampleFilter::build(&ds, FilterParams::new(0.05), 5);
+        assert_eq!(
+            a.pair_rows().column(AttrId::new(0)).codes(),
+            b.pair_rows().column(AttrId::new(0)).codes()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 tuples")]
+    fn rejects_single_row_dataset() {
+        let mut b = DatasetBuilder::new(["a"]);
+        b.push_row([Value::Int(1)]).unwrap();
+        let ds = b.finish();
+        let _ = PairSampleFilter::build(&ds, FilterParams::new(0.1), 0);
+    }
+
+    #[test]
+    fn name_mentions_mx() {
+        let ds = fixture(10);
+        let f = PairSampleFilter::build(&ds, FilterParams::new(0.3), 0);
+        assert!(f.name().contains("Motwani"));
+    }
+}

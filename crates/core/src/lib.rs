@@ -1,0 +1,51 @@
+//! # qid-core — ε-separation keys, filters, and sketches
+//!
+//! The primary contribution of Hildebrant, Le, Ta and Vu, *"Towards
+//! Better Bounds for Finding Quasi-Identifiers"* (PODS 2023), implemented
+//! in full:
+//!
+//! * [`separation`] — the partition-refinement engine (Appendix B's
+//!   lookup table `P` and Algorithm 3) plus exact separation counting.
+//! * [`aux_graph`] — the auxiliary graph view `G_A`: every attribute set
+//!   induces a partition of the tuples into disjoint cliques; all of the
+//!   paper's probabilistic analysis happens on these clique-size
+//!   profiles.
+//! * [`filter`] — the ε-separation key filter problem (Theorem 1):
+//!   the Motwani–Xu pair-sampling filter (`Θ(m/ε)` samples) and this
+//!   paper's tuple-sampling filter (`Θ(m/√ε)` samples, Algorithm 1).
+//! * [`minkey`] — approximate minimum ε-separation keys (Proposition 1):
+//!   greedy set cover via partition refinement in `O(m³/√ε)`, the
+//!   Motwani–Xu baseline, exact brute force, and a minimal-key lattice
+//!   enumerator as an extension.
+//! * [`sketch`] — non-separation estimation (Theorem 2): the
+//!   `Θ(k log m/(α ε²))`-pair sketch and the Section 3.2 hard instance.
+//! * [`analysis`] — the paper's mathematics, executable: elementary
+//!   symmetric polynomials, non-collision probabilities (with/without
+//!   replacement, Claim 1), the KKT worst-case profile search (Lemma 1)
+//!   and the Appendix C.3 counter-example.
+//! * [`oracle`] — exact ground truth for testing and agreement
+//!   measurement.
+//! * [`stream`] — one-pass (streaming) builders for every sketch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod aux_graph;
+pub mod filter;
+pub mod masking;
+pub mod minkey;
+pub mod oracle;
+pub mod separation;
+pub mod sketch;
+pub mod stream;
+
+pub use aux_graph::CliqueProfile;
+pub use filter::{
+    FilterDecision, FilterParams, PairSampleFilter, SeparationFilter, TupleSampleFilter,
+};
+pub use minkey::{GreedyRefineMinKey, MinKeyResult, MxGreedyMinKey};
+pub use masking::{plan_masking, MaskingPlan};
+pub use oracle::ExactOracle;
+pub use separation::PartitionIndex;
+pub use sketch::{NonSeparationSketch, SketchAnswer, SketchParams};

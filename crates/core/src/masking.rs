@@ -1,0 +1,183 @@
+//! Masking: suppressing attributes until no small quasi-identifier
+//! remains.
+//!
+//! The companion problem of Motwani–Xu's original paper ("masking and
+//! finding quasi-identifiers") and the operational endpoint of the
+//! paper's privacy motivation: once the audit finds small ε-separation
+//! keys, the publisher must *destroy* them before release. This module
+//! implements greedy suppression: repeatedly find the current small
+//! quasi-identifier (on a `Θ(m/√ε)` sample, so the loop never touches
+//! all `C(n,2)` pairs) and suppress its highest-gain attribute, until
+//! every remaining ε-separation key is larger than the adversary's
+//! budget.
+
+use qid_dataset::{AttrId, Dataset};
+
+use crate::filter::FilterParams;
+use crate::minkey::greedy_refine::GreedyRefineMinKey;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The outcome of a masking run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaskingPlan {
+    /// Attributes to suppress before release, in suppression order.
+    pub suppressed: Vec<AttrId>,
+    /// Attributes that survive.
+    pub released: Vec<AttrId>,
+    /// The smallest ε-separation key found among the released
+    /// attributes at termination (`None` if none exists — the released
+    /// view no longer identifies anyone).
+    pub residual_key_size: Option<usize>,
+}
+
+/// Greedily suppresses attributes until every ε-separation key of the
+/// (sampled) released view has more than `adversary_budget` attributes,
+/// or nothing identifying remains.
+///
+/// Heuristic: at each round run the Proposition 1 greedy on the sample
+/// restricted to the released attributes; if the found key fits the
+/// adversary's budget, suppress the key's first pick (the single most
+/// separating attribute) and repeat. Each round is `O(m²·|R|)`.
+///
+/// # Panics
+/// Panics if `adversary_budget == 0`.
+pub fn plan_masking(
+    ds: &Dataset,
+    params: FilterParams,
+    adversary_budget: usize,
+    seed: u64,
+) -> MaskingPlan {
+    assert!(adversary_budget >= 1, "adversary budget must be positive");
+    let m = ds.n_attrs();
+    let r = params.tuple_sample_size(m).min(ds.n_rows());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = qid_sampling::swor::sample_indices(&mut rng, ds.n_rows(), r);
+    let sample = ds.gather(&rows);
+
+    let mut released: Vec<AttrId> = ds.all_attrs();
+    let mut suppressed: Vec<AttrId> = Vec::new();
+
+    loop {
+        if released.is_empty() {
+            return MaskingPlan {
+                suppressed,
+                released,
+                residual_key_size: None,
+            };
+        }
+        let view = sample.project(&released);
+        // Chase *quasi*-keys: an attribute set that separates a
+        // (1−ε)-fraction of sampled pairs re-identifies nearly everyone
+        // even if it collides somewhere in the sample.
+        let result = GreedyRefineMinKey::run_on_sample_with_slack(&view, params.eps);
+        if !result.complete {
+            // Even all released attributes cannot ε-separate the
+            // sample: no quasi-identifier remains at all.
+            return MaskingPlan {
+                suppressed,
+                released,
+                residual_key_size: None,
+            };
+        }
+        if result.key_size() > adversary_budget {
+            return MaskingPlan {
+                suppressed,
+                released,
+                residual_key_size: Some(result.key_size()),
+            };
+        }
+        // The greedy's first pick is the most separating attribute of
+        // the found key — suppress it (translate view index → original).
+        let victim_in_view = result.attrs[0];
+        let victim = released[victim_in_view.index()];
+        released.retain(|&a| a != victim);
+        suppressed.push(victim);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qid_dataset::{DatasetBuilder, Value};
+
+    use crate::minkey::greedy_refine::GreedyRefineMinKey;
+
+    fn fixture() -> Dataset {
+        // id is a 1-attribute key; (a, b) is a 2-attribute key; c is
+        // weak noise.
+        let mut b = DatasetBuilder::new(["id", "a", "b", "c"]);
+        for i in 0..64i64 {
+            b.push_row([
+                Value::Int(i),
+                Value::Int(i / 8),
+                Value::Int(i % 8),
+                Value::Int(i % 2),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn masks_singleton_key_with_budget_one() {
+        let ds = fixture();
+        let plan = plan_masking(&ds, FilterParams::new(0.01), 1, 3);
+        // id must be suppressed (it is a 1-attribute QI); afterwards no
+        // single attribute is a key, so budget 1 is satisfied.
+        assert!(plan.suppressed.contains(&AttrId::new(0)));
+        assert!(plan.residual_key_size.is_none_or(|s| s > 1));
+    }
+
+    #[test]
+    fn budget_two_removes_pair_keys_too() {
+        let ds = fixture();
+        let plan = plan_masking(&ds, FilterParams::new(0.01), 2, 3);
+        // After suppressing id and one of (a, b), no ≤2-attribute key
+        // remains on the sample.
+        assert!(plan.suppressed.len() >= 2);
+        let view = ds.project(&plan.released);
+        let residual = GreedyRefineMinKey::run_on_sample(&view);
+        assert!(
+            !residual.complete || residual.key_size() > 2,
+            "released view still has a small key: {:?}",
+            residual.attrs
+        );
+    }
+
+    #[test]
+    fn harmless_data_released_untouched() {
+        // Two indistinct attributes: nothing identifies anyone.
+        let mut b = DatasetBuilder::new(["x", "y"]);
+        for i in 0..32i64 {
+            b.push_row([Value::Int(i % 2), Value::Int(i % 2)]).unwrap();
+        }
+        let ds = b.finish();
+        let plan = plan_masking(&ds, FilterParams::new(0.05), 2, 1);
+        assert!(plan.suppressed.is_empty());
+        assert_eq!(plan.released.len(), 2);
+        assert_eq!(plan.residual_key_size, None);
+    }
+
+    #[test]
+    fn suppress_everything_if_every_attr_identifies() {
+        // Every attribute alone is a key.
+        let mut b = DatasetBuilder::new(["p", "q"]);
+        for i in 0..16i64 {
+            b.push_row([Value::Int(i), Value::Int(-i)]).unwrap();
+        }
+        let ds = b.finish();
+        let plan = plan_masking(&ds, FilterParams::new(0.05), 1, 1);
+        assert_eq!(plan.suppressed.len(), 2);
+        assert!(plan.released.is_empty());
+        assert_eq!(plan.residual_key_size, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn zero_budget_rejected() {
+        let ds = fixture();
+        let _ = plan_masking(&ds, FilterParams::new(0.1), 0, 1);
+    }
+}

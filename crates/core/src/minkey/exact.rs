@@ -1,0 +1,171 @@
+//! Brute-force (`γ = 1`) minimum keys via exact set cover.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qid_dataset::{AttrId, Dataset};
+use qid_sampling::pairs::rank_pair;
+use qid_sampling::swor::sample_indices;
+use qid_setcover::{exact_cover, BitSet, SetCoverInstance};
+
+use crate::filter::FilterParams;
+
+/// The exact minimum key of a (small) data set: the smallest attribute
+/// set separating **all** pairs, or `None` if identical tuples make a
+/// key impossible.
+///
+/// Builds the explicit set-cover instance over all `C(n,2)` pairs and
+/// solves it exactly — `2^{O(m)}` worst case (the paper's `γ = 1`
+/// brute-force route, whose point is that on a *sample* of
+/// `O(m/√ε)` tuples the ground set is small enough to afford this).
+pub fn exact_min_key(ds: &Dataset) -> Option<Vec<AttrId>> {
+    let n = ds.n_rows();
+    let m = ds.n_attrs();
+    if n < 2 {
+        return Some(Vec::new());
+    }
+    let universe = usize::try_from(ds.n_pairs()).expect("pair universe too large");
+    let mut sets = Vec::with_capacity(m);
+    for k in 0..m {
+        let col = ds.column(AttrId::new(k));
+        let mut covered = BitSet::new(universe);
+        for j in 1..n {
+            for i in 0..j {
+                if col.code(i) != col.code(j) {
+                    covered.insert(rank_pair(i, j) as usize);
+                }
+            }
+        }
+        sets.push(covered);
+    }
+    let inst = SetCoverInstance::new(universe, sets);
+    exact_cover(&inst).map(|chosen| chosen.into_iter().map(AttrId::new).collect())
+}
+
+/// Proposition 1's `γ = 1` variant: sample `Θ(m/√ε)` tuples and find
+/// the **exact** minimum key of the sample. With probability
+/// `≥ 1 − e^{−m}` the result is an ε-separation key of the full data
+/// set no larger than the true minimum key.
+pub fn exact_min_key_sampled(
+    ds: &Dataset,
+    params: FilterParams,
+    seed: u64,
+) -> Option<Vec<AttrId>> {
+    let r = params.tuple_sample_size(ds.n_attrs()).min(ds.n_rows());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = sample_indices(&mut rng, ds.n_rows(), r);
+    exact_min_key(&ds.gather(&rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qid_dataset::{DatasetBuilder, Value};
+
+    use crate::minkey::greedy_refine::GreedyRefineMinKey;
+    use crate::separation::is_key;
+
+    #[test]
+    fn exact_beats_or_matches_greedy() {
+        // Adversarial instance: greedy picks the "big" attribute first
+        // and needs 3; the optimum is 2.
+        // Attribute layout over 8 rows:
+        //   big  separates most pairs but leaves (0,1) and (6,7);
+        //   p    separates (0,1) and the left half from right;
+        //   q    separates (6,7) and complements p.
+        let mut b = DatasetBuilder::new(["big", "p", "q"]);
+        let rows = [
+            // (big, p, q)
+            (0, 0, 0),
+            (0, 1, 0),
+            (1, 2, 1),
+            (2, 2, 2),
+            (3, 3, 3),
+            (4, 3, 4),
+            (5, 4, 5),
+            (5, 5, 5),
+        ];
+        for (x, y, z) in rows {
+            b.push_row([Value::Int(x), Value::Int(y), Value::Int(z)])
+                .unwrap();
+        }
+        let ds = b.finish();
+        let exact = exact_min_key(&ds).unwrap();
+        assert!(is_key(&ds, &exact));
+        let greedy = GreedyRefineMinKey::run_on_sample(&ds);
+        assert!(greedy.complete);
+        assert!(exact.len() <= greedy.key_size());
+    }
+
+    #[test]
+    fn no_key_when_duplicates() {
+        let mut b = DatasetBuilder::new(["a", "b"]);
+        b.push_row([Value::Int(1), Value::Int(2)]).unwrap();
+        b.push_row([Value::Int(1), Value::Int(2)]).unwrap();
+        let ds = b.finish();
+        assert_eq!(exact_min_key(&ds), None);
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let empty = DatasetBuilder::new(["a"]).finish();
+        assert_eq!(exact_min_key(&empty), Some(vec![]));
+        let mut b = DatasetBuilder::new(["a"]);
+        b.push_row([Value::Int(1)]).unwrap();
+        assert_eq!(exact_min_key(&b.finish()), Some(vec![]));
+    }
+
+    #[test]
+    fn single_attribute_key_found() {
+        let mut b = DatasetBuilder::new(["c", "id"]);
+        for i in 0..10i64 {
+            b.push_row([Value::Int(0), Value::Int(i)]).unwrap();
+        }
+        let ds = b.finish();
+        assert_eq!(exact_min_key(&ds), Some(vec![AttrId::new(1)]));
+    }
+
+    #[test]
+    fn sampled_variant_returns_valid_eps_key() {
+        // id is the unique minimum key; the sampled exact search must
+        // find a key of size 1 on its sample.
+        let mut b = DatasetBuilder::new(["noise", "id"]);
+        for i in 0..500i64 {
+            b.push_row([Value::Int(i % 3), Value::Int(i)]).unwrap();
+        }
+        let ds = b.finish();
+        let key = exact_min_key_sampled(&ds, FilterParams::new(0.01), 5).unwrap();
+        assert_eq!(key, vec![AttrId::new(1)]);
+    }
+
+    #[test]
+    fn exact_is_minimum_by_exhaustion() {
+        // Cross-check against explicit subset enumeration on a small m.
+        let mut b = DatasetBuilder::new(["a", "b", "c"]);
+        let rows = [
+            (0, 0, 0),
+            (0, 1, 1),
+            (1, 0, 1),
+            (1, 1, 0),
+            (0, 0, 1),
+        ];
+        for (x, y, z) in rows {
+            b.push_row([Value::Int(x), Value::Int(y), Value::Int(z)])
+                .unwrap();
+        }
+        let ds = b.finish();
+        let exact = exact_min_key(&ds);
+
+        let mut best: Option<usize> = None;
+        for mask in 0u32..8 {
+            let attrs: Vec<AttrId> = (0..3)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(AttrId::new)
+                .collect();
+            if is_key(&ds, &attrs) {
+                best = Some(best.map_or(attrs.len(), |b| b.min(attrs.len())));
+            }
+        }
+        assert_eq!(exact.map(|k| k.len()), best);
+    }
+}

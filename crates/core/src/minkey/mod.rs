@@ -1,0 +1,64 @@
+//! Approximate minimum ε-separation keys (the paper's Proposition 1).
+//!
+//! Pipeline: sample a set `R` of tuples (or pairs), pose the set-cover
+//! instance whose ground set is the sampled pairs and whose sets are the
+//! attributes, and solve it:
+//!
+//! * [`GreedyRefineMinKey`] — **this paper's** `O(m³/√ε)` algorithm:
+//!   greedy set cover over the implicit ground set `C(R,2)`, driven by
+//!   partition refinement with the precomputed lookup table
+//!   (Appendix B, Algorithms 2+3). Approximation `γ = O(ln m / ε)`.
+//! * [`MxGreedyMinKey`] — the Motwani–Xu baseline: greedy over `Θ(m/ε)`
+//!   explicitly sampled pairs (`O(m³/ε)` time).
+//! * [`exact`] — brute-force `γ = 1` minimum key on the sample.
+//! * [`lattice`] — extension: enumerate **all minimal keys** of a data
+//!   set (unique column combination discovery), Apriori-style.
+
+pub mod exact;
+pub mod greedy_refine;
+pub mod lattice;
+pub mod mx_greedy;
+
+pub use exact::{exact_min_key, exact_min_key_sampled};
+pub use greedy_refine::GreedyRefineMinKey;
+pub use lattice::{enumerate_minimal_keys, LatticeConfig};
+pub use mx_greedy::MxGreedyMinKey;
+
+use qid_dataset::AttrId;
+
+/// The outcome of a minimum-key search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinKeyResult {
+    /// Chosen attributes, in pick order.
+    pub attrs: Vec<AttrId>,
+    /// True iff the chosen set separates **all** sampled pairs. `false`
+    /// means the sample contains fully identical tuples (the data set
+    /// has no key at all on that sample).
+    pub complete: bool,
+    /// Number of sampled tuples (for [`GreedyRefineMinKey`]) or pairs
+    /// (for [`MxGreedyMinKey`]) the search ran on.
+    pub sample_size: usize,
+}
+
+impl MinKeyResult {
+    /// The size of the found key.
+    pub fn key_size(&self) -> usize {
+        self.attrs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_accessors() {
+        let r = MinKeyResult {
+            attrs: vec![AttrId::new(1), AttrId::new(3)],
+            complete: true,
+            sample_size: 10,
+        };
+        assert_eq!(r.key_size(), 2);
+        assert!(r.complete);
+    }
+}

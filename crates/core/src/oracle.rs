@@ -1,0 +1,173 @@
+//! Exact ground truth for separation queries.
+
+use qid_dataset::{AttrId, Dataset};
+
+use crate::filter::FilterDecision;
+use crate::separation::{separated_pairs, unseparated_pairs};
+
+/// The exact classification of an attribute subset at a given `ε`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OracleClass {
+    /// Separates all pairs — the filter **must** accept.
+    Key,
+    /// Separates fewer than `(1−ε)·C(n,2)` pairs — the filter **must**
+    /// reject.
+    Bad,
+    /// In between — both answers are correct.
+    Intermediate,
+}
+
+/// Computes exact separation statistics by full partitioning —
+/// `O(|A|·n log n)` per query. Used for testing, agreement measurement,
+/// and as the degenerate "filter" when a sample would exceed the data.
+#[derive(Clone, Copy, Debug)]
+pub struct ExactOracle<'a> {
+    ds: &'a Dataset,
+}
+
+impl<'a> ExactOracle<'a> {
+    /// Wraps a data set.
+    pub fn new(ds: &'a Dataset) -> Self {
+        ExactOracle { ds }
+    }
+
+    /// The exact number of pairs `attrs` fails to separate (`Γ_A`).
+    pub fn unseparated(&self, attrs: &[AttrId]) -> u128 {
+        unseparated_pairs(self.ds, attrs)
+    }
+
+    /// The exact number of pairs `attrs` separates.
+    pub fn separated(&self, attrs: &[AttrId]) -> u128 {
+        separated_pairs(self.ds, attrs)
+    }
+
+    /// The separation ratio in `[0, 1]` (1 when there are < 2 rows).
+    pub fn separation_ratio(&self, attrs: &[AttrId]) -> f64 {
+        let total = self.ds.n_pairs();
+        if total == 0 {
+            return 1.0;
+        }
+        self.separated(attrs) as f64 / total as f64
+    }
+
+    /// True iff `attrs` is a key.
+    pub fn is_key(&self, attrs: &[AttrId]) -> bool {
+        self.unseparated(attrs) == 0
+    }
+
+    /// True iff `attrs` is bad at slack `ε`.
+    pub fn is_bad(&self, attrs: &[AttrId], eps: f64) -> bool {
+        self.unseparated(attrs) as f64 > eps * self.ds.n_pairs() as f64
+    }
+
+    /// Classifies `attrs` into the three-way taxonomy of the filter
+    /// problem.
+    pub fn classify(&self, attrs: &[AttrId], eps: f64) -> OracleClass {
+        let unsep = self.unseparated(attrs);
+        if unsep == 0 {
+            OracleClass::Key
+        } else if unsep as f64 > eps * self.ds.n_pairs() as f64 {
+            OracleClass::Bad
+        } else {
+            OracleClass::Intermediate
+        }
+    }
+
+    /// Is `decision` a *correct* answer for `attrs` under the filter
+    /// problem's semantics? (Keys must be accepted, bad sets rejected,
+    /// intermediate sets are free.)
+    pub fn decision_correct(
+        &self,
+        attrs: &[AttrId],
+        eps: f64,
+        decision: FilterDecision,
+    ) -> bool {
+        match self.classify(attrs, eps) {
+            OracleClass::Key => decision == FilterDecision::Accept,
+            OracleClass::Bad => decision == FilterDecision::Reject,
+            OracleClass::Intermediate => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qid_dataset::{DatasetBuilder, Value};
+
+    fn attrs(ids: &[usize]) -> Vec<AttrId> {
+        ids.iter().map(|&i| AttrId::new(i)).collect()
+    }
+
+    fn fixture() -> Dataset {
+        // 10 rows: id key, const, 9+1 split.
+        let mut b = DatasetBuilder::new(["id", "const", "skew"]);
+        for i in 0..10 {
+            b.push_row([
+                Value::Int(i),
+                Value::Int(0),
+                Value::Int(i64::from(i == 9)),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn exact_counts() {
+        let ds = fixture();
+        let o = ExactOracle::new(&ds);
+        assert_eq!(o.unseparated(&attrs(&[0])), 0);
+        assert_eq!(o.unseparated(&attrs(&[1])), 45);
+        // skew: clique of 9 → C(9,2)=36.
+        assert_eq!(o.unseparated(&attrs(&[2])), 36);
+        assert_eq!(o.separated(&attrs(&[2])), 9);
+    }
+
+    #[test]
+    fn classification() {
+        let ds = fixture();
+        let o = ExactOracle::new(&ds);
+        assert_eq!(o.classify(&attrs(&[0]), 0.1), OracleClass::Key);
+        assert_eq!(o.classify(&attrs(&[1]), 0.1), OracleClass::Bad);
+        // skew has ratio 9/45 = 0.2 separated → unsep ratio 0.8: bad at
+        // eps=0.5, intermediate at eps=0.9.
+        assert_eq!(o.classify(&attrs(&[2]), 0.5), OracleClass::Bad);
+        assert_eq!(o.classify(&attrs(&[2]), 0.9), OracleClass::Intermediate);
+    }
+
+    #[test]
+    fn decision_correctness_semantics() {
+        let ds = fixture();
+        let o = ExactOracle::new(&ds);
+        let eps = 0.1;
+        assert!(o.decision_correct(&attrs(&[0]), eps, FilterDecision::Accept));
+        assert!(!o.decision_correct(&attrs(&[0]), eps, FilterDecision::Reject));
+        assert!(o.decision_correct(&attrs(&[1]), eps, FilterDecision::Reject));
+        assert!(!o.decision_correct(&attrs(&[1]), eps, FilterDecision::Accept));
+        // Intermediate: anything goes.
+        assert!(o.decision_correct(&attrs(&[2]), 0.9, FilterDecision::Accept));
+        assert!(o.decision_correct(&attrs(&[2]), 0.9, FilterDecision::Reject));
+    }
+
+    #[test]
+    fn ratio_bounds() {
+        let ds = fixture();
+        let o = ExactOracle::new(&ds);
+        assert_eq!(o.separation_ratio(&attrs(&[0])), 1.0);
+        assert_eq!(o.separation_ratio(&attrs(&[1])), 0.0);
+        let r = o.separation_ratio(&attrs(&[2]));
+        assert!((r - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_row_is_trivially_keyed() {
+        let mut b = DatasetBuilder::new(["a"]);
+        b.push_row([Value::Int(1)]).unwrap();
+        let ds = b.finish();
+        let o = ExactOracle::new(&ds);
+        assert!(o.is_key(&attrs(&[0])));
+        assert_eq!(o.separation_ratio(&attrs(&[0])), 1.0);
+        assert_eq!(o.classify(&attrs(&[0]), 0.5), OracleClass::Key);
+    }
+}

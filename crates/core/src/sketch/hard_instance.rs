@@ -1,0 +1,209 @@
+//! The Section 3.2 lower-bound construction.
+//!
+//! To prove the `Ω(mk·log(1/ε))` sketch-size lower bound the paper
+//! embeds an Index-style communication problem into non-separation
+//! estimation: Alice holds a `kt × m` bit matrix `C` whose every column
+//! has exactly `k` ones; the data set is the `2n × (m+n)` matrix
+//! (`n = kt`)
+//!
+//! ```text
+//!       ⎡ C │ I_n ⎤
+//!   M = ⎢───┼─────⎥
+//!       ⎣ D │  0  ⎦      D = all-ones
+//! ```
+//!
+//! Bob reconstructs a column `c` of `C` by querying
+//! `A = {c} ∪ {m+r_1, …, m+r_k}` for guesses `R = {r_1 … r_k}` and
+//! reading `Γ_A` off the estimate: with `u` correct guesses, **Lemma 6**
+//! gives the exact closed form
+//!
+//! ```text
+//!   Γ_A = (t² − t + 5/2)·k² − (t − 1/2)·k + u² − 3ku .
+//! ```
+//!
+//! This module materialises `M` as a [`Dataset`] and exposes the Lemma 6
+//! formula, so tests can verify the paper's combinatorics *exactly* and
+//! benches can stress the sketch on its own hard instance.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qid_dataset::{Dataset, DatasetBuilder, Value};
+use qid_sampling::swor::sample_indices;
+
+/// Draws a random `kt × m` bit matrix in which every column has exactly
+/// `k` ones — the distribution `D` of the lower-bound proof. Returned
+/// column-major: `matrix[col][row]`.
+///
+/// # Panics
+/// Panics if `k == 0` or `t == 0`.
+pub fn random_index_matrix(m: usize, k: usize, t: usize, seed: u64) -> Vec<Vec<bool>> {
+    assert!(k > 0 && t > 0, "need k, t >= 1");
+    let n = k * t;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| {
+            let mut col = vec![false; n];
+            for one in sample_indices(&mut rng, n, k) {
+                col[one] = true;
+            }
+            col
+        })
+        .collect()
+}
+
+/// Builds the `2n × (m+n)` data set `M` from a column-major bit matrix
+/// whose columns each hold exactly `k` ones (`n = rows of C`).
+///
+/// # Panics
+/// Panics if the columns have inconsistent lengths or there are no
+/// columns/rows.
+pub fn index_matrix_dataset(c_columns: &[Vec<bool>]) -> Dataset {
+    assert!(!c_columns.is_empty(), "need at least one column");
+    let n = c_columns[0].len();
+    assert!(n > 0, "need at least one row");
+    assert!(
+        c_columns.iter().all(|c| c.len() == n),
+        "ragged bit matrix"
+    );
+    let m = c_columns.len();
+
+    let names: Vec<String> = (0..m)
+        .map(|j| format!("c{j}"))
+        .chain((0..n).map(|r| format!("e{r}")))
+        .collect();
+    let mut b = DatasetBuilder::new(names);
+    // Upper half: [C | I_n].
+    #[allow(clippy::needless_range_loop)] // r is simultaneously a row id
+    for r in 0..n {
+        let mut row: Vec<Value> = Vec::with_capacity(m + n);
+        row.extend((0..m).map(|j| Value::Int(i64::from(c_columns[j][r]))));
+        row.extend((0..n).map(|e| Value::Int(i64::from(e == r))));
+        b.push_row(row).expect("fixed arity");
+    }
+    // Lower half: [1 | 0].
+    for _ in 0..n {
+        let mut row: Vec<Value> = Vec::with_capacity(m + n);
+        row.extend((0..m).map(|_| Value::Int(1)));
+        row.extend((0..n).map(|_| Value::Int(0)));
+        b.push_row(row).expect("fixed arity");
+    }
+    b.finish()
+}
+
+/// Lemma 6's exact non-separation count for a guess with `u` correct
+/// rows: `Γ_A = (t²−t+5/2)k² − (t−1/2)k + u² − 3ku`.
+///
+/// # Panics
+/// Panics if `u > k`.
+pub fn gamma_for_guess(k: usize, t: usize, u: usize) -> u128 {
+    assert!(u <= k, "cannot guess more than k rows correctly");
+    let (k, t, u) = (k as i128, t as i128, u as i128);
+    // Multiply the paper's half-integer coefficients by 2 to stay in
+    // integers: 2Γ = (2t²−2t+5)k² − (2t−1)k + 2u² − 6ku.
+    let twice = (2 * t * t - 2 * t + 5) * k * k - (2 * t - 1) * k + 2 * u * u - 6 * k * u;
+    debug_assert!(twice >= 0 && twice % 2 == 0, "Lemma 6 must yield an integer");
+    (twice / 2) as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qid_dataset::AttrId;
+
+    use crate::separation::unseparated_pairs;
+
+    /// Exhaustively verify Lemma 6: for every column and every guess
+    /// size, the dataset's true Γ_A equals the closed form.
+    #[test]
+    fn lemma6_exact_formula_holds() {
+        let (m, k, t) = (3usize, 2usize, 3usize);
+        let n = k * t;
+        let c = random_index_matrix(m, k, t, 42);
+        let ds = index_matrix_dataset(&c);
+        assert_eq!(ds.n_rows(), 2 * n);
+        assert_eq!(ds.n_attrs(), m + n);
+
+        #[allow(clippy::needless_range_loop)] // col doubles as the AttrId payload
+        for col in 0..m {
+            let ones: Vec<usize> = (0..n).filter(|&r| c[col][r]).collect();
+            let zeros: Vec<usize> = (0..n).filter(|&r| !c[col][r]).collect();
+            assert_eq!(ones.len(), k);
+
+            // Guess sets with u = 0..=k correct rows.
+            for u in 0..=k {
+                let mut guess: Vec<usize> = ones[..u].to_vec();
+                guess.extend(zeros[..k - u].iter().copied());
+                let attrs: Vec<AttrId> = std::iter::once(AttrId::new(col))
+                    .chain(guess.iter().map(|&r| AttrId::new(m + r)))
+                    .collect();
+                let exact = unseparated_pairs(&ds, &attrs);
+                let formula = gamma_for_guess(k, t, u);
+                assert_eq!(
+                    exact, formula,
+                    "col {col}, u={u}: dataset {exact} vs Lemma6 {formula}"
+                );
+            }
+        }
+    }
+
+    /// The paper's tiny worked example (k=1, t=2) from our derivation.
+    #[test]
+    fn lemma6_k1_t2() {
+        assert_eq!(gamma_for_guess(1, 2, 1), 1);
+        assert_eq!(gamma_for_guess(1, 2, 0), 3);
+    }
+
+    #[test]
+    fn gamma_decreasing_in_u() {
+        // Expression is decreasing for u ≤ 3k/2, hence on all of 0..=k.
+        for (k, t) in [(2usize, 3usize), (4, 5), (3, 10)] {
+            let mut prev = gamma_for_guess(k, t, 0);
+            for u in 1..=k {
+                let g = gamma_for_guess(k, t, u);
+                assert!(g < prev, "Γ must strictly decrease (k={k},t={t},u={u})");
+                prev = g;
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_gap_separates_good_guesses() {
+        // Section 3.2's decoding condition: the u=k value is strictly
+        // below the u ≤ 0.9k values with a relative gap the sketch can
+        // resolve with eps < 11/(200t²−200t+11).
+        let (k, t) = (10usize, 4usize);
+        let perfect = gamma_for_guess(k, t, k) as f64;
+        let near = gamma_for_guess(k, t, (9 * k) / 10) as f64;
+        assert!(near / perfect > 1.0, "gap must exist");
+    }
+
+    #[test]
+    fn matrix_respects_column_weights() {
+        let c = random_index_matrix(5, 3, 4, 7);
+        assert_eq!(c.len(), 5);
+        for col in &c {
+            assert_eq!(col.len(), 12);
+            assert_eq!(col.iter().filter(|&&b| b).count(), 3);
+        }
+    }
+
+    #[test]
+    fn identity_block_is_a_key_for_upper_half() {
+        let c = random_index_matrix(2, 1, 2, 1);
+        let ds = index_matrix_dataset(&c);
+        let n = 2;
+        // The identity columns together separate all upper-half rows
+        // from each other, but not the lower-half rows among themselves.
+        let id_attrs: Vec<AttrId> = (0..n).map(|r| AttrId::new(2 + r)).collect();
+        let gamma = unseparated_pairs(&ds, &id_attrs);
+        // Lower half: n identical-on-A rows → C(n,2) unseparated.
+        assert_eq!(gamma, (n as u128) * (n as u128 - 1) / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_rejected() {
+        let _ = index_matrix_dataset(&[vec![true], vec![true, false]]);
+    }
+}

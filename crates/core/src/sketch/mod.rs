@@ -1,0 +1,138 @@
+//! Non-separation estimation (the paper's Theorem 2 and Section 3).
+//!
+//! Given parameters `(α, ε, k)`, a sketch must answer, for **every**
+//! attribute subset `A` with `|A| ≤ k`: if `Γ_A ≥ α·C(n,2)` return an
+//! estimate `Γ̂_A ∈ (1±ε)·Γ_A`, otherwise it may answer "small".
+//!
+//! * [`NonSeparationSketch`] — the upper bound: `Θ(k log m / (α ε²))`
+//!   uniformly sampled pairs (Section 3.1).
+//! * [`hard_instance`] — the Section 3.2 lower-bound construction (the
+//!   Index-matrix data set and the exact `Γ_A` formula of Lemma 6),
+//!   used to stress-test the sketch at its information-theoretic limit.
+
+pub mod hard_instance;
+mod nonsep;
+
+pub use hard_instance::{gamma_for_guess, index_matrix_dataset, random_index_matrix};
+pub use nonsep::NonSeparationSketch;
+
+/// A sketch's answer to one subset query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SketchAnswer {
+    /// `Γ_A` is large enough to matter; here is a `(1±ε)` estimate.
+    Estimate(f64),
+    /// The subset's non-separation count is below the `α`-threshold.
+    Small,
+}
+
+impl SketchAnswer {
+    /// The estimate, if one was produced.
+    pub fn estimate(self) -> Option<f64> {
+        match self {
+            SketchAnswer::Estimate(v) => Some(v),
+            SketchAnswer::Small => None,
+        }
+    }
+}
+
+/// Parameters of the non-separation sketch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SketchParams {
+    /// Density threshold: estimates are only promised when
+    /// `Γ_A ≥ α·C(n,2)`.
+    pub alpha: f64,
+    /// Relative accuracy of the estimate.
+    pub eps: f64,
+    /// Maximum query subset size.
+    pub k: usize,
+    /// Scales the sample size (the paper's constant `K`).
+    pub multiplier: f64,
+}
+
+impl SketchParams {
+    /// Creates parameters with multiplier 1.
+    ///
+    /// # Panics
+    /// Panics unless `α ∈ (0,1)`, `ε ∈ (0,1)`, `k ≥ 1`.
+    pub fn new(alpha: f64, eps: f64, k: usize) -> Self {
+        Self::with_multiplier(alpha, eps, k, 1.0)
+    }
+
+    /// Creates parameters with an explicit multiplier.
+    ///
+    /// # Panics
+    /// Panics unless `α ∈ (0,1)`, `ε ∈ (0,1)`, `k ≥ 1`,
+    /// `multiplier > 0`.
+    pub fn with_multiplier(alpha: f64, eps: f64, k: usize, multiplier: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1), got {eps}");
+        assert!(k >= 1, "k must be at least 1");
+        assert!(
+            multiplier > 0.0 && multiplier.is_finite(),
+            "multiplier must be positive and finite"
+        );
+        SketchParams {
+            alpha,
+            eps,
+            k,
+            multiplier,
+        }
+    }
+
+    /// Section 3.1's sample size: `⌈K · k·log m / (α ε²)⌉` pairs (log
+    /// clamped below at 1 so tiny schemas still sample).
+    pub fn pair_sample_size(&self, m: usize) -> usize {
+        let log_m = (m as f64).ln().max(1.0);
+        (self.multiplier * self.k as f64 * log_m / (self.alpha * self.eps * self.eps)).ceil()
+            as usize
+    }
+
+    /// The "small" cut-off on the raw count `D_A` (the paper's
+    /// `K·k·log m / (10 ε²)`, i.e. `α·s/10` at sample size `s`).
+    pub fn small_threshold(&self, sample_size: usize) -> f64 {
+        self.alpha * sample_size as f64 / 10.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_size_scales_as_theorem() {
+        let p = SketchParams::new(0.25, 0.1, 4);
+        let s1 = p.pair_sample_size(100);
+        // Doubling k doubles the sample (up to ceil rounding).
+        let p2 = SketchParams::new(0.25, 0.1, 8);
+        let diff = p2.pair_sample_size(100) as i64 - 2 * s1 as i64;
+        assert!(diff.abs() <= 1, "k-scaling off by {diff}");
+        // Halving eps quadruples it.
+        let p3 = SketchParams::new(0.25, 0.05, 4);
+        let ratio = p3.pair_sample_size(100) as f64 / s1 as f64;
+        assert!((3.9..4.1).contains(&ratio));
+    }
+
+    #[test]
+    fn small_threshold_is_alpha_tenth() {
+        let p = SketchParams::new(0.2, 0.1, 2);
+        assert!((p.small_threshold(1000) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn answer_accessor() {
+        assert_eq!(SketchAnswer::Estimate(3.0).estimate(), Some(3.0));
+        assert_eq!(SketchAnswer::Small.estimate(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_alpha_one() {
+        let _ = SketchParams::new(1.0, 0.1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn rejects_zero_k() {
+        let _ = SketchParams::new(0.5, 0.1, 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! The Section 3.1 sketch: uniform pair sampling.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qid_dataset::{AttrId, Dataset};
+use qid_sampling::pairs::PairSampler;
+
+use super::{SketchAnswer, SketchParams};
+
+/// Every unordered pair of `0..n` (used when the requested sample
+/// covers the whole universe).
+fn all_pairs(n: usize) -> Vec<(usize, usize)> {
+    let mut v = Vec::with_capacity(n * (n - 1) / 2);
+    for j in 1..n {
+        for i in 0..j {
+            v.push((i, j));
+        }
+    }
+    v
+}
+
+/// The non-separation estimation sketch of Theorem 2 (upper bound).
+///
+/// Stores `s = Θ(k·log m/(α ε²))` i.i.d. uniform tuple pairs. On query
+/// `A`, it counts the stored pairs `D_A` that `A` fails to separate:
+///
+/// * `D_A < α·s/10` → [`SketchAnswer::Small`];
+/// * otherwise → `Γ̂_A = D_A · C(n,2)/s`, which is within `(1±ε)·Γ_A`
+///   for every `|A| ≤ k` with probability `≥ 1 − m^{−Ω(k)}` (Chernoff +
+///   union bound over the `≤ m^{k}+1` subsets).
+#[derive(Clone, Debug)]
+pub struct NonSeparationSketch {
+    /// 2s-row layout; pair `i` is rows `(i, s+i)`.
+    pairs: Dataset,
+    s: usize,
+    /// `C(n,2)` of the source data set (the estimate's scale factor).
+    source_pairs: u128,
+    params: SketchParams,
+}
+
+impl NonSeparationSketch {
+    /// Builds the sketch from a materialised data set.
+    ///
+    /// If the requested sample would exceed the `C(n,2)` pair universe
+    /// (tiny data sets, aggressive parameters), every pair is stored
+    /// exactly once instead — the sketch degenerates to exact counting
+    /// and never exceeds the data in size.
+    ///
+    /// # Panics
+    /// Panics if the data set has fewer than 2 rows.
+    pub fn build(ds: &Dataset, params: SketchParams, seed: u64) -> Self {
+        assert!(
+            ds.n_rows() >= 2,
+            "sketch needs at least 2 tuples, got {}",
+            ds.n_rows()
+        );
+        let s = params.pair_sample_size(ds.n_attrs());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sampler = PairSampler::new(ds.n_rows());
+        let drawn = if (s as u128) >= sampler.universe() {
+            all_pairs(ds.n_rows())
+        } else {
+            sampler.with_replacement(&mut rng, s)
+        };
+        let s = drawn.len();
+        let mut rows = Vec::with_capacity(2 * s);
+        rows.extend(drawn.iter().map(|&(i, _)| i));
+        rows.extend(drawn.iter().map(|&(_, j)| j));
+        NonSeparationSketch {
+            pairs: ds.gather(&rows),
+            s,
+            source_pairs: ds.n_pairs(),
+            params,
+        }
+    }
+
+    /// Wraps an already-drawn pair sample laid out as `2s` rows with
+    /// pair `i` at rows `(i, s+i)`; `source_rows` is the `n` of the
+    /// stream the pairs were drawn from (used by the streaming builder).
+    ///
+    /// # Panics
+    /// Panics if the row count is odd.
+    pub fn from_pair_rows(pairs: Dataset, source_rows: usize, params: SketchParams) -> Self {
+        assert!(
+            pairs.n_rows().is_multiple_of(2),
+            "pair layout requires an even row count, got {}",
+            pairs.n_rows()
+        );
+        let s = pairs.n_rows() / 2;
+        let n = source_rows as u128;
+        NonSeparationSketch {
+            pairs,
+            s,
+            source_pairs: n * n.saturating_sub(1) / 2,
+            params,
+        }
+    }
+
+    /// Number of stored pairs `s`.
+    pub fn sample_size(&self) -> usize {
+        self.s
+    }
+
+    /// The parameters the sketch was built with.
+    pub fn params(&self) -> SketchParams {
+        self.params
+    }
+
+    /// Approximate resident size in bytes.
+    pub fn stored_bytes(&self) -> usize {
+        self.pairs.code_bytes()
+    }
+
+    /// The raw count `D_A`: stored pairs not separated by `attrs`.
+    pub fn raw_count(&self, attrs: &[AttrId]) -> usize {
+        (0..self.s)
+            .filter(|&i| self.pairs.rows_agree_on(i, self.s + i, attrs))
+            .count()
+    }
+
+    /// Answers one query.
+    ///
+    /// The guarantee covers `|attrs| ≤ k`; larger subsets are answered
+    /// on a best-effort basis (the estimate is still unbiased, only the
+    /// for-all union bound weakens).
+    pub fn query(&self, attrs: &[AttrId]) -> SketchAnswer {
+        let d = self.raw_count(attrs) as f64;
+        if d < self.params.small_threshold(self.s) {
+            return SketchAnswer::Small;
+        }
+        SketchAnswer::Estimate(d / self.s as f64 * self.source_pairs as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qid_dataset::{DatasetBuilder, Value};
+
+    use crate::separation::unseparated_pairs;
+
+    fn attrs(ids: &[usize]) -> Vec<AttrId> {
+        ids.iter().map(|&i| AttrId::new(i)).collect()
+    }
+
+    /// id key, constant, and a half/half split.
+    fn fixture(n: usize) -> Dataset {
+        let mut b = DatasetBuilder::new(["id", "const", "half"]);
+        for i in 0..n {
+            b.push_row([
+                Value::Int(i as i64),
+                Value::Int(0),
+                Value::Int((i % 2) as i64),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn estimates_dense_subsets_accurately() {
+        let ds = fixture(400);
+        let params = SketchParams::new(0.25, 0.1, 2);
+        let sk = NonSeparationSketch::build(&ds, params, 3);
+
+        // const: Γ = C(400,2), ratio 1 — well above α.
+        let exact = unseparated_pairs(&ds, &attrs(&[1])) as f64;
+        let est = sk.query(&attrs(&[1])).estimate().expect("dense subset");
+        assert!(
+            (est - exact).abs() / exact < 0.1,
+            "estimate {est} vs exact {exact}"
+        );
+
+        // half: Γ ≈ C(n,2)/2 — still dense.
+        let exact = unseparated_pairs(&ds, &attrs(&[2])) as f64;
+        let est = sk.query(&attrs(&[2])).estimate().expect("dense subset");
+        assert!(
+            (est - exact).abs() / exact < 0.15,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn keys_answer_small() {
+        let ds = fixture(400);
+        let sk = NonSeparationSketch::build(&ds, SketchParams::new(0.25, 0.1, 2), 4);
+        assert_eq!(sk.query(&attrs(&[0])), SketchAnswer::Small);
+        assert_eq!(sk.query(&attrs(&[0, 2])), SketchAnswer::Small);
+        assert_eq!(sk.raw_count(&attrs(&[0])), 0);
+    }
+
+    #[test]
+    fn sample_size_matches_params() {
+        let ds = fixture(100);
+        let params = SketchParams::new(0.2, 0.2, 3);
+        let sk = NonSeparationSketch::build(&ds, params, 0);
+        assert_eq!(sk.sample_size(), params.pair_sample_size(3));
+        assert_eq!(sk.stored_bytes(), 2 * sk.sample_size() * 3 * 4);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let ds = fixture(200);
+        let p = SketchParams::new(0.25, 0.15, 2);
+        let a = NonSeparationSketch::build(&ds, p, 9);
+        let b = NonSeparationSketch::build(&ds, p, 9);
+        assert_eq!(a.raw_count(&attrs(&[2])), b.raw_count(&attrs(&[2])));
+    }
+
+    #[test]
+    fn empty_attr_set_counts_everything() {
+        let ds = fixture(100);
+        let sk = NonSeparationSketch::build(&ds, SketchParams::new(0.25, 0.1, 2), 1);
+        // The empty set separates nothing: D = s, estimate = C(n,2).
+        assert_eq!(sk.raw_count(&[]), sk.sample_size());
+        let est = sk.query(&[]).estimate().unwrap();
+        assert!((est - ds.n_pairs() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerates_to_exact_on_tiny_data() {
+        // 10 rows but parameters asking for thousands of pairs: the
+        // sketch stores each of the C(10,2) = 45 pairs once and answers
+        // exactly.
+        let ds = fixture(10);
+        let params = SketchParams::new(0.1, 0.05, 3);
+        assert!(params.pair_sample_size(3) > 45);
+        let sk = NonSeparationSketch::build(&ds, params, 2);
+        assert_eq!(sk.sample_size(), 45);
+        let exact = unseparated_pairs(&ds, &attrs(&[2])) as f64;
+        let est = sk.query(&attrs(&[2])).estimate().unwrap();
+        assert!((est - exact).abs() < 1e-9, "exact mode must be exact");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 tuples")]
+    fn rejects_tiny_dataset() {
+        let mut b = DatasetBuilder::new(["a"]);
+        b.push_row([Value::Int(0)]).unwrap();
+        let _ = NonSeparationSketch::build(&b.finish(), SketchParams::new(0.5, 0.5, 1), 0);
+    }
+}

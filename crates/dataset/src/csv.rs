@@ -1,0 +1,405 @@
+//! Minimal CSV reader/writer (RFC-4180 quoting, type inference).
+//!
+//! Implemented in-crate so the library has no I/O dependencies; it is
+//! enough to load the UCI Adult / Covtype files the paper evaluates on
+//! when they are available locally, and to round-trip our synthetic
+//! data sets.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::builder::DatasetBuilder;
+use crate::dataset::Dataset;
+use crate::error::DatasetError;
+use crate::schema::AttrId;
+use crate::symbol::Interner;
+use crate::value::Value;
+
+/// Options controlling CSV parsing.
+#[derive(Clone, Debug)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: u8,
+    /// Whether the first record is a header row (default `true`).
+    pub has_header: bool,
+    /// Strings parsed as [`Value::Null`] (default: empty string and `"?"`,
+    /// the UCI missing-value convention).
+    pub null_tokens: Vec<String>,
+    /// Whether to trim ASCII whitespace around unquoted fields (default
+    /// `true`; UCI files pad fields after commas).
+    pub trim: bool,
+    /// Attempt numeric type inference (default `true`). When `false`,
+    /// every non-null field becomes [`Value::Text`].
+    pub infer_types: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: b',',
+            has_header: true,
+            null_tokens: vec![String::new(), "?".to_string()],
+            trim: true,
+            infer_types: true,
+        }
+    }
+}
+
+/// Splits one logical CSV record (which may span multiple physical lines
+/// when quotes contain newlines) into fields.
+struct RecordReader<R: BufRead> {
+    reader: R,
+    delimiter: u8,
+    line: usize,
+}
+
+impl<R: BufRead> RecordReader<R> {
+    fn new(reader: R, delimiter: u8) -> Self {
+        RecordReader {
+            reader,
+            delimiter,
+            line: 0,
+        }
+    }
+
+    /// Reads the next record; `Ok(None)` at EOF.
+    fn next_record(&mut self) -> Result<Option<Vec<String>>, DatasetError> {
+        let mut raw = String::new();
+        let n = self.reader.read_line(&mut raw)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        self.line += 1;
+        // Keep reading physical lines while inside an unterminated quote.
+        while count_quotes(&raw) % 2 == 1 {
+            let mut cont = String::new();
+            let n = self.reader.read_line(&mut cont)?;
+            if n == 0 {
+                return Err(DatasetError::Csv {
+                    line: self.line,
+                    message: "unterminated quoted field at end of input".into(),
+                });
+            }
+            self.line += 1;
+            raw.push_str(&cont);
+        }
+        let record = parse_record(trim_newline(&raw), self.delimiter, self.line)?;
+        Ok(Some(record))
+    }
+}
+
+fn count_quotes(s: &str) -> usize {
+    s.bytes().filter(|&b| b == b'"').count()
+}
+
+fn trim_newline(s: &str) -> &str {
+    s.strip_suffix('\n')
+        .map(|s| s.strip_suffix('\r').unwrap_or(s))
+        .unwrap_or(s)
+}
+
+/// Parses a single logical record into unquoted fields.
+fn parse_record(line: &str, delimiter: u8, line_no: usize) -> Result<Vec<String>, DatasetError> {
+    let bytes = line.as_bytes();
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut i = 0usize;
+    let mut in_quotes = false;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_quotes {
+            if b == b'"' {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'"' {
+                    field.push('"');
+                    i += 2;
+                    continue;
+                }
+                in_quotes = false;
+                i += 1;
+            } else {
+                // Multi-byte UTF-8 is copied byte-wise; `field` is built
+                // from valid UTF-8 slices below.
+                let ch_len = utf8_len(b);
+                field.push_str(&line[i..i + ch_len]);
+                i += ch_len;
+            }
+        } else if b == b'"' {
+            if field.chars().all(|c| c.is_ascii_whitespace()) {
+                // Tolerate padding before an opening quote (`a, "x"`).
+                field.clear();
+            } else {
+                return Err(DatasetError::Csv {
+                    line: line_no,
+                    message: "quote in the middle of an unquoted field".into(),
+                });
+            }
+            in_quotes = true;
+            i += 1;
+        } else if b == delimiter {
+            fields.push(std::mem::take(&mut field));
+            i += 1;
+        } else {
+            let ch_len = utf8_len(b);
+            field.push_str(&line[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    if in_quotes {
+        return Err(DatasetError::Csv {
+            line: line_no,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+fn field_to_value(field: &str, opts: &CsvOptions, interner: &mut Interner) -> Value {
+    let field = if opts.trim { field.trim() } else { field };
+    if opts.null_tokens.iter().any(|t| t == field) {
+        return Value::Null;
+    }
+    if opts.infer_types {
+        if let Ok(i) = field.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = field.parse::<f64>() {
+            return Value::float(f);
+        }
+    }
+    Value::Text(interner.intern(field))
+}
+
+/// Reads a CSV data set from any reader.
+pub fn read_csv<R: Read>(reader: R, opts: &CsvOptions) -> Result<Dataset, DatasetError> {
+    let mut records = RecordReader::new(BufReader::new(reader), opts.delimiter);
+    let mut interner = Interner::new();
+
+    let first = match records.next_record()? {
+        Some(r) => r,
+        None => return Ok(DatasetBuilder::new(Vec::<String>::new()).finish()),
+    };
+
+    let (names, mut pending): (Vec<String>, Option<Vec<String>>) = if opts.has_header {
+        (
+            first
+                .into_iter()
+                .map(|f| if opts.trim { f.trim().to_string() } else { f })
+                .collect(),
+            None,
+        )
+    } else {
+        (
+            (0..first.len()).map(|i| format!("col{i}")).collect(),
+            Some(first),
+        )
+    };
+
+    let mut builder = DatasetBuilder::new(names);
+    loop {
+        let record = match pending.take() {
+            Some(r) => r,
+            None => match records.next_record()? {
+                Some(r) => r,
+                None => break,
+            },
+        };
+        // Tolerate a trailing blank line.
+        if record.len() == 1 && record[0].trim().is_empty() && builder.n_attrs() != 1 {
+            continue;
+        }
+        builder.push_row(
+            record
+                .iter()
+                .map(|f| field_to_value(f, opts, &mut interner)),
+        )?;
+    }
+    Ok(builder.finish())
+}
+
+/// Reads a CSV data set from a file path.
+pub fn read_csv_path(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<Dataset, DatasetError> {
+    read_csv(File::open(path)?, opts)
+}
+
+/// Reads a CSV data set from an in-memory string.
+pub fn read_csv_str(data: &str, opts: &CsvOptions) -> Result<Dataset, DatasetError> {
+    read_csv(data.as_bytes(), opts)
+}
+
+/// Writes a data set as CSV (always with a header row; fields are quoted
+/// only when necessary).
+pub fn write_csv<W: Write>(ds: &Dataset, mut w: W) -> io::Result<()> {
+    let names: Vec<&str> = ds.schema().names().collect();
+    write_record(&mut w, names.iter().copied())?;
+    for row in 0..ds.n_rows() {
+        let fields: Vec<String> = (0..ds.n_attrs())
+            .map(|a| ds.value(row, AttrId::new(a)).to_string())
+            .collect();
+        write_record(&mut w, fields.iter().map(|s| s.as_str()))?;
+    }
+    Ok(())
+}
+
+fn write_record<'a, W: Write>(
+    w: &mut W,
+    fields: impl Iterator<Item = &'a str>,
+) -> io::Result<()> {
+    let mut first = true;
+    for f in fields {
+        if !first {
+            w.write_all(b",")?;
+        }
+        first = false;
+        if f.contains(['"', ',', '\n', '\r']) {
+            let escaped = f.replace('"', "\"\"");
+            write!(w, "\"{escaped}\"")?;
+        } else {
+            w.write_all(f.as_bytes())?;
+        }
+    }
+    w.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    #[test]
+    fn basic_parse_with_header() {
+        let ds = read_csv_str("a,b\n1,x\n2,y\n", &CsvOptions::default()).unwrap();
+        assert_eq!(ds.n_rows(), 2);
+        assert_eq!(ds.n_attrs(), 2);
+        assert_eq!(ds.schema().attr(0.into()).name(), "a");
+        assert_eq!(ds.value(0, 0.into()), &Value::Int(1));
+        assert_eq!(ds.value(1, 1.into()), &Value::text("y"));
+    }
+
+    #[test]
+    fn headerless_parse() {
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let ds = read_csv_str("1,x\n2,y\n", &opts).unwrap();
+        assert_eq!(ds.n_rows(), 2);
+        assert_eq!(ds.schema().attr(0.into()).name(), "col0");
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let ds = read_csv_str("a,b\n\"hi, there\",\"say \"\"what\"\"\"\n", &CsvOptions::default())
+            .unwrap();
+        assert_eq!(ds.value(0, 0.into()), &Value::text("hi, there"));
+        assert_eq!(ds.value(0, 1.into()), &Value::text("say \"what\""));
+    }
+
+    #[test]
+    fn quoted_newline_inside_field() {
+        let ds = read_csv_str("a,b\n\"line1\nline2\",3\n", &CsvOptions::default()).unwrap();
+        assert_eq!(ds.n_rows(), 1);
+        assert_eq!(ds.value(0, 0.into()), &Value::text("line1\nline2"));
+        assert_eq!(ds.value(0, 1.into()), &Value::Int(3));
+    }
+
+    #[test]
+    fn uci_missing_values_and_padding() {
+        let ds = read_csv_str("age,job\n39, State-gov\n50, ?\n", &CsvOptions::default()).unwrap();
+        assert_eq!(ds.value(0, 1.into()), &Value::text("State-gov"));
+        assert_eq!(ds.value(1, 1.into()), &Value::Null);
+        assert_eq!(ds.schema().attr(0.into()).dtype(), DataType::Int);
+    }
+
+    #[test]
+    fn float_inference() {
+        let ds = read_csv_str("x\n1.5\n-2.25\n", &CsvOptions::default()).unwrap();
+        assert_eq!(ds.schema().attr(0.into()).dtype(), DataType::Float);
+        assert_eq!(ds.value(0, 0.into()), &Value::float(1.5));
+    }
+
+    #[test]
+    fn no_inference_when_disabled() {
+        let opts = CsvOptions {
+            infer_types: false,
+            ..CsvOptions::default()
+        };
+        let ds = read_csv_str("x\n42\n", &opts).unwrap();
+        assert_eq!(ds.value(0, 0.into()), &Value::text("42"));
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let ds = read_csv_str("a,b\r\n1,2\r\n", &CsvOptions::default()).unwrap();
+        assert_eq!(ds.n_rows(), 1);
+        assert_eq!(ds.value(0, 1.into()), &Value::Int(2));
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let err = read_csv_str("a\n\"oops\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, DatasetError::Csv { .. }));
+    }
+
+    #[test]
+    fn stray_quote_is_error() {
+        let err = read_csv_str("a\nab\"c\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, DatasetError::Csv { .. }));
+    }
+
+    #[test]
+    fn ragged_row_is_error() {
+        let err = read_csv_str("a,b\n1\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, DatasetError::RowArity { .. }));
+    }
+
+    #[test]
+    fn empty_input() {
+        let ds = read_csv_str("", &CsvOptions::default()).unwrap();
+        assert_eq!(ds.n_rows(), 0);
+        assert_eq!(ds.n_attrs(), 0);
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let ds = read_csv_str(
+            "name,score\n\"comma, inc\",3\nplain,4\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        write_csv(&ds, &mut out).unwrap();
+        let back = read_csv_str(std::str::from_utf8(&out).unwrap(), &CsvOptions::default())
+            .unwrap();
+        assert_eq!(back.n_rows(), ds.n_rows());
+        assert_eq!(back.value(0, 0.into()), &Value::text("comma, inc"));
+        assert_eq!(back.value(1, 1.into()), &Value::Int(4));
+    }
+
+    #[test]
+    fn semicolon_delimiter() {
+        let opts = CsvOptions {
+            delimiter: b';',
+            ..CsvOptions::default()
+        };
+        let ds = read_csv_str("a;b\n1;2\n", &opts).unwrap();
+        assert_eq!(ds.value(0, 1.into()), &Value::Int(2));
+    }
+
+    #[test]
+    fn unicode_fields() {
+        let ds = read_csv_str("a\nnaïve\n\"héllo, wörld\"\n", &CsvOptions::default()).unwrap();
+        assert_eq!(ds.value(0, 0.into()), &Value::text("naïve"));
+        assert_eq!(ds.value(1, 0.into()), &Value::text("héllo, wörld"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types for data-set construction and I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors arising while building, parsing, or generating data sets.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// A pushed row had the wrong number of values.
+    RowArity {
+        /// Zero-based index of the offending row.
+        row: usize,
+        /// Expected number of values (the attribute count).
+        expected: usize,
+        /// Number of values actually supplied.
+        got: usize,
+    },
+    /// A column accumulated more than `u32::MAX` distinct values.
+    DictionaryOverflow(String),
+    /// CSV input was malformed.
+    Csv {
+        /// One-based line number of the offending record.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A generator was configured with impossible parameters.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::RowArity { row, expected, got } => write!(
+                f,
+                "row {row}: expected {expected} values, got {got}"
+            ),
+            DatasetError::DictionaryOverflow(col) => write!(
+                f,
+                "column {col:?}: more than u32::MAX distinct values"
+            ),
+            DatasetError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
+            DatasetError::Io(e) => write!(f, "io error: {e}"),
+            DatasetError::InvalidSpec(msg) => write!(f, "invalid generator spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DatasetError {
+    fn from(e: io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DatasetError::RowArity {
+            row: 3,
+            expected: 2,
+            got: 5,
+        };
+        assert_eq!(e.to_string(), "row 3: expected 2 values, got 5");
+        let e = DatasetError::Csv {
+            line: 7,
+            message: "unterminated quote".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let e = DatasetError::InvalidSpec("cardinality 0".into());
+        assert!(e.to_string().contains("cardinality 0"));
+    }
+
+    #[test]
+    fn io_error_source_chain() {
+        let inner = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e = DatasetError::from(inner);
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

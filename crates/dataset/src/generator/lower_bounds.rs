@@ -1,0 +1,257 @@
+//! The adversarial constructions behind the paper's lower bounds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::builder::DatasetBuilder;
+use crate::dataset::Dataset;
+use crate::value::Value;
+
+/// The grid data set `D = {1, …, q}^m` from the proof of **Lemma 3**
+/// (the `Ω(√(log m / ε))` lower bound for constant failure probability).
+///
+/// `D` has `q^m` rows — far too many to materialise — but the proof only
+/// ever *samples* from it, and sampling a uniform tuple is sampling each
+/// coordinate i.i.d. uniform on `{0, …, q−1}`. This type keeps the data
+/// set implicit and exposes exactly that sampling operation.
+///
+/// Key properties (proved in Appendix C.1, validated in tests here):
+/// every singleton attribute set is *bad* for `ε ≈ 1/q`, because its
+/// auxiliary graph consists of `q` cliques of size `q^(m−1)`.
+#[derive(Clone, Copy, Debug)]
+pub struct GridDataset {
+    q: u64,
+    m: usize,
+}
+
+impl GridDataset {
+    /// Creates the implicit grid data set `[q]^m`.
+    ///
+    /// # Panics
+    /// Panics if `q == 0` or `m == 0`.
+    pub fn new(q: u64, m: usize) -> Self {
+        assert!(q > 0, "grid base q must be positive");
+        assert!(m > 0, "grid dimension m must be positive");
+        GridDataset { q, m }
+    }
+
+    /// The per-coordinate alphabet size `q` (≈ `1/ε`).
+    pub fn q(&self) -> u64 {
+        self.q
+    }
+
+    /// The number of attributes `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The (implicit) number of rows `q^m`, saturating at `u128::MAX`.
+    pub fn n_rows(&self) -> u128 {
+        let mut n: u128 = 1;
+        for _ in 0..self.m {
+            n = n.saturating_mul(self.q as u128);
+        }
+        n
+    }
+
+    /// The separation shortfall of every singleton attribute set: a
+    /// single coordinate partitions the rows into `q` equal cliques, so
+    /// it fails to separate a `((q^(m-1) - 1) / (q^m - 1))`-fraction of
+    /// pairs — about `1/q`. Singletons are `ε`-bad for any
+    /// `ε` below this value.
+    pub fn singleton_unseparated_fraction(&self) -> f64 {
+        let n = self.n_rows() as f64;
+        let clique = n / self.q as f64;
+        (clique - 1.0) / (n - 1.0)
+    }
+
+    /// Samples one uniform tuple (each coordinate i.i.d. uniform).
+    pub fn sample_tuple<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u64> {
+        (0..self.m).map(|_| rng.random_range(0..self.q)).collect()
+    }
+
+    /// Samples `r` tuples i.i.d. (sampling **with replacement** from the
+    /// implicit data set — exactly the model of Appendix C.1) and
+    /// materialises them as a [`Dataset`] for downstream algorithms.
+    pub fn sample(&self, r: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let names: Vec<String> = (0..self.m).map(|i| format!("x{i}")).collect();
+        let mut b = DatasetBuilder::new(names);
+        for _ in 0..r {
+            let t = self.sample_tuple(&mut rng);
+            b.push_row(t.into_iter().map(|v| Value::Int(v as i64)))
+                .expect("grid tuples have fixed arity");
+        }
+        b.finish()
+    }
+}
+
+/// The planted-clique data set from the proof of **Lemma 4** (the
+/// `Ω(m/√ε)` lower bound for failure probability `e^−m`).
+///
+/// Construction (Appendix C.2): coordinate 0 takes a single value on
+/// `⌈√(2ε)·n⌉` rows (one big clique in the auxiliary graph `G_{0}`) and
+/// pairwise-distinct values elsewhere (isolated vertices); coordinate 1
+/// is a row id so that a key exists; remaining coordinates are random
+/// bits. Rejecting the bad singleton `{0}` requires sampling two rows of
+/// the big clique, which needs `Ω(m/√ε)` uniform samples.
+///
+/// # Panics
+/// Panics if `ε` is outside `(0, 1/2]`, `m < 2`, or the clique would not
+/// fit (`√(2ε)·n < 2`).
+pub fn planted_clique(n: usize, m: usize, eps: f64, seed: u64) -> Dataset {
+    assert!(eps > 0.0 && eps <= 0.5, "eps must be in (0, 1/2], got {eps}");
+    assert!(m >= 2, "need at least 2 attributes (clique + key)");
+    let clique = ((2.0 * eps).sqrt() * n as f64).ceil() as usize;
+    assert!(
+        (2..=n).contains(&clique),
+        "clique size {clique} infeasible for n = {n}"
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Randomly choose which rows belong to the big clique, so samplers
+    // cannot exploit row order.
+    let mut rows: Vec<usize> = (0..n).collect();
+    // Partial Fisher–Yates: the first `clique` entries become the clique.
+    for i in 0..clique {
+        let j = rng.random_range(i..n);
+        rows.swap(i, j);
+    }
+    let mut coord0 = vec![0i64; n];
+    let mut next_distinct = 1i64;
+    let mut in_clique = vec![false; n];
+    for &r in &rows[..clique] {
+        in_clique[r] = true;
+    }
+    for (r, c0) in coord0.iter_mut().enumerate() {
+        if !in_clique[r] {
+            *c0 = next_distinct;
+            next_distinct += 1;
+        }
+    }
+
+    let names: Vec<String> = (0..m).map(|i| format!("x{i}")).collect();
+    let mut b = DatasetBuilder::new(names);
+    for (r, &c0) in coord0.iter().enumerate() {
+        let mut row = Vec::with_capacity(m);
+        row.push(Value::Int(c0));
+        row.push(Value::Int(r as i64)); // coordinate 1: a perfect key
+        for _ in 2..m {
+            row.push(Value::Int(i64::from(rng.random_bool(0.5))));
+        }
+        b.push_row(row).expect("planted rows have fixed arity");
+    }
+    b.finish()
+}
+
+/// The size of the planted clique for given `(n, ε)` — exposed so
+/// experiments can compute exact detection probabilities.
+pub fn planted_clique_size(n: usize, eps: f64) -> usize {
+    ((2.0 * eps).sqrt() * n as f64).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+    use std::collections::HashMap;
+
+    #[test]
+    fn grid_counts() {
+        let g = GridDataset::new(10, 3);
+        assert_eq!(g.n_rows(), 1000);
+        let f = g.singleton_unseparated_fraction();
+        // 10 cliques of 100 rows: (100-1)/(1000-1) ≈ 0.0991
+        assert!((f - 99.0 / 999.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_saturates() {
+        let g = GridDataset::new(u64::MAX, 3);
+        assert_eq!(g.n_rows(), u128::MAX);
+    }
+
+    #[test]
+    fn grid_samples_in_range_and_deterministic() {
+        let g = GridDataset::new(7, 4);
+        let a = g.sample(50, 3);
+        let b = g.sample(50, 3);
+        assert_eq!(a.n_rows(), 50);
+        assert_eq!(a.n_attrs(), 4);
+        for r in 0..50 {
+            for c in 0..4 {
+                let v = a.value(r, AttrId::new(c)).as_int().unwrap();
+                assert!((0..7).contains(&v));
+                assert_eq!(a.value(r, AttrId::new(c)), b.value(r, AttrId::new(c)));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_coordinates_roughly_uniform() {
+        let g = GridDataset::new(4, 2);
+        let ds = g.sample(8000, 11);
+        let mut counts = [0usize; 4];
+        for r in 0..ds.n_rows() {
+            counts[ds.value(r, AttrId::new(0)).as_int().unwrap() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((1700..2300).contains(&c), "counts {counts:?} not uniform");
+        }
+    }
+
+    #[test]
+    fn planted_clique_structure() {
+        let n = 10_000;
+        let eps = 0.02;
+        let ds = planted_clique(n, 5, eps, 42);
+        assert_eq!(ds.n_rows(), n);
+        assert_eq!(ds.n_attrs(), 5);
+
+        // Coordinate 0: one clique of the advertised size, singletons
+        // elsewhere.
+        let mut freq: HashMap<u32, usize> = HashMap::new();
+        for r in 0..n {
+            *freq.entry(ds.code(r, AttrId::new(0))).or_default() += 1;
+        }
+        let expected = planted_clique_size(n, eps);
+        let mut big: Vec<usize> = freq.values().copied().filter(|&c| c > 1).collect();
+        big.sort_unstable();
+        assert_eq!(big, vec![expected], "exactly one clique of size {expected}");
+
+        // Coordinate 1 is a key.
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..n {
+            assert!(seen.insert(ds.code(r, AttrId::new(1))));
+        }
+    }
+
+    #[test]
+    fn planted_clique_singleton_zero_is_bad() {
+        let n = 5_000;
+        let eps = 0.01;
+        let ds = planted_clique(n, 3, eps, 7);
+        let c = planted_clique_size(n, eps) as u128;
+        // Unseparated pairs within the big clique: C(c, 2) > ε·C(n, 2)
+        // (this is the Lemma 4 inequality |E(G_A)| > ε n(n−1)/2).
+        let unseparated = c * (c - 1) / 2;
+        let total = ds.n_pairs();
+        assert!(
+            unseparated as f64 > eps * total as f64,
+            "{unseparated} vs eps*total = {}",
+            eps * total as f64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be in")]
+    fn planted_clique_rejects_bad_eps() {
+        let _ = planted_clique(100, 3, 0.9, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn planted_clique_rejects_tiny_n() {
+        let _ = planted_clique(2, 3, 0.0001, 0);
+    }
+}

@@ -1,0 +1,508 @@
+//! Declarative synthetic data-set specifications.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::column::Column;
+use crate::dataset::Dataset;
+use crate::error::DatasetError;
+use crate::schema::{Attribute, DataType, Schema};
+use crate::value::Value;
+
+use super::zipf::ZipfSampler;
+
+/// Where a derived column reads its input from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SourceRef {
+    /// A latent (hidden) column by index; latents are generated first and
+    /// never appear in the output schema.
+    Latent(usize),
+    /// An earlier *output* column by index (must be `<` the current one).
+    Column(usize),
+}
+
+/// Per-column value distribution.
+#[derive(Clone, Debug)]
+pub enum ColumnSpec {
+    /// Uniform over `0..cardinality`.
+    Uniform {
+        /// Number of distinct raw values.
+        cardinality: u64,
+    },
+    /// Zipf over `0..cardinality` with the given exponent
+    /// (`P(i) ∝ 1/(i+1)^exponent`).
+    Zipf {
+        /// Number of distinct raw values.
+        cardinality: u64,
+        /// Skew exponent; `0` is uniform.
+        exponent: f64,
+    },
+    /// The row index itself — a perfect key on its own.
+    RowId,
+    /// A single constant value — separates nothing on its own.
+    Constant,
+    /// `1` with probability `p_one`, else `0`.
+    Binary {
+        /// Probability of a `1`.
+        p_one: f64,
+    },
+    /// Indicator column: `1` iff the source column equals `value`
+    /// (one-hot encodings, as in UCI Covtype's soil/wilderness blocks).
+    OneHotOf {
+        /// The categorical column being encoded.
+        source: SourceRef,
+        /// The category this indicator fires on.
+        value: u64,
+    },
+    /// Deterministic coarsening of another column: `v ↦ v / collapse`.
+    /// With `collapse = 1` this is an exact functional copy (e.g. UCI
+    /// Adult's `education-num` is determined by `education`).
+    Derived {
+        /// The column being coarsened.
+        source: SourceRef,
+        /// Integer divisor applied to the source's raw value.
+        collapse: u64,
+    },
+    /// A copy of another column that is re-randomised with probability
+    /// `flip_prob` (models noisy functional dependencies / fuzzy
+    /// duplicates).
+    NoisyCopy {
+        /// The column being copied.
+        source: SourceRef,
+        /// Probability that a row's value is replaced by a uniform draw.
+        flip_prob: f64,
+        /// Cardinality of the uniform replacement draw.
+        cardinality: u64,
+    },
+}
+
+impl ColumnSpec {
+    fn validate(&self, name: &str) -> Result<(), DatasetError> {
+        let bad = |msg: String| Err(DatasetError::InvalidSpec(format!("column {name:?}: {msg}")));
+        match self {
+            ColumnSpec::Uniform { cardinality }
+                if *cardinality == 0 => {
+                    return bad("cardinality must be positive".into());
+                }
+            ColumnSpec::Zipf {
+                cardinality,
+                exponent,
+            } => {
+                if *cardinality == 0 {
+                    return bad("cardinality must be positive".into());
+                }
+                if !exponent.is_finite() {
+                    return bad("exponent must be finite".into());
+                }
+            }
+            ColumnSpec::Binary { p_one }
+                if !(0.0..=1.0).contains(p_one) => {
+                    return bad(format!("p_one {p_one} outside [0, 1]"));
+                }
+            ColumnSpec::Derived { collapse, .. }
+                if *collapse == 0 => {
+                    return bad("collapse must be positive".into());
+                }
+            ColumnSpec::NoisyCopy {
+                flip_prob,
+                cardinality,
+                ..
+            } => {
+                if !(0.0..=1.0).contains(flip_prob) {
+                    return bad(format!("flip_prob {flip_prob} outside [0, 1]"));
+                }
+                if *cardinality == 0 {
+                    return bad("cardinality must be positive".into());
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn source(&self) -> Option<SourceRef> {
+        match self {
+            ColumnSpec::OneHotOf { source, .. }
+            | ColumnSpec::Derived { source, .. }
+            | ColumnSpec::NoisyCopy { source, .. } => Some(*source),
+            _ => None,
+        }
+    }
+}
+
+/// A complete synthetic data-set specification: optional latent columns
+/// (generated but not emitted) plus named output columns.
+///
+/// ```
+/// use qid_dataset::generator::{ColumnSpec, DatasetSpec};
+///
+/// let spec = DatasetSpec::new(1000)
+///     .column("id", ColumnSpec::RowId)
+///     .column("city", ColumnSpec::Zipf { cardinality: 50, exponent: 1.1 })
+///     .column("flag", ColumnSpec::Binary { p_one: 0.2 });
+/// let ds = spec.generate(42).unwrap();
+/// assert_eq!(ds.n_rows(), 1000);
+/// assert_eq!(ds.n_attrs(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    n_rows: usize,
+    latents: Vec<ColumnSpec>,
+    columns: Vec<(String, ColumnSpec)>,
+}
+
+impl DatasetSpec {
+    /// Starts a spec for a data set of `n_rows` tuples.
+    pub fn new(n_rows: usize) -> Self {
+        DatasetSpec {
+            n_rows,
+            latents: Vec::new(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// Adds a latent (hidden) column and returns its index for
+    /// [`SourceRef::Latent`].
+    pub fn latent(mut self, spec: ColumnSpec) -> Self {
+        self.latents.push(spec);
+        self
+    }
+
+    /// Adds an output column.
+    pub fn column(mut self, name: impl Into<String>, spec: ColumnSpec) -> Self {
+        self.columns.push((name.into(), spec));
+        self
+    }
+
+    /// Number of output columns so far.
+    pub fn n_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows this spec will generate.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Generates the data set deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Result<Dataset, DatasetError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Latents may not reference anything.
+        for (i, spec) in self.latents.iter().enumerate() {
+            if spec.source().is_some() {
+                return Err(DatasetError::InvalidSpec(format!(
+                    "latent {i} may not reference another column"
+                )));
+            }
+        }
+        let latents: Vec<Vec<u64>> = self
+            .latents
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                spec.validate(&format!("latent#{i}"))?;
+                Ok(generate_raw(spec, self.n_rows, &mut rng, &[], &[]))
+            })
+            .collect::<Result<_, DatasetError>>()?;
+
+        let mut raw_columns: Vec<Vec<u64>> = Vec::with_capacity(self.columns.len());
+        for (i, (name, spec)) in self.columns.iter().enumerate() {
+            spec.validate(name)?;
+            if let Some(src) = spec.source() {
+                match src {
+                    SourceRef::Latent(l) if l >= latents.len() => {
+                        return Err(DatasetError::InvalidSpec(format!(
+                            "column {name:?} references latent {l}, but only {} exist",
+                            latents.len()
+                        )));
+                    }
+                    SourceRef::Column(c) if c >= i => {
+                        return Err(DatasetError::InvalidSpec(format!(
+                            "column {name:?} references column {c}, which is not earlier than it"
+                        )));
+                    }
+                    _ => {}
+                }
+            }
+            let raw = generate_raw(spec, self.n_rows, &mut rng, &latents, &raw_columns);
+            raw_columns.push(raw);
+        }
+
+        // Dense-encode each raw column; dictionary values keep the raw
+        // integers so the data reads naturally.
+        let mut attrs = Vec::with_capacity(self.columns.len());
+        let mut cols = Vec::with_capacity(self.columns.len());
+        for ((name, _), raw) in self.columns.iter().zip(raw_columns) {
+            let (codes, dict) = dense_encode(&raw);
+            attrs.push(Attribute::new(name.clone(), DataType::Int));
+            cols.push(Arc::new(Column::new(codes, dict)));
+        }
+        Ok(Dataset::new(Schema::new(attrs), cols))
+    }
+}
+
+/// Generates the raw `u64` values for one column.
+fn generate_raw(
+    spec: &ColumnSpec,
+    n_rows: usize,
+    rng: &mut StdRng,
+    latents: &[Vec<u64>],
+    earlier: &[Vec<u64>],
+) -> Vec<u64> {
+    let read = |src: SourceRef, row: usize| -> u64 {
+        match src {
+            SourceRef::Latent(l) => latents[l][row],
+            SourceRef::Column(c) => earlier[c][row],
+        }
+    };
+    match spec {
+        ColumnSpec::Uniform { cardinality } => {
+            (0..n_rows).map(|_| rng.random_range(0..*cardinality)).collect()
+        }
+        ColumnSpec::Zipf {
+            cardinality,
+            exponent,
+        } => {
+            let z = ZipfSampler::new(*cardinality, *exponent);
+            (0..n_rows).map(|_| z.sample(rng)).collect()
+        }
+        ColumnSpec::RowId => (0..n_rows as u64).collect(),
+        ColumnSpec::Constant => vec![0; n_rows],
+        ColumnSpec::Binary { p_one } => (0..n_rows)
+            .map(|_| u64::from(rng.random_bool(*p_one)))
+            .collect(),
+        ColumnSpec::OneHotOf { source, value } => (0..n_rows)
+            .map(|r| u64::from(read(*source, r) == *value))
+            .collect(),
+        ColumnSpec::Derived { source, collapse } => {
+            (0..n_rows).map(|r| read(*source, r) / collapse).collect()
+        }
+        ColumnSpec::NoisyCopy {
+            source,
+            flip_prob,
+            cardinality,
+        } => (0..n_rows)
+            .map(|r| {
+                if rng.random_bool(*flip_prob) {
+                    rng.random_range(0..*cardinality)
+                } else {
+                    read(*source, r)
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Maps raw values to dense `u32` codes (first-appearance order) and
+/// builds the decoding dictionary.
+fn dense_encode(raw: &[u64]) -> (Vec<u32>, Arc<[Value]>) {
+    let mut map: HashMap<u64, u32> = HashMap::new();
+    let mut dict: Vec<Value> = Vec::new();
+    let codes = raw
+        .iter()
+        .map(|&v| match map.get(&v) {
+            Some(&c) => c,
+            None => {
+                let c = dict.len() as u32;
+                dict.push(Value::Int(v as i64));
+                map.insert(v, c);
+                c
+            }
+        })
+        .collect();
+    (codes, dict.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = DatasetSpec::new(200)
+            .column("u", ColumnSpec::Uniform { cardinality: 10 })
+            .column("z", ColumnSpec::Zipf { cardinality: 5, exponent: 1.0 });
+        let a = spec.generate(99).unwrap();
+        let b = spec.generate(99).unwrap();
+        for r in 0..200 {
+            assert_eq!(a.code(r, 0.into()), b.code(r, 0.into()));
+            assert_eq!(a.code(r, 1.into()), b.code(r, 1.into()));
+        }
+        let c = spec.generate(100).unwrap();
+        let same = (0..200).all(|r| a.code(r, 0.into()) == c.code(r, 0.into()));
+        assert!(!same, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn row_id_is_a_key() {
+        let ds = DatasetSpec::new(50)
+            .column("id", ColumnSpec::RowId)
+            .generate(1)
+            .unwrap();
+        assert_eq!(ds.column(0.into()).cardinality(), 50);
+    }
+
+    #[test]
+    fn constant_has_cardinality_one() {
+        let ds = DatasetSpec::new(50)
+            .column("c", ColumnSpec::Constant)
+            .generate(1)
+            .unwrap();
+        assert_eq!(ds.column(0.into()).cardinality(), 1);
+    }
+
+    #[test]
+    fn derived_copy_is_functional_dependency() {
+        let ds = DatasetSpec::new(500)
+            .column("base", ColumnSpec::Uniform { cardinality: 20 })
+            .column(
+                "copy",
+                ColumnSpec::Derived {
+                    source: SourceRef::Column(0),
+                    collapse: 1,
+                },
+            )
+            .generate(3)
+            .unwrap();
+        for r1 in 0..50 {
+            for r2 in 0..50 {
+                let same_base = ds.code(r1, 0.into()) == ds.code(r2, 0.into());
+                let same_copy = ds.code(r1, 1.into()) == ds.code(r2, 1.into());
+                assert_eq!(same_base, same_copy);
+            }
+        }
+    }
+
+    #[test]
+    fn derived_collapse_coarsens() {
+        let ds = DatasetSpec::new(100)
+            .column("base", ColumnSpec::RowId)
+            .column(
+                "bucket",
+                ColumnSpec::Derived {
+                    source: SourceRef::Column(0),
+                    collapse: 10,
+                },
+            )
+            .generate(3)
+            .unwrap();
+        assert_eq!(ds.column(1.into()).cardinality(), 10);
+        assert_eq!(ds.value(37, 1.into()), &Value::Int(3));
+    }
+
+    #[test]
+    fn one_hot_of_latent() {
+        let ds = DatasetSpec::new(1000)
+            .latent(ColumnSpec::Uniform { cardinality: 4 })
+            .column(
+                "is0",
+                ColumnSpec::OneHotOf {
+                    source: SourceRef::Latent(0),
+                    value: 0,
+                },
+            )
+            .column(
+                "is1",
+                ColumnSpec::OneHotOf {
+                    source: SourceRef::Latent(0),
+                    value: 1,
+                },
+            )
+            .generate(5)
+            .unwrap();
+        // A row can't be 1 in both indicator columns.
+        for r in 0..1000 {
+            let a = ds.value(r, 0.into()).as_int().unwrap();
+            let b = ds.value(r, 1.into()).as_int().unwrap();
+            assert!(a + b <= 1);
+        }
+    }
+
+    #[test]
+    fn noisy_copy_mostly_agrees() {
+        let ds = DatasetSpec::new(2000)
+            .column("base", ColumnSpec::Uniform { cardinality: 50 })
+            .column(
+                "noisy",
+                ColumnSpec::NoisyCopy {
+                    source: SourceRef::Column(0),
+                    flip_prob: 0.1,
+                    cardinality: 50,
+                },
+            )
+            .generate(8)
+            .unwrap();
+        let agree = (0..2000)
+            .filter(|&r| ds.value(r, 0.into()) == ds.value(r, 1.into()))
+            .count();
+        assert!(agree > 1700, "agreement was only {agree}/2000");
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let err = DatasetSpec::new(10)
+            .column(
+                "bad",
+                ColumnSpec::Derived {
+                    source: SourceRef::Column(0),
+                    collapse: 1,
+                },
+            )
+            .generate(0)
+            .unwrap_err();
+        assert!(matches!(err, DatasetError::InvalidSpec(_)));
+    }
+
+    #[test]
+    fn missing_latent_rejected() {
+        let err = DatasetSpec::new(10)
+            .column(
+                "bad",
+                ColumnSpec::OneHotOf {
+                    source: SourceRef::Latent(0),
+                    value: 1,
+                },
+            )
+            .generate(0)
+            .unwrap_err();
+        assert!(matches!(err, DatasetError::InvalidSpec(_)));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(DatasetSpec::new(10)
+            .column("u", ColumnSpec::Uniform { cardinality: 0 })
+            .generate(0)
+            .is_err());
+        assert!(DatasetSpec::new(10)
+            .column("b", ColumnSpec::Binary { p_one: 1.5 })
+            .generate(0)
+            .is_err());
+    }
+
+    #[test]
+    fn zero_rows_is_fine() {
+        let ds = DatasetSpec::new(0)
+            .column("u", ColumnSpec::Uniform { cardinality: 3 })
+            .generate(0)
+            .unwrap();
+        assert_eq!(ds.n_rows(), 0);
+    }
+
+    #[test]
+    fn binary_p_extremes() {
+        let ds = DatasetSpec::new(100)
+            .column("zero", ColumnSpec::Binary { p_one: 0.0 })
+            .column("one", ColumnSpec::Binary { p_one: 1.0 })
+            .generate(0)
+            .unwrap();
+        assert_eq!(ds.column(AttrId::new(0)).cardinality(), 1);
+        assert_eq!(ds.value(0, 0.into()), &Value::Int(0));
+        assert_eq!(ds.value(0, 1.into()), &Value::Int(1));
+    }
+}

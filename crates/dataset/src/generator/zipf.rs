@@ -1,0 +1,132 @@
+//! Zipf-distributed category sampling.
+
+use rand::{Rng, RngExt};
+
+/// Samples category ids `0..cardinality` with probability
+/// `P(i) ∝ 1 / (i+1)^exponent`.
+///
+/// Real categorical attributes (occupation, native country, soil type …)
+/// are heavy-tailed; the benchmark-set generators use Zipf marginals to
+/// reproduce the clique-size profiles that drive the paper's sampling
+/// phenomena. `exponent = 0` degenerates to the uniform distribution.
+///
+/// Implementation: the cumulative distribution is precomputed once and
+/// sampled by binary search — O(cardinality) memory, O(log cardinality)
+/// per draw, exact for any exponent.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `cardinality` categories.
+    ///
+    /// # Panics
+    /// Panics if `cardinality == 0` or `exponent` is not finite.
+    pub fn new(cardinality: u64, exponent: f64) -> Self {
+        assert!(cardinality > 0, "Zipf cardinality must be positive");
+        assert!(exponent.is_finite(), "Zipf exponent must be finite");
+        let mut cumulative = Vec::with_capacity(cardinality as usize);
+        let mut total = 0.0f64;
+        for i in 0..cardinality {
+            total += 1.0 / ((i + 1) as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        // Normalise so the last entry is exactly 1.0.
+        let norm = total;
+        for c in &mut cumulative {
+            *c /= norm;
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Number of categories.
+    pub fn cardinality(&self) -> u64 {
+        self.cumulative.len() as u64
+    }
+
+    /// Draws one category id in `0..cardinality`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random();
+        // partition_point returns the count of entries < u, i.e. the first
+        // index whose cumulative mass reaches u.
+        let idx = self.cumulative.partition_point(|&c| c < u);
+        idx.min(self.cumulative.len() - 1) as u64
+    }
+
+    /// The probability mass of category `i`.
+    pub fn pmf(&self, i: u64) -> f64 {
+        let i = i as usize;
+        if i >= self.cumulative.len() {
+            return 0.0;
+        }
+        if i == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[i] - self.cumulative[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfSampler::new(10, 1.0);
+        let total: f64 = (0..10).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(z.pmf(10), 0.0);
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = ZipfSampler::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.pmf(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn heavier_exponent_concentrates_head() {
+        let z1 = ZipfSampler::new(100, 0.5);
+        let z2 = ZipfSampler::new(100, 2.0);
+        assert!(z2.pmf(0) > z1.pmf(0));
+        assert!(z2.pmf(99) < z1.pmf(99));
+    }
+
+    #[test]
+    fn samples_in_range_and_skewed() {
+        let z = ZipfSampler::new(50, 1.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            let s = z.sample(&mut rng) as usize;
+            counts[s] += 1;
+        }
+        // Head category should dominate under exponent 1.5.
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > 20_000 / 10);
+    }
+
+    #[test]
+    fn cardinality_one_always_zero() {
+        let z = ZipfSampler::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cardinality_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

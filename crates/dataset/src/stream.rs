@@ -1,0 +1,195 @@
+//! One-pass tuple streams.
+//!
+//! The paper notes that its sampling algorithms "can easily be
+//! implemented in the streaming model" with space proportional to the
+//! sample size. [`TupleSource`] is the abstraction those one-pass
+//! builders consume: a fallible iterator of owned tuples plus the
+//! attribute names.
+
+use crate::dataset::Dataset;
+use crate::error::DatasetError;
+use crate::schema::AttrId;
+use crate::value::Value;
+
+/// A one-pass source of tuples.
+pub trait TupleSource {
+    /// Attribute names, fixed for the life of the stream.
+    fn attr_names(&self) -> Vec<String>;
+
+    /// Number of attributes `m`.
+    fn n_attrs(&self) -> usize {
+        self.attr_names().len()
+    }
+
+    /// Yields the next tuple, or `Ok(None)` at end of stream.
+    fn next_tuple(&mut self) -> Result<Option<Vec<Value>>, DatasetError>;
+
+    /// A hint of the total number of tuples, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Streams an in-memory [`Dataset`] row by row.
+pub struct DatasetTupleSource<'a> {
+    ds: &'a Dataset,
+    next: usize,
+}
+
+impl<'a> DatasetTupleSource<'a> {
+    /// Creates a stream over all rows of `ds`.
+    pub fn new(ds: &'a Dataset) -> Self {
+        DatasetTupleSource { ds, next: 0 }
+    }
+}
+
+impl TupleSource for DatasetTupleSource<'_> {
+    fn attr_names(&self) -> Vec<String> {
+        self.ds.schema().names().map(str::to_string).collect()
+    }
+
+    fn n_attrs(&self) -> usize {
+        self.ds.n_attrs()
+    }
+
+    fn next_tuple(&mut self) -> Result<Option<Vec<Value>>, DatasetError> {
+        if self.next >= self.ds.n_rows() {
+            return Ok(None);
+        }
+        let row = self.ds.row(self.next).to_vec();
+        self.next += 1;
+        Ok(Some(row))
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.ds.n_rows() - self.next)
+    }
+}
+
+/// An owned, in-memory tuple stream (useful in tests and examples).
+pub struct VecTupleSource {
+    names: Vec<String>,
+    rows: std::vec::IntoIter<Vec<Value>>,
+    remaining: usize,
+}
+
+impl VecTupleSource {
+    /// Creates a stream from attribute names and owned rows.
+    pub fn new<I, S>(names: I, rows: Vec<Vec<Value>>) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let remaining = rows.len();
+        VecTupleSource {
+            names: names.into_iter().map(Into::into).collect(),
+            rows: rows.into_iter(),
+            remaining,
+        }
+    }
+}
+
+impl TupleSource for VecTupleSource {
+    fn attr_names(&self) -> Vec<String> {
+        self.names.clone()
+    }
+
+    fn n_attrs(&self) -> usize {
+        self.names.len()
+    }
+
+    fn next_tuple(&mut self) -> Result<Option<Vec<Value>>, DatasetError> {
+        match self.rows.next() {
+            Some(r) => {
+                self.remaining -= 1;
+                if r.len() != self.names.len() {
+                    return Err(DatasetError::RowArity {
+                        row: 0,
+                        expected: self.names.len(),
+                        got: r.len(),
+                    });
+                }
+                Ok(Some(r))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+/// Drains a stream into a materialised [`Dataset`] (for tests and for
+/// callers that decide the data fits in memory after all).
+pub fn collect_stream(source: &mut dyn TupleSource) -> Result<Dataset, DatasetError> {
+    let mut b = crate::builder::DatasetBuilder::new(source.attr_names());
+    while let Some(row) = source.next_tuple()? {
+        b.push_row(row)?;
+    }
+    Ok(b.finish())
+}
+
+/// Convenience: the projection of an owned tuple onto an attribute set.
+pub fn project_tuple(tuple: &[Value], attrs: &[AttrId]) -> Vec<Value> {
+    attrs.iter().map(|&a| tuple[a.index()].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DatasetBuilder;
+
+    fn tiny() -> Dataset {
+        let mut b = DatasetBuilder::new(["a", "b"]);
+        b.push_row([Value::Int(1), Value::text("x")]).unwrap();
+        b.push_row([Value::Int(2), Value::text("y")]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn dataset_stream_roundtrip() {
+        let ds = tiny();
+        let mut s = DatasetTupleSource::new(&ds);
+        assert_eq!(s.size_hint(), Some(2));
+        let back = collect_stream(&mut s).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        assert_eq!(back.value(1, 0.into()), &Value::Int(2));
+    }
+
+    #[test]
+    fn vec_stream_yields_all() {
+        let mut s = VecTupleSource::new(
+            ["a"],
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        );
+        assert_eq!(s.size_hint(), Some(2));
+        assert_eq!(s.next_tuple().unwrap(), Some(vec![Value::Int(1)]));
+        assert_eq!(s.size_hint(), Some(1));
+        assert_eq!(s.next_tuple().unwrap(), Some(vec![Value::Int(2)]));
+        assert_eq!(s.next_tuple().unwrap(), None);
+    }
+
+    #[test]
+    fn vec_stream_arity_error() {
+        let mut s = VecTupleSource::new(["a", "b"], vec![vec![Value::Int(1)]]);
+        assert!(s.next_tuple().is_err());
+    }
+
+    #[test]
+    fn project_tuple_picks_attrs() {
+        let t = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+        assert_eq!(
+            project_tuple(&t, &[AttrId::new(2), AttrId::new(0)]),
+            vec![Value::Int(3), Value::Int(1)]
+        );
+    }
+
+    #[test]
+    fn empty_stream_collects_empty() {
+        let mut s = VecTupleSource::new(["a"], vec![]);
+        let ds = collect_stream(&mut s).unwrap();
+        assert_eq!(ds.n_rows(), 0);
+        assert_eq!(ds.n_attrs(), 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! String interning so repeated text values share one allocation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A string interner.
+///
+/// CSV parsing and streaming ingestion see the same category strings
+/// millions of times; interning turns each occurrence into a cheap
+/// `Arc<str>` clone of a single allocation. The interner is purely an
+/// ingestion-side optimisation — [`crate::Value::Text`] values compare by
+/// content whether or not they were interned.
+#[derive(Debug, Default)]
+pub struct Interner {
+    map: HashMap<Arc<str>, ()>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the shared `Arc<str>` for `s`, allocating it on first use.
+    pub fn intern(&mut self, s: &str) -> Arc<str> {
+        if let Some((k, ())) = self.map.get_key_value(s) {
+            return Arc::clone(k);
+        }
+        let arc: Arc<str> = Arc::from(s);
+        self.map.insert(Arc::clone(&arc), ());
+        arc
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interns_share_allocation() {
+        let mut i = Interner::new();
+        let a = i.intern("hello");
+        let b = i.intern("hello");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_distinct_arcs() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+
+    #[test]
+    fn intern_empty_string() {
+        let mut i = Interner::new();
+        let e = i.intern("");
+        assert_eq!(&*e, "");
+        assert_eq!(i.len(), 1);
+    }
+}

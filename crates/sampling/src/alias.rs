@@ -1,0 +1,167 @@
+//! Walker's alias method for O(1) multinomial sampling.
+//!
+//! The paper's Section 2.1 analyses drawing balls whose colors follow
+//! the multinomial distribution `D_s = (s_1/n, …, s_n/n)` given by a
+//! clique-size profile `s`. The worst-case experiments draw millions of
+//! such balls; the alias method makes each draw O(1) after O(n) setup.
+
+use rand::{Rng, RngExt};
+
+/// A precomputed alias table for a fixed discrete distribution.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    /// Acceptance probability per bucket.
+    prob: Vec<f64>,
+    /// Alias (fallback) bucket per bucket.
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (not necessarily
+    /// normalised).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// weight, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total.is_finite() && total > 0.0,
+            "weights must be finite, non-negative, with positive sum"
+        );
+        let n = weights.len();
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0usize; n];
+        // Scaled weights; a bucket is "small" if its scaled weight < 1.
+        let mut scaled: Vec<f64> = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "negative or non-finite weight {w}");
+                w * n as f64 / total
+            })
+            .collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] -= 1.0 - scaled[s];
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Remaining buckets (numerical leftovers) accept outright.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True iff the table is empty (never — construction requires ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index in O(1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        let u: f64 = rng.random();
+        if u < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let t = AliasTable::new(weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let freqs = empirical(&[1.0, 1.0, 1.0, 1.0], 40_000, 1);
+        for f in freqs {
+            assert!((0.22..0.28).contains(&f), "frequency {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights() {
+        let freqs = empirical(&[8.0, 1.0, 1.0], 60_000, 2);
+        assert!((0.77..0.83).contains(&freqs[0]), "head frequency {}", freqs[0]);
+        assert!((0.08..0.12).contains(&freqs[1]));
+        assert!((0.08..0.12).contains(&freqs[2]));
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let freqs = empirical(&[1.0, 0.0, 1.0], 20_000, 3);
+        assert_eq!(freqs[1], 0.0);
+    }
+
+    #[test]
+    fn single_category() {
+        let t = AliasTable::new(&[5.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn unnormalised_ok() {
+        // Same distribution whether weights sum to 1 or 100.
+        let a = empirical(&[0.5, 0.5], 30_000, 5);
+        let b = empirical(&[50.0, 50.0], 30_000, 5);
+        assert!((a[0] - b[0]).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_rejected() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative or non-finite")]
+    fn negative_rejected() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_sum_rejected() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+}

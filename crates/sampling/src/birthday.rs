@@ -1,0 +1,120 @@
+//! The birthday problem (the paper's Theorem 4).
+//!
+//! Throwing `q` balls into `N` bins uniformly at random collides with
+//! probability `C(N, q) ≥ 1 − e^{−q(q−1)/(2N)}`; hence taking
+//! `q ≥ ½(1 + √(8N ln(1/δ*) + 1))` makes the non-collision probability
+//! at most `δ*`. These closed forms drive both the sample-size choices
+//! in the upper-bound proof (Lemma 2) and the lower-bound experiments.
+
+/// Exact probability of *no* collision when throwing `q` balls into `N`
+/// equally likely bins: `∏_{i=1}^{q−1} (1 − i/N)`.
+///
+/// Computed in log-space for numerical stability; returns 0 when
+/// `q > N` (pigeonhole).
+///
+/// # Panics
+/// Panics if `N == 0`.
+pub fn non_collision_prob_uniform(n_bins: u64, q: u64) -> f64 {
+    assert!(n_bins > 0, "need at least one bin");
+    if q <= 1 {
+        return 1.0;
+    }
+    if q > n_bins {
+        return 0.0;
+    }
+    let n = n_bins as f64;
+    let mut log_p = 0.0f64;
+    for i in 1..q {
+        log_p += (1.0 - i as f64 / n).ln();
+    }
+    log_p.exp()
+}
+
+/// The paper's Theorem 4 lower bound on the collision probability:
+/// `C(N, q) ≥ 1 − e^{−q(q−1)/(2N)}`.
+///
+/// # Panics
+/// Panics if `N == 0`.
+pub fn collision_prob_lower_bound(n_bins: u64, q: u64) -> f64 {
+    assert!(n_bins > 0, "need at least one bin");
+    let q = q as f64;
+    1.0 - (-q * (q - 1.0) / (2.0 * n_bins as f64)).exp()
+}
+
+/// The sample size from Theorem 4: the smallest of the paper's two
+/// sufficient conditions,
+/// `q ≥ ½(1 + √(8N ln(1/δ*) + 1))`,
+/// guaranteeing non-collision probability at most `δ*`.
+///
+/// # Panics
+/// Panics if `δ*` is not in `(0, 1)` or `N == 0`.
+pub fn q_for_collision(n_bins: u64, delta_star: f64) -> u64 {
+    assert!(n_bins > 0, "need at least one bin");
+    assert!(
+        delta_star > 0.0 && delta_star < 1.0,
+        "delta_star must be in (0,1), got {delta_star}"
+    );
+    let n = n_bins as f64;
+    let q = 0.5 * (1.0 + (8.0 * n * (1.0 / delta_star).ln() + 1.0).sqrt());
+    q.ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_birthday_paradox() {
+        // 23 people, 365 days: collision probability ≈ 0.507.
+        let p = 1.0 - non_collision_prob_uniform(365, 23);
+        assert!((0.50..0.52).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(non_collision_prob_uniform(10, 0), 1.0);
+        assert_eq!(non_collision_prob_uniform(10, 1), 1.0);
+        assert_eq!(non_collision_prob_uniform(10, 11), 0.0);
+        assert_eq!(non_collision_prob_uniform(1, 2), 0.0);
+    }
+
+    #[test]
+    fn lower_bound_is_a_lower_bound() {
+        for &(n, q) in &[(365u64, 23u64), (1000, 10), (50, 8), (10_000, 200)] {
+            let exact = 1.0 - non_collision_prob_uniform(n, q);
+            let bound = collision_prob_lower_bound(n, q);
+            assert!(
+                bound <= exact + 1e-12,
+                "bound {bound} exceeds exact {exact} for N={n}, q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn q_for_collision_suffices() {
+        for &(n, delta) in &[(365u64, 0.01f64), (10_000, 0.001), (100, 0.1)] {
+            let q = q_for_collision(n, delta);
+            // Sampling q balls must make non-collision ≤ delta.
+            let noncol = non_collision_prob_uniform(n, q);
+            assert!(
+                noncol <= delta,
+                "q={q} gives non-collision {noncol} > {delta} for N={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn q_grows_like_sqrt_n() {
+        let q1 = q_for_collision(100, 0.01) as f64;
+        let q2 = q_for_collision(10_000, 0.01) as f64;
+        let ratio = q2 / q1;
+        // √(10000/100) = 10; allow slack for the additive terms.
+        assert!((8.0..12.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "delta_star")]
+    fn rejects_bad_delta() {
+        let _ = q_for_collision(10, 1.5);
+    }
+}

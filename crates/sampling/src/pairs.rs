@@ -1,0 +1,231 @@
+//! Unordered pairs: counting, (un)ranking, uniform sampling.
+//!
+//! The Motwani–Xu filter samples `Θ(m/ε)` *pairs of tuples* uniformly;
+//! the non-separation sketch of Theorem 2 samples `Θ(k log m / (α ε²))`
+//! pairs. These helpers provide exact uniform pair sampling with and
+//! without replacement, via a colexicographic bijection between
+//! `{0, …, C(n,2)−1}` and unordered pairs `(i, j)`, `i < j`.
+
+use rand::{Rng, RngExt};
+
+use crate::swor::sample_indices_floyd;
+
+/// `C(n, 2)` as a `u128` (exact for any `usize` n).
+pub fn pair_count(n: usize) -> u128 {
+    let n = n as u128;
+    n * n.saturating_sub(1) / 2
+}
+
+/// Colexicographic rank of the unordered pair `(i, j)`:
+/// `rank = C(j, 2) + i` for `i < j`.
+///
+/// # Panics
+/// Panics if `i >= j`.
+pub fn rank_pair(i: usize, j: usize) -> u128 {
+    assert!(i < j, "rank_pair requires i < j, got ({i}, {j})");
+    pair_count(j) + i as u128
+}
+
+/// Inverse of [`rank_pair`]: the pair `(i, j)` with `i < j` whose
+/// colex rank is `rank`.
+///
+/// # Panics
+/// Panics if `rank >= C(n, 2)` for every `n` (i.e. the implied `j`
+/// exceeds `usize::MAX` — practically unreachable).
+pub fn unrank_pair(rank: u128) -> (usize, usize) {
+    // j is the largest integer with C(j,2) <= rank; start from the
+    // float sqrt and fix up (float error is at most a few ulps).
+    let approx = ((2.0 * rank as f64).sqrt()).floor() as u128;
+    let mut j = approx.max(1);
+    while pair_count_u128(j + 1) <= rank {
+        j += 1;
+    }
+    while pair_count_u128(j) > rank {
+        j -= 1;
+    }
+    let i = rank - pair_count_u128(j);
+    (
+        usize::try_from(i).expect("pair index overflows usize"),
+        usize::try_from(j).expect("pair index overflows usize"),
+    )
+}
+
+fn pair_count_u128(n: u128) -> u128 {
+    n * n.saturating_sub(1) / 2
+}
+
+/// Samples one unordered pair of distinct indices from `0..n`,
+/// uniformly, by rejection (two draws; expected < 2.1 draws for n ≥ 10).
+///
+/// Returned as `(i, j)` with `i < j`.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn sample_pair<R: Rng + ?Sized>(rng: &mut R, n: usize) -> (usize, usize) {
+    assert!(n >= 2, "need n >= 2 to sample a pair, got {n}");
+    loop {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        if a != b {
+            return (a.min(b), a.max(b));
+        }
+    }
+}
+
+/// Uniform samplers over the `C(n,2)` unordered pairs of `0..n`.
+#[derive(Clone, Copy, Debug)]
+pub struct PairSampler {
+    n: usize,
+}
+
+impl PairSampler {
+    /// Creates a sampler over pairs of `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "need n >= 2 to sample pairs, got {n}");
+        PairSampler { n }
+    }
+
+    /// The number of distinct pairs `C(n, 2)`.
+    pub fn universe(&self) -> u128 {
+        pair_count(self.n)
+    }
+
+    /// `s` i.i.d. uniform pairs (with replacement across draws).
+    pub fn with_replacement<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        s: usize,
+    ) -> Vec<(usize, usize)> {
+        (0..s).map(|_| sample_pair(rng, self.n)).collect()
+    }
+
+    /// `s` *distinct* uniform pairs (a uniform `s`-subset of all pairs),
+    /// via Floyd's algorithm over pair ranks.
+    ///
+    /// # Panics
+    /// Panics if `s > C(n, 2)` or `C(n, 2)` exceeds `usize::MAX`
+    /// (beyond ~6 billion rows on 64-bit).
+    pub fn without_replacement<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        s: usize,
+    ) -> Vec<(usize, usize)> {
+        let universe = usize::try_from(self.universe())
+            .expect("pair universe exceeds usize; use with_replacement");
+        assert!(
+            s <= universe,
+            "cannot sample {s} distinct pairs from {universe}"
+        );
+        sample_indices_floyd(rng, universe, s)
+            .into_iter()
+            .map(|r| unrank_pair(r as u128))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn pair_count_basics() {
+        assert_eq!(pair_count(0), 0);
+        assert_eq!(pair_count(1), 0);
+        assert_eq!(pair_count(2), 1);
+        assert_eq!(pair_count(5), 10);
+        assert_eq!(pair_count(581_012), 581_012u128 * 581_011 / 2);
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip_exhaustive() {
+        let n = 40;
+        let mut seen = HashSet::new();
+        for j in 1..n {
+            for i in 0..j {
+                let r = rank_pair(i, j);
+                assert!(r < pair_count(n));
+                assert!(seen.insert(r), "rank collision at ({i},{j})");
+                assert_eq!(unrank_pair(r), (i, j));
+            }
+        }
+        assert_eq!(seen.len() as u128, pair_count(n));
+    }
+
+    #[test]
+    fn unrank_large_ranks() {
+        let n: usize = 1_000_000;
+        let last = pair_count(n) - 1;
+        assert_eq!(unrank_pair(last), (n - 2, n - 1));
+        assert_eq!(unrank_pair(0), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires i < j")]
+    fn rank_rejects_unordered() {
+        let _ = rank_pair(3, 3);
+    }
+
+    #[test]
+    fn sample_pair_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 30_000;
+        let mut counts: HashMap<(usize, usize), usize> = HashMap::new();
+        for _ in 0..trials {
+            *counts.entry(sample_pair(&mut rng, 4)).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        let expected = trials as f64 / 6.0;
+        for (&p, &c) in &counts {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.12, "pair {p:?} deviates {dev}");
+        }
+    }
+
+    #[test]
+    fn with_replacement_count_and_order() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ps = PairSampler::new(100);
+        let pairs = ps.with_replacement(&mut rng, 500);
+        assert_eq!(pairs.len(), 500);
+        assert!(pairs.iter().all(|&(i, j)| i < j && j < 100));
+    }
+
+    #[test]
+    fn without_replacement_distinct() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ps = PairSampler::new(30);
+        let pairs = ps.without_replacement(&mut rng, 200);
+        assert_eq!(pairs.len(), 200);
+        let set: HashSet<_> = pairs.iter().collect();
+        assert_eq!(set.len(), 200, "duplicate pair sampled");
+        assert!(pairs.iter().all(|&(i, j)| i < j && j < 30));
+    }
+
+    #[test]
+    fn without_replacement_all_pairs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ps = PairSampler::new(6);
+        let pairs = ps.without_replacement(&mut rng, 15);
+        let set: HashSet<_> = pairs.into_iter().collect();
+        assert_eq!(set.len(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn without_replacement_too_many() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = PairSampler::new(4).without_replacement(&mut rng, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "need n >= 2")]
+    fn sampler_rejects_tiny_n() {
+        let _ = PairSampler::new(1);
+    }
+}

@@ -1,0 +1,407 @@
+//! One-pass reservoir sampling.
+//!
+//! The paper observes that its sampling algorithms run in the streaming
+//! model with space proportional to the sample size. These reservoirs
+//! are the mechanism: after consuming any prefix of a stream, a
+//! reservoir of capacity `k` holds a uniform `k`-subset of that prefix.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::{Rng, RngExt};
+
+/// Vitter's **Algorithm R**: O(1) work per item, one RNG draw per item.
+///
+/// ```
+/// use qid_sampling::Reservoir;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut res = Reservoir::new(3);
+/// for x in 0..100 {
+///     res.push(x, &mut rng);
+/// }
+/// assert_eq!(res.items().len(), 3);
+/// assert_eq!(res.seen(), 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Reservoir<T> {
+    capacity: usize,
+    items: Vec<T>,
+    seen: usize,
+}
+
+impl<T> Reservoir<T> {
+    /// Creates a reservoir holding up to `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir {
+            capacity,
+            items: Vec::with_capacity(capacity),
+            seen: 0,
+        }
+    }
+
+    /// Offers one item; returns `true` if it was retained (possibly
+    /// displacing an earlier one).
+    pub fn push<R: Rng + ?Sized>(&mut self, item: T, rng: &mut R) -> bool {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            return true;
+        }
+        let j = rng.random_range(0..self.seen);
+        if j < self.capacity {
+            self.items[j] = item;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The current sample (uniform over all items seen).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consumes the reservoir, returning the sample.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+
+    /// Number of items offered so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// The configured capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Li's **Algorithm L**: skip-based reservoir with O(k log(n/k)) total
+/// RNG draws instead of O(n).
+///
+/// After the reservoir fills, the algorithm computes geometric skip
+/// lengths; items inside a skip are rejected with *zero* per-item RNG
+/// work. For sketches over multi-hundred-thousand-row streams this is
+/// the difference between 581k draws and a few hundred.
+#[derive(Clone, Debug)]
+pub struct SkipReservoir<T> {
+    capacity: usize,
+    items: Vec<T>,
+    seen: usize,
+    /// Index (0-based among offered items) of the next item to accept.
+    next_accept: usize,
+    /// Algorithm L's running weight `W`.
+    w: f64,
+}
+
+impl<T> SkipReservoir<T> {
+    /// Creates a reservoir holding up to `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        SkipReservoir {
+            capacity,
+            items: Vec::with_capacity(capacity),
+            seen: 0,
+            next_accept: 0,
+            w: 1.0,
+        }
+    }
+
+    /// Draws the next accept index. Called when `self.seen` equals the
+    /// index of the next incoming item; a skip of zero accepts it.
+    fn schedule_next<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        // W ← W · U1^{1/k};  skip ← ⌊log U2 / log(1−W)⌋
+        let u1: f64 = rng.random();
+        self.w *= u1.powf(1.0 / self.capacity as f64);
+        let u2: f64 = rng.random();
+        let skip = (u2.ln() / (1.0 - self.w).ln()).floor();
+        // Guard against degenerate W (w → 0 or 1 under fp rounding).
+        let skip = if skip.is_finite() && skip >= 0.0 {
+            skip as usize
+        } else {
+            usize::MAX / 2
+        };
+        self.next_accept = self.seen.saturating_add(skip);
+    }
+
+    /// Offers one item; returns `true` if it was retained.
+    pub fn push<R: Rng + ?Sized>(&mut self, item: T, rng: &mut R) -> bool {
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            self.seen += 1;
+            if self.items.len() == self.capacity {
+                self.schedule_next(rng);
+            }
+            return true;
+        }
+        let accept = self.seen == self.next_accept;
+        self.seen += 1;
+        if accept {
+            let slot = rng.random_range(0..self.capacity);
+            self.items[slot] = item;
+            self.schedule_next(rng);
+        }
+        accept
+    }
+
+    /// The current sample (uniform over all items seen).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consumes the reservoir, returning the sample.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+
+    /// Number of items offered so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+}
+
+/// `s` independent reservoirs of capacity `k` over one stream, sharing a
+/// skip heap so the per-item cost is O(#reservoirs that fire), not O(s).
+///
+/// With `k = 2` this implements the paper's streaming Motwani–Xu
+/// sketch: each slot independently holds a uniform unordered *pair* of
+/// stream items, so the `s` slots form `s` i.i.d. uniform pairs (pair
+/// sampling "with replacement" across slots, as the MX analysis
+/// assumes). Total update work for `n` items is `O(n + s·k·log(n/k))`.
+#[derive(Clone, Debug)]
+pub struct MultiReservoir<T> {
+    k: usize,
+    slots: Vec<Vec<T>>,
+    seen: usize,
+    /// Min-heap of (next-accept index, slot).
+    schedule: BinaryHeap<Reverse<(usize, usize)>>,
+    /// Per-slot Algorithm L weight.
+    weights: Vec<f64>,
+}
+
+impl<T: Clone> MultiReservoir<T> {
+    /// Creates `s` independent reservoirs of capacity `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `s == 0`.
+    pub fn new(s: usize, k: usize) -> Self {
+        assert!(k > 0, "reservoir capacity must be positive");
+        assert!(s > 0, "need at least one slot");
+        MultiReservoir {
+            k,
+            slots: vec![Vec::with_capacity(k); s],
+            seen: 0,
+            schedule: BinaryHeap::new(),
+            weights: vec![1.0; s],
+        }
+    }
+
+    /// Draws the next accept index for `slot`. `base` is the index of
+    /// the next incoming item; a skip of zero accepts it.
+    fn schedule_slot<R: Rng + ?Sized>(&mut self, slot: usize, base: usize, rng: &mut R) {
+        let u1: f64 = rng.random();
+        self.weights[slot] *= u1.powf(1.0 / self.k as f64);
+        let u2: f64 = rng.random();
+        let w = self.weights[slot];
+        let skip = (u2.ln() / (1.0 - w).ln()).floor();
+        let skip = if skip.is_finite() && skip >= 0.0 {
+            skip as usize
+        } else {
+            usize::MAX / 2
+        };
+        let next = base.saturating_add(skip);
+        self.schedule.push(Reverse((next, slot)));
+    }
+
+    /// Offers one item to all slots.
+    pub fn push<R: Rng + ?Sized>(&mut self, item: &T, rng: &mut R) {
+        if self.seen < self.k {
+            // Warm-up: every slot takes the first k items.
+            for slot in &mut self.slots {
+                slot.push(item.clone());
+            }
+            self.seen += 1;
+            if self.seen == self.k {
+                for s in 0..self.slots.len() {
+                    self.schedule_slot(s, self.seen, rng);
+                }
+            }
+            return;
+        }
+        while let Some(&Reverse((next, slot))) = self.schedule.peek() {
+            if next != self.seen {
+                debug_assert!(next > self.seen, "missed a scheduled accept");
+                break;
+            }
+            self.schedule.pop();
+            let victim = rng.random_range(0..self.k);
+            self.slots[slot][victim] = item.clone();
+            self.schedule_slot(slot, self.seen + 1, rng);
+        }
+        self.seen += 1;
+    }
+
+    /// The current samples, one `Vec` of (up to) `k` items per slot.
+    pub fn slots(&self) -> &[Vec<T>] {
+        &self.slots
+    }
+
+    /// Consumes the reservoir, returning all slots.
+    pub fn into_slots(self) -> Vec<Vec<T>> {
+        self.slots
+    }
+
+    /// Number of items offered so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn algorithm_r_holds_prefix_when_short() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = Reservoir::new(10);
+        for x in 0..5 {
+            assert!(r.push(x, &mut rng));
+        }
+        assert_eq!(r.items(), &[0, 1, 2, 3, 4]);
+        assert_eq!(r.seen(), 5);
+        assert_eq!(r.capacity(), 10);
+    }
+
+    #[test]
+    fn algorithm_r_uniformity() {
+        // Element 0 should survive in a k=1 reservoir over n=4 items with
+        // probability 1/4.
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 40_000;
+        let mut zero_kept = 0;
+        for _ in 0..trials {
+            let mut r = Reservoir::new(1);
+            for x in 0..4 {
+                r.push(x, &mut rng);
+            }
+            if r.items()[0] == 0 {
+                zero_kept += 1;
+            }
+        }
+        let frac = zero_kept as f64 / trials as f64;
+        assert!((0.23..0.27).contains(&frac), "P(keep first) = {frac}");
+    }
+
+    #[test]
+    fn skip_reservoir_matches_algorithm_r_distribution() {
+        // Same uniformity check for Algorithm L.
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 40_000;
+        let mut zero_kept = 0;
+        for _ in 0..trials {
+            let mut r = SkipReservoir::new(1);
+            for x in 0..4 {
+                r.push(x, &mut rng);
+            }
+            if r.items()[0] == 0 {
+                zero_kept += 1;
+            }
+        }
+        let frac = zero_kept as f64 / trials as f64;
+        assert!((0.23..0.27).contains(&frac), "P(keep first) = {frac}");
+    }
+
+    #[test]
+    fn skip_reservoir_k_many() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut r = SkipReservoir::new(50);
+        for x in 0..10_000 {
+            r.push(x, &mut rng);
+        }
+        assert_eq!(r.items().len(), 50);
+        assert_eq!(r.seen(), 10_000);
+        // Sample should not be the initial prefix.
+        assert!(r.items().iter().any(|&x| x >= 50));
+        let mut sorted = r.into_items();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50, "reservoir kept a duplicate index");
+    }
+
+    #[test]
+    fn multi_reservoir_pairs_are_distinct_items() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mr = MultiReservoir::new(100, 2);
+        for x in 0..1000usize {
+            mr.push(&x, &mut rng);
+        }
+        assert_eq!(mr.seen(), 1000);
+        for slot in mr.slots() {
+            assert_eq!(slot.len(), 2);
+            assert_ne!(slot[0], slot[1], "a pair slot holds a duplicate");
+        }
+    }
+
+    #[test]
+    fn multi_reservoir_slot_marginal_is_uniform_pair() {
+        // Over {0,1,2}: each unordered pair should appear w.p. 1/3 in
+        // any fixed slot.
+        let mut rng = StdRng::seed_from_u64(6);
+        let trials = 30_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..trials {
+            let mut mr = MultiReservoir::new(1, 2);
+            for x in 0..3usize {
+                mr.push(&x, &mut rng);
+            }
+            let mut p = mr.slots()[0].clone();
+            p.sort_unstable();
+            *counts.entry((p[0], p[1])).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 3);
+        for (&pair, &c) in &counts {
+            let frac = c as f64 / trials as f64;
+            assert!(
+                (0.30..0.37).contains(&frac),
+                "pair {pair:?} frequency {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_reservoir_short_stream_keeps_prefix() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut mr = MultiReservoir::new(3, 5);
+        for x in 0..4usize {
+            mr.push(&x, &mut rng);
+        }
+        for slot in mr.slots() {
+            assert_eq!(slot, &vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Reservoir::<u32>::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        let _ = MultiReservoir::<u32>::new(0, 2);
+    }
+}

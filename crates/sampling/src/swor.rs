@@ -1,0 +1,175 @@
+//! Sampling `k` distinct indices from `0..n` without replacement.
+
+use std::collections::HashSet;
+
+use rand::{Rng, RngExt};
+
+/// Samples `k` distinct indices from `0..n` uniformly, choosing the
+/// algorithm by density:
+///
+/// * `k ≤ n/16` → [`sample_indices_floyd`] — O(k) time/space, no O(n)
+///   allocation (important when `n` is the 581k-row Covtype and `k` is a
+///   few thousand samples).
+/// * otherwise → [`sample_indices_fisher_yates`] — O(n) but cache-friendly.
+///
+/// The result is in *uniformly random order* (both algorithms below
+/// guarantee this), so callers may use prefixes as smaller samples.
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct indices from 0..{n}");
+    if k <= n / 16 {
+        sample_indices_floyd(rng, n, k)
+    } else {
+        sample_indices_fisher_yates(rng, n, k)
+    }
+}
+
+/// Floyd's algorithm: O(k) expected time and space, independent of `n`.
+///
+/// Robert Floyd's classic trick: for `j` in `n−k..n`, draw
+/// `t ∈ {0, …, j}`; insert `t` unless already present, in which case
+/// insert `j`. Every `k`-subset is produced with probability `1/C(n,k)`.
+/// A final Fisher–Yates shuffle of the (small) result randomises order.
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_indices_floyd<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct indices from 0..{n}");
+    let mut chosen: HashSet<usize> = HashSet::with_capacity(k * 2);
+    let mut out: Vec<usize> = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.random_range(0..=j);
+        if chosen.insert(t) {
+            out.push(t);
+        } else {
+            chosen.insert(j);
+            out.push(j);
+        }
+    }
+    // Floyd emits in a biased order (later slots skew large); shuffle.
+    for i in (1..out.len()).rev() {
+        let j = rng.random_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Partial Fisher–Yates: O(n) space, exactly `k` swaps, random order.
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_indices_fisher_yates<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    k: usize,
+) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct indices from 0..{n}");
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn assert_distinct_in_range(sample: &[usize], n: usize, k: usize) {
+        assert_eq!(sample.len(), k);
+        let set: HashSet<usize> = sample.iter().copied().collect();
+        assert_eq!(set.len(), k, "sample has duplicates: {sample:?}");
+        assert!(sample.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn floyd_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(n, k) in &[(10, 3), (100, 100), (1000, 1), (5, 0)] {
+            let s = sample_indices_floyd(&mut rng, n, k);
+            assert_distinct_in_range(&s, n, k);
+        }
+    }
+
+    #[test]
+    fn fisher_yates_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(n, k) in &[(10, 3), (100, 100), (1000, 999), (5, 0)] {
+            let s = sample_indices_fisher_yates(&mut rng, n, k);
+            assert_distinct_in_range(&s, n, k);
+        }
+    }
+
+    #[test]
+    fn dispatcher_picks_both_paths() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_distinct_in_range(&sample_indices(&mut rng, 1000, 10), 1000, 10);
+        assert_distinct_in_range(&sample_indices(&mut rng, 100, 90), 100, 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn floyd_rejects_k_gt_n() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = sample_indices_floyd(&mut rng, 3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn fy_rejects_k_gt_n() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = sample_indices_fisher_yates(&mut rng, 3, 4);
+    }
+
+    /// χ²-style uniformity smoke test: every 2-subset of {0..4} should
+    /// appear with roughly equal frequency (C(5,2)=10 subsets).
+    #[test]
+    fn floyd_subsets_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 20_000;
+        let mut counts: HashMap<(usize, usize), usize> = HashMap::new();
+        for _ in 0..trials {
+            let mut s = sample_indices_floyd(&mut rng, 5, 2);
+            s.sort_unstable();
+            *counts.entry((s[0], s[1])).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 10);
+        let expected = trials as f64 / 10.0;
+        for (&pair, &c) in &counts {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.15, "subset {pair:?} count {c} deviates {dev:.2}");
+        }
+    }
+
+    /// Order randomisation: the first element of a Floyd sample of size 2
+    /// from {0,1} should be 0 about half the time.
+    #[test]
+    fn floyd_order_is_random() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut zero_first = 0;
+        let trials = 10_000;
+        for _ in 0..trials {
+            let s = sample_indices_floyd(&mut rng, 2, 2);
+            if s[0] == 0 {
+                zero_first += 1;
+            }
+        }
+        let frac = zero_first as f64 / trials as f64;
+        assert!((0.45..0.55).contains(&frac), "first-element bias: {frac}");
+    }
+
+    #[test]
+    fn full_sample_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = sample_indices(&mut rng, 50, 50);
+        s.sort_unstable();
+        assert_eq!(s, (0..50).collect::<Vec<_>>());
+    }
+}

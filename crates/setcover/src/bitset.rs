@@ -1,0 +1,340 @@
+//! Dense fixed-capacity bitsets over `u64` blocks.
+
+use std::fmt;
+
+const BLOCK_BITS: usize = 64;
+
+/// A fixed-capacity set of small integers, one bit per element.
+///
+/// The set-cover ground sets in this workspace are dense ranges
+/// (`0..C(|R|,2)` pair ids), so a packed representation beats hashing by
+/// a wide margin: unions, intersections and popcounts are word-parallel.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set with room for elements `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            blocks: vec![0; capacity.div_ceil(BLOCK_BITS)],
+            capacity,
+        }
+    }
+
+    /// Creates a set containing all of `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = BitSet::new(capacity);
+        for b in &mut s.blocks {
+            *b = u64::MAX;
+        }
+        s.trim_tail();
+        s
+    }
+
+    /// Creates a set from an iterator of elements.
+    ///
+    /// # Panics
+    /// Panics if any element is `>= capacity`.
+    pub fn from_iter_with_capacity(
+        capacity: usize,
+        elements: impl IntoIterator<Item = usize>,
+    ) -> Self {
+        let mut s = BitSet::new(capacity);
+        for e in elements {
+            s.insert(e);
+        }
+        s
+    }
+
+    fn trim_tail(&mut self) {
+        let extra = self.blocks.len() * BLOCK_BITS - self.capacity;
+        if extra > 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
+        }
+    }
+
+    /// The capacity (exclusive upper bound on elements).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `e`; returns `true` if it was newly added.
+    ///
+    /// # Panics
+    /// Panics if `e >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, e: usize) -> bool {
+        assert!(e < self.capacity, "element {e} out of capacity {}", self.capacity);
+        let (blk, bit) = (e / BLOCK_BITS, e % BLOCK_BITS);
+        let mask = 1u64 << bit;
+        let was = self.blocks[blk] & mask != 0;
+        self.blocks[blk] |= mask;
+        !was
+    }
+
+    /// Removes `e`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, e: usize) -> bool {
+        if e >= self.capacity {
+            return false;
+        }
+        let (blk, bit) = (e / BLOCK_BITS, e % BLOCK_BITS);
+        let mask = 1u64 << bit;
+        let was = self.blocks[blk] & mask != 0;
+        self.blocks[blk] &= !mask;
+        was
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, e: usize) -> bool {
+        if e >= self.capacity {
+            return false;
+        }
+        self.blocks[e / BLOCK_BITS] & (1u64 << (e % BLOCK_BITS)) != 0
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for b in &mut self.blocks {
+            *b = 0;
+        }
+    }
+
+    /// `self ∪= other`.
+    ///
+    /// # Panics
+    /// Panics on capacity mismatch.
+    pub fn union_with(&mut self, other: &BitSet) {
+        self.check_same_capacity(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// `self ∩= other`.
+    ///
+    /// # Panics
+    /// Panics on capacity mismatch.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        self.check_same_capacity(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// `self \= other`.
+    ///
+    /// # Panics
+    /// Panics on capacity mismatch.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        self.check_same_capacity(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+        }
+    }
+
+    /// `|self ∩ other|` without allocating.
+    ///
+    /// # Panics
+    /// Panics on capacity mismatch.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.check_same_capacity(other);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// True iff `self ⊆ other`.
+    ///
+    /// # Panics
+    /// Panics on capacity mismatch.
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        self.check_same_capacity(other);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// True iff the sets share no element.
+    ///
+    /// # Panics
+    /// Panics on capacity mismatch.
+    pub fn is_disjoint_from(&self, other: &BitSet) -> bool {
+        self.intersection_len(other) == 0
+    }
+
+    /// Iterates over elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            BlockOnes {
+                block,
+                base: bi * BLOCK_BITS,
+            }
+        })
+    }
+
+    /// The smallest element, if any.
+    pub fn first(&self) -> Option<usize> {
+        for (bi, &block) in self.blocks.iter().enumerate() {
+            if block != 0 {
+                return Some(bi * BLOCK_BITS + block.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    fn check_same_capacity(&self, other: &BitSet) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "bitset capacity mismatch: {} vs {}",
+            self.capacity, other.capacity
+        );
+    }
+}
+
+/// Iterator over the set bits of one block.
+struct BlockOnes {
+    block: u64,
+    base: usize,
+}
+
+impl Iterator for BlockOnes {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.block == 0 {
+            return None;
+        }
+        let tz = self.block.trailing_zeros() as usize;
+        self.block &= self.block - 1; // clear lowest set bit
+        Some(self.base + tz)
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "double insert reports false");
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(!s.contains(1000), "out of range contains is false");
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        let mut s = BitSet::new(10);
+        s.insert(10);
+    }
+
+    #[test]
+    fn full_and_trim() {
+        let s = BitSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+        let e = BitSet::full(0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_iter_with_capacity(100, [1, 5, 70]);
+        let b = BitSet::from_iter_with_capacity(100, [5, 70, 99]);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 5, 70, 99]);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![5, 70]);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1]);
+
+        assert_eq!(a.intersection_len(&b), 2);
+        assert!(i.is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+        assert!(d.is_disjoint_from(&b));
+    }
+
+    #[test]
+    fn iteration_order_and_first() {
+        let s = BitSet::from_iter_with_capacity(200, [150, 3, 64, 63]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 63, 64, 150]);
+        assert_eq!(s.first(), Some(3));
+        assert_eq!(BitSet::new(10).first(), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BitSet::from_iter_with_capacity(10, [1, 2]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn algebra_requires_same_capacity() {
+        let a = BitSet::new(10);
+        let b = BitSet::new(11);
+        a.intersection_len(&b);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s = BitSet::from_iter_with_capacity(10, [2, 7]);
+        assert_eq!(format!("{s:?}"), "{2, 7}");
+    }
+
+    #[test]
+    fn equality_and_hash() {
+        use std::collections::HashSet;
+        let a = BitSet::from_iter_with_capacity(64, [1, 2]);
+        let b = BitSet::from_iter_with_capacity(64, [2, 1]);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+}

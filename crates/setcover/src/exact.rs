@@ -1,0 +1,212 @@
+//! Exact minimum set cover by branch-and-bound.
+
+use crate::bitset::BitSet;
+use crate::greedy::greedy_cover;
+use crate::instance::SetCoverInstance;
+
+/// Computes a **minimum** set cover, or `None` if the instance is
+/// infeasible.
+///
+/// This is the `γ = 1` route of the paper's Proposition 1: on a sampled
+/// ground set of `O(m/√ε)` tuples the brute-force search is `2^{O(m)}`
+/// in the worst case but — with the pruning below — fast for the
+/// attribute counts where exact minimum keys are actually wanted.
+///
+/// Search strategy:
+/// * seed the incumbent with the greedy solution (never worse, often
+///   optimal already);
+/// * branch on the uncovered element contained in the *fewest* sets
+///   (fail-first), trying sets in decreasing marginal-gain order;
+/// * prune with the bound `depth + ⌈uncovered / max_set_size⌉ ≥ best`.
+pub fn exact_cover(inst: &SetCoverInstance) -> Option<Vec<usize>> {
+    let universe = inst.universe();
+    if universe == 0 {
+        return Some(Vec::new());
+    }
+    if !inst.is_feasible() {
+        return None;
+    }
+
+    // Element → sets containing it (needed for fail-first branching).
+    let mut containing: Vec<Vec<usize>> = vec![Vec::new(); universe];
+    for (i, s) in inst.sets().iter().enumerate() {
+        for e in s.iter() {
+            containing[e].push(i);
+        }
+    }
+
+    let greedy = greedy_cover(inst);
+    debug_assert!(greedy.complete, "feasible instance must greedy-cover");
+    let mut best: Vec<usize> = greedy.chosen;
+    let max_set_size = inst.sets().iter().map(BitSet::len).max().unwrap_or(0);
+
+    let mut uncovered = BitSet::full(universe);
+    let mut chosen: Vec<usize> = Vec::new();
+    branch(
+        inst,
+        &containing,
+        max_set_size,
+        &mut uncovered,
+        &mut chosen,
+        &mut best,
+    );
+    Some(best)
+}
+
+fn branch(
+    inst: &SetCoverInstance,
+    containing: &[Vec<usize>],
+    max_set_size: usize,
+    uncovered: &mut BitSet,
+    chosen: &mut Vec<usize>,
+    best: &mut Vec<usize>,
+) {
+    let remaining = uncovered.len();
+    if remaining == 0 {
+        if chosen.len() < best.len() {
+            *best = chosen.clone();
+        }
+        return;
+    }
+    // Lower bound: every future set covers at most max_set_size elements.
+    let lb = chosen.len() + remaining.div_ceil(max_set_size);
+    if lb >= best.len() {
+        return;
+    }
+
+    // Fail-first: branch on the uncovered element with fewest candidate sets.
+    let pivot = uncovered
+        .iter()
+        .min_by_key(|&e| containing[e].len())
+        .expect("remaining > 0");
+
+    // Try candidate sets in decreasing marginal gain.
+    let mut candidates: Vec<(usize, usize)> = containing[pivot]
+        .iter()
+        .map(|&i| (inst.set(i).intersection_len(uncovered), i))
+        .collect();
+    candidates.sort_unstable_by(|a, b| b.cmp(a));
+
+    for (_gain, i) in candidates {
+        let saved = uncovered.clone();
+        uncovered.difference_with(inst.set(i));
+        chosen.push(i);
+        branch(inst, containing, max_set_size, uncovered, chosen, best);
+        chosen.pop();
+        *uncovered = saved;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_beats_greedy_on_adversarial_instance() {
+        // Universe 0..6. Optimal: {0,1,2},{3,4,5} (2 sets). Greedy takes
+        // the size-4 set first and needs 3.
+        let inst = SetCoverInstance::from_memberships(
+            6,
+            vec![
+                vec![1, 2, 3, 4],
+                vec![0, 1, 2],
+                vec![3, 4, 5],
+            ],
+        );
+        let g = greedy_cover(&inst);
+        assert_eq!(g.chosen.len(), 3);
+        let opt = exact_cover(&inst).unwrap();
+        assert_eq!(opt.len(), 2);
+        assert!(inst.is_cover(&opt));
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let inst = SetCoverInstance::from_memberships(3, vec![vec![0], vec![1]]);
+        assert_eq!(exact_cover(&inst), None);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let inst = SetCoverInstance::from_memberships(0, vec![vec![]]);
+        assert_eq!(exact_cover(&inst), Some(vec![]));
+    }
+
+    #[test]
+    fn single_covering_set() {
+        let inst = SetCoverInstance::from_memberships(4, vec![vec![0, 1, 2, 3]]);
+        let opt = exact_cover(&inst).unwrap();
+        assert_eq!(opt, vec![0]);
+    }
+
+    #[test]
+    fn exact_never_exceeds_greedy() {
+        // Randomised cross-check on small instances.
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..30 {
+            let universe = rng.random_range(4..12);
+            let n_sets = rng.random_range(3..9);
+            let mut memberships = Vec::new();
+            for _ in 0..n_sets {
+                let mut els = Vec::new();
+                for e in 0..universe {
+                    if rng.random_bool(0.4) {
+                        els.push(e);
+                    }
+                }
+                memberships.push(els);
+            }
+            let inst = SetCoverInstance::from_memberships(universe, memberships);
+            let g = greedy_cover(&inst);
+            match exact_cover(&inst) {
+                None => assert!(!g.complete, "trial {trial}: exact none but greedy covered"),
+                Some(opt) => {
+                    assert!(g.complete);
+                    assert!(inst.is_cover(&opt), "trial {trial}: not a cover");
+                    assert!(
+                        opt.len() <= g.chosen.len(),
+                        "trial {trial}: exact {} > greedy {}",
+                        opt.len(),
+                        g.chosen.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matches_brute_force_on_tiny_instances() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        for trial in 0..20 {
+            let universe = rng.random_range(3..7);
+            let n_sets: usize = rng.random_range(2..6);
+            let mut memberships = Vec::new();
+            for _ in 0..n_sets {
+                let mut els = Vec::new();
+                for e in 0..universe {
+                    if rng.random_bool(0.5) {
+                        els.push(e);
+                    }
+                }
+                memberships.push(els);
+            }
+            let inst = SetCoverInstance::from_memberships(universe, memberships.clone());
+
+            // Brute force over all 2^n_sets subsets.
+            let mut brute: Option<usize> = None;
+            for mask in 0u32..(1 << n_sets) {
+                let chosen: Vec<usize> =
+                    (0..n_sets).filter(|&i| mask & (1 << i) != 0).collect();
+                if inst.is_cover(&chosen) {
+                    brute = Some(brute.map_or(chosen.len(), |b| b.min(chosen.len())));
+                }
+            }
+            let exact = exact_cover(&inst).map(|v| v.len());
+            assert_eq!(exact, brute, "trial {trial}: {memberships:?}");
+        }
+    }
+}

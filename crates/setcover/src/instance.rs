@@ -1,0 +1,136 @@
+//! Set-cover instances.
+
+use crate::bitset::BitSet;
+
+/// A set-cover instance: a ground set `{0, …, N−1}` and `M` candidate
+/// sets.
+///
+/// In the quasi-identifier reduction the ground set is a collection of
+/// tuple pairs and set `i` contains the pairs separated by attribute `i`
+/// (Motwani–Xu, Section 1 of the paper).
+#[derive(Clone, Debug)]
+pub struct SetCoverInstance {
+    universe: usize,
+    sets: Vec<BitSet>,
+}
+
+impl SetCoverInstance {
+    /// Creates an instance from prebuilt bitsets.
+    ///
+    /// # Panics
+    /// Panics if any set's capacity differs from `universe`.
+    pub fn new(universe: usize, sets: Vec<BitSet>) -> Self {
+        for (i, s) in sets.iter().enumerate() {
+            assert_eq!(
+                s.capacity(),
+                universe,
+                "set {i} has capacity {} but universe is {universe}",
+                s.capacity()
+            );
+        }
+        SetCoverInstance { universe, sets }
+    }
+
+    /// Creates an instance from element-membership lists.
+    ///
+    /// # Panics
+    /// Panics if any listed element is `>= universe`.
+    pub fn from_memberships(universe: usize, memberships: Vec<Vec<usize>>) -> Self {
+        let sets = memberships
+            .into_iter()
+            .map(|els| BitSet::from_iter_with_capacity(universe, els))
+            .collect();
+        SetCoverInstance { universe, sets }
+    }
+
+    /// Ground-set size `N`.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of candidate sets `M`.
+    pub fn n_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The candidate sets.
+    pub fn sets(&self) -> &[BitSet] {
+        &self.sets
+    }
+
+    /// The `i`-th candidate set.
+    pub fn set(&self, i: usize) -> &BitSet {
+        &self.sets[i]
+    }
+
+    /// The union of the chosen sets.
+    pub fn coverage(&self, chosen: &[usize]) -> BitSet {
+        let mut cov = BitSet::new(self.universe);
+        for &i in chosen {
+            cov.union_with(&self.sets[i]);
+        }
+        cov
+    }
+
+    /// True iff the chosen sets cover the whole ground set.
+    pub fn is_cover(&self, chosen: &[usize]) -> bool {
+        self.coverage(chosen).len() == self.universe
+    }
+
+    /// True iff even choosing *all* sets covers the ground set.
+    pub fn is_feasible(&self) -> bool {
+        let all: Vec<usize> = (0..self.sets.len()).collect();
+        self.is_cover(&all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> SetCoverInstance {
+        // Universe {0..4}; sets: {0,1}, {1,2,3}, {3,4}, {4}
+        SetCoverInstance::from_memberships(
+            5,
+            vec![vec![0, 1], vec![1, 2, 3], vec![3, 4], vec![4]],
+        )
+    }
+
+    #[test]
+    fn dims() {
+        let inst = toy();
+        assert_eq!(inst.universe(), 5);
+        assert_eq!(inst.n_sets(), 4);
+        assert_eq!(inst.set(1).len(), 3);
+    }
+
+    #[test]
+    fn coverage_and_is_cover() {
+        let inst = toy();
+        assert!(inst.is_cover(&[0, 1, 2]));
+        assert!(!inst.is_cover(&[0, 1]));
+        assert_eq!(inst.coverage(&[0, 3]).iter().collect::<Vec<_>>(), vec![0, 1, 4]);
+        assert!(inst.is_cover(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn feasibility() {
+        let inst = toy();
+        assert!(inst.is_feasible());
+        let infeasible = SetCoverInstance::from_memberships(3, vec![vec![0], vec![1]]);
+        assert!(!infeasible.is_feasible());
+    }
+
+    #[test]
+    fn empty_universe_trivially_covered() {
+        let inst = SetCoverInstance::from_memberships(0, vec![vec![], vec![]]);
+        assert!(inst.is_cover(&[]));
+        assert!(inst.is_feasible());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn mismatched_capacity_rejected() {
+        let _ = SetCoverInstance::new(5, vec![BitSet::new(4)]);
+    }
+}

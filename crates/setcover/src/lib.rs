@@ -1,0 +1,29 @@
+//! # qid-setcover — set-cover substrate
+//!
+//! Motwani–Xu reduce minimum-key discovery to **minimum set cover**: the
+//! ground set is a set of tuple pairs, each attribute covers the pairs
+//! it separates, and a `γ`-approximate cover is a `γ`-approximate key.
+//! This crate provides that reduction target, built from scratch:
+//!
+//! * [`bitset`] — dense fixed-capacity bitsets (the ground sets here are
+//!   `C(|R|, 2)` pairs — thousands of elements — so dense words win).
+//! * [`instance`] — the set-cover instance representation.
+//! * [`greedy`] — the classical greedy algorithm (used by the paper with
+//!   approximation `ln N + 1`), implemented lazily: stale heap gains are
+//!   re-evaluated only when popped, exploiting submodularity.
+//! * [`exact`] — branch-and-bound exact minimum cover for the paper's
+//!   `γ = 1` brute-force variant (`2^{O(m)}` worst case, fast for the
+//!   attribute counts where anyone would run it).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod exact;
+pub mod greedy;
+pub mod instance;
+
+pub use bitset::BitSet;
+pub use exact::exact_cover;
+pub use greedy::{greedy_cover, CoverResult};
+pub use instance::SetCoverInstance;

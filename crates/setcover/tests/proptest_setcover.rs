@@ -1,0 +1,105 @@
+//! Property tests for the set-cover substrate.
+
+use proptest::prelude::*;
+
+use qid_setcover::{exact_cover, greedy_cover, BitSet, SetCoverInstance};
+
+fn instance_strategy() -> impl Strategy<Value = SetCoverInstance> {
+    (1usize..24, 1usize..8).prop_flat_map(|(universe, n_sets)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0usize..universe, 0..universe.max(1)),
+            n_sets,
+        )
+        .prop_map(move |memberships| SetCoverInstance::from_memberships(universe, memberships))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Bitset algebra laws on random element sets.
+    #[test]
+    fn bitset_algebra_laws(
+        cap in 1usize..200,
+        a in proptest::collection::vec(0usize..200, 0..40),
+        b in proptest::collection::vec(0usize..200, 0..40),
+    ) {
+        let a: Vec<usize> = a.into_iter().filter(|&x| x < cap).collect();
+        let b: Vec<usize> = b.into_iter().filter(|&x| x < cap).collect();
+        let sa = BitSet::from_iter_with_capacity(cap, a.iter().copied());
+        let sb = BitSet::from_iter_with_capacity(cap, b.iter().copied());
+
+        // |A∩B| + |A∪B| = |A| + |B|
+        let mut union = sa.clone();
+        union.union_with(&sb);
+        prop_assert_eq!(sa.intersection_len(&sb) + union.len(), sa.len() + sb.len());
+
+        // A \ B disjoint from B, and (A\B) ∪ (A∩B) = A
+        let mut diff = sa.clone();
+        diff.difference_with(&sb);
+        prop_assert!(diff.is_disjoint_from(&sb));
+        let mut inter = sa.clone();
+        inter.intersect_with(&sb);
+        let mut rebuilt = diff.clone();
+        rebuilt.union_with(&inter);
+        prop_assert_eq!(rebuilt, sa.clone());
+
+        // Iteration is sorted and matches membership.
+        let elems: Vec<usize> = sa.iter().collect();
+        prop_assert!(elems.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(elems.iter().all(|&e| sa.contains(e)));
+        prop_assert_eq!(elems.len(), sa.len());
+    }
+
+    /// Greedy output is always a valid (possibly partial) cover with
+    /// no useless picks; exact never beats it upward.
+    #[test]
+    fn greedy_and_exact_consistent(inst in instance_strategy()) {
+        let g = greedy_cover(&inst);
+        // Covered count matches the union of chosen sets.
+        prop_assert_eq!(g.covered, inst.coverage(&g.chosen).len());
+        prop_assert_eq!(g.complete, g.covered == inst.universe());
+        // No chosen set is useless: dropping the last always shrinks
+        // coverage.
+        if let Some((_, rest)) = g.chosen.split_last() {
+            prop_assert!(inst.coverage(rest).len() < g.covered);
+        }
+
+        match exact_cover(&inst) {
+            Some(opt) => {
+                prop_assert!(g.complete);
+                prop_assert!(inst.is_cover(&opt));
+                prop_assert!(opt.len() <= g.chosen.len());
+                // ln(N)+1 approximation guarantee.
+                let bound = ((inst.universe().max(1) as f64).ln() + 1.0) * opt.len() as f64;
+                prop_assert!(g.chosen.len() as f64 <= bound + 1e-9);
+            }
+            None => prop_assert!(!g.complete),
+        }
+    }
+
+    /// Exact cover matches exhaustive enumeration on tiny instances.
+    #[test]
+    fn exact_matches_bruteforce(
+        universe in 1usize..8,
+        memberships in proptest::collection::vec(
+            proptest::collection::vec(0usize..8, 0..8), 1..6
+        ),
+    ) {
+        let memberships: Vec<Vec<usize>> = memberships
+            .into_iter()
+            .map(|els| els.into_iter().filter(|&e| e < universe).collect())
+            .collect();
+        let n_sets = memberships.len();
+        let inst = SetCoverInstance::from_memberships(universe, memberships);
+
+        let mut brute: Option<usize> = None;
+        for mask in 0u32..(1 << n_sets) {
+            let chosen: Vec<usize> = (0..n_sets).filter(|&i| mask & (1 << i) != 0).collect();
+            if inst.is_cover(&chosen) {
+                brute = Some(brute.map_or(chosen.len(), |b| b.min(chosen.len())));
+            }
+        }
+        prop_assert_eq!(exact_cover(&inst).map(|v| v.len()), brute);
+    }
+}

@@ -1,0 +1,67 @@
+//! # quasi-id — finding quasi-identifiers with better sampling bounds
+//!
+//! A faithful, production-quality Rust implementation of
+//! Hildebrant, Le, Ta and Vu, *"Towards Better Bounds for Finding
+//! Quasi-Identifiers"* (PODS 2023, arXiv:2211.13882), including every
+//! substrate the paper relies on.
+//!
+//! This crate is a façade over the workspace:
+//!
+//! * [`dataset`] — columnar data sets, CSV I/O, synthetic workload
+//!   generators (including the paper's three evaluation shapes and both
+//!   lower-bound constructions).
+//! * [`sampling`] — uniform sampling substrate: without-replacement index
+//!   sampling, reservoirs, pair (un)ranking, the birthday-problem
+//!   calculators behind the paper's analysis.
+//! * [`setcover`] — greedy and exact set cover, the reduction target of
+//!   the minimum-key problem.
+//! * [`core`] — the paper's contribution: ε-separation key filters
+//!   (Motwani–Xu pair sampling vs. the improved `Θ(m/√ε)` tuple
+//!   sampling), approximate minimum ε-separation keys via partition
+//!   refinement, non-separation sketches, and the executable analysis
+//!   machinery (symmetric polynomials, KKT worst cases).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use quasi_id::prelude::*;
+//!
+//! // A toy data set: four people, three attributes.
+//! let mut b = DatasetBuilder::new(["zip", "age", "sex"]);
+//! b.push_row([Value::Int(92101), Value::Int(33), Value::text("F")]).unwrap();
+//! b.push_row([Value::Int(92101), Value::Int(33), Value::text("M")]).unwrap();
+//! b.push_row([Value::Int(92102), Value::Int(41), Value::text("F")]).unwrap();
+//! b.push_row([Value::Int(92103), Value::Int(41), Value::text("M")]).unwrap();
+//! let ds = b.finish();
+//!
+//! // Exact ground truth: {zip, sex} separates every pair.
+//! let oracle = ExactOracle::new(&ds);
+//! let zip_sex = vec![AttrId::new(0), AttrId::new(2)];
+//! assert!(oracle.is_key(&zip_sex));
+//!
+//! // The paper's improved filter agrees (and is sublinear in n).
+//! let filter = TupleSampleFilter::build(&ds, FilterParams::new(0.1), 42);
+//! assert_eq!(filter.query(&zip_sex), FilterDecision::Accept);
+//! ```
+
+pub use qid_core as core;
+pub use qid_dataset as dataset;
+pub use qid_sampling as sampling;
+pub use qid_setcover as setcover;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use qid_core::analysis::{NonCollision, WorstCaseProfile};
+    pub use qid_core::filter::{
+        FilterDecision, FilterParams, PairSampleFilter, SeparationFilter, TupleSampleFilter,
+    };
+    pub use qid_core::minkey::{GreedyRefineMinKey, MinKeyResult, MxGreedyMinKey};
+    pub use qid_core::oracle::ExactOracle;
+    pub use qid_core::separation::PartitionIndex;
+    pub use qid_core::masking::{plan_masking, MaskingPlan};
+    pub use qid_core::sketch::{NonSeparationSketch, SketchAnswer, SketchParams};
+    pub use qid_dataset::{
+        AttrId, Dataset, DatasetBuilder, Schema, TupleSource, Value,
+    };
+    pub use qid_dataset::generator::{adult_like, covtype_like, cps_like, BenchmarkSet};
+}

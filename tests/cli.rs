@@ -1,0 +1,143 @@
+//! Integration tests for the `qid` command-line tool, driving the real
+//! compiled binary via `CARGO_BIN_EXE_qid`.
+
+use std::io::Write;
+use std::process::Command;
+
+/// Writes a small CSV fixture and returns its path.
+fn fixture_csv(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("qid-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "id,zip,age,sex").unwrap();
+    for i in 0..800 {
+        writeln!(
+            f,
+            "{i},{},{},{}",
+            92100 + i % 40,
+            18 + (i * 7) % 60,
+            if i % 2 == 0 { "M" } else { "F" }
+        )
+        .unwrap();
+    }
+    path
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_qid"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn stats_lists_cardinalities() {
+    let csv = fixture_csv("stats.csv");
+    let (stdout, _, ok) = run(&["stats", csv.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("800 rows x 4 attributes"));
+    assert!(stdout.contains("zip"));
+    assert!(stdout.contains("800 distinct") || stdout.contains("id"));
+}
+
+#[test]
+fn key_finds_id() {
+    let csv = fixture_csv("key.csv");
+    let (stdout, _, ok) = run(&["key", csv.to_str().unwrap(), "--eps", "0.01"]);
+    assert!(ok);
+    assert!(stdout.contains("eps-separation key"));
+    assert!(stdout.contains("\"id\""), "id must be the found key: {stdout}");
+}
+
+#[test]
+fn check_accepts_key_rejects_weak() {
+    let csv = fixture_csv("check.csv");
+    let (stdout, _, ok) = run(&[
+        "check",
+        csv.to_str().unwrap(),
+        "--attrs",
+        "id",
+        "--eps",
+        "0.01",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Accept"), "{stdout}");
+
+    let (stdout, _, ok) = run(&[
+        "check",
+        csv.to_str().unwrap(),
+        "--attrs",
+        "sex",
+        "--eps",
+        "0.01",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Reject"), "{stdout}");
+}
+
+#[test]
+fn audit_reports_quasi_identifiers() {
+    let csv = fixture_csv("audit.csv");
+    let (stdout, _, ok) = run(&[
+        "audit",
+        csv.to_str().unwrap(),
+        "--eps",
+        "0.01",
+        "--max-key-size",
+        "2",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("minimal quasi-identifiers"));
+    assert!(stdout.contains("uniquely identified"));
+}
+
+#[test]
+fn mask_suppresses_id() {
+    let csv = fixture_csv("mask.csv");
+    let (stdout, _, ok) = run(&[
+        "mask",
+        csv.to_str().unwrap(),
+        "--eps",
+        "0.01",
+        "--budget",
+        "1",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("suppress"));
+    assert!(stdout.contains("id"), "the id column must be suppressed: {stdout}");
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let (_, stderr, ok) = run(&["frobnicate", "/nonexistent.csv"]);
+    assert!(!ok);
+    assert!(!stderr.is_empty());
+
+    let (_, stderr, ok) = run(&["stats", "/definitely/not/here.csv"]);
+    assert!(!ok);
+    assert!(stderr.contains("error reading"));
+
+    let csv = fixture_csv("usage.csv");
+    let (_, stderr, ok) = run(&["check", csv.to_str().unwrap()]);
+    assert!(!ok, "check without --attrs must fail");
+    assert!(stderr.contains("--attrs"));
+}
+
+#[test]
+fn unknown_attribute_rejected() {
+    let csv = fixture_csv("unknown.csv");
+    let (_, stderr, ok) = run(&[
+        "check",
+        csv.to_str().unwrap(),
+        "--attrs",
+        "no_such_column",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown attribute"));
+}

@@ -1,0 +1,168 @@
+//! Cross-crate integration: generators → filters/sketches/min-keys →
+//! exact oracle, exercising the public façade exactly as a user would.
+
+use quasi_id::core::minkey::{exact_min_key_sampled, GreedyRefineMinKey, MxGreedyMinKey};
+use quasi_id::core::oracle::OracleClass;
+use quasi_id::core::filter::SeparationFilter;
+use quasi_id::dataset::generator::{ColumnSpec, DatasetSpec};
+use quasi_id::prelude::*;
+
+/// A mid-size data set with known structure: a real key, a near-key,
+/// and clearly bad attributes.
+fn structured_dataset(n: usize, seed: u64) -> Dataset {
+    DatasetSpec::new(n)
+        .column("id", ColumnSpec::RowId)
+        .column("noise3", ColumnSpec::Zipf { cardinality: 3, exponent: 0.5 })
+        .column("noise50", ColumnSpec::Zipf { cardinality: 50, exponent: 1.0 })
+        .column("wide", ColumnSpec::Uniform { cardinality: 100_000 })
+        .column("flag", ColumnSpec::Binary { p_one: 0.2 })
+        .generate(seed)
+        .expect("valid spec")
+}
+
+#[test]
+fn filters_are_correct_on_every_classified_subset() {
+    let ds = structured_dataset(20_000, 1);
+    let eps = 0.01;
+    let params = FilterParams::new(eps);
+    let oracle = ExactOracle::new(&ds);
+
+    let tuple = TupleSampleFilter::build(&ds, params, 3);
+    let pair = PairSampleFilter::build(&ds, params, 3);
+
+    // All 31 non-empty subsets of the 5 attributes.
+    for mask in 1u32..32 {
+        let attrs: Vec<AttrId> = (0..5)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(AttrId::new)
+            .collect();
+        for (name, decision) in [("tuple", tuple.query(&attrs)), ("pair", pair.query(&attrs))] {
+            assert!(
+                oracle.decision_correct(&attrs, eps, decision),
+                "{name} filter answered {decision:?} on {attrs:?} (class {:?})",
+                oracle.classify(&attrs, eps)
+            );
+        }
+    }
+}
+
+#[test]
+fn filters_agree_with_each_other_mostly() {
+    // The paper's Table 1 agreement metric: on random subsets the two
+    // filters agree on the overwhelming majority.
+    let ds = structured_dataset(30_000, 2);
+    let params = FilterParams::new(0.001);
+    let tuple = TupleSampleFilter::build(&ds, params, 5);
+    let pair = PairSampleFilter::build(&ds, params, 5);
+    let mut agree = 0;
+    let mut total = 0;
+    for mask in 1u32..32 {
+        let attrs: Vec<AttrId> = (0..5)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(AttrId::new)
+            .collect();
+        total += 1;
+        if tuple.query(&attrs) == pair.query(&attrs) {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree * 10 >= total * 9,
+        "agreement {agree}/{total} below 90%"
+    );
+}
+
+#[test]
+fn minkey_pipeline_returns_valid_eps_keys() {
+    let ds = structured_dataset(20_000, 3);
+    let eps = 0.01;
+    let params = FilterParams::new(eps);
+    let oracle = ExactOracle::new(&ds);
+
+    let refine = GreedyRefineMinKey::new(params).run(&ds, 7);
+    assert!(refine.complete);
+    assert!(
+        !oracle.is_bad(&refine.attrs, eps),
+        "greedy-refine key {:?} is bad",
+        refine.attrs
+    );
+
+    let mx = MxGreedyMinKey::new(params).run(&ds, 7);
+    assert!(mx.complete);
+    assert!(!oracle.is_bad(&mx.attrs, eps), "MX key {:?} is bad", mx.attrs);
+
+    let exact = exact_min_key_sampled(&ds, params, 7).expect("id column is a key");
+    assert!(!oracle.is_bad(&exact, eps));
+    // The exact sampled key can't be bigger than either greedy's.
+    assert!(exact.len() <= refine.key_size());
+    assert!(exact.len() <= mx.key_size());
+    // "id" alone is a key, so all should find a 1-attribute key here.
+    assert_eq!(exact.len(), 1);
+}
+
+#[test]
+fn benchmark_generators_have_sane_structure() {
+    let ds = adult_like(5);
+    let oracle = ExactOracle::new(&ds);
+    // fnlwgt (high cardinality) separates most pairs; sex separates few.
+    let fnlwgt = ds.schema().attr_by_name("fnlwgt").unwrap();
+    let sex = ds.schema().attr_by_name("sex").unwrap();
+    assert!(oracle.separation_ratio(&[fnlwgt]) > 0.95);
+    assert!(oracle.separation_ratio(&[sex]) < 0.6);
+    // The full attribute set is a key or nearly one.
+    let all = ds.all_attrs();
+    assert!(oracle.separation_ratio(&all) > 0.999);
+}
+
+#[test]
+fn oracle_classification_consistency_with_profile() {
+    let ds = structured_dataset(5_000, 9);
+    let oracle = ExactOracle::new(&ds);
+    for mask in 1u32..32 {
+        let attrs: Vec<AttrId> = (0..5)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(AttrId::new)
+            .collect();
+        let profile = quasi_id::core::CliqueProfile::from_dataset(&ds, &attrs);
+        assert_eq!(profile.unseparated_pairs(), oracle.unseparated(&attrs));
+        assert_eq!(profile.is_key(), oracle.is_key(&attrs));
+        match oracle.classify(&attrs, 0.05) {
+            OracleClass::Key => assert!(profile.is_key()),
+            OracleClass::Bad => assert!(profile.is_bad(0.05)),
+            OracleClass::Intermediate => {
+                assert!(!profile.is_key() && !profile.is_bad(0.05));
+            }
+        }
+    }
+}
+
+#[test]
+fn sketch_vs_oracle_on_structured_data() {
+    let ds = structured_dataset(20_000, 11);
+    let oracle = ExactOracle::new(&ds);
+    // Theorem 2 needs a "sufficiently large constant K"; multiplier 4
+    // keeps the (1±ε) promise comfortably at this scale.
+    let params = SketchParams::with_multiplier(0.02, 0.1, 3, 4.0);
+    let sketch = NonSeparationSketch::build(&ds, params, 13);
+    let total = ds.n_pairs() as f64;
+
+    for mask in 1u32..32 {
+        let attrs: Vec<AttrId> = (0..5)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(AttrId::new)
+            .collect();
+        if attrs.len() > 3 {
+            continue; // guarantee only covers |A| ≤ k
+        }
+        let exact = oracle.unseparated(&attrs) as f64;
+        if exact < 0.02 * total {
+            continue; // below α: Small is allowed
+        }
+        let est = sketch
+            .query(&attrs)
+            .estimate()
+            .unwrap_or_else(|| panic!("dense subset {attrs:?} answered Small"));
+        let rel = (est - exact).abs() / exact;
+        assert!(rel < 0.1, "subset {attrs:?}: rel error {rel}");
+    }
+}

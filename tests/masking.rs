@@ -1,0 +1,86 @@
+//! Integration: the masking extension end-to-end on generated census
+//! data — audit finds quasi-identifiers, masking destroys them,
+//! re-audit confirms.
+
+use quasi_id::core::masking::plan_masking;
+use quasi_id::core::minkey::{enumerate_minimal_keys, GreedyRefineMinKey, LatticeConfig};
+use quasi_id::prelude::*;
+
+#[test]
+fn mask_then_reaudit_adult_shape() {
+    let ds = adult_like(31);
+    let eps = 0.001;
+    let params = FilterParams::new(eps);
+
+    // Masking against 1-attribute adversaries.
+    let plan = plan_masking(&ds, params, 1, 5);
+
+    // fnlwgt (≈ unique weights) must be one of the suppressed columns —
+    // it is the only near-key singleton in the Adult shape.
+    let fnlwgt = ds.schema().attr_by_name("fnlwgt").unwrap();
+    assert!(
+        plan.suppressed.contains(&fnlwgt),
+        "fnlwgt survived masking: {:?}",
+        plan.suppressed
+    );
+
+    // Re-audit against FULL-data ground truth: no released attribute
+    // may ε-separate on its own (that is exactly what a 1-attribute
+    // linking adversary exploits).
+    let oracle = ExactOracle::new(&ds);
+    for &a in &plan.released {
+        let ratio = oracle.separation_ratio(&[a]);
+        assert!(
+            ratio < 1.0 - eps,
+            "released attribute {} still separates {:.5} of pairs",
+            ds.schema().attr(a).name(),
+            ratio
+        );
+    }
+
+    // And the sampled view agrees: no exact singleton key either.
+    let released = ds.project(&plan.released);
+    let filter = TupleSampleFilter::build(&released, params, 99);
+    let sample = filter.sample().clone();
+    let keys = enumerate_minimal_keys(
+        &sample,
+        LatticeConfig {
+            max_size: 1,
+            max_candidates: 10_000,
+        },
+    );
+    assert!(
+        keys.is_empty(),
+        "released view still has singleton keys: {keys:?}"
+    );
+}
+
+#[test]
+fn masking_budget_monotone() {
+    // A larger adversary budget can only force more suppression.
+    let ds = adult_like(32);
+    let params = FilterParams::new(0.001);
+    let s1 = plan_masking(&ds, params, 1, 7).suppressed.len();
+    let s2 = plan_masking(&ds, params, 2, 7).suppressed.len();
+    assert!(s2 >= s1, "budget 2 suppressed {s2} < budget 1's {s1}");
+}
+
+#[test]
+fn masking_reports_residual_key() {
+    let ds = adult_like(33);
+    let params = FilterParams::new(0.001);
+    let plan = plan_masking(&ds, params, 1, 11);
+    // If a residual key size is reported, verify it really exceeds the
+    // budget by running the greedy on the released view.
+    if let Some(size) = plan.residual_key_size {
+        assert!(size > 1);
+        let view = ds.project(&plan.released);
+        let greedy = GreedyRefineMinKey::new(params).run(&view, 13);
+        if greedy.complete {
+            assert!(
+                greedy.key_size() > 1,
+                "released view has a singleton key after masking"
+            );
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Streaming-path integration: one-pass builders, CSV → stream → sketch
+//! pipelines, and materialised-vs-streamed consistency.
+
+use quasi_id::core::filter::SeparationFilter;
+use quasi_id::core::stream::{
+    pair_filter_from_stream, sketch_from_stream, tuple_filter_from_stream,
+};
+use quasi_id::dataset::csv::{read_csv_str, CsvOptions};
+use quasi_id::dataset::{DatasetTupleSource, VecTupleSource};
+use quasi_id::prelude::*;
+
+fn fixture(n: usize) -> Dataset {
+    let mut b = DatasetBuilder::new(["id", "const", "mod7"]);
+    for i in 0..n as i64 {
+        b.push_row([Value::Int(i), Value::Int(0), Value::Int(i % 7)])
+            .unwrap();
+    }
+    b.finish()
+}
+
+#[test]
+fn one_pass_filters_classify_correctly() {
+    let ds = fixture(5_000);
+    let params = FilterParams::new(0.01);
+    let oracle = ExactOracle::new(&ds);
+
+    let mut src = DatasetTupleSource::new(&ds);
+    let tuple = tuple_filter_from_stream(&mut src, params, 3).unwrap();
+    let mut src = DatasetTupleSource::new(&ds);
+    let pair = pair_filter_from_stream(&mut src, params, 3).unwrap();
+
+    for mask in 1u32..8 {
+        let attrs: Vec<AttrId> = (0..3)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(AttrId::new)
+            .collect();
+        assert!(oracle.decision_correct(&attrs, 0.01, tuple.query(&attrs)));
+        assert!(oracle.decision_correct(&attrs, 0.01, pair.query(&attrs)));
+    }
+}
+
+#[test]
+fn one_pass_sketch_estimates_within_tolerance() {
+    let ds = fixture(3_000);
+    let oracle = ExactOracle::new(&ds);
+    let mut src = DatasetTupleSource::new(&ds);
+    let sketch = sketch_from_stream(&mut src, SketchParams::new(0.05, 0.1, 2), 5).unwrap();
+    let attrs = vec![AttrId::new(2)]; // mod7: dense non-separation
+    let exact = oracle.unseparated(&attrs) as f64;
+    let est = sketch.query(&attrs).estimate().expect("dense");
+    assert!((est - exact).abs() / exact < 0.1);
+}
+
+#[test]
+fn csv_to_stream_to_filter_pipeline() {
+    // A CSV file flows through parsing into a one-pass filter build.
+    let mut csv = String::from("user,city,active\n");
+    for i in 0..900 {
+        csv.push_str(&format!("u{i},city{},{}\n", i % 5, i % 2));
+    }
+    let ds = read_csv_str(&csv, &CsvOptions::default()).unwrap();
+    assert_eq!(ds.n_rows(), 900);
+
+    let mut src = DatasetTupleSource::new(&ds);
+    let filter = tuple_filter_from_stream(&mut src, FilterParams::new(0.01), 1).unwrap();
+    let user = ds.schema().attr_by_name("user").unwrap();
+    let city = ds.schema().attr_by_name("city").unwrap();
+    let active = ds.schema().attr_by_name("active").unwrap();
+    assert_eq!(filter.query(&[user]), FilterDecision::Accept);
+    assert_eq!(filter.query(&[city, active]), FilterDecision::Reject);
+}
+
+#[test]
+fn owned_vec_stream_works() {
+    let rows: Vec<Vec<Value>> = (0..500)
+        .map(|i| vec![Value::Int(i), Value::text(if i % 2 == 0 { "a" } else { "b" })])
+        .collect();
+    let mut src = VecTupleSource::new(["num", "parity"], rows);
+    let filter = tuple_filter_from_stream(&mut src, FilterParams::new(0.05), 2).unwrap();
+    assert_eq!(filter.query(&[AttrId::new(0)]), FilterDecision::Accept);
+    assert_eq!(filter.query(&[AttrId::new(1)]), FilterDecision::Reject);
+}
+
+#[test]
+fn streamed_and_materialised_same_seed_same_sample_decisions() {
+    let ds = fixture(2_000);
+    let params = FilterParams::new(0.02);
+    for seed in 0..8 {
+        let mut src = DatasetTupleSource::new(&ds);
+        let streamed = tuple_filter_from_stream(&mut src, params, seed).unwrap();
+        let direct = TupleSampleFilter::build(&ds, params, seed);
+        assert_eq!(streamed.sample_size(), direct.sample_size());
+        for mask in 1u32..8 {
+            let attrs: Vec<AttrId> = (0..3)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(AttrId::new)
+                .collect();
+            assert_eq!(streamed.query(&attrs), direct.query(&attrs), "seed {seed}");
+        }
+    }
+}
