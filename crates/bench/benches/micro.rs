@@ -82,7 +82,11 @@ fn bench_refinement(c: &mut Criterion) {
     group.bench_function("split_sizes_one_attr", |b| {
         let mut refiner = Refiner::new(&idx);
         b.iter(|| {
-            black_box(refiner.split_sizes(&idx, AttrId::new(0), black_box(&all)).len())
+            black_box(
+                refiner
+                    .split_sizes(&idx, AttrId::new(0), black_box(&all))
+                    .len(),
+            )
         })
     });
     group.bench_function("greedy_refine_full", |b| {
@@ -91,5 +95,10 @@ fn bench_refinement(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_filter_queries, bench_builds, bench_refinement);
+criterion_group!(
+    benches,
+    bench_filter_queries,
+    bench_builds,
+    bench_refinement
+);
 criterion_main!(benches);

@@ -1,9 +1,7 @@
 //! Regenerates the **Theorem 2** sketch experiments (E3): accuracy
 //! sweep plus the Section 3.2 hard-instance decoding demonstration.
 
-use qid_bench::experiments::{
-    run_hard_instance_decode, run_sketch_accuracy, SketchAccuracyConfig,
-};
+use qid_bench::experiments::{run_hard_instance_decode, run_sketch_accuracy, SketchAccuracyConfig};
 use qid_bench::Scale;
 
 fn main() {

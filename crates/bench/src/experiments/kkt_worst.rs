@@ -48,7 +48,14 @@ impl KktConfig {
 pub fn run_kkt_worst_case(cfg: KktConfig) -> Table {
     let mut table = Table::new(
         "Lemma 1 — worst-case profiles have ≤ 2 distinct values (f = e_r)",
-        &["n", "eps", "r", "f(two-value opt)", "f(free search)", "distinct vals (opt)"],
+        &[
+            "n",
+            "eps",
+            "r",
+            "f(two-value opt)",
+            "f(free search)",
+            "distinct vals (opt)",
+        ],
     );
 
     // The exact C.3 setting first, then larger sweeps.
@@ -177,7 +184,10 @@ mod tests {
         for row in 0..t.n_rows() {
             let analytic: f64 = t.cell(row, 2).parse().unwrap();
             let emp: f64 = t.cell(row, 3).parse().unwrap();
-            assert!((analytic - emp).abs() < 0.15, "row {row}: {analytic} vs {emp}");
+            assert!(
+                (analytic - emp).abs() < 0.15,
+                "row {row}: {analytic} vs {emp}"
+            );
             assert!(analytic >= prev - 1e-9, "collision must not shrink with r");
             prev = analytic;
         }

@@ -91,8 +91,7 @@ pub fn run_lemma4(cfg: Lemma4Config) -> Table {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             let rows = qid_sampling::swor::sample_indices(&mut rng, cfg.n, r);
             let sample = ds.gather(&rows);
-            let rejected =
-                qid_core::separation::unseparated_pairs(&sample, &[AttrId::new(0)]) > 0;
+            let rejected = qid_core::separation::unseparated_pairs(&sample, &[AttrId::new(0)]) > 0;
             usize::from(!rejected)
         })
         .into_iter()

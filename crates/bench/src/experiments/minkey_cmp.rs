@@ -6,8 +6,8 @@
 //! minimum on the same sample. Reports key sizes, runtimes, and the
 //! quality of the returned key measured on the *full* data set.
 
-use qid_core::minkey::{GreedyRefineMinKey, MxGreedyMinKey};
 use qid_core::filter::FilterParams;
+use qid_core::minkey::{GreedyRefineMinKey, MxGreedyMinKey};
 use qid_core::oracle::ExactOracle;
 
 use crate::report::{fmt_duration, Table};
@@ -123,7 +123,10 @@ mod tests {
             let r_mx: f64 = t.cell(row, 5).parse().unwrap();
             let r_ours: f64 = t.cell(row, 6).parse().unwrap();
             assert!(r_mx > 1.0 - 10.0 * cfg.eps, "row {row}: MX ratio {r_mx}");
-            assert!(r_ours > 1.0 - 10.0 * cfg.eps, "row {row}: ours ratio {r_ours}");
+            assert!(
+                r_ours > 1.0 - 10.0 * cfg.eps,
+                "row {row}: ours ratio {r_ours}"
+            );
         }
     }
 }

@@ -124,16 +124,21 @@ pub fn run_open_question(cfg: OpenQuestionConfig) -> Table {
         let seeds: Vec<u64> = (0..cfg.trials as u64)
             .map(|t| cfg.seed ^ t.wrapping_mul(0x0b5d_13f5) ^ ((m as u64) << 40))
             .collect();
-        let detected: usize = parallel_trials(&seeds, |seed| {
-            let sample = grid.sample(r_grid, seed);
-            usize::from((0..m).all(|a| {
-                qid_core::separation::unseparated_pairs(&sample, &[AttrId::new(a)]) > 0
-            }))
-        })
-        .into_iter()
-        .sum();
+        let detected: usize =
+            parallel_trials(&seeds, |seed| {
+                let sample = grid.sample(r_grid, seed);
+                usize::from((0..m).all(|a| {
+                    qid_core::separation::unseparated_pairs(&sample, &[AttrId::new(a)]) > 0
+                }))
+            })
+            .into_iter()
+            .sum();
         let fail_mc = 1.0 - detected as f64 / cfg.trials as f64;
-        let mc_ok = if fail_mc <= cfg.delta * 1.5 { "ok" } else { "high" };
+        let mc_ok = if fail_mc <= cfg.delta * 1.5 {
+            "ok"
+        } else {
+            "high"
+        };
 
         table.row(vec![
             m.to_string(),

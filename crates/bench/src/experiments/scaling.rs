@@ -50,7 +50,15 @@ pub fn run_scaling(cfg: ScalingConfig) -> Table {
             attrs.len(),
             cfg.reps
         ),
-        &["eps", "S MX", "S ours", "build MX", "build ours", "query MX", "query ours"],
+        &[
+            "eps",
+            "S MX",
+            "S ours",
+            "build MX",
+            "build ours",
+            "query MX",
+            "query ours",
+        ],
     );
 
     for &eps in &[0.01, 0.003, 0.001, 0.0003] {

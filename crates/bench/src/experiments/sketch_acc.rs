@@ -10,8 +10,7 @@
 
 use qid_core::oracle::ExactOracle;
 use qid_core::sketch::{
-    gamma_for_guess, index_matrix_dataset, random_index_matrix, NonSeparationSketch,
-    SketchParams,
+    gamma_for_guess, index_matrix_dataset, random_index_matrix, NonSeparationSketch, SketchParams,
 };
 use qid_dataset::AttrId;
 
@@ -78,14 +77,15 @@ pub fn run_sketch_accuracy(cfg: SketchAccuracyConfig) -> Table {
     let mut by_card: Vec<usize> = (0..ds.n_attrs()).collect();
     by_card.sort_by_key(|&a| ds.column(AttrId::new(a)).dict_size());
     let low_card: Vec<usize> = by_card[..ds.n_attrs() / 2].to_vec();
-    let subsets: Vec<Vec<AttrId>> =
-        random_attr_subsets(low_card.len(), cfg.n_subsets, cfg.seed)
-            .into_iter()
-            .map(|mut s| {
-                s.truncate(cfg.k);
-                s.into_iter().map(|a| AttrId::new(low_card[a.index()])).collect()
-            })
-            .collect();
+    let subsets: Vec<Vec<AttrId>> = random_attr_subsets(low_card.len(), cfg.n_subsets, cfg.seed)
+        .into_iter()
+        .map(|mut s| {
+            s.truncate(cfg.k);
+            s.into_iter()
+                .map(|a| AttrId::new(low_card[a.index()]))
+                .collect()
+        })
+        .collect();
 
     for &eps in &[0.3, 0.2, 0.1, 0.05] {
         let params = SketchParams::new(cfg.alpha, eps, cfg.k);
@@ -161,9 +161,7 @@ pub fn run_hard_instance_decode(k: usize, t: usize, m: usize, seed: u64) -> Tabl
             let attrs: Vec<AttrId> = std::iter::once(AttrId::new(col))
                 .chain(guess.iter().map(|&r| AttrId::new(m + r)))
                 .collect();
-            sk.query(&attrs)
-                .estimate()
-                .unwrap_or(perfect_gamma) // Small never fires here: Γ > C(n,2)/16
+            sk.query(&attrs).estimate().unwrap_or(perfect_gamma) // Small never fires here: Γ > C(n,2)/16
         };
 
         let est_perfect = query(&ones);

@@ -52,7 +52,9 @@ pub fn run_table1(cfg: Table1Config) -> Table {
             "Table 1 — sample size (S), avg time (T) over {} trials, agreement (A); eps = {}",
             cfg.trials, cfg.eps
         ),
-        &["Dataset", "n", "m", "S (MX)", "S (ours)", "T (MX)", "T (ours)", "A %"],
+        &[
+            "Dataset", "n", "m", "S (MX)", "S (ours)", "T (MX)", "T (ours)", "A %",
+        ],
     );
 
     for w in table1_workloads(cfg.scale, cfg.seed) {

@@ -20,13 +20,10 @@ pub fn time_avg(trials: usize, mut f: impl FnMut()) -> Duration {
     start.elapsed() / trials as u32
 }
 
-/// Runs independent trials on worker threads (crossbeam scoped), one
+/// Runs independent trials on worker threads (std scoped threads), one
 /// seed per trial, and collects the results in seed order. Used by the
 /// statistically heavy lower-bound experiments.
-pub fn parallel_trials<T: Send>(
-    seeds: &[u64],
-    f: impl Fn(u64) -> T + Sync,
-) -> Vec<T> {
+pub fn parallel_trials<T: Send>(seeds: &[u64], f: impl Fn(u64) -> T + Sync) -> Vec<T> {
     let n_workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -36,9 +33,9 @@ pub fn parallel_trials<T: Send>(
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results_mutex = std::sync::Mutex::new(&mut results);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..n_workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= seeds.len() {
                     break;
@@ -48,8 +45,7 @@ pub fn parallel_trials<T: Send>(
                 guard[i] = Some(out);
             });
         }
-    })
-    .expect("trial worker panicked");
+    });
 
     results
         .into_iter()

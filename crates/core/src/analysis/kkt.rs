@@ -312,7 +312,11 @@ mod tests {
         // two-value family, so the exhaustive two-value search must be
         // at least as good as any fixed point the free-form local
         // search reaches.
-        for (n, eps, r, seed) in [(30usize, 0.3f64, 6usize, 3u64), (40, 0.25, 10, 7), (24, 0.5, 4, 1)] {
+        for (n, eps, r, seed) in [
+            (30usize, 0.3f64, 6usize, 3u64),
+            (40, 0.25, 10, 7),
+            (24, 0.5, 4, 1),
+        ] {
             let free = local_search_worst_profile(n, eps, r, 4000, seed);
             let two = best_two_value_profile(n, eps, r);
             assert!(

@@ -106,7 +106,7 @@ mod tests {
     #[test]
     fn feasibility_rejects_wrong_mass_or_small_sumsq() {
         assert!(!is_feasible(&[1.0, 1.0], 3.0, 0.1)); // wrong sum
-        // All-singleton profile: Σs² = n, constraint needs εn²/4 = 25·0.4.
+                                                      // All-singleton profile: Σs² = n, constraint needs εn²/4 = 25·0.4.
         let p = vec![1.0; 10];
         assert!(!is_feasible(&p, 10.0, 0.9));
         assert!(is_feasible(&p, 10.0, 0.1)); // 10 ≥ 0.1·100/4 = 2.5

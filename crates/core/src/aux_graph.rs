@@ -31,7 +31,10 @@ impl CliqueProfile {
     /// # Panics
     /// Panics if any size is zero.
     pub fn from_sizes(mut sizes: Vec<usize>) -> Self {
-        assert!(sizes.iter().all(|&s| s > 0), "clique sizes must be positive");
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "clique sizes must be positive"
+        );
         sizes.sort_unstable_by(|a, b| b.cmp(a));
         let n = sizes.iter().sum();
         CliqueProfile { sizes, n }

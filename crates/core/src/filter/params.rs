@@ -34,10 +34,7 @@ impl FilterParams {
     /// # Panics
     /// Panics if `eps ∉ (0, 1)` or `multiplier ≤ 0`.
     pub fn with_multiplier(eps: f64, multiplier: f64) -> Self {
-        assert!(
-            eps > 0.0 && eps < 1.0,
-            "eps must be in (0, 1), got {eps}"
-        );
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1), got {eps}");
         assert!(
             multiplier > 0.0 && multiplier.is_finite(),
             "multiplier must be positive and finite, got {multiplier}"

@@ -88,9 +88,7 @@ impl TupleSampleFilter {
             return FilterDecision::Reject;
         }
         let mut order: Vec<u32> = (0..n as u32).collect();
-        order.sort_unstable_by(|&a, &b| {
-            self.sample.cmp_projected(a as usize, b as usize, attrs)
-        });
+        order.sort_unstable_by(|&a, &b| self.sample.cmp_projected(a as usize, b as usize, attrs));
         for w in order.windows(2) {
             if self
                 .sample

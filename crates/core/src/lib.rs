@@ -44,8 +44,8 @@ pub use aux_graph::CliqueProfile;
 pub use filter::{
     FilterDecision, FilterParams, PairSampleFilter, SeparationFilter, TupleSampleFilter,
 };
-pub use minkey::{GreedyRefineMinKey, MinKeyResult, MxGreedyMinKey};
 pub use masking::{plan_masking, MaskingPlan};
+pub use minkey::{GreedyRefineMinKey, MinKeyResult, MxGreedyMinKey};
 pub use oracle::ExactOracle;
 pub use separation::PartitionIndex;
 pub use sketch::{NonSeparationSketch, SketchAnswer, SketchParams};

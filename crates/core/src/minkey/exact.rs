@@ -46,11 +46,7 @@ pub fn exact_min_key(ds: &Dataset) -> Option<Vec<AttrId>> {
 /// the **exact** minimum key of the sample. With probability
 /// `≥ 1 − e^{−m}` the result is an ε-separation key of the full data
 /// set no larger than the true minimum key.
-pub fn exact_min_key_sampled(
-    ds: &Dataset,
-    params: FilterParams,
-    seed: u64,
-) -> Option<Vec<AttrId>> {
+pub fn exact_min_key_sampled(ds: &Dataset, params: FilterParams, seed: u64) -> Option<Vec<AttrId>> {
     let r = params.tuple_sample_size(ds.n_attrs()).min(ds.n_rows());
     let mut rng = StdRng::seed_from_u64(seed);
     let rows = sample_indices(&mut rng, ds.n_rows(), r);
@@ -142,13 +138,7 @@ mod tests {
     fn exact_is_minimum_by_exhaustion() {
         // Cross-check against explicit subset enumeration on a small m.
         let mut b = DatasetBuilder::new(["a", "b", "c"]);
-        let rows = [
-            (0, 0, 0),
-            (0, 1, 1),
-            (1, 0, 1),
-            (1, 1, 0),
-            (0, 0, 1),
-        ];
+        let rows = [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0), (0, 0, 1)];
         for (x, y, z) in rows {
             b.push_row([Value::Int(x), Value::Int(y), Value::Int(z)])
                 .unwrap();

@@ -164,12 +164,7 @@ mod tests {
     fn minimality_no_supersets_reported() {
         // {a,b} and {a,c} are minimal keys; {a,b,c} must not appear.
         let mut b = DatasetBuilder::new(["a", "b", "c"]);
-        let rows = [
-            (0, 0, 0),
-            (0, 1, 1),
-            (1, 0, 0),
-            (1, 1, 1),
-        ];
+        let rows = [(0, 0, 0), (0, 1, 1), (1, 0, 0), (1, 1, 1)];
         for (x, y, z) in rows {
             b.push_row([Value::Int(x), Value::Int(y), Value::Int(z)])
                 .unwrap();

@@ -76,12 +76,7 @@ impl<'a> ExactOracle<'a> {
     /// Is `decision` a *correct* answer for `attrs` under the filter
     /// problem's semantics? (Keys must be accepted, bad sets rejected,
     /// intermediate sets are free.)
-    pub fn decision_correct(
-        &self,
-        attrs: &[AttrId],
-        eps: f64,
-        decision: FilterDecision,
-    ) -> bool {
+    pub fn decision_correct(&self, attrs: &[AttrId], eps: f64, decision: FilterDecision) -> bool {
         match self.classify(attrs, eps) {
             OracleClass::Key => decision == FilterDecision::Accept,
             OracleClass::Bad => decision == FilterDecision::Reject,
@@ -103,12 +98,8 @@ mod tests {
         // 10 rows: id key, const, 9+1 split.
         let mut b = DatasetBuilder::new(["id", "const", "skew"]);
         for i in 0..10 {
-            b.push_row([
-                Value::Int(i),
-                Value::Int(0),
-                Value::Int(i64::from(i == 9)),
-            ])
-            .unwrap();
+            b.push_row([Value::Int(i), Value::Int(0), Value::Int(i64::from(i == 9))])
+                .unwrap();
         }
         b.finish()
     }

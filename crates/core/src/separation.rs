@@ -116,12 +116,7 @@ impl Refiner {
     ///
     /// The returned slice aliases internal scratch; copy it out if it
     /// must outlive the next call.
-    pub fn split_sizes(
-        &mut self,
-        idx: &PartitionIndex,
-        attr: AttrId,
-        group: &[u32],
-    ) -> &[u32] {
+    pub fn split_sizes(&mut self, idx: &PartitionIndex, attr: AttrId, group: &[u32]) -> &[u32] {
         self.occupied.clear();
         let table = &idx.table[attr.index()];
         for &r in group {
@@ -206,7 +201,10 @@ pub fn group_sizes(ds: &Dataset, attrs: &[AttrId]) -> Vec<usize> {
     let mut sizes = Vec::new();
     let mut run = 1usize;
     for w in order.windows(2) {
-        if ds.cmp_projected(w[0] as usize, w[1] as usize, attrs).is_eq() {
+        if ds
+            .cmp_projected(w[0] as usize, w[1] as usize, attrs)
+            .is_eq()
+        {
             run += 1;
         } else {
             sizes.push(run);
@@ -303,14 +301,10 @@ mod tests {
         let idx = PartitionIndex::build(&ds);
         let mut refiner = Refiner::new(&idx);
         let all: Vec<u32> = (0..6).collect();
-        let mut sizes = refiner
-            .split_sizes(&idx, AttrId::new(0), &all)
-            .to_vec();
+        let mut sizes = refiner.split_sizes(&idx, AttrId::new(0), &all).to_vec();
         sizes.sort_unstable();
         assert_eq!(sizes, vec![3, 3]);
-        let mut sizes = refiner
-            .split_sizes(&idx, AttrId::new(1), &all)
-            .to_vec();
+        let mut sizes = refiner.split_sizes(&idx, AttrId::new(1), &all).to_vec();
         sizes.sort_unstable();
         assert_eq!(sizes, vec![2, 2, 2]);
         let sizes = refiner.split_sizes(&idx, AttrId::new(2), &all).to_vec();

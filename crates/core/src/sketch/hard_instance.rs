@@ -62,10 +62,7 @@ pub fn index_matrix_dataset(c_columns: &[Vec<bool>]) -> Dataset {
     assert!(!c_columns.is_empty(), "need at least one column");
     let n = c_columns[0].len();
     assert!(n > 0, "need at least one row");
-    assert!(
-        c_columns.iter().all(|c| c.len() == n),
-        "ragged bit matrix"
-    );
+    assert!(c_columns.iter().all(|c| c.len() == n), "ragged bit matrix");
     let m = c_columns.len();
 
     let names: Vec<String> = (0..m)
@@ -102,7 +99,10 @@ pub fn gamma_for_guess(k: usize, t: usize, u: usize) -> u128 {
     // Multiply the paper's half-integer coefficients by 2 to stay in
     // integers: 2Γ = (2t²−2t+5)k² − (2t−1)k + 2u² − 6ku.
     let twice = (2 * t * t - 2 * t + 5) * k * k - (2 * t - 1) * k + 2 * u * u - 6 * k * u;
-    debug_assert!(twice >= 0 && twice % 2 == 0, "Lemma 6 must yield an integer");
+    debug_assert!(
+        twice >= 0 && twice % 2 == 0,
+        "Lemma 6 must yield an integer"
+    );
     (twice / 2) as u128
 }
 

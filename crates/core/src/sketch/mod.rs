@@ -64,7 +64,10 @@ impl SketchParams {
     /// Panics unless `α ∈ (0,1)`, `ε ∈ (0,1)`, `k ≥ 1`,
     /// `multiplier > 0`.
     pub fn with_multiplier(alpha: f64, eps: f64, k: usize, multiplier: f64) -> Self {
-        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0,1), got {alpha}"
+        );
         assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1), got {eps}");
         assert!(k >= 1, "k must be at least 1");
         assert!(

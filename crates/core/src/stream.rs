@@ -178,8 +178,7 @@ mod tests {
     fn streaming_sketch_estimates() {
         let ds = fixture(400);
         let mut src = DatasetTupleSource::new(&ds);
-        let sk =
-            sketch_from_stream(&mut src, SketchParams::new(0.25, 0.1, 2), 7).unwrap();
+        let sk = sketch_from_stream(&mut src, SketchParams::new(0.25, 0.1, 2), 7).unwrap();
         // const is fully unseparated: Γ = C(400,2).
         let est = sk.query(&attrs(&[1])).estimate().expect("dense subset");
         let exact = ds.n_pairs() as f64;

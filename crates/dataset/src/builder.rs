@@ -159,10 +159,20 @@ mod tests {
     #[test]
     fn builds_and_infers_types() {
         let mut b = DatasetBuilder::new(["i", "f", "t", "mix"]);
-        b.push_row([Value::Int(1), Value::float(0.5), Value::text("a"), Value::Int(1)])
-            .unwrap();
-        b.push_row([Value::Int(2), Value::float(1.5), Value::text("b"), Value::text("x")])
-            .unwrap();
+        b.push_row([
+            Value::Int(1),
+            Value::float(0.5),
+            Value::text("a"),
+            Value::Int(1),
+        ])
+        .unwrap();
+        b.push_row([
+            Value::Int(2),
+            Value::float(1.5),
+            Value::text("b"),
+            Value::text("x"),
+        ])
+        .unwrap();
         let ds = b.finish();
         let s = ds.schema();
         assert_eq!(s.attr(AttrId::new(0)).dtype(), DataType::Int);

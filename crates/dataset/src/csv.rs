@@ -173,8 +173,13 @@ fn field_to_value(field: &str, opts: &CsvOptions, interner: &mut Interner) -> Va
         if let Ok(i) = field.parse::<i64>() {
             return Value::Int(i);
         }
+        // Only finite parses count as numbers: `f64::parse` also accepts
+        // "nan"/"inf"/"infinity" (any case), but coercing those would not
+        // survive a write → read round-trip, so they stay text.
         if let Ok(f) = field.parse::<f64>() {
-            return Value::float(f);
+            if f.is_finite() {
+                return Value::float(f);
+            }
         }
     }
     Value::Text(interner.intern(field))
@@ -251,10 +256,7 @@ pub fn write_csv<W: Write>(ds: &Dataset, mut w: W) -> io::Result<()> {
     Ok(())
 }
 
-fn write_record<'a, W: Write>(
-    w: &mut W,
-    fields: impl Iterator<Item = &'a str>,
-) -> io::Result<()> {
+fn write_record<'a, W: Write>(w: &mut W, fields: impl Iterator<Item = &'a str>) -> io::Result<()> {
     let mut first = true;
     for f in fields {
         if !first {
@@ -299,8 +301,11 @@ mod tests {
 
     #[test]
     fn quoted_fields_and_escapes() {
-        let ds = read_csv_str("a,b\n\"hi, there\",\"say \"\"what\"\"\"\n", &CsvOptions::default())
-            .unwrap();
+        let ds = read_csv_str(
+            "a,b\n\"hi, there\",\"say \"\"what\"\"\"\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
         assert_eq!(ds.value(0, 0.into()), &Value::text("hi, there"));
         assert_eq!(ds.value(0, 1.into()), &Value::text("say \"what\""));
     }
@@ -379,8 +384,8 @@ mod tests {
         .unwrap();
         let mut out = Vec::new();
         write_csv(&ds, &mut out).unwrap();
-        let back = read_csv_str(std::str::from_utf8(&out).unwrap(), &CsvOptions::default())
-            .unwrap();
+        let back =
+            read_csv_str(std::str::from_utf8(&out).unwrap(), &CsvOptions::default()).unwrap();
         assert_eq!(back.n_rows(), ds.n_rows());
         assert_eq!(back.value(0, 0.into()), &Value::text("comma, inc"));
         assert_eq!(back.value(1, 1.into()), &Value::Int(4));

@@ -316,7 +316,10 @@ mod tests {
         let ds = sample();
         let r = ds.row(1);
         assert_eq!(r.index(), 1);
-        assert_eq!(r.to_vec(), vec![Value::Int(1), Value::text("y"), Value::Int(10)]);
+        assert_eq!(
+            r.to_vec(),
+            vec![Value::Int(1), Value::text("y"), Value::Int(10)]
+        );
         assert_eq!(format!("{r:?}"), "[Int(1), Text(\"y\"), Int(10)]");
     }
 

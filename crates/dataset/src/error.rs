@@ -33,14 +33,12 @@ pub enum DatasetError {
 impl fmt::Display for DatasetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DatasetError::RowArity { row, expected, got } => write!(
-                f,
-                "row {row}: expected {expected} values, got {got}"
-            ),
-            DatasetError::DictionaryOverflow(col) => write!(
-                f,
-                "column {col:?}: more than u32::MAX distinct values"
-            ),
+            DatasetError::RowArity { row, expected, got } => {
+                write!(f, "row {row}: expected {expected} values, got {got}")
+            }
+            DatasetError::DictionaryOverflow(col) => {
+                write!(f, "column {col:?}: more than u32::MAX distinct values")
+            }
             DatasetError::Csv { line, message } => {
                 write!(f, "csv parse error at line {line}: {message}")
             }

@@ -53,23 +53,97 @@ impl BenchmarkSet {
 /// copy of `education` as in the real data.
 pub fn adult_like(seed: u64) -> Dataset {
     DatasetSpec::new(32_561)
-        .column("age", ColumnSpec::Zipf { cardinality: 73, exponent: 0.4 })
-        .column("workclass", ColumnSpec::Zipf { cardinality: 9, exponent: 1.6 })
-        .column("fnlwgt", ColumnSpec::Uniform { cardinality: 21_648 })
-        .column("education", ColumnSpec::Zipf { cardinality: 16, exponent: 0.9 })
+        .column(
+            "age",
+            ColumnSpec::Zipf {
+                cardinality: 73,
+                exponent: 0.4,
+            },
+        )
+        .column(
+            "workclass",
+            ColumnSpec::Zipf {
+                cardinality: 9,
+                exponent: 1.6,
+            },
+        )
+        .column(
+            "fnlwgt",
+            ColumnSpec::Uniform {
+                cardinality: 21_648,
+            },
+        )
+        .column(
+            "education",
+            ColumnSpec::Zipf {
+                cardinality: 16,
+                exponent: 0.9,
+            },
+        )
         .column(
             "education-num",
-            ColumnSpec::Derived { source: SourceRef::Column(3), collapse: 1 },
+            ColumnSpec::Derived {
+                source: SourceRef::Column(3),
+                collapse: 1,
+            },
         )
-        .column("marital-status", ColumnSpec::Zipf { cardinality: 7, exponent: 1.2 })
-        .column("occupation", ColumnSpec::Zipf { cardinality: 15, exponent: 0.5 })
-        .column("relationship", ColumnSpec::Zipf { cardinality: 6, exponent: 0.9 })
-        .column("race", ColumnSpec::Zipf { cardinality: 5, exponent: 2.2 })
+        .column(
+            "marital-status",
+            ColumnSpec::Zipf {
+                cardinality: 7,
+                exponent: 1.2,
+            },
+        )
+        .column(
+            "occupation",
+            ColumnSpec::Zipf {
+                cardinality: 15,
+                exponent: 0.5,
+            },
+        )
+        .column(
+            "relationship",
+            ColumnSpec::Zipf {
+                cardinality: 6,
+                exponent: 0.9,
+            },
+        )
+        .column(
+            "race",
+            ColumnSpec::Zipf {
+                cardinality: 5,
+                exponent: 2.2,
+            },
+        )
         .column("sex", ColumnSpec::Binary { p_one: 0.331 })
-        .column("capital-gain", ColumnSpec::Zipf { cardinality: 119, exponent: 2.4 })
-        .column("capital-loss", ColumnSpec::Zipf { cardinality: 92, exponent: 2.6 })
-        .column("hours-per-week", ColumnSpec::Zipf { cardinality: 94, exponent: 1.1 })
-        .column("native-country", ColumnSpec::Zipf { cardinality: 41, exponent: 2.4 })
+        .column(
+            "capital-gain",
+            ColumnSpec::Zipf {
+                cardinality: 119,
+                exponent: 2.4,
+            },
+        )
+        .column(
+            "capital-loss",
+            ColumnSpec::Zipf {
+                cardinality: 92,
+                exponent: 2.6,
+            },
+        )
+        .column(
+            "hours-per-week",
+            ColumnSpec::Zipf {
+                cardinality: 94,
+                exponent: 1.1,
+            },
+        )
+        .column(
+            "native-country",
+            ColumnSpec::Zipf {
+                cardinality: 41,
+                exponent: 2.4,
+            },
+        )
         .generate(seed)
         .expect("adult_like spec is statically valid")
 }
@@ -84,31 +158,86 @@ pub fn covtype_like(seed: u64) -> Dataset {
 pub fn covtype_like_scaled(seed: u64, n_rows: usize) -> Dataset {
     let mut spec = DatasetSpec::new(n_rows)
         // Latent 0: wilderness area (4 categories); latent 1: soil type (40).
-        .latent(ColumnSpec::Zipf { cardinality: 4, exponent: 0.9 })
-        .latent(ColumnSpec::Zipf { cardinality: 40, exponent: 0.8 })
+        .latent(ColumnSpec::Zipf {
+            cardinality: 4,
+            exponent: 0.9,
+        })
+        .latent(ColumnSpec::Zipf {
+            cardinality: 40,
+            exponent: 0.8,
+        })
         .column("elevation", ColumnSpec::Uniform { cardinality: 1_978 })
         .column("aspect", ColumnSpec::Uniform { cardinality: 361 })
-        .column("slope", ColumnSpec::Zipf { cardinality: 67, exponent: 0.8 })
-        .column("horiz-dist-hydrology", ColumnSpec::Zipf { cardinality: 551, exponent: 0.5 })
-        .column("vert-dist-hydrology", ColumnSpec::Zipf { cardinality: 700, exponent: 0.5 })
-        .column("horiz-dist-roadways", ColumnSpec::Uniform { cardinality: 5_785 })
-        .column("hillshade-9am", ColumnSpec::Zipf { cardinality: 207, exponent: 0.4 })
-        .column("hillshade-noon", ColumnSpec::Zipf { cardinality: 185, exponent: 0.4 })
-        .column("hillshade-3pm", ColumnSpec::Zipf { cardinality: 255, exponent: 0.4 })
-        .column("horiz-dist-fire", ColumnSpec::Uniform { cardinality: 5_827 });
+        .column(
+            "slope",
+            ColumnSpec::Zipf {
+                cardinality: 67,
+                exponent: 0.8,
+            },
+        )
+        .column(
+            "horiz-dist-hydrology",
+            ColumnSpec::Zipf {
+                cardinality: 551,
+                exponent: 0.5,
+            },
+        )
+        .column(
+            "vert-dist-hydrology",
+            ColumnSpec::Zipf {
+                cardinality: 700,
+                exponent: 0.5,
+            },
+        )
+        .column(
+            "horiz-dist-roadways",
+            ColumnSpec::Uniform { cardinality: 5_785 },
+        )
+        .column(
+            "hillshade-9am",
+            ColumnSpec::Zipf {
+                cardinality: 207,
+                exponent: 0.4,
+            },
+        )
+        .column(
+            "hillshade-noon",
+            ColumnSpec::Zipf {
+                cardinality: 185,
+                exponent: 0.4,
+            },
+        )
+        .column(
+            "hillshade-3pm",
+            ColumnSpec::Zipf {
+                cardinality: 255,
+                exponent: 0.4,
+            },
+        )
+        .column(
+            "horiz-dist-fire",
+            ColumnSpec::Uniform { cardinality: 5_827 },
+        );
     for w in 0..4u64 {
         spec = spec.column(
             format!("wilderness-{w}"),
-            ColumnSpec::OneHotOf { source: SourceRef::Latent(0), value: w },
+            ColumnSpec::OneHotOf {
+                source: SourceRef::Latent(0),
+                value: w,
+            },
         );
     }
     for s in 0..40u64 {
         spec = spec.column(
             format!("soil-{s}"),
-            ColumnSpec::OneHotOf { source: SourceRef::Latent(1), value: s },
+            ColumnSpec::OneHotOf {
+                source: SourceRef::Latent(1),
+                value: s,
+            },
         );
     }
-    spec.generate(seed).expect("covtype_like spec is statically valid")
+    spec.generate(seed)
+        .expect("covtype_like spec is statically valid")
 }
 
 /// US Census CPS 2016 shape: 388 attributes in census-style blocks —
@@ -150,7 +279,8 @@ pub fn cps_like(seed: u64, n_rows: usize) -> Dataset {
         };
         spec = spec.column(name, col);
     }
-    spec.generate(seed).expect("cps_like spec is statically valid")
+    spec.generate(seed)
+        .expect("cps_like spec is statically valid")
 }
 
 #[cfg(test)]

@@ -100,7 +100,10 @@ impl GridDataset {
 /// Panics if `ε` is outside `(0, 1/2]`, `m < 2`, or the clique would not
 /// fit (`√(2ε)·n < 2`).
 pub fn planted_clique(n: usize, m: usize, eps: f64, seed: u64) -> Dataset {
-    assert!(eps > 0.0 && eps <= 0.5, "eps must be in (0, 1/2], got {eps}");
+    assert!(
+        eps > 0.0 && eps <= 0.5,
+        "eps must be in (0, 1/2], got {eps}"
+    );
     assert!(m >= 2, "need at least 2 attributes (clique + key)");
     let clique = ((2.0 * eps).sqrt() * n as f64).ceil() as usize;
     assert!(

@@ -83,10 +83,9 @@ impl ColumnSpec {
     fn validate(&self, name: &str) -> Result<(), DatasetError> {
         let bad = |msg: String| Err(DatasetError::InvalidSpec(format!("column {name:?}: {msg}")));
         match self {
-            ColumnSpec::Uniform { cardinality }
-                if *cardinality == 0 => {
-                    return bad("cardinality must be positive".into());
-                }
+            ColumnSpec::Uniform { cardinality } if *cardinality == 0 => {
+                return bad("cardinality must be positive".into());
+            }
             ColumnSpec::Zipf {
                 cardinality,
                 exponent,
@@ -98,14 +97,12 @@ impl ColumnSpec {
                     return bad("exponent must be finite".into());
                 }
             }
-            ColumnSpec::Binary { p_one }
-                if !(0.0..=1.0).contains(p_one) => {
-                    return bad(format!("p_one {p_one} outside [0, 1]"));
-                }
-            ColumnSpec::Derived { collapse, .. }
-                if *collapse == 0 => {
-                    return bad("collapse must be positive".into());
-                }
+            ColumnSpec::Binary { p_one } if !(0.0..=1.0).contains(p_one) => {
+                return bad(format!("p_one {p_one} outside [0, 1]"));
+            }
+            ColumnSpec::Derived { collapse, .. } if *collapse == 0 => {
+                return bad("collapse must be positive".into());
+            }
             ColumnSpec::NoisyCopy {
                 flip_prob,
                 cardinality,
@@ -260,9 +257,9 @@ fn generate_raw(
         }
     };
     match spec {
-        ColumnSpec::Uniform { cardinality } => {
-            (0..n_rows).map(|_| rng.random_range(0..*cardinality)).collect()
-        }
+        ColumnSpec::Uniform { cardinality } => (0..n_rows)
+            .map(|_| rng.random_range(0..*cardinality))
+            .collect(),
         ColumnSpec::Zipf {
             cardinality,
             exponent,
@@ -326,7 +323,13 @@ mod tests {
     fn deterministic_given_seed() {
         let spec = DatasetSpec::new(200)
             .column("u", ColumnSpec::Uniform { cardinality: 10 })
-            .column("z", ColumnSpec::Zipf { cardinality: 5, exponent: 1.0 });
+            .column(
+                "z",
+                ColumnSpec::Zipf {
+                    cardinality: 5,
+                    exponent: 1.0,
+                },
+            );
         let a = spec.generate(99).unwrap();
         let b = spec.generate(99).unwrap();
         for r in 0..200 {

@@ -99,7 +99,9 @@ impl Schema {
     pub fn new(attrs: Vec<Attribute>) -> Self {
         let mut by_name = HashMap::with_capacity(attrs.len());
         for (i, a) in attrs.iter().enumerate() {
-            by_name.entry(a.name.clone()).or_insert_with(|| AttrId::new(i));
+            by_name
+                .entry(a.name.clone())
+                .or_insert_with(|| AttrId::new(i));
         }
         Schema { attrs, by_name }
     }
@@ -136,7 +138,11 @@ impl Schema {
 
     /// A new schema containing only `keep`, in the given order.
     pub fn project(&self, keep: &[AttrId]) -> Schema {
-        Schema::new(keep.iter().map(|&a| self.attrs[a.index()].clone()).collect())
+        Schema::new(
+            keep.iter()
+                .map(|&a| self.attrs[a.index()].clone())
+                .collect(),
+        )
     }
 }
 

@@ -159,10 +159,7 @@ mod tests {
 
     #[test]
     fn vec_stream_yields_all() {
-        let mut s = VecTupleSource::new(
-            ["a"],
-            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
-        );
+        let mut s = VecTupleSource::new(["a"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
         assert_eq!(s.size_hint(), Some(2));
         assert_eq!(s.next_tuple().unwrap(), Some(vec![Value::Int(1)]));
         assert_eq!(s.size_hint(), Some(1));

@@ -17,11 +17,8 @@ fn value_strategy() -> impl Strategy<Value = Value> {
 
 fn rows_strategy() -> impl Strategy<Value = (usize, Vec<Vec<Value>>)> {
     (1usize..4).prop_flat_map(|attrs| {
-        proptest::collection::vec(
-            proptest::collection::vec(value_strategy(), attrs),
-            0..30,
-        )
-        .prop_map(move |rows| (attrs, rows))
+        proptest::collection::vec(proptest::collection::vec(value_strategy(), attrs), 0..30)
+            .prop_map(move |rows| (attrs, rows))
     })
 }
 

@@ -37,7 +37,10 @@ impl AliasTable {
         let mut scaled: Vec<f64> = weights
             .iter()
             .map(|&w| {
-                assert!(w >= 0.0 && w.is_finite(), "negative or non-finite weight {w}");
+                assert!(
+                    w >= 0.0 && w.is_finite(),
+                    "negative or non-finite weight {w}"
+                );
                 w * n as f64 / total
             })
             .collect();
@@ -117,7 +120,11 @@ mod tests {
     #[test]
     fn skewed_weights() {
         let freqs = empirical(&[8.0, 1.0, 1.0], 60_000, 2);
-        assert!((0.77..0.83).contains(&freqs[0]), "head frequency {}", freqs[0]);
+        assert!(
+            (0.77..0.83).contains(&freqs[0]),
+            "head frequency {}",
+            freqs[0]
+        );
         assert!((0.08..0.12).contains(&freqs[1]));
         assert!((0.08..0.12).contains(&freqs[2]));
     }

@@ -94,11 +94,7 @@ impl PairSampler {
     }
 
     /// `s` i.i.d. uniform pairs (with replacement across draws).
-    pub fn with_replacement<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        s: usize,
-    ) -> Vec<(usize, usize)> {
+    pub fn with_replacement<R: Rng + ?Sized>(&self, rng: &mut R, s: usize) -> Vec<(usize, usize)> {
         (0..s).map(|_| sample_pair(rng, self.n)).collect()
     }
 

@@ -60,11 +60,7 @@ pub fn sample_indices_floyd<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) ->
 ///
 /// # Panics
 /// Panics if `k > n`.
-pub fn sample_indices_fisher_yates<R: Rng + ?Sized>(
-    rng: &mut R,
-    n: usize,
-    k: usize,
-) -> Vec<usize> {
+pub fn sample_indices_fisher_yates<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
     assert!(k <= n, "cannot sample {k} distinct indices from 0..{n}");
     let mut pool: Vec<usize> = (0..n).collect();
     for i in 0..k {

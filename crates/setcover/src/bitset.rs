@@ -69,7 +69,11 @@ impl BitSet {
     /// Panics if `e >= capacity`.
     #[inline]
     pub fn insert(&mut self, e: usize) -> bool {
-        assert!(e < self.capacity, "element {e} out of capacity {}", self.capacity);
+        assert!(
+            e < self.capacity,
+            "element {e} out of capacity {}",
+            self.capacity
+        );
         let (blk, bit) = (e / BLOCK_BITS, e % BLOCK_BITS);
         let mask = 1u64 << bit;
         let was = self.blocks[blk] & mask != 0;
@@ -184,12 +188,13 @@ impl BitSet {
 
     /// Iterates over elements in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
-            BlockOnes {
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, &block)| BlockOnes {
                 block,
                 base: bi * BLOCK_BITS,
-            }
-        })
+            })
     }
 
     /// The smallest element, if any.

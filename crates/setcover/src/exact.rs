@@ -107,11 +107,7 @@ mod tests {
         // the size-4 set first and needs 3.
         let inst = SetCoverInstance::from_memberships(
             6,
-            vec![
-                vec![1, 2, 3, 4],
-                vec![0, 1, 2],
-                vec![3, 4, 5],
-            ],
+            vec![vec![1, 2, 3, 4], vec![0, 1, 2], vec![3, 4, 5]],
         );
         let g = greedy_cover(&inst);
         assert_eq!(g.chosen.len(), 3);
@@ -199,8 +195,7 @@ mod tests {
             // Brute force over all 2^n_sets subsets.
             let mut brute: Option<usize> = None;
             for mask in 0u32..(1 << n_sets) {
-                let chosen: Vec<usize> =
-                    (0..n_sets).filter(|&i| mask & (1 << i) != 0).collect();
+                let chosen: Vec<usize> = (0..n_sets).filter(|&i| mask & (1 << i) != 0).collect();
                 if inst.is_cover(&chosen) {
                     brute = Some(brute.map_or(chosen.len(), |b| b.min(chosen.len())));
                 }

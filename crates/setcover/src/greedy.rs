@@ -132,10 +132,7 @@ mod tests {
 
     #[test]
     fn duplicate_sets_picked_once_each_only_if_useful() {
-        let inst = SetCoverInstance::from_memberships(
-            2,
-            vec![vec![0, 1], vec![0, 1], vec![0, 1]],
-        );
+        let inst = SetCoverInstance::from_memberships(2, vec![vec![0, 1], vec![0, 1], vec![0, 1]]);
         let r = greedy_cover(&inst);
         assert!(r.complete);
         assert_eq!(r.chosen.len(), 1);
@@ -169,7 +166,13 @@ mod tests {
     fn deterministic_given_equal_instances() {
         let inst = SetCoverInstance::from_memberships(
             6,
-            vec![vec![0, 1, 2], vec![3, 4, 5], vec![0, 3], vec![1, 4], vec![2, 5]],
+            vec![
+                vec![0, 1, 2],
+                vec![3, 4, 5],
+                vec![0, 3],
+                vec![1, 4],
+                vec![2, 5],
+            ],
         );
         let a = greedy_cover(&inst);
         let b = greedy_cover(&inst);

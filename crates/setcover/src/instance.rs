@@ -90,10 +90,7 @@ mod tests {
 
     fn toy() -> SetCoverInstance {
         // Universe {0..4}; sets: {0,1}, {1,2,3}, {3,4}, {4}
-        SetCoverInstance::from_memberships(
-            5,
-            vec![vec![0, 1], vec![1, 2, 3], vec![3, 4], vec![4]],
-        )
+        SetCoverInstance::from_memberships(5, vec![vec![0, 1], vec![1, 2, 3], vec![3, 4], vec![4]])
     }
 
     #[test]
@@ -109,7 +106,10 @@ mod tests {
         let inst = toy();
         assert!(inst.is_cover(&[0, 1, 2]));
         assert!(!inst.is_cover(&[0, 1]));
-        assert_eq!(inst.coverage(&[0, 3]).iter().collect::<Vec<_>>(), vec![0, 1, 4]);
+        assert_eq!(
+            inst.coverage(&[0, 3]).iter().collect::<Vec<_>>(),
+            vec![0, 1, 4]
+        );
         assert!(inst.is_cover(&[0, 1, 2, 3]));
     }
 

@@ -15,8 +15,19 @@ fn main() {
     // duplicated some rows' identifying columns.
     let n = 100_000;
     let ds = DatasetSpec::new(n)
-        .column("sku", ColumnSpec::Uniform { cardinality: (n as u64) * 9 / 10 })
-        .column("vendor_code", ColumnSpec::Zipf { cardinality: 120, exponent: 1.0 })
+        .column(
+            "sku",
+            ColumnSpec::Uniform {
+                cardinality: (n as u64) * 9 / 10,
+            },
+        )
+        .column(
+            "vendor_code",
+            ColumnSpec::Zipf {
+                cardinality: 120,
+                exponent: 1.0,
+            },
+        )
         .column(
             "vendor_name",
             ColumnSpec::NoisyCopy {
@@ -25,12 +36,27 @@ fn main() {
                 cardinality: 120,
             },
         )
-        .column("category", ColumnSpec::Zipf { cardinality: 40, exponent: 1.3 })
-        .column("price_cents", ColumnSpec::Uniform { cardinality: 20_000 })
+        .column(
+            "category",
+            ColumnSpec::Zipf {
+                cardinality: 40,
+                exponent: 1.3,
+            },
+        )
+        .column(
+            "price_cents",
+            ColumnSpec::Uniform {
+                cardinality: 20_000,
+            },
+        )
         .generate(9)
         .expect("valid spec");
     let schema = ds.schema();
-    println!("catalog: {} rows x {} attributes\n", ds.n_rows(), ds.n_attrs());
+    println!(
+        "catalog: {} rows x {} attributes\n",
+        ds.n_rows(),
+        ds.n_attrs()
+    );
 
     let a = |name: &str| schema.attr_by_name(name).expect("known attribute");
 
@@ -41,9 +67,9 @@ fn main() {
     // 1. Is `sku` unique? Estimate its non-separation mass.
     match sketch.query(&[a("sku")]) {
         SketchAnswer::Small => println!("sku: collision mass below threshold — near-unique ✓"),
-        SketchAnswer::Estimate(g) => println!(
-            "sku: ~{g:.0} unseparated pairs — duplicated identifiers, deduplicate!"
-        ),
+        SketchAnswer::Estimate(g) => {
+            println!("sku: ~{g:.0} unseparated pairs — duplicated identifiers, deduplicate!")
+        }
     }
 
     // 2. Noisy FD check: vendor_code → vendor_name should make

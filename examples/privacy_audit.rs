@@ -54,7 +54,11 @@ fn main() {
 
     // 2. The greedy small quasi-identifier.
     let greedy = GreedyRefineMinKey::run_on_sample(&sample);
-    let names: Vec<&str> = greedy.attrs.iter().map(|&a| schema.attr(a).name()).collect();
+    let names: Vec<&str> = greedy
+        .attrs
+        .iter()
+        .map(|&a| schema.attr(a).name())
+        .collect();
     println!("\ngreedy quasi-identifier: {names:?}");
 
     // 3. Re-identification rates on the FULL data set for interesting

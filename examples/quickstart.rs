@@ -3,20 +3,29 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use quasi_id::prelude::*;
 use quasi_id::core::minkey::GreedyRefineMinKey;
+use quasi_id::prelude::*;
 
 fn main() {
     // A synthetic "customers" table: 50,000 rows, 6 attributes.
     let ds = quasi_id::dataset::generator::DatasetSpec::new(50_000)
-        .column("customer_id", quasi_id::dataset::generator::ColumnSpec::RowId)
+        .column(
+            "customer_id",
+            quasi_id::dataset::generator::ColumnSpec::RowId,
+        )
         .column(
             "zip",
-            quasi_id::dataset::generator::ColumnSpec::Zipf { cardinality: 900, exponent: 0.8 },
+            quasi_id::dataset::generator::ColumnSpec::Zipf {
+                cardinality: 900,
+                exponent: 0.8,
+            },
         )
         .column(
             "age",
-            quasi_id::dataset::generator::ColumnSpec::Zipf { cardinality: 75, exponent: 0.3 },
+            quasi_id::dataset::generator::ColumnSpec::Zipf {
+                cardinality: 75,
+                exponent: 0.3,
+            },
         )
         .column(
             "sex",
@@ -24,7 +33,10 @@ fn main() {
         )
         .column(
             "plan",
-            quasi_id::dataset::generator::ColumnSpec::Zipf { cardinality: 5, exponent: 1.5 },
+            quasi_id::dataset::generator::ColumnSpec::Zipf {
+                cardinality: 5,
+                exponent: 1.5,
+            },
         )
         .column(
             "signup_day",
@@ -32,7 +44,11 @@ fn main() {
         )
         .generate(42)
         .expect("valid spec");
-    println!("data set: {} rows x {} attributes", ds.n_rows(), ds.n_attrs());
+    println!(
+        "data set: {} rows x {} attributes",
+        ds.n_rows(),
+        ds.n_attrs()
+    );
 
     // Build both ε-separation key filters (ε = 0.001).
     let params = FilterParams::new(0.001);

@@ -10,12 +10,19 @@ fn main() {
     let ds = adult_like(77);
     let oracle = ExactOracle::new(&ds);
     let schema = ds.schema();
-    println!("Adult shape: {} rows x {} attributes\n", ds.n_rows(), ds.n_attrs());
+    println!(
+        "Adult shape: {} rows x {} attributes\n",
+        ds.n_rows(),
+        ds.n_attrs()
+    );
 
     let subsets: Vec<(&str, Vec<&str>)> = vec![
         ("race alone", vec!["race"]),
         ("sex + race", vec!["sex", "race"]),
-        ("education + marital-status", vec!["education", "marital-status"]),
+        (
+            "education + marital-status",
+            vec!["education", "marital-status"],
+        ),
         ("age + workclass", vec!["age", "workclass"]),
     ];
     let resolve = |names: &[&str]| -> Vec<AttrId> {
@@ -28,10 +35,7 @@ fn main() {
     for &eps in &[0.3, 0.1, 0.03] {
         let params = SketchParams::new(0.01, eps, 4);
         let sketch = NonSeparationSketch::build(&ds, params, 13);
-        println!(
-            "eps = {eps}: sketch stores {} pairs",
-            sketch.sample_size()
-        );
+        println!("eps = {eps}: sketch stores {} pairs", sketch.sample_size());
         for (label, names) in &subsets {
             let attrs = resolve(names);
             let exact = oracle.unseparated(&attrs) as f64;

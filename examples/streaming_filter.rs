@@ -8,8 +8,10 @@
 //!
 //! Run with `cargo run --release --example streaming_filter`.
 
-use quasi_id::core::stream::{pair_filter_from_stream, sketch_from_stream, tuple_filter_from_stream};
 use quasi_id::core::filter::SeparationFilter;
+use quasi_id::core::stream::{
+    pair_filter_from_stream, sketch_from_stream, tuple_filter_from_stream,
+};
 use quasi_id::dataset::DatasetTupleSource;
 use quasi_id::prelude::*;
 
@@ -54,7 +56,10 @@ fn main() {
     // The original data set can now be dropped; queries run on sketches.
     let schema = ds.schema();
     let subsets: Vec<(&str, Vec<AttrId>)> = vec![
-        ("elevation alone", vec![schema.attr_by_name("elevation").unwrap()]),
+        (
+            "elevation alone",
+            vec![schema.attr_by_name("elevation").unwrap()],
+        ),
         (
             "all wilderness indicators",
             (10..14).map(AttrId::new).collect(),

@@ -59,11 +59,10 @@ fn parse_args() -> Opts {
     };
     while let Some(flag) = args.next() {
         let mut take = |name: &str| -> String {
-            args.next()
-                .unwrap_or_else(|| {
-                    eprintln!("missing value for {name}");
-                    usage()
-                })
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
         };
         match flag.as_str() {
             "--eps" => opts.eps = take("--eps").parse().unwrap_or_else(|_| usage()),
@@ -89,7 +88,12 @@ fn resolve_attrs(ds: &Dataset, spec: &str) -> Result<Vec<AttrId>, String> {
             let name = name.trim();
             ds.schema()
                 .attr_by_name(name)
-                .or_else(|| name.parse::<usize>().ok().filter(|&i| i < ds.n_attrs()).map(AttrId::new))
+                .or_else(|| {
+                    name.parse::<usize>()
+                        .ok()
+                        .filter(|&i| i < ds.n_attrs())
+                        .map(AttrId::new)
+                })
                 .ok_or_else(|| format!("unknown attribute {name:?}"))
         })
         .collect()
@@ -178,7 +182,11 @@ fn main() -> ExitCode {
             };
             println!(
                 "\n{} eps-separation key ({} attributes): {:?}",
-                if opts.exact { "exact-on-sample" } else { "greedy" },
+                if opts.exact {
+                    "exact-on-sample"
+                } else {
+                    "greedy"
+                },
                 result.len(),
                 names(&ds, &result)
             );

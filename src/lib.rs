@@ -55,13 +55,11 @@ pub mod prelude {
     pub use qid_core::filter::{
         FilterDecision, FilterParams, PairSampleFilter, SeparationFilter, TupleSampleFilter,
     };
+    pub use qid_core::masking::{plan_masking, MaskingPlan};
     pub use qid_core::minkey::{GreedyRefineMinKey, MinKeyResult, MxGreedyMinKey};
     pub use qid_core::oracle::ExactOracle;
     pub use qid_core::separation::PartitionIndex;
-    pub use qid_core::masking::{plan_masking, MaskingPlan};
     pub use qid_core::sketch::{NonSeparationSketch, SketchAnswer, SketchParams};
-    pub use qid_dataset::{
-        AttrId, Dataset, DatasetBuilder, Schema, TupleSource, Value,
-    };
     pub use qid_dataset::generator::{adult_like, covtype_like, cps_like, BenchmarkSet};
+    pub use qid_dataset::{AttrId, Dataset, DatasetBuilder, Schema, TupleSource, Value};
 }

@@ -52,7 +52,10 @@ fn key_finds_id() {
     let (stdout, _, ok) = run(&["key", csv.to_str().unwrap(), "--eps", "0.01"]);
     assert!(ok);
     assert!(stdout.contains("eps-separation key"));
-    assert!(stdout.contains("\"id\""), "id must be the found key: {stdout}");
+    assert!(
+        stdout.contains("\"id\""),
+        "id must be the found key: {stdout}"
+    );
 }
 
 #[test]
@@ -110,7 +113,10 @@ fn mask_suppresses_id() {
     ]);
     assert!(ok);
     assert!(stdout.contains("suppress"));
-    assert!(stdout.contains("id"), "the id column must be suppressed: {stdout}");
+    assert!(
+        stdout.contains("id"),
+        "the id column must be suppressed: {stdout}"
+    );
 }
 
 #[test]
@@ -132,12 +138,7 @@ fn bad_usage_fails_cleanly() {
 #[test]
 fn unknown_attribute_rejected() {
     let csv = fixture_csv("unknown.csv");
-    let (_, stderr, ok) = run(&[
-        "check",
-        csv.to_str().unwrap(),
-        "--attrs",
-        "no_such_column",
-    ]);
+    let (_, stderr, ok) = run(&["check", csv.to_str().unwrap(), "--attrs", "no_such_column"]);
     assert!(!ok);
     assert!(stderr.contains("unknown attribute"));
 }

@@ -1,9 +1,9 @@
 //! Cross-crate integration: generators → filters/sketches/min-keys →
 //! exact oracle, exercising the public façade exactly as a user would.
 
+use quasi_id::core::filter::SeparationFilter;
 use quasi_id::core::minkey::{exact_min_key_sampled, GreedyRefineMinKey, MxGreedyMinKey};
 use quasi_id::core::oracle::OracleClass;
-use quasi_id::core::filter::SeparationFilter;
 use quasi_id::dataset::generator::{ColumnSpec, DatasetSpec};
 use quasi_id::prelude::*;
 
@@ -12,9 +12,26 @@ use quasi_id::prelude::*;
 fn structured_dataset(n: usize, seed: u64) -> Dataset {
     DatasetSpec::new(n)
         .column("id", ColumnSpec::RowId)
-        .column("noise3", ColumnSpec::Zipf { cardinality: 3, exponent: 0.5 })
-        .column("noise50", ColumnSpec::Zipf { cardinality: 50, exponent: 1.0 })
-        .column("wide", ColumnSpec::Uniform { cardinality: 100_000 })
+        .column(
+            "noise3",
+            ColumnSpec::Zipf {
+                cardinality: 3,
+                exponent: 0.5,
+            },
+        )
+        .column(
+            "noise50",
+            ColumnSpec::Zipf {
+                cardinality: 50,
+                exponent: 1.0,
+            },
+        )
+        .column(
+            "wide",
+            ColumnSpec::Uniform {
+                cardinality: 100_000,
+            },
+        )
         .column("flag", ColumnSpec::Binary { p_one: 0.2 })
         .generate(seed)
         .expect("valid spec")
@@ -89,7 +106,11 @@ fn minkey_pipeline_returns_valid_eps_keys() {
 
     let mx = MxGreedyMinKey::new(params).run(&ds, 7);
     assert!(mx.complete);
-    assert!(!oracle.is_bad(&mx.attrs, eps), "MX key {:?} is bad", mx.attrs);
+    assert!(
+        !oracle.is_bad(&mx.attrs, eps),
+        "MX key {:?} is bad",
+        mx.attrs
+    );
 
     let exact = exact_min_key_sampled(&ds, params, 7).expect("id column is a key");
     assert!(!oracle.is_bad(&exact, eps));

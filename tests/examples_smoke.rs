@@ -1,0 +1,84 @@
+//! Smoke test: every file in `examples/` builds and runs to a zero
+//! exit status, so example bit-rot shows up in `cargo test` instead of
+//! only when a reader copies one.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "privacy_audit",
+    "data_cleaning",
+    "sketch_estimation",
+    "streaming_filter",
+];
+
+/// `target/<profile>/examples/<name>`, resolved from this test binary's
+/// own location (`target/<profile>/deps/...`). `cargo test` builds the
+/// example targets alongside the tests; if one is missing (e.g. a
+/// filtered build), fall back to `cargo build --examples`.
+fn example_binary(name: &str) -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test binary has a path");
+    dir.pop(); // strip the test binary file name -> deps/
+    if dir.ends_with("deps") {
+        dir.pop(); // -> target/<profile>/
+    }
+    let bin = dir
+        .join("examples")
+        .join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    if !bin.exists() {
+        let mut cmd = Command::new(env!("CARGO"));
+        cmd.args(["build", "--examples"]);
+        if dir.ends_with("release") {
+            cmd.arg("--release");
+        }
+        let status = cmd.status().expect("cargo is runnable");
+        assert!(status.success(), "cargo build --examples failed");
+    }
+    assert!(
+        bin.exists(),
+        "example binary not found at {}",
+        bin.display()
+    );
+    bin
+}
+
+#[test]
+fn all_examples_run_cleanly() {
+    for name in EXAMPLES {
+        let out = Command::new(example_binary(name))
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn example `{name}`: {e}"));
+        assert!(
+            out.status.success(),
+            "example `{name}` exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+        assert!(
+            !out.stdout.is_empty(),
+            "example `{name}` printed nothing on stdout"
+        );
+    }
+}
+
+/// The example list above must stay in sync with the files on disk.
+#[test]
+fn example_list_matches_directory() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut on_disk: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/ exists")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect();
+    on_disk.sort();
+    let mut listed: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    listed.sort();
+    assert_eq!(
+        listed, on_disk,
+        "EXAMPLES constant is out of sync with examples/"
+    );
+}

@@ -76,7 +76,10 @@ fn lemma2_collision_at_m_over_sqrt_eps() {
     assert!(p1 < 0.01, "non-collision at r=m/√ε is {p1}");
     let p2 = nc.with_replacement(2 * r);
     assert!(p2 < 1e-6, "non-collision at r=2m/√ε is {p2}");
-    assert!(p2 < p1 * p1, "decay must be at least quadratic in the constant");
+    assert!(
+        p2 < p1 * p1,
+        "decay must be at least quadratic in the constant"
+    );
 }
 
 /// Lemma 3's construction: on `[q]^m` every singleton is bad, and the

@@ -11,18 +11,16 @@ use quasi_id::sampling::{pair_count, rank_pair, unrank_pair};
 /// with bounded cardinality per attribute.
 fn dataset_strategy() -> impl Strategy<Value = Dataset> {
     (1usize..40, 1usize..5).prop_flat_map(|(rows, attrs)| {
-        proptest::collection::vec(
-            proptest::collection::vec(0i64..6, attrs),
-            rows,
+        proptest::collection::vec(proptest::collection::vec(0i64..6, attrs), rows).prop_map(
+            move |matrix| {
+                let names: Vec<String> = (0..attrs).map(|a| format!("a{a}")).collect();
+                let mut b = DatasetBuilder::new(names);
+                for row in matrix {
+                    b.push_row(row.into_iter().map(Value::Int)).unwrap();
+                }
+                b.finish()
+            },
         )
-        .prop_map(move |matrix| {
-            let names: Vec<String> = (0..attrs).map(|a| format!("a{a}")).collect();
-            let mut b = DatasetBuilder::new(names);
-            for row in matrix {
-                b.push_row(row.into_iter().map(Value::Int)).unwrap();
-            }
-            b.finish()
-        })
     })
 }
 

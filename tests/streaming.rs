@@ -73,7 +73,12 @@ fn csv_to_stream_to_filter_pipeline() {
 #[test]
 fn owned_vec_stream_works() {
     let rows: Vec<Vec<Value>> = (0..500)
-        .map(|i| vec![Value::Int(i), Value::text(if i % 2 == 0 { "a" } else { "b" })])
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::text(if i % 2 == 0 { "a" } else { "b" }),
+            ]
+        })
         .collect();
     let mut src = VecTupleSource::new(["num", "parity"], rows);
     let filter = tuple_filter_from_stream(&mut src, FilterParams::new(0.05), 2).unwrap();

@@ -1,0 +1,425 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim implements the subset of proptest this workspace uses:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]` support),
+//! * [`Strategy`] with `prop_map`, `prop_flat_map` and `boxed`,
+//! * range, tuple, [`Just`], string-pattern and
+//!   [`collection::vec`] strategies,
+//! * [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`], [`prop_assume!`].
+//!
+//! Semantics: each test body runs for `ProptestConfig::cases` random
+//! cases drawn from a deterministic seed (override with the
+//! `PROPTEST_SEED` environment variable). Failing cases report the
+//! seed and case index; there is **no shrinking**.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::{RngExt, SeedableRng};
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// The RNG handed to strategies.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Runner configuration (only the fields this workspace touches).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case hit a failed `prop_assert*`.
+    Fail(String),
+    /// The case was vetoed by `prop_assume!`; it is re-drawn.
+    Reject(String),
+}
+
+/// Drives one property: draws cases until `config.cases` succeed.
+///
+/// Used by the expansion of [`proptest!`]; not part of proptest's real
+/// public API surface.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x5EED_CAFE_F00D_D00D);
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let max_rejects = u64::from(config.cases) * 64;
+    let mut case_index: u64 = 0;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "proptest `{name}`: too many prop_assume! rejections \
+                     ({rejected} rejects for {passed} passes; seed {seed})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed at case {case_index} (seed {seed}, \
+                     set PROPTEST_SEED to reproduce): {msg}"
+                );
+            }
+        }
+        case_index += 1;
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Scalar strategies: ranges over the primitive types the workspace uses.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_small_int_range_strategy {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_small_int_range_strategy!(usize, u8, u16, u32, u64, u128, isize, i8, i16, i32, i64, i128);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.random::<f64>() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.random::<f32>() * (self.end - self.start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);
+
+// ---------------------------------------------------------------------------
+// String pattern strategy: `"[a-z]{0,6}"` and friends.
+// ---------------------------------------------------------------------------
+
+/// A `&str` is a strategy producing strings that match it as a tiny
+/// regex subset: literals, `[..]` classes with ranges, and the
+/// quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (`*`/`+` capped at 8).
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a character class or a (possibly escaped) literal.
+        let alphabet: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let class = &chars[i + 1..close];
+                i = close + 1;
+                expand_class(class, pattern)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling \\ in {pattern:?}"));
+                i += 1;
+                match c {
+                    'd' => ('0'..='9').collect(),
+                    'w' => ('a'..='z')
+                        .chain('A'..='Z')
+                        .chain('0'..='9')
+                        .chain(['_'])
+                        .collect(),
+                    other => vec![other],
+                }
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = lo.trim().parse::<usize>().unwrap_or(0);
+                        let hi = hi.trim().parse::<usize>().unwrap_or(lo + 8);
+                        (lo, hi)
+                    }
+                    None => {
+                        let n = spec.trim().parse::<usize>().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        let count = rng.random_range(min..=max);
+        for _ in 0..count {
+            let pick = rng.random_range(0..alphabet.len());
+            out.push(alphabet[pick]);
+        }
+    }
+    out
+}
+
+fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+    assert!(!class.is_empty(), "empty [] class in pattern {pattern:?}");
+    let mut set = Vec::new();
+    let mut j = 0;
+    while j < class.len() {
+        if j + 2 < class.len() && class[j + 1] == '-' {
+            let (lo, hi) = (class[j], class[j + 2]);
+            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            j += 3;
+        } else {
+            set.push(class[j]);
+            j += 1;
+        }
+    }
+    set
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `fn name(pat in strategy, ...) { body }` items (attributes and doc
+/// comments included).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::run_proptest(&__config, stringify!($name), |__rng| {
+                $(let $pat = $crate::Strategy::sample(&($strat), __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                __outcome
+            });
+        }
+    )*};
+}
+
+/// Fails the current case (with early return) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`: {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                left
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (it is re-drawn) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}

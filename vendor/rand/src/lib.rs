@@ -1,0 +1,308 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides exactly the API surface the workspace uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic, seedable generator
+//!   (xoshiro256** seeded via SplitMix64),
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`Rng`] — the core `next_u32`/`next_u64` trait used as a generic
+//!   bound (`R: Rng + ?Sized`),
+//! * [`RngExt`] — `random`, `random_range`, `random_bool`, blanket
+//!   implemented for every [`Rng`].
+//!
+//! Streams are deterministic per seed (a property the test suites rely
+//! on) but do **not** match upstream `rand`'s output byte-for-byte.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs;
+
+pub use rngs::StdRng;
+
+/// A source of randomness: the minimal core trait.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the generator's raw bits.
+pub trait StandardSample: Sized {
+    /// Draws one value from `rng`.
+    fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+/// Element types [`RngExt::random_range`] can produce.
+pub trait SampleUniform: Sized {
+    /// Draws uniformly from `[low, high)` or `[low, high]`.
+    fn sample_between<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool)
+        -> Self;
+}
+
+/// Ranges that [`RngExt::random_range`] accepts, parameterised by the
+/// element type so integer literals infer from the expected type.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the (non-empty) range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_between(rng, start, end, true)
+    }
+}
+
+// Uniform draw from [0, span) without modulo bias (Lemire's method
+// with rejection), operating on u64 spans.
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(span as u128);
+        let lo = m as u64;
+        if lo >= span {
+            return (m >> 64) as u64;
+        }
+        // Rejection zone: accept unless lo falls below the bias
+        // threshold (2^64 mod span).
+        let threshold = span.wrapping_neg() % span;
+        if lo >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_between<R: Rng + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                if inclusive {
+                    assert!(low <= high, "random_range: empty range {low}..={high}");
+                    let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    (low as $wide).wrapping_add(uniform_below(rng, span + 1) as $wide) as $ty
+                } else {
+                    assert!(low < high, "random_range: empty range {low}..{high}");
+                    let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                    (low as $wide).wrapping_add(uniform_below(rng, span) as $wide) as $ty
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    usize => u64,
+    u64 => u64,
+    u32 => u64,
+    u16 => u64,
+    u8 => u64,
+    isize => i64,
+    i64 => i64,
+    i32 => i64,
+    i16 => i64,
+    i8 => i64,
+);
+
+macro_rules! impl_sample_uniform_int128 {
+    ($($ty:ty),* $(,)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_between<R: Rng + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                // 128 random bits with modulo reduction; the bias is
+                // negligible for any span this workspace draws from.
+                let x = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                if inclusive {
+                    assert!(low <= high, "random_range: empty range {low}..={high}");
+                    let span = (high as u128).wrapping_sub(low as u128);
+                    if span == u128::MAX {
+                        return x as $ty;
+                    }
+                    (low as u128).wrapping_add(x % (span + 1)) as $ty
+                } else {
+                    assert!(low < high, "random_range: empty range {low}..{high}");
+                    let span = (high as u128).wrapping_sub(low as u128);
+                    (low as u128).wrapping_add(x % span) as $ty
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int128!(u128, i128);
+
+impl SampleUniform for f64 {
+    fn sample_between<R: Rng + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+    ) -> Self {
+        assert!(low < high, "random_range: empty range {low}..{high}");
+        low + f64::standard_sample(rng) * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between<R: Rng + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+    ) -> Self {
+        assert!(low < high, "random_range: empty range {low}..{high}");
+        low + f32::standard_sample(rng) * (high - low)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws a value of type `T` from the standard distribution
+    /// (`f64`/`f32` uniform in `[0, 1)`, integers uniform over the
+    /// whole type, `bool` fair).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Draws uniformly from `range`, which must be non-empty.
+    fn random_range<T: SampleUniform, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "random_bool: p = {p} out of range"
+        );
+        f64::standard_sample(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn full_range_inclusive_does_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = rng.random_range(0u64..=u64::MAX);
+        let _ = rng.random_range(u8::MIN..=u8::MAX);
+    }
+
+    #[test]
+    fn uniform_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            let expected = n as f64 / 10.0;
+            assert!((c as f64 - expected).abs() < expected * 0.1, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn random_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((hits as f64 / 100_000.0 - 0.25).abs() < 0.02);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!((0..1000).all(|_| rng.random_bool(1.0)));
+        assert!((0..1000).all(|_| !rng.random_bool(0.0)));
+    }
+}
