@@ -1,0 +1,21 @@
+//! E8: served vs one-shot audit throughput. Scale via `QID_SCALE=full`.
+//!
+//! Besides the printed table, writes the machine-readable
+//! `BENCH_server.json` (requests/sec and p50 latency per mode) to the
+//! working directory so CI can track the perf trajectory.
+
+use qid_bench::experiments::{run_server_bench, ServerBenchConfig};
+use qid_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[server] scale = {scale:?} (set QID_SCALE=full for paper-size data)");
+    let result = run_server_bench(ServerBenchConfig::default_at(scale));
+    result.table.print();
+    let json = result.to_json();
+    let out = "BENCH_server.json";
+    match std::fs::write(out, format!("{json}\n")) {
+        Ok(()) => eprintln!("[server] wrote {out}"),
+        Err(e) => eprintln!("[server] could not write {out}: {e}"),
+    }
+}

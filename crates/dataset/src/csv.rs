@@ -13,6 +13,7 @@ use crate::builder::DatasetBuilder;
 use crate::dataset::Dataset;
 use crate::error::DatasetError;
 use crate::schema::AttrId;
+use crate::stream::TupleSource;
 use crate::symbol::Interner;
 use crate::value::Value;
 
@@ -186,48 +187,16 @@ fn field_to_value(field: &str, opts: &CsvOptions, interner: &mut Interner) -> Va
 }
 
 /// Reads a CSV data set from any reader.
+///
+/// This drains a [`CsvTupleSource`] into a [`Dataset`], so the
+/// materialising and streaming paths share one parser by construction
+/// (header naming, trimming, blank-line tolerance, type inference).
 pub fn read_csv<R: Read>(reader: R, opts: &CsvOptions) -> Result<Dataset, DatasetError> {
-    let mut records = RecordReader::new(BufReader::new(reader), opts.delimiter);
-    let mut interner = Interner::new();
-
-    let first = match records.next_record()? {
-        Some(r) => r,
-        None => return Ok(DatasetBuilder::new(Vec::<String>::new()).finish()),
-    };
-
-    let (names, mut pending): (Vec<String>, Option<Vec<String>>) = if opts.has_header {
-        (
-            first
-                .into_iter()
-                .map(|f| if opts.trim { f.trim().to_string() } else { f })
-                .collect(),
-            None,
-        )
-    } else {
-        (
-            (0..first.len()).map(|i| format!("col{i}")).collect(),
-            Some(first),
-        )
-    };
-
-    let mut builder = DatasetBuilder::new(names);
-    loop {
-        let record = match pending.take() {
-            Some(r) => r,
-            None => match records.next_record()? {
-                Some(r) => r,
-                None => break,
-            },
-        };
-        // Tolerate a trailing blank line.
-        if record.len() == 1 && record[0].trim().is_empty() && builder.n_attrs() != 1 {
-            continue;
-        }
-        builder.push_row(
-            record
-                .iter()
-                .map(|f| field_to_value(f, opts, &mut interner)),
-        )?;
+    // Unbounded interner: the dataset retains every value anyway.
+    let mut source = CsvTupleSource::from_bufread(BufReader::new(reader), opts, Interner::new())?;
+    let mut builder = DatasetBuilder::new(source.attr_names());
+    while let Some(row) = source.next_tuple()? {
+        builder.push_row(row)?;
     }
     Ok(builder.finish())
 }
@@ -240,6 +209,132 @@ pub fn read_csv_path(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<Datase
 /// Reads a CSV data set from an in-memory string.
 pub fn read_csv_str(data: &str, opts: &CsvOptions) -> Result<Dataset, DatasetError> {
     read_csv(data.as_bytes(), opts)
+}
+
+/// How many distinct text values a *streaming* source's interner may
+/// retain. Beyond this, unseen strings are returned uncached: a
+/// high-cardinality text column (the canonical quasi-identifier) must
+/// not grow resident memory to `O(n)` while the reservoir downstream
+/// stays `O(m/√ε)`.
+const STREAM_INTERN_LIMIT: usize = 1 << 16;
+
+/// A one-pass [`TupleSource`] over a CSV file, for the streaming sketch
+/// builders (`qid_core::stream`): memory stays `O(m)` per yielded tuple
+/// (plus a bounded intern cache) instead of the `O(n·m)` of
+/// [`read_csv_path`]. Values are type-inferred exactly like the
+/// materialising reader — which is itself implemented on top of this
+/// source — so a sample drawn from the stream matches one drawn from
+/// the loaded [`Dataset`].
+pub struct CsvTupleSource<R: BufRead = Box<dyn BufRead>> {
+    records: RecordReader<R>,
+    opts: CsvOptions,
+    names: Vec<String>,
+    interner: Interner,
+    pending: Option<Vec<String>>,
+    rows_read: usize,
+}
+
+impl CsvTupleSource {
+    /// Opens a CSV file as a tuple stream (reads only the header row).
+    pub fn open(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<Self, DatasetError> {
+        let file = File::open(path)?;
+        Self::from_reader(file, opts)
+    }
+
+    /// Streams CSV from any reader.
+    pub fn from_reader<R: Read + 'static>(
+        reader: R,
+        opts: &CsvOptions,
+    ) -> Result<Self, DatasetError> {
+        Self::from_bufread(
+            Box::new(BufReader::new(reader)) as Box<dyn BufRead>,
+            opts,
+            Interner::with_limit(STREAM_INTERN_LIMIT),
+        )
+    }
+}
+
+impl<R: BufRead> CsvTupleSource<R> {
+    fn from_bufread(
+        reader: R,
+        opts: &CsvOptions,
+        interner: Interner,
+    ) -> Result<Self, DatasetError> {
+        let mut records = RecordReader::new(reader, opts.delimiter);
+        let (names, pending) = match records.next_record()? {
+            None => (Vec::new(), None),
+            Some(first) => {
+                if opts.has_header {
+                    (
+                        first
+                            .into_iter()
+                            .map(|f| if opts.trim { f.trim().to_string() } else { f })
+                            .collect(),
+                        None,
+                    )
+                } else {
+                    (
+                        (0..first.len()).map(|i| format!("col{i}")).collect(),
+                        Some(first),
+                    )
+                }
+            }
+        };
+        Ok(CsvTupleSource {
+            records,
+            opts: opts.clone(),
+            names,
+            interner,
+            pending,
+            rows_read: 0,
+        })
+    }
+
+    /// Data rows yielded so far (the stream length, once exhausted).
+    pub fn rows_read(&self) -> usize {
+        self.rows_read
+    }
+}
+
+impl<R: BufRead> TupleSource for CsvTupleSource<R> {
+    fn attr_names(&self) -> Vec<String> {
+        self.names.clone()
+    }
+
+    fn n_attrs(&self) -> usize {
+        self.names.len()
+    }
+
+    fn next_tuple(&mut self) -> Result<Option<Vec<Value>>, DatasetError> {
+        loop {
+            let record = match self.pending.take() {
+                Some(r) => r,
+                None => match self.records.next_record()? {
+                    Some(r) => r,
+                    None => return Ok(None),
+                },
+            };
+            // Tolerate trailing blank lines, as the materialising
+            // reader does.
+            if record.len() == 1 && record[0].trim().is_empty() && self.names.len() != 1 {
+                continue;
+            }
+            if record.len() != self.names.len() {
+                return Err(DatasetError::RowArity {
+                    row: self.rows_read,
+                    expected: self.names.len(),
+                    got: record.len(),
+                });
+            }
+            self.rows_read += 1;
+            return Ok(Some(
+                record
+                    .iter()
+                    .map(|f| field_to_value(f, &self.opts, &mut self.interner))
+                    .collect(),
+            ));
+        }
+    }
 }
 
 /// Writes a data set as CSV (always with a header row; fields are quoted
@@ -399,6 +494,68 @@ mod tests {
         };
         let ds = read_csv_str("a;b\n1;2\n", &opts).unwrap();
         assert_eq!(ds.value(0, 1.into()), &Value::Int(2));
+    }
+
+    #[test]
+    fn tuple_source_matches_materialised_reader() {
+        let text = "a,b\n1,x\n2,\"y,z\"\n3, ?\n";
+        let opts = CsvOptions::default();
+        let ds = read_csv_str(text, &opts).unwrap();
+        let mut src =
+            CsvTupleSource::from_reader(std::io::Cursor::new(text.to_string()), &opts).unwrap();
+        assert_eq!(src.attr_names(), vec!["a".to_string(), "b".to_string()]);
+        let mut rows = Vec::new();
+        while let Some(t) = src.next_tuple().unwrap() {
+            rows.push(t);
+        }
+        assert_eq!(src.rows_read(), 3);
+        assert_eq!(rows.len(), ds.n_rows());
+        for (i, row) in rows.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                assert_eq!(v, ds.value(i, AttrId::new(j)), "row {i} col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_source_headerless_and_blank_lines() {
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let mut src =
+            CsvTupleSource::from_reader(std::io::Cursor::new("1,x\n2,y\n\n".to_string()), &opts)
+                .unwrap();
+        assert_eq!(
+            src.attr_names(),
+            vec!["col0".to_string(), "col1".to_string()]
+        );
+        let mut n = 0;
+        while src.next_tuple().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn tuple_source_ragged_row_is_error() {
+        let mut src = CsvTupleSource::from_reader(
+            std::io::Cursor::new("a,b\n1\n".to_string()),
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        assert!(src.next_tuple().is_err());
+    }
+
+    #[test]
+    fn tuple_source_empty_input() {
+        let mut src = CsvTupleSource::from_reader(
+            std::io::Cursor::new(String::new()),
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(src.n_attrs(), 0);
+        assert_eq!(src.next_tuple().unwrap(), None);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::sync::Arc;
 #[derive(Debug, Default)]
 pub struct Interner {
     map: HashMap<Arc<str>, ()>,
+    limit: Option<usize>,
 }
 
 impl Interner {
@@ -21,13 +22,29 @@ impl Interner {
         Self::default()
     }
 
-    /// Returns the shared `Arc<str>` for `s`, allocating it on first use.
+    /// Creates an interner that stops *caching* after `limit` distinct
+    /// strings: further unseen strings are returned as fresh
+    /// allocations instead of being retained. Streaming ingestion uses
+    /// this so a high-cardinality text column (the canonical
+    /// quasi-identifier!) cannot grow the interner to `O(n)` while the
+    /// reservoir itself stays `O(m/√ε)`.
+    pub fn with_limit(limit: usize) -> Self {
+        Interner {
+            map: HashMap::new(),
+            limit: Some(limit),
+        }
+    }
+
+    /// Returns the shared `Arc<str>` for `s`, allocating it on first
+    /// use (without retaining it once over the limit, if any).
     pub fn intern(&mut self, s: &str) -> Arc<str> {
         if let Some((k, ())) = self.map.get_key_value(s) {
             return Arc::clone(k);
         }
         let arc: Arc<str> = Arc::from(s);
-        self.map.insert(Arc::clone(&arc), ());
+        if self.limit.is_none_or(|l| self.map.len() < l) {
+            self.map.insert(Arc::clone(&arc), ());
+        }
         arc
     }
 
@@ -53,6 +70,22 @@ mod tests {
         let b = i.intern("hello");
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn limit_caps_retained_strings() {
+        let mut i = Interner::with_limit(2);
+        let a = i.intern("a");
+        i.intern("b");
+        i.intern("c"); // over the limit: returned but not retained
+        i.intern("d");
+        assert_eq!(i.len(), 2);
+        // Cached strings still share; uncached ones are fresh each time.
+        assert!(Arc::ptr_eq(&a, &i.intern("a")));
+        let c1 = i.intern("c");
+        let c2 = i.intern("c");
+        assert!(!Arc::ptr_eq(&c1, &c2));
+        assert_eq!(c1, c2);
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! # qid-server — a resident quasi-identifier audit service
+//!
+//! The paper's sampling bounds make the *query* side of
+//! quasi-identifier discovery cheap: every ε-separation-key question is
+//! answered from a `Θ(m/√ε)` tuple sample, not the data. The expensive
+//! part — scanning the CSV and building the sample — therefore belongs
+//! in a process that outlives a single query. This crate is that
+//! process:
+//!
+//! * [`registry`] — a **dataset registry** mapping
+//!   `(path, eps, seed) → cached artifacts` (the resident
+//!   [`qid_core::filter::TupleSampleFilter`], plus the full dataset for
+//!   memory-mode loads). Concurrent cold lookups collapse onto one
+//!   build; repeated queries are cache hits.
+//! * [`proto`] — the newline-delimited JSON wire protocol
+//!   (`load`, `audit`, `key`, `check`, `mask`, `stats`, `metrics`,
+//!   `shutdown`), hand-rolled over [`json`] because the build
+//!   environment is offline (no serde).
+//! * [`pool`] — a fixed worker thread pool over `mpsc` channels;
+//!   shutdown drains in-flight work before the process exits.
+//! * [`server`] — the `std::net::TcpListener` accept loop and request
+//!   dispatch, with per-command [`metrics`].
+//! * [`client`] — the thin blocking client the `qid query` CLI (and the
+//!   benchmarks) use.
+//!
+//! Everything is `std`-only: no async runtime, no external crates.
+//!
+//! ## In-process quickstart
+//!
+//! ```no_run
+//! use qid_server::{Client, Request, Server, ServerConfig};
+//!
+//! let server = Server::bind(&ServerConfig::default()).unwrap();
+//! let addr = server.local_addr();
+//! let running = server.spawn();
+//! let mut client = Client::connect(addr).unwrap();
+//! let reply = client
+//!     .call(&Request::Key {
+//!         ds: qid_server::DatasetRef {
+//!             path: "data.csv".into(),
+//!             eps: 0.001,
+//!             seed: 7,
+//!         },
+//!     })
+//!     .unwrap();
+//! println!("{reply:?}");
+//! client.call(&Request::Shutdown).unwrap();
+//! running.join().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod proto;
+pub mod registry;
+pub mod resolve;
+pub mod server;
+
+pub use client::Client;
+pub use pool::WorkerPool;
+pub use proto::{DatasetRef, LoadMode, MetricsReport, Request, Response};
+pub use registry::Registry;
+pub use resolve::{resolve_attr_names, split_attr_spec, ResolvedAttrs};
+pub use server::{handle_request, RunningServer, Server, ServerConfig, ServerState};

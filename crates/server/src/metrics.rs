@@ -1,0 +1,108 @@
+//! Lock-free server counters: per-command traffic and latency sums.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::proto::{CommandStats, MetricsReport};
+
+/// Wire names of all commands, in the fixed order `metrics` reports.
+pub const COMMAND_NAMES: [&str; 8] = [
+    "load", "audit", "key", "check", "mask", "stats", "metrics", "shutdown",
+];
+
+#[derive(Debug, Default)]
+struct CommandCounters {
+    count: AtomicU64,
+    errors: AtomicU64,
+    latency_us: AtomicU64,
+}
+
+/// One counter block per command plus protocol-level failures. All
+/// updates are `Relaxed` atomics — these are statistics, not
+/// synchronisation.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    per_command: [CommandCounters; COMMAND_NAMES.len()],
+    /// Lines that failed to parse as any request.
+    pub protocol_errors: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one handled request.
+    pub fn record(&self, command: &str, elapsed: Duration, is_error: bool) {
+        let Some(idx) = COMMAND_NAMES.iter().position(|&n| n == command) else {
+            return;
+        };
+        let c = &self.per_command[idx];
+        c.count.fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            c.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        c.latency_us.fetch_add(
+            elapsed.as_micros().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Snapshots per-command stats (cache fields are filled by the
+    /// server from the registry).
+    pub fn command_stats(&self) -> Vec<CommandStats> {
+        COMMAND_NAMES
+            .iter()
+            .zip(&self.per_command)
+            .map(|(&name, c)| CommandStats {
+                name: name.to_string(),
+                count: c.count.load(Ordering::Relaxed),
+                errors: c.errors.load(Ordering::Relaxed),
+                latency_us: c.latency_us.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Builds the full `metrics` payload given registry counters.
+    pub fn report(&self, cache_hits: u64, cache_misses: u64, datasets: usize) -> MetricsReport {
+        MetricsReport {
+            cache_hits,
+            cache_misses,
+            datasets,
+            commands: self.command_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let m = Metrics::new();
+        m.record("audit", Duration::from_micros(100), false);
+        m.record("audit", Duration::from_micros(50), true);
+        m.record("nonsense", Duration::from_micros(1), false); // ignored
+        let stats = m.command_stats();
+        let audit = stats.iter().find(|c| c.name == "audit").unwrap();
+        assert_eq!(audit.count, 2);
+        assert_eq!(audit.errors, 1);
+        assert_eq!(audit.latency_us, 150);
+        let load = stats.iter().find(|c| c.name == "load").unwrap();
+        assert_eq!(load.count, 0);
+    }
+
+    #[test]
+    fn report_includes_cache_counters() {
+        let m = Metrics::new();
+        let r = m.report(5, 2, 1);
+        assert_eq!(r.cache_hits, 5);
+        assert_eq!(r.cache_misses, 2);
+        assert_eq!(r.datasets, 1);
+        assert_eq!(r.commands.len(), COMMAND_NAMES.len());
+    }
+}

@@ -1,0 +1,139 @@
+//! A fixed worker thread pool fed over an `mpsc` channel.
+//!
+//! Connections are the unit of work: the accept loop sends each
+//! accepted socket into the channel and one of `N` resident workers
+//! serves every request on it. Dropping the sender is the shutdown
+//! signal — workers drain whatever is already queued, then exit, which
+//! is exactly the "graceful shutdown drains in-flight work" contract.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A queued unit of work.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The pool. Jobs submitted after [`WorkerPool::shutdown`] are
+/// rejected; jobs submitted before are always run.
+#[derive(Debug)]
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` resident threads (at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("qid-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Submits a job; returns `false` if the pool is shut down.
+    pub fn execute(&self, job: Job) -> bool {
+        match &self.sender {
+            Some(tx) => tx.send(job).is_ok(),
+            None => false,
+        }
+    }
+
+    /// A cloneable submission handle, for jobs that re-enqueue
+    /// themselves (e.g. idle connections yielding their worker).
+    /// Holding one keeps the queue open, so jobs must drop it when
+    /// they decide not to requeue — [`WorkerPool::shutdown`] drains
+    /// only once every sender is gone.
+    pub fn sender(&self) -> Option<Sender<Job>> {
+        self.sender.clone()
+    }
+
+    /// Stops accepting jobs, drains the queue, joins every worker.
+    pub fn shutdown(&mut self) {
+        self.sender.take(); // closes the channel
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only while popping, never while running a job.
+        let job = match receiver.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // channel closed: drain complete
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_all_jobs_across_workers() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.execute(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })));
+        }
+        drop(pool); // shutdown drains the queue
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_work() {
+        let mut pool = WorkerPool::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let counter = Arc::clone(&counter);
+            pool.execute(Box::new(move || {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        // Rejected after shutdown.
+        assert!(!pool.execute(Box::new(|| {})));
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+}

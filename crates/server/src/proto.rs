@@ -1,0 +1,722 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line. Every request carries a
+//! `"cmd"` tag; dataset-touching commands also carry the registry cache
+//! key `(path, eps, seed)` so repeated queries hit the same cached
+//! sketch. Unknown fields are ignored; missing optional fields take the
+//! CLI's defaults, so hand-written `echo '{"cmd":"stats",...}' | nc`
+//! sessions work.
+
+use crate::json::{self, obj, s, Json};
+
+/// Default `eps` when a request omits it (matches the CLI default).
+pub const DEFAULT_EPS: f64 = 0.001;
+/// Default sampling seed when a request omits it.
+pub const DEFAULT_SEED: u64 = 7;
+/// Default `max_key_size` for `audit`.
+pub const DEFAULT_MAX_KEY_SIZE: usize = 3;
+/// Default adversary budget for `mask`.
+pub const DEFAULT_BUDGET: usize = 2;
+
+/// The registry cache key a request addresses: which file, sampled how.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetRef {
+    /// Path of the CSV file, as seen by the **server** process.
+    pub path: String,
+    /// Separation slack ε of the cached filter.
+    pub eps: f64,
+    /// Sampling seed of the cached filter.
+    pub seed: u64,
+}
+
+/// How `load` should materialise the dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Read the whole CSV into memory (enables `stats` and `mask`).
+    Memory,
+    /// One-pass reservoir build: keep only the `Θ(m/√ε)` sample.
+    Stream,
+}
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Populate (or touch) the registry entry for a dataset.
+    Load {
+        /// Cache key.
+        ds: DatasetRef,
+        /// Materialisation mode.
+        mode: LoadMode,
+    },
+    /// Enumerate minimal quasi-identifiers on the cached sample.
+    Audit {
+        /// Cache key.
+        ds: DatasetRef,
+        /// Largest attribute-set size to explore.
+        max_key_size: usize,
+    },
+    /// Find one small ε-separation key (greedy, Proposition 1).
+    Key {
+        /// Cache key.
+        ds: DatasetRef,
+    },
+    /// Test one attribute set against the cached filter.
+    Check {
+        /// Cache key.
+        ds: DatasetRef,
+        /// Attribute names (or indices as strings).
+        attrs: Vec<String>,
+    },
+    /// Plan attribute suppression (requires a memory-loaded dataset).
+    Mask {
+        /// Cache key.
+        ds: DatasetRef,
+        /// Adversary budget: defeat keys of at most this size.
+        budget: usize,
+    },
+    /// Per-attribute cardinalities (requires a memory-loaded dataset).
+    Stats {
+        /// Cache key.
+        ds: DatasetRef,
+    },
+    /// Server counters: per-command traffic, cache hits, latency sums.
+    Metrics,
+    /// Stop accepting connections, drain in-flight work, exit.
+    Shutdown,
+}
+
+impl Request {
+    /// The wire name of the command (also the metrics label).
+    pub fn command_name(&self) -> &'static str {
+        match self {
+            Request::Load { .. } => "load",
+            Request::Audit { .. } => "audit",
+            Request::Key { .. } => "key",
+            Request::Check { .. } => "check",
+            Request::Mask { .. } => "mask",
+            Request::Stats { .. } => "stats",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// Serialises the request to its one-line wire form (no newline).
+    pub fn encode(&self) -> String {
+        let mut pairs: Vec<(&str, Json)> = vec![("cmd", s(self.command_name()))];
+        let push_ds = |pairs: &mut Vec<(&str, Json)>, ds: &DatasetRef| {
+            pairs.push(("path", s(&ds.path)));
+            pairs.push(("eps", Json::Num(ds.eps)));
+            // Seeds above i64::MAX don't fit Json::Int; send them as a
+            // decimal string so they round-trip exactly instead of
+            // wrapping negative.
+            pairs.push((
+                "seed",
+                match i64::try_from(ds.seed) {
+                    Ok(i) => Json::Int(i),
+                    Err(_) => s(ds.seed.to_string()),
+                },
+            ));
+        };
+        match self {
+            Request::Load { ds, mode } => {
+                push_ds(&mut pairs, ds);
+                pairs.push((
+                    "mode",
+                    s(match mode {
+                        LoadMode::Memory => "memory",
+                        LoadMode::Stream => "stream",
+                    }),
+                ));
+            }
+            Request::Audit { ds, max_key_size } => {
+                push_ds(&mut pairs, ds);
+                pairs.push(("max_key_size", Json::Int(*max_key_size as i64)));
+            }
+            Request::Key { ds } | Request::Stats { ds } => push_ds(&mut pairs, ds),
+            Request::Check { ds, attrs } => {
+                push_ds(&mut pairs, ds);
+                pairs.push(("attrs", Json::Arr(attrs.iter().map(s).collect())));
+            }
+            Request::Mask { ds, budget } => {
+                push_ds(&mut pairs, ds);
+                pairs.push(("budget", Json::Int(*budget as i64)));
+            }
+            Request::Metrics | Request::Shutdown => {}
+        }
+        obj(pairs).render()
+    }
+
+    /// Parses one request line.
+    pub fn decode(line: &str) -> Result<Request, String> {
+        let v = json::parse(line)?;
+        let cmd = v
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string \"cmd\" field")?;
+        let ds = |v: &Json| -> Result<DatasetRef, String> {
+            let seed = match v.get("seed") {
+                None => DEFAULT_SEED,
+                // Either wire form: integer, or decimal string (used
+                // for seeds above i64::MAX). A present-but-invalid
+                // seed is an error, not a silent fallback to the
+                // default — that would serve a different sample than
+                // the one the client asked for.
+                Some(x) => x
+                    .as_u64()
+                    .or_else(|| x.as_str().and_then(|t| t.parse().ok()))
+                    .ok_or(format!("{cmd}: \"seed\" must be a non-negative integer"))?,
+            };
+            let eps = match v.get("eps") {
+                None => DEFAULT_EPS,
+                // Same contract as seed: eps is part of the cache key,
+                // so a present-but-invalid value must not silently
+                // become the default.
+                Some(x) => x
+                    .as_f64()
+                    .ok_or(format!("{cmd}: \"eps\" must be a number"))?,
+            };
+            Ok(DatasetRef {
+                path: v
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("{cmd} needs a string \"path\" field"))?
+                    .to_string(),
+                eps,
+                seed,
+            })
+        };
+        match cmd {
+            "load" => {
+                let mode = match v.get("mode").and_then(Json::as_str) {
+                    None | Some("memory") => LoadMode::Memory,
+                    Some("stream") => LoadMode::Stream,
+                    Some(other) => return Err(format!("unknown load mode {other:?}")),
+                };
+                Ok(Request::Load { ds: ds(&v)?, mode })
+            }
+            "audit" => Ok(Request::Audit {
+                ds: ds(&v)?,
+                max_key_size: v
+                    .get("max_key_size")
+                    .and_then(Json::as_usize)
+                    .unwrap_or(DEFAULT_MAX_KEY_SIZE),
+            }),
+            "key" => Ok(Request::Key { ds: ds(&v)? }),
+            "check" => {
+                let attrs = v
+                    .get("attrs")
+                    .and_then(Json::as_arr)
+                    .ok_or("check needs an \"attrs\" array")?
+                    .iter()
+                    .map(|a| {
+                        a.as_str()
+                            .map(str::to_string)
+                            .ok_or("attrs must be strings".to_string())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::Check { ds: ds(&v)?, attrs })
+            }
+            "mask" => Ok(Request::Mask {
+                ds: ds(&v)?,
+                budget: v
+                    .get("budget")
+                    .and_then(Json::as_usize)
+                    .unwrap_or(DEFAULT_BUDGET),
+            }),
+            "stats" => Ok(Request::Stats { ds: ds(&v)? }),
+            "metrics" => Ok(Request::Metrics),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown command {other:?}")),
+        }
+    }
+}
+
+/// Traffic counters for one command, as reported by `metrics`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CommandStats {
+    /// Wire name of the command.
+    pub name: String,
+    /// Requests handled (including failed ones).
+    pub count: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Sum of handling latencies, microseconds.
+    pub latency_us: u64,
+}
+
+/// The full `metrics` payload.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Registry lookups answered from cache.
+    pub cache_hits: u64,
+    /// Registry lookups that had to build (or rebuild) an entry.
+    pub cache_misses: u64,
+    /// Entries currently resident in the registry.
+    pub datasets: usize,
+    /// Per-command traffic, in fixed command order.
+    pub commands: Vec<CommandStats>,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// `load` outcome.
+    Loaded {
+        /// Rows in the underlying dataset (stream length for
+        /// stream-mode loads).
+        rows: usize,
+        /// Attribute count `m`.
+        attrs: usize,
+        /// Retained sample size `|R|`.
+        sample: usize,
+        /// True iff the registry already held this entry.
+        cached: bool,
+    },
+    /// `audit` outcome: minimal keys on the sample, as attribute-name
+    /// lists, plus the fraction of sampled rows each uniquely
+    /// identifies.
+    Audit {
+        /// One entry per minimal key: the names and the unique fraction.
+        keys: Vec<(Vec<String>, f64)>,
+    },
+    /// `key` outcome.
+    Key {
+        /// Chosen attribute names, in pick order.
+        attrs: Vec<String>,
+        /// False iff the sample contains identical tuples (no key).
+        complete: bool,
+    },
+    /// `check` outcome.
+    Check {
+        /// The resolved attribute names that were tested.
+        attrs: Vec<String>,
+        /// True = Accept (candidate ε-separation key).
+        accept: bool,
+    },
+    /// `mask` outcome.
+    Mask {
+        /// Attribute names to suppress, in suppression order.
+        suppressed: Vec<String>,
+        /// Smallest residual key size, if any identifying set remains.
+        residual_key_size: Option<usize>,
+    },
+    /// `stats` outcome.
+    Stats {
+        /// Row count.
+        rows: usize,
+        /// `(name, distinct values)` per attribute.
+        columns: Vec<(String, usize)>,
+    },
+    /// `metrics` outcome.
+    Metrics(MetricsReport),
+    /// `shutdown` acknowledged; the server drains and exits.
+    ShuttingDown,
+    /// Any failure.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Serialises the response to its one-line wire form (no newline).
+    pub fn encode(&self) -> String {
+        let body = match self {
+            Response::Loaded {
+                rows,
+                attrs,
+                sample,
+                cached,
+            } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", s("loaded")),
+                ("rows", Json::Int(*rows as i64)),
+                ("attrs", Json::Int(*attrs as i64)),
+                ("sample", Json::Int(*sample as i64)),
+                ("cached", Json::Bool(*cached)),
+            ]),
+            Response::Audit { keys } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", s("audit")),
+                (
+                    "keys",
+                    Json::Arr(
+                        keys.iter()
+                            .map(|(names, frac)| {
+                                obj(vec![
+                                    ("attrs", Json::Arr(names.iter().map(s).collect())),
+                                    ("unique_fraction", Json::Num(*frac)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Key { attrs, complete } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", s("key")),
+                ("attrs", Json::Arr(attrs.iter().map(s).collect())),
+                ("complete", Json::Bool(*complete)),
+            ]),
+            Response::Check { attrs, accept } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", s("check")),
+                ("attrs", Json::Arr(attrs.iter().map(s).collect())),
+                ("accept", Json::Bool(*accept)),
+            ]),
+            Response::Mask {
+                suppressed,
+                residual_key_size,
+            } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", s("mask")),
+                ("suppressed", Json::Arr(suppressed.iter().map(s).collect())),
+                (
+                    "residual_key_size",
+                    residual_key_size.map_or(Json::Null, |k| Json::Int(k as i64)),
+                ),
+            ]),
+            Response::Stats { rows, columns } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", s("stats")),
+                ("rows", Json::Int(*rows as i64)),
+                (
+                    "columns",
+                    Json::Arr(
+                        columns
+                            .iter()
+                            .map(|(name, distinct)| {
+                                obj(vec![
+                                    ("name", s(name)),
+                                    ("distinct", Json::Int(*distinct as i64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Metrics(report) => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", s("metrics")),
+                ("cache_hits", Json::Int(report.cache_hits as i64)),
+                ("cache_misses", Json::Int(report.cache_misses as i64)),
+                ("datasets", Json::Int(report.datasets as i64)),
+                (
+                    "commands",
+                    Json::Arr(
+                        report
+                            .commands
+                            .iter()
+                            .map(|c| {
+                                obj(vec![
+                                    ("name", s(&c.name)),
+                                    ("count", Json::Int(c.count as i64)),
+                                    ("errors", Json::Int(c.errors as i64)),
+                                    ("latency_us", Json::Int(c.latency_us as i64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::ShuttingDown => obj(vec![("ok", Json::Bool(true)), ("kind", s("bye"))]),
+            Response::Error { message } => obj(vec![
+                ("ok", Json::Bool(false)),
+                ("kind", s("error")),
+                ("error", s(message)),
+            ]),
+        };
+        body.render()
+    }
+
+    /// Parses one response line.
+    pub fn decode(line: &str) -> Result<Response, String> {
+        let v = json::parse(line)?;
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("response needs a string \"kind\" field")?;
+        let str_arr = |field: &str| -> Result<Vec<String>, String> {
+            v.get(field)
+                .and_then(Json::as_arr)
+                .ok_or(format!("{kind} response needs a {field:?} array"))?
+                .iter()
+                .map(|x| {
+                    x.as_str()
+                        .map(str::to_string)
+                        .ok_or(format!("{field} entries must be strings"))
+                })
+                .collect()
+        };
+        let usize_field = |field: &str| -> Result<usize, String> {
+            v.get(field)
+                .and_then(Json::as_usize)
+                .ok_or(format!("{kind} response needs an integer {field:?}"))
+        };
+        match kind {
+            "loaded" => Ok(Response::Loaded {
+                rows: usize_field("rows")?,
+                attrs: usize_field("attrs")?,
+                sample: usize_field("sample")?,
+                cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
+            }),
+            "audit" => {
+                let keys = v
+                    .get("keys")
+                    .and_then(Json::as_arr)
+                    .ok_or("audit response needs a \"keys\" array")?
+                    .iter()
+                    .map(|k| {
+                        let names = k
+                            .get("attrs")
+                            .and_then(Json::as_arr)
+                            .ok_or("audit key needs an \"attrs\" array")?
+                            .iter()
+                            .map(|x| {
+                                x.as_str()
+                                    .map(str::to_string)
+                                    .ok_or("attrs entries must be strings".to_string())
+                            })
+                            .collect::<Result<Vec<_>, String>>()?;
+                        let frac = k
+                            .get("unique_fraction")
+                            .and_then(Json::as_f64)
+                            .unwrap_or(0.0);
+                        Ok((names, frac))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::Audit { keys })
+            }
+            "key" => Ok(Response::Key {
+                attrs: str_arr("attrs")?,
+                complete: v.get("complete").and_then(Json::as_bool).unwrap_or(true),
+            }),
+            "check" => Ok(Response::Check {
+                attrs: str_arr("attrs")?,
+                accept: v
+                    .get("accept")
+                    .and_then(Json::as_bool)
+                    .ok_or("check response needs a bool \"accept\"")?,
+            }),
+            "mask" => Ok(Response::Mask {
+                suppressed: str_arr("suppressed")?,
+                residual_key_size: v.get("residual_key_size").and_then(Json::as_usize),
+            }),
+            "stats" => {
+                let columns = v
+                    .get("columns")
+                    .and_then(Json::as_arr)
+                    .ok_or("stats response needs a \"columns\" array")?
+                    .iter()
+                    .map(|c| {
+                        let name = c
+                            .get("name")
+                            .and_then(Json::as_str)
+                            .ok_or("column needs a name")?
+                            .to_string();
+                        let distinct = c
+                            .get("distinct")
+                            .and_then(Json::as_usize)
+                            .ok_or("column needs a distinct count")?;
+                        Ok((name, distinct))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::Stats {
+                    rows: usize_field("rows")?,
+                    columns,
+                })
+            }
+            "metrics" => {
+                let commands = v
+                    .get("commands")
+                    .and_then(Json::as_arr)
+                    .ok_or("metrics response needs a \"commands\" array")?
+                    .iter()
+                    .map(|c| {
+                        Ok(CommandStats {
+                            name: c
+                                .get("name")
+                                .and_then(Json::as_str)
+                                .ok_or("command stat needs a name")?
+                                .to_string(),
+                            count: c.get("count").and_then(Json::as_u64).unwrap_or(0),
+                            errors: c.get("errors").and_then(Json::as_u64).unwrap_or(0),
+                            latency_us: c.get("latency_us").and_then(Json::as_u64).unwrap_or(0),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::Metrics(MetricsReport {
+                    cache_hits: v.get("cache_hits").and_then(Json::as_u64).unwrap_or(0),
+                    cache_misses: v.get("cache_misses").and_then(Json::as_u64).unwrap_or(0),
+                    datasets: v.get("datasets").and_then(Json::as_usize).unwrap_or(0),
+                    commands,
+                }))
+            }
+            "bye" => Ok(Response::ShuttingDown),
+            "error" => Ok(Response::Error {
+                message: v
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+                    .to_string(),
+            }),
+            other => Err(format!("unknown response kind {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> DatasetRef {
+        DatasetRef {
+            path: "/tmp/x.csv".into(),
+            eps: 0.01,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = vec![
+            Request::Load {
+                ds: ds(),
+                mode: LoadMode::Stream,
+            },
+            Request::Audit {
+                ds: ds(),
+                max_key_size: 4,
+            },
+            Request::Key { ds: ds() },
+            Request::Check {
+                ds: ds(),
+                attrs: vec!["zip".into(), "age".into()],
+            },
+            Request::Mask {
+                ds: ds(),
+                budget: 2,
+            },
+            Request::Stats { ds: ds() },
+            Request::Metrics,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = req.encode();
+            assert!(!line.contains('\n'));
+            let back = Request::decode(&line).unwrap();
+            assert_eq!(back, req, "wire line: {line}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = vec![
+            Response::Loaded {
+                rows: 800,
+                attrs: 4,
+                sample: 40,
+                cached: true,
+            },
+            Response::Audit {
+                keys: vec![
+                    (vec!["id".into()], 1.0),
+                    (vec!["zip".into(), "age".into()], 0.5),
+                ],
+            },
+            Response::Key {
+                attrs: vec!["id".into()],
+                complete: true,
+            },
+            Response::Check {
+                attrs: vec!["sex".into()],
+                accept: false,
+            },
+            Response::Mask {
+                suppressed: vec!["id".into()],
+                residual_key_size: None,
+            },
+            Response::Mask {
+                suppressed: vec![],
+                residual_key_size: Some(3),
+            },
+            Response::Stats {
+                rows: 800,
+                columns: vec![("id".into(), 800), ("sex".into(), 2)],
+            },
+            Response::Metrics(MetricsReport {
+                cache_hits: 3,
+                cache_misses: 1,
+                datasets: 1,
+                commands: vec![CommandStats {
+                    name: "audit".into(),
+                    count: 4,
+                    errors: 0,
+                    latency_us: 12345,
+                }],
+            }),
+            Response::ShuttingDown,
+            Response::Error {
+                message: "no such file".into(),
+            },
+        ];
+        for resp in resps {
+            let line = resp.encode();
+            assert!(!line.contains('\n'));
+            let back = Response::decode(&line).unwrap();
+            assert_eq!(back, resp, "wire line: {line}");
+        }
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let req = Request::decode(r#"{"cmd":"audit","path":"a.csv"}"#).unwrap();
+        match req {
+            Request::Audit { ds, max_key_size } => {
+                assert_eq!(ds.eps, DEFAULT_EPS);
+                assert_eq!(ds.seed, DEFAULT_SEED);
+                assert_eq!(max_key_size, DEFAULT_MAX_KEY_SIZE);
+            }
+            other => panic!("wrong request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_seeds_roundtrip_exactly() {
+        let req = Request::Key {
+            ds: DatasetRef {
+                path: "a.csv".into(),
+                eps: 0.01,
+                seed: u64::MAX,
+            },
+        };
+        let line = req.encode();
+        assert_eq!(Request::decode(&line).unwrap(), req, "wire line: {line}");
+        // And present-but-garbage cache-key fields are errors, not
+        // silent defaults.
+        assert!(Request::decode(r#"{"cmd":"key","path":"a.csv","seed":-3}"#).is_err());
+        assert!(Request::decode(r#"{"cmd":"key","path":"a.csv","seed":"x"}"#).is_err());
+        assert!(Request::decode(r#"{"cmd":"key","path":"a.csv","eps":"0.05"}"#).is_err());
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        for line in [
+            "",
+            "not json",
+            "{}",
+            r#"{"cmd":"explode"}"#,
+            r#"{"cmd":"audit"}"#,
+            r#"{"cmd":"check","path":"a.csv"}"#,
+            r#"{"cmd":"load","path":"a.csv","mode":"warp"}"#,
+        ] {
+            assert!(Request::decode(line).is_err(), "should reject {line:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_fields_ignored() {
+        let req = Request::decode(r#"{"cmd":"key","path":"a.csv","future":1}"#).unwrap();
+        assert_eq!(req.command_name(), "key");
+    }
+}

@@ -1,0 +1,400 @@
+//! The dataset registry: `(path, eps, seed) → cached sketch`.
+//!
+//! The paper's economics are: building the `Θ(m/√ε)` tuple sample costs
+//! a full scan, answering a query against it costs `O(|A|·r log r)`. So
+//! the registry builds once and every subsequent `audit`/`key`/`check`
+//! shares the resident [`TupleSampleFilter`]. Concurrent first requests
+//! for the same key are collapsed onto one build via a per-entry
+//! [`OnceLock`]: the loser blocks until the winner's artifacts are
+//! ready, so two clients racing on a cold dataset still cause exactly
+//! one CSV scan.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use qid_core::filter::{FilterParams, TupleSampleFilter};
+use qid_core::stream::tuple_filter_from_stream;
+use qid_dataset::csv::{read_csv_path, CsvOptions, CsvTupleSource};
+use qid_dataset::{Dataset, TupleSource};
+
+use crate::proto::{DatasetRef, LoadMode};
+
+/// The registry's exact cache identity. `eps` is keyed by bit pattern
+/// (the wire carries the same `f64` both ways, so equal requests hash
+/// equal), and the path is canonicalised when possible so `./a.csv` and
+/// `a.csv` share an entry.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonicalised dataset path.
+    pub path: String,
+    /// `eps.to_bits()`.
+    pub eps_bits: u64,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl CacheKey {
+    /// Builds the key for a request's dataset reference.
+    pub fn of(ds: &DatasetRef) -> CacheKey {
+        let path = std::fs::canonicalize(&ds.path)
+            .ok()
+            .and_then(|p| p.to_str().map(str::to_string))
+            .unwrap_or_else(|| ds.path.clone());
+        CacheKey {
+            path,
+            eps_bits: ds.eps.to_bits(),
+            seed: ds.seed,
+        }
+    }
+}
+
+/// The artifacts cached for one dataset.
+#[derive(Debug)]
+pub struct Entry {
+    /// The resident tuple-sample filter (always present).
+    pub filter: TupleSampleFilter,
+    /// The fully materialised dataset — `None` for stream-mode loads,
+    /// where only the sample is kept.
+    pub dataset: Option<Dataset>,
+    /// Rows seen when the entry was built (stream length or `n_rows`).
+    pub rows: usize,
+    /// Attribute count.
+    pub attrs: usize,
+}
+
+type Slot = Arc<OnceLock<Result<Arc<Entry>, String>>>;
+
+/// The shared cache. All methods take `&self`; the registry is meant to
+/// live in an `Arc` shared by every worker thread.
+#[derive(Debug, Default)]
+pub struct Registry {
+    map: Mutex<HashMap<CacheKey, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached entry for `ds`, building it on first use.
+    ///
+    /// The boolean is `true` iff the slot already existed (a cache
+    /// hit — possibly waiting on a concurrent build, which still means
+    /// the scan was shared). Failed builds are evicted so a later
+    /// request can retry (e.g. after the file appears).
+    pub fn get_or_load(
+        &self,
+        ds: &DatasetRef,
+        mode: LoadMode,
+    ) -> (Result<Arc<Entry>, String>, bool) {
+        let key = CacheKey::of(ds);
+        let (slot, hit) = {
+            let mut map = self.map.lock().expect("registry lock");
+            match map.get(&key) {
+                Some(slot) => (Arc::clone(slot), true),
+                None => {
+                    let slot: Slot = Arc::new(OnceLock::new());
+                    map.insert(key.clone(), Arc::clone(&slot));
+                    (slot, false)
+                }
+            }
+        };
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let result = slot
+            .get_or_init(|| build_entry(ds, mode).map(Arc::new))
+            .clone();
+        if result.is_err() {
+            let mut map = self.map.lock().expect("registry lock");
+            if map.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, &slot)) {
+                map.remove(&key);
+            }
+        }
+        (result, hit)
+    }
+
+    /// Like [`Registry::get_or_load`] with [`LoadMode::Memory`], but
+    /// additionally upgrades a stream-mode entry (sample only, no
+    /// rows) to a fully materialised one — `stats` and `mask` need the
+    /// whole dataset. Concurrent upgraders collapse onto one re-scan
+    /// (the same way cold builds do): the first swaps a fresh slot
+    /// into the map and builds, the rest wait on that slot. Only the
+    /// builder is reclassified from hit to miss.
+    pub fn get_or_load_materialised(&self, ds: &DatasetRef) -> (Result<Arc<Entry>, String>, bool) {
+        let (result, hit) = self.get_or_load(ds, LoadMode::Memory);
+        match result {
+            Ok(entry) if entry.dataset.is_none() => {
+                let key = CacheKey::of(ds);
+                let (slot, we_swapped) = {
+                    let mut map = self.map.lock().expect("registry lock");
+                    let needs_swap = map.get(&key).is_none_or(|cur| {
+                        // Swap only if the resident slot still holds
+                        // the unusable stream entry (or a stale
+                        // error); a pending or finished upgrade slot
+                        // is reused as-is.
+                        cur.get()
+                            .is_some_and(|r| !r.as_ref().is_ok_and(|e| e.dataset.is_some()))
+                    });
+                    if needs_swap {
+                        let fresh: Slot = Arc::new(OnceLock::new());
+                        map.insert(key.clone(), Arc::clone(&fresh));
+                        (fresh, true)
+                    } else {
+                        (Arc::clone(map.get(&key).expect("slot present")), false)
+                    }
+                };
+                if we_swapped && hit {
+                    // Reclassify: the cached entry was unusable and we
+                    // are the one paying the re-scan.
+                    self.hits.fetch_sub(1, Ordering::Relaxed);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                let result = slot
+                    .get_or_init(|| build_entry(ds, LoadMode::Memory).map(Arc::new))
+                    .clone();
+                if result.is_err() {
+                    let mut map = self.map.lock().expect("registry lock");
+                    if map.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, &slot)) {
+                        map.remove(&key);
+                    }
+                }
+                (result, hit && !we_swapped)
+            }
+            other => (other, hit),
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("registry lock").len()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to build so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+fn build_entry(ds: &DatasetRef, mode: LoadMode) -> Result<Entry, String> {
+    if !(ds.eps > 0.0 && ds.eps < 1.0) {
+        return Err(format!("eps must be in (0, 1), got {}", ds.eps));
+    }
+    let params = FilterParams::new(ds.eps);
+    match mode {
+        LoadMode::Memory => {
+            let dataset = read_csv_path(&ds.path, &CsvOptions::default())
+                .map_err(|e| format!("reading {}: {e}", ds.path))?;
+            if dataset.n_rows() < 2 || dataset.n_attrs() == 0 {
+                return Err(format!(
+                    "data set too small to analyse ({} rows x {} attributes)",
+                    dataset.n_rows(),
+                    dataset.n_attrs()
+                ));
+            }
+            let filter = TupleSampleFilter::build(&dataset, params, ds.seed);
+            Ok(Entry {
+                rows: dataset.n_rows(),
+                attrs: dataset.n_attrs(),
+                filter,
+                dataset: Some(dataset),
+            })
+        }
+        LoadMode::Stream => {
+            let mut source = CsvTupleSource::open(&ds.path, &CsvOptions::default())
+                .map_err(|e| format!("reading {}: {e}", ds.path))?;
+            let filter = tuple_filter_from_stream(&mut source, params, ds.seed)
+                .map_err(|e| format!("streaming {}: {e}", ds.path))?;
+            let rows = source.rows_read();
+            let attrs = source.n_attrs();
+            if rows < 2 || attrs == 0 {
+                return Err(format!(
+                    "data set too small to analyse ({rows} rows x {attrs} attributes)"
+                ));
+            }
+            Ok(Entry {
+                rows,
+                attrs,
+                filter,
+                dataset: None,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn fixture_csv(name: &str, rows: usize) -> String {
+        let dir = std::env::temp_dir().join("qid-registry-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut f = std::fs::File::create(&path).unwrap();
+        writeln!(f, "id,parity").unwrap();
+        for i in 0..rows {
+            writeln!(f, "{i},{}", i % 2).unwrap();
+        }
+        path.to_str().unwrap().to_string()
+    }
+
+    fn dsref(path: &str) -> DatasetRef {
+        DatasetRef {
+            path: path.into(),
+            eps: 0.01,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit() {
+        let path = fixture_csv("hit.csv", 300);
+        let reg = Registry::new();
+        let (first, hit1) = reg.get_or_load(&dsref(&path), LoadMode::Memory);
+        let (second, hit2) = reg.get_or_load(&dsref(&path), LoadMode::Memory);
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&first.unwrap(), &second.unwrap()));
+        assert_eq!(reg.hits(), 1);
+        assert_eq!(reg.misses(), 1);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn different_seed_is_a_different_entry() {
+        let path = fixture_csv("seeds.csv", 300);
+        let reg = Registry::new();
+        let (_, _) = reg.get_or_load(&dsref(&path), LoadMode::Memory);
+        let mut other = dsref(&path);
+        other.seed = 8;
+        let (_, hit) = reg.get_or_load(&other, LoadMode::Memory);
+        assert!(!hit);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn stream_mode_keeps_only_the_sample() {
+        let path = fixture_csv("stream.csv", 500);
+        let reg = Registry::new();
+        let (entry, _) = reg.get_or_load(&dsref(&path), LoadMode::Stream);
+        let entry = entry.unwrap();
+        assert!(entry.dataset.is_none());
+        assert_eq!(entry.rows, 500);
+        assert_eq!(entry.attrs, 2);
+        // m=2, eps=0.01 → 20 sampled tuples.
+        assert_eq!(entry.filter.sample().n_rows(), 20);
+    }
+
+    #[test]
+    fn failed_builds_are_evicted_and_retryable() {
+        let reg = Registry::new();
+        let missing = dsref("/definitely/not/here.csv");
+        let (err, hit) = reg.get_or_load(&missing, LoadMode::Memory);
+        assert!(err.is_err());
+        assert!(!hit);
+        assert_eq!(reg.len(), 0, "failed entry must not stay resident");
+        // Retry is a fresh miss, not a cached error.
+        let (err2, hit2) = reg.get_or_load(&missing, LoadMode::Memory);
+        assert!(err2.is_err());
+        assert!(!hit2);
+    }
+
+    #[test]
+    fn concurrent_cold_lookups_share_one_build() {
+        let path = fixture_csv("race.csv", 400);
+        let reg = Arc::new(Registry::new());
+        let entries: Vec<Arc<Entry>> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let reg = Arc::clone(&reg);
+                    let ds = dsref(&path);
+                    scope.spawn(move || reg.get_or_load(&ds, LoadMode::Memory).0.unwrap())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for e in &entries[1..] {
+            assert!(Arc::ptr_eq(&entries[0], e), "all clients share one entry");
+        }
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.hits() + reg.misses(), 4);
+    }
+
+    #[test]
+    fn materialised_lookup_upgrades_stream_entries() {
+        let path = fixture_csv("upgrade.csv", 300);
+        let reg = Registry::new();
+        let (entry, _) = reg.get_or_load(&dsref(&path), LoadMode::Stream);
+        assert!(entry.unwrap().dataset.is_none());
+        let (upgraded, hit) = reg.get_or_load_materialised(&dsref(&path));
+        assert!(!hit, "an upgrade re-scans, so it is not a hit");
+        assert!(upgraded.unwrap().dataset.is_some());
+        assert_eq!(reg.len(), 1);
+        // The upgraded entry is now the cached one.
+        let (again, hit) = reg.get_or_load_materialised(&dsref(&path));
+        assert!(hit);
+        assert!(again.unwrap().dataset.is_some());
+        assert_eq!(reg.hits(), 1);
+        assert_eq!(reg.misses(), 2);
+    }
+
+    #[test]
+    fn concurrent_upgrades_share_one_rescan() {
+        let path = fixture_csv("upgrade-race.csv", 400);
+        let reg = Arc::new(Registry::new());
+        let (entry, _) = reg.get_or_load(&dsref(&path), LoadMode::Stream); // 1 miss
+        assert!(entry.unwrap().dataset.is_none());
+        let entries: Vec<Arc<Entry>> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let reg = Arc::clone(&reg);
+                    let ds = dsref(&path);
+                    scope.spawn(move || reg.get_or_load_materialised(&ds).0.unwrap())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for e in &entries {
+            assert!(e.dataset.is_some());
+            assert!(
+                Arc::ptr_eq(&entries[0], e),
+                "all upgraders share one rebuilt entry"
+            );
+        }
+        // Stream build + exactly one upgrade re-scan; the other three
+        // upgraders waited on the same slot and count as hits.
+        assert_eq!(reg.misses(), 2);
+        assert_eq!(reg.hits(), 3);
+    }
+
+    #[test]
+    fn bad_eps_is_an_error_not_a_panic() {
+        let path = fixture_csv("eps.csv", 100);
+        let reg = Registry::new();
+        let mut ds = dsref(&path);
+        ds.eps = 0.0;
+        let (res, _) = reg.get_or_load(&ds, LoadMode::Memory);
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Attribute-name resolution shared by the server and the CLI.
+
+use qid_dataset::{AttrId, Schema};
+
+/// The outcome of resolving a user-supplied attribute list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolvedAttrs {
+    /// Resolved ids, duplicates removed, first-occurrence order kept.
+    pub attrs: Vec<AttrId>,
+    /// The specs that were dropped as duplicates, in input order.
+    pub duplicates: Vec<String>,
+}
+
+/// Resolves attribute specs (names, or indices given as digits) against
+/// a schema. Duplicate attributes — whether repeated by name, by index,
+/// or one of each — are dropped (keeping the first occurrence) and
+/// reported in [`ResolvedAttrs::duplicates`], because feeding `zip,zip`
+/// to a separation query silently behaves like `zip` while looking
+/// like a 2-attribute key.
+pub fn resolve_attr_names(
+    schema: &Schema,
+    n_attrs: usize,
+    specs: &[String],
+) -> Result<ResolvedAttrs, String> {
+    let mut attrs: Vec<AttrId> = Vec::with_capacity(specs.len());
+    let mut duplicates = Vec::new();
+    let mut seen = vec![false; n_attrs];
+    for spec in specs {
+        let spec = spec.trim();
+        let attr = schema
+            .attr_by_name(spec)
+            .or_else(|| {
+                spec.parse::<usize>()
+                    .ok()
+                    .filter(|&i| i < n_attrs)
+                    .map(AttrId::new)
+            })
+            .ok_or_else(|| format!("unknown attribute {spec:?}"))?;
+        if seen[attr.index()] {
+            duplicates.push(spec.to_string());
+        } else {
+            seen[attr.index()] = true;
+            attrs.push(attr);
+        }
+    }
+    Ok(ResolvedAttrs { attrs, duplicates })
+}
+
+/// Splits a comma-separated `--attrs` spec into trimmed pieces.
+pub fn split_attr_spec(spec: &str) -> Vec<String> {
+    spec.split(',').map(|s| s.trim().to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qid_dataset::{DatasetBuilder, Value};
+
+    fn schema() -> qid_dataset::Dataset {
+        let mut b = DatasetBuilder::new(["zip", "age", "sex"]);
+        b.push_row([Value::Int(1), Value::Int(2), Value::text("F")])
+            .unwrap();
+        b.finish()
+    }
+
+    fn specs(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn resolves_names_and_indices() {
+        let ds = schema();
+        let r = resolve_attr_names(ds.schema(), ds.n_attrs(), &specs(&["sex", "0"])).unwrap();
+        assert_eq!(r.attrs, vec![AttrId::new(2), AttrId::new(0)]);
+        assert!(r.duplicates.is_empty());
+    }
+
+    #[test]
+    fn dedups_preserving_order() {
+        let ds = schema();
+        let r = resolve_attr_names(
+            ds.schema(),
+            ds.n_attrs(),
+            &specs(&["zip", "age", "zip", "age"]),
+        )
+        .unwrap();
+        assert_eq!(r.attrs, vec![AttrId::new(0), AttrId::new(1)]);
+        assert_eq!(r.duplicates, specs(&["zip", "age"]));
+    }
+
+    #[test]
+    fn name_and_index_of_same_attr_are_duplicates() {
+        let ds = schema();
+        let r = resolve_attr_names(ds.schema(), ds.n_attrs(), &specs(&["zip", "0"])).unwrap();
+        assert_eq!(r.attrs, vec![AttrId::new(0)]);
+        assert_eq!(r.duplicates, specs(&["0"]));
+    }
+
+    #[test]
+    fn unknown_attr_is_an_error() {
+        let ds = schema();
+        let err = resolve_attr_names(ds.schema(), ds.n_attrs(), &specs(&["nope"])).unwrap_err();
+        assert!(err.contains("unknown attribute"));
+    }
+
+    #[test]
+    fn out_of_range_index_is_an_error() {
+        let ds = schema();
+        assert!(resolve_attr_names(ds.schema(), ds.n_attrs(), &specs(&["7"])).is_err());
+    }
+
+    #[test]
+    fn split_trims() {
+        assert_eq!(
+            split_attr_spec("zip, age ,sex"),
+            specs(&["zip", "age", "sex"])
+        );
+    }
+}

@@ -1,0 +1,493 @@
+//! The resident audit service: accept loop, dispatch, graceful drain.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use qid_core::minkey::{enumerate_minimal_keys, GreedyRefineMinKey, LatticeConfig};
+use qid_core::separation::group_sizes;
+
+use crate::metrics::Metrics;
+use crate::proto::{DatasetRef, LoadMode, Request, Response};
+use crate::registry::{Entry, Registry};
+use crate::resolve::resolve_attr_names;
+use crate::WorkerPool;
+
+/// Caps `audit`'s lattice search, matching the CLI's limit.
+const MAX_LATTICE_CANDIDATES: usize = 500_000;
+
+/// How to bind and size the server.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker thread count (clamped to ≥ 1).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+        }
+    }
+}
+
+/// Shared across workers: the cache, the counters, the stop flag.
+#[derive(Debug)]
+pub struct ServerState {
+    /// The dataset registry every worker queries.
+    pub registry: Registry,
+    /// Traffic counters behind the `metrics` command.
+    pub metrics: Metrics,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+}
+
+impl ServerState {
+    /// True once a `shutdown` request has been accepted.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flags shutdown and pokes the accept loop awake with a throwaway
+    /// connection so it can observe the flag.
+    fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // A wildcard bind (0.0.0.0 / ::) is not a connectable
+        // destination everywhere; aim the wake-up at loopback.
+        let mut addr = self.local_addr;
+        if addr.ip().is_unspecified() {
+            addr.set_ip(match addr.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+/// A bound (but not yet serving) audit service.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state.
+    pub fn bind(config: &ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                registry: Registry::new(),
+                metrics: Metrics::new(),
+                shutdown: AtomicBool::new(false),
+                local_addr,
+            }),
+            workers: config.workers.max(1),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// The shared state (for tests and benchmarks).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Runs the accept loop until a `shutdown` request arrives, then
+    /// drains in-flight connections and returns.
+    pub fn serve(self) -> io::Result<()> {
+        let mut pool = WorkerPool::new(self.workers);
+        // Unknown accept errors are retried with backoff this many
+        // times before giving up: a resident service must survive
+        // transient failures (fd exhaustion, aborted handshakes), but
+        // a permanently broken listener must not spin forever.
+        let mut consecutive_errors = 0u32;
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(conn) => {
+                    consecutive_errors = 0;
+                    conn
+                }
+                // A client that disconnected between SYN and accept is
+                // its problem, not the daemon's.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::Interrupted
+                            | io::ErrorKind::ConnectionAborted
+                            | io::ErrorKind::ConnectionReset
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::WouldBlock
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => {
+                    if self.state.is_shutting_down() {
+                        break;
+                    }
+                    consecutive_errors += 1;
+                    if consecutive_errors < 16 {
+                        // e.g. EMFILE: wait for connections to close.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        continue;
+                    }
+                    // Raise the flag before dropping the pool: idle
+                    // connections requeue themselves until they see
+                    // it, so joining the workers without it would
+                    // never finish (and lose the error).
+                    self.state.shutdown.store(true, Ordering::SeqCst);
+                    pool.shutdown();
+                    return Err(e);
+                }
+            };
+            if self.state.is_shutting_down() {
+                break; // the wake-up connection (or a late client)
+            }
+            self.state
+                .metrics
+                .connections
+                .fetch_add(1, Ordering::Relaxed);
+            let Some(conn) = Connection::new(stream) else {
+                continue;
+            };
+            let state = Arc::clone(&self.state);
+            let Some(requeue) = pool.sender() else { break };
+            pool.execute(Box::new(move || serve_connection(conn, state, requeue)));
+        }
+        // Closing the channel drains queued connections, then joins.
+        pool.shutdown();
+        Ok(())
+    }
+
+    /// Serves on a background thread; the returned handle exposes the
+    /// address and joins the accept loop.
+    pub fn spawn(self) -> RunningServer {
+        let addr = self.local_addr();
+        let state = self.state();
+        let handle = std::thread::Builder::new()
+            .name("qid-server-accept".to_string())
+            .spawn(move || self.serve())
+            .expect("spawn server thread");
+        RunningServer {
+            addr,
+            state,
+            handle,
+        }
+    }
+}
+
+/// A server running on a background thread.
+#[derive(Debug)]
+pub struct RunningServer {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    handle: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl RunningServer {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (registry + metrics).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Waits for the accept loop to exit (after a `shutdown` request).
+    pub fn join(self) -> io::Result<()> {
+        match self.handle.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("server thread panicked")),
+        }
+    }
+}
+
+/// How often an idle connection yields its worker back to the pool
+/// (and, during a drain, how quickly quiet keep-alive clients are
+/// closed). Connections do not *permanently* pin workers: a read that
+/// sits idle this long re-enqueues the connection and frees the
+/// thread, so `N` idle clients never starve client `N+1` even on a
+/// 1-worker pool. Each idle connection still costs a worker one
+/// blocked read per cycle, so latency degrades linearly with the
+/// idle-connection count — acceptable for tens of keep-alive clients;
+/// event-driven IO is the ROADMAP item for thousands.
+const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(150);
+
+/// One client connection, with its buffered reader and any partial
+/// line carried across idle timeouts.
+struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    line: Vec<u8>,
+}
+
+impl Connection {
+    fn new(stream: TcpStream) -> Option<Connection> {
+        // A read timeout turns a blocked `read_line` into the periodic
+        // yield/shutdown check described on [`IDLE_POLL`]; nodelay
+        // because responses are single small writes.
+        stream.set_nodelay(true).ok()?;
+        stream.set_read_timeout(Some(IDLE_POLL)).ok()?;
+        let read_half = stream.try_clone().ok()?;
+        Some(Connection {
+            reader: BufReader::new(read_half),
+            writer: stream,
+            line: Vec::new(),
+        })
+    }
+}
+
+/// Serves requests on one connection until EOF, error, shutdown, or an
+/// idle timeout — on idle, the connection re-enqueues itself via
+/// `requeue` so the worker can serve someone else meanwhile.
+fn serve_connection(
+    mut conn: Connection,
+    state: Arc<ServerState>,
+    requeue: std::sync::mpsc::Sender<crate::pool::Job>,
+) {
+    loop {
+        // Raw bytes, not `read_line`: on an idle timeout mid-line,
+        // `read_until` keeps whatever was appended, whereas
+        // `read_line` discards the partial tail when it happens to
+        // split a multi-byte UTF-8 character (std validates and rolls
+        // back on error). UTF-8 is checked once per complete line.
+        match conn.reader.read_until(b'\n', &mut conn.line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                let done = serve_one_line(&mut conn, &state);
+                conn.line.clear();
+                // The drain must also finish under a client that never
+                // goes idle: stop after the in-flight request, don't
+                // wait for a timeout that a busy sender never hits.
+                if done || state.is_shutting_down() {
+                    return;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // The partial line travels with the connection
+                // through the queue.
+                if state.is_shutting_down() {
+                    return;
+                }
+                let state = Arc::clone(&state);
+                let tx = requeue.clone();
+                let _ = requeue.send(Box::new(move || serve_connection(conn, state, tx)));
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decodes and answers the request line in `conn.line`. Returns `true`
+/// if the connection should close (write failure or shutdown).
+fn serve_one_line(conn: &mut Connection, state: &ServerState) -> bool {
+    let Ok(line) = std::str::from_utf8(&conn.line) else {
+        state
+            .metrics
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        let response = Response::Error {
+            message: "request line is not valid UTF-8".to_string(),
+        };
+        return conn.writer.write_all(response.encode().as_bytes()).is_err()
+            || conn.writer.write_all(b"\n").is_err()
+            || conn.writer.flush().is_err();
+    };
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return false;
+    }
+    let started = Instant::now();
+    let (response, command, is_error) = match Request::decode(trimmed) {
+        Ok(request) => {
+            let command = request.command_name();
+            let shutdown = matches!(request, Request::Shutdown);
+            let response = handle_request(&request, state);
+            let is_error = matches!(response, Response::Error { .. });
+            if shutdown {
+                state.metrics.record(command, started.elapsed(), is_error);
+                let _ = conn.writer.write_all(response.encode().as_bytes());
+                let _ = conn.writer.write_all(b"\n");
+                let _ = conn.writer.flush();
+                state.initiate_shutdown();
+                return true;
+            }
+            (response, Some(command), is_error)
+        }
+        Err(message) => {
+            state
+                .metrics
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            (Response::Error { message }, None, true)
+        }
+    };
+    if let Some(command) = command {
+        state.metrics.record(command, started.elapsed(), is_error);
+    }
+    conn.writer.write_all(response.encode().as_bytes()).is_err()
+        || conn.writer.write_all(b"\n").is_err()
+        || conn.writer.flush().is_err()
+}
+
+/// Dispatches one decoded request against the shared state.
+pub fn handle_request(request: &Request, state: &ServerState) -> Response {
+    match request {
+        Request::Load { ds, mode } => match state.registry.get_or_load(ds, *mode) {
+            (Ok(entry), cached) => Response::Loaded {
+                rows: entry.rows,
+                attrs: entry.attrs,
+                sample: entry.filter.sample().n_rows(),
+                cached,
+            },
+            (Err(message), _) => Response::Error { message },
+        },
+        Request::Audit { ds, max_key_size } => with_entry(state, ds, LoadMode::Stream, |entry| {
+            let sample = entry.filter.sample();
+            let keys = enumerate_minimal_keys(
+                sample,
+                LatticeConfig {
+                    max_size: *max_key_size,
+                    max_candidates: MAX_LATTICE_CANDIDATES,
+                },
+            );
+            let keys = keys
+                .into_iter()
+                .map(|key| {
+                    let sizes = group_sizes(sample, &key);
+                    let unique = sizes.iter().filter(|&&s| s == 1).count();
+                    let frac = if sample.n_rows() == 0 {
+                        0.0
+                    } else {
+                        unique as f64 / sample.n_rows() as f64
+                    };
+                    let names = key
+                        .iter()
+                        .map(|&a| sample.schema().attr(a).name().to_string())
+                        .collect();
+                    (names, frac)
+                })
+                .collect();
+            Response::Audit { keys }
+        }),
+        Request::Key { ds } => with_entry(state, ds, LoadMode::Stream, |entry| {
+            let sample = entry.filter.sample();
+            let result = GreedyRefineMinKey::run_on_sample(sample);
+            Response::Key {
+                attrs: result
+                    .attrs
+                    .iter()
+                    .map(|&a| sample.schema().attr(a).name().to_string())
+                    .collect(),
+                complete: result.complete,
+            }
+        }),
+        Request::Check { ds, attrs } => with_entry(state, ds, LoadMode::Stream, |entry| {
+            use qid_core::filter::{FilterDecision, SeparationFilter};
+            let sample = entry.filter.sample();
+            match resolve_attr_names(sample.schema(), sample.n_attrs(), attrs) {
+                Ok(resolved) => Response::Check {
+                    attrs: resolved
+                        .attrs
+                        .iter()
+                        .map(|&a| sample.schema().attr(a).name().to_string())
+                        .collect(),
+                    accept: entry.filter.query(&resolved.attrs) == FilterDecision::Accept,
+                },
+                Err(message) => Response::Error { message },
+            }
+        }),
+        Request::Mask { ds, budget } => {
+            if *budget == 0 {
+                return Response::Error {
+                    message: "mask budget must be ≥ 1".to_string(),
+                };
+            }
+            with_dataset_entry(state, ds, |_, dataset| {
+                let params = qid_core::filter::FilterParams::new(ds.eps);
+                let plan = qid_core::masking::plan_masking(dataset, params, *budget, ds.seed);
+                Response::Mask {
+                    suppressed: plan
+                        .suppressed
+                        .iter()
+                        .map(|&a| dataset.schema().attr(a).name().to_string())
+                        .collect(),
+                    residual_key_size: plan.residual_key_size,
+                }
+            })
+        }
+        Request::Stats { ds } => with_dataset_entry(state, ds, |_, dataset| {
+            let columns = (0..dataset.n_attrs())
+                .map(|a| {
+                    let attr = qid_dataset::AttrId::new(a);
+                    (
+                        dataset.schema().attr(attr).name().to_string(),
+                        dataset.column(attr).dict_size(),
+                    )
+                })
+                .collect();
+            Response::Stats {
+                rows: dataset.n_rows(),
+                columns,
+            }
+        }),
+        Request::Metrics => Response::Metrics(state.metrics.report(
+            state.registry.hits(),
+            state.registry.misses(),
+            state.registry.len(),
+        )),
+        Request::Shutdown => Response::ShuttingDown,
+    }
+}
+
+/// Runs `f` on the cached entry, loading it (in `miss_mode`) on a miss.
+fn with_entry(
+    state: &ServerState,
+    ds: &DatasetRef,
+    miss_mode: LoadMode,
+    f: impl FnOnce(&Entry) -> Response,
+) -> Response {
+    match state.registry.get_or_load(ds, miss_mode).0 {
+        Ok(entry) => f(&entry),
+        Err(message) => Response::Error { message },
+    }
+}
+
+/// Like [`with_entry`] but guarantees a materialised dataset (stream
+/// entries are upgraded in place).
+fn with_dataset_entry(
+    state: &ServerState,
+    ds: &DatasetRef,
+    f: impl FnOnce(&Entry, &qid_dataset::Dataset) -> Response,
+) -> Response {
+    match state.registry.get_or_load_materialised(ds).0 {
+        Ok(entry) => match &entry.dataset {
+            Some(dataset) => f(&entry, dataset),
+            None => Response::Error {
+                message: "internal error: materialised load produced no dataset".to_string(),
+            },
+        },
+        Err(message) => Response::Error { message },
+    }
+}

@@ -1,5 +1,7 @@
 //! `qid` — command-line quasi-identifier analysis for CSV files.
 //!
+//! One-shot analysis:
+//!
 //! ```text
 //! qid audit  data.csv [--eps 0.001] [--seed 7] [--max-key-size 4]
 //! qid key    data.csv [--eps 0.001] [--seed 7] [--exact]
@@ -9,7 +11,24 @@
 //! ```
 //!
 //! All commands run on a `Θ(m/√ε)` tuple sample (the paper's
-//! Algorithm 1 sampling), so they work at any data size.
+//! Algorithm 1 sampling), so they work at any data size. `audit` and
+//! `key` build that sample in one streaming pass (a size-`r`
+//! reservoir), so their memory is `O(m/√ε)`, not `O(n·m)`; pass
+//! `--exact` to materialise the file instead.
+//!
+//! Resident service (build the sample once, query it many times):
+//!
+//! ```text
+//! qid serve [--addr 127.0.0.1:0] [--workers 4]
+//! qid query <addr> load    data.csv [--eps E] [--seed S] [--stream]
+//! qid query <addr> audit   data.csv [--eps E] [--seed S] [--max-key-size K]
+//! qid query <addr> key     data.csv [--eps E] [--seed S]
+//! qid query <addr> check   data.csv --attrs a,b [--eps E] [--seed S]
+//! qid query <addr> mask    data.csv [--eps E] [--seed S] [--budget B]
+//! qid query <addr> stats   data.csv
+//! qid query <addr> metrics
+//! qid query <addr> shutdown
+//! ```
 
 use std::process::ExitCode;
 
@@ -19,10 +38,13 @@ use quasi_id::core::minkey::{
     enumerate_minimal_keys, exact_min_key_sampled, GreedyRefineMinKey, LatticeConfig,
 };
 use quasi_id::core::separation::group_sizes;
-use quasi_id::dataset::csv::{read_csv_path, CsvOptions};
+use quasi_id::core::stream::tuple_filter_from_stream;
+use quasi_id::dataset::csv::{read_csv_path, CsvOptions, CsvTupleSource};
 use quasi_id::prelude::*;
+use quasi_id::server::proto::{DatasetRef, LoadMode, Request, Response};
+use quasi_id::server::{resolve_attr_names, split_attr_spec, Client, Server, ServerConfig};
 
-/// Parsed command-line options.
+/// Parsed command-line options for the one-shot and `query` commands.
 struct Opts {
     command: String,
     path: String,
@@ -32,21 +54,22 @@ struct Opts {
     max_key_size: usize,
     budget: usize,
     exact: bool,
+    stream: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: qid <audit|key|check|mask|stats> <data.csv> \
          [--eps E] [--seed S] [--attrs a,b,c] [--max-key-size K] \
-         [--budget B] [--exact]"
+         [--budget B] [--exact]\n\
+         \x20      qid serve [--addr HOST:PORT] [--workers N]\n\
+         \x20      qid query <addr> <load|audit|key|check|mask|stats|metrics|shutdown> \
+         [data.csv] [flags]"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> Opts {
-    let mut args = std::env::args().skip(1);
-    let command = args.next().unwrap_or_else(|| usage());
-    let path = args.next().unwrap_or_else(|| usage());
+fn parse_opts(command: String, path: String, args: &[String]) -> Opts {
     let mut opts = Opts {
         command,
         path,
@@ -56,9 +79,11 @@ fn parse_args() -> Opts {
         max_key_size: 3,
         budget: 2,
         exact: false,
+        stream: false,
     };
+    let mut args = args.iter();
     while let Some(flag) = args.next() {
-        let mut take = |name: &str| -> String {
+        let mut take = |name: &str| -> &String {
             args.next().unwrap_or_else(|| {
                 eprintln!("missing value for {name}");
                 usage()
@@ -67,12 +92,13 @@ fn parse_args() -> Opts {
         match flag.as_str() {
             "--eps" => opts.eps = take("--eps").parse().unwrap_or_else(|_| usage()),
             "--seed" => opts.seed = take("--seed").parse().unwrap_or_else(|_| usage()),
-            "--attrs" => opts.attrs = Some(take("--attrs")),
+            "--attrs" => opts.attrs = Some(take("--attrs").clone()),
             "--max-key-size" => {
                 opts.max_key_size = take("--max-key-size").parse().unwrap_or_else(|_| usage())
             }
             "--budget" => opts.budget = take("--budget").parse().unwrap_or_else(|_| usage()),
             "--exact" => opts.exact = true,
+            "--stream" => opts.stream = true,
             _ => {
                 eprintln!("unknown flag {flag}");
                 usage()
@@ -82,21 +108,16 @@ fn parse_args() -> Opts {
     opts
 }
 
+/// Resolves a comma-separated attribute spec against a dataset,
+/// dropping duplicates (first occurrence wins) with a warning: a
+/// repeated attribute adds no separation power but silently inflates
+/// the apparent key size.
 fn resolve_attrs(ds: &Dataset, spec: &str) -> Result<Vec<AttrId>, String> {
-    spec.split(',')
-        .map(|name| {
-            let name = name.trim();
-            ds.schema()
-                .attr_by_name(name)
-                .or_else(|| {
-                    name.parse::<usize>()
-                        .ok()
-                        .filter(|&i| i < ds.n_attrs())
-                        .map(AttrId::new)
-                })
-                .ok_or_else(|| format!("unknown attribute {name:?}"))
-        })
-        .collect()
+    let resolved = resolve_attr_names(ds.schema(), ds.n_attrs(), &split_attr_spec(spec))?;
+    for dup in &resolved.duplicates {
+        eprintln!("warning: duplicate attribute {dup:?} ignored");
+    }
+    Ok(resolved.attrs)
 }
 
 fn names(ds: &Dataset, attrs: &[AttrId]) -> Vec<String> {
@@ -107,7 +128,260 @@ fn names(ds: &Dataset, attrs: &[AttrId]) -> Vec<String> {
 }
 
 fn main() -> ExitCode {
-    let opts = parse_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        usage()
+    };
+    match command.as_str() {
+        "serve" => cmd_serve(&args[1..]),
+        "query" => cmd_query(&args[1..]),
+        _ => {
+            let Some(path) = args.get(1).cloned() else {
+                usage()
+            };
+            cmd_oneshot(parse_opts(command, path, &args[2..]))
+        }
+    }
+}
+
+// ---------------------------------------------------------------- serve
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut args = args.iter();
+    while let Some(flag) = args.next() {
+        let mut take = |name: &str| -> &String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = take("--addr").clone(),
+            "--workers" => config.workers = take("--workers").parse().unwrap_or_else(|_| usage()),
+            _ => {
+                eprintln!("unknown flag {flag}");
+                usage()
+            }
+        }
+    }
+    let server = match Server::bind(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error binding {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // The test harness (and shell scripts) parse this line for the
+    // resolved ephemeral port; flush so they see it immediately. Writes
+    // go through `write!` with errors ignored: the supervising process
+    // may close its end of the pipe once it has the address.
+    use std::io::Write as _;
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(
+        stdout,
+        "qid-server listening on {} (workers = {})",
+        server.local_addr(),
+        config.workers.max(1)
+    );
+    let _ = stdout.flush();
+    match server.serve() {
+        Ok(()) => {
+            let _ = writeln!(stdout, "qid-server drained, shutting down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------- query
+
+fn cmd_query(args: &[String]) -> ExitCode {
+    let (Some(addr), Some(command)) = (args.first(), args.get(1)) else {
+        usage()
+    };
+    let needs_path = !matches!(command.as_str(), "metrics" | "shutdown");
+    let opts = if needs_path {
+        let Some(path) = args.get(2).cloned() else {
+            eprintln!("{command} requires a data.csv path");
+            usage()
+        };
+        parse_opts(command.clone(), path, &args[3..])
+    } else {
+        parse_opts(command.clone(), String::new(), &args[2..])
+    };
+    // Send the server an absolute path: the daemon's working directory
+    // is generally not the client's.
+    let path = if needs_path {
+        std::fs::canonicalize(&opts.path)
+            .ok()
+            .and_then(|p| p.to_str().map(str::to_string))
+            .unwrap_or_else(|| opts.path.clone())
+    } else {
+        String::new()
+    };
+    let ds = DatasetRef {
+        path,
+        eps: opts.eps,
+        seed: opts.seed,
+    };
+    let request = match command.as_str() {
+        "load" => Request::Load {
+            ds,
+            mode: if opts.stream {
+                LoadMode::Stream
+            } else {
+                LoadMode::Memory
+            },
+        },
+        "audit" => Request::Audit {
+            ds,
+            max_key_size: opts.max_key_size,
+        },
+        "key" => Request::Key { ds },
+        "check" => {
+            let Some(spec) = &opts.attrs else {
+                eprintln!("check requires --attrs");
+                return ExitCode::FAILURE;
+            };
+            Request::Check {
+                ds,
+                attrs: split_attr_spec(spec),
+            }
+        }
+        "mask" => Request::Mask {
+            ds,
+            budget: opts.budget,
+        },
+        "stats" => Request::Stats { ds },
+        "metrics" => Request::Metrics,
+        "shutdown" => Request::Shutdown,
+        other => {
+            eprintln!("unknown query command {other:?}");
+            usage()
+        }
+    };
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error connecting to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let response = match client.call(&request) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_response(&response)
+}
+
+fn print_response(response: &Response) -> ExitCode {
+    match response {
+        Response::Loaded {
+            rows,
+            attrs,
+            sample,
+            cached,
+        } => {
+            println!(
+                "loaded: {rows} rows x {attrs} attributes; sample = {sample} tuples ({})",
+                if *cached { "cache hit" } else { "built" }
+            );
+        }
+        Response::Audit { keys } => {
+            println!("minimal quasi-identifiers (on the cached sample):");
+            if keys.is_empty() {
+                println!("  none — no small attribute set identifies the records");
+            }
+            for (names, frac) in keys.iter().take(25) {
+                println!(
+                    "  {names:?} — {:.1}% of sampled rows uniquely identified",
+                    100.0 * frac
+                );
+            }
+            if keys.len() > 25 {
+                println!("  … and {} more", keys.len() - 25);
+            }
+        }
+        Response::Key { attrs, complete } => {
+            if *complete {
+                println!(
+                    "greedy eps-separation key ({} attributes): {attrs:?}",
+                    attrs.len()
+                );
+            } else {
+                println!("no key exists: the sample contains identical tuples");
+            }
+        }
+        Response::Check { attrs, accept } => {
+            println!("{attrs:?}: {}", if *accept { "Accept" } else { "Reject" });
+        }
+        Response::Mask {
+            suppressed,
+            residual_key_size,
+        } => {
+            println!("suppress:");
+            if suppressed.is_empty() {
+                println!("  nothing — no quasi-identifier fits that budget");
+            }
+            for name in suppressed {
+                println!("  {name}");
+            }
+            match residual_key_size {
+                Some(s) => println!("released view: smallest residual key has {s} attributes"),
+                None => println!("released view: no identifying attribute set remains"),
+            }
+        }
+        Response::Stats { rows, columns } => {
+            println!("{rows} rows; attribute cardinalities:");
+            for (name, distinct) in columns {
+                println!(
+                    "  {:<24} {:>9} distinct ({:.2}% of rows)",
+                    name,
+                    distinct,
+                    100.0 * *distinct as f64 / (*rows).max(1) as f64
+                );
+            }
+        }
+        Response::Metrics(report) => {
+            println!(
+                "registry: {} datasets, {} cache hits, {} cache misses",
+                report.datasets, report.cache_hits, report.cache_misses
+            );
+            println!("command     count  errors  latency_us");
+            for c in &report.commands {
+                println!(
+                    "  {:<9} {:>5} {:>7} {:>11}",
+                    c.name, c.count, c.errors, c.latency_us
+                );
+            }
+        }
+        Response::ShuttingDown => println!("server shutting down"),
+        Response::Error { message } => {
+            eprintln!("server error: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+// -------------------------------------------------------------- one-shot
+
+fn cmd_oneshot(opts: Opts) -> ExitCode {
+    let params = FilterParams::new(opts.eps);
+    // `audit` and `key` only need the Θ(m/√ε) sample: build it in one
+    // streaming pass instead of materialising all n·m values.
+    let streamed = matches!(opts.command.as_str(), "audit" | "key") && !opts.exact;
+    if streamed {
+        return cmd_streamed(&opts, params);
+    }
+
     let ds = match read_csv_path(&opts.path, &CsvOptions::default()) {
         Ok(ds) => ds,
         Err(e) => {
@@ -119,7 +393,6 @@ fn main() -> ExitCode {
         eprintln!("data set too small to analyse ({:?})", ds);
         return ExitCode::FAILURE;
     }
-    let params = FilterParams::new(opts.eps);
     println!(
         "{}: {} rows x {} attributes; eps = {}, sample = {} tuples",
         opts.path,
@@ -164,62 +437,21 @@ fn main() -> ExitCode {
             );
         }
         "key" => {
-            let result = if opts.exact {
-                match exact_min_key_sampled(&ds, params, opts.seed) {
-                    Some(attrs) => attrs,
-                    None => {
-                        println!("\nno key exists: the sample contains identical tuples");
-                        return ExitCode::SUCCESS;
-                    }
-                }
-            } else {
-                let r = GreedyRefineMinKey::new(params).run(&ds, opts.seed);
-                if !r.complete {
+            // Only the --exact path reaches here.
+            match exact_min_key_sampled(&ds, params, opts.seed) {
+                Some(attrs) => println!(
+                    "\nexact-on-sample eps-separation key ({} attributes): {:?}",
+                    attrs.len(),
+                    names(&ds, &attrs)
+                ),
+                None => {
                     println!("\nno key exists: the sample contains identical tuples");
-                    return ExitCode::SUCCESS;
                 }
-                r.attrs
-            };
-            println!(
-                "\n{} eps-separation key ({} attributes): {:?}",
-                if opts.exact {
-                    "exact-on-sample"
-                } else {
-                    "greedy"
-                },
-                result.len(),
-                names(&ds, &result)
-            );
+            }
         }
         "audit" => {
             let filter = TupleSampleFilter::build(&ds, params, opts.seed);
-            let sample = filter.sample().clone();
-            let keys = enumerate_minimal_keys(
-                &sample,
-                LatticeConfig {
-                    max_size: opts.max_key_size,
-                    max_candidates: 500_000,
-                },
-            );
-            println!(
-                "\nminimal quasi-identifiers with ≤ {} attributes (on the sample):",
-                opts.max_key_size
-            );
-            if keys.is_empty() {
-                println!("  none — no small attribute set identifies the records");
-            }
-            for key in keys.iter().take(25) {
-                let sizes = group_sizes(&ds, key);
-                let unique = sizes.iter().filter(|&&s| s == 1).count();
-                println!(
-                    "  {:?} — {:.1}% of rows uniquely identified",
-                    names(&ds, key),
-                    100.0 * unique as f64 / ds.n_rows() as f64
-                );
-            }
-            if keys.len() > 25 {
-                println!("  … and {} more", keys.len() - 25);
-            }
+            print_audit(filter.sample(), &ds, opts.max_key_size, "rows");
         }
         "mask" => {
             let plan = plan_masking(&ds, params, opts.budget, opts.seed);
@@ -244,4 +476,85 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// The streaming one-shot path for `audit` and `key`: one pass over the
+/// CSV feeds a size-`r` reservoir; everything afterwards runs on the
+/// retained sample.
+fn cmd_streamed(opts: &Opts, params: FilterParams) -> ExitCode {
+    let mut source = match CsvTupleSource::open(&opts.path, &CsvOptions::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error reading {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let filter = match tuple_filter_from_stream(&mut source, params, opts.seed) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error reading {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let (n, m) = (source.rows_read(), source.n_attrs());
+    if n < 2 || m == 0 {
+        eprintln!("data set too small to analyse ({n} rows x {m} attributes)");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{}: {} rows x {} attributes; eps = {}, sample = {} tuples (streamed)",
+        opts.path,
+        n,
+        m,
+        opts.eps,
+        filter.sample().n_rows()
+    );
+    let sample = filter.sample();
+
+    match opts.command.as_str() {
+        "key" => {
+            let result = GreedyRefineMinKey::run_on_sample(sample);
+            if !result.complete {
+                println!("\nno key exists: the sample contains identical tuples");
+                return ExitCode::SUCCESS;
+            }
+            println!(
+                "\ngreedy eps-separation key ({} attributes): {:?}",
+                result.attrs.len(),
+                names(sample, &result.attrs)
+            );
+        }
+        "audit" => print_audit(sample, sample, opts.max_key_size, "sampled rows"),
+        _ => unreachable!("cmd_streamed only handles audit and key"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Enumerates minimal keys on `sample` and prints them with unique
+/// percentages computed over `frac_over` (the full dataset when it is
+/// materialised, the sample itself when streaming).
+fn print_audit(sample: &Dataset, frac_over: &Dataset, max_key_size: usize, rows_label: &str) {
+    let keys = enumerate_minimal_keys(
+        sample,
+        LatticeConfig {
+            max_size: max_key_size,
+            max_candidates: 500_000,
+        },
+    );
+    println!("\nminimal quasi-identifiers with ≤ {max_key_size} attributes (on the sample):");
+    if keys.is_empty() {
+        println!("  none — no small attribute set identifies the records");
+    }
+    for key in keys.iter().take(25) {
+        let sizes = group_sizes(frac_over, key);
+        let unique = sizes.iter().filter(|&&s| s == 1).count();
+        println!(
+            "  {:?} — {:.1}% of {rows_label} uniquely identified",
+            names(sample, key),
+            100.0 * unique as f64 / frac_over.n_rows() as f64
+        );
+    }
+    if keys.len() > 25 {
+        println!("  … and {} more", keys.len() - 25);
+    }
 }

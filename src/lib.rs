@@ -20,6 +20,11 @@
 //!   sampling), approximate minimum ε-separation keys via partition
 //!   refinement, non-separation sketches, and the executable analysis
 //!   machinery (symmetric polynomials, KKT worst cases).
+//! * [`server`] — the resident audit service: a registry of cached
+//!   sketches keyed by `(path, eps, seed)` behind a newline-delimited
+//!   JSON protocol over TCP (`qid serve` / `qid query`), so the full
+//!   scan happens once and every subsequent query is answered from the
+//!   resident sample.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +52,7 @@
 pub use qid_core as core;
 pub use qid_dataset as dataset;
 pub use qid_sampling as sampling;
+pub use qid_server as server;
 pub use qid_setcover as setcover;
 
 /// The most commonly used items, re-exported flat.
@@ -62,4 +68,5 @@ pub mod prelude {
     pub use qid_core::sketch::{NonSeparationSketch, SketchAnswer, SketchParams};
     pub use qid_dataset::generator::{adult_like, covtype_like, cps_like, BenchmarkSet};
     pub use qid_dataset::{AttrId, Dataset, DatasetBuilder, Schema, TupleSource, Value};
+    pub use qid_server::{Client, DatasetRef, Request, Response, Server, ServerConfig};
 }

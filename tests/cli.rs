@@ -24,6 +24,58 @@ fn fixture_csv(name: &str) -> std::path::PathBuf {
     path
 }
 
+#[test]
+fn duplicate_attrs_deduped_with_warning() {
+    let csv = fixture_csv("dup-attrs.csv");
+    let (stdout, stderr, ok) = run(&[
+        "check",
+        csv.to_str().unwrap(),
+        "--attrs",
+        "zip,zip,age,zip",
+        "--eps",
+        "0.01",
+    ]);
+    assert!(ok);
+    assert!(
+        stderr.contains("duplicate attribute \"zip\""),
+        "duplicates must be warned about: {stderr}"
+    );
+    // The query runs on the deduped, order-preserved set.
+    assert!(stdout.contains("[\"zip\", \"age\"]"), "{stdout}");
+    assert!(!stdout.contains("zip\", \"zip"), "{stdout}");
+
+    // A name and its index are the same attribute.
+    let (stdout, stderr, ok) = run(&[
+        "check",
+        csv.to_str().unwrap(),
+        "--attrs",
+        "id,0",
+        "--eps",
+        "0.01",
+    ]);
+    assert!(ok);
+    assert!(stderr.contains("duplicate attribute \"0\""), "{stderr}");
+    assert!(stdout.contains("[\"id\"]"), "{stdout}");
+}
+
+#[test]
+fn streamed_audit_and_key_report_stream_length() {
+    let csv = fixture_csv("streamed.csv");
+    let (stdout, _, ok) = run(&["key", csv.to_str().unwrap(), "--eps", "0.01"]);
+    assert!(ok);
+    assert!(stdout.contains("(streamed)"), "{stdout}");
+    assert!(stdout.contains("800 rows x 4 attributes"), "{stdout}");
+
+    let (stdout, _, ok) = run(&["audit", csv.to_str().unwrap(), "--eps", "0.01"]);
+    assert!(ok);
+    assert!(stdout.contains("(streamed)"), "{stdout}");
+
+    // --exact forces the materialised path.
+    let (stdout, _, ok) = run(&["key", csv.to_str().unwrap(), "--eps", "0.01", "--exact"]);
+    assert!(ok);
+    assert!(!stdout.contains("(streamed)"), "{stdout}");
+}
+
 fn run(args: &[&str]) -> (String, String, bool) {
     let out = Command::new(env!("CARGO_BIN_EXE_qid"))
         .args(args)

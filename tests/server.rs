@@ -1,0 +1,411 @@
+//! Integration tests for `qid serve`: spawn the real binary on an
+//! ephemeral port and drive it through the wire protocol with the
+//! library client and the `qid query` CLI.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use quasi_id::server::proto::{DatasetRef, LoadMode, Request, Response};
+use quasi_id::server::Client;
+
+/// Writes a small CSV fixture and returns its path.
+fn fixture_csv(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("qid-server-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "id,zip,age,sex").unwrap();
+    for i in 0..800 {
+        writeln!(
+            f,
+            "{i},{},{},{}",
+            92100 + i % 40,
+            18 + (i * 7) % 60,
+            if i % 2 == 0 { "M" } else { "F" }
+        )
+        .unwrap();
+    }
+    path
+}
+
+/// A `qid serve` child process bound to an ephemeral port.
+struct ServerUnderTest {
+    child: Child,
+    addr: String,
+}
+
+impl ServerUnderTest {
+    /// Spawns the server and parses the bound address off its stdout.
+    fn spawn(workers: usize) -> ServerUnderTest {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_qid"))
+            .args(["serve", "--addr", "127.0.0.1:0", "--workers"])
+            .arg(workers.to_string())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("server spawns");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut first_line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut first_line)
+            .expect("server announces its address");
+        let addr = first_line
+            .split("listening on ")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("unparseable announce line: {first_line:?}"))
+            .to_string();
+        ServerUnderTest { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect_timeout(self.addr.as_str(), Duration::from_secs(30))
+            .expect("client connects")
+    }
+
+    /// Requests shutdown and waits for a clean exit.
+    fn shutdown(mut self) {
+        let mut client = self.client();
+        assert_eq!(
+            client.call(&Request::Shutdown).expect("shutdown answered"),
+            Response::ShuttingDown
+        );
+        let status = self.child.wait().expect("server exits");
+        assert!(status.success(), "server exit status: {status:?}");
+    }
+
+    fn ds(&self, path: &std::path::Path, eps: f64, seed: u64) -> DatasetRef {
+        DatasetRef {
+            path: path.to_str().unwrap().to_string(),
+            eps,
+            seed,
+        }
+    }
+}
+
+impl Drop for ServerUnderTest {
+    fn drop(&mut self) {
+        // Best-effort: do not leak daemons when an assertion fails.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn metrics(client: &mut Client) -> quasi_id::server::MetricsReport {
+    match client.call(&Request::Metrics).expect("metrics answered") {
+        Response::Metrics(report) => report,
+        other => panic!("expected metrics, got {other:?}"),
+    }
+}
+
+#[test]
+fn full_session_load_audit_check_metrics_shutdown() {
+    let csv = fixture_csv("session.csv");
+    let server = ServerUnderTest::spawn(2);
+    let mut client = server.client();
+    let ds = server.ds(&csv, 0.01, 7);
+
+    // load: a cold build.
+    match client
+        .call(&Request::Load {
+            ds: ds.clone(),
+            mode: LoadMode::Memory,
+        })
+        .unwrap()
+    {
+        Response::Loaded {
+            rows,
+            attrs,
+            sample,
+            cached,
+        } => {
+            assert_eq!(rows, 800);
+            assert_eq!(attrs, 4);
+            assert_eq!(sample, 40); // m=4, eps=0.01 → 40 tuples
+            assert!(!cached);
+        }
+        other => panic!("expected loaded, got {other:?}"),
+    }
+
+    // audit answers from the registry, without re-reading the CSV.
+    let audit = |client: &mut Client| match client
+        .call(&Request::Audit {
+            ds: ds.clone(),
+            max_key_size: 2,
+        })
+        .unwrap()
+    {
+        Response::Audit { keys } => keys,
+        other => panic!("expected audit, got {other:?}"),
+    };
+    let keys = audit(&mut client);
+    assert!(
+        keys.iter().any(|(names, _)| names == &["id".to_string()]),
+        "id must be a minimal key: {keys:?}"
+    );
+    let again = audit(&mut client);
+    assert_eq!(keys, again, "cached sample must answer deterministically");
+
+    // check against the same cached sketch.
+    match client
+        .call(&Request::Check {
+            ds: ds.clone(),
+            attrs: vec!["sex".to_string()],
+        })
+        .unwrap()
+    {
+        Response::Check { attrs, accept } => {
+            assert_eq!(attrs, vec!["sex".to_string()]);
+            assert!(!accept, "sex alone cannot be a key");
+        }
+        other => panic!("expected check, got {other:?}"),
+    }
+
+    // metrics: exactly one build, everything after it a hit — the
+    // second audit in particular.
+    let report = metrics(&mut client);
+    assert_eq!(report.cache_misses, 1, "only the load scans the file");
+    assert!(
+        report.cache_hits >= 3,
+        "audit x2 + check must hit the cache: {report:?}"
+    );
+    assert_eq!(report.datasets, 1);
+    let audit_stats = report.commands.iter().find(|c| c.name == "audit").unwrap();
+    assert_eq!(audit_stats.count, 2);
+    assert_eq!(audit_stats.errors, 0);
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_share_one_cached_sketch() {
+    let csv = fixture_csv("concurrent.csv");
+    let server = ServerUnderTest::spawn(4);
+    let ds = server.ds(&csv, 0.01, 7);
+
+    // Four clients race audits on a cold registry.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let mut client = server.client();
+            let ds = ds.clone();
+            scope.spawn(move || {
+                match client
+                    .call(&Request::Audit {
+                        ds,
+                        max_key_size: 2,
+                    })
+                    .unwrap()
+                {
+                    Response::Audit { keys } => {
+                        assert!(keys.iter().any(|(names, _)| names == &["id".to_string()]))
+                    }
+                    other => panic!("expected audit, got {other:?}"),
+                }
+            });
+        }
+    });
+
+    let mut client = server.client();
+    let report = metrics(&mut client);
+    assert_eq!(
+        report.cache_misses, 1,
+        "four concurrent audits must share one build: {report:?}"
+    );
+    assert_eq!(report.cache_hits, 3);
+    assert_eq!(report.datasets, 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn stream_loads_upgrade_for_stats_and_mask() {
+    let csv = fixture_csv("upgrade.csv");
+    let server = ServerUnderTest::spawn(2);
+    let mut client = server.client();
+    let ds = server.ds(&csv, 0.01, 7);
+
+    match client
+        .call(&Request::Load {
+            ds: ds.clone(),
+            mode: LoadMode::Stream,
+        })
+        .unwrap()
+    {
+        Response::Loaded { rows, cached, .. } => {
+            assert_eq!(rows, 800);
+            assert!(!cached);
+        }
+        other => panic!("expected loaded, got {other:?}"),
+    }
+
+    // stats needs the full dataset: the server upgrades the entry.
+    match client.call(&Request::Stats { ds: ds.clone() }).unwrap() {
+        Response::Stats { rows, columns } => {
+            assert_eq!(rows, 800);
+            assert_eq!(columns.len(), 4);
+            assert!(columns.contains(&("id".to_string(), 800)));
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    match client
+        .call(&Request::Mask {
+            ds: ds.clone(),
+            budget: 1,
+        })
+        .unwrap()
+    {
+        Response::Mask { suppressed, .. } => {
+            assert!(
+                suppressed.contains(&"id".to_string()),
+                "the id column must be suppressed: {suppressed:?}"
+            );
+        }
+        other => panic!("expected mask, got {other:?}"),
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_completes_under_a_busy_client() {
+    // A client that never goes idle must not be able to hold the
+    // drain open: the server stops each connection after its in-flight
+    // request once shutdown is flagged.
+    let server = ServerUnderTest::spawn(2);
+    let mut busy = server.client();
+    let hammer = std::thread::spawn(move || {
+        let mut answered = 0u32;
+        // Loop until the server closes the connection under us.
+        while busy.call(&Request::Metrics).is_ok() {
+            answered += 1;
+        }
+        answered
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    server.shutdown(); // asserts the process actually exits
+    let answered = hammer.join().expect("busy client thread exits");
+    assert!(answered > 0, "the busy client was being served");
+}
+
+#[test]
+fn errors_are_answers_not_disconnects() {
+    let server = ServerUnderTest::spawn(1);
+    let mut client = server.client();
+
+    // Missing file.
+    match client
+        .call(&Request::Key {
+            ds: DatasetRef {
+                path: "/definitely/not/here.csv".to_string(),
+                eps: 0.01,
+                seed: 7,
+            },
+        })
+        .unwrap()
+    {
+        Response::Error { message } => assert!(message.contains("not/here.csv")),
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    // Unknown attribute on a real file.
+    let csv = fixture_csv("errors.csv");
+    match client
+        .call(&Request::Check {
+            ds: server.ds(&csv, 0.01, 7),
+            attrs: vec!["no_such_column".to_string()],
+        })
+        .unwrap()
+    {
+        Response::Error { message } => assert!(message.contains("unknown attribute")),
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    // The same connection still answers after both errors.
+    match client
+        .call(&Request::Check {
+            ds: server.ds(&csv, 0.01, 7),
+            attrs: vec!["id".to_string()],
+        })
+        .unwrap()
+    {
+        Response::Check { accept, .. } => assert!(accept),
+        other => panic!("expected check, got {other:?}"),
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn qid_query_cli_talks_to_the_server() {
+    let csv = fixture_csv("cli.csv");
+    let server = ServerUnderTest::spawn(2);
+
+    let run = |args: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_qid"))
+            .args(args)
+            .output()
+            .expect("qid query runs");
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            out.status.success(),
+        )
+    };
+    let csv = csv.to_str().unwrap();
+
+    let (stdout, ok) = run(&["query", &server.addr, "load", csv, "--eps", "0.01"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("800 rows x 4 attributes"), "{stdout}");
+
+    let (stdout, ok) = run(&[
+        "query",
+        &server.addr,
+        "check",
+        csv,
+        "--attrs",
+        "id",
+        "--eps",
+        "0.01",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Accept"), "{stdout}");
+
+    let (stdout, ok) = run(&["query", &server.addr, "metrics"]);
+    assert!(ok);
+    assert!(stdout.contains("cache hits"), "{stdout}");
+
+    server.shutdown();
+}
+
+#[test]
+fn raw_ndjson_session_over_a_plain_socket() {
+    // The protocol is hand-writable: no client library required.
+    let csv = fixture_csv("raw.csv");
+    let server = ServerUnderTest::spawn(1);
+    let stream = std::net::TcpStream::connect(server.addr.as_str()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    let mut roundtrip = |line: String| -> String {
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply
+    };
+
+    let reply = roundtrip(format!(
+        r#"{{"cmd":"key","path":{:?},"eps":0.01}}"#,
+        csv.to_str().unwrap()
+    ));
+    assert!(reply.contains(r#""ok":true"#), "{reply}");
+    assert!(reply.contains("id"), "{reply}");
+
+    let reply = roundtrip("this is not json".to_string());
+    assert!(reply.contains(r#""ok":false"#), "{reply}");
+
+    server.shutdown();
+}
