@@ -74,6 +74,15 @@ impl Json {
         self.as_u64().map(|v| v as usize)
     }
 
+    /// The value as a `u64` under the wire's lossless convention:
+    /// either an integer, or (for values above `i64::MAX`, which
+    /// [`u64_value`] emits as text) a decimal string. The inverse of
+    /// [`u64_value`].
+    pub fn as_u64_lossless(&self) -> Option<u64> {
+        self.as_u64()
+            .or_else(|| self.as_str().and_then(|t| t.parse().ok()))
+    }
+
     /// The value as an `f64` (either number variant).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
@@ -386,6 +395,18 @@ impl Parser<'_> {
 /// Convenience: an object from key/value pairs.
 pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
     Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Encodes a `u64` losslessly: an integer when it fits `i64`, otherwise
+/// a decimal string (so huge seeds round-trip exactly instead of
+/// wrapping negative). Decoded by [`Json::as_u64_lossless`]. Used where
+/// the full `u64` range is real input — seeds, eps bit patterns, and
+/// file stats in persisted metadata; plain counters keep `Json::Int`.
+pub fn u64_value(v: u64) -> Json {
+    match i64::try_from(v) {
+        Ok(i) => Json::Int(i),
+        Err(_) => s(v.to_string()),
+    }
 }
 
 /// Convenience: a string value.

@@ -7,23 +7,54 @@
 //! in a process that outlives a single query. This crate is that
 //! process:
 //!
-//! * [`registry`] — a **dataset registry** mapping
+//! * [`registry`] — the **registry lifecycle subsystem** mapping
 //!   `(path, eps, seed) → cached artifacts` (the resident
 //!   [`qid_core::filter::TupleSampleFilter`], plus the full dataset for
-//!   memory-mode loads). Concurrent cold lookups collapse onto one
-//!   build; repeated queries are cache hits.
+//!   memory-mode loads). The cache is sharded by key hash (read hits
+//!   take one shared lock), LRU-evicts under a configurable byte
+//!   budget, persists built samples to a cache directory so restarts
+//!   warm up without re-scanning sources, and stats the source file on
+//!   every hit so in-place rewrites trigger a rebuild instead of a
+//!   stale answer. Concurrent cold lookups still collapse onto one
+//!   build.
 //! * [`proto`] — the newline-delimited JSON wire protocol
-//!   (`load`, `audit`, `key`, `check`, `mask`, `stats`, `metrics`,
-//!   `shutdown`), hand-rolled over [`json`] because the build
-//!   environment is offline (no serde).
+//!   (`load`, `audit`, `key`, `check`, `mask`, `stats`, `unload`,
+//!   `metrics`, `shutdown`), hand-rolled over [`json`] because the
+//!   build environment is offline (no serde).
 //! * [`pool`] — a fixed worker thread pool over `mpsc` channels;
 //!   shutdown drains in-flight work before the process exits.
 //! * [`server`] — the `std::net::TcpListener` accept loop and request
-//!   dispatch, with per-command [`metrics`].
+//!   dispatch, with per-command [`metrics`] including fixed-size log₂
+//!   latency histograms (server-side p50/p99).
 //! * [`client`] — the thin blocking client the `qid query` CLI (and the
 //!   benchmarks) use.
 //!
 //! Everything is `std`-only: no async runtime, no external crates.
+//!
+//! ## The wire protocol in one round trip
+//!
+//! One JSON object per line in each direction. The request names a
+//! command and the registry cache key `(path, eps, seed)`; the response
+//! echoes `ok`/`kind` plus the payload:
+//!
+//! ```
+//! use qid_server::{Request, Response};
+//!
+//! // Parse what a client (or `echo … | nc`) would send:
+//! let request = Request::decode(
+//!     r#"{"cmd":"audit","path":"data.csv","eps":0.01,"seed":7,"max_key_size":2}"#,
+//! )
+//! .unwrap();
+//! assert_eq!(request.command_name(), "audit");
+//!
+//! // And what the server answers:
+//! let reply = Response::Audit {
+//!     keys: vec![(vec!["zip".into(), "age".into()], 0.93)],
+//! };
+//! let line = reply.encode();
+//! assert!(line.contains(r#""ok":true"#));
+//! assert_eq!(Response::decode(&line).unwrap(), reply);
+//! ```
 //!
 //! ## In-process quickstart
 //!
@@ -63,6 +94,6 @@ pub mod server;
 pub use client::Client;
 pub use pool::WorkerPool;
 pub use proto::{DatasetRef, LoadMode, MetricsReport, Request, Response};
-pub use registry::Registry;
+pub use registry::{Registry, RegistryConfig, RegistrySnapshot};
 pub use resolve::{resolve_attr_names, split_attr_spec, ResolvedAttrs};
 pub use server::{handle_request, RunningServer, Server, ServerConfig, ServerState};

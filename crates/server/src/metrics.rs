@@ -1,20 +1,96 @@
-//! Lock-free server counters: per-command traffic and latency sums.
+//! Lock-free server counters: per-command traffic, latency sums, and
+//! fixed-size log₂ latency histograms for server-side p50/p99.
+//!
+//! # Bucket scheme
+//!
+//! Each command owns [`LATENCY_BUCKETS`] atomic counters. A latency of
+//! `t` microseconds lands in bucket `floor(log2(max(t, 1)))`, clamped
+//! to the last bucket — so bucket 0 covers 0–1 µs, bucket 1 covers
+//! 2–3 µs, bucket 10 covers ~1–2 ms, and the top bucket (27) absorbs
+//! everything beyond ~2.2 minutes. Quantiles are reported as the
+//! *upper edge* of the bucket containing the requested rank, which
+//! overestimates the true quantile by at most 2× — except for ranks
+//! landing in the open-ended top bucket, whose ~4.5-minute edge
+//! *under*-reports anything slower — while costing a fixed 224 bytes
+//! per command instead of an unbounded reservoir. The same scheme is
+//! documented in `docs/ARCHITECTURE.md`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use crate::proto::{CommandStats, MetricsReport};
+use crate::registry::RegistrySnapshot;
 
 /// Wire names of all commands, in the fixed order `metrics` reports.
-pub const COMMAND_NAMES: [&str; 8] = [
-    "load", "audit", "key", "check", "mask", "stats", "metrics", "shutdown",
+pub const COMMAND_NAMES: [&str; 9] = [
+    "load", "audit", "key", "check", "mask", "stats", "unload", "metrics", "shutdown",
 ];
+
+/// Buckets per command histogram: powers of two from 1 µs up to
+/// `2^27 µs ≈ 134 s`, the last bucket open-ended.
+pub const LATENCY_BUCKETS: usize = 28;
+
+/// One command's fixed-size log₂ latency histogram.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Index of the bucket covering `us` microseconds.
+    fn bucket_index(us: u64) -> usize {
+        (63 - us.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Upper edge (inclusive, in µs) of bucket `i` — what quantiles
+    /// report.
+    fn bucket_upper_us(i: usize) -> u64 {
+        (1u64 << (i + 1)) - 1
+    }
+
+    /// Records one observation.
+    pub fn record(&self, us: u64) {
+        self.buckets[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The quantile `q ∈ (0, 1]` as the upper edge of its bucket;
+    /// 0 when the histogram is empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper_us(i);
+            }
+        }
+        Self::bucket_upper_us(LATENCY_BUCKETS - 1)
+    }
+}
 
 #[derive(Debug, Default)]
 struct CommandCounters {
     count: AtomicU64,
     errors: AtomicU64,
     latency_us: AtomicU64,
+    histogram: LatencyHistogram,
 }
 
 /// One counter block per command plus protocol-level failures. All
@@ -45,10 +121,9 @@ impl Metrics {
         if is_error {
             c.errors.fetch_add(1, Ordering::Relaxed);
         }
-        c.latency_us.fetch_add(
-            elapsed.as_micros().min(u64::MAX as u128) as u64,
-            Ordering::Relaxed,
-        );
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        c.latency_us.fetch_add(us, Ordering::Relaxed);
+        c.histogram.record(us);
     }
 
     /// Snapshots per-command stats (cache fields are filled by the
@@ -62,16 +137,23 @@ impl Metrics {
                 count: c.count.load(Ordering::Relaxed),
                 errors: c.errors.load(Ordering::Relaxed),
                 latency_us: c.latency_us.load(Ordering::Relaxed),
+                p50_us: c.histogram.quantile_us(0.50),
+                p99_us: c.histogram.quantile_us(0.99),
             })
             .collect()
     }
 
-    /// Builds the full `metrics` payload given registry counters.
-    pub fn report(&self, cache_hits: u64, cache_misses: u64, datasets: usize) -> MetricsReport {
+    /// Builds the full `metrics` payload given the registry's lifecycle
+    /// counters.
+    pub fn report(&self, registry: RegistrySnapshot) -> MetricsReport {
         MetricsReport {
-            cache_hits,
-            cache_misses,
-            datasets,
+            cache_hits: registry.hits,
+            cache_misses: registry.misses,
+            cache_disk_hits: registry.disk_hits,
+            cache_evictions: registry.evictions,
+            cache_stale_rebuilds: registry.stale_rebuilds,
+            cache_bytes: registry.resident_bytes,
+            datasets: registry.datasets,
             commands: self.command_stats(),
         }
     }
@@ -94,15 +176,71 @@ mod tests {
         assert_eq!(audit.latency_us, 150);
         let load = stats.iter().find(|c| c.name == "load").unwrap();
         assert_eq!(load.count, 0);
+        assert_eq!(load.p50_us, 0, "no observations, no quantile");
     }
 
     #[test]
-    fn report_includes_cache_counters() {
+    fn report_includes_registry_snapshot() {
         let m = Metrics::new();
-        let r = m.report(5, 2, 1);
+        let r = m.report(RegistrySnapshot {
+            hits: 5,
+            misses: 2,
+            disk_hits: 1,
+            evictions: 3,
+            stale_rebuilds: 4,
+            resident_bytes: 640,
+            datasets: 1,
+        });
         assert_eq!(r.cache_hits, 5);
         assert_eq!(r.cache_misses, 2);
+        assert_eq!(r.cache_disk_hits, 1);
+        assert_eq!(r.cache_evictions, 3);
+        assert_eq!(r.cache_stale_rebuilds, 4);
+        assert_eq!(r.cache_bytes, 640);
         assert_eq!(r.datasets, 1);
         assert_eq!(r.commands.len(), COMMAND_NAMES.len());
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 0);
+        assert_eq!(LatencyHistogram::bucket_index(2), 1);
+        assert_eq!(LatencyHistogram::bucket_index(3), 1);
+        assert_eq!(LatencyHistogram::bucket_index(1024), 10);
+        assert_eq!(
+            LatencyHistogram::bucket_index(u64::MAX),
+            LATENCY_BUCKETS - 1,
+            "huge latencies clamp to the open-ended top bucket"
+        );
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_edges() {
+        let h = LatencyHistogram::default();
+        // 99 fast requests (bucket 6: 64–127 µs) and one slow outlier
+        // (bucket 13: 8192–16383 µs).
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(10_000);
+        assert_eq!(h.quantile_us(0.50), 127);
+        assert_eq!(h.quantile_us(0.99), 127, "rank 99 of 100 is still fast");
+        assert_eq!(h.quantile_us(1.0), 16_383, "the max sees the outlier");
+    }
+
+    #[test]
+    fn p50_p99_flow_into_command_stats() {
+        let m = Metrics::new();
+        for _ in 0..99 {
+            m.record("key", Duration::from_micros(10), false);
+        }
+        m.record("key", Duration::from_micros(5_000), false);
+        let stats = m.command_stats();
+        let key = stats.iter().find(|c| c.name == "key").unwrap();
+        assert_eq!(key.p50_us, 15, "bucket 3 covers 8–15 µs");
+        // Rank 99 of 100 is the last fast observation, not the outlier.
+        assert_eq!(key.p99_us, 15, "p99 stays in the fast band");
+        assert!(key.p50_us <= key.p99_us);
     }
 }

@@ -79,7 +79,13 @@ pub enum Request {
         /// Cache key.
         ds: DatasetRef,
     },
-    /// Server counters: per-command traffic, cache hits, latency sums.
+    /// Drop a registry entry (resident and persisted) explicitly.
+    Unload {
+        /// Cache key.
+        ds: DatasetRef,
+    },
+    /// Server counters: per-command traffic, cache lifecycle counters,
+    /// latency sums and percentiles.
     Metrics,
     /// Stop accepting connections, drain in-flight work, exit.
     Shutdown,
@@ -95,6 +101,7 @@ impl Request {
             Request::Check { .. } => "check",
             Request::Mask { .. } => "mask",
             Request::Stats { .. } => "stats",
+            Request::Unload { .. } => "unload",
             Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
         }
@@ -106,16 +113,7 @@ impl Request {
         let push_ds = |pairs: &mut Vec<(&str, Json)>, ds: &DatasetRef| {
             pairs.push(("path", s(&ds.path)));
             pairs.push(("eps", Json::Num(ds.eps)));
-            // Seeds above i64::MAX don't fit Json::Int; send them as a
-            // decimal string so they round-trip exactly instead of
-            // wrapping negative.
-            pairs.push((
-                "seed",
-                match i64::try_from(ds.seed) {
-                    Ok(i) => Json::Int(i),
-                    Err(_) => s(ds.seed.to_string()),
-                },
-            ));
+            pairs.push(("seed", json::u64_value(ds.seed)));
         };
         match self {
             Request::Load { ds, mode } => {
@@ -132,7 +130,9 @@ impl Request {
                 push_ds(&mut pairs, ds);
                 pairs.push(("max_key_size", Json::Int(*max_key_size as i64)));
             }
-            Request::Key { ds } | Request::Stats { ds } => push_ds(&mut pairs, ds),
+            Request::Key { ds } | Request::Stats { ds } | Request::Unload { ds } => {
+                push_ds(&mut pairs, ds)
+            }
             Request::Check { ds, attrs } => {
                 push_ds(&mut pairs, ds);
                 pairs.push(("attrs", Json::Arr(attrs.iter().map(s).collect())));
@@ -156,14 +156,11 @@ impl Request {
         let ds = |v: &Json| -> Result<DatasetRef, String> {
             let seed = match v.get("seed") {
                 None => DEFAULT_SEED,
-                // Either wire form: integer, or decimal string (used
-                // for seeds above i64::MAX). A present-but-invalid
-                // seed is an error, not a silent fallback to the
-                // default — that would serve a different sample than
-                // the one the client asked for.
+                // A present-but-invalid seed is an error, not a silent
+                // fallback to the default — that would serve a
+                // different sample than the one the client asked for.
                 Some(x) => x
-                    .as_u64()
-                    .or_else(|| x.as_str().and_then(|t| t.parse().ok()))
+                    .as_u64_lossless()
                     .ok_or(format!("{cmd}: \"seed\" must be a non-negative integer"))?,
             };
             let eps = match v.get("eps") {
@@ -224,6 +221,7 @@ impl Request {
                     .unwrap_or(DEFAULT_BUDGET),
             }),
             "stats" => Ok(Request::Stats { ds: ds(&v)? }),
+            "unload" => Ok(Request::Unload { ds: ds(&v)? }),
             "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown command {other:?}")),
@@ -242,15 +240,34 @@ pub struct CommandStats {
     pub errors: u64,
     /// Sum of handling latencies, microseconds.
     pub latency_us: u64,
+    /// Median handling latency in microseconds, read off the
+    /// fixed-size log₂ histogram: the upper edge of the bucket holding
+    /// the quantile, so at most 2× the true value — except in the
+    /// open-ended top bucket, where latencies beyond ~2.2 minutes all
+    /// report its ~4.5-minute edge. Zero when the command has not been
+    /// seen.
+    pub p50_us: u64,
+    /// 99th-percentile handling latency, same bucket scheme.
+    pub p99_us: u64,
 }
 
 /// The full `metrics` payload.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricsReport {
-    /// Registry lookups answered from cache.
+    /// Registry lookups answered from a resident entry.
     pub cache_hits: u64,
-    /// Registry lookups that had to build (or rebuild) an entry.
+    /// Registry lookups that scanned a source file (cold builds, stale
+    /// rebuilds, materialisation upgrades).
     pub cache_misses: u64,
+    /// Registry lookups answered by restoring a persisted sample from
+    /// the `--cache-dir` warm tier (no source scan).
+    pub cache_disk_hits: u64,
+    /// Entries evicted under `--cache-bytes` budget pressure.
+    pub cache_evictions: u64,
+    /// Rebuilds forced by a source-file mtime/len change.
+    pub cache_stale_rebuilds: u64,
+    /// Current resident bytes across all cached entries.
+    pub cache_bytes: u64,
     /// Entries currently resident in the registry.
     pub datasets: usize,
     /// Per-command traffic, in fixed command order.
@@ -306,6 +323,11 @@ pub enum Response {
         rows: usize,
         /// `(name, distinct values)` per attribute.
         columns: Vec<(String, usize)>,
+    },
+    /// `unload` outcome.
+    Unloaded {
+        /// True iff a resident entry or persisted files were removed.
+        existed: bool,
     },
     /// `metrics` outcome.
     Metrics(MetricsReport),
@@ -395,11 +417,23 @@ impl Response {
                     ),
                 ),
             ]),
+            Response::Unloaded { existed } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", s("unloaded")),
+                ("existed", Json::Bool(*existed)),
+            ]),
             Response::Metrics(report) => obj(vec![
                 ("ok", Json::Bool(true)),
                 ("kind", s("metrics")),
                 ("cache_hits", Json::Int(report.cache_hits as i64)),
                 ("cache_misses", Json::Int(report.cache_misses as i64)),
+                ("cache_disk_hits", Json::Int(report.cache_disk_hits as i64)),
+                ("cache_evictions", Json::Int(report.cache_evictions as i64)),
+                (
+                    "cache_stale_rebuilds",
+                    Json::Int(report.cache_stale_rebuilds as i64),
+                ),
+                ("cache_bytes", Json::Int(report.cache_bytes as i64)),
                 ("datasets", Json::Int(report.datasets as i64)),
                 (
                     "commands",
@@ -413,6 +447,8 @@ impl Response {
                                     ("count", Json::Int(c.count as i64)),
                                     ("errors", Json::Int(c.errors as i64)),
                                     ("latency_us", Json::Int(c.latency_us as i64)),
+                                    ("p50_us", Json::Int(c.p50_us as i64)),
+                                    ("p99_us", Json::Int(c.p99_us as i64)),
                                 ])
                             })
                             .collect(),
@@ -526,6 +562,9 @@ impl Response {
                     columns,
                 })
             }
+            "unloaded" => Ok(Response::Unloaded {
+                existed: v.get("existed").and_then(Json::as_bool).unwrap_or(false),
+            }),
             "metrics" => {
                 let commands = v
                     .get("commands")
@@ -542,12 +581,19 @@ impl Response {
                             count: c.get("count").and_then(Json::as_u64).unwrap_or(0),
                             errors: c.get("errors").and_then(Json::as_u64).unwrap_or(0),
                             latency_us: c.get("latency_us").and_then(Json::as_u64).unwrap_or(0),
+                            p50_us: c.get("p50_us").and_then(Json::as_u64).unwrap_or(0),
+                            p99_us: c.get("p99_us").and_then(Json::as_u64).unwrap_or(0),
                         })
                     })
                     .collect::<Result<Vec<_>, String>>()?;
+                let u64_field = |name: &str| v.get(name).and_then(Json::as_u64).unwrap_or(0);
                 Ok(Response::Metrics(MetricsReport {
-                    cache_hits: v.get("cache_hits").and_then(Json::as_u64).unwrap_or(0),
-                    cache_misses: v.get("cache_misses").and_then(Json::as_u64).unwrap_or(0),
+                    cache_hits: u64_field("cache_hits"),
+                    cache_misses: u64_field("cache_misses"),
+                    cache_disk_hits: u64_field("cache_disk_hits"),
+                    cache_evictions: u64_field("cache_evictions"),
+                    cache_stale_rebuilds: u64_field("cache_stale_rebuilds"),
+                    cache_bytes: u64_field("cache_bytes"),
                     datasets: v.get("datasets").and_then(Json::as_usize).unwrap_or(0),
                     commands,
                 }))
@@ -598,6 +644,7 @@ mod tests {
                 budget: 2,
             },
             Request::Stats { ds: ds() },
+            Request::Unload { ds: ds() },
             Request::Metrics,
             Request::Shutdown,
         ];
@@ -644,15 +691,23 @@ mod tests {
                 rows: 800,
                 columns: vec![("id".into(), 800), ("sex".into(), 2)],
             },
+            Response::Unloaded { existed: true },
+            Response::Unloaded { existed: false },
             Response::Metrics(MetricsReport {
                 cache_hits: 3,
                 cache_misses: 1,
+                cache_disk_hits: 2,
+                cache_evictions: 1,
+                cache_stale_rebuilds: 1,
+                cache_bytes: 4096,
                 datasets: 1,
                 commands: vec![CommandStats {
                     name: "audit".into(),
                     count: 4,
                     errors: 0,
                     latency_us: 12345,
+                    p50_us: 2047,
+                    p99_us: 8191,
                 }],
             }),
             Response::ShuttingDown,
@@ -707,6 +762,7 @@ mod tests {
             "{}",
             r#"{"cmd":"explode"}"#,
             r#"{"cmd":"audit"}"#,
+            r#"{"cmd":"unload"}"#,
             r#"{"cmd":"check","path":"a.csv"}"#,
             r#"{"cmd":"load","path":"a.csv","mode":"warp"}"#,
         ] {

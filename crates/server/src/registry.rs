@@ -1,23 +1,67 @@
-//! The dataset registry: `(path, eps, seed) → cached sketch`.
+//! The registry lifecycle subsystem: `(path, eps, seed) → cached sketch`,
+//! sharded, budgeted, persistent, and self-invalidating.
 //!
 //! The paper's economics are: building the `Θ(m/√ε)` tuple sample costs
 //! a full scan, answering a query against it costs `O(|A|·r log r)`. So
 //! the registry builds once and every subsequent `audit`/`key`/`check`
-//! shares the resident [`TupleSampleFilter`]. Concurrent first requests
-//! for the same key are collapsed onto one build via a per-entry
-//! [`OnceLock`]: the loser blocks until the winner's artifacts are
-//! ready, so two clients racing on a cold dataset still cause exactly
-//! one CSV scan.
+//! shares the resident [`TupleSampleFilter`]. On top of that single
+//! invariant this module layers the full cache lifecycle:
+//!
+//! * **Sharding.** Keys are spread over [`RegistryConfig::shards`]
+//!   independent `RwLock<HashMap>` shards by key hash, so a cache hit
+//!   takes only a shared read lock on one shard — concurrent readers of
+//!   *different* datasets (and of the same dataset) never serialise on
+//!   a global mutex. Entries are immutable `Arc`s, so the read path
+//!   clones a pointer and leaves.
+//! * **Build collapsing.** Concurrent first requests for the same key
+//!   are collapsed onto one build via a per-entry [`OnceLock`]: the
+//!   losers block until the winner's artifacts are ready, so two
+//!   clients racing on a cold dataset still cause exactly one CSV scan.
+//! * **LRU eviction.** With [`RegistryConfig::cache_bytes`] set, every
+//!   admit that pushes the resident total (each entry's
+//!   [`Entry::stored_bytes`]) over budget evicts least-recently-used
+//!   entries until the total fits again. The entry being returned is
+//!   never evicted, so a single over-budget dataset still works.
+//! * **Disk persistence.** With [`RegistryConfig::cache_dir`] set,
+//!   every sample built from a source scan is persisted (sample CSV +
+//!   params + source stat) and a later miss — in this process or after
+//!   a restart — restores the sketch from disk instead of re-scanning
+//!   the (possibly multi-GB) source. Samples are `Θ(m/√ε)`, so the
+//!   warm tier is tiny.
+//! * **File-change invalidation.** Every hit stats the source file and
+//!   compares mtime + length against the values captured *before* the
+//!   building scan started; a rewritten CSV triggers a rebuild instead
+//!   of a stale answer (with the usual stat-based caveat: a
+//!   same-length rewrite inside the filesystem's mtime resolution is
+//!   indistinguishable). Disk-restored entries carry the same stat, so
+//!   persistence never resurrects stale data.
+//!
+//! The full state machine (also documented in `docs/ARCHITECTURE.md`):
+//!
+//! ```text
+//!            ┌────── restore hit ──────────────┐
+//!  miss ──▶ building ── scan ok ──▶ cached ──▶ persisted (sample on disk)
+//!            │                       │  ▲
+//!            └─ error (slot dropped) │  └── rebuild (miss) ◀─ stale
+//!                                    ├──▶ stale    (source mtime/len changed)
+//!                                    ├──▶ evicted  (LRU under budget pressure)
+//!                                    └──▶ unloaded (explicit protocol command)
+//! ```
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::UNIX_EPOCH;
 
-use qid_core::filter::{FilterParams, TupleSampleFilter};
+use qid_core::filter::{FilterParams, SeparationFilter, TupleSampleFilter};
 use qid_core::stream::tuple_filter_from_stream;
-use qid_dataset::csv::{read_csv_path, CsvOptions, CsvTupleSource};
-use qid_dataset::{Dataset, TupleSource};
+use qid_dataset::csv::{read_csv_path, read_csv_str, write_csv, CsvOptions, CsvTupleSource};
+use qid_dataset::{AttrId, Dataset, TupleSource};
 
+use crate::json::{self, obj, s, Json};
 use crate::proto::{DatasetRef, LoadMode};
 
 /// The registry's exact cache identity. `eps` is keyed by bit pattern
@@ -47,6 +91,57 @@ impl CacheKey {
             seed: ds.seed,
         }
     }
+
+    /// 64-bit FNV-1a over the full key — the persistence file stem.
+    /// (Shard selection uses the std hasher via `Registry::shard`, not
+    /// this.)
+    fn fnv64(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for byte in self
+            .path
+            .as_bytes()
+            .iter()
+            .copied()
+            .chain(self.eps_bits.to_le_bytes())
+            .chain(self.seed.to_le_bytes())
+        {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+}
+
+/// The source-file identity captured when an entry is built: length and
+/// modification time. Hits compare this against a fresh `stat` to catch
+/// in-place rewrites.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SourceStat {
+    /// File length in bytes.
+    pub len: u64,
+    /// Modification time, seconds since the Unix epoch.
+    pub mtime_s: u64,
+    /// Sub-second part of the modification time, nanoseconds.
+    pub mtime_ns: u32,
+}
+
+impl SourceStat {
+    /// Stats `path`; `None` if the file cannot be statted (missing,
+    /// permissions) or its mtime predates the epoch.
+    pub fn of(path: &str) -> Option<SourceStat> {
+        let meta = std::fs::metadata(path).ok()?;
+        let mtime = meta
+            .modified()
+            .ok()
+            .and_then(|t| t.duration_since(UNIX_EPOCH).ok())?;
+        Some(SourceStat {
+            len: meta.len(),
+            mtime_s: mtime.as_secs(),
+            mtime_ns: mtime.subsec_nanos(),
+        })
+    }
 }
 
 /// The artifacts cached for one dataset.
@@ -54,126 +149,311 @@ impl CacheKey {
 pub struct Entry {
     /// The resident tuple-sample filter (always present).
     pub filter: TupleSampleFilter,
-    /// The fully materialised dataset — `None` for stream-mode loads,
-    /// where only the sample is kept.
+    /// The fully materialised dataset — `None` for stream-mode loads
+    /// and disk-restored entries, where only the sample is kept.
     pub dataset: Option<Dataset>,
     /// Rows seen when the entry was built (stream length or `n_rows`).
     pub rows: usize,
     /// Attribute count.
     pub attrs: usize,
+    /// Approximate resident bytes: the sketch plus the materialised
+    /// dataset's column codes, if any. This is what LRU eviction
+    /// charges against [`RegistryConfig::cache_bytes`].
+    pub stored_bytes: usize,
+    /// Source-file stat captured *before* the building scan, so a file
+    /// rewritten mid-scan still reads as changed on the next hit.
+    /// `None` when the source could not be statted.
+    pub source: Option<SourceStat>,
 }
 
-type Slot = Arc<OnceLock<Result<Arc<Entry>, String>>>;
+impl Entry {
+    fn new(
+        filter: TupleSampleFilter,
+        dataset: Option<Dataset>,
+        rows: usize,
+        attrs: usize,
+        source: Option<SourceStat>,
+    ) -> Entry {
+        let stored_bytes = filter.stored_bytes() + dataset.as_ref().map_or(0, |ds| ds.code_bytes());
+        Entry {
+            filter,
+            dataset,
+            rows,
+            attrs,
+            stored_bytes,
+            source,
+        }
+    }
+}
+
+/// One cache slot: the build cell plus the LRU stamp. The cell is
+/// written exactly once; the stamp is bumped on every touch.
+#[derive(Debug, Default)]
+struct SlotInner {
+    cell: OnceLock<Result<Arc<Entry>, String>>,
+    last_used: AtomicU64,
+}
+
+type Slot = Arc<SlotInner>;
+type Shard = RwLock<HashMap<CacheKey, Slot>>;
+
+/// How the registry is sized and where it persists.
+#[derive(Clone, Debug)]
+pub struct RegistryConfig {
+    /// Number of independent cache shards (clamped to ≥ 1). More shards
+    /// mean less read-lock contention across distinct datasets.
+    pub shards: usize,
+    /// LRU memory budget in bytes over every entry's
+    /// [`Entry::stored_bytes`]; `None` disables eviction.
+    pub cache_bytes: Option<u64>,
+    /// Directory for the persistent warm tier (sample CSV + metadata
+    /// per entry); `None` disables persistence.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            shards: 16,
+            cache_bytes: None,
+            cache_dir: None,
+        }
+    }
+}
+
+/// A point-in-time view of the registry's lifecycle counters, consumed
+/// by the `metrics` command.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistrySnapshot {
+    /// Lookups answered from a resident entry (including waits on a
+    /// concurrent build — the scan was still shared).
+    pub hits: u64,
+    /// Lookups that scanned the source (cold builds, stale rebuilds,
+    /// materialisation upgrades, failed builds).
+    pub misses: u64,
+    /// Lookups answered by restoring a persisted sample from
+    /// [`RegistryConfig::cache_dir`] — no source scan.
+    pub disk_hits: u64,
+    /// Entries evicted by the LRU budget.
+    pub evictions: u64,
+    /// Rebuilds forced by a source mtime/len change.
+    pub stale_rebuilds: u64,
+    /// Current resident total of [`Entry::stored_bytes`].
+    pub resident_bytes: u64,
+    /// Entries currently resident.
+    pub datasets: usize,
+}
 
 /// The shared cache. All methods take `&self`; the registry is meant to
 /// live in an `Arc` shared by every worker thread.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Registry {
-    map: Mutex<HashMap<CacheKey, Slot>>,
+    shards: Vec<Shard>,
+    config: RegistryConfig,
+    clock: AtomicU64,
+    resident_bytes: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    disk_hits: AtomicU64,
+    evictions: AtomicU64,
+    stale_rebuilds: AtomicU64,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_config(RegistryConfig::default())
+    }
 }
 
 impl Registry {
-    /// Creates an empty registry.
+    /// Creates an empty registry with the default configuration
+    /// (16 shards, no budget, no persistence).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty registry with an explicit lifecycle
+    /// configuration. Orphaned `*.tmp` files in the persistence
+    /// directory (a writer killed mid-persist) are swept on creation.
+    pub fn with_config(config: RegistryConfig) -> Self {
+        if let Some(dir) = &config.cache_dir {
+            sweep_tmp_files(dir);
+        }
+        let n = config.shards.max(1);
+        Registry {
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            config,
+            clock: AtomicU64::new(0),
+            resident_bytes: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            stale_rebuilds: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Shard {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    fn touch(&self, slot: &Slot) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        slot.last_used.store(now, Ordering::Relaxed);
+    }
+
     /// Returns the cached entry for `ds`, building it on first use.
     ///
-    /// The boolean is `true` iff the slot already existed (a cache
-    /// hit — possibly waiting on a concurrent build, which still means
-    /// the scan was shared). Failed builds are evicted so a later
-    /// request can retry (e.g. after the file appears).
+    /// The boolean is `true` iff the lookup was answered without paying
+    /// a source scan *by this caller*: a resident entry, or a wait on a
+    /// concurrent build. It is `false` for cold builds, disk restores,
+    /// and stale rebuilds. Failed builds are evicted so a later request
+    /// can retry (e.g. after the file appears).
     pub fn get_or_load(
         &self,
         ds: &DatasetRef,
         mode: LoadMode,
     ) -> (Result<Arc<Entry>, String>, bool) {
         let key = CacheKey::of(ds);
-        let (slot, hit) = {
-            let mut map = self.map.lock().expect("registry lock");
-            match map.get(&key) {
-                Some(slot) => (Arc::clone(slot), true),
+        // The disk tier holds samples only, so it can satisfy a
+        // stream-mode lookup but not an explicit memory-mode load —
+        // `load` with `"mode":"memory"` exists to pre-materialise, and
+        // silently downgrading it to a sample would push the full scan
+        // onto the first `stats`/`mask` instead.
+        let allow_restore = matches!(mode, LoadMode::Stream);
+        // Fast path: shared read lock, pointer clone.
+        let resident = self
+            .shard(&key)
+            .read()
+            .expect("shard lock")
+            .get(&key)
+            .map(Arc::clone);
+        if let Some(slot) = resident {
+            self.touch(&slot);
+            match slot.cell.get() {
+                Some(done) => {
+                    if let Ok(entry) = done {
+                        if self.is_stale(entry, &key) {
+                            return self.rebuild(&key, ds, mode, &slot, allow_restore);
+                        }
+                    }
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    (done.clone(), true)
+                }
                 None => {
-                    let slot: Slot = Arc::new(OnceLock::new());
-                    map.insert(key.clone(), Arc::clone(&slot));
-                    (slot, false)
+                    // A build is in flight; wait on it. The scan is
+                    // shared, so this still counts as a hit.
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    let result = self.run_build(&key, ds, mode, &slot, allow_restore);
+                    (result, true)
                 }
             }
-        };
-        if hit {
-            self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-        }
-        let result = slot
-            .get_or_init(|| build_entry(ds, mode).map(Arc::new))
-            .clone();
-        if result.is_err() {
-            let mut map = self.map.lock().expect("registry lock");
-            if map.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, &slot)) {
-                map.remove(&key);
+            // Miss: insert a fresh slot (or adopt one a racer inserted
+            // between our read and write locks) and build into it.
+            let (slot, we_inserted) = {
+                let mut map = self.shard(&key).write().expect("shard lock");
+                match map.get(&key) {
+                    Some(existing) => (Arc::clone(existing), false),
+                    None => {
+                        let fresh: Slot = Arc::new(SlotInner::default());
+                        map.insert(key.clone(), Arc::clone(&fresh));
+                        (fresh, true)
+                    }
+                }
+            };
+            self.touch(&slot);
+            if !we_inserted {
+                // Same as the in-flight case above: someone else owns
+                // the build; waiting on it shares the scan.
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (self.run_build(&key, ds, mode, &slot, allow_restore), true);
             }
+            (self.run_build(&key, ds, mode, &slot, allow_restore), false)
         }
-        (result, hit)
     }
 
     /// Like [`Registry::get_or_load`] with [`LoadMode::Memory`], but
-    /// additionally upgrades a stream-mode entry (sample only, no
-    /// rows) to a fully materialised one — `stats` and `mask` need the
-    /// whole dataset. Concurrent upgraders collapse onto one re-scan
-    /// (the same way cold builds do): the first swaps a fresh slot
-    /// into the map and builds, the rest wait on that slot. Only the
-    /// builder is reclassified from hit to miss.
+    /// additionally upgrades a sample-only entry (stream-mode or
+    /// disk-restored) to a fully materialised one — `stats` and `mask`
+    /// need the whole dataset. Concurrent upgraders collapse onto one
+    /// re-scan (the same way cold builds do). Only the upgrader that
+    /// swaps the slot is reclassified from hit to miss.
     pub fn get_or_load_materialised(&self, ds: &DatasetRef) -> (Result<Arc<Entry>, String>, bool) {
-        let (result, hit) = self.get_or_load(ds, LoadMode::Memory);
-        match result {
-            Ok(entry) if entry.dataset.is_none() => {
-                let key = CacheKey::of(ds);
-                let (slot, we_swapped) = {
-                    let mut map = self.map.lock().expect("registry lock");
-                    let needs_swap = map.get(&key).is_none_or(|cur| {
+        let (mut result, mut hit) = self.get_or_load(ds, LoadMode::Memory);
+        // Loop: adopting a racer's pending build can hand back a
+        // *stream-mode* result (sample only) — e.g. a concurrent stale
+        // rebuild in flight. Each adoption waits on a finished build,
+        // so re-checking until the entry is materialised (or until we
+        // swap and scan memory-mode ourselves, which always
+        // materialises) converges after the race drains.
+        loop {
+            match result {
+                Ok(entry) if entry.dataset.is_none() => {
+                    let key = CacheKey::of(ds);
+                    let (slot, we_swapped) = self.swap_slot_if(&key, |cur| {
                         // Swap only if the resident slot still holds
-                        // the unusable stream entry (or a stale
+                        // the unusable sample-only entry (or a stale
                         // error); a pending or finished upgrade slot
                         // is reused as-is.
-                        cur.get()
+                        cur.cell
+                            .get()
                             .is_some_and(|r| !r.as_ref().is_ok_and(|e| e.dataset.is_some()))
                     });
-                    if needs_swap {
-                        let fresh: Slot = Arc::new(OnceLock::new());
-                        map.insert(key.clone(), Arc::clone(&fresh));
-                        (fresh, true)
-                    } else {
-                        (Arc::clone(map.get(&key).expect("slot present")), false)
+                    if we_swapped && hit {
+                        // Reclassify: the cached entry was unusable
+                        // and we are the one paying the re-scan.
+                        self.hits.fetch_sub(1, Ordering::Relaxed);
                     }
-                };
-                if we_swapped && hit {
-                    // Reclassify: the cached entry was unusable and we
-                    // are the one paying the re-scan.
-                    self.hits.fetch_sub(1, Ordering::Relaxed);
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                }
-                let result = slot
-                    .get_or_init(|| build_entry(ds, LoadMode::Memory).map(Arc::new))
-                    .clone();
-                if result.is_err() {
-                    let mut map = self.map.lock().expect("registry lock");
-                    if map.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, &slot)) {
-                        map.remove(&key);
+                    // An upgrade must materialise, which the disk tier
+                    // cannot do — force a source scan.
+                    result = self.run_build(&key, ds, LoadMode::Memory, &slot, false);
+                    hit = hit && !we_swapped;
+                    if we_swapped {
+                        // Our own memory-mode build: materialised or a
+                        // real error either way.
+                        return (result, hit);
                     }
                 }
-                (result, hit && !we_swapped)
+                other => return (other, hit),
             }
-            other => (other, hit),
         }
+    }
+
+    /// Drops the resident entry and its persisted files, if any.
+    /// Returns `true` iff something was removed. An entry mid-build is
+    /// left alone (it will be admitted normally; unload it again once
+    /// it is resident).
+    pub fn unload(&self, ds: &DatasetRef) -> bool {
+        let key = CacheKey::of(ds);
+        let removed_resident = {
+            let mut map = self.shard(&key).write().expect("shard lock");
+            match map.get(&key) {
+                Some(slot) if slot.cell.get().is_some() => {
+                    let slot = map.remove(&key).expect("slot present");
+                    self.forget_bytes(&slot);
+                    true
+                }
+                _ => false,
+            }
+        };
+        let mut removed_disk = false;
+        if let Some(dir) = &self.config.cache_dir {
+            for path in [meta_path(dir, &key), sample_path(dir, &key)] {
+                removed_disk |= std::fs::remove_file(path).is_ok();
+            }
+        }
+        removed_resident || removed_disk
     }
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("registry lock").len()
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock").len())
+            .sum()
     }
 
     /// True iff nothing is cached.
@@ -186,17 +466,241 @@ impl Registry {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Lookups that had to build so far.
+    /// Lookups that had to scan the source so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Lookups answered by restoring a persisted sample so far.
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// All lifecycle counters at once, for the `metrics` command.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            stale_rebuilds: self.stale_rebuilds.load(Ordering::Relaxed),
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
+            datasets: self.len(),
+        }
+    }
+
+    // ------------------------------------------------------ internals
+
+    /// True iff the source file's current stat differs from the one the
+    /// entry was built against. A source that cannot be statted now
+    /// (deleted, permissions) is *not* stale: the sample is all we
+    /// have, and the paper's point is that it keeps answering queries.
+    fn is_stale(&self, entry: &Entry, key: &CacheKey) -> bool {
+        Self::stale_against(entry, SourceStat::of(&key.path))
+    }
+
+    /// [`Registry::is_stale`] with a prefetched stat — the one shared
+    /// definition of staleness, usable where filesystem I/O is not
+    /// (e.g. under a shard write lock).
+    fn stale_against(entry: &Entry, now: Option<SourceStat>) -> bool {
+        matches!((entry.source, now), (Some(then), Some(n)) if then != n)
+    }
+
+    /// Replaces the slot for `key` with a fresh one and builds into it
+    /// (the stale path). `allow_restore` is forwarded so a stale
+    /// rebuild may still use the disk tier — the restore itself
+    /// verifies the source stat, so stale persisted files never match.
+    /// The returned boolean follows the [`Registry::get_or_load`]
+    /// contract: `true` iff this caller adopted a racer's rebuild
+    /// instead of paying its own.
+    fn rebuild(
+        &self,
+        key: &CacheKey,
+        ds: &DatasetRef,
+        mode: LoadMode,
+        observed: &Slot,
+        allow_restore: bool,
+    ) -> (Result<Arc<Entry>, String>, bool) {
+        // Stat once, out here: the swap predicate runs under the shard
+        // write lock, and filesystem I/O there would stall every
+        // lookup on the shard behind a slow disk.
+        let now = SourceStat::of(&key.path);
+        let (slot, we_swapped) = self.swap_slot_if(key, |cur| {
+            // Swap the slot we saw go stale. If a racer already swapped
+            // it, swap again only if *their* result is stale too —
+            // adopting a fresh rebuild (or a build in flight) as-is.
+            Arc::ptr_eq(cur, observed)
+                || cur.cell.get().is_some_and(|r| match r {
+                    Ok(entry) => Self::stale_against(entry, now),
+                    Err(_) => true,
+                })
+        });
+        if we_swapped {
+            // Exactly one observer per rebuild reaches here, so the
+            // counter matches actual rebuilds even under racing hits.
+            self.stale_rebuilds.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // Adopted a racer's fresh slot: their scan is shared with
+            // us, which is hit semantics.
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        (
+            self.run_build(key, ds, mode, &slot, allow_restore),
+            !we_swapped,
+        )
+    }
+
+    /// Swaps in a fresh slot for `key` when `should_swap` says the
+    /// current one is unusable; otherwise adopts the current slot.
+    /// Subtracts the replaced entry's bytes. Returns the slot to build
+    /// into (or wait on) and whether this caller performed the swap.
+    fn swap_slot_if(&self, key: &CacheKey, should_swap: impl Fn(&Slot) -> bool) -> (Slot, bool) {
+        let mut map = self.shard(key).write().expect("shard lock");
+        let needs_swap = map.get(key).is_none_or(should_swap);
+        if needs_swap {
+            let fresh: Slot = Arc::new(SlotInner::default());
+            self.touch(&fresh);
+            if let Some(old) = map.insert(key.clone(), Arc::clone(&fresh)) {
+                self.forget_bytes(&old);
+            }
+            (fresh, true)
+        } else {
+            let cur = Arc::clone(map.get(key).expect("slot present"));
+            drop(map);
+            self.touch(&cur);
+            (cur, false)
+        }
+    }
+
+    /// Subtracts a removed slot's resident bytes from the total.
+    fn forget_bytes(&self, slot: &Slot) {
+        if let Some(Ok(entry)) = slot.cell.get() {
+            self.resident_bytes
+                .fetch_sub(entry.stored_bytes as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Runs (or waits on) the slot's one-time build, then enforces the
+    /// LRU budget. Exactly one caller executes the closure; the rest
+    /// block inside `get_or_init` until the winner finishes. The
+    /// closure classifies the lookup: restore → disk hit, scan → miss.
+    fn run_build(
+        &self,
+        key: &CacheKey,
+        ds: &DatasetRef,
+        mode: LoadMode,
+        slot: &Slot,
+        allow_restore: bool,
+    ) -> Result<Arc<Entry>, String> {
+        let result = slot
+            .cell
+            .get_or_init(|| {
+                if allow_restore {
+                    if let Some(entry) = self.try_restore(key, ds) {
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        self.resident_bytes
+                            .fetch_add(entry.stored_bytes as u64, Ordering::Relaxed);
+                        return Ok(Arc::new(entry));
+                    }
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                build_entry(ds, &key.path, mode).map(|entry| {
+                    self.resident_bytes
+                        .fetch_add(entry.stored_bytes as u64, Ordering::Relaxed);
+                    if let Some(dir) = &self.config.cache_dir {
+                        // Best-effort: a failed persist only costs the
+                        // next restart a re-scan.
+                        let _ = persist_entry(dir, key, &entry);
+                    }
+                    Arc::new(entry)
+                })
+            })
+            .clone();
+        if result.is_err() {
+            // Evict the failed slot so a later request retries.
+            let mut map = self.shard(key).write().expect("shard lock");
+            if map.get(key).is_some_and(|cur| Arc::ptr_eq(cur, slot)) {
+                map.remove(key);
+            }
+        } else {
+            self.enforce_budget(key);
+        }
+        result
+    }
+
+    /// Evicts least-recently-used completed entries until the resident
+    /// total fits the budget. `protect` (the entry being returned to
+    /// the caller) is never evicted. Persisted files are kept: eviction
+    /// demotes an entry to the disk tier, it does not forget it.
+    fn enforce_budget(&self, protect: &CacheKey) {
+        let Some(budget) = self.config.cache_bytes else {
+            return;
+        };
+        if self.resident_bytes.load(Ordering::Relaxed) <= budget {
+            return;
+        }
+        // Snapshot (key, stamp, bytes) of every evictable entry, oldest
+        // first. The stamp race with concurrent touches makes this an
+        // approximate LRU, which is all a cache needs.
+        let mut candidates: Vec<(CacheKey, u64)> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.read().expect("shard lock");
+            for (key, slot) in map.iter() {
+                if key != protect && matches!(slot.cell.get(), Some(Ok(_))) {
+                    candidates.push((key.clone(), slot.last_used.load(Ordering::Relaxed)));
+                }
+            }
+        }
+        candidates.sort_by_key(|&(_, stamp)| stamp);
+        for (key, _) in candidates {
+            if self.resident_bytes.load(Ordering::Relaxed) <= budget {
+                break;
+            }
+            let mut map = self.shard(&key).write().expect("shard lock");
+            if let Some(slot) = map.get(&key) {
+                if matches!(slot.cell.get(), Some(Ok(_))) {
+                    let slot = map.remove(&key).expect("slot present");
+                    self.forget_bytes(&slot);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Attempts to restore `key` from the persistence directory.
+    /// Succeeds only if the metadata matches the key exactly, the
+    /// source file's current stat matches the recorded one, and the
+    /// sample file holds exactly the shape the metadata promises (a
+    /// truncated or externally modified sample must re-scan, not
+    /// silently change filter answers).
+    fn try_restore(&self, key: &CacheKey, ds: &DatasetRef) -> Option<Entry> {
+        let dir = self.config.cache_dir.as_ref()?;
+        let meta = read_meta(&meta_path(dir, key))?;
+        if meta.path != key.path || meta.eps_bits != key.eps_bits || meta.seed != key.seed {
+            return None; // file-stem hash collision
+        }
+        let now = SourceStat::of(&key.path)?;
+        if now != meta.source {
+            return None; // the source changed since the sample was taken
+        }
+        let sample = read_csv_path(sample_path(dir, key), &CsvOptions::default()).ok()?;
+        if sample.n_rows() != meta.sample_rows || sample.n_attrs() != meta.attrs {
+            return None;
+        }
+        let params = FilterParams::new(ds.eps);
+        let filter = TupleSampleFilter::from_sample(sample, params);
+        Some(Entry::new(filter, None, meta.rows, meta.attrs, Some(now)))
+    }
 }
 
-fn build_entry(ds: &DatasetRef, mode: LoadMode) -> Result<Entry, String> {
+fn build_entry(ds: &DatasetRef, canonical_path: &str, mode: LoadMode) -> Result<Entry, String> {
     if !(ds.eps > 0.0 && ds.eps < 1.0) {
         return Err(format!("eps must be in (0, 1), got {}", ds.eps));
     }
     let params = FilterParams::new(ds.eps);
+    // Stat before the scan: a file rewritten *during* the read then
+    // differs from the recorded stat, so the next hit rebuilds.
+    let source = SourceStat::of(canonical_path);
     match mode {
         LoadMode::Memory => {
             let dataset = read_csv_path(&ds.path, &CsvOptions::default())
@@ -209,33 +713,181 @@ fn build_entry(ds: &DatasetRef, mode: LoadMode) -> Result<Entry, String> {
                 ));
             }
             let filter = TupleSampleFilter::build(&dataset, params, ds.seed);
-            Ok(Entry {
-                rows: dataset.n_rows(),
-                attrs: dataset.n_attrs(),
-                filter,
-                dataset: Some(dataset),
-            })
+            let (rows, attrs) = (dataset.n_rows(), dataset.n_attrs());
+            Ok(Entry::new(filter, Some(dataset), rows, attrs, source))
         }
         LoadMode::Stream => {
-            let mut source = CsvTupleSource::open(&ds.path, &CsvOptions::default())
+            let mut source_rows = CsvTupleSource::open(&ds.path, &CsvOptions::default())
                 .map_err(|e| format!("reading {}: {e}", ds.path))?;
-            let filter = tuple_filter_from_stream(&mut source, params, ds.seed)
+            let filter = tuple_filter_from_stream(&mut source_rows, params, ds.seed)
                 .map_err(|e| format!("streaming {}: {e}", ds.path))?;
-            let rows = source.rows_read();
-            let attrs = source.n_attrs();
+            let rows = source_rows.rows_read();
+            let attrs = source_rows.n_attrs();
             if rows < 2 || attrs == 0 {
                 return Err(format!(
                     "data set too small to analyse ({rows} rows x {attrs} attributes)"
                 ));
             }
-            Ok(Entry {
-                rows,
-                attrs,
-                filter,
-                dataset: None,
-            })
+            Ok(Entry::new(filter, None, rows, attrs, source))
         }
     }
+}
+
+// ---------------------------------------------------- persistence tier
+
+/// On-disk format version; bump on any layout change so old files are
+/// ignored, not misread.
+const PERSIST_VERSION: i64 = 1;
+
+fn meta_path(dir: &Path, key: &CacheKey) -> PathBuf {
+    dir.join(format!("{:016x}.meta.json", key.fnv64()))
+}
+
+fn sample_path(dir: &Path, key: &CacheKey) -> PathBuf {
+    dir.join(format!("{:016x}.sample.csv", key.fnv64()))
+}
+
+struct PersistedMeta {
+    path: String,
+    eps_bits: u64,
+    seed: u64,
+    rows: usize,
+    attrs: usize,
+    /// Rows in the persisted sample file — restore integrity check.
+    sample_rows: usize,
+    source: SourceStat,
+}
+
+/// Writes the entry's sample and metadata under `dir`. Both files are
+/// written to a temp path and renamed into place, the sample first and
+/// the metadata last, so a readable `.meta.json` always describes a
+/// complete sample file — even when a re-persist of the same key is
+/// killed mid-write.
+fn persist_entry(dir: &Path, key: &CacheKey, entry: &Entry) -> std::io::Result<()> {
+    // Entries built from an unstattable source cannot be validated on
+    // restore; don't persist them.
+    let Some(source) = entry.source else {
+        return Ok(());
+    };
+    // Render the sample once and prove it round-trips value-exactly.
+    // CSV typing is re-inferred on read, so two values distinct in the
+    // column can collapse to one textual form (`Int(1)` and
+    // `Float(1.0)` both render "1") — and a merged pair would change
+    // filter answers. A sample that would come back different is not
+    // persisted at all: correctness beats a warm start. Samples are
+    // Θ(m/√ε), so the check is cheap.
+    let sample = entry.filter.sample();
+    let mut buf = Vec::new();
+    write_csv(sample, &mut buf)?;
+    let roundtrips = std::str::from_utf8(&buf)
+        .ok()
+        .and_then(|text| read_csv_str(text, &CsvOptions::default()).ok())
+        .is_some_and(|back| {
+            back.n_rows() == sample.n_rows()
+                && back.n_attrs() == sample.n_attrs()
+                && (0..sample.n_rows()).all(|row| {
+                    (0..sample.n_attrs())
+                        .map(AttrId::new)
+                        .all(|attr| back.value(row, attr) == sample.value(row, attr))
+                })
+        });
+    if !roundtrips {
+        return Ok(());
+    }
+    std::fs::create_dir_all(dir)?;
+    // Temp names are unique per writer (pid + counter): with several
+    // server processes sharing one cache dir, a rename can only ever
+    // publish bytes its own process wrote, so a sample from writer A
+    // can never end up paired with metadata from writer B.
+    let tmp_suffix = {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        format!(
+            "{}-{}.tmp",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        )
+    };
+    let sample_final = sample_path(dir, key);
+    let sample_tmp = sample_final.with_extension(&tmp_suffix);
+    publish(&sample_tmp, &buf, &sample_final)?;
+    let meta = obj(vec![
+        ("version", Json::Int(PERSIST_VERSION)),
+        ("path", s(&key.path)),
+        ("eps_bits", json::u64_value(key.eps_bits)),
+        ("seed", json::u64_value(key.seed)),
+        ("rows", Json::Int(entry.rows as i64)),
+        ("attrs", Json::Int(entry.attrs as i64)),
+        ("sample_rows", Json::Int(sample.n_rows() as i64)),
+        ("source_len", json::u64_value(source.len)),
+        ("source_mtime_s", json::u64_value(source.mtime_s)),
+        ("source_mtime_ns", Json::Int(i64::from(source.mtime_ns))),
+    ])
+    .render();
+    let final_path = meta_path(dir, key);
+    let tmp_path = final_path.with_extension(tmp_suffix);
+    publish(&tmp_path, format!("{meta}\n").as_bytes(), &final_path)
+}
+
+/// Writes `bytes` to `tmp` and renames it onto `dest`, removing the
+/// temp file if either step fails so failed persists leave no orphans.
+/// (Orphans from a *killed* process are swept at registry creation.)
+fn publish(tmp: &Path, bytes: &[u8], dest: &Path) -> std::io::Result<()> {
+    let result = std::fs::write(tmp, bytes).and_then(|()| std::fs::rename(tmp, dest));
+    if result.is_err() {
+        let _ = std::fs::remove_file(tmp);
+    }
+    result
+}
+
+/// How old a `*.tmp` file must be before the startup sweep removes it.
+/// An in-flight persist lives milliseconds between write and rename;
+/// an hour-old temp file can only be debris from a killed writer. The
+/// age gate keeps the sweep from deleting a live sibling process's
+/// in-flight file when several servers share one cache dir.
+const TMP_SWEEP_MIN_AGE: std::time::Duration = std::time::Duration::from_secs(3600);
+
+/// Removes old `*.tmp` files left behind by a writer killed
+/// mid-persist (temp names are never reused: pid + counter).
+fn sweep_tmp_files(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        if !entry.file_name().to_string_lossy().ends_with(".tmp") {
+            continue;
+        }
+        let old_enough = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_some_and(|age| age >= TMP_SWEEP_MIN_AGE);
+        if old_enough {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+fn read_meta(path: &Path) -> Option<PersistedMeta> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v = json::parse(text.trim()).ok()?;
+    if v.get("version").and_then(Json::as_i64) != Some(PERSIST_VERSION) {
+        return None;
+    }
+    let u64_field = |name: &str| v.get(name)?.as_u64_lossless();
+    Some(PersistedMeta {
+        path: v.get("path").and_then(Json::as_str)?.to_string(),
+        eps_bits: u64_field("eps_bits")?,
+        seed: u64_field("seed")?,
+        rows: v.get("rows").and_then(Json::as_usize)?,
+        attrs: v.get("attrs").and_then(Json::as_usize)?,
+        sample_rows: v.get("sample_rows").and_then(Json::as_usize)?,
+        source: SourceStat {
+            len: u64_field("source_len")?,
+            mtime_s: u64_field("source_mtime_s")?,
+            mtime_ns: v.get("source_mtime_ns").and_then(Json::as_u64)? as u32,
+        },
+    })
 }
 
 #[cfg(test)]
@@ -243,15 +895,29 @@ mod tests {
     use super::*;
     use std::io::Write as _;
 
-    fn fixture_csv(name: &str, rows: usize) -> String {
-        let dir = std::env::temp_dir().join("qid-registry-tests");
+    fn unique_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "qid-registry-tests-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(name);
-        let mut f = std::fs::File::create(&path).unwrap();
+        dir
+    }
+
+    fn write_fixture(path: &Path, rows: usize, salt: u64) {
+        let mut f = std::fs::File::create(path).unwrap();
         writeln!(f, "id,parity").unwrap();
         for i in 0..rows {
-            writeln!(f, "{i},{}", i % 2).unwrap();
+            writeln!(f, "{},{}", i as u64 + salt * 1_000_000, i % 2).unwrap();
         }
+    }
+
+    fn fixture_csv(name: &str, rows: usize) -> String {
+        let dir = unique_dir("csv");
+        let path = dir.join(name);
+        write_fixture(&path, rows, 0);
         path.to_str().unwrap().to_string()
     }
 
@@ -300,6 +966,8 @@ mod tests {
         assert_eq!(entry.attrs, 2);
         // m=2, eps=0.01 → 20 sampled tuples.
         assert_eq!(entry.filter.sample().n_rows(), 20);
+        assert!(entry.stored_bytes > 0);
+        assert_eq!(reg.snapshot().resident_bytes, entry.stored_bytes as u64);
     }
 
     #[test]
@@ -314,6 +982,7 @@ mod tests {
         let (err2, hit2) = reg.get_or_load(&missing, LoadMode::Memory);
         assert!(err2.is_err());
         assert!(!hit2);
+        assert_eq!(reg.snapshot().resident_bytes, 0);
     }
 
     #[test]
@@ -336,6 +1005,7 @@ mod tests {
             assert!(Arc::ptr_eq(&entries[0], e), "all clients share one entry");
         }
         assert_eq!(reg.len(), 1);
+        assert_eq!(reg.misses(), 1, "exactly one scan");
         assert_eq!(reg.hits() + reg.misses(), 4);
     }
 
@@ -352,9 +1022,12 @@ mod tests {
         // The upgraded entry is now the cached one.
         let (again, hit) = reg.get_or_load_materialised(&dsref(&path));
         assert!(hit);
-        assert!(again.unwrap().dataset.is_some());
+        let again = again.unwrap();
+        assert!(again.dataset.is_some());
         assert_eq!(reg.hits(), 1);
         assert_eq!(reg.misses(), 2);
+        // The replaced sample-only entry's bytes were released.
+        assert_eq!(reg.snapshot().resident_bytes, again.stored_bytes as u64);
     }
 
     #[test]
@@ -396,5 +1069,293 @@ mod tests {
         ds.eps = 0.0;
         let (res, _) = reg.get_or_load(&ds, LoadMode::Memory);
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn lru_eviction_respects_touch_order() {
+        let dir = unique_dir("lru");
+        let paths: Vec<String> = (0..3)
+            .map(|i| {
+                let p = dir.join(format!("d{i}.csv"));
+                write_fixture(&p, 300, i);
+                p.to_str().unwrap().to_string()
+            })
+            .collect();
+        // Budget sized for two stream entries: each sample is 20 tuples
+        // x 2 attrs x 4 bytes = 160 bytes.
+        let reg = Registry::with_config(RegistryConfig {
+            cache_bytes: Some(350),
+            ..RegistryConfig::default()
+        });
+        let (e0, _) = reg.get_or_load(&dsref(&paths[0]), LoadMode::Stream);
+        assert_eq!(e0.unwrap().stored_bytes, 160);
+        let (_, _) = reg.get_or_load(&dsref(&paths[1]), LoadMode::Stream);
+        assert_eq!(reg.len(), 2, "two entries fit the budget");
+        // Touch d0 so d1 is the LRU victim when d2 arrives.
+        let (_, hit) = reg.get_or_load(&dsref(&paths[0]), LoadMode::Stream);
+        assert!(hit);
+        let (_, _) = reg.get_or_load(&dsref(&paths[2]), LoadMode::Stream);
+        let snap = reg.snapshot();
+        assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.datasets, 2);
+        assert!(snap.resident_bytes <= 350);
+        // d0 survived (recently touched), d1 was evicted.
+        let (_, hit0) = reg.get_or_load(&dsref(&paths[0]), LoadMode::Stream);
+        assert!(hit0, "recently-touched entry must survive");
+        let before = reg.misses();
+        let (_, hit1) = reg.get_or_load(&dsref(&paths[1]), LoadMode::Stream);
+        assert!(!hit1, "LRU entry must have been evicted");
+        assert_eq!(reg.misses(), before + 1);
+    }
+
+    #[test]
+    fn over_budget_entry_is_still_served() {
+        let path = fixture_csv("big.csv", 300);
+        let reg = Registry::with_config(RegistryConfig {
+            cache_bytes: Some(1), // nothing fits
+            ..RegistryConfig::default()
+        });
+        let (entry, _) = reg.get_or_load(&dsref(&path), LoadMode::Stream);
+        assert!(entry.is_ok(), "the protected entry is never evicted");
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.snapshot().evictions, 0);
+    }
+
+    #[test]
+    fn persistence_restores_without_a_scan() {
+        let dir = unique_dir("persist");
+        let path = fixture_csv("warm.csv", 400);
+        let config = RegistryConfig {
+            cache_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        };
+        let first = Registry::with_config(config.clone());
+        let (built, _) = first.get_or_load(&dsref(&path), LoadMode::Stream);
+        let built = built.unwrap();
+        assert_eq!(first.misses(), 1);
+        drop(first);
+
+        // A "restarted server": a fresh registry over the same dir.
+        let second = Registry::with_config(config);
+        let (restored, hit) = second.get_or_load(&dsref(&path), LoadMode::Stream);
+        let restored = restored.unwrap();
+        assert!(!hit);
+        assert_eq!(second.misses(), 0, "no source scan on a warm start");
+        assert_eq!(second.disk_hits(), 1);
+        assert_eq!(restored.rows, built.rows);
+        assert_eq!(restored.attrs, built.attrs);
+        assert_eq!(
+            restored.filter.sample().n_rows(),
+            built.filter.sample().n_rows()
+        );
+        // The restored sample answers queries identically.
+        use qid_dataset::AttrId;
+        for attrs in [vec![AttrId::new(0)], vec![AttrId::new(1)]] {
+            assert_eq!(
+                restored.filter.query(&attrs),
+                built.filter.query(&attrs),
+                "restored filter must agree on {attrs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_source_triggers_rebuild_not_stale_answer() {
+        let dir = unique_dir("stale");
+        let path = dir.join("mut.csv");
+        write_fixture(&path, 300, 0);
+        let ds = dsref(path.to_str().unwrap());
+        let reg = Registry::new();
+        let (first, _) = reg.get_or_load(&ds, LoadMode::Stream);
+        let first = first.unwrap();
+        assert_eq!(first.rows, 300);
+
+        // Rewrite in place with different content (and length).
+        write_fixture(&path, 500, 9);
+        let (second, hit) = reg.get_or_load(&ds, LoadMode::Stream);
+        let second = second.unwrap();
+        assert!(!hit, "a stale entry is not a hit");
+        assert_eq!(second.rows, 500, "the rebuilt entry sees the new file");
+        assert!(!Arc::ptr_eq(&first, &second));
+        let snap = reg.snapshot();
+        assert_eq!(snap.stale_rebuilds, 1);
+        assert_eq!(snap.misses, 2);
+        assert_eq!(snap.datasets, 1);
+        assert_eq!(snap.resident_bytes, second.stored_bytes as u64);
+    }
+
+    #[test]
+    fn stale_source_also_invalidates_the_disk_tier() {
+        let dir = unique_dir("stale-disk");
+        let path = dir.join("mut.csv");
+        write_fixture(&path, 300, 0);
+        let ds = dsref(path.to_str().unwrap());
+        let config = RegistryConfig {
+            cache_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        };
+        let first = Registry::with_config(config.clone());
+        let (_, _) = first.get_or_load(&ds, LoadMode::Stream);
+        drop(first);
+
+        write_fixture(&path, 500, 9);
+        let second = Registry::with_config(config);
+        let (entry, _) = second.get_or_load(&ds, LoadMode::Stream);
+        assert_eq!(entry.unwrap().rows, 500, "stale persisted sample ignored");
+        assert_eq!(second.disk_hits(), 0);
+        assert_eq!(second.misses(), 1);
+    }
+
+    #[test]
+    fn unload_removes_resident_and_persisted_state() {
+        let dir = unique_dir("unload");
+        let path = fixture_csv("gone.csv", 300);
+        let config = RegistryConfig {
+            cache_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        };
+        let reg = Registry::with_config(config);
+        let ds = dsref(&path);
+        let (_, _) = reg.get_or_load(&ds, LoadMode::Stream);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.unload(&ds));
+        assert_eq!(reg.len(), 0);
+        assert_eq!(reg.snapshot().resident_bytes, 0);
+        assert!(!reg.unload(&ds), "second unload finds nothing");
+        // The disk tier is gone too: the next lookup is a full miss.
+        let (_, hit) = reg.get_or_load(&ds, LoadMode::Stream);
+        assert!(!hit);
+        assert_eq!(reg.disk_hits(), 0);
+        assert_eq!(reg.misses(), 2);
+    }
+
+    #[test]
+    fn lossy_float_samples_are_not_persisted() {
+        // "1" parses as Int(1) and "1.0" as Float(1.0) — distinct
+        // values in the column, but both render "1", so a CSV
+        // round-trip would merge them and change filter answers. Such
+        // samples must skip the disk tier entirely.
+        let dir = unique_dir("lossy");
+        let path = dir.join("floats.csv");
+        let mut f = std::fs::File::create(&path).unwrap();
+        writeln!(f, "id,v").unwrap();
+        for i in 0..10 {
+            writeln!(f, "{i},1").unwrap();
+        }
+        for i in 10..20 {
+            writeln!(f, "{i},1.0").unwrap();
+        }
+        drop(f);
+        let config = RegistryConfig {
+            cache_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        };
+        let ds = dsref(path.to_str().unwrap());
+        let first = Registry::with_config(config.clone());
+        // m=2, eps=0.01 → r=20 = n: the sample holds every row,
+        // including both spellings of 1.
+        let (entry, _) = first.get_or_load(&ds, LoadMode::Stream);
+        assert_eq!(entry.unwrap().filter.sample().n_rows(), 20);
+        let persisted = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .any(|e| e.file_name().to_string_lossy().ends_with(".meta.json"));
+        assert!(!persisted, "a lossy sample must not reach the disk tier");
+        drop(first);
+
+        // A restart pays the scan again instead of serving a merged,
+        // wrong sample.
+        let second = Registry::with_config(config);
+        let (restored, _) = second.get_or_load(&ds, LoadMode::Stream);
+        assert_eq!(second.disk_hits(), 0);
+        assert_eq!(second.misses(), 1);
+        assert_eq!(restored.unwrap().filter.sample().n_rows(), 20);
+    }
+
+    #[test]
+    fn materialised_upgrade_ignores_the_disk_tier() {
+        // A disk-restored entry has no dataset; stats/mask must still
+        // get one (via a scan), not loop on restore.
+        let dir = unique_dir("upgrade-disk");
+        let path = fixture_csv("updisk.csv", 300);
+        let config = RegistryConfig {
+            cache_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        };
+        let first = Registry::with_config(config.clone());
+        let (_, _) = first.get_or_load(&dsref(&path), LoadMode::Stream);
+        drop(first);
+        let second = Registry::with_config(config);
+        // The stream lookup restores the sample-only entry from disk…
+        let (restored, _) = second.get_or_load(&dsref(&path), LoadMode::Stream);
+        assert!(restored.unwrap().dataset.is_none());
+        assert_eq!(second.disk_hits(), 1, "the sample-only restore");
+        // …and materialising it pays a scan rather than looping on
+        // the restore.
+        let (entry, _) = second.get_or_load_materialised(&dsref(&path));
+        assert!(entry.unwrap().dataset.is_some());
+        assert_eq!(second.misses(), 1, "the materialising scan");
+    }
+
+    #[test]
+    fn memory_mode_loads_bypass_the_disk_tier() {
+        // An explicit memory-mode load exists to pre-materialise; the
+        // sample-only disk tier must not silently downgrade it.
+        let dir = unique_dir("memory-disk");
+        let path = fixture_csv("memdisk.csv", 300);
+        let config = RegistryConfig {
+            cache_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        };
+        let first = Registry::with_config(config.clone());
+        let (_, _) = first.get_or_load(&dsref(&path), LoadMode::Stream);
+        drop(first);
+        let second = Registry::with_config(config);
+        let (entry, hit) = second.get_or_load(&dsref(&path), LoadMode::Memory);
+        assert!(!hit);
+        assert!(entry.unwrap().dataset.is_some(), "memory load materialises");
+        assert_eq!(second.disk_hits(), 0, "restore skipped for memory mode");
+        assert_eq!(second.misses(), 1);
+    }
+
+    #[test]
+    fn registry_creation_sweeps_only_old_tmp_files() {
+        let dir = unique_dir("sweep");
+        let orphan = dir.join("deadbeef.sample.123-0.tmp");
+        std::fs::write(&orphan, b"partial").unwrap();
+        // Backdate the orphan past the sweep age; leave a fresh tmp
+        // (a live sibling's in-flight persist) alone.
+        let backdated = std::time::SystemTime::now() - 2 * TMP_SWEEP_MIN_AGE;
+        std::fs::File::options()
+            .write(true)
+            .open(&orphan)
+            .unwrap()
+            .set_modified(backdated)
+            .unwrap();
+        let in_flight = dir.join("cafebabe.sample.456-0.tmp");
+        std::fs::write(&in_flight, b"mid-write").unwrap();
+        let keeper = dir.join("deadbeef.sample.csv");
+        std::fs::write(&keeper, b"id\n1\n2\n").unwrap();
+        let _ = Registry::with_config(RegistryConfig {
+            cache_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        });
+        assert!(!orphan.exists(), "old orphaned tmp files are swept");
+        assert!(in_flight.exists(), "fresh tmp files are left alone");
+        assert!(keeper.exists(), "published files are untouched");
+    }
+
+    #[test]
+    fn snapshot_rolls_everything_up() {
+        let path = fixture_csv("snap.csv", 300);
+        let reg = Registry::new();
+        let (_, _) = reg.get_or_load(&dsref(&path), LoadMode::Stream);
+        let (_, _) = reg.get_or_load(&dsref(&path), LoadMode::Stream);
+        let snap = reg.snapshot();
+        assert_eq!(snap.hits, 1);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.datasets, 1);
+        assert!(snap.resident_bytes > 0);
+        assert_eq!(snap.evictions + snap.stale_rebuilds + snap.disk_hits, 0);
     }
 }

@@ -11,7 +11,7 @@ use qid_core::separation::group_sizes;
 
 use crate::metrics::Metrics;
 use crate::proto::{DatasetRef, LoadMode, Request, Response};
-use crate::registry::{Entry, Registry};
+use crate::registry::{Entry, Registry, RegistryConfig};
 use crate::resolve::resolve_attr_names;
 use crate::WorkerPool;
 
@@ -25,6 +25,12 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker thread count (clamped to ≥ 1).
     pub workers: usize,
+    /// Registry LRU budget in bytes (`--cache-bytes`); `None` disables
+    /// eviction.
+    pub cache_bytes: Option<u64>,
+    /// Registry persistence directory (`--cache-dir`); `None` disables
+    /// the on-disk warm tier.
+    pub cache_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -32,6 +38,8 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
+            cache_bytes: None,
+            cache_dir: None,
         }
     }
 }
@@ -83,10 +91,15 @@ impl Server {
     pub fn bind(config: &ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let registry = Registry::with_config(RegistryConfig {
+            cache_bytes: config.cache_bytes,
+            cache_dir: config.cache_dir.as_ref().map(std::path::PathBuf::from),
+            ..RegistryConfig::default()
+        });
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
-                registry: Registry::new(),
+                registry,
                 metrics: Metrics::new(),
                 shutdown: AtomicBool::new(false),
                 local_addr,
@@ -452,11 +465,10 @@ pub fn handle_request(request: &Request, state: &ServerState) -> Response {
                 columns,
             }
         }),
-        Request::Metrics => Response::Metrics(state.metrics.report(
-            state.registry.hits(),
-            state.registry.misses(),
-            state.registry.len(),
-        )),
+        Request::Unload { ds } => Response::Unloaded {
+            existed: state.registry.unload(ds),
+        },
+        Request::Metrics => Response::Metrics(state.metrics.report(state.registry.snapshot())),
         Request::Shutdown => Response::ShuttingDown,
     }
 }

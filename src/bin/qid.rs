@@ -20,15 +20,21 @@
 //!
 //! ```text
 //! qid serve [--addr 127.0.0.1:0] [--workers 4]
+//!           [--cache-bytes N[K|M|G]] [--cache-dir DIR]
 //! qid query <addr> load    data.csv [--eps E] [--seed S] [--stream]
 //! qid query <addr> audit   data.csv [--eps E] [--seed S] [--max-key-size K]
 //! qid query <addr> key     data.csv [--eps E] [--seed S]
 //! qid query <addr> check   data.csv --attrs a,b [--eps E] [--seed S]
 //! qid query <addr> mask    data.csv [--eps E] [--seed S] [--budget B]
 //! qid query <addr> stats   data.csv
+//! qid query <addr> unload  data.csv [--eps E] [--seed S]
 //! qid query <addr> metrics
 //! qid query <addr> shutdown
 //! ```
+//!
+//! `--cache-bytes` caps the registry's resident memory (LRU eviction);
+//! `--cache-dir` persists built samples so a restarted server warms up
+//! without re-scanning sources. See README "Cache lifecycle".
 
 use std::process::ExitCode;
 
@@ -62,8 +68,9 @@ fn usage() -> ! {
         "usage: qid <audit|key|check|mask|stats> <data.csv> \
          [--eps E] [--seed S] [--attrs a,b,c] [--max-key-size K] \
          [--budget B] [--exact]\n\
-         \x20      qid serve [--addr HOST:PORT] [--workers N]\n\
-         \x20      qid query <addr> <load|audit|key|check|mask|stats|metrics|shutdown> \
+         \x20      qid serve [--addr HOST:PORT] [--workers N] \
+         [--cache-bytes N[K|M|G]] [--cache-dir DIR]\n\
+         \x20      qid query <addr> <load|audit|key|check|mask|stats|unload|metrics|shutdown> \
          [data.csv] [flags]"
     );
     std::process::exit(2);
@@ -146,6 +153,20 @@ fn main() -> ExitCode {
 
 // ---------------------------------------------------------------- serve
 
+/// Parses a byte count with an optional `K`/`M`/`G` suffix
+/// (case-insensitive, powers of 1024): `"64M"` → 67108864. Overflow is
+/// an error, not a silent wrap.
+fn parse_bytes(text: &str) -> Option<u64> {
+    let text = text.trim();
+    let (digits, shift) = match text.as_bytes().last()? {
+        b'k' | b'K' => (&text[..text.len() - 1], 10),
+        b'm' | b'M' => (&text[..text.len() - 1], 20),
+        b'g' | b'G' => (&text[..text.len() - 1], 30),
+        _ => (text, 0),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(1u64 << shift)
+}
+
 fn cmd_serve(args: &[String]) -> ExitCode {
     let mut config = ServerConfig::default();
     let mut args = args.iter();
@@ -159,6 +180,13 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         match flag.as_str() {
             "--addr" => config.addr = take("--addr").clone(),
             "--workers" => config.workers = take("--workers").parse().unwrap_or_else(|_| usage()),
+            "--cache-bytes" => {
+                config.cache_bytes = Some(parse_bytes(take("--cache-bytes")).unwrap_or_else(|| {
+                    eprintln!("--cache-bytes wants an integer with an optional K/M/G suffix");
+                    usage()
+                }))
+            }
+            "--cache-dir" => config.cache_dir = Some(take("--cache-dir").clone()),
             _ => {
                 eprintln!("unknown flag {flag}");
                 usage()
@@ -257,6 +285,7 @@ fn cmd_query(args: &[String]) -> ExitCode {
             budget: opts.budget,
         },
         "stats" => Request::Stats { ds },
+        "unload" => Request::Unload { ds },
         "metrics" => Request::Metrics,
         "shutdown" => Request::Shutdown,
         other => {
@@ -349,16 +378,32 @@ fn print_response(response: &Response) -> ExitCode {
                 );
             }
         }
+        Response::Unloaded { existed } => {
+            if *existed {
+                println!("unloaded: entry dropped from the registry");
+            } else {
+                println!("unloaded: nothing was cached for that key");
+            }
+        }
         Response::Metrics(report) => {
             println!(
-                "registry: {} datasets, {} cache hits, {} cache misses",
-                report.datasets, report.cache_hits, report.cache_misses
+                "registry: {} datasets ({} bytes resident), {} cache hits, \
+                 {} cache misses, {} disk hits",
+                report.datasets,
+                report.cache_bytes,
+                report.cache_hits,
+                report.cache_misses,
+                report.cache_disk_hits
             );
-            println!("command     count  errors  latency_us");
+            println!(
+                "lifecycle: {} evictions, {} stale rebuilds",
+                report.cache_evictions, report.cache_stale_rebuilds
+            );
+            println!("command     count  errors  latency_us      p50_us      p99_us");
             for c in &report.commands {
                 println!(
-                    "  {:<9} {:>5} {:>7} {:>11}",
-                    c.name, c.count, c.errors, c.latency_us
+                    "  {:<9} {:>5} {:>7} {:>11} {:>11} {:>11}",
+                    c.name, c.count, c.errors, c.latency_us, c.p50_us, c.p99_us
                 );
             }
         }

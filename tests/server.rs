@@ -9,14 +9,11 @@ use std::time::Duration;
 use quasi_id::server::proto::{DatasetRef, LoadMode, Request, Response};
 use quasi_id::server::Client;
 
-/// Writes a small CSV fixture and returns its path.
-fn fixture_csv(name: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join("qid-server-tests");
-    std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join(name);
-    let mut f = std::fs::File::create(&path).unwrap();
+/// Writes a CSV fixture with `rows` rows at `path`.
+fn write_fixture(path: &std::path::Path, rows: usize) {
+    let mut f = std::fs::File::create(path).unwrap();
     writeln!(f, "id,zip,age,sex").unwrap();
-    for i in 0..800 {
+    for i in 0..rows {
         writeln!(
             f,
             "{i},{},{},{}",
@@ -26,7 +23,23 @@ fn fixture_csv(name: &str) -> std::path::PathBuf {
         )
         .unwrap();
     }
+}
+
+/// Writes a small CSV fixture and returns its path.
+fn fixture_csv(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("qid-server-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    write_fixture(&path, 800);
     path
+}
+
+/// A unique, empty scratch directory for cache-dir tests.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("qid-server-tests-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
 }
 
 /// A `qid serve` child process bound to an ephemeral port.
@@ -38,9 +51,16 @@ struct ServerUnderTest {
 impl ServerUnderTest {
     /// Spawns the server and parses the bound address off its stdout.
     fn spawn(workers: usize) -> ServerUnderTest {
+        Self::spawn_with(workers, &[])
+    }
+
+    /// Like [`ServerUnderTest::spawn`] with extra `qid serve` flags
+    /// (e.g. `--cache-dir`, `--cache-bytes`).
+    fn spawn_with(workers: usize, extra: &[&str]) -> ServerUnderTest {
         let mut child = Command::new(env!("CARGO_BIN_EXE_qid"))
             .args(["serve", "--addr", "127.0.0.1:0", "--workers"])
             .arg(workers.to_string())
+            .args(extra)
             .stdout(Stdio::piped())
             .spawn()
             .expect("server spawns");
@@ -374,6 +394,200 @@ fn qid_query_cli_talks_to_the_server() {
     assert!(ok);
     assert!(stdout.contains("cache hits"), "{stdout}");
 
+    server.shutdown();
+}
+
+#[test]
+fn restart_with_cache_dir_answers_without_rescanning() {
+    // The acceptance test for the registry's disk tier: a server
+    // restarted over the same --cache-dir answers a previously-loaded
+    // audit with ZERO build misses (no source scan) and the exact same
+    // keys, because the persisted Θ(m/√ε) sample is the sketch.
+    let dir = scratch_dir("restart");
+    let cache = dir.join("cache");
+    let csv = dir.join("restart.csv");
+    write_fixture(&csv, 800);
+    let cache_flag = cache.to_str().unwrap().to_string();
+
+    let audit = |client: &mut Client, ds: &DatasetRef| match client
+        .call(&Request::Audit {
+            ds: ds.clone(),
+            max_key_size: 2,
+        })
+        .unwrap()
+    {
+        Response::Audit { keys } => keys,
+        other => panic!("expected audit, got {other:?}"),
+    };
+
+    let server = ServerUnderTest::spawn_with(2, &["--cache-dir", &cache_flag]);
+    let ds = server.ds(&csv, 0.01, 7);
+    let mut client = server.client();
+    let first_keys = audit(&mut client, &ds);
+    assert!(!first_keys.is_empty());
+    assert_eq!(metrics(&mut client).cache_misses, 1, "the cold scan");
+    server.shutdown();
+
+    let server = ServerUnderTest::spawn_with(2, &["--cache-dir", &cache_flag]);
+    let mut client = server.client();
+    let warm_keys = audit(&mut client, &ds);
+    assert_eq!(
+        warm_keys, first_keys,
+        "the restored sample is the same sample"
+    );
+    let report = metrics(&mut client);
+    assert_eq!(
+        report.cache_misses, 0,
+        "a warm restart must not re-scan the source: {report:?}"
+    );
+    assert_eq!(report.cache_disk_hits, 1, "restored from the disk tier");
+    assert_eq!(report.datasets, 1);
+    server.shutdown();
+}
+
+#[test]
+fn rewriting_the_csv_in_place_triggers_a_rebuild() {
+    let dir = scratch_dir("stale");
+    let csv = dir.join("stale.csv");
+    write_fixture(&csv, 800);
+
+    let server = ServerUnderTest::spawn(2);
+    let ds = server.ds(&csv, 0.01, 7);
+    let mut client = server.client();
+    let load = |client: &mut Client, ds: &DatasetRef| match client
+        .call(&Request::Load {
+            ds: ds.clone(),
+            mode: LoadMode::Stream,
+        })
+        .unwrap()
+    {
+        Response::Loaded { rows, cached, .. } => (rows, cached),
+        other => panic!("expected loaded, got {other:?}"),
+    };
+    assert_eq!(load(&mut client, &ds), (800, false));
+    assert_eq!(load(&mut client, &ds), (800, true), "second load is a hit");
+
+    // Rewrite the file in place: different length and content.
+    write_fixture(&csv, 900);
+    let (rows, cached) = load(&mut client, &ds);
+    assert_eq!(
+        rows, 900,
+        "the rebuilt entry sees the new file, not stale data"
+    );
+    assert!(!cached, "a stale entry is not served as a hit");
+    let report = metrics(&mut client);
+    assert_eq!(report.cache_stale_rebuilds, 1, "{report:?}");
+    assert_eq!(report.cache_misses, 2, "cold build + stale rebuild");
+    assert_eq!(report.datasets, 1, "the stale entry was replaced, not kept");
+    server.shutdown();
+}
+
+#[test]
+fn cache_budget_evicts_lru_entries() {
+    let dir = scratch_dir("evict");
+    let a = dir.join("a.csv");
+    let b = dir.join("b.csv");
+    write_fixture(&a, 800);
+    write_fixture(&b, 800);
+
+    // Each stream-mode entry stores 40 tuples x 4 attrs x 4 bytes =
+    // 640 bytes; a 1000-byte budget fits one entry but not two.
+    let server = ServerUnderTest::spawn_with(2, &["--cache-bytes", "1000"]);
+    let mut client = server.client();
+    for path in [&a, &b] {
+        match client
+            .call(&Request::Load {
+                ds: server.ds(path, 0.01, 7),
+                mode: LoadMode::Stream,
+            })
+            .unwrap()
+        {
+            Response::Loaded { cached, .. } => assert!(!cached),
+            other => panic!("expected loaded, got {other:?}"),
+        }
+    }
+    let report = metrics(&mut client);
+    assert_eq!(report.cache_evictions, 1, "{report:?}");
+    assert_eq!(report.datasets, 1, "only the most recent entry survives");
+    assert!(report.cache_bytes <= 1000, "{report:?}");
+
+    // The survivor is b (a was the LRU victim): touching b is a hit.
+    match client
+        .call(&Request::Load {
+            ds: server.ds(&b, 0.01, 7),
+            mode: LoadMode::Stream,
+        })
+        .unwrap()
+    {
+        Response::Loaded { cached, .. } => assert!(cached, "b must still be resident"),
+        other => panic!("expected loaded, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn unload_drops_the_entry_and_the_cli_drives_it() {
+    let dir = scratch_dir("unload");
+    let csv = dir.join("u.csv");
+    write_fixture(&csv, 800);
+    let server = ServerUnderTest::spawn(2);
+    let ds = server.ds(&csv, 0.01, 7);
+    let mut client = server.client();
+    match client
+        .call(&Request::Load {
+            ds: ds.clone(),
+            mode: LoadMode::Stream,
+        })
+        .unwrap()
+    {
+        Response::Loaded { .. } => {}
+        other => panic!("expected loaded, got {other:?}"),
+    }
+    assert_eq!(metrics(&mut client).datasets, 1);
+
+    // Drive unload through the CLI, like an operator would.
+    let out = Command::new(env!("CARGO_BIN_EXE_qid"))
+        .args([
+            "query",
+            &server.addr,
+            "unload",
+            csv.to_str().unwrap(),
+            "--eps",
+            "0.01",
+        ])
+        .output()
+        .expect("qid query unload runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dropped"), "{stdout}");
+
+    let report = metrics(&mut client);
+    assert_eq!(report.datasets, 0, "{report:?}");
+    assert_eq!(report.cache_bytes, 0, "{report:?}");
+    // Unloading again reports that nothing was there.
+    match client.call(&Request::Unload { ds: ds.clone() }).unwrap() {
+        Response::Unloaded { existed } => assert!(!existed),
+        other => panic!("expected unloaded, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn metrics_report_server_side_percentiles() {
+    let server = ServerUnderTest::spawn(1);
+    let mut client = server.client();
+    for _ in 0..20 {
+        let _ = client.call(&Request::Metrics).unwrap();
+    }
+    let report = metrics(&mut client);
+    let m = report
+        .commands
+        .iter()
+        .find(|c| c.name == "metrics")
+        .unwrap();
+    assert!(m.count >= 20);
+    assert!(m.p50_us > 0, "histogram quantiles are populated: {m:?}");
+    assert!(m.p50_us <= m.p99_us, "{m:?}");
     server.shutdown();
 }
 

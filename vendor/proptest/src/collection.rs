@@ -7,7 +7,7 @@ use rand::RngExt;
 use crate::strategy::Strategy;
 use crate::TestRng;
 
-/// An inclusive-exclusive length specification for [`vec`].
+/// An inclusive-exclusive length specification for [`vec()`].
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
     min: usize,
@@ -62,7 +62,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
