@@ -76,6 +76,13 @@ pub struct ServerBenchResult {
     /// registry from the persisted `--cache-dir` sample instead of
     /// re-scanning the source.
     pub warm_restart_us: f64,
+    /// Amortised per-command latency (µs) of `requests` sequential
+    /// `check` calls (one round trip each) against the warm registry.
+    pub sequential_per_cmd_us: f64,
+    /// Amortised per-command latency (µs) of the same `check` commands
+    /// sent as a single `batch` line (one round trip, one registry
+    /// resolution total).
+    pub batched_per_cmd_us: f64,
     /// The human-readable table.
     pub table: Table,
 }
@@ -111,6 +118,24 @@ impl ServerBenchResult {
                 }),
             ),
             ("warm_restart_us", Json::Num(self.warm_restart_us)),
+            (
+                "batch",
+                obj(vec![
+                    (
+                        "sequential_per_cmd_us",
+                        Json::Num(self.sequential_per_cmd_us),
+                    ),
+                    ("batched_per_cmd_us", Json::Num(self.batched_per_cmd_us)),
+                    (
+                        "speedup",
+                        Json::Num(if self.batched_per_cmd_us > 0.0 {
+                            self.sequential_per_cmd_us / self.batched_per_cmd_us
+                        } else {
+                            0.0
+                        }),
+                    ),
+                ]),
+            ),
         ])
         .render()
     }
@@ -200,9 +225,47 @@ pub fn run_server_bench(cfg: ServerBenchConfig) -> ServerBenchResult {
         served_lat.push(t.elapsed());
     }
     let served_total = served_start.elapsed();
+    let served = summarise(&mut served_lat, served_total, requests);
+
+    // Batched vs sequential: the same `check` answered `requests`
+    // times — once as `requests` round trips, once as one `batch`
+    // line (one round trip, one registry resolution for the whole
+    // array). Both run against the warm registry, so the difference
+    // is pure wire + dispatch amortisation.
+    let check = Request::Check {
+        ds: DatasetRef {
+            path: path.clone(),
+            eps: cfg.eps,
+            seed: 7,
+        },
+        attrs: vec!["0".to_string()],
+    };
+    let seq_start = Instant::now();
+    for _ in 0..requests {
+        match client.call(&check).expect("sequential check") {
+            Response::Check { .. } => {}
+            other => panic!("check failed: {other:?}"),
+        }
+    }
+    let sequential_per_cmd_us = seq_start.elapsed().as_secs_f64() * 1e6 / requests as f64;
+    let batch = Request::Batch {
+        requests: vec![check; requests],
+    };
+    let batch_start = Instant::now();
+    match client.call(&batch).expect("batched checks") {
+        Response::Batch { results } => {
+            assert_eq!(results.len(), requests, "one result per sub-command");
+            assert!(
+                results.iter().all(|r| matches!(r, Response::Check { .. })),
+                "batched checks must all succeed"
+            );
+        }
+        other => panic!("batch failed: {other:?}"),
+    }
+    let batched_per_cmd_us = batch_start.elapsed().as_secs_f64() * 1e6 / requests as f64;
+
     client.call(&Request::Shutdown).expect("shutdown");
     running.join().expect("server exits");
-    let served = summarise(&mut served_lat, served_total, requests);
 
     // One-shot: every request re-reads the CSV and re-samples, exactly
     // what `qid audit` does per invocation (sans process startup).
@@ -286,6 +349,16 @@ pub fn run_server_bench(cfg: ServerBenchConfig) -> ServerBenchResult {
         "-".to_string(),
         format!("{warm_restart_us:.0}"),
     ]);
+    table.row(vec![
+        format!("sequential checks (x{requests})"),
+        "-".to_string(),
+        format!("{sequential_per_cmd_us:.0}"),
+    ]);
+    table.row(vec![
+        format!("batched checks (one line, x{requests})"),
+        "-".to_string(),
+        format!("{batched_per_cmd_us:.0}"),
+    ]);
 
     ServerBenchResult {
         rows: n,
@@ -294,6 +367,8 @@ pub fn run_server_bench(cfg: ServerBenchConfig) -> ServerBenchResult {
         served,
         oneshot,
         warm_restart_us,
+        sequential_per_cmd_us,
+        batched_per_cmd_us,
         table,
     }
 }
@@ -317,11 +392,14 @@ mod tests {
             result.warm_restart_us > 0.0,
             "the restarted server answered an audit"
         );
-        assert_eq!(result.table.n_rows(), 3);
+        assert!(result.sequential_per_cmd_us > 0.0);
+        assert!(result.batched_per_cmd_us > 0.0);
+        assert_eq!(result.table.n_rows(), 5);
         let json = result.to_json();
         let parsed = qid_server::json::parse(&json).expect("valid json");
         assert_eq!(parsed.get("bench").and_then(|b| b.as_str()), Some("server"));
         assert!(parsed.get("served").and_then(|s| s.get("rps")).is_some());
+        assert!(parsed.get("batch").and_then(|b| b.get("speedup")).is_some());
         // At smoke scale the scan is tiny, so both modes do almost the
         // same work and this only guards against the served path being
         // pathologically slower (e.g. a reintroduced Nagle stall). The

@@ -9,10 +9,15 @@
 //! * [`hard_instance`] — the Section 3.2 lower-bound construction (the
 //!   Index-matrix data set and the exact `Γ_A` formula of Lemma 6),
 //!   used to stress-test the sketch at its information-theoretic limit.
+//! * [`DistinctSketch`] — a KMV distinct-count sketch, the streaming
+//!   companion that lets a resident service answer per-column
+//!   cardinality queries without materialising the data.
 
+pub mod distinct;
 pub mod hard_instance;
 mod nonsep;
 
+pub use distinct::DistinctSketch;
 pub use hard_instance::{gamma_for_guess, index_matrix_dataset, random_index_matrix};
 pub use nonsep::NonSeparationSketch;
 

@@ -102,6 +102,18 @@ impl NonSeparationSketch {
         self.s
     }
 
+    /// The stored pair sample in its `2s`-row layout (pair `i` at rows
+    /// `(i, s+i)`) — the sketch's full state besides the parameters,
+    /// used to persist and restore it.
+    pub fn pairs(&self) -> &Dataset {
+        &self.pairs
+    }
+
+    /// `C(n,2)` of the source data set — the estimate's scale factor.
+    pub fn source_pairs(&self) -> u128 {
+        self.source_pairs
+    }
+
     /// The parameters the sketch was built with.
     pub fn params(&self) -> SketchParams {
         self.params

@@ -168,11 +168,19 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Deepest container nesting [`parse`] accepts. The parser recurses per
+/// nesting level, so an untrusted line of `[[[[…` could otherwise
+/// overflow the worker's stack (an abort, not a catchable panic). The
+/// wire protocol needs 3 levels; 128 leaves generous headroom.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 /// Parses a complete JSON document; trailing non-whitespace is an error.
+/// Containers nested beyond [`MAX_PARSE_DEPTH`] are rejected.
 pub fn parse(input: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -186,6 +194,7 @@ pub fn parse(input: &str) -> Result<Json, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -235,7 +244,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(format!("nesting deeper than {MAX_PARSE_DEPTH}"));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, String> {
+        self.enter()?;
+        let v = self.object_inner();
+        self.depth -= 1;
+        v
+    }
+
+    fn object_inner(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
@@ -264,6 +288,13 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
+        self.enter()?;
+        let v = self.array_inner();
+        self.depth -= 1;
+        v
+    }
+
+    fn array_inner(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -470,6 +501,19 @@ mod tests {
         ] {
             assert!(parse(text).is_err(), "should reject {text:?}");
         }
+    }
+
+    #[test]
+    fn pathological_nesting_is_an_error_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        // Sibling containers do not accumulate depth.
+        let wide = format!("[{}{{}}]", "{},".repeat(MAX_PARSE_DEPTH * 2));
+        assert!(parse(&wide).is_ok(), "width is not depth");
+        // The limit itself is generous: 100 levels parse fine.
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&ok).is_ok());
     }
 
     #[test]

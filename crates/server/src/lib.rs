@@ -8,19 +8,25 @@
 //! process:
 //!
 //! * [`registry`] — the **registry lifecycle subsystem** mapping
-//!   `(path, eps, seed) → cached artifacts` (the resident
-//!   [`qid_core::filter::TupleSampleFilter`], plus the full dataset for
-//!   memory-mode loads). The cache is sharded by key hash (read hits
-//!   take one shared lock), LRU-evicts under a configurable byte
-//!   budget, persists built samples to a cache directory so restarts
-//!   warm up without re-scanning sources, and stats the source file on
-//!   every hit so in-place rewrites trigger a rebuild instead of a
-//!   stale answer. Concurrent cold lookups still collapse onto one
-//!   build.
+//!   `(path, eps, seed) → cached artifacts`: the resident
+//!   [`qid_core::filter::TupleSampleFilter`] (Theorem 1), per-column
+//!   KMV distinct-count sketches (so `stats` answers without
+//!   materialising), a lazily built
+//!   [`qid_core::sketch::NonSeparationSketch`] (Theorem 2, behind the
+//!   `sketch` command), and — for memory-mode loads — the full
+//!   dataset. The cache is sharded by key hash (read hits take one
+//!   shared lock), LRU-evicts under a configurable byte budget,
+//!   persists built artifacts to a cache directory so restarts warm up
+//!   without re-scanning sources, and stats the source file on every
+//!   hit so in-place rewrites trigger a rebuild instead of a stale
+//!   answer. Concurrent cold lookups (and cold sketch queries)
+//!   collapse onto one build.
 //! * [`proto`] — the newline-delimited JSON wire protocol
-//!   (`load`, `audit`, `key`, `check`, `mask`, `stats`, `unload`,
-//!   `metrics`, `shutdown`), hand-rolled over [`json`] because the
-//!   build environment is offline (no serde).
+//!   (`load`, `audit`, `key`, `check`, `sketch`, `mask`, `stats`,
+//!   `batch`, `unload`, `metrics`, `shutdown`), hand-rolled over
+//!   [`json`] because the build environment is offline (no serde).
+//!   `batch` carries an array of sub-commands on one line, answered as
+//!   an array with one registry resolution per distinct dataset key.
 //! * [`pool`] — a fixed worker thread pool over `mpsc` channels;
 //!   shutdown drains in-flight work before the process exits.
 //! * [`server`] — the `std::net::TcpListener` accept loop and request
@@ -53,6 +59,40 @@
 //! };
 //! let line = reply.encode();
 //! assert!(line.contains(r#""ok":true"#));
+//! assert_eq!(Response::decode(&line).unwrap(), reply);
+//! ```
+//!
+//! ## Theorem 2 on the wire: the `sketch` command
+//!
+//! `sketch` queries the registry-cached non-separation sketch for one
+//! attribute set and returns the Γ-estimate, the raw pair count, the
+//! stored sample size and the error bound. The sketch is built with
+//! the protocol-fixed [`proto::sketch_params`] and the request's seed,
+//! so a client can reproduce a served answer bit-for-bit with
+//! [`qid_core::stream::sketch_from_stream`] on the same data:
+//!
+//! ```
+//! use qid_server::{proto::sketch_params, Request, Response};
+//!
+//! let request = Request::decode(
+//!     r#"{"cmd":"sketch","path":"data.csv","eps":0.01,"seed":7,"attrs":["zip","age"]}"#,
+//! )
+//! .unwrap();
+//! assert_eq!(request.command_name(), "sketch");
+//!
+//! // A dense subset gets an estimate; a near-key answers "small".
+//! let reply = Response::Sketch {
+//!     attrs: vec!["zip".into(), "age".into()],
+//!     estimate: Some(152_310.0), // Γ̂ ∈ (1±rel_error)·Γ w.h.p.
+//!     raw_pairs: 1902,
+//!     sample_pairs: 4159,
+//!     alpha: sketch_params().alpha,
+//!     rel_error: sketch_params().eps,
+//!     k: sketch_params().k,
+//! };
+//! let line = reply.encode();
+//! assert!(line.contains(r#""kind":"sketch""#));
+//! assert!(line.contains(r#""small":false"#));
 //! assert_eq!(Response::decode(&line).unwrap(), reply);
 //! ```
 //!
@@ -93,7 +133,7 @@ pub mod server;
 
 pub use client::Client;
 pub use pool::WorkerPool;
-pub use proto::{DatasetRef, LoadMode, MetricsReport, Request, Response};
-pub use registry::{Registry, RegistryConfig, RegistrySnapshot};
+pub use proto::{sketch_params, DatasetRef, LoadMode, MetricsReport, Request, Response};
+pub use registry::{CacheKey, Registry, RegistryConfig, RegistrySnapshot};
 pub use resolve::{resolve_attr_names, split_attr_spec, ResolvedAttrs};
 pub use server::{handle_request, RunningServer, Server, ServerConfig, ServerState};

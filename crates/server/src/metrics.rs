@@ -22,8 +22,11 @@ use crate::proto::{CommandStats, MetricsReport};
 use crate::registry::RegistrySnapshot;
 
 /// Wire names of all commands, in the fixed order `metrics` reports.
-pub const COMMAND_NAMES: [&str; 9] = [
-    "load", "audit", "key", "check", "mask", "stats", "unload", "metrics", "shutdown",
+/// Batch sub-commands are recorded under their own names *and* the
+/// enclosing line under `batch`.
+pub const COMMAND_NAMES: [&str; 11] = [
+    "load", "audit", "key", "check", "sketch", "mask", "stats", "batch", "unload", "metrics",
+    "shutdown",
 ];
 
 /// Buckets per command histogram: powers of two from 1 µs up to
@@ -152,6 +155,7 @@ impl Metrics {
             cache_disk_hits: registry.disk_hits,
             cache_evictions: registry.evictions,
             cache_stale_rebuilds: registry.stale_rebuilds,
+            cache_upgrades: registry.upgrades,
             cache_bytes: registry.resident_bytes,
             datasets: registry.datasets,
             commands: self.command_stats(),
@@ -188,6 +192,7 @@ mod tests {
             disk_hits: 1,
             evictions: 3,
             stale_rebuilds: 4,
+            upgrades: 2,
             resident_bytes: 640,
             datasets: 1,
         });
@@ -196,6 +201,7 @@ mod tests {
         assert_eq!(r.cache_disk_hits, 1);
         assert_eq!(r.cache_evictions, 3);
         assert_eq!(r.cache_stale_rebuilds, 4);
+        assert_eq!(r.cache_upgrades, 2);
         assert_eq!(r.cache_bytes, 640);
         assert_eq!(r.datasets, 1);
         assert_eq!(r.commands.len(), COMMAND_NAMES.len());

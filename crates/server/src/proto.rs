@@ -6,6 +6,16 @@
 //! sketch. Unknown fields are ignored; missing optional fields take the
 //! CLI's defaults, so hand-written `echo '{"cmd":"stats",...}' | nc`
 //! sessions work.
+//!
+//! Two commands are composite: `sketch` queries the registry-cached
+//! [`NonSeparationSketch`](qid_core::sketch::NonSeparationSketch)
+//! (Theorem 2's Γ-estimates, built with the fixed [`sketch_params`]),
+//! and `batch` carries an array of sub-commands answered as an array of
+//! responses on one line — one registry resolution per distinct dataset
+//! key, so `k` queries cost one lookup plus `k` sample-sized
+//! computations.
+
+use qid_core::sketch::SketchParams;
 
 use crate::json::{self, obj, s, Json};
 
@@ -17,6 +27,24 @@ pub const DEFAULT_SEED: u64 = 7;
 pub const DEFAULT_MAX_KEY_SIZE: usize = 3;
 /// Default adversary budget for `mask`.
 pub const DEFAULT_BUDGET: usize = 2;
+
+/// Density threshold α of the served non-separation sketch: estimates
+/// are promised whenever `Γ_A ≥ α·C(n,2)`.
+pub const SKETCH_ALPHA: f64 = 0.1;
+/// Relative accuracy ε of the served sketch's estimates (`(1±ε)·Γ_A`).
+pub const SKETCH_REL_EPS: f64 = 0.1;
+/// Maximum query subset size `k` the served sketch's for-all guarantee
+/// covers (larger subsets are answered best-effort).
+pub const SKETCH_K: usize = 3;
+
+/// The fixed parameters of every served [`sketch`](Request::Sketch)
+/// answer. They are part of the protocol contract (the response quotes
+/// them back), so a client can reproduce a served answer exactly with
+/// `sketch_from_stream(source, sketch_params(), seed)` on the same
+/// data and seed.
+pub fn sketch_params() -> SketchParams {
+    SketchParams::new(SKETCH_ALPHA, SKETCH_REL_EPS, SKETCH_K)
+}
 
 /// The registry cache key a request addresses: which file, sampled how.
 #[derive(Clone, Debug, PartialEq)]
@@ -32,9 +60,10 @@ pub struct DatasetRef {
 /// How `load` should materialise the dataset.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LoadMode {
-    /// Read the whole CSV into memory (enables `stats` and `mask`).
+    /// Read the whole CSV into memory (exact `stats`, full-data `mask`).
     Memory,
-    /// One-pass reservoir build: keep only the `Θ(m/√ε)` sample.
+    /// One-pass reservoir build: keep only the `Θ(m/√ε)` sample (plus
+    /// per-column distinct-count sketches for `stats`).
     Stream,
 }
 
@@ -67,17 +96,34 @@ pub enum Request {
         /// Attribute names (or indices as strings).
         attrs: Vec<String>,
     },
-    /// Plan attribute suppression (requires a memory-loaded dataset).
+    /// Query the cached non-separation sketch (Theorem 2): the
+    /// Γ-estimate for one attribute set.
+    Sketch {
+        /// Cache key.
+        ds: DatasetRef,
+        /// Attribute names (or indices as strings).
+        attrs: Vec<String>,
+    },
+    /// Plan attribute suppression (on the full data when materialised,
+    /// on the cached sample otherwise).
     Mask {
         /// Cache key.
         ds: DatasetRef,
         /// Adversary budget: defeat keys of at most this size.
         budget: usize,
     },
-    /// Per-attribute cardinalities (requires a memory-loaded dataset).
+    /// Per-attribute cardinalities (exact on a materialised dataset,
+    /// KMV estimates on a stream-mode entry).
     Stats {
         /// Cache key.
         ds: DatasetRef,
+    },
+    /// An array of sub-commands answered as an array, with one registry
+    /// resolution per distinct dataset key. `batch` and `shutdown` are
+    /// not allowed as sub-commands.
+    Batch {
+        /// The sub-commands, answered in order.
+        requests: Vec<Request>,
     },
     /// Drop a registry entry (resident and persisted) explicitly.
     Unload {
@@ -99,16 +145,19 @@ impl Request {
             Request::Audit { .. } => "audit",
             Request::Key { .. } => "key",
             Request::Check { .. } => "check",
+            Request::Sketch { .. } => "sketch",
             Request::Mask { .. } => "mask",
             Request::Stats { .. } => "stats",
+            Request::Batch { .. } => "batch",
             Request::Unload { .. } => "unload",
             Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
         }
     }
 
-    /// Serialises the request to its one-line wire form (no newline).
-    pub fn encode(&self) -> String {
+    /// The request as a JSON value (what [`Request::encode`] renders;
+    /// also how `batch` nests its sub-commands).
+    pub fn to_json(&self) -> Json {
         let mut pairs: Vec<(&str, Json)> = vec![("cmd", s(self.command_name()))];
         let push_ds = |pairs: &mut Vec<(&str, Json)>, ds: &DatasetRef| {
             pairs.push(("path", s(&ds.path)));
@@ -133,7 +182,7 @@ impl Request {
             Request::Key { ds } | Request::Stats { ds } | Request::Unload { ds } => {
                 push_ds(&mut pairs, ds)
             }
-            Request::Check { ds, attrs } => {
+            Request::Check { ds, attrs } | Request::Sketch { ds, attrs } => {
                 push_ds(&mut pairs, ds);
                 pairs.push(("attrs", Json::Arr(attrs.iter().map(s).collect())));
             }
@@ -141,14 +190,33 @@ impl Request {
                 push_ds(&mut pairs, ds);
                 pairs.push(("budget", Json::Int(*budget as i64)));
             }
+            Request::Batch { requests } => {
+                pairs.push((
+                    "requests",
+                    Json::Arr(requests.iter().map(Request::to_json).collect()),
+                ));
+            }
             Request::Metrics | Request::Shutdown => {}
         }
-        obj(pairs).render()
+        obj(pairs)
+    }
+
+    /// Serialises the request to its one-line wire form (no newline).
+    pub fn encode(&self) -> String {
+        self.to_json().render()
     }
 
     /// Parses one request line.
     pub fn decode(line: &str) -> Result<Request, String> {
-        let v = json::parse(line)?;
+        Self::from_json(&json::parse(line)?, true)
+    }
+
+    /// Builds a request from a parsed JSON value. `allow_composite`
+    /// gates `batch`/`shutdown`: sub-commands of a batch may be
+    /// neither (a nested batch would allow unbounded amplification, and
+    /// a shutdown buried in a batch could not be acknowledged in
+    /// order).
+    fn from_json(v: &Json, allow_composite: bool) -> Result<Request, String> {
         let cmd = v
             .get("cmd")
             .and_then(Json::as_str)
@@ -182,6 +250,18 @@ impl Request {
                 seed,
             })
         };
+        let str_arr = |field: &str| -> Result<Vec<String>, String> {
+            v.get(field)
+                .and_then(Json::as_arr)
+                .ok_or(format!("{cmd} needs an {field:?} array"))?
+                .iter()
+                .map(|a| {
+                    a.as_str()
+                        .map(str::to_string)
+                        .ok_or(format!("{field} must be strings"))
+                })
+                .collect()
+        };
         match cmd {
             "load" => {
                 let mode = match v.get("mode").and_then(Json::as_str) {
@@ -189,41 +269,46 @@ impl Request {
                     Some("stream") => LoadMode::Stream,
                     Some(other) => return Err(format!("unknown load mode {other:?}")),
                 };
-                Ok(Request::Load { ds: ds(&v)?, mode })
+                Ok(Request::Load { ds: ds(v)?, mode })
             }
             "audit" => Ok(Request::Audit {
-                ds: ds(&v)?,
+                ds: ds(v)?,
                 max_key_size: v
                     .get("max_key_size")
                     .and_then(Json::as_usize)
                     .unwrap_or(DEFAULT_MAX_KEY_SIZE),
             }),
-            "key" => Ok(Request::Key { ds: ds(&v)? }),
-            "check" => {
-                let attrs = v
-                    .get("attrs")
-                    .and_then(Json::as_arr)
-                    .ok_or("check needs an \"attrs\" array")?
-                    .iter()
-                    .map(|a| {
-                        a.as_str()
-                            .map(str::to_string)
-                            .ok_or("attrs must be strings".to_string())
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
-                Ok(Request::Check { ds: ds(&v)?, attrs })
-            }
+            "key" => Ok(Request::Key { ds: ds(v)? }),
+            "check" => Ok(Request::Check {
+                ds: ds(v)?,
+                attrs: str_arr("attrs")?,
+            }),
+            "sketch" => Ok(Request::Sketch {
+                ds: ds(v)?,
+                attrs: str_arr("attrs")?,
+            }),
             "mask" => Ok(Request::Mask {
-                ds: ds(&v)?,
+                ds: ds(v)?,
                 budget: v
                     .get("budget")
                     .and_then(Json::as_usize)
                     .unwrap_or(DEFAULT_BUDGET),
             }),
-            "stats" => Ok(Request::Stats { ds: ds(&v)? }),
-            "unload" => Ok(Request::Unload { ds: ds(&v)? }),
+            "stats" => Ok(Request::Stats { ds: ds(v)? }),
+            "batch" if allow_composite => {
+                let requests = v
+                    .get("requests")
+                    .and_then(Json::as_arr)
+                    .ok_or("batch needs a \"requests\" array")?
+                    .iter()
+                    .map(|sub| Request::from_json(sub, false))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::Batch { requests })
+            }
+            "unload" => Ok(Request::Unload { ds: ds(v)? }),
             "metrics" => Ok(Request::Metrics),
-            "shutdown" => Ok(Request::Shutdown),
+            "shutdown" if allow_composite => Ok(Request::Shutdown),
+            "batch" | "shutdown" => Err(format!("{cmd:?} is not allowed as a batch sub-command")),
             other => Err(format!("unknown command {other:?}")),
         }
     }
@@ -257,16 +342,20 @@ pub struct MetricsReport {
     /// Registry lookups answered from a resident entry.
     pub cache_hits: u64,
     /// Registry lookups that scanned a source file (cold builds, stale
-    /// rebuilds, materialisation upgrades).
+    /// rebuilds, materialisation upgrades, sketch builds).
     pub cache_misses: u64,
-    /// Registry lookups answered by restoring a persisted sample from
+    /// Registry lookups answered by restoring a persisted artifact from
     /// the `--cache-dir` warm tier (no source scan).
     pub cache_disk_hits: u64,
     /// Entries evicted under `--cache-bytes` budget pressure.
     pub cache_evictions: u64,
     /// Rebuilds forced by a source-file mtime/len change.
     pub cache_stale_rebuilds: u64,
-    /// Current resident bytes across all cached entries.
+    /// Sample-only entries upgraded to a fully materialised dataset
+    /// (each upgrade is also counted as a miss — it re-scans).
+    pub cache_upgrades: u64,
+    /// Current resident bytes across all cached entries (samples,
+    /// column sketches, non-separation sketches, materialised codes).
     pub cache_bytes: u64,
     /// Entries currently resident in the registry.
     pub datasets: usize,
@@ -310,19 +399,55 @@ pub enum Response {
         /// True = Accept (candidate ε-separation key).
         accept: bool,
     },
+    /// `sketch` outcome: the Theorem 2 Γ-estimate for one attribute
+    /// set, from the cached non-separation sketch.
+    Sketch {
+        /// The resolved attribute names that were queried.
+        attrs: Vec<String>,
+        /// `Γ̂_A`, the estimated number of unseparated pairs — `None`
+        /// when the raw count falls below the α-threshold ("small": the
+        /// set is close to a key).
+        estimate: Option<f64>,
+        /// The raw count `D_A`: stored pairs the set fails to separate.
+        raw_pairs: usize,
+        /// Stored pair-sample size `s`.
+        sample_pairs: usize,
+        /// The sketch's density threshold α (see [`SKETCH_ALPHA`]).
+        alpha: f64,
+        /// The estimate's relative error bound ε: estimates are within
+        /// `(1±ε)·Γ_A` w.h.p. for subsets of size ≤ `k`.
+        rel_error: f64,
+        /// The subset-size bound `k` of the for-all guarantee.
+        k: usize,
+    },
     /// `mask` outcome.
     Mask {
         /// Attribute names to suppress, in suppression order.
         suppressed: Vec<String>,
         /// Smallest residual key size, if any identifying set remains.
         residual_key_size: Option<usize>,
+        /// True when the plan was computed against the full
+        /// materialised dataset; false when it was planned on the
+        /// entry's retained `Θ(m/√ε)` sample (stream-mode entry). The
+        /// same request can legitimately answer either way depending
+        /// on cache residency, so the basis is part of the answer.
+        full_data: bool,
     },
     /// `stats` outcome.
     Stats {
         /// Row count.
         rows: usize,
+        /// True when distinct counts are exact (materialised dataset);
+        /// false when they are KMV estimates from the stream sketch.
+        exact: bool,
         /// `(name, distinct values)` per attribute.
         columns: Vec<(String, usize)>,
+    },
+    /// `batch` outcome: one response per sub-command, in order.
+    Batch {
+        /// The sub-responses (errors included inline; the batch itself
+        /// is `ok`).
+        results: Vec<Response>,
     },
     /// `unload` outcome.
     Unloaded {
@@ -341,9 +466,10 @@ pub enum Response {
 }
 
 impl Response {
-    /// Serialises the response to its one-line wire form (no newline).
-    pub fn encode(&self) -> String {
-        let body = match self {
+    /// The response as a JSON value (what [`Response::encode`] renders;
+    /// also how `batch` nests its results).
+    pub fn to_json(&self) -> Json {
+        match self {
             Response::Loaded {
                 rows,
                 attrs,
@@ -386,9 +512,30 @@ impl Response {
                 ("attrs", Json::Arr(attrs.iter().map(s).collect())),
                 ("accept", Json::Bool(*accept)),
             ]),
+            Response::Sketch {
+                attrs,
+                estimate,
+                raw_pairs,
+                sample_pairs,
+                alpha,
+                rel_error,
+                k,
+            } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", s("sketch")),
+                ("attrs", Json::Arr(attrs.iter().map(s).collect())),
+                ("small", Json::Bool(estimate.is_none())),
+                ("estimate", estimate.map_or(Json::Null, Json::Num)),
+                ("raw_pairs", Json::Int(*raw_pairs as i64)),
+                ("sample_pairs", Json::Int(*sample_pairs as i64)),
+                ("alpha", Json::Num(*alpha)),
+                ("rel_error", Json::Num(*rel_error)),
+                ("k", Json::Int(*k as i64)),
+            ]),
             Response::Mask {
                 suppressed,
                 residual_key_size,
+                full_data,
             } => obj(vec![
                 ("ok", Json::Bool(true)),
                 ("kind", s("mask")),
@@ -397,11 +544,17 @@ impl Response {
                     "residual_key_size",
                     residual_key_size.map_or(Json::Null, |k| Json::Int(k as i64)),
                 ),
+                ("full_data", Json::Bool(*full_data)),
             ]),
-            Response::Stats { rows, columns } => obj(vec![
+            Response::Stats {
+                rows,
+                exact,
+                columns,
+            } => obj(vec![
                 ("ok", Json::Bool(true)),
                 ("kind", s("stats")),
                 ("rows", Json::Int(*rows as i64)),
+                ("exact", Json::Bool(*exact)),
                 (
                     "columns",
                     Json::Arr(
@@ -415,6 +568,14 @@ impl Response {
                             })
                             .collect(),
                     ),
+                ),
+            ]),
+            Response::Batch { results } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", s("batch")),
+                (
+                    "results",
+                    Json::Arr(results.iter().map(Response::to_json).collect()),
                 ),
             ]),
             Response::Unloaded { existed } => obj(vec![
@@ -433,6 +594,7 @@ impl Response {
                     "cache_stale_rebuilds",
                     Json::Int(report.cache_stale_rebuilds as i64),
                 ),
+                ("cache_upgrades", Json::Int(report.cache_upgrades as i64)),
                 ("cache_bytes", Json::Int(report.cache_bytes as i64)),
                 ("datasets", Json::Int(report.datasets as i64)),
                 (
@@ -461,13 +623,22 @@ impl Response {
                 ("kind", s("error")),
                 ("error", s(message)),
             ]),
-        };
-        body.render()
+        }
+    }
+
+    /// Serialises the response to its one-line wire form (no newline).
+    pub fn encode(&self) -> String {
+        self.to_json().render()
     }
 
     /// Parses one response line.
     pub fn decode(line: &str) -> Result<Response, String> {
-        let v = json::parse(line)?;
+        Self::from_json(&json::parse(line)?)
+    }
+
+    /// Builds a response from a parsed JSON value (recursing into
+    /// `batch` results).
+    fn from_json(v: &Json) -> Result<Response, String> {
         let kind = v
             .get("kind")
             .and_then(Json::as_str)
@@ -534,9 +705,26 @@ impl Response {
                     .and_then(Json::as_bool)
                     .ok_or("check response needs a bool \"accept\"")?,
             }),
+            "sketch" => Ok(Response::Sketch {
+                attrs: str_arr("attrs")?,
+                estimate: v.get("estimate").and_then(Json::as_f64),
+                raw_pairs: usize_field("raw_pairs")?,
+                sample_pairs: usize_field("sample_pairs")?,
+                alpha: v
+                    .get("alpha")
+                    .and_then(Json::as_f64)
+                    .ok_or("sketch response needs a number \"alpha\"")?,
+                rel_error: v
+                    .get("rel_error")
+                    .and_then(Json::as_f64)
+                    .ok_or("sketch response needs a number \"rel_error\"")?,
+                k: usize_field("k")?,
+            }),
             "mask" => Ok(Response::Mask {
                 suppressed: str_arr("suppressed")?,
                 residual_key_size: v.get("residual_key_size").and_then(Json::as_usize),
+                // Pre-sketch servers only ever masked materialised data.
+                full_data: v.get("full_data").and_then(Json::as_bool).unwrap_or(true),
             }),
             "stats" => {
                 let columns = v
@@ -559,8 +747,19 @@ impl Response {
                     .collect::<Result<Vec<_>, String>>()?;
                 Ok(Response::Stats {
                     rows: usize_field("rows")?,
+                    exact: v.get("exact").and_then(Json::as_bool).unwrap_or(true),
                     columns,
                 })
+            }
+            "batch" => {
+                let results = v
+                    .get("results")
+                    .and_then(Json::as_arr)
+                    .ok_or("batch response needs a \"results\" array")?
+                    .iter()
+                    .map(Response::from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::Batch { results })
             }
             "unloaded" => Ok(Response::Unloaded {
                 existed: v.get("existed").and_then(Json::as_bool).unwrap_or(false),
@@ -593,6 +792,7 @@ impl Response {
                     cache_disk_hits: u64_field("cache_disk_hits"),
                     cache_evictions: u64_field("cache_evictions"),
                     cache_stale_rebuilds: u64_field("cache_stale_rebuilds"),
+                    cache_upgrades: u64_field("cache_upgrades"),
                     cache_bytes: u64_field("cache_bytes"),
                     datasets: v.get("datasets").and_then(Json::as_usize).unwrap_or(0),
                     commands,
@@ -639,11 +839,24 @@ mod tests {
                 ds: ds(),
                 attrs: vec!["zip".into(), "age".into()],
             },
+            Request::Sketch {
+                ds: ds(),
+                attrs: vec!["zip".into()],
+            },
             Request::Mask {
                 ds: ds(),
                 budget: 2,
             },
             Request::Stats { ds: ds() },
+            Request::Batch {
+                requests: vec![
+                    Request::Check {
+                        ds: ds(),
+                        attrs: vec!["zip".into()],
+                    },
+                    Request::Metrics,
+                ],
+            },
             Request::Unload { ds: ds() },
             Request::Metrics,
             Request::Shutdown,
@@ -679,17 +892,54 @@ mod tests {
                 attrs: vec!["sex".into()],
                 accept: false,
             },
+            Response::Sketch {
+                attrs: vec!["sex".into()],
+                estimate: Some(159800.5),
+                raw_pairs: 2051,
+                sample_pairs: 4159,
+                alpha: SKETCH_ALPHA,
+                rel_error: SKETCH_REL_EPS,
+                k: SKETCH_K,
+            },
+            Response::Sketch {
+                attrs: vec!["id".into()],
+                estimate: None,
+                raw_pairs: 0,
+                sample_pairs: 4159,
+                alpha: SKETCH_ALPHA,
+                rel_error: SKETCH_REL_EPS,
+                k: SKETCH_K,
+            },
             Response::Mask {
                 suppressed: vec!["id".into()],
                 residual_key_size: None,
+                full_data: true,
             },
             Response::Mask {
                 suppressed: vec![],
                 residual_key_size: Some(3),
+                full_data: false,
             },
             Response::Stats {
                 rows: 800,
+                exact: true,
                 columns: vec![("id".into(), 800), ("sex".into(), 2)],
+            },
+            Response::Stats {
+                rows: 800,
+                exact: false,
+                columns: vec![("id".into(), 793)],
+            },
+            Response::Batch {
+                results: vec![
+                    Response::Check {
+                        attrs: vec!["id".into()],
+                        accept: true,
+                    },
+                    Response::Error {
+                        message: "unknown attribute".into(),
+                    },
+                ],
             },
             Response::Unloaded { existed: true },
             Response::Unloaded { existed: false },
@@ -699,6 +949,7 @@ mod tests {
                 cache_disk_hits: 2,
                 cache_evictions: 1,
                 cache_stale_rebuilds: 1,
+                cache_upgrades: 1,
                 cache_bytes: 4096,
                 datasets: 1,
                 commands: vec![CommandStats {
@@ -764,10 +1015,52 @@ mod tests {
             r#"{"cmd":"audit"}"#,
             r#"{"cmd":"unload"}"#,
             r#"{"cmd":"check","path":"a.csv"}"#,
+            r#"{"cmd":"sketch","path":"a.csv"}"#,
             r#"{"cmd":"load","path":"a.csv","mode":"warp"}"#,
+            r#"{"cmd":"batch"}"#,
+            r#"{"cmd":"batch","requests":[{"cmd":"key"}]}"#,
         ] {
             assert!(Request::decode(line).is_err(), "should reject {line:?}");
         }
+    }
+
+    #[test]
+    fn batches_cannot_nest_or_shut_down() {
+        let nested = r#"{"cmd":"batch","requests":[{"cmd":"batch","requests":[]}]}"#;
+        let err = Request::decode(nested).unwrap_err();
+        assert!(err.contains("batch"), "{err}");
+        let shutdown = r#"{"cmd":"batch","requests":[{"cmd":"shutdown"}]}"#;
+        let err = Request::decode(shutdown).unwrap_err();
+        assert!(err.contains("shutdown"), "{err}");
+        // An empty batch is well-formed (and answered with an empty
+        // results array).
+        assert_eq!(
+            Request::decode(r#"{"cmd":"batch","requests":[]}"#).unwrap(),
+            Request::Batch { requests: vec![] }
+        );
+    }
+
+    #[test]
+    fn sketch_params_match_the_advertised_contract() {
+        let p = sketch_params();
+        assert_eq!(p.alpha, SKETCH_ALPHA);
+        assert_eq!(p.eps, SKETCH_REL_EPS);
+        assert_eq!(p.k, SKETCH_K);
+    }
+
+    #[test]
+    fn stats_exact_defaults_true_for_old_peers() {
+        // A stats line from a pre-sketch server has no "exact" field;
+        // those servers only ever answered from materialised data.
+        let resp = Response::decode(r#"{"ok":true,"kind":"stats","rows":2,"columns":[]}"#).unwrap();
+        assert_eq!(
+            resp,
+            Response::Stats {
+                rows: 2,
+                exact: true,
+                columns: vec![]
+            }
+        );
     }
 
     #[test]

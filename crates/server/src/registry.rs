@@ -57,12 +57,19 @@ use std::sync::{Arc, OnceLock, RwLock};
 use std::time::UNIX_EPOCH;
 
 use qid_core::filter::{FilterParams, SeparationFilter, TupleSampleFilter};
-use qid_core::stream::tuple_filter_from_stream;
+use qid_core::sketch::{DistinctSketch, NonSeparationSketch, SketchParams};
+use qid_core::stream::{sketch_from_stream, tuple_filter_from_stream};
 use qid_dataset::csv::{read_csv_path, read_csv_str, write_csv, CsvOptions, CsvTupleSource};
-use qid_dataset::{AttrId, Dataset, TupleSource};
+use qid_dataset::{AttrId, Dataset, DatasetError, DatasetTupleSource, TupleSource, Value};
 
 use crate::json::{self, obj, s, Json};
-use crate::proto::{DatasetRef, LoadMode};
+use crate::proto::{sketch_params, DatasetRef, LoadMode};
+
+/// Retention parameter `k` of the per-column [`DistinctSketch`]s built
+/// for stream-mode entries: `stats` answers are exact below `k`
+/// distinct values per column and `(1 ± O(1/√k)) ≈ ±6%` estimates
+/// above, at `≤ 8·k` bytes per column.
+pub const COLUMN_SKETCH_K: usize = 256;
 
 /// The registry's exact cache identity. `eps` is keyed by bit pattern
 /// (the wire carries the same `f64` both ways, so equal requests hash
@@ -144,7 +151,10 @@ impl SourceStat {
     }
 }
 
-/// The artifacts cached for one dataset.
+/// The artifacts cached for one dataset: the tuple sample (Theorem 1),
+/// the per-column distinct-count sketches, the lazily built
+/// non-separation sketch (Theorem 2), and — for memory-mode loads —
+/// the materialised dataset.
 #[derive(Debug)]
 pub struct Entry {
     /// The resident tuple-sample filter (always present).
@@ -152,37 +162,69 @@ pub struct Entry {
     /// The fully materialised dataset — `None` for stream-mode loads
     /// and disk-restored entries, where only the sample is kept.
     pub dataset: Option<Dataset>,
+    /// Per-column KMV distinct-count sketches (one per attribute, in
+    /// schema order), built during the loading pass so `stats` can
+    /// answer without materialising. `None` only for entries restored
+    /// from a pre-sketch persisted meta.
+    pub cols: Option<Vec<DistinctSketch>>,
     /// Rows seen when the entry was built (stream length or `n_rows`).
     pub rows: usize,
     /// Attribute count.
     pub attrs: usize,
-    /// Approximate resident bytes: the sketch plus the materialised
-    /// dataset's column codes, if any. This is what LRU eviction
-    /// charges against [`RegistryConfig::cache_bytes`].
+    /// Approximate resident bytes at build time: the sample, the
+    /// column sketches, and the materialised dataset's codes, if any.
+    /// Together with the lazily added non-separation sketch bytes this
+    /// is what LRU eviction charges against
+    /// [`RegistryConfig::cache_bytes`].
     pub stored_bytes: usize,
     /// Source-file stat captured *before* the building scan, so a file
     /// rewritten mid-scan still reads as changed on the next hit.
     /// `None` when the source could not be statted.
     pub source: Option<SourceStat>,
+    /// The lazily built Theorem 2 sketch: written once (concurrent
+    /// `sketch` queries collapse onto one build), dropped with the
+    /// entry.
+    sketch_cell: OnceLock<Result<Arc<NonSeparationSketch>, String>>,
+    /// Bytes the built sketch adds to the resident total; swapped to 0
+    /// exactly once when the bytes are released (eviction, unload, or
+    /// reclaim after a lost race), so the accounting never
+    /// double-subtracts.
+    sketch_bytes: std::sync::atomic::AtomicUsize,
 }
 
 impl Entry {
     fn new(
         filter: TupleSampleFilter,
         dataset: Option<Dataset>,
+        cols: Option<Vec<DistinctSketch>>,
         rows: usize,
         attrs: usize,
         source: Option<SourceStat>,
     ) -> Entry {
-        let stored_bytes = filter.stored_bytes() + dataset.as_ref().map_or(0, |ds| ds.code_bytes());
+        let stored_bytes = filter.stored_bytes()
+            + dataset.as_ref().map_or(0, |ds| ds.code_bytes())
+            + cols
+                .as_ref()
+                .map_or(0, |cs| cs.iter().map(DistinctSketch::stored_bytes).sum());
         Entry {
             filter,
             dataset,
+            cols,
             rows,
             attrs,
             stored_bytes,
             source,
+            sketch_cell: OnceLock::new(),
+            sketch_bytes: std::sync::atomic::AtomicUsize::new(0),
         }
+    }
+
+    /// The cached non-separation sketch, if one has been built for this
+    /// entry (see [`Registry::sketch_for`]).
+    pub fn sketch(&self) -> Option<Arc<NonSeparationSketch>> {
+        self.sketch_cell
+            .get()
+            .and_then(|r| r.as_ref().ok().cloned())
     }
 }
 
@@ -238,7 +280,11 @@ pub struct RegistrySnapshot {
     pub evictions: u64,
     /// Rebuilds forced by a source mtime/len change.
     pub stale_rebuilds: u64,
-    /// Current resident total of [`Entry::stored_bytes`].
+    /// Sample-only entries upgraded to a materialised dataset (each is
+    /// also a miss — the upgrade re-scans the source).
+    pub upgrades: u64,
+    /// Current resident total: every entry's [`Entry::stored_bytes`]
+    /// plus its built non-separation sketch, if any.
     pub resident_bytes: u64,
     /// Entries currently resident.
     pub datasets: usize,
@@ -257,6 +303,7 @@ pub struct Registry {
     disk_hits: AtomicU64,
     evictions: AtomicU64,
     stale_rebuilds: AtomicU64,
+    upgrades: AtomicU64,
 }
 
 impl Default for Registry {
@@ -290,6 +337,7 @@ impl Registry {
             disk_hits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             stale_rebuilds: AtomicU64::new(0),
+            upgrades: AtomicU64::new(0),
         }
     }
 
@@ -402,6 +450,9 @@ impl Registry {
                             .get()
                             .is_some_and(|r| !r.as_ref().is_ok_and(|e| e.dataset.is_some()))
                     });
+                    if we_swapped {
+                        self.upgrades.fetch_add(1, Ordering::Relaxed);
+                    }
                     if we_swapped && hit {
                         // Reclassify: the cached entry was unusable
                         // and we are the one paying the re-scan.
@@ -420,6 +471,123 @@ impl Registry {
                 other => return (other, hit),
             }
         }
+    }
+
+    /// Returns the entry's Theorem 2 [`NonSeparationSketch`], building
+    /// it on first use (with the protocol-fixed
+    /// [`crate::proto::sketch_params`] and the entry's
+    /// seed).
+    ///
+    /// Concurrent callers collapse onto one build via the entry's
+    /// `OnceLock`, exactly like cold sample builds. The build source
+    /// is, in order of preference: the persisted pair sample from the
+    /// disk tier (`cache_disk_hits`), the resident materialised
+    /// dataset (no I/O at all), or a fresh one-pass scan of the source
+    /// CSV (`cache_misses`). All three produce the *same* sketch —
+    /// the streaming builder is the single definition, and the
+    /// materialised dataset preserves source row order — so answers
+    /// never depend on how the entry happens to be resident.
+    ///
+    /// A failed build is cached on the entry (the slot is written
+    /// once); the error clears when the entry itself is rebuilt
+    /// (stale source) or dropped (`unload`).
+    pub fn sketch_for(
+        &self,
+        ds: &DatasetRef,
+        entry: &Arc<Entry>,
+    ) -> Result<Arc<NonSeparationSketch>, String> {
+        let key = CacheKey::of(ds);
+        let result = entry
+            .sketch_cell
+            .get_or_init(|| {
+                let params = sketch_params();
+                if entry.dataset.is_none() {
+                    if let Some(sk) = self.try_restore_sketch(&key, entry, params) {
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(self.admit_sketch(entry, sk, &key, false, params));
+                    }
+                }
+                let built = match &entry.dataset {
+                    Some(dataset) => {
+                        let mut src = DatasetTupleSource::new(dataset);
+                        sketch_from_stream(&mut src, params, ds.seed)
+                            .map_err(|e: DatasetError| e.to_string())?
+                    }
+                    None => {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        let sk = CsvTupleSource::open(&key.path, &CsvOptions::default())
+                            .map_err(|e| format!("reading {}: {e}", key.path))
+                            .and_then(|mut src| {
+                                sketch_from_stream(&mut src, params, ds.seed)
+                                    .map_err(|e| format!("streaming {}: {e}", key.path))
+                            })?;
+                        // The sample and the sketch must describe the
+                        // same data: if the source changed between the
+                        // entry build and this scan, fail now — the
+                        // stat-on-hit check will rebuild the entry
+                        // (and with it this cell) on the next lookup.
+                        if SourceStat::of(&key.path) != entry.source {
+                            return Err(format!(
+                                "{} changed while the sketch was building; retry",
+                                key.path
+                            ));
+                        }
+                        sk
+                    }
+                };
+                Ok(self.admit_sketch(entry, built, &key, true, params))
+            })
+            .clone();
+        self.enforce_budget(&key);
+        // If the entry lost its slot while the sketch was building
+        // (eviction, unload, stale swap), reclaim the bytes the build
+        // charged; the swap-to-zero protocol guarantees exactly one of
+        // this branch and `forget_bytes` wins.
+        let still_resident = self
+            .shard(&key)
+            .read()
+            .expect("shard lock")
+            .get(&key)
+            .is_some_and(|slot| {
+                slot.cell
+                    .get()
+                    .is_some_and(|r| r.as_ref().is_ok_and(|e| Arc::ptr_eq(e, entry)))
+            });
+        if !still_resident {
+            let orphaned = entry.sketch_bytes.swap(0, Ordering::SeqCst);
+            if orphaned > 0 {
+                self.resident_bytes
+                    .fetch_sub(orphaned as u64, Ordering::SeqCst);
+            }
+        }
+        result
+    }
+
+    /// Books a freshly built (or restored) sketch into the byte
+    /// accounting, persists it if configured, and wraps it for the
+    /// cell. The resident total is bumped *before* the per-entry byte
+    /// count becomes visible, so a concurrent `forget_bytes` can never
+    /// subtract bytes that were not yet added.
+    fn admit_sketch(
+        &self,
+        entry: &Entry,
+        sketch: NonSeparationSketch,
+        key: &CacheKey,
+        persist: bool,
+        params: SketchParams,
+    ) -> Arc<NonSeparationSketch> {
+        let sketch = Arc::new(sketch);
+        let bytes = sketch.stored_bytes();
+        self.resident_bytes
+            .fetch_add(bytes as u64, Ordering::SeqCst);
+        entry.sketch_bytes.store(bytes, Ordering::SeqCst);
+        if persist {
+            if let Some(dir) = &self.config.cache_dir {
+                // Best-effort, like sample persistence.
+                let _ = persist_sketch(dir, key, entry, &sketch, params);
+            }
+        }
+        sketch
     }
 
     /// Drops the resident entry and its persisted files, if any.
@@ -441,7 +609,12 @@ impl Registry {
         };
         let mut removed_disk = false;
         if let Some(dir) = &self.config.cache_dir {
-            for path in [meta_path(dir, &key), sample_path(dir, &key)] {
+            for path in [
+                meta_path(dir, &key),
+                sample_path(dir, &key),
+                pairs_meta_path(dir, &key),
+                pairs_path(dir, &key),
+            ] {
                 removed_disk |= std::fs::remove_file(path).is_ok();
             }
         }
@@ -484,6 +657,7 @@ impl Registry {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             stale_rebuilds: self.stale_rebuilds.load(Ordering::Relaxed),
+            upgrades: self.upgrades.load(Ordering::Relaxed),
             resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
             datasets: self.len(),
         }
@@ -572,11 +746,15 @@ impl Registry {
         }
     }
 
-    /// Subtracts a removed slot's resident bytes from the total.
+    /// Subtracts a removed slot's resident bytes from the total —
+    /// including the entry's built sketch, whose byte count is swapped
+    /// to zero so a concurrent [`Registry::sketch_for`] reclaim can
+    /// never subtract it a second time.
     fn forget_bytes(&self, slot: &Slot) {
         if let Some(Ok(entry)) = slot.cell.get() {
+            let sketch = entry.sketch_bytes.swap(0, Ordering::SeqCst);
             self.resident_bytes
-                .fetch_sub(entry.stored_bytes as u64, Ordering::Relaxed);
+                .fetch_sub((entry.stored_bytes + sketch) as u64, Ordering::SeqCst);
         }
     }
 
@@ -676,20 +854,74 @@ impl Registry {
     fn try_restore(&self, key: &CacheKey, ds: &DatasetRef) -> Option<Entry> {
         let dir = self.config.cache_dir.as_ref()?;
         let meta = read_meta(&meta_path(dir, key))?;
-        if meta.path != key.path || meta.eps_bits != key.eps_bits || meta.seed != key.seed {
+        if !meta.header.matches_key(key) {
             return None; // file-stem hash collision
         }
         let now = SourceStat::of(&key.path)?;
-        if now != meta.source {
+        if now != meta.header.source {
             return None; // the source changed since the sample was taken
         }
         let sample = read_csv_path(sample_path(dir, key), &CsvOptions::default()).ok()?;
-        if sample.n_rows() != meta.sample_rows || sample.n_attrs() != meta.attrs {
+        if sample.n_rows() != meta.sample_rows || sample.n_attrs() != meta.header.attrs {
             return None;
         }
         let params = FilterParams::new(ds.eps);
         let filter = TupleSampleFilter::from_sample(sample, params);
-        Some(Entry::new(filter, None, meta.rows, meta.attrs, Some(now)))
+        let cols = meta.cols.map(|cols| {
+            cols.into_iter()
+                .map(|minima| DistinctSketch::from_minima(COLUMN_SKETCH_K, minima))
+                .collect()
+        });
+        Some(Entry::new(
+            filter,
+            None,
+            cols,
+            meta.header.rows,
+            meta.header.attrs,
+            Some(now),
+        ))
+    }
+
+    /// Attempts to restore the entry's non-separation sketch from the
+    /// persistence directory. Succeeds only if the sidecar metadata
+    /// matches the key, the protocol's current sketch parameters, the
+    /// entry's shape, and the source stat the *entry* was built
+    /// against — so a sketch from an older file version can never be
+    /// paired with a newer sample.
+    fn try_restore_sketch(
+        &self,
+        key: &CacheKey,
+        entry: &Entry,
+        params: SketchParams,
+    ) -> Option<NonSeparationSketch> {
+        let dir = self.config.cache_dir.as_ref()?;
+        let meta = read_pairs_meta(&pairs_meta_path(dir, key))?;
+        if !meta.header.matches_key(key) {
+            return None; // file-stem hash collision
+        }
+        if meta.alpha_bits != params.alpha.to_bits()
+            || meta.rel_eps_bits != params.eps.to_bits()
+            || meta.k != params.k
+            || meta.multiplier_bits != params.multiplier.to_bits()
+        {
+            return None; // the server's sketch contract changed
+        }
+        if meta.header.rows != entry.rows
+            || meta.header.attrs != entry.attrs
+            || entry.source != Some(meta.header.source)
+        {
+            return None; // sketch and sample describe different data
+        }
+        let pairs = read_csv_path(pairs_path(dir, key), &CsvOptions::default()).ok()?;
+        if pairs.n_rows() != meta.pair_rows
+            || pairs.n_attrs() != entry.attrs
+            || !pairs.n_rows().is_multiple_of(2)
+        {
+            return None;
+        }
+        Some(NonSeparationSketch::from_pair_rows(
+            pairs, entry.rows, params,
+        ))
     }
 }
 
@@ -713,14 +945,24 @@ fn build_entry(ds: &DatasetRef, canonical_path: &str, mode: LoadMode) -> Result<
                 ));
             }
             let filter = TupleSampleFilter::build(&dataset, params, ds.seed);
+            let cols = cols_from_dataset(&dataset);
             let (rows, attrs) = (dataset.n_rows(), dataset.n_attrs());
-            Ok(Entry::new(filter, Some(dataset), rows, attrs, source))
+            Ok(Entry::new(
+                filter,
+                Some(dataset),
+                Some(cols),
+                rows,
+                attrs,
+                source,
+            ))
         }
         LoadMode::Stream => {
             let mut source_rows = CsvTupleSource::open(&ds.path, &CsvOptions::default())
                 .map_err(|e| format!("reading {}: {e}", ds.path))?;
-            let filter = tuple_filter_from_stream(&mut source_rows, params, ds.seed)
+            let mut tee = CardinalityTee::new(&mut source_rows);
+            let filter = tuple_filter_from_stream(&mut tee, params, ds.seed)
                 .map_err(|e| format!("streaming {}: {e}", ds.path))?;
+            let cols = tee.into_cols();
             let rows = source_rows.rows_read();
             let attrs = source_rows.n_attrs();
             if rows < 2 || attrs == 0 {
@@ -728,8 +970,70 @@ fn build_entry(ds: &DatasetRef, canonical_path: &str, mode: LoadMode) -> Result<
                     "data set too small to analyse ({rows} rows x {attrs} attributes)"
                 ));
             }
-            Ok(Entry::new(filter, None, rows, attrs, source))
+            Ok(Entry::new(filter, None, Some(cols), rows, attrs, source))
         }
+    }
+}
+
+/// Column sketches for a materialised dataset, fed from the column
+/// dictionaries: a freshly parsed dataset's dictionary *is* its
+/// distinct value set, and KMV state depends only on that set, so this
+/// produces byte-identical sketches to streaming every row — in
+/// `O(distinct)` instead of `O(n)` per column.
+fn cols_from_dataset(ds: &Dataset) -> Vec<DistinctSketch> {
+    (0..ds.n_attrs())
+        .map(|a| {
+            let mut sk = DistinctSketch::new(COLUMN_SKETCH_K);
+            for v in ds.column(AttrId::new(a)).dict().iter() {
+                sk.observe(v);
+            }
+            sk
+        })
+        .collect()
+}
+
+/// A pass-through [`TupleSource`] that feeds every tuple's values into
+/// per-column [`DistinctSketch`]s on the way to the sample reservoir,
+/// so one streaming scan produces both artifacts.
+struct CardinalityTee<'a> {
+    inner: &'a mut dyn TupleSource,
+    cols: Vec<DistinctSketch>,
+}
+
+impl<'a> CardinalityTee<'a> {
+    fn new(inner: &'a mut dyn TupleSource) -> Self {
+        let cols = (0..inner.n_attrs())
+            .map(|_| DistinctSketch::new(COLUMN_SKETCH_K))
+            .collect();
+        CardinalityTee { inner, cols }
+    }
+
+    fn into_cols(self) -> Vec<DistinctSketch> {
+        self.cols
+    }
+}
+
+impl TupleSource for CardinalityTee<'_> {
+    fn attr_names(&self) -> Vec<String> {
+        self.inner.attr_names()
+    }
+
+    fn n_attrs(&self) -> usize {
+        self.inner.n_attrs()
+    }
+
+    fn next_tuple(&mut self) -> Result<Option<Vec<Value>>, DatasetError> {
+        let tuple = self.inner.next_tuple()?;
+        if let Some(tuple) = &tuple {
+            for (sk, v) in self.cols.iter_mut().zip(tuple) {
+                sk.observe(v);
+            }
+        }
+        Ok(tuple)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        self.inner.size_hint()
     }
 }
 
@@ -747,15 +1051,121 @@ fn sample_path(dir: &Path, key: &CacheKey) -> PathBuf {
     dir.join(format!("{:016x}.sample.csv", key.fnv64()))
 }
 
-struct PersistedMeta {
+fn pairs_meta_path(dir: &Path, key: &CacheKey) -> PathBuf {
+    dir.join(format!("{:016x}.pairs.json", key.fnv64()))
+}
+
+fn pairs_path(dir: &Path, key: &CacheKey) -> PathBuf {
+    dir.join(format!("{:016x}.pairs.csv", key.fnv64()))
+}
+
+/// The cache-key identity and source stat every persisted artifact's
+/// metadata carries. One writer ([`header_fields`]) and one reader
+/// ([`read_header`]) serve both the sample meta and the pairs sidecar,
+/// so the two file formats cannot drift apart field by field.
+struct PersistedHeader {
     path: String,
     eps_bits: u64,
     seed: u64,
     rows: usize,
     attrs: usize,
+    source: SourceStat,
+}
+
+impl PersistedHeader {
+    /// True iff the header names exactly this cache key (a fnv64
+    /// file-stem collision fails here).
+    fn matches_key(&self, key: &CacheKey) -> bool {
+        self.path == key.path && self.eps_bits == key.eps_bits && self.seed == key.seed
+    }
+}
+
+/// Renders the shared header (version, key identity, shape, source
+/// stat) for a persisted artifact's metadata file.
+fn header_fields(
+    key: &CacheKey,
+    rows: usize,
+    attrs: usize,
+    source: SourceStat,
+) -> Vec<(&'static str, Json)> {
+    vec![
+        ("version", Json::Int(PERSIST_VERSION)),
+        ("path", s(&key.path)),
+        ("eps_bits", json::u64_value(key.eps_bits)),
+        ("seed", json::u64_value(key.seed)),
+        ("rows", Json::Int(rows as i64)),
+        ("attrs", Json::Int(attrs as i64)),
+        ("source_len", json::u64_value(source.len)),
+        ("source_mtime_s", json::u64_value(source.mtime_s)),
+        ("source_mtime_ns", Json::Int(i64::from(source.mtime_ns))),
+    ]
+}
+
+/// Parses the shared header, rejecting unknown versions.
+fn read_header(v: &Json) -> Option<PersistedHeader> {
+    if v.get("version").and_then(Json::as_i64) != Some(PERSIST_VERSION) {
+        return None;
+    }
+    let u64_field = |name: &str| v.get(name)?.as_u64_lossless();
+    Some(PersistedHeader {
+        path: v.get("path").and_then(Json::as_str)?.to_string(),
+        eps_bits: u64_field("eps_bits")?,
+        seed: u64_field("seed")?,
+        rows: v.get("rows").and_then(Json::as_usize)?,
+        attrs: v.get("attrs").and_then(Json::as_usize)?,
+        source: SourceStat {
+            len: u64_field("source_len")?,
+            mtime_s: u64_field("source_mtime_s")?,
+            mtime_ns: v.get("source_mtime_ns").and_then(Json::as_u64)? as u32,
+        },
+    })
+}
+
+struct PersistedMeta {
+    header: PersistedHeader,
     /// Rows in the persisted sample file — restore integrity check.
     sample_rows: usize,
-    source: SourceStat,
+    /// Per-column KMV minima (the column sketches' full state), absent
+    /// in metas written before the sketch-backed `stats` era.
+    cols: Option<Vec<Vec<u64>>>,
+}
+
+/// Renders `ds` as CSV and proves the bytes round-trip value-exactly.
+/// CSV typing is re-inferred on read, so two values distinct in a
+/// column can collapse to one textual form (`Int(1)` and `Float(1.0)`
+/// both render "1") — and a merged pair would change filter and sketch
+/// answers. Data that would come back different is not persisted at
+/// all: correctness beats a warm start. Persisted artifacts are
+/// sample-sized, so the check is cheap.
+fn render_if_roundtrips(ds: &Dataset) -> std::io::Result<Option<Vec<u8>>> {
+    let mut buf = Vec::new();
+    write_csv(ds, &mut buf)?;
+    let roundtrips = std::str::from_utf8(&buf)
+        .ok()
+        .and_then(|text| read_csv_str(text, &CsvOptions::default()).ok())
+        .is_some_and(|back| {
+            back.n_rows() == ds.n_rows()
+                && back.n_attrs() == ds.n_attrs()
+                && (0..ds.n_rows()).all(|row| {
+                    (0..ds.n_attrs())
+                        .map(AttrId::new)
+                        .all(|attr| back.value(row, attr) == ds.value(row, attr))
+                })
+        });
+    Ok(roundtrips.then_some(buf))
+}
+
+/// A fresh temp-file suffix, unique per writer (pid + counter): with
+/// several server processes sharing one cache dir, a rename can only
+/// ever publish bytes its own process wrote, so an artifact from
+/// writer A can never end up paired with metadata from writer B.
+fn fresh_tmp_suffix() -> String {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    format!(
+        "{}-{}.tmp",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    )
 }
 
 /// Writes the entry's sample and metadata under `dir`. Both files are
@@ -769,61 +1179,70 @@ fn persist_entry(dir: &Path, key: &CacheKey, entry: &Entry) -> std::io::Result<(
     let Some(source) = entry.source else {
         return Ok(());
     };
-    // Render the sample once and prove it round-trips value-exactly.
-    // CSV typing is re-inferred on read, so two values distinct in the
-    // column can collapse to one textual form (`Int(1)` and
-    // `Float(1.0)` both render "1") — and a merged pair would change
-    // filter answers. A sample that would come back different is not
-    // persisted at all: correctness beats a warm start. Samples are
-    // Θ(m/√ε), so the check is cheap.
     let sample = entry.filter.sample();
-    let mut buf = Vec::new();
-    write_csv(sample, &mut buf)?;
-    let roundtrips = std::str::from_utf8(&buf)
-        .ok()
-        .and_then(|text| read_csv_str(text, &CsvOptions::default()).ok())
-        .is_some_and(|back| {
-            back.n_rows() == sample.n_rows()
-                && back.n_attrs() == sample.n_attrs()
-                && (0..sample.n_rows()).all(|row| {
-                    (0..sample.n_attrs())
-                        .map(AttrId::new)
-                        .all(|attr| back.value(row, attr) == sample.value(row, attr))
-                })
-        });
-    if !roundtrips {
+    let Some(buf) = render_if_roundtrips(sample)? else {
         return Ok(());
-    }
-    std::fs::create_dir_all(dir)?;
-    // Temp names are unique per writer (pid + counter): with several
-    // server processes sharing one cache dir, a rename can only ever
-    // publish bytes its own process wrote, so a sample from writer A
-    // can never end up paired with metadata from writer B.
-    let tmp_suffix = {
-        static NEXT: AtomicU64 = AtomicU64::new(0);
-        format!(
-            "{}-{}.tmp",
-            std::process::id(),
-            NEXT.fetch_add(1, Ordering::Relaxed)
-        )
     };
+    std::fs::create_dir_all(dir)?;
+    let tmp_suffix = fresh_tmp_suffix();
     let sample_final = sample_path(dir, key);
     let sample_tmp = sample_final.with_extension(&tmp_suffix);
     publish(&sample_tmp, &buf, &sample_final)?;
-    let meta = obj(vec![
-        ("version", Json::Int(PERSIST_VERSION)),
-        ("path", s(&key.path)),
-        ("eps_bits", json::u64_value(key.eps_bits)),
-        ("seed", json::u64_value(key.seed)),
-        ("rows", Json::Int(entry.rows as i64)),
-        ("attrs", Json::Int(entry.attrs as i64)),
-        ("sample_rows", Json::Int(sample.n_rows() as i64)),
-        ("source_len", json::u64_value(source.len)),
-        ("source_mtime_s", json::u64_value(source.mtime_s)),
-        ("source_mtime_ns", Json::Int(i64::from(source.mtime_ns))),
-    ])
-    .render();
+    let mut fields = header_fields(key, entry.rows, entry.attrs, source);
+    fields.push(("sample_rows", Json::Int(sample.n_rows() as i64)));
+    if let Some(cols) = &entry.cols {
+        // The column sketches' full state (k minima per column) rides
+        // along, so a restored entry keeps answering `stats` without a
+        // scan. ~8·k·m bytes — still sample-scale.
+        fields.push((
+            "cols",
+            Json::Arr(
+                cols.iter()
+                    .map(|sk| Json::Arr(sk.minima().map(json::u64_value).collect()))
+                    .collect(),
+            ),
+        ));
+    }
+    let meta = obj(fields).render();
     let final_path = meta_path(dir, key);
+    let tmp_path = final_path.with_extension(tmp_suffix);
+    publish(&tmp_path, format!("{meta}\n").as_bytes(), &final_path)
+}
+
+/// Writes the entry's non-separation pair sample and its sidecar
+/// metadata under `dir` (pairs CSV first, metadata last — same
+/// publish discipline as [`persist_entry`]).
+fn persist_sketch(
+    dir: &Path,
+    key: &CacheKey,
+    entry: &Entry,
+    sketch: &NonSeparationSketch,
+    params: SketchParams,
+) -> std::io::Result<()> {
+    let Some(source) = entry.source else {
+        return Ok(());
+    };
+    let Some(buf) = render_if_roundtrips(sketch.pairs())? else {
+        return Ok(());
+    };
+    std::fs::create_dir_all(dir)?;
+    let tmp_suffix = fresh_tmp_suffix();
+    let pairs_final = pairs_path(dir, key);
+    let pairs_tmp = pairs_final.with_extension(&tmp_suffix);
+    publish(&pairs_tmp, &buf, &pairs_final)?;
+    let mut fields = header_fields(key, entry.rows, entry.attrs, source);
+    fields.extend([
+        ("pair_rows", Json::Int(sketch.pairs().n_rows() as i64)),
+        ("alpha_bits", json::u64_value(params.alpha.to_bits())),
+        ("rel_eps_bits", json::u64_value(params.eps.to_bits())),
+        ("k", Json::Int(params.k as i64)),
+        (
+            "multiplier_bits",
+            json::u64_value(params.multiplier.to_bits()),
+        ),
+    ]);
+    let meta = obj(fields).render();
+    let final_path = pairs_meta_path(dir, key);
     let tmp_path = final_path.with_extension(tmp_suffix);
     publish(&tmp_path, format!("{meta}\n").as_bytes(), &final_path)
 }
@@ -871,22 +1290,54 @@ fn sweep_tmp_files(dir: &Path) {
 fn read_meta(path: &Path) -> Option<PersistedMeta> {
     let text = std::fs::read_to_string(path).ok()?;
     let v = json::parse(text.trim()).ok()?;
-    if v.get("version").and_then(Json::as_i64) != Some(PERSIST_VERSION) {
-        return None;
-    }
-    let u64_field = |name: &str| v.get(name)?.as_u64_lossless();
+    let header = read_header(&v)?;
+    // Column-sketch state is optional (absent in pre-sketch metas), but
+    // when present it must be well-formed — a corrupt list rejects the
+    // whole meta rather than restoring a half-right entry.
+    let cols = match v.get("cols") {
+        None => None,
+        Some(cols) => Some(
+            cols.as_arr()?
+                .iter()
+                .map(|col| {
+                    col.as_arr()?
+                        .iter()
+                        .map(Json::as_u64_lossless)
+                        .collect::<Option<Vec<u64>>>()
+                })
+                .collect::<Option<Vec<Vec<u64>>>>()?,
+        ),
+    };
     Some(PersistedMeta {
-        path: v.get("path").and_then(Json::as_str)?.to_string(),
-        eps_bits: u64_field("eps_bits")?,
-        seed: u64_field("seed")?,
-        rows: v.get("rows").and_then(Json::as_usize)?,
-        attrs: v.get("attrs").and_then(Json::as_usize)?,
+        header,
         sample_rows: v.get("sample_rows").and_then(Json::as_usize)?,
-        source: SourceStat {
-            len: u64_field("source_len")?,
-            mtime_s: u64_field("source_mtime_s")?,
-            mtime_ns: v.get("source_mtime_ns").and_then(Json::as_u64)? as u32,
-        },
+        cols,
+    })
+}
+
+struct PersistedPairsMeta {
+    header: PersistedHeader,
+    /// Rows in the persisted pairs file (`2s`) — restore integrity
+    /// check.
+    pair_rows: usize,
+    alpha_bits: u64,
+    rel_eps_bits: u64,
+    k: usize,
+    multiplier_bits: u64,
+}
+
+fn read_pairs_meta(path: &Path) -> Option<PersistedPairsMeta> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v = json::parse(text.trim()).ok()?;
+    let header = read_header(&v)?;
+    let u64_field = |name: &str| v.get(name)?.as_u64_lossless();
+    Some(PersistedPairsMeta {
+        header,
+        pair_rows: v.get("pair_rows").and_then(Json::as_usize)?,
+        alpha_bits: u64_field("alpha_bits")?,
+        rel_eps_bits: u64_field("rel_eps_bits")?,
+        k: v.get("k").and_then(Json::as_usize)?,
+        multiplier_bits: u64_field("multiplier_bits")?,
     })
 }
 
@@ -1081,14 +1532,20 @@ mod tests {
                 p.to_str().unwrap().to_string()
             })
             .collect();
-        // Budget sized for two stream entries: each sample is 20 tuples
-        // x 2 attrs x 4 bytes = 160 bytes.
+        // Measure one entry (sample + column sketches) on a throwaway
+        // registry, then budget for two entries but not three.
+        let per_entry = {
+            let probe = Registry::new();
+            let (e, _) = probe.get_or_load(&dsref(&paths[0]), LoadMode::Stream);
+            e.unwrap().stored_bytes as u64
+        };
+        let budget = 2 * per_entry + per_entry / 2;
         let reg = Registry::with_config(RegistryConfig {
-            cache_bytes: Some(350),
+            cache_bytes: Some(budget),
             ..RegistryConfig::default()
         });
         let (e0, _) = reg.get_or_load(&dsref(&paths[0]), LoadMode::Stream);
-        assert_eq!(e0.unwrap().stored_bytes, 160);
+        assert_eq!(e0.unwrap().stored_bytes as u64, per_entry);
         let (_, _) = reg.get_or_load(&dsref(&paths[1]), LoadMode::Stream);
         assert_eq!(reg.len(), 2, "two entries fit the budget");
         // Touch d0 so d1 is the LRU victim when d2 arrives.
@@ -1098,7 +1555,7 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.evictions, 1);
         assert_eq!(snap.datasets, 2);
-        assert!(snap.resident_bytes <= 350);
+        assert!(snap.resident_bytes <= budget);
         // d0 survived (recently touched), d1 was evicted.
         let (_, hit0) = reg.get_or_load(&dsref(&paths[0]), LoadMode::Stream);
         assert!(hit0, "recently-touched entry must survive");
@@ -1356,6 +1813,219 @@ mod tests {
         assert_eq!(snap.misses, 1);
         assert_eq!(snap.datasets, 1);
         assert!(snap.resident_bytes > 0);
-        assert_eq!(snap.evictions + snap.stale_rebuilds + snap.disk_hits, 0);
+        assert_eq!(
+            snap.evictions + snap.stale_rebuilds + snap.disk_hits + snap.upgrades,
+            0
+        );
+    }
+
+    #[test]
+    fn stream_entries_carry_column_sketches() {
+        let path = fixture_csv("cols.csv", 300);
+        let reg = Registry::new();
+        let (entry, _) = reg.get_or_load(&dsref(&path), LoadMode::Stream);
+        let entry = entry.unwrap();
+        let cols = entry.cols.as_ref().expect("stream builds carry sketches");
+        assert_eq!(cols.len(), 2);
+        // id: 300 distinct (over k=256, an estimate); parity: exactly 2.
+        assert!(!cols[0].is_exact());
+        let id_est = cols[0].estimate() as f64;
+        assert!(
+            (id_est - 300.0).abs() / 300.0 < 0.25,
+            "id estimate {id_est} vs 300"
+        );
+        assert!(cols[1].is_exact());
+        assert_eq!(cols[1].estimate(), 2);
+    }
+
+    #[test]
+    fn memory_and_stream_builds_agree_on_column_sketches() {
+        // The dictionary-fed path (memory) and the tee-fed path
+        // (stream) must produce byte-identical sketch state: KMV only
+        // depends on the distinct value set.
+        let path = fixture_csv("cols-agree.csv", 300);
+        let reg = Registry::new();
+        let (mem, _) = reg.get_or_load(&dsref(&path), LoadMode::Memory);
+        let other = Registry::new();
+        let (stream, _) = other.get_or_load(&dsref(&path), LoadMode::Stream);
+        assert_eq!(
+            mem.unwrap().cols.as_ref().unwrap(),
+            stream.unwrap().cols.as_ref().unwrap()
+        );
+    }
+
+    #[test]
+    fn concurrent_sketch_queries_share_one_build() {
+        // Mirrors concurrent_cold_lookups_share_one_build for the
+        // second cached artifact: N racing sketch queries on an entry
+        // without a sketch cause exactly one pair-sample scan.
+        let path = fixture_csv("sketch-race.csv", 400);
+        let reg = Arc::new(Registry::new());
+        let ds = dsref(&path);
+        let (entry, _) = reg.get_or_load(&ds, LoadMode::Stream);
+        let entry = entry.unwrap();
+        assert_eq!(reg.misses(), 1, "the sample build");
+        let sketches: Vec<Arc<NonSeparationSketch>> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let reg = Arc::clone(&reg);
+                    let ds = ds.clone();
+                    let entry = Arc::clone(&entry);
+                    scope.spawn(move || reg.sketch_for(&ds, &entry).unwrap())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for sk in &sketches[1..] {
+            assert!(Arc::ptr_eq(&sketches[0], sk), "one sketch for everyone");
+        }
+        assert_eq!(reg.misses(), 2, "sample build + exactly one sketch scan");
+        // The sketch participates in the byte accounting.
+        assert_eq!(
+            reg.snapshot().resident_bytes,
+            (entry.stored_bytes + sketches[0].stored_bytes()) as u64
+        );
+    }
+
+    #[test]
+    fn sketch_is_identical_however_the_entry_is_resident() {
+        // Stream entry (sketch from a source re-scan) and memory entry
+        // (sketch from the resident dataset) must answer identically:
+        // one canonical definition, the streaming builder.
+        let path = fixture_csv("sketch-modes.csv", 400);
+        let ds = dsref(&path);
+        let stream_reg = Registry::new();
+        let (se, _) = stream_reg.get_or_load(&ds, LoadMode::Stream);
+        let stream_sketch = stream_reg.sketch_for(&ds, &se.unwrap()).unwrap();
+        let mem_reg = Registry::new();
+        let (me, _) = mem_reg.get_or_load(&ds, LoadMode::Memory);
+        let mem_sketch = mem_reg.sketch_for(&ds, &me.unwrap()).unwrap();
+        assert_eq!(mem_reg.misses(), 1, "a resident dataset needs no re-scan");
+        let attrs = [vec![AttrId::new(0)], vec![AttrId::new(1)], vec![]];
+        for a in &attrs {
+            assert_eq!(stream_sketch.raw_count(a), mem_sketch.raw_count(a));
+            assert_eq!(stream_sketch.query(a), mem_sketch.query(a));
+        }
+        assert_eq!(stream_sketch.sample_size(), mem_sketch.sample_size());
+    }
+
+    #[test]
+    fn sketch_persists_and_restores_without_a_scan() {
+        let dir = unique_dir("sketch-persist");
+        let path = fixture_csv("sketch-warm.csv", 400);
+        let ds = dsref(&path);
+        let config = RegistryConfig {
+            cache_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        };
+        let first = Registry::with_config(config.clone());
+        let (entry, _) = first.get_or_load(&ds, LoadMode::Stream);
+        let built = first.sketch_for(&ds, &entry.unwrap()).unwrap();
+        assert_eq!(first.misses(), 2);
+        drop(first);
+
+        let second = Registry::with_config(config);
+        let (entry, _) = second.get_or_load(&ds, LoadMode::Stream);
+        let entry = entry.unwrap();
+        assert_eq!(second.disk_hits(), 1, "the sample restore");
+        let restored = second.sketch_for(&ds, &entry).unwrap();
+        assert_eq!(second.disk_hits(), 2, "the pair-sample restore");
+        assert_eq!(second.misses(), 0, "no source scan anywhere");
+        for a in [vec![AttrId::new(0)], vec![AttrId::new(1)]] {
+            assert_eq!(restored.raw_count(&a), built.raw_count(&a));
+            assert_eq!(restored.query(&a), built.query(&a));
+        }
+        // The restored entry still answers stats (cols survived too).
+        assert!(entry.cols.is_some());
+    }
+
+    #[test]
+    fn stale_source_invalidates_the_persisted_sketch() {
+        let dir = unique_dir("sketch-stale");
+        let path = dir.join("mut.csv");
+        write_fixture(&path, 300, 0);
+        let ds = dsref(path.to_str().unwrap());
+        let config = RegistryConfig {
+            cache_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        };
+        let first = Registry::with_config(config.clone());
+        let (entry, _) = first.get_or_load(&ds, LoadMode::Stream);
+        let _ = first.sketch_for(&ds, &entry.unwrap()).unwrap();
+        drop(first);
+
+        write_fixture(&path, 500, 9);
+        let second = Registry::with_config(config);
+        let (entry, _) = second.get_or_load(&ds, LoadMode::Stream);
+        let entry = entry.unwrap();
+        assert_eq!(entry.rows, 500);
+        let sketch = second.sketch_for(&ds, &entry).unwrap();
+        // The stale pairs file must not be adopted: the sketch scans
+        // the new source instead (entry scan + sketch scan).
+        assert_eq!(second.disk_hits(), 0);
+        assert_eq!(second.misses(), 2);
+        assert_eq!(sketch.source_pairs(), 500 * 499 / 2);
+    }
+
+    #[test]
+    fn unload_releases_sketch_bytes_and_pair_files() {
+        let dir = unique_dir("sketch-unload");
+        let path = fixture_csv("sketch-gone.csv", 300);
+        let ds = dsref(&path);
+        let config = RegistryConfig {
+            cache_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        };
+        let reg = Registry::with_config(config);
+        let (entry, _) = reg.get_or_load(&ds, LoadMode::Stream);
+        let entry = entry.unwrap();
+        let sketch = reg.sketch_for(&ds, &entry).unwrap();
+        assert!(sketch.stored_bytes() > 0);
+        let key = CacheKey::of(&ds);
+        assert!(pairs_path(&dir, &key).exists());
+        assert!(pairs_meta_path(&dir, &key).exists());
+        assert!(reg.unload(&ds));
+        assert_eq!(reg.snapshot().resident_bytes, 0, "sketch bytes released");
+        assert!(!pairs_path(&dir, &key).exists());
+        assert!(!pairs_meta_path(&dir, &key).exists());
+    }
+
+    #[test]
+    fn materialisation_upgrades_are_counted() {
+        let path = fixture_csv("upgrade-count.csv", 300);
+        let reg = Registry::new();
+        let (_, _) = reg.get_or_load(&dsref(&path), LoadMode::Stream);
+        assert_eq!(reg.snapshot().upgrades, 0);
+        let (entry, _) = reg.get_or_load_materialised(&dsref(&path));
+        assert!(entry.unwrap().dataset.is_some());
+        let snap = reg.snapshot();
+        assert_eq!(snap.upgrades, 1);
+        assert_eq!(snap.misses, 2, "the upgrade is also a miss");
+        // A second materialised lookup is a hit, not another upgrade.
+        let (_, hit) = reg.get_or_load_materialised(&dsref(&path));
+        assert!(hit);
+        assert_eq!(reg.snapshot().upgrades, 1);
+    }
+
+    #[test]
+    fn sketch_build_failure_is_an_error_not_a_panic() {
+        // Entry resident, but the source vanishes before the sketch
+        // scan: the error is cached on the entry (and clears with it).
+        let dir = unique_dir("sketch-fail");
+        let path = dir.join("vanish.csv");
+        write_fixture(&path, 300, 0);
+        let ds = dsref(path.to_str().unwrap());
+        let reg = Registry::new();
+        let (entry, _) = reg.get_or_load(&ds, LoadMode::Stream);
+        let entry = entry.unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let err = reg.sketch_for(&ds, &entry).unwrap_err();
+        assert!(err.contains("vanish.csv"), "{err}");
+        // Still an error on retry (the cell is written once)…
+        assert!(reg.sketch_for(&ds, &entry).is_err());
+        // …and no bytes were charged for it.
+        assert_eq!(reg.snapshot().resident_bytes, entry.stored_bytes as u64);
     }
 }

@@ -10,8 +10,10 @@ use qid_core::minkey::{enumerate_minimal_keys, GreedyRefineMinKey, LatticeConfig
 use qid_core::separation::group_sizes;
 
 use crate::metrics::Metrics;
-use crate::proto::{DatasetRef, LoadMode, Request, Response};
-use crate::registry::{Entry, Registry, RegistryConfig};
+use crate::proto::{
+    DatasetRef, LoadMode, Request, Response, SKETCH_ALPHA, SKETCH_K, SKETCH_REL_EPS,
+};
+use crate::registry::{CacheKey, Entry, Registry, RegistryConfig};
 use crate::resolve::resolve_attr_names;
 use crate::WorkerPool;
 
@@ -365,9 +367,96 @@ fn serve_one_line(conn: &mut Connection, state: &ServerState) -> bool {
 }
 
 /// Dispatches one decoded request against the shared state.
+///
+/// A `batch` request shares one `EntryCache` across its
+/// sub-commands, so `k` sub-commands over one dataset cost exactly one
+/// registry lookup-or-build; every other request gets a throwaway
+/// cache (one lookup either way).
 pub fn handle_request(request: &Request, state: &ServerState) -> Response {
     match request {
-        Request::Load { ds, mode } => match state.registry.get_or_load(ds, *mode) {
+        Request::Batch { requests } => {
+            let mut cache = EntryCache::default();
+            let results = requests
+                .iter()
+                .map(|sub| {
+                    // Sub-commands are individually metered under their
+                    // own names; the enclosing line is metered as
+                    // `batch` by the connection loop.
+                    let started = Instant::now();
+                    let response = match sub {
+                        // Defense in depth: `Request::decode` already
+                        // rejects these as sub-commands.
+                        Request::Batch { .. } | Request::Shutdown => Response::Error {
+                            message: format!(
+                                "{:?} is not allowed as a batch sub-command",
+                                sub.command_name()
+                            ),
+                        },
+                        other => dispatch(other, state, &mut cache),
+                    };
+                    let is_error = matches!(response, Response::Error { .. });
+                    state
+                        .metrics
+                        .record(sub.command_name(), started.elapsed(), is_error);
+                    response
+                })
+                .collect();
+            Response::Batch { results }
+        }
+        other => dispatch(other, state, &mut EntryCache::default()),
+    }
+}
+
+/// Resolved registry entries shared across the sub-commands of one
+/// batch, keyed by cache key. A cached `Arc<Entry>` is reused without
+/// touching the registry again (no second hit/miss is recorded — the
+/// batch paid one resolution); a materialisation upgrade replaces the
+/// cached pointer so later sub-commands see the upgraded entry.
+#[derive(Default)]
+struct EntryCache {
+    entries: std::collections::HashMap<CacheKey, Arc<Entry>>,
+}
+
+impl EntryCache {
+    /// The entry for `ds`, loading it stream-mode on first use (the
+    /// sample suffices for every non-materialising command).
+    fn sample_entry(&mut self, state: &ServerState, ds: &DatasetRef) -> Result<Arc<Entry>, String> {
+        let key = CacheKey::of(ds);
+        if let Some(entry) = self.entries.get(&key) {
+            return Ok(Arc::clone(entry));
+        }
+        let entry = state.registry.get_or_load(ds, LoadMode::Stream).0?;
+        self.entries.insert(key, Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// The entry for `ds` with an explicit load mode (the `load`
+    /// command), updating the cache with whatever came back.
+    fn loaded_entry(
+        &mut self,
+        state: &ServerState,
+        ds: &DatasetRef,
+        mode: LoadMode,
+    ) -> (Result<Arc<Entry>, String>, bool) {
+        let (result, cached) = match mode {
+            LoadMode::Stream => state.registry.get_or_load(ds, mode),
+            // An explicit memory-mode load exists to pre-materialise:
+            // upgrade a resident sample-only entry instead of handing
+            // it back untouched.
+            LoadMode::Memory => state.registry.get_or_load_materialised(ds),
+        };
+        if let Ok(entry) = &result {
+            self.entries.insert(CacheKey::of(ds), Arc::clone(entry));
+        }
+        (result, cached)
+    }
+}
+
+/// Dispatches one non-batch request, resolving entries through `cache`.
+fn dispatch(request: &Request, state: &ServerState, cache: &mut EntryCache) -> Response {
+    match request {
+        Request::Batch { .. } => unreachable!("handled by handle_request"),
+        Request::Load { ds, mode } => match cache.loaded_entry(state, ds, *mode) {
             (Ok(entry), cached) => Response::Loaded {
                 rows: entry.rows,
                 attrs: entry.attrs,
@@ -376,7 +465,7 @@ pub fn handle_request(request: &Request, state: &ServerState) -> Response {
             },
             (Err(message), _) => Response::Error { message },
         },
-        Request::Audit { ds, max_key_size } => with_entry(state, ds, LoadMode::Stream, |entry| {
+        Request::Audit { ds, max_key_size } => with_entry(state, ds, cache, |entry| {
             let sample = entry.filter.sample();
             let keys = enumerate_minimal_keys(
                 sample,
@@ -404,7 +493,7 @@ pub fn handle_request(request: &Request, state: &ServerState) -> Response {
                 .collect();
             Response::Audit { keys }
         }),
-        Request::Key { ds } => with_entry(state, ds, LoadMode::Stream, |entry| {
+        Request::Key { ds } => with_entry(state, ds, cache, |entry| {
             let sample = entry.filter.sample();
             let result = GreedyRefineMinKey::run_on_sample(sample);
             Response::Key {
@@ -416,7 +505,7 @@ pub fn handle_request(request: &Request, state: &ServerState) -> Response {
                 complete: result.complete,
             }
         }),
-        Request::Check { ds, attrs } => with_entry(state, ds, LoadMode::Stream, |entry| {
+        Request::Check { ds, attrs } => with_entry(state, ds, cache, |entry| {
             use qid_core::filter::{FilterDecision, SeparationFilter};
             let sample = entry.filter.sample();
             match resolve_attr_names(sample.schema(), sample.n_attrs(), attrs) {
@@ -431,27 +520,89 @@ pub fn handle_request(request: &Request, state: &ServerState) -> Response {
                 Err(message) => Response::Error { message },
             }
         }),
+        Request::Sketch { ds, attrs } => match cache.sample_entry(state, ds) {
+            Ok(entry) => {
+                let sample = entry.filter.sample();
+                let resolved = match resolve_attr_names(sample.schema(), sample.n_attrs(), attrs) {
+                    Ok(resolved) => resolved,
+                    Err(message) => return Response::Error { message },
+                };
+                match state.registry.sketch_for(ds, &entry) {
+                    Ok(sketch) => Response::Sketch {
+                        attrs: resolved
+                            .attrs
+                            .iter()
+                            .map(|&a| sample.schema().attr(a).name().to_string())
+                            .collect(),
+                        estimate: sketch.query(&resolved.attrs).estimate(),
+                        raw_pairs: sketch.raw_count(&resolved.attrs),
+                        sample_pairs: sketch.sample_size(),
+                        alpha: SKETCH_ALPHA,
+                        rel_error: SKETCH_REL_EPS,
+                        k: SKETCH_K,
+                    },
+                    Err(message) => Response::Error { message },
+                }
+            }
+            Err(message) => Response::Error { message },
+        },
         Request::Mask { ds, budget } => {
             if *budget == 0 {
                 return Response::Error {
                     message: "mask budget must be ≥ 1".to_string(),
                 };
             }
-            with_dataset_entry(state, ds, |_, dataset| {
+            with_entry(state, ds, cache, |entry| {
+                // Masking plans on a Θ(m/√ε) sample internally, so a
+                // stream-mode entry's retained sample is exactly the
+                // input it needs — no materialisation. A memory-loaded
+                // entry plans against the full data (its internal
+                // sampling then draws from all n rows).
+                let data = entry
+                    .dataset
+                    .as_ref()
+                    .unwrap_or_else(|| entry.filter.sample());
                 let params = qid_core::filter::FilterParams::new(ds.eps);
-                let plan = qid_core::masking::plan_masking(dataset, params, *budget, ds.seed);
+                let plan = qid_core::masking::plan_masking(data, params, *budget, ds.seed);
                 Response::Mask {
                     suppressed: plan
                         .suppressed
                         .iter()
-                        .map(|&a| dataset.schema().attr(a).name().to_string())
+                        .map(|&a| data.schema().attr(a).name().to_string())
                         .collect(),
                     residual_key_size: plan.residual_key_size,
+                    full_data: entry.dataset.is_some(),
                 }
             })
         }
-        Request::Stats { ds } => with_dataset_entry(state, ds, |_, dataset| {
-            let columns = (0..dataset.n_attrs())
+        Request::Stats { ds } => match cache.sample_entry(state, ds) {
+            Ok(entry) => stats_response(state, ds, &entry),
+            Err(message) => Response::Error { message },
+        },
+        Request::Unload { ds } => {
+            // Drop any batch-scoped resolution too, so a later
+            // sub-command re-resolves instead of reviving the entry.
+            cache.entries.remove(&CacheKey::of(ds));
+            Response::Unloaded {
+                existed: state.registry.unload(ds),
+            }
+        }
+        Request::Metrics => Response::Metrics(state.metrics.report(state.registry.snapshot())),
+        Request::Shutdown => Response::ShuttingDown,
+    }
+}
+
+/// Answers `stats` from the best resident artifact: exact dictionary
+/// sizes when the dataset is materialised, KMV estimates from the
+/// per-column sketches for stream-mode entries, and only as a last
+/// resort (an entry restored from a pre-sketch persisted meta, which
+/// has neither) a materialisation upgrade.
+fn stats_response(state: &ServerState, ds: &DatasetRef, entry: &Entry) -> Response {
+    fn exact_stats(dataset: &qid_dataset::Dataset) -> Response {
+        Response::Stats {
+            rows: dataset.n_rows(),
+            exact: true,
+            columns: (0..dataset.n_attrs())
                 .map(|a| {
                     let attr = qid_dataset::AttrId::new(a);
                     (
@@ -459,47 +610,50 @@ pub fn handle_request(request: &Request, state: &ServerState) -> Response {
                         dataset.column(attr).dict_size(),
                     )
                 })
-                .collect();
-            Response::Stats {
-                rows: dataset.n_rows(),
-                columns,
-            }
-        }),
-        Request::Unload { ds } => Response::Unloaded {
-            existed: state.registry.unload(ds),
-        },
-        Request::Metrics => Response::Metrics(state.metrics.report(state.registry.snapshot())),
-        Request::Shutdown => Response::ShuttingDown,
+                .collect(),
+        }
     }
-}
-
-/// Runs `f` on the cached entry, loading it (in `miss_mode`) on a miss.
-fn with_entry(
-    state: &ServerState,
-    ds: &DatasetRef,
-    miss_mode: LoadMode,
-    f: impl FnOnce(&Entry) -> Response,
-) -> Response {
-    match state.registry.get_or_load(ds, miss_mode).0 {
-        Ok(entry) => f(&entry),
-        Err(message) => Response::Error { message },
+    if let Some(dataset) = &entry.dataset {
+        return exact_stats(dataset);
     }
-}
-
-/// Like [`with_entry`] but guarantees a materialised dataset (stream
-/// entries are upgraded in place).
-fn with_dataset_entry(
-    state: &ServerState,
-    ds: &DatasetRef,
-    f: impl FnOnce(&Entry, &qid_dataset::Dataset) -> Response,
-) -> Response {
+    if let Some(cols) = &entry.cols {
+        let schema = entry.filter.sample().schema();
+        return Response::Stats {
+            rows: entry.rows,
+            exact: cols.iter().all(qid_core::sketch::DistinctSketch::is_exact),
+            columns: cols
+                .iter()
+                .enumerate()
+                .map(|(a, sk)| {
+                    (
+                        schema.attr(qid_dataset::AttrId::new(a)).name().to_string(),
+                        sk.estimate(),
+                    )
+                })
+                .collect(),
+        };
+    }
     match state.registry.get_or_load_materialised(ds).0 {
-        Ok(entry) => match &entry.dataset {
-            Some(dataset) => f(&entry, dataset),
+        Ok(upgraded) => match &upgraded.dataset {
+            Some(dataset) => exact_stats(dataset),
             None => Response::Error {
                 message: "internal error: materialised load produced no dataset".to_string(),
             },
         },
+        Err(message) => Response::Error { message },
+    }
+}
+
+/// Runs `f` on the cached entry, resolving through the batch-scoped
+/// cache (stream-mode load on a miss).
+fn with_entry(
+    state: &ServerState,
+    ds: &DatasetRef,
+    cache: &mut EntryCache,
+    f: impl FnOnce(&Entry) -> Response,
+) -> Response {
+    match cache.sample_entry(state, ds) {
+        Ok(entry) => f(&entry),
         Err(message) => Response::Error { message },
     }
 }

@@ -25,16 +25,24 @@
 //! qid query <addr> audit   data.csv [--eps E] [--seed S] [--max-key-size K]
 //! qid query <addr> key     data.csv [--eps E] [--seed S]
 //! qid query <addr> check   data.csv --attrs a,b [--eps E] [--seed S]
+//! qid query <addr> sketch  data.csv --attrs a,b [--eps E] [--seed S]
 //! qid query <addr> mask    data.csv [--eps E] [--seed S] [--budget B]
 //! qid query <addr> stats   data.csv
+//! qid query <addr> batch   -        # NDJSON sub-commands on stdin
 //! qid query <addr> unload  data.csv [--eps E] [--seed S]
 //! qid query <addr> metrics
 //! qid query <addr> shutdown
 //! ```
 //!
-//! `--cache-bytes` caps the registry's resident memory (LRU eviction);
-//! `--cache-dir` persists built samples so a restarted server warms up
-//! without re-scanning sources. See README "Cache lifecycle".
+//! `sketch` returns Theorem 2's Γ-estimate (unseparated-pair count)
+//! for an attribute set, answered from a cached non-separation
+//! sketch. `batch -` reads one JSON request object per stdin line,
+//! sends them as a single `batch` wire line, and prints each result —
+//! the server resolves each distinct dataset key once for the whole
+//! batch. `--cache-bytes` caps the registry's resident memory (LRU
+//! eviction); `--cache-dir` persists built samples so a restarted
+//! server warms up without re-scanning sources. See README "Cache
+//! lifecycle".
 
 use std::process::ExitCode;
 
@@ -49,6 +57,24 @@ use quasi_id::dataset::csv::{read_csv_path, CsvOptions, CsvTupleSource};
 use quasi_id::prelude::*;
 use quasi_id::server::proto::{DatasetRef, LoadMode, Request, Response};
 use quasi_id::server::{resolve_attr_names, split_attr_spec, Client, Server, ServerConfig};
+
+/// Prints one line to stdout, treating a closed pipe as a clean exit:
+/// `qid … | head -1` must not panic with "Broken pipe" when the reader
+/// stops early (Rust ignores SIGPIPE, so `println!` would). Any other
+/// stdout write failure is a real error and exits non-zero.
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        let mut out = std::io::stdout();
+        if let Err(e) = writeln!(out, $($arg)*) {
+            if e.kind() == std::io::ErrorKind::BrokenPipe {
+                std::process::exit(0);
+            }
+            eprintln!("error writing to stdout: {e}");
+            std::process::exit(1);
+        }
+    }};
+}
 
 /// Parsed command-line options for the one-shot and `query` commands.
 struct Opts {
@@ -70,8 +96,9 @@ fn usage() -> ! {
          [--budget B] [--exact]\n\
          \x20      qid serve [--addr HOST:PORT] [--workers N] \
          [--cache-bytes N[K|M|G]] [--cache-dir DIR]\n\
-         \x20      qid query <addr> <load|audit|key|check|mask|stats|unload|metrics|shutdown> \
-         [data.csv] [flags]"
+         \x20      qid query <addr> \
+         <load|audit|key|check|sketch|mask|stats|batch|unload|metrics|shutdown> \
+         [data.csv | -] [flags]"
     );
     std::process::exit(2);
 }
@@ -227,10 +254,51 @@ fn cmd_serve(args: &[String]) -> ExitCode {
 
 // ---------------------------------------------------------------- query
 
+/// Reads NDJSON sub-commands from stdin (one request object per line,
+/// blank lines skipped) for `qid query <addr> batch -`.
+fn read_batch_from_stdin() -> Result<Vec<Request>, String> {
+    use std::io::BufRead as _;
+    let stdin = std::io::stdin();
+    let mut requests = Vec::new();
+    for (i, line) in stdin.lock().lines().enumerate() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request =
+            Request::decode(line.trim()).map_err(|e| format!("stdin line {}: {e}", i + 1))?;
+        if matches!(request, Request::Batch { .. } | Request::Shutdown) {
+            return Err(format!(
+                "stdin line {}: {:?} is not allowed inside a batch",
+                i + 1,
+                request.command_name()
+            ));
+        }
+        requests.push(request);
+    }
+    Ok(requests)
+}
+
 fn cmd_query(args: &[String]) -> ExitCode {
     let (Some(addr), Some(command)) = (args.first(), args.get(1)) else {
         usage()
     };
+    if command == "batch" {
+        // `batch -`: sub-commands are full JSON request lines on stdin
+        // (paths are forwarded verbatim — write server-side paths).
+        if args.get(2).map(String::as_str) != Some("-") {
+            eprintln!("batch reads sub-commands from stdin: qid query <addr> batch -");
+            usage()
+        }
+        let requests = match read_batch_from_stdin() {
+            Ok(requests) => requests,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return send_and_print(addr, &Request::Batch { requests });
+    }
     let needs_path = !matches!(command.as_str(), "metrics" | "shutdown");
     let opts = if needs_path {
         let Some(path) = args.get(2).cloned() else {
@@ -280,6 +348,16 @@ fn cmd_query(args: &[String]) -> ExitCode {
                 attrs: split_attr_spec(spec),
             }
         }
+        "sketch" => {
+            let Some(spec) = &opts.attrs else {
+                eprintln!("sketch requires --attrs");
+                return ExitCode::FAILURE;
+            };
+            Request::Sketch {
+                ds,
+                attrs: split_attr_spec(spec),
+            }
+        }
         "mask" => Request::Mask {
             ds,
             budget: opts.budget,
@@ -293,14 +371,19 @@ fn cmd_query(args: &[String]) -> ExitCode {
             usage()
         }
     };
-    let mut client = match Client::connect(addr.as_str()) {
+    send_and_print(addr, &request)
+}
+
+/// Connects, sends one request, prints the response.
+fn send_and_print(addr: &str, request: &Request) -> ExitCode {
+    let mut client = match Client::connect(addr) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error connecting to {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let response = match client.call(&request) {
+    let response = match client.call(request) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("request failed: {e}");
@@ -318,59 +401,78 @@ fn print_response(response: &Response) -> ExitCode {
             sample,
             cached,
         } => {
-            println!(
+            outln!(
                 "loaded: {rows} rows x {attrs} attributes; sample = {sample} tuples ({})",
                 if *cached { "cache hit" } else { "built" }
             );
         }
         Response::Audit { keys } => {
-            println!("minimal quasi-identifiers (on the cached sample):");
+            outln!("minimal quasi-identifiers (on the cached sample):");
             if keys.is_empty() {
-                println!("  none — no small attribute set identifies the records");
+                outln!("  none — no small attribute set identifies the records");
             }
             for (names, frac) in keys.iter().take(25) {
-                println!(
+                outln!(
                     "  {names:?} — {:.1}% of sampled rows uniquely identified",
                     100.0 * frac
                 );
             }
             if keys.len() > 25 {
-                println!("  … and {} more", keys.len() - 25);
+                outln!("  … and {} more", keys.len() - 25);
             }
         }
         Response::Key { attrs, complete } => {
             if *complete {
-                println!(
+                outln!(
                     "greedy eps-separation key ({} attributes): {attrs:?}",
                     attrs.len()
                 );
             } else {
-                println!("no key exists: the sample contains identical tuples");
+                outln!("no key exists: the sample contains identical tuples");
             }
         }
         Response::Check { attrs, accept } => {
-            println!("{attrs:?}: {}", if *accept { "Accept" } else { "Reject" });
+            outln!("{attrs:?}: {}", if *accept { "Accept" } else { "Reject" });
         }
         Response::Mask {
             suppressed,
             residual_key_size,
+            full_data,
         } => {
-            println!("suppress:");
+            outln!(
+                "suppress{}:",
+                if *full_data {
+                    ""
+                } else {
+                    " (planned on the cached sample)"
+                }
+            );
             if suppressed.is_empty() {
-                println!("  nothing — no quasi-identifier fits that budget");
+                outln!("  nothing — no quasi-identifier fits that budget");
             }
             for name in suppressed {
-                println!("  {name}");
+                outln!("  {name}");
             }
             match residual_key_size {
-                Some(s) => println!("released view: smallest residual key has {s} attributes"),
-                None => println!("released view: no identifying attribute set remains"),
+                Some(s) => outln!("released view: smallest residual key has {s} attributes"),
+                None => outln!("released view: no identifying attribute set remains"),
             }
         }
-        Response::Stats { rows, columns } => {
-            println!("{rows} rows; attribute cardinalities:");
+        Response::Stats {
+            rows,
+            exact,
+            columns,
+        } => {
+            outln!(
+                "{rows} rows; attribute cardinalities{}:",
+                if *exact {
+                    ""
+                } else {
+                    " (KMV estimates from the stream sketch)"
+                }
+            );
             for (name, distinct) in columns {
-                println!(
+                outln!(
                     "  {:<24} {:>9} distinct ({:.2}% of rows)",
                     name,
                     distinct,
@@ -378,15 +480,48 @@ fn print_response(response: &Response) -> ExitCode {
                 );
             }
         }
+        Response::Sketch {
+            attrs,
+            estimate,
+            raw_pairs,
+            sample_pairs,
+            alpha,
+            rel_error,
+            k,
+        } => {
+            match estimate {
+                Some(gamma) => outln!(
+                    "{attrs:?}: ~{gamma:.0} unseparated pairs \
+                     (within {:.0}% for sets of <= {k} attributes)",
+                    100.0 * rel_error
+                ),
+                None => outln!(
+                    "{attrs:?}: small — fewer than alpha = {alpha} of all pairs are \
+                     unseparated (the set is close to a key)"
+                ),
+            }
+            outln!("  raw count: {raw_pairs} of {sample_pairs} sampled pairs unseparated");
+        }
+        Response::Batch { results } => {
+            let mut failed = false;
+            for (i, result) in results.iter().enumerate() {
+                outln!("[{i}]");
+                failed |= print_response(result) == ExitCode::FAILURE;
+            }
+            outln!("batch: {} results", results.len());
+            if failed {
+                return ExitCode::FAILURE;
+            }
+        }
         Response::Unloaded { existed } => {
             if *existed {
-                println!("unloaded: entry dropped from the registry");
+                outln!("unloaded: entry dropped from the registry");
             } else {
-                println!("unloaded: nothing was cached for that key");
+                outln!("unloaded: nothing was cached for that key");
             }
         }
         Response::Metrics(report) => {
-            println!(
+            outln!(
                 "registry: {} datasets ({} bytes resident), {} cache hits, \
                  {} cache misses, {} disk hits",
                 report.datasets,
@@ -395,19 +530,26 @@ fn print_response(response: &Response) -> ExitCode {
                 report.cache_misses,
                 report.cache_disk_hits
             );
-            println!(
-                "lifecycle: {} evictions, {} stale rebuilds",
-                report.cache_evictions, report.cache_stale_rebuilds
+            outln!(
+                "lifecycle: {} evictions, {} stale rebuilds, {} upgrades",
+                report.cache_evictions,
+                report.cache_stale_rebuilds,
+                report.cache_upgrades
             );
-            println!("command     count  errors  latency_us      p50_us      p99_us");
+            outln!("command     count  errors  latency_us      p50_us      p99_us");
             for c in &report.commands {
-                println!(
+                outln!(
                     "  {:<9} {:>5} {:>7} {:>11} {:>11} {:>11}",
-                    c.name, c.count, c.errors, c.latency_us, c.p50_us, c.p99_us
+                    c.name,
+                    c.count,
+                    c.errors,
+                    c.latency_us,
+                    c.p50_us,
+                    c.p99_us
                 );
             }
         }
-        Response::ShuttingDown => println!("server shutting down"),
+        Response::ShuttingDown => outln!("server shutting down"),
         Response::Error { message } => {
             eprintln!("server error: {message}");
             return ExitCode::FAILURE;
@@ -438,7 +580,7 @@ fn cmd_oneshot(opts: Opts) -> ExitCode {
         eprintln!("data set too small to analyse ({:?})", ds);
         return ExitCode::FAILURE;
     }
-    println!(
+    outln!(
         "{}: {} rows x {} attributes; eps = {}, sample = {} tuples",
         opts.path,
         ds.n_rows(),
@@ -449,11 +591,11 @@ fn cmd_oneshot(opts: Opts) -> ExitCode {
 
     match opts.command.as_str() {
         "stats" => {
-            println!("\nattribute cardinalities:");
+            outln!("\nattribute cardinalities:");
             for a in 0..ds.n_attrs() {
                 let attr = AttrId::new(a);
                 let col = ds.column(attr);
-                println!(
+                outln!(
                     "  {:<24} {:>9} distinct ({:.2}% of rows)",
                     ds.schema().attr(attr).name(),
                     col.dict_size(),
@@ -475,8 +617,8 @@ fn cmd_oneshot(opts: Opts) -> ExitCode {
             };
             let filter = TupleSampleFilter::build(&ds, params, opts.seed);
             let decision = filter.query(&attrs);
-            println!("\n{:?}: {decision:?}", names(&ds, &attrs));
-            println!(
+            outln!("\n{:?}: {decision:?}", names(&ds, &attrs));
+            outln!(
                 "(Accept = separates all sampled pairs — candidate quasi-identifier;\n\
                   Reject = misses ≥ one sampled pair — not an eps-separation key)"
             );
@@ -484,13 +626,13 @@ fn cmd_oneshot(opts: Opts) -> ExitCode {
         "key" => {
             // Only the --exact path reaches here.
             match exact_min_key_sampled(&ds, params, opts.seed) {
-                Some(attrs) => println!(
+                Some(attrs) => outln!(
                     "\nexact-on-sample eps-separation key ({} attributes): {:?}",
                     attrs.len(),
                     names(&ds, &attrs)
                 ),
                 None => {
-                    println!("\nno key exists: the sample contains identical tuples");
+                    outln!("\nno key exists: the sample contains identical tuples");
                 }
             }
         }
@@ -500,19 +642,19 @@ fn cmd_oneshot(opts: Opts) -> ExitCode {
         }
         "mask" => {
             let plan = plan_masking(&ds, params, opts.budget, opts.seed);
-            println!(
+            outln!(
                 "\nto defeat adversaries holding ≤ {} attributes, suppress:",
                 opts.budget
             );
             if plan.suppressed.is_empty() {
-                println!("  nothing — no quasi-identifier fits that budget");
+                outln!("  nothing — no quasi-identifier fits that budget");
             }
             for a in &plan.suppressed {
-                println!("  {}", ds.schema().attr(*a).name());
+                outln!("  {}", ds.schema().attr(*a).name());
             }
             match plan.residual_key_size {
-                Some(s) => println!("released view: smallest residual key has {s} attributes"),
-                None => println!("released view: no identifying attribute set remains"),
+                Some(s) => outln!("released view: smallest residual key has {s} attributes"),
+                None => outln!("released view: no identifying attribute set remains"),
             }
         }
         other => {
@@ -546,7 +688,7 @@ fn cmd_streamed(opts: &Opts, params: FilterParams) -> ExitCode {
         eprintln!("data set too small to analyse ({n} rows x {m} attributes)");
         return ExitCode::FAILURE;
     }
-    println!(
+    outln!(
         "{}: {} rows x {} attributes; eps = {}, sample = {} tuples (streamed)",
         opts.path,
         n,
@@ -560,10 +702,10 @@ fn cmd_streamed(opts: &Opts, params: FilterParams) -> ExitCode {
         "key" => {
             let result = GreedyRefineMinKey::run_on_sample(sample);
             if !result.complete {
-                println!("\nno key exists: the sample contains identical tuples");
+                outln!("\nno key exists: the sample contains identical tuples");
                 return ExitCode::SUCCESS;
             }
-            println!(
+            outln!(
                 "\ngreedy eps-separation key ({} attributes): {:?}",
                 result.attrs.len(),
                 names(sample, &result.attrs)
@@ -586,20 +728,20 @@ fn print_audit(sample: &Dataset, frac_over: &Dataset, max_key_size: usize, rows_
             max_candidates: 500_000,
         },
     );
-    println!("\nminimal quasi-identifiers with ≤ {max_key_size} attributes (on the sample):");
+    outln!("\nminimal quasi-identifiers with ≤ {max_key_size} attributes (on the sample):");
     if keys.is_empty() {
-        println!("  none — no small attribute set identifies the records");
+        outln!("  none — no small attribute set identifies the records");
     }
     for key in keys.iter().take(25) {
         let sizes = group_sizes(frac_over, key);
         let unique = sizes.iter().filter(|&&s| s == 1).count();
-        println!(
+        outln!(
             "  {:?} — {:.1}% of {rows_label} uniquely identified",
             names(sample, key),
             100.0 * unique as f64 / frac_over.n_rows() as f64
         );
     }
     if keys.len() > 25 {
-        println!("  … and {} more", keys.len() - 25);
+        outln!("  … and {} more", keys.len() - 25);
     }
 }

@@ -65,7 +65,7 @@ pub mod prelude {
     pub use qid_core::minkey::{GreedyRefineMinKey, MinKeyResult, MxGreedyMinKey};
     pub use qid_core::oracle::ExactOracle;
     pub use qid_core::separation::PartitionIndex;
-    pub use qid_core::sketch::{NonSeparationSketch, SketchAnswer, SketchParams};
+    pub use qid_core::sketch::{DistinctSketch, NonSeparationSketch, SketchAnswer, SketchParams};
     pub use qid_dataset::generator::{adult_like, covtype_like, cps_like, BenchmarkSet};
     pub use qid_dataset::{AttrId, Dataset, DatasetBuilder, Schema, TupleSource, Value};
     pub use qid_server::{Client, DatasetRef, Request, Response, Server, ServerConfig};

@@ -171,6 +171,102 @@ fn mask_suppresses_id() {
     );
 }
 
+/// A CSV wide enough that printing its stats overflows a 64 KiB pipe
+/// buffer — so a `| head -1` reader guarantees the writer sees EPIPE.
+fn wide_fixture_csv(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("qid-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+    let cols = 3000;
+    let header: Vec<String> = (0..cols).map(|c| format!("col_number_{c}")).collect();
+    writeln!(f, "{}", header.join(",")).unwrap();
+    for row in 0..3 {
+        let cells: Vec<String> = (0..cols).map(|c| format!("{}", row * cols + c)).collect();
+        writeln!(f, "{}", cells.join(",")).unwrap();
+    }
+    path
+}
+
+/// Runs `cmd | head -1` through the shell, capturing qid's own exit
+/// status on stderr (sh has no pipefail, and the pipeline's status is
+/// head's).
+fn run_piped_to_head(cmd: &str) -> (String, String) {
+    let out = Command::new("/bin/sh")
+        .args([
+            "-c",
+            &format!("( {cmd}; echo qid-status=$? >&2 ) | head -1"),
+        ])
+        .output()
+        .expect("shell pipeline runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn closed_pipe_is_a_clean_exit_not_a_panic() {
+    // ROADMAP "CLI broken-pipe hygiene": `qid … | head -1` used to
+    // panic with "failed printing to stdout: Broken pipe" (println!
+    // panics on EPIPE because Rust ignores SIGPIPE). Output now goes
+    // through an EPIPE-aware writer that exits 0.
+    let csv = wide_fixture_csv("wide-oneshot.csv");
+    let cmd = format!(
+        "{} stats {}",
+        env!("CARGO_BIN_EXE_qid"),
+        csv.to_str().unwrap()
+    );
+    let (stdout, stderr) = run_piped_to_head(&cmd);
+    assert!(
+        stderr.contains("qid-status=0"),
+        "one-shot stats must exit 0 under head -1: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert_eq!(stdout.lines().count(), 1, "{stdout}");
+}
+
+#[test]
+fn query_output_survives_a_closed_pipe_too() {
+    use std::io::BufRead as _;
+    // Same hygiene for the served path: spawn a real server, pipe
+    // `qid query … stats` (3000 estimate lines ≫ the pipe buffer)
+    // into head -1.
+    let csv = wide_fixture_csv("wide-query.csv");
+    let mut server = Command::new(env!("CARGO_BIN_EXE_qid"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    let stdout = server.stdout.take().unwrap();
+    let mut announce = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut announce)
+        .unwrap();
+    let addr = announce
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unparseable announce line: {announce:?}"))
+        .to_string();
+
+    let cmd = format!(
+        "{} query {} stats {}",
+        env!("CARGO_BIN_EXE_qid"),
+        addr,
+        csv.to_str().unwrap()
+    );
+    let (stdout, stderr) = run_piped_to_head(&cmd);
+    let _ = server.kill();
+    let _ = server.wait();
+    assert!(
+        stderr.contains("qid-status=0"),
+        "query stats must exit 0 under head -1: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert_eq!(stdout.lines().count(), 1, "{stdout}");
+}
+
 #[test]
 fn bad_usage_fails_cleanly() {
     let (_, stderr, ok) = run(&["frobnicate", "/nonexistent.csv"]);

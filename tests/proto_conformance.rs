@@ -1,0 +1,440 @@
+//! Protocol conformance suite.
+//!
+//! Two layers of defence for the NDJSON wire protocol:
+//!
+//! 1. **Golden fixtures.** `tests/golden/proto_conformance.ndjson`
+//!    holds one canonical wire line for every `Request` command and
+//!    every `Response` kind. The suite checks (a) that the committed
+//!    file matches the canonical corpus produced by the current code
+//!    (so any change to `encode` shows up as a reviewable diff), and
+//!    (b) that every golden line decodes and re-encodes byte-exactly
+//!    (so `decode ∘ encode = id` on canonical lines). On mismatch the
+//!    expected/actual corpora are written to `target/proto-conformance/`
+//!    for CI to upload. Regenerate deliberately with
+//!    `QID_REGEN_GOLDEN=1 cargo test --test proto_conformance`.
+//! 2. **Malformed-line fuzzing.** Proptest-generated garbage
+//!    (truncated JSON, wrong types, unknown commands, huge numbers,
+//!    pathological nesting) is thrown at a live in-process server; each
+//!    line must produce one structured `{"ok":false,"kind":"error"}`
+//!    reply and leave the connection answering valid requests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use quasi_id::server::json;
+use quasi_id::server::metrics::COMMAND_NAMES;
+use quasi_id::server::proto::{
+    sketch_params, CommandStats, DatasetRef, LoadMode, MetricsReport, Request, Response,
+};
+use quasi_id::server::{Server, ServerConfig};
+
+const GOLDEN: &str = include_str!("golden/proto_conformance.ndjson");
+
+/// Every response `kind` the protocol can emit.
+const RESPONSE_KINDS: [&str; 12] = [
+    "loaded", "audit", "key", "check", "sketch", "mask", "stats", "batch", "unloaded", "metrics",
+    "bye", "error",
+];
+
+fn ds() -> DatasetRef {
+    DatasetRef {
+        path: "/data/people.csv".into(),
+        eps: 0.01,
+        seed: 7,
+    }
+}
+
+/// The canonical corpus: at least one wire line per request command
+/// and per response kind, with representative payload shapes (empty
+/// and non-empty lists, null and present optionals, huge seeds).
+fn corpus() -> Vec<String> {
+    let requests = vec![
+        Request::Load {
+            ds: ds(),
+            mode: LoadMode::Memory,
+        },
+        Request::Load {
+            ds: DatasetRef {
+                path: "/data/données 😀.csv".into(),
+                eps: 0.001,
+                seed: u64::MAX,
+            },
+            mode: LoadMode::Stream,
+        },
+        Request::Audit {
+            ds: ds(),
+            max_key_size: 3,
+        },
+        Request::Key { ds: ds() },
+        Request::Check {
+            ds: ds(),
+            attrs: vec!["zip".into(), "age".into()],
+        },
+        Request::Sketch {
+            ds: ds(),
+            attrs: vec!["sex".into()],
+        },
+        Request::Mask {
+            ds: ds(),
+            budget: 2,
+        },
+        Request::Stats { ds: ds() },
+        Request::Batch {
+            requests: vec![
+                Request::Check {
+                    ds: ds(),
+                    attrs: vec!["zip".into()],
+                },
+                Request::Sketch {
+                    ds: ds(),
+                    attrs: vec!["zip".into()],
+                },
+                Request::Metrics,
+            ],
+        },
+        Request::Unload { ds: ds() },
+        Request::Metrics,
+        Request::Shutdown,
+    ];
+    let params = sketch_params();
+    let responses = vec![
+        Response::Loaded {
+            rows: 800,
+            attrs: 4,
+            sample: 40,
+            cached: false,
+        },
+        Response::Audit {
+            keys: vec![
+                (vec!["id".into()], 1.0),
+                (vec!["zip".into(), "age".into()], 0.5),
+            ],
+        },
+        Response::Audit { keys: vec![] },
+        Response::Key {
+            attrs: vec!["id".into()],
+            complete: true,
+        },
+        Response::Check {
+            attrs: vec!["sex".into()],
+            accept: false,
+        },
+        Response::Sketch {
+            attrs: vec!["sex".into()],
+            estimate: Some(159800.25),
+            raw_pairs: 2051,
+            sample_pairs: 4159,
+            alpha: params.alpha,
+            rel_error: params.eps,
+            k: params.k,
+        },
+        Response::Sketch {
+            attrs: vec!["id".into()],
+            estimate: None,
+            raw_pairs: 0,
+            sample_pairs: 4159,
+            alpha: params.alpha,
+            rel_error: params.eps,
+            k: params.k,
+        },
+        Response::Mask {
+            suppressed: vec!["id".into()],
+            residual_key_size: Some(3),
+            full_data: true,
+        },
+        Response::Mask {
+            suppressed: vec![],
+            residual_key_size: None,
+            full_data: false,
+        },
+        Response::Stats {
+            rows: 800,
+            exact: true,
+            columns: vec![("id".into(), 800), ("sex".into(), 2)],
+        },
+        Response::Stats {
+            rows: 800,
+            exact: false,
+            columns: vec![("id".into(), 793)],
+        },
+        Response::Batch {
+            results: vec![
+                Response::Check {
+                    attrs: vec!["zip".into()],
+                    accept: true,
+                },
+                Response::Error {
+                    message: "unknown attribute \"nope\"".into(),
+                },
+            ],
+        },
+        Response::Unloaded { existed: true },
+        Response::Metrics(MetricsReport {
+            cache_hits: 4,
+            cache_misses: 1,
+            cache_disk_hits: 0,
+            cache_evictions: 0,
+            cache_stale_rebuilds: 0,
+            cache_upgrades: 0,
+            cache_bytes: 4144,
+            datasets: 1,
+            commands: vec![CommandStats {
+                name: "audit".into(),
+                count: 2,
+                errors: 0,
+                latency_us: 467,
+                p50_us: 255,
+                p99_us: 511,
+            }],
+        }),
+        Response::ShuttingDown,
+        Response::Error {
+            message: "reading /data/people.csv: no such file".into(),
+        },
+    ];
+    requests
+        .iter()
+        .map(Request::encode)
+        .chain(responses.iter().map(Response::encode))
+        .collect()
+}
+
+/// Where mismatch artifacts go (uploaded by CI on failure).
+fn artifact_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/proto-conformance");
+    std::fs::create_dir_all(&dir).expect("artifact dir");
+    dir
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/proto_conformance.ndjson")
+}
+
+#[test]
+fn golden_corpus_matches_the_current_encoder() {
+    let expected = corpus().join("\n") + "\n";
+    if std::env::var_os("QID_REGEN_GOLDEN").is_some() {
+        std::fs::write(golden_path(), &expected).expect("regenerate golden");
+        return;
+    }
+    if GOLDEN != expected {
+        let dir = artifact_dir();
+        std::fs::write(dir.join("expected.ndjson"), &expected).unwrap();
+        std::fs::write(dir.join("committed.ndjson"), GOLDEN).unwrap();
+        panic!(
+            "wire encoding drifted from tests/golden/proto_conformance.ndjson \
+             (diff artifacts in {}; regenerate deliberately with \
+             QID_REGEN_GOLDEN=1 cargo test --test proto_conformance)",
+            dir.display()
+        );
+    }
+}
+
+#[test]
+fn every_golden_line_roundtrips_byte_exactly() {
+    let mut seen_cmds = std::collections::BTreeSet::new();
+    let mut seen_kinds = std::collections::BTreeSet::new();
+    let mut failures = Vec::new();
+    for (i, line) in GOLDEN.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("golden line {i} unparseable: {e}"));
+        let reencoded = if v.get("cmd").is_some() {
+            let request = Request::decode(line).unwrap_or_else(|e| panic!("golden line {i}: {e}"));
+            seen_cmds.insert(request.command_name().to_string());
+            if let Request::Batch { requests } = &request {
+                for sub in requests {
+                    seen_cmds.insert(sub.command_name().to_string());
+                }
+            }
+            request.encode()
+        } else {
+            let response =
+                Response::decode(line).unwrap_or_else(|e| panic!("golden line {i}: {e}"));
+            collect_kinds(&response, &mut seen_kinds);
+            response.encode()
+        };
+        if reencoded != line {
+            failures.push(format!(
+                "line {i}:\n  golden: {line}\n  actual: {reencoded}"
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        let dir = artifact_dir();
+        std::fs::write(dir.join("roundtrip-failures.txt"), failures.join("\n\n")).unwrap();
+        panic!(
+            "{} golden line(s) did not round-trip byte-exactly (see {})",
+            failures.len(),
+            dir.display()
+        );
+    }
+    // The corpus must exercise every command and every response kind —
+    // a new variant without a golden line fails here.
+    let all_cmds: std::collections::BTreeSet<String> =
+        COMMAND_NAMES.iter().map(|s| s.to_string()).collect();
+    assert_eq!(seen_cmds, all_cmds, "golden corpus misses request commands");
+    let all_kinds: std::collections::BTreeSet<String> =
+        RESPONSE_KINDS.iter().map(|s| s.to_string()).collect();
+    assert_eq!(seen_kinds, all_kinds, "golden corpus misses response kinds");
+}
+
+fn collect_kinds(response: &Response, kinds: &mut std::collections::BTreeSet<String>) {
+    let kind = match response {
+        Response::Loaded { .. } => "loaded",
+        Response::Audit { .. } => "audit",
+        Response::Key { .. } => "key",
+        Response::Check { .. } => "check",
+        Response::Sketch { .. } => "sketch",
+        Response::Mask { .. } => "mask",
+        Response::Stats { .. } => "stats",
+        Response::Batch { results } => {
+            for sub in results {
+                collect_kinds(sub, kinds);
+            }
+            "batch"
+        }
+        Response::Unloaded { .. } => "unloaded",
+        Response::Metrics(_) => "metrics",
+        Response::ShuttingDown => "bye",
+        Response::Error { .. } => "error",
+    };
+    kinds.insert(kind.to_string());
+}
+
+// ---------------------------------------------------------- fuzz layer
+
+/// One shared in-process server for the whole fuzz run (leaked for the
+/// process lifetime — the OS reaps it).
+fn fuzz_server_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind fuzz server");
+        let addr = server.local_addr();
+        std::mem::forget(server.spawn());
+        addr
+    })
+}
+
+/// Truncates at a byte offset, snapped down to a char boundary.
+fn truncate_at(s: &str, mut i: usize) -> String {
+    while !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    s[..i.max(1)].to_string()
+}
+
+/// Lines that must never panic the server, drop the connection, or go
+/// unanswered: broken JSON, wrong field types, unknown commands, huge
+/// or non-integer numbers, forbidden compositions, and parser-hostile
+/// nesting. (Lines that *decode* fine but name a missing file are also
+/// included — they exercise the handler's error path.)
+fn hostile_line() -> impl Strategy<Value = String> {
+    // A valid request over a unicode path, truncated mid-line: always
+    // unbalanced JSON.
+    let base = Request::Audit {
+        ds: DatasetRef {
+            path: "/definitely/missing/données 😀.csv".into(),
+            eps: 0.01,
+            seed: 7,
+        },
+        max_key_size: 3,
+    }
+    .encode();
+    let len = base.len();
+    prop_oneof![
+        (1usize..len).prop_map(move |i| truncate_at(&base, i)),
+        Just("not json at all".to_string()),
+        Just("{}".to_string()),
+        Just(r#"{"cmd":123}"#.to_string()),
+        Just(r#"{"cmd":["audit"]}"#.to_string()),
+        Just(r#"{"cmd":"explode"}"#.to_string()),
+        Just(r#"{"cmd":"audit","path":123}"#.to_string()),
+        Just(r#"{"cmd":"audit","path":["x.csv"]}"#.to_string()),
+        Just(r#"{"cmd":"key","path":"/missing.csv","seed":"not a number"}"#.to_string()),
+        Just(r#"{"cmd":"key","path":"/missing.csv","seed":-1}"#.to_string()),
+        Just(r#"{"cmd":"key","path":"/missing.csv","seed":1e300}"#.to_string()),
+        Just(r#"{"cmd":"key","path":"/missing.csv","eps":"0.01"}"#.to_string()),
+        Just(r#"{"cmd":"audit","path":"/missing.csv","eps":[0.1,0.2]}"#.to_string()),
+        // Huge numbers: overflow i64, overflow usize semantics, or
+        // decode fine and then fail on the missing file — either way a
+        // structured error, never a panic.
+        Just(
+            r#"{"cmd":"audit","path":"/missing.csv","max_key_size":99999999999999999999999999}"#
+                .to_string()
+        ),
+        Just(r#"{"cmd":"mask","path":"/missing.csv","budget":18446744073709551616}"#.to_string()),
+        Just(r#"{"cmd":"check","path":"/missing.csv"}"#.to_string()),
+        Just(r#"{"cmd":"sketch","path":"/missing.csv","attrs":[1,2]}"#.to_string()),
+        Just(r#"{"cmd":"load","path":"/missing.csv","mode":"warp"}"#.to_string()),
+        Just(r#"{"cmd":"batch"}"#.to_string()),
+        Just(r#"{"cmd":"batch","requests":[{"cmd":"shutdown"}]}"#.to_string()),
+        Just(r#"{"cmd":"batch","requests":[{"cmd":"batch","requests":[]}]}"#.to_string()),
+        // Parser-hostile: deep nesting must be a depth error, not a
+        // worker-stack overflow (which would abort the process).
+        Just("[".repeat(50_000)),
+        Just(format!("{}1{}", "[".repeat(200), "]".repeat(200))),
+        (0u64..u64::MAX).prop_map(|n| format!("{{\"cmd\":\"cmd-{n}\"}}")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every hostile line gets exactly one structured error reply, and
+    /// the same connection still answers a valid request afterwards.
+    #[test]
+    fn hostile_lines_get_structured_errors_not_disconnects(line in hostile_line()) {
+        let stream = TcpStream::connect(fuzz_server_addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("server must answer");
+        prop_assert!(!reply.is_empty(), "server dropped the connection on: {line:?}");
+        let v = json::parse(reply.trim()).expect("reply must be valid JSON");
+        prop_assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(false));
+        prop_assert_eq!(v.get("kind").and_then(|k| k.as_str()), Some("error"));
+        prop_assert!(
+            v.get("error").and_then(|e| e.as_str()).is_some_and(|m| !m.is_empty()),
+            "error replies carry a message"
+        );
+
+        // The connection survives: a valid request still answers.
+        writer.write_all(b"{\"cmd\":\"metrics\"}\n").unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("connection stays usable");
+        let v = json::parse(reply.trim()).expect("metrics reply parses");
+        prop_assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(true));
+    }
+}
+
+#[test]
+fn invalid_utf8_is_answered_not_fatal() {
+    let stream = TcpStream::connect(fuzz_server_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writer
+        .write_all(b"\xff\xfe{\"cmd\":\"metrics\"}\n")
+        .unwrap();
+    writer.flush().unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("server answers");
+    assert!(reply.contains(r#""ok":false"#), "{reply}");
+    assert!(reply.contains("UTF-8"), "{reply}");
+}
