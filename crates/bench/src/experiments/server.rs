@@ -35,6 +35,14 @@ pub struct ServerBenchConfig {
     pub eps: f64,
     /// Worker threads for the server under test.
     pub workers: usize,
+    /// Idle keep-alive connections in the small idle-scaling herd.
+    pub idle_low: usize,
+    /// Idle keep-alive connections in the large idle-scaling herd.
+    /// The default (1000) needs ~2× that in file descriptors between
+    /// the bench process and the in-process server — the CI bench
+    /// step raises `ulimit -n` first; pass something smaller when the
+    /// environment cannot (the unit smoke test does).
+    pub idle_high: usize,
 }
 
 impl ServerBenchConfig {
@@ -45,6 +53,8 @@ impl ServerBenchConfig {
             requests: scale.trials(64),
             eps: 0.01,
             workers: 4,
+            idle_low: 10,
+            idle_high: 1000,
         }
     }
 }
@@ -56,6 +66,18 @@ pub struct ModeStats {
     pub rps: f64,
     /// Median per-request latency, microseconds.
     pub p50_us: f64,
+}
+
+/// Client-observed served-audit latency with a given number of idle
+/// keep-alive connections registered with the server's poller.
+#[derive(Clone, Copy, Debug)]
+pub struct IdleScalingPoint {
+    /// Idle connections actually held open during the measurement.
+    pub idle: usize,
+    /// Median audit latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile audit latency, microseconds.
+    pub p99_us: f64,
 }
 
 /// The experiment outcome.
@@ -83,6 +105,12 @@ pub struct ServerBenchResult {
     /// sent as a single `batch` line (one round trip, one registry
     /// resolution total).
     pub batched_per_cmd_us: f64,
+    /// Served-audit latency with few idle connections registered.
+    pub idle_low: IdleScalingPoint,
+    /// Served-audit latency with ~1000 idle connections registered —
+    /// the readiness-core claim: within 2× of [`Self::idle_low`],
+    /// because quiet registrations never touch a worker.
+    pub idle_high: IdleScalingPoint,
     /// The human-readable table.
     pub table: Table,
 }
@@ -118,6 +146,25 @@ impl ServerBenchResult {
                 }),
             ),
             ("warm_restart_us", Json::Num(self.warm_restart_us)),
+            (
+                "idle_scaling",
+                obj(vec![
+                    ("idle_low", Json::Int(self.idle_low.idle as i64)),
+                    ("p50_low_us", Json::Num(self.idle_low.p50_us)),
+                    ("p99_low_us", Json::Num(self.idle_low.p99_us)),
+                    ("idle_high", Json::Int(self.idle_high.idle as i64)),
+                    ("p50_high_us", Json::Num(self.idle_high.p50_us)),
+                    ("p99_high_us", Json::Num(self.idle_high.p99_us)),
+                    (
+                        "p99_ratio",
+                        Json::Num(if self.idle_low.p99_us > 0.0 {
+                            self.idle_high.p99_us / self.idle_low.p99_us
+                        } else {
+                            0.0
+                        }),
+                    ),
+                ]),
+            ),
             (
                 "batch",
                 obj(vec![
@@ -264,6 +311,16 @@ pub fn run_server_bench(cfg: ServerBenchConfig) -> ServerBenchResult {
     }
     let batched_per_cmd_us = batch_start.elapsed().as_secs_f64() * 1e6 / requests as f64;
 
+    // Idle-connection scaling: the same served audit, measured with a
+    // small and a large herd of quiet keep-alive connections
+    // registered with the poller. Under the readiness core the herd
+    // is O(1) bookkeeping the poller never visits while silent, so
+    // p99 must stay flat (the acceptance bound is 2×); under the old
+    // time-sliced core every idle connection cost a worker a blocked
+    // 150 ms read per cycle and this measurement took *seconds*.
+    let idle_low = measure_idle_point(&mut client, addr, &request, cfg.idle_low, requests);
+    let idle_high = measure_idle_point(&mut client, addr, &request, cfg.idle_high, requests);
+
     client.call(&Request::Shutdown).expect("shutdown");
     running.join().expect("server exits");
 
@@ -359,6 +416,22 @@ pub fn run_server_bench(cfg: ServerBenchConfig) -> ServerBenchResult {
         "-".to_string(),
         format!("{batched_per_cmd_us:.0}"),
     ]);
+    table.row(vec![
+        format!(
+            "audit + {} idle conns (p99 {:.0} us)",
+            idle_low.idle, idle_low.p99_us
+        ),
+        "-".to_string(),
+        format!("{:.0}", idle_low.p50_us),
+    ]);
+    table.row(vec![
+        format!(
+            "audit + {} idle conns (p99 {:.0} us)",
+            idle_high.idle, idle_high.p99_us
+        ),
+        "-".to_string(),
+        format!("{:.0}", idle_high.p50_us),
+    ]);
 
     ServerBenchResult {
         rows: n,
@@ -369,7 +442,76 @@ pub fn run_server_bench(cfg: ServerBenchConfig) -> ServerBenchResult {
         warm_restart_us,
         sequential_per_cmd_us,
         batched_per_cmd_us,
+        idle_low,
+        idle_high,
         table,
+    }
+}
+
+/// Measures served-audit latency with `idle` quiet keep-alive
+/// connections held open against the running server at `addr`. The
+/// herd is fully accepted (observed through `metrics`) before the
+/// timed window starts, and dropped before returning.
+fn measure_idle_point(
+    client: &mut Client,
+    addr: std::net::SocketAddr,
+    audit: &Request,
+    idle: usize,
+    requests: usize,
+) -> IdleScalingPoint {
+    let accepted_before = connections_accepted(client);
+    let mut idles = Vec::with_capacity(idle);
+    for _ in 0..idle {
+        match std::net::TcpStream::connect(addr) {
+            Ok(stream) => idles.push(stream),
+            Err(e) => {
+                // E.g. a small fd rlimit: measure with what we got
+                // (the point records the actual herd size).
+                eprintln!("[server] idle herd capped at {}: {e}", idles.len());
+                break;
+            }
+        }
+    }
+    let herd = idles.len();
+    // Every idle connection must be registered before the clock runs.
+    let target = accepted_before + herd as u64;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while connections_accepted(client) < target {
+        assert!(
+            Instant::now() < deadline,
+            "server did not accept the idle herd within 60s"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let trials = (requests * 2).clamp(100, 400);
+    let mut latencies = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let t = Instant::now();
+        match client.call(audit) {
+            Ok(Response::Audit { .. }) => {}
+            other => panic!("idle-scaling audit failed: {other:?}"),
+        }
+        latencies.push(t.elapsed());
+    }
+    drop(idles);
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> f64 {
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1].as_secs_f64() * 1e6
+    };
+    IdleScalingPoint {
+        idle: herd,
+        p50_us: quantile(0.50),
+        p99_us: quantile(0.99),
+    }
+}
+
+/// Reads the server's accepted-connection counter off `metrics`.
+fn connections_accepted(client: &mut Client) -> u64 {
+    match client.call(&Request::Metrics) {
+        Ok(Response::Metrics(report)) => report.connections,
+        other => panic!("metrics failed: {other:?}"),
     }
 }
 
@@ -384,6 +526,13 @@ mod tests {
             requests: 4,
             eps: 0.05,
             workers: 2,
+            // A deliberately small large-herd so the unit test stays
+            // inside default fd rlimits (1024 on stock CI runners —
+            // herd + server-side peers ≈ 2× the count); the bench
+            // binary measures the real 10-vs-1000 acceptance row
+            // under the CI step that raises `ulimit -n` first.
+            idle_low: 10,
+            idle_high: 200,
         });
         assert_eq!(result.requests, 4);
         assert!(result.served.rps > 0.0);
@@ -394,12 +543,32 @@ mod tests {
         );
         assert!(result.sequential_per_cmd_us > 0.0);
         assert!(result.batched_per_cmd_us > 0.0);
-        assert_eq!(result.table.n_rows(), 5);
+        assert_eq!(result.table.n_rows(), 7);
         let json = result.to_json();
         let parsed = qid_server::json::parse(&json).expect("valid json");
         assert_eq!(parsed.get("bench").and_then(|b| b.as_str()), Some("server"));
         assert!(parsed.get("served").and_then(|s| s.get("rps")).is_some());
         assert!(parsed.get("batch").and_then(|b| b.get("speedup")).is_some());
+        assert!(parsed
+            .get("idle_scaling")
+            .and_then(|i| i.get("p99_ratio"))
+            .is_some());
+        // The acceptance bound: a large registered idle herd keeps
+        // served-audit p99 within 2× of the 10-connection case. A
+        // small absolute slack absorbs scheduler noise when both
+        // points are already microsecond-fast (the regression this
+        // guards — idle connections re-entering the worker pool —
+        // costs seconds, not milliseconds).
+        assert_eq!(result.idle_low.idle, 10);
+        assert_eq!(result.idle_high.idle, 200);
+        assert!(result.idle_low.p99_us > 0.0);
+        assert!(
+            result.idle_high.p99_us
+                <= (result.idle_low.p99_us * 2.0).max(result.idle_low.p99_us + 5_000.0),
+            "idle scaling regressed: {:?} vs {:?}",
+            result.idle_high,
+            result.idle_low
+        );
         // At smoke scale the scan is tiny, so both modes do almost the
         // same work and this only guards against the served path being
         // pathologically slower (e.g. a reintroduced Nagle stall). The

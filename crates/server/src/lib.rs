@@ -27,15 +27,27 @@
 //!   [`json`] because the build environment is offline (no serde).
 //!   `batch` carries an array of sub-commands on one line, answered as
 //!   an array with one registry resolution per distinct dataset key.
+//! * [`poller`] — the **readiness-driven connection core**: one
+//!   dedicated poller thread owns every idle connection in
+//!   non-blocking mode behind a minimal vendored readiness shim
+//!   (`epoll` on Linux, `poll(2)` fallback) and hands only *readable*
+//!   connections to the worker pool, so thousands of idle keep-alive
+//!   clients cost zero worker time. It also owns the two
+//!   protocol-hardening knobs for untrusted clients: a request-line
+//!   byte cap (`--max-line-bytes`, structured `line_too_long` answer,
+//!   `O(cap)` memory) and a per-connection token-bucket request-rate
+//!   limit (`--max-rps`, `rate_limited` answer before decoding).
 //! * [`pool`] — a fixed worker thread pool over `mpsc` channels;
 //!   shutdown drains in-flight work before the process exits.
 //! * [`server`] — the `std::net::TcpListener` accept loop and request
-//!   dispatch, with per-command [`metrics`] including fixed-size log₂
-//!   latency histograms (server-side p50/p99).
+//!   dispatch, with per-command [`metrics`] including sliding-window
+//!   log₂ latency histograms (server-side p50/p99 over the last 1–2
+//!   epochs).
 //! * [`client`] — the thin blocking client the `qid query` CLI (and the
 //!   benchmarks) use.
 //!
-//! Everything is `std`-only: no async runtime, no external crates.
+//! Everything is `std`-only: no async runtime, no external crates
+//! beyond the vendored readiness shim.
 //!
 //! ## The wire protocol in one round trip
 //!
@@ -125,6 +137,7 @@
 pub mod client;
 pub mod json;
 pub mod metrics;
+pub mod poller;
 pub mod pool;
 pub mod proto;
 pub mod registry;
@@ -132,8 +145,11 @@ pub mod resolve;
 pub mod server;
 
 pub use client::Client;
+pub use poller::backend_name;
 pub use pool::WorkerPool;
 pub use proto::{sketch_params, DatasetRef, LoadMode, MetricsReport, Request, Response};
 pub use registry::{CacheKey, Registry, RegistryConfig, RegistrySnapshot};
 pub use resolve::{resolve_attr_names, split_attr_spec, ResolvedAttrs};
-pub use server::{handle_request, RunningServer, Server, ServerConfig, ServerState};
+pub use server::{
+    handle_request, RunningServer, Server, ServerConfig, ServerState, DEFAULT_MAX_LINE_BYTES,
+};

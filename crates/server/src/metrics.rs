@@ -3,19 +3,32 @@
 //!
 //! # Bucket scheme
 //!
-//! Each command owns [`LATENCY_BUCKETS`] atomic counters. A latency of
-//! `t` microseconds lands in bucket `floor(log2(max(t, 1)))`, clamped
-//! to the last bucket — so bucket 0 covers 0–1 µs, bucket 1 covers
-//! 2–3 µs, bucket 10 covers ~1–2 ms, and the top bucket (27) absorbs
-//! everything beyond ~2.2 minutes. Quantiles are reported as the
-//! *upper edge* of the bucket containing the requested rank, which
-//! overestimates the true quantile by at most 2× — except for ranks
-//! landing in the open-ended top bucket, whose ~4.5-minute edge
-//! *under*-reports anything slower — while costing a fixed 224 bytes
-//! per command instead of an unbounded reservoir. The same scheme is
-//! documented in `docs/ARCHITECTURE.md`.
+//! Each command owns [`LATENCY_BUCKETS`] atomic counters per epoch. A
+//! latency of `t` microseconds lands in bucket
+//! `floor(log2(max(t, 1)))`, clamped to the last bucket — so bucket 0
+//! covers 0–1 µs, bucket 1 covers 2–3 µs, bucket 10 covers ~1–2 ms,
+//! and the top bucket (27) absorbs everything beyond ~2.2 minutes.
+//! Quantiles are reported as the *upper edge* of the bucket containing
+//! the requested rank, which overestimates the true quantile by at
+//! most 2× — except for ranks landing in the open-ended top bucket,
+//! whose ~4.5-minute edge *under*-reports anything slower — while
+//! costing a fixed few hundred bytes per command instead of an
+//! unbounded reservoir. The same scheme is documented in
+//! `docs/ARCHITECTURE.md`.
+//!
+//! # Sliding window (two-epoch rotation)
+//!
+//! Quantiles describe *recent* traffic, not process history: each
+//! histogram keeps **two** epochs of buckets. Records land in the
+//! current epoch; quantiles sum both; every [`HISTOGRAM_EPOCH`] the
+//! poller thread calls [`Metrics::rotate_histograms`], which zeroes
+//! the older epoch and makes it current. A sample therefore influences
+//! quantiles for one to two epochs and then vanishes — a long-running
+//! server's `p99_us` reflects the last 1–2 minutes, not a latency
+//! spike from last week. Counts, error counts and latency *sums*
+//! remain cumulative since process start.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use crate::proto::{CommandStats, MetricsReport};
@@ -33,16 +46,25 @@ pub const COMMAND_NAMES: [&str; 11] = [
 /// `2^27 µs ≈ 134 s`, the last bucket open-ended.
 pub const LATENCY_BUCKETS: usize = 28;
 
-/// One command's fixed-size log₂ latency histogram.
+/// How long one histogram epoch lasts. Quantiles cover the current
+/// epoch plus the previous one, so they describe the last
+/// `HISTOGRAM_EPOCH`–`2×HISTOGRAM_EPOCH` of traffic.
+pub const HISTOGRAM_EPOCH: Duration = Duration::from_secs(60);
+
+/// One command's sliding-window log₂ latency histogram: two epochs of
+/// [`LATENCY_BUCKETS`] buckets, rotated by [`LatencyHistogram::rotate`].
 #[derive(Debug)]
 pub struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS],
+    epochs: [[AtomicU64; LATENCY_BUCKETS]; 2],
+    /// Which epoch records land in (0 or 1).
+    current: AtomicUsize,
 }
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
         LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            epochs: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            current: AtomicUsize::new(0),
         }
     }
 }
@@ -59,18 +81,35 @@ impl LatencyHistogram {
         (1u64 << (i + 1)) - 1
     }
 
-    /// Records one observation.
+    /// Records one observation into the current epoch.
     pub fn record(&self, us: u64) {
-        self.buckets[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        let epoch = self.current.load(Ordering::Relaxed) & 1;
+        self.epochs[epoch][Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// The quantile `q ∈ (0, 1]` as the upper edge of its bucket;
-    /// 0 when the histogram is empty.
+    /// Slides the window: zeroes the older epoch and makes it current.
+    /// Samples recorded before the *previous* rotation stop
+    /// influencing quantiles; samples from the last epoch remain
+    /// visible until the next rotation. (Concurrent `record`s may land
+    /// in either epoch during the swap — the histogram is statistics,
+    /// not synchronisation.)
+    pub fn rotate(&self) {
+        let next = 1 - (self.current.load(Ordering::Relaxed) & 1);
+        for bucket in &self.epochs[next] {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.current.store(next, Ordering::Relaxed);
+    }
+
+    /// The quantile `q ∈ (0, 1]` over both epochs (the sliding
+    /// window), as the upper edge of its bucket; 0 when the window is
+    /// empty.
     pub fn quantile_us(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
+        let counts: Vec<u64> = (0..LATENCY_BUCKETS)
+            .map(|i| {
+                self.epochs[0][i].load(Ordering::Relaxed)
+                    + self.epochs[1][i].load(Ordering::Relaxed)
+            })
             .collect();
         let total: u64 = counts.iter().sum();
         if total == 0 {
@@ -106,6 +145,11 @@ pub struct Metrics {
     pub protocol_errors: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Request lines rejected for crossing `--max-line-bytes`.
+    pub rejected_oversize: AtomicU64,
+    /// Request lines rejected by the per-connection `--max-rps`
+    /// token bucket.
+    pub rejected_rate: AtomicU64,
 }
 
 impl Metrics {
@@ -146,6 +190,15 @@ impl Metrics {
             .collect()
     }
 
+    /// Slides every command histogram's window forward one epoch (see
+    /// [`LatencyHistogram::rotate`]). Called by the poller thread every
+    /// [`HISTOGRAM_EPOCH`].
+    pub fn rotate_histograms(&self) {
+        for c in &self.per_command {
+            c.histogram.rotate();
+        }
+    }
+
     /// Builds the full `metrics` payload given the registry's lifecycle
     /// counters.
     pub fn report(&self, registry: RegistrySnapshot) -> MetricsReport {
@@ -158,6 +211,9 @@ impl Metrics {
             cache_upgrades: registry.upgrades,
             cache_bytes: registry.resident_bytes,
             datasets: registry.datasets,
+            connections: self.connections.load(Ordering::Relaxed),
+            rejected_oversize: self.rejected_oversize.load(Ordering::Relaxed),
+            rejected_rate: self.rejected_rate.load(Ordering::Relaxed),
             commands: self.command_stats(),
         }
     }
@@ -205,6 +261,55 @@ mod tests {
         assert_eq!(r.cache_bytes, 640);
         assert_eq!(r.datasets, 1);
         assert_eq!(r.commands.len(), COMMAND_NAMES.len());
+        assert_eq!(r.rejected_oversize, 0);
+        assert_eq!(r.rejected_rate, 0);
+    }
+
+    #[test]
+    fn rejection_counters_flow_into_the_report() {
+        let m = Metrics::new();
+        m.rejected_oversize.fetch_add(3, Ordering::Relaxed);
+        m.rejected_rate.fetch_add(5, Ordering::Relaxed);
+        let r = m.report(RegistrySnapshot::default());
+        assert_eq!(r.rejected_oversize, 3);
+        assert_eq!(r.rejected_rate, 5);
+    }
+
+    #[test]
+    fn rotation_expires_old_epoch_samples() {
+        let h = LatencyHistogram::default();
+        for _ in 0..100 {
+            h.record(100); // bucket 6: upper edge 127 µs
+        }
+        assert_eq!(h.quantile_us(0.99), 127);
+        // One rotation: the samples move to the previous epoch but
+        // still count (the window covers both epochs).
+        h.rotate();
+        assert_eq!(h.quantile_us(0.99), 127, "last epoch still visible");
+        // New traffic lands in the fresh current epoch.
+        for _ in 0..100 {
+            h.record(10_000); // bucket 13: upper edge 16383 µs
+        }
+        assert_eq!(h.quantile_us(0.99), 16_383, "both epochs blend");
+        // Second rotation: the 100 µs samples are two epochs old and
+        // stop influencing quantiles entirely.
+        h.rotate();
+        assert_eq!(h.quantile_us(0.50), 16_383, "only the recent epoch remains");
+        // Third rotation with no new traffic: the window empties.
+        h.rotate();
+        assert_eq!(h.quantile_us(0.99), 0, "a quiet window reports zero");
+    }
+
+    #[test]
+    fn metrics_rotation_covers_every_command() {
+        let m = Metrics::new();
+        m.record("audit", Duration::from_micros(100), false);
+        m.rotate_histograms();
+        m.rotate_histograms();
+        let stats = m.command_stats();
+        let audit = stats.iter().find(|c| c.name == "audit").unwrap();
+        assert_eq!(audit.count, 1, "counts stay cumulative");
+        assert_eq!(audit.p50_us, 0, "quantiles forget rotated-out samples");
     }
 
     #[test]

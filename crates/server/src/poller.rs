@@ -1,0 +1,597 @@
+//! The readiness-driven connection core.
+//!
+//! One dedicated poller thread owns every idle connection in
+//! non-blocking mode behind the vendored [`polling`] shim (`epoll` on
+//! Linux, `poll(2)` fallback). Only connections with bytes to read are
+//! handed to the worker pool; a worker drains what the socket has,
+//! answers every complete request line, and hands the connection back
+//! to the poller. Idle keep-alive connections therefore cost **zero**
+//! worker time — the property that moves the server from tens of
+//! clients to thousands (the previous core charged every idle
+//! connection a blocked 150 ms read per cycle, so capacity degraded
+//! linearly in connection count).
+//!
+//! ## Connection state machine
+//!
+//! ```text
+//! accepted ──▶ polled (poller owns it, non-blocking, armed oneshot)
+//!                │  readable
+//!                ▼
+//!            dispatched (a worker owns it: read → frame → answer)
+//!                │                      │
+//!                │ partial line /       │ EOF, I/O error, shutdown,
+//!                │ all lines answered   │ or `shutdown` request
+//!                ▼                      ▼
+//!            re-armed ──▶ polled     closed (drained)
+//! ```
+//!
+//! Exactly one thread owns a connection at any moment (the poller
+//! *or* one worker), so request lines are answered in order with no
+//! per-connection locks.
+//!
+//! ## Hardening at the byte boundary
+//!
+//! This module owns the untrusted bytes, so the two protocol-hardening
+//! knobs live here:
+//!
+//! * **`--max-line-bytes`** — `LineFramer` assembles lines in a
+//!   buffer that never exceeds the cap: the moment a line crosses it,
+//!   the framer emits one `Frame::Oversize`, discards everything up
+//!   to the next newline *without buffering it* (`O(cap)` memory no
+//!   matter how many bytes the client streams), and the server answers
+//!   a structured `line_too_long` error on a connection that stays
+//!   usable.
+//! * **`--max-rps`** — a per-connection `TokenBucket` (burst = one
+//!   second's budget) consulted before a line is even decoded, so a
+//!   flooding client is answered with cheap `rate_limited` errors
+//!   instead of JSON parsing and registry work.
+//!
+//! Both rejections are counted in `metrics` (`rejected_oversize`,
+//! `rejected_rate`).
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::metrics::HISTOGRAM_EPOCH;
+use crate::pool::Job;
+use crate::proto::Response;
+use crate::server::ServerState;
+
+/// How long a worker may block writing one response batch before the
+/// connection is declared dead (slow-read protection: the poller and
+/// the other workers are never affected).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Byte budget one worker spends reading a single connection per
+/// readiness wake-up. A connection with more buffered than this is
+/// re-armed (level-triggered readiness re-fires immediately), so one
+/// fire-hose client cannot pin a worker while others wait.
+const MAX_BYTES_PER_WAKE: usize = 1 << 20;
+
+/// The name of the readiness backend [`polling::Poller::new`] picks on
+/// this host (`"epoll"` on Linux, `"poll"` elsewhere or when
+/// `QID_POLL_BACKEND=poll` forces the fallback).
+pub fn backend_name() -> &'static str {
+    polling::default_backend_name()
+}
+
+/// The per-connection hardening knobs, fixed at server start.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ConnLimits {
+    /// Longest accepted request line, in bytes (excluding the newline).
+    pub max_line_bytes: usize,
+    /// Requests per second per connection; `None` = unlimited.
+    pub max_rps: Option<u32>,
+}
+
+// ------------------------------------------------------------ framing
+
+/// One unit the framer hands back per input chunk.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Frame {
+    /// A complete line (newline stripped), at most `cap` bytes.
+    Line(Vec<u8>),
+    /// A line crossed the cap; its bytes were discarded up to (and
+    /// including) the next newline.
+    Oversize,
+}
+
+/// Assembles newline-delimited frames from arbitrary chunks under a
+/// hard byte cap. Invariant: the internal buffer never holds more than
+/// `cap` bytes, so memory per connection is `O(cap)` regardless of
+/// client behaviour.
+#[derive(Debug)]
+pub(crate) struct LineFramer {
+    cap: usize,
+    buf: Vec<u8>,
+    /// Inside an oversized line: discard until the next newline.
+    skipping: bool,
+}
+
+impl LineFramer {
+    pub fn new(cap: usize) -> LineFramer {
+        LineFramer {
+            cap: cap.max(1),
+            buf: Vec::new(),
+            skipping: false,
+        }
+    }
+
+    /// Feeds one chunk, appending completed frames to `out`.
+    pub fn push(&mut self, chunk: &[u8], out: &mut Vec<Frame>) {
+        let mut rest = chunk;
+        while !rest.is_empty() {
+            let newline = rest.iter().position(|&b| b == b'\n');
+            if self.skipping {
+                match newline {
+                    // Still inside the oversized line: drop everything.
+                    None => rest = &[],
+                    Some(i) => {
+                        self.skipping = false;
+                        rest = &rest[i + 1..];
+                    }
+                }
+                continue;
+            }
+            match newline {
+                Some(i) => {
+                    if self.buf.len() + i > self.cap {
+                        out.push(Frame::Oversize);
+                        self.buf.clear();
+                    } else {
+                        let mut line = std::mem::take(&mut self.buf);
+                        line.extend_from_slice(&rest[..i]);
+                        out.push(Frame::Line(line));
+                    }
+                    rest = &rest[i + 1..];
+                }
+                None => {
+                    if self.buf.len() + rest.len() > self.cap {
+                        // The line already exceeds the cap with no end
+                        // in sight: reject now, buffer nothing more.
+                        out.push(Frame::Oversize);
+                        self.buf.clear();
+                        self.skipping = true;
+                        rest = &[];
+                    } else {
+                        self.buf.extend_from_slice(rest);
+                        rest = &[];
+                    }
+                }
+            }
+        }
+        debug_assert!(self.buf.len() <= self.cap, "framer buffer exceeds cap");
+    }
+
+    /// Drains an unterminated final line at EOF. NDJSON clients are
+    /// supposed to newline-terminate, but a request followed by a
+    /// half-close (`printf '…' | nc`) has always been answered, so the
+    /// framer must not swallow it. A buffer mid-skip (the tail of an
+    /// already-rejected oversized line) yields nothing.
+    pub fn take_eof_tail(&mut self) -> Option<Vec<u8>> {
+        if self.skipping {
+            self.skipping = false;
+            return None;
+        }
+        if self.buf.is_empty() {
+            return None;
+        }
+        Some(std::mem::take(&mut self.buf))
+    }
+}
+
+// --------------------------------------------------------- rate limit
+
+/// A per-connection token bucket: `rate` tokens/second refill, burst
+/// capacity of one second's budget (at least 1 token).
+#[derive(Debug)]
+pub(crate) struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    pub fn new(max_rps: u32, now: Instant) -> TokenBucket {
+        let rate = f64::from(max_rps.max(1));
+        TokenBucket {
+            rate,
+            burst: rate,
+            tokens: rate,
+            last: now,
+        }
+    }
+
+    /// Takes one token if available; refills first.
+    pub fn try_take(&mut self, now: Instant) -> bool {
+        let elapsed = now.saturating_duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + elapsed * self.rate).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+// --------------------------------------------------------- connection
+
+/// One client connection: the non-blocking socket plus the framing and
+/// rate-limit state that travels with it between poller and workers.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    pub stream: TcpStream,
+    framer: LineFramer,
+    bucket: Option<TokenBucket>,
+}
+
+impl Conn {
+    /// Prepares an accepted stream: non-blocking (the poller owns
+    /// blocking), nodelay (responses are single small writes).
+    pub fn new(stream: TcpStream, limits: &ConnLimits) -> Option<Conn> {
+        stream.set_nodelay(true).ok()?;
+        stream.set_nonblocking(true).ok()?;
+        Some(Conn {
+            stream,
+            framer: LineFramer::new(limits.max_line_bytes),
+            bucket: limits
+                .max_rps
+                .map(|rps| TokenBucket::new(rps, Instant::now())),
+        })
+    }
+}
+
+/// What a worker decides about a connection after one wake-up.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Disposition {
+    /// Hand the connection back to the poller for the next request.
+    Rearm,
+    /// Close it (EOF, I/O error, write failure, or shutdown).
+    Close,
+}
+
+/// Serves one readiness wake-up: drain the socket, answer every
+/// complete line, decide the connection's fate.
+pub(crate) fn serve_ready(conn: &mut Conn, state: &ServerState) -> Disposition {
+    let mut chunk = [0u8; 8192];
+    let mut frames = Vec::new();
+    let mut eof = false;
+    let mut total = 0usize;
+    while total < MAX_BYTES_PER_WAKE {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                eof = true;
+                break;
+            }
+            Ok(n) => {
+                total += n;
+                conn.framer.push(&chunk[..n], &mut frames);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(_) => return Disposition::Close,
+        }
+    }
+    if eof {
+        // A final line terminated by EOF instead of a newline is still
+        // a request: answer it, then close.
+        if let Some(tail) = conn.framer.take_eof_tail() {
+            frames.push(Frame::Line(tail));
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut close = eof;
+    for frame in frames {
+        match frame {
+            Frame::Oversize => {
+                state.on_oversize_line(&mut out);
+            }
+            Frame::Line(bytes) => {
+                if bytes.iter().all(|b| b.is_ascii_whitespace()) {
+                    continue; // blank keep-alive lines are free
+                }
+                if let Some(bucket) = &mut conn.bucket {
+                    if !bucket.try_take(Instant::now()) {
+                        state.on_rate_limited(&mut out);
+                        continue;
+                    }
+                }
+                let is_shutdown = state.answer_line(&bytes, &mut out);
+                if is_shutdown {
+                    // Flush the acknowledgement before raising the
+                    // flag, so the requester always sees its "bye".
+                    let _ = write_out(&conn.stream, &out);
+                    state.initiate_shutdown();
+                    return Disposition::Close;
+                }
+                if state.is_shutting_down() {
+                    // Drain contract: finish the in-flight request,
+                    // don't start the next one.
+                    close = true;
+                    break;
+                }
+            }
+        }
+    }
+    if !out.is_empty() && write_out(&conn.stream, &out).is_err() {
+        return Disposition::Close;
+    }
+    if close || state.is_shutting_down() {
+        Disposition::Close
+    } else {
+        Disposition::Rearm
+    }
+}
+
+/// Writes a response batch, temporarily flipping the socket to
+/// blocking mode with a write timeout (responses are small; a peer
+/// that cannot absorb one within [`WRITE_TIMEOUT`] is gone).
+fn write_out(stream: &TcpStream, bytes: &[u8]) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    let result = (&mut &*stream).write_all(bytes);
+    // Restore non-blocking before the poller sees the socket again; if
+    // the write already failed, the connection is closing anyway.
+    let restored = stream.set_nonblocking(true);
+    result.and(restored)
+}
+
+/// Appends one encoded response plus newline to a write batch.
+pub(crate) fn push_response(out: &mut Vec<u8>, response: &Response) {
+    out.extend_from_slice(response.encode().as_bytes());
+    out.push(b'\n');
+}
+
+// ------------------------------------------------------------- poller
+
+/// The handle workers and the accept loop use to (re)register a
+/// connection with the poller thread.
+#[derive(Clone, Debug)]
+pub(crate) struct PollerHandle {
+    tx: Sender<Conn>,
+    poller: Arc<polling::Poller>,
+}
+
+impl PollerHandle {
+    pub fn new(tx: Sender<Conn>, poller: Arc<polling::Poller>) -> PollerHandle {
+        PollerHandle { tx, poller }
+    }
+
+    /// Queues a connection for registration and wakes the poller.
+    /// Returns `false` (dropping the connection → EOF to the client)
+    /// once the poller has exited.
+    pub fn register(&self, conn: Conn) -> bool {
+        if self.tx.send(conn).is_err() {
+            return false;
+        }
+        let _ = self.poller.notify();
+        true
+    }
+}
+
+/// The poller thread body: owns every idle connection, waits for
+/// readiness, dispatches readable connections to the worker pool, and
+/// rotates the metrics histogram epochs on schedule. Exits as soon as
+/// shutdown is flagged, closing every idle connection (EOF to quiet
+/// keep-alive clients) — the drain half of graceful shutdown.
+pub(crate) fn poller_loop(
+    poller: Arc<polling::Poller>,
+    rx: Receiver<Conn>,
+    pool: Sender<Job>,
+    handle: PollerHandle,
+    state: Arc<ServerState>,
+) {
+    let mut idle: HashMap<usize, Conn> = HashMap::new();
+    let mut next_key = 0usize;
+    let mut events: Vec<polling::Event> = Vec::new();
+    let mut next_rotate = Instant::now() + HISTOGRAM_EPOCH;
+    while !state.is_shutting_down() {
+        // Admit new/returning connections before and after each wait,
+        // so a registration queued during dispatch is never stranded.
+        admit(&poller, &rx, &mut idle, &mut next_key, &state);
+        let timeout = next_rotate
+            .saturating_duration_since(Instant::now())
+            .min(Duration::from_secs(1));
+        events.clear();
+        if poller.wait(&mut events, Some(timeout)).is_err() {
+            break; // a broken poller cannot serve; drain and exit
+        }
+        if state.is_shutting_down() {
+            break;
+        }
+        let now = Instant::now();
+        if now >= next_rotate {
+            state.metrics.rotate_histograms();
+            next_rotate = now + HISTOGRAM_EPOCH;
+        }
+        admit(&poller, &rx, &mut idle, &mut next_key, &state);
+        for ev in events.drain(..) {
+            let Some(conn) = idle.remove(&ev.key) else {
+                continue;
+            };
+            // Deregister while a worker owns the socket; `register`
+            // adds it back fresh.
+            let _ = poller.delete(&conn.stream);
+            dispatch(conn, &pool, &handle, &state);
+        }
+    }
+    // Drop (close) every idle connection: poller-registered sockets
+    // see EOF instead of hanging on a dead server.
+    idle.clear();
+}
+
+/// Drains the registration queue into the poller's idle set.
+fn admit(
+    poller: &polling::Poller,
+    rx: &Receiver<Conn>,
+    idle: &mut HashMap<usize, Conn>,
+    next_key: &mut usize,
+    state: &ServerState,
+) {
+    while let Ok(conn) = rx.try_recv() {
+        if state.is_shutting_down() {
+            continue; // dropped → EOF
+        }
+        let key = alloc_key(next_key, idle);
+        if poller
+            .add(&conn.stream, polling::Event::readable(key))
+            .is_ok()
+        {
+            idle.insert(key, conn);
+        }
+        // A failed add drops the connection (EOF) — the client retries.
+    }
+}
+
+/// The next registration key not in use (and never the notify key).
+fn alloc_key(next: &mut usize, idle: &HashMap<usize, Conn>) -> usize {
+    loop {
+        let key = *next;
+        *next = next.wrapping_add(1);
+        if key != polling::NOTIFY_KEY && !idle.contains_key(&key) {
+            return key;
+        }
+    }
+}
+
+/// Hands one readable connection to the worker pool; the worker
+/// returns it via `handle` when done.
+fn dispatch(mut conn: Conn, pool: &Sender<Job>, handle: &PollerHandle, state: &Arc<ServerState>) {
+    let state = Arc::clone(state);
+    let handle = handle.clone();
+    // A send error means the pool is gone (shutdown); the connection
+    // drops with the closure — EOF, exactly the drain behaviour.
+    let _ = pool.send(Box::new(move || match serve_ready(&mut conn, &state) {
+        Disposition::Rearm => {
+            let _ = handle.register(conn);
+        }
+        Disposition::Close => {}
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(framer: &mut LineFramer, chunk: &[u8]) -> Vec<Frame> {
+        let mut out = Vec::new();
+        framer.push(chunk, &mut out);
+        out
+    }
+
+    #[test]
+    fn framer_assembles_lines_across_chunks() {
+        let mut f = LineFramer::new(64);
+        assert_eq!(frames(&mut f, b"hel"), vec![]);
+        assert_eq!(
+            frames(&mut f, b"lo\nwor"),
+            vec![Frame::Line(b"hello".to_vec())]
+        );
+        assert_eq!(
+            frames(&mut f, b"ld\n"),
+            vec![Frame::Line(b"world".to_vec())]
+        );
+    }
+
+    #[test]
+    fn framer_handles_many_lines_in_one_chunk() {
+        let mut f = LineFramer::new(64);
+        assert_eq!(
+            frames(&mut f, b"a\nb\n\nc\n"),
+            vec![
+                Frame::Line(b"a".to_vec()),
+                Frame::Line(b"b".to_vec()),
+                Frame::Line(b"".to_vec()),
+                Frame::Line(b"c".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn framer_rejects_oversize_and_recovers_on_next_line() {
+        let mut f = LineFramer::new(4);
+        // 10x the cap, streamed in chunks: exactly one Oversize, and
+        // the buffer never grows past the cap.
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            f.push(b"xxxx", &mut out);
+            assert!(f.buf.len() <= 4, "O(cap) memory: {}", f.buf.len());
+        }
+        assert_eq!(out, vec![Frame::Oversize]);
+        // The tail of the oversized line is discarded; the next line
+        // parses normally.
+        out.clear();
+        f.push(b"xx\nok\n", &mut out);
+        assert_eq!(out, vec![Frame::Line(b"ok".to_vec())]);
+    }
+
+    #[test]
+    fn framer_rejects_complete_line_just_over_cap() {
+        let mut f = LineFramer::new(4);
+        assert_eq!(
+            frames(&mut f, b"abcd\n"),
+            vec![Frame::Line(b"abcd".to_vec())]
+        );
+        assert_eq!(
+            frames(&mut f, b"abcde\nxy\n"),
+            vec![Frame::Oversize, Frame::Line(b"xy".to_vec()),]
+        );
+    }
+
+    #[test]
+    fn framer_surrenders_an_unterminated_tail_at_eof() {
+        let mut f = LineFramer::new(64);
+        assert_eq!(
+            frames(&mut f, b"a\npartial"),
+            vec![Frame::Line(b"a".to_vec())]
+        );
+        assert_eq!(f.take_eof_tail(), Some(b"partial".to_vec()));
+        assert_eq!(f.take_eof_tail(), None, "drained once");
+        // Mid-skip (oversized line already rejected): the tail is
+        // garbage from the rejected line, not a request.
+        let mut f = LineFramer::new(4);
+        let mut out = Vec::new();
+        f.push(b"xxxxxxxx", &mut out);
+        assert_eq!(out, vec![Frame::Oversize]);
+        assert_eq!(f.take_eof_tail(), None);
+    }
+
+    #[test]
+    fn token_bucket_enforces_rate_and_refills() {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::new(2, t0);
+        // Burst = 2 tokens up front.
+        assert!(bucket.try_take(t0));
+        assert!(bucket.try_take(t0));
+        assert!(!bucket.try_take(t0), "burst exhausted");
+        // 500 ms at 2 rps refills one token.
+        let t1 = t0 + Duration::from_millis(500);
+        assert!(bucket.try_take(t1));
+        assert!(!bucket.try_take(t1));
+        // Refill caps at the burst size even after a long sleep.
+        let t2 = t1 + Duration::from_secs(3600);
+        assert!(bucket.try_take(t2));
+        assert!(bucket.try_take(t2));
+        assert!(
+            !bucket.try_take(t2),
+            "burst never exceeds one second's budget"
+        );
+    }
+
+    #[test]
+    fn token_bucket_tolerates_non_monotonic_instants() {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::new(1, t0);
+        assert!(bucket.try_take(t0));
+        // An earlier instant must not panic or mint tokens.
+        assert!(!bucket.try_take(t0 - Duration::from_secs(5)));
+    }
+}

@@ -329,8 +329,10 @@ pub struct CommandStats {
     /// fixed-size log₂ histogram: the upper edge of the bucket holding
     /// the quantile, so at most 2× the true value — except in the
     /// open-ended top bucket, where latencies beyond ~2.2 minutes all
-    /// report its ~4.5-minute edge. Zero when the command has not been
-    /// seen.
+    /// report its ~4.5-minute edge. The histogram is a two-epoch
+    /// sliding window (see `qid_server::metrics::HISTOGRAM_EPOCH`), so
+    /// quantiles describe recent traffic, not process history. Zero
+    /// when the command has not been seen in the window.
     pub p50_us: u64,
     /// 99th-percentile handling latency, same bucket scheme.
     pub p99_us: u64,
@@ -359,6 +361,15 @@ pub struct MetricsReport {
     pub cache_bytes: u64,
     /// Entries currently resident in the registry.
     pub datasets: usize,
+    /// Connections accepted since process start (idle poller-held
+    /// connections included).
+    pub connections: u64,
+    /// Request lines rejected for crossing the server's
+    /// `--max-line-bytes` cap (answered with `line_too_long`).
+    pub rejected_oversize: u64,
+    /// Request lines rejected by the per-connection `--max-rps` token
+    /// bucket (answered with `rate_limited`, before decoding).
+    pub rejected_rate: u64,
     /// Per-command traffic, in fixed command order.
     pub commands: Vec<CommandStats>,
 }
@@ -458,6 +469,21 @@ pub enum Response {
     Metrics(MetricsReport),
     /// `shutdown` acknowledged; the server drains and exits.
     ShuttingDown,
+    /// The request line crossed the server's `--max-line-bytes` cap.
+    /// The oversized line was discarded in `O(cap)` memory and the
+    /// connection stays usable — retry with a shorter line (split a
+    /// large `batch`).
+    LineTooLong {
+        /// The server's configured cap, in bytes.
+        limit: usize,
+    },
+    /// The connection exceeded its `--max-rps` request-rate budget.
+    /// The line was rejected *before* decoding; the connection stays
+    /// usable — slow down and retry.
+    RateLimited {
+        /// The server's configured per-connection requests/second.
+        max_rps: u32,
+    },
     /// Any failure.
     Error {
         /// Human-readable cause.
@@ -597,6 +623,12 @@ impl Response {
                 ("cache_upgrades", Json::Int(report.cache_upgrades as i64)),
                 ("cache_bytes", Json::Int(report.cache_bytes as i64)),
                 ("datasets", Json::Int(report.datasets as i64)),
+                ("connections", Json::Int(report.connections as i64)),
+                (
+                    "rejected_oversize",
+                    Json::Int(report.rejected_oversize as i64),
+                ),
+                ("rejected_rate", Json::Int(report.rejected_rate as i64)),
                 (
                     "commands",
                     Json::Arr(
@@ -618,6 +650,26 @@ impl Response {
                 ),
             ]),
             Response::ShuttingDown => obj(vec![("ok", Json::Bool(true)), ("kind", s("bye"))]),
+            Response::LineTooLong { limit } => obj(vec![
+                ("ok", Json::Bool(false)),
+                ("kind", s("line_too_long")),
+                ("limit", Json::Int(*limit as i64)),
+                (
+                    "error",
+                    s(format!("request line exceeds the {limit}-byte cap")),
+                ),
+            ]),
+            Response::RateLimited { max_rps } => obj(vec![
+                ("ok", Json::Bool(false)),
+                ("kind", s("rate_limited")),
+                ("max_rps", Json::Int(i64::from(*max_rps))),
+                (
+                    "error",
+                    s(format!(
+                        "connection exceeded {max_rps} requests/second; slow down"
+                    )),
+                ),
+            ]),
             Response::Error { message } => obj(vec![
                 ("ok", Json::Bool(false)),
                 ("kind", s("error")),
@@ -795,10 +847,23 @@ impl Response {
                     cache_upgrades: u64_field("cache_upgrades"),
                     cache_bytes: u64_field("cache_bytes"),
                     datasets: v.get("datasets").and_then(Json::as_usize).unwrap_or(0),
+                    connections: u64_field("connections"),
+                    rejected_oversize: u64_field("rejected_oversize"),
+                    rejected_rate: u64_field("rejected_rate"),
                     commands,
                 }))
             }
             "bye" => Ok(Response::ShuttingDown),
+            "line_too_long" => Ok(Response::LineTooLong {
+                limit: usize_field("limit")?,
+            }),
+            "rate_limited" => Ok(Response::RateLimited {
+                max_rps: v
+                    .get("max_rps")
+                    .and_then(Json::as_u64)
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or("rate_limited response needs an integer \"max_rps\"")?,
+            }),
             "error" => Ok(Response::Error {
                 message: v
                     .get("error")
@@ -952,6 +1017,9 @@ mod tests {
                 cache_upgrades: 1,
                 cache_bytes: 4096,
                 datasets: 1,
+                connections: 12,
+                rejected_oversize: 2,
+                rejected_rate: 7,
                 commands: vec![CommandStats {
                     name: "audit".into(),
                     count: 4,
@@ -962,6 +1030,8 @@ mod tests {
                 }],
             }),
             Response::ShuttingDown,
+            Response::LineTooLong { limit: 262_144 },
+            Response::RateLimited { max_rps: 50 },
             Response::Error {
                 message: "no such file".into(),
             },

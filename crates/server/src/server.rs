@@ -1,15 +1,16 @@
 //! The resident audit service: accept loop, dispatch, graceful drain.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use qid_core::minkey::{enumerate_minimal_keys, GreedyRefineMinKey, LatticeConfig};
 use qid_core::separation::group_sizes;
 
 use crate::metrics::Metrics;
+use crate::poller::{poller_loop, push_response, Conn, ConnLimits, PollerHandle};
 use crate::proto::{
     DatasetRef, LoadMode, Request, Response, SKETCH_ALPHA, SKETCH_K, SKETCH_REL_EPS,
 };
@@ -19,6 +20,11 @@ use crate::WorkerPool;
 
 /// Caps `audit`'s lattice search, matching the CLI's limit.
 const MAX_LATTICE_CANDIDATES: usize = 500_000;
+
+/// Default request-line byte cap (`--max-line-bytes`): generous enough
+/// for large `batch` lines, small enough that a hostile client cannot
+/// make a worker buffer unbounded memory.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 256 * 1024;
 
 /// How to bind and size the server.
 #[derive(Clone, Debug)]
@@ -33,6 +39,15 @@ pub struct ServerConfig {
     /// Registry persistence directory (`--cache-dir`); `None` disables
     /// the on-disk warm tier.
     pub cache_dir: Option<String>,
+    /// Longest accepted request line in bytes (`--max-line-bytes`).
+    /// Longer lines are answered with a structured `line_too_long`
+    /// error, discarded in `O(cap)` memory, and the connection stays
+    /// usable.
+    pub max_line_bytes: usize,
+    /// Per-connection request-rate cap in requests/second
+    /// (`--max-rps`); `None` disables rate limiting. Over-budget lines
+    /// are answered with `rate_limited` before they are decoded.
+    pub max_rps: Option<u32>,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +57,8 @@ impl Default for ServerConfig {
             workers: 4,
             cache_bytes: None,
             cache_dir: None,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            max_rps: None,
         }
     }
 }
@@ -55,6 +72,10 @@ pub struct ServerState {
     pub metrics: Metrics,
     shutdown: AtomicBool,
     local_addr: SocketAddr,
+    limits: ConnLimits,
+    /// Set once `serve` builds the poller, so `initiate_shutdown` can
+    /// wake it.
+    poller: OnceLock<Arc<polling::Poller>>,
 }
 
 impl ServerState {
@@ -63,10 +84,14 @@ impl ServerState {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Flags shutdown and pokes the accept loop awake with a throwaway
-    /// connection so it can observe the flag.
-    fn initiate_shutdown(&self) {
+    /// Flags shutdown, wakes the poller thread, and pokes the accept
+    /// loop awake with a throwaway connection so it can observe the
+    /// flag.
+    pub(crate) fn initiate_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(poller) = self.poller.get() {
+            let _ = poller.notify();
+        }
         // A wildcard bind (0.0.0.0 / ::) is not a connectable
         // destination everywhere; aim the wake-up at loopback.
         let mut addr = self.local_addr;
@@ -105,6 +130,11 @@ impl Server {
                 metrics: Metrics::new(),
                 shutdown: AtomicBool::new(false),
                 local_addr,
+                limits: ConnLimits {
+                    max_line_bytes: config.max_line_bytes.max(1),
+                    max_rps: config.max_rps.filter(|&rps| rps > 0),
+                },
+                poller: OnceLock::new(),
             }),
             workers: config.workers.max(1),
         })
@@ -121,14 +151,35 @@ impl Server {
     }
 
     /// Runs the accept loop until a `shutdown` request arrives, then
-    /// drains in-flight connections and returns.
+    /// drains in-flight requests *and* poller-registered idle
+    /// connections before returning.
+    ///
+    /// The loop itself only accepts: every connection is handed to the
+    /// poller thread (see [`crate::poller`]), which owns all idle
+    /// sockets in non-blocking mode and dispatches only *readable*
+    /// ones to the worker pool.
     pub fn serve(self) -> io::Result<()> {
         let mut pool = WorkerPool::new(self.workers);
+        let poller = Arc::new(polling::Poller::new()?);
+        let _ = self.state.poller.set(Arc::clone(&poller));
+        let (reg_tx, reg_rx) = std::sync::mpsc::channel::<Conn>();
+        let handle = PollerHandle::new(reg_tx, Arc::clone(&poller));
+        let pool_tx = pool.sender().expect("fresh pool has an open queue");
+        let poller_thread = {
+            let poller = Arc::clone(&poller);
+            let handle = handle.clone();
+            let state = Arc::clone(&self.state);
+            std::thread::Builder::new()
+                .name("qid-poller".to_string())
+                .spawn(move || poller_loop(poller, reg_rx, pool_tx, handle, state))
+                .expect("spawn poller thread")
+        };
         // Unknown accept errors are retried with backoff this many
         // times before giving up: a resident service must survive
         // transient failures (fd exhaustion, aborted handshakes), but
         // a permanently broken listener must not spin forever.
         let mut consecutive_errors = 0u32;
+        let mut result = Ok(());
         loop {
             let (stream, _) = match self.listener.accept() {
                 Ok(conn) => {
@@ -159,13 +210,12 @@ impl Server {
                         std::thread::sleep(std::time::Duration::from_millis(50));
                         continue;
                     }
-                    // Raise the flag before dropping the pool: idle
-                    // connections requeue themselves until they see
-                    // it, so joining the workers without it would
-                    // never finish (and lose the error).
+                    // Raise the flag so the poller and workers drain
+                    // instead of spinning; keep the error for the
+                    // caller.
                     self.state.shutdown.store(true, Ordering::SeqCst);
-                    pool.shutdown();
-                    return Err(e);
+                    result = Err(e);
+                    break;
                 }
             };
             if self.state.is_shutting_down() {
@@ -175,16 +225,24 @@ impl Server {
                 .metrics
                 .connections
                 .fetch_add(1, Ordering::Relaxed);
-            let Some(conn) = Connection::new(stream) else {
+            let Some(conn) = Conn::new(stream, &self.state.limits) else {
                 continue;
             };
-            let state = Arc::clone(&self.state);
-            let Some(requeue) = pool.sender() else { break };
-            pool.execute(Box::new(move || serve_connection(conn, state, requeue)));
+            // Fresh connections go through the poller too: readiness
+            // is level-triggered, so a request that already arrived
+            // fires the moment the registration lands.
+            handle.register(conn);
         }
-        // Closing the channel drains queued connections, then joins.
+        // Drain, in dependency order: wake and join the poller (it
+        // closes every idle connection and stops dispatching), then
+        // close the pool queue and join the workers (finishing every
+        // dispatched request). Workers trying to re-register after the
+        // poller exited drop their connection — EOF, as drained.
+        let _ = poller.notify();
+        drop(handle);
+        let _ = poller_thread.join();
         pool.shutdown();
-        Ok(())
+        result
     }
 
     /// Serves on a background thread; the returned handle exposes the
@@ -232,138 +290,80 @@ impl RunningServer {
     }
 }
 
-/// How often an idle connection yields its worker back to the pool
-/// (and, during a drain, how quickly quiet keep-alive clients are
-/// closed). Connections do not *permanently* pin workers: a read that
-/// sits idle this long re-enqueues the connection and frees the
-/// thread, so `N` idle clients never starve client `N+1` even on a
-/// 1-worker pool. Each idle connection still costs a worker one
-/// blocked read per cycle, so latency degrades linearly with the
-/// idle-connection count — acceptable for tens of keep-alive clients;
-/// event-driven IO is the ROADMAP item for thousands.
-const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(150);
-
-/// One client connection, with its buffered reader and any partial
-/// line carried across idle timeouts.
-struct Connection {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-    line: Vec<u8>,
-}
-
-impl Connection {
-    fn new(stream: TcpStream) -> Option<Connection> {
-        // A read timeout turns a blocked `read_line` into the periodic
-        // yield/shutdown check described on [`IDLE_POLL`]; nodelay
-        // because responses are single small writes.
-        stream.set_nodelay(true).ok()?;
-        stream.set_read_timeout(Some(IDLE_POLL)).ok()?;
-        let read_half = stream.try_clone().ok()?;
-        Some(Connection {
-            reader: BufReader::new(read_half),
-            writer: stream,
-            line: Vec::new(),
-        })
-    }
-}
-
-/// Serves requests on one connection until EOF, error, shutdown, or an
-/// idle timeout — on idle, the connection re-enqueues itself via
-/// `requeue` so the worker can serve someone else meanwhile.
-fn serve_connection(
-    mut conn: Connection,
-    state: Arc<ServerState>,
-    requeue: std::sync::mpsc::Sender<crate::pool::Job>,
-) {
-    loop {
-        // Raw bytes, not `read_line`: on an idle timeout mid-line,
-        // `read_until` keeps whatever was appended, whereas
-        // `read_line` discards the partial tail when it happens to
-        // split a multi-byte UTF-8 character (std validates and rolls
-        // back on error). UTF-8 is checked once per complete line.
-        match conn.reader.read_until(b'\n', &mut conn.line) {
-            Ok(0) => return, // EOF
-            Ok(_) => {
-                let done = serve_one_line(&mut conn, &state);
-                conn.line.clear();
-                // The drain must also finish under a client that never
-                // goes idle: stop after the in-flight request, don't
-                // wait for a timeout that a busy sender never hits.
-                if done || state.is_shutting_down() {
-                    return;
-                }
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                // The partial line travels with the connection
-                // through the queue.
-                if state.is_shutting_down() {
-                    return;
-                }
-                let state = Arc::clone(&state);
-                let tx = requeue.clone();
-                let _ = requeue.send(Box::new(move || serve_connection(conn, state, tx)));
-                return;
-            }
-            Err(_) => return,
-        }
-    }
-}
-
-/// Decodes and answers the request line in `conn.line`. Returns `true`
-/// if the connection should close (write failure or shutdown).
-fn serve_one_line(conn: &mut Connection, state: &ServerState) -> bool {
-    let Ok(line) = std::str::from_utf8(&conn.line) else {
-        state
-            .metrics
-            .protocol_errors
-            .fetch_add(1, Ordering::Relaxed);
-        let response = Response::Error {
-            message: "request line is not valid UTF-8".to_string(),
+impl ServerState {
+    /// Decodes and answers one complete request line, appending the
+    /// encoded response (plus newline) to `out`. Returns `true` when
+    /// the line was a `shutdown` request — the caller flushes and
+    /// raises the flag.
+    pub(crate) fn answer_line(&self, bytes: &[u8], out: &mut Vec<u8>) -> bool {
+        let Ok(line) = std::str::from_utf8(bytes) else {
+            self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            push_response(
+                out,
+                &Response::Error {
+                    message: "request line is not valid UTF-8".to_string(),
+                },
+            );
+            return false;
         };
-        return conn.writer.write_all(response.encode().as_bytes()).is_err()
-            || conn.writer.write_all(b"\n").is_err()
-            || conn.writer.flush().is_err();
-    };
-    let trimmed = line.trim();
-    if trimmed.is_empty() {
-        return false;
-    }
-    let started = Instant::now();
-    let (response, command, is_error) = match Request::decode(trimmed) {
-        Ok(request) => {
-            let command = request.command_name();
-            let shutdown = matches!(request, Request::Shutdown);
-            let response = handle_request(&request, state);
-            let is_error = matches!(response, Response::Error { .. });
-            if shutdown {
-                state.metrics.record(command, started.elapsed(), is_error);
-                let _ = conn.writer.write_all(response.encode().as_bytes());
-                let _ = conn.writer.write_all(b"\n");
-                let _ = conn.writer.flush();
-                state.initiate_shutdown();
-                return true;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return false;
+        }
+        let started = Instant::now();
+        let (response, command, is_error) = match Request::decode(trimmed) {
+            Ok(request) => {
+                let command = request.command_name();
+                let shutdown = matches!(request, Request::Shutdown);
+                let response = handle_request(&request, self);
+                let is_error = matches!(response, Response::Error { .. });
+                if shutdown {
+                    self.metrics.record(command, started.elapsed(), is_error);
+                    push_response(out, &response);
+                    return true;
+                }
+                (response, Some(command), is_error)
             }
-            (response, Some(command), is_error)
+            Err(message) => {
+                self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                (Response::Error { message }, None, true)
+            }
+        };
+        if let Some(command) = command {
+            self.metrics.record(command, started.elapsed(), is_error);
         }
-        Err(message) => {
-            state
-                .metrics
-                .protocol_errors
-                .fetch_add(1, Ordering::Relaxed);
-            (Response::Error { message }, None, true)
-        }
-    };
-    if let Some(command) = command {
-        state.metrics.record(command, started.elapsed(), is_error);
+        push_response(out, &response);
+        false
     }
-    conn.writer.write_all(response.encode().as_bytes()).is_err()
-        || conn.writer.write_all(b"\n").is_err()
-        || conn.writer.flush().is_err()
+
+    /// Answers (and counts) a request line that crossed
+    /// `--max-line-bytes`. The line was never buffered whole — the
+    /// framer discarded it in `O(cap)` memory — and the connection
+    /// stays usable.
+    pub(crate) fn on_oversize_line(&self, out: &mut Vec<u8>) {
+        self.metrics
+            .rejected_oversize
+            .fetch_add(1, Ordering::Relaxed);
+        push_response(
+            out,
+            &Response::LineTooLong {
+                limit: self.limits.max_line_bytes,
+            },
+        );
+    }
+
+    /// Answers (and counts) a request rejected by the per-connection
+    /// `--max-rps` token bucket, before any decoding work was spent on
+    /// it.
+    pub(crate) fn on_rate_limited(&self, out: &mut Vec<u8>) {
+        self.metrics.rejected_rate.fetch_add(1, Ordering::Relaxed);
+        push_response(
+            out,
+            &Response::RateLimited {
+                max_rps: self.limits.max_rps.unwrap_or(0),
+            },
+        );
+    }
 }
 
 /// Dispatches one decoded request against the shared state.

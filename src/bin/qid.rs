@@ -21,6 +21,7 @@
 //! ```text
 //! qid serve [--addr 127.0.0.1:0] [--workers 4]
 //!           [--cache-bytes N[K|M|G]] [--cache-dir DIR]
+//!           [--max-line-bytes N[K|M|G]] [--max-rps N]
 //! qid query <addr> load    data.csv [--eps E] [--seed S] [--stream]
 //! qid query <addr> audit   data.csv [--eps E] [--seed S] [--max-key-size K]
 //! qid query <addr> key     data.csv [--eps E] [--seed S]
@@ -43,6 +44,16 @@
 //! eviction); `--cache-dir` persists built samples so a restarted
 //! server warms up without re-scanning sources. See README "Cache
 //! lifecycle".
+//!
+//! The server's connection core is readiness-driven (`epoll` on Linux,
+//! `poll(2)` fallback): idle keep-alive connections cost no worker
+//! time, so thousands of quiet clients can stay connected. Two knobs
+//! harden it against untrusted clients: `--max-line-bytes` caps the
+//! request-line length (default 256K; longer lines get a structured
+//! `line_too_long` error in O(cap) memory and the connection
+//! survives) and `--max-rps` rate-limits each connection with a token
+//! bucket (default off; over-budget lines get `rate_limited` before
+//! they are decoded).
 
 use std::process::ExitCode;
 
@@ -95,7 +106,8 @@ fn usage() -> ! {
          [--eps E] [--seed S] [--attrs a,b,c] [--max-key-size K] \
          [--budget B] [--exact]\n\
          \x20      qid serve [--addr HOST:PORT] [--workers N] \
-         [--cache-bytes N[K|M|G]] [--cache-dir DIR]\n\
+         [--cache-bytes N[K|M|G]] [--cache-dir DIR] \
+         [--max-line-bytes N[K|M|G]] [--max-rps N]\n\
          \x20      qid query <addr> \
          <load|audit|key|check|sketch|mask|stats|batch|unload|metrics|shutdown> \
          [data.csv | -] [flags]"
@@ -214,6 +226,25 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 }))
             }
             "--cache-dir" => config.cache_dir = Some(take("--cache-dir").clone()),
+            "--max-line-bytes" => {
+                let bytes = parse_bytes(take("--max-line-bytes")).unwrap_or_else(|| {
+                    eprintln!("--max-line-bytes wants an integer with an optional K/M/G suffix");
+                    usage()
+                });
+                if bytes == 0 || bytes > usize::MAX as u64 {
+                    eprintln!("--max-line-bytes must be between 1 and usize::MAX");
+                    usage()
+                }
+                config.max_line_bytes = bytes as usize;
+            }
+            "--max-rps" => {
+                let rps: u32 = take("--max-rps").parse().unwrap_or_else(|_| {
+                    eprintln!("--max-rps wants a non-negative integer (0 disables)");
+                    usage()
+                });
+                // 0 keeps the default (unlimited) explicit.
+                config.max_rps = (rps > 0).then_some(rps);
+            }
             _ => {
                 eprintln!("unknown flag {flag}");
                 usage()
@@ -235,9 +266,14 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let mut stdout = std::io::stdout();
     let _ = writeln!(
         stdout,
-        "qid-server listening on {} (workers = {})",
+        "qid-server listening on {} (workers = {}, poller = {}, max-line-bytes = {}, max-rps = {})",
         server.local_addr(),
-        config.workers.max(1)
+        config.workers.max(1),
+        quasi_id::server::backend_name(),
+        config.max_line_bytes,
+        config
+            .max_rps
+            .map_or("off".to_string(), |rps| rps.to_string())
     );
     let _ = stdout.flush();
     match server.serve() {
@@ -536,6 +572,13 @@ fn print_response(response: &Response) -> ExitCode {
                 report.cache_stale_rebuilds,
                 report.cache_upgrades
             );
+            outln!(
+                "connections: {} accepted; hardening: {} oversize lines rejected, \
+                 {} rate-limited",
+                report.connections,
+                report.rejected_oversize,
+                report.rejected_rate
+            );
             outln!("command     count  errors  latency_us      p50_us      p99_us");
             for c in &report.commands {
                 outln!(
@@ -550,6 +593,19 @@ fn print_response(response: &Response) -> ExitCode {
             }
         }
         Response::ShuttingDown => outln!("server shutting down"),
+        Response::LineTooLong { limit } => {
+            eprintln!(
+                "server rejected the request line: longer than the {limit}-byte cap \
+                 (split large batches or raise --max-line-bytes)"
+            );
+            return ExitCode::FAILURE;
+        }
+        Response::RateLimited { max_rps } => {
+            eprintln!(
+                "server rate-limited the connection ({max_rps} requests/second); retry later"
+            );
+            return ExitCode::FAILURE;
+        }
         Response::Error { message } => {
             eprintln!("server error: {message}");
             return ExitCode::FAILURE;

@@ -35,9 +35,21 @@ use quasi_id::server::{Server, ServerConfig};
 const GOLDEN: &str = include_str!("golden/proto_conformance.ndjson");
 
 /// Every response `kind` the protocol can emit.
-const RESPONSE_KINDS: [&str; 12] = [
-    "loaded", "audit", "key", "check", "sketch", "mask", "stats", "batch", "unloaded", "metrics",
-    "bye", "error",
+const RESPONSE_KINDS: [&str; 14] = [
+    "loaded",
+    "audit",
+    "key",
+    "check",
+    "sketch",
+    "mask",
+    "stats",
+    "batch",
+    "unloaded",
+    "metrics",
+    "bye",
+    "line_too_long",
+    "rate_limited",
+    "error",
 ];
 
 fn ds() -> DatasetRef {
@@ -182,6 +194,9 @@ fn corpus() -> Vec<String> {
             cache_upgrades: 0,
             cache_bytes: 4144,
             datasets: 1,
+            connections: 512,
+            rejected_oversize: 3,
+            rejected_rate: 17,
             commands: vec![CommandStats {
                 name: "audit".into(),
                 count: 2,
@@ -192,6 +207,8 @@ fn corpus() -> Vec<String> {
             }],
         }),
         Response::ShuttingDown,
+        Response::LineTooLong { limit: 262_144 },
+        Response::RateLimited { max_rps: 50 },
         Response::Error {
             message: "reading /data/people.csv: no such file".into(),
         },
@@ -299,6 +316,8 @@ fn collect_kinds(response: &Response, kinds: &mut std::collections::BTreeSet<Str
         Response::Unloaded { .. } => "unloaded",
         Response::Metrics(_) => "metrics",
         Response::ShuttingDown => "bye",
+        Response::LineTooLong { .. } => "line_too_long",
+        Response::RateLimited { .. } => "rate_limited",
         Response::Error { .. } => "error",
     };
     kinds.insert(kind.to_string());
@@ -417,6 +436,100 @@ proptest! {
         let mut reply = String::new();
         reader.read_line(&mut reply).expect("connection stays usable");
         let v = json::parse(reply.trim()).expect("metrics reply parses");
+        prop_assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(true));
+    }
+}
+
+// ------------------------------------------- line-cap straddling layer
+
+/// The request-line byte cap of the dedicated capped fuzz server.
+const FUZZ_CAP: usize = 1024;
+
+/// One shared in-process server with a small `--max-line-bytes` cap,
+/// for fuzzing lines that straddle it.
+fn capped_server_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            max_line_bytes: FUZZ_CAP,
+            ..ServerConfig::default()
+        })
+        .expect("bind capped fuzz server");
+        let addr = server.local_addr();
+        std::mem::forget(server.spawn());
+        addr
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lines straddling `--max-line-bytes` — cap−1, cap, cap+1, 10×cap
+    /// and lengths in between — are either served (≤ cap) or rejected
+    /// with a structured `line_too_long` (> cap), and the connection
+    /// survives every rejection. The line is a valid `metrics` request
+    /// padded with trailing spaces, so the ≤ cap side proves the cap
+    /// admits exactly up to its limit and the > cap side proves the
+    /// rejection is the *only* thing that changed.
+    #[test]
+    fn lines_straddling_the_cap_reject_cleanly_and_survive(
+        len in prop_oneof![
+            Just(FUZZ_CAP - 1),
+            Just(FUZZ_CAP),
+            Just(FUZZ_CAP + 1),
+            Just(10 * FUZZ_CAP),
+            17usize..FUZZ_CAP,
+            FUZZ_CAP + 1..4 * FUZZ_CAP,
+        ]
+    ) {
+        let stream = TcpStream::connect(capped_server_addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+
+        let mut line = br#"{"cmd":"metrics"}"#.to_vec();
+        assert!(len >= line.len(), "padding target below the base request");
+        line.resize(len, b' ');
+        writer.write_all(&line).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("server must answer");
+        prop_assert!(!reply.is_empty(), "connection dropped at len {len}");
+        let v = json::parse(reply.trim()).expect("reply is valid JSON");
+        if len <= FUZZ_CAP {
+            prop_assert_eq!(
+                v.get("kind").and_then(|k| k.as_str()),
+                Some("metrics"),
+                "a line of {} bytes is within the {}-byte cap", len, FUZZ_CAP
+            );
+        } else {
+            prop_assert_eq!(
+                v.get("ok").and_then(|b| b.as_bool()),
+                Some(false)
+            );
+            prop_assert_eq!(
+                v.get("kind").and_then(|k| k.as_str()),
+                Some("line_too_long"),
+                "a line of {} bytes crosses the {}-byte cap", len, FUZZ_CAP
+            );
+            prop_assert_eq!(
+                v.get("limit").and_then(|l| l.as_u64()),
+                Some(FUZZ_CAP as u64),
+                "the rejection quotes the cap"
+            );
+        }
+
+        // The connection survives either way: an unpadded request on
+        // the same socket still answers.
+        writer.write_all(b"{\"cmd\":\"metrics\"}\n").unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("connection stays usable");
+        let v = json::parse(reply.trim()).expect("follow-up reply parses");
         prop_assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(true));
     }
 }

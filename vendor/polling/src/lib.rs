@@ -1,0 +1,747 @@
+//! Offline stand-in for the `polling` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides exactly the readiness-notification surface the
+//! `qid-server` connection core uses, in the same oneshot style as the
+//! real `polling` crate:
+//!
+//! * [`Poller::add`] registers a socket with a `usize` key and an
+//!   interest ([`Event::readable`] / [`Event::writable`]);
+//! * [`Poller::wait`] blocks until ≥ 1 registered source is ready (or a
+//!   timeout), appending one [`Event`] per ready source;
+//! * registrations are **oneshot**: once a source is reported it stays
+//!   registered but disarmed until [`Poller::modify`] re-arms it, so
+//!   one connection is never reported to two consumers at once;
+//! * [`Poller::notify`] wakes a blocked [`Poller::wait`] from any
+//!   thread (a self-pipe under the hood).
+//!
+//! Two backends implement that contract:
+//!
+//! * **epoll** (Linux): `O(ready)` per wait, the default — idle
+//!   registrations are free, which is what lets thousands of quiet
+//!   keep-alive connections coexist with microsecond dispatch.
+//! * **poll(2)** (any Unix): rebuilds the `pollfd` array every wait, so
+//!   each wait costs `O(registered)` — correct everywhere `poll` exists
+//!   and the fallback when epoll is unavailable. Force it with
+//!   `QID_POLL_BACKEND=poll` (useful for exercising the fallback in
+//!   tests on Linux).
+//!
+//! Everything is `std` plus five libc symbols (`epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, `poll`, `fcntl`) declared directly — std
+//! already links libc, so no external crate is needed.
+
+#![cfg_attr(not(unix), allow(unused))]
+
+#[cfg(not(unix))]
+compile_error!("the vendored polling shim only supports Unix targets");
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The key [`Poller::notify`] wake-ups use internally. Never returned
+/// from [`Poller::wait`] and rejected by [`Poller::add`].
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+/// A readiness event: which registration fired and how.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// The key the source was registered under.
+    pub key: usize,
+    /// The source is readable (or has hung up / errored — a read will
+    /// observe the condition).
+    pub readable: bool,
+    /// The source is writable.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in readability only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in writability only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Interest in both directions.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+}
+
+/// Which readiness syscall backs a [`Poller`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Linux `epoll(7)`: `O(ready)` waits.
+    #[cfg(target_os = "linux")]
+    Epoll,
+    /// POSIX `poll(2)`: `O(registered)` waits, works everywhere.
+    Poll,
+}
+
+impl BackendKind {
+    /// The backend [`Poller::new`] would pick right now: `epoll` on
+    /// Linux unless `QID_POLL_BACKEND=poll` is set, `poll` elsewhere.
+    pub fn default_kind() -> BackendKind {
+        #[cfg(target_os = "linux")]
+        {
+            if std::env::var_os("QID_POLL_BACKEND").is_some_and(|v| v == "poll") {
+                BackendKind::Poll
+            } else {
+                BackendKind::Epoll
+            }
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            BackendKind::Poll
+        }
+    }
+
+    /// Stable human-readable name (`"epoll"` / `"poll"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            #[cfg(target_os = "linux")]
+            BackendKind::Epoll => "epoll",
+            BackendKind::Poll => "poll",
+        }
+    }
+}
+
+/// The name of the backend [`Poller::new`] would pick right now.
+pub fn default_backend_name() -> &'static str {
+    BackendKind::default_kind().name()
+}
+
+// ------------------------------------------------------------------ ffi
+
+mod ffi {
+    use std::os::raw::{c_int, c_short, c_ulong, c_void};
+
+    pub const F_GETFL: c_int = 3;
+    pub const F_SETFL: c_int = 4;
+    pub const O_NONBLOCK: c_int = 0o4000;
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+    pub const POLLNVAL: c_short = 0x020;
+
+    /// `struct pollfd` from `poll(2)`.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CLOEXEC: c_int = 0x80000;
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLIN: u32 = 0x001;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLOUT: u32 = 0x004;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLERR: u32 = 0x008;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLHUP: u32 = 0x010;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLONESHOT: u32 = 1 << 30;
+
+    /// `struct epoll_event`. The kernel ABI packs it on x86-64 (and
+    /// only there), exactly as libc's definition does.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    #[cfg(target_os = "linux")]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        pub fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+
+    /// Avoids an unused-import warning on non-Linux targets.
+    pub type Unused = c_void;
+}
+
+/// Flips a descriptor to non-blocking mode.
+fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    // SAFETY: F_GETFL/F_SETFL on a descriptor we own; no pointers are
+    // involved and an invalid fd is reported through the return value.
+    let flags = unsafe { ffi::fcntl(fd, ffi::F_GETFL) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: same contract as above, setting the flags we just read
+    // plus O_NONBLOCK.
+    if unsafe { ffi::fcntl(fd, ffi::F_SETFL, flags | ffi::O_NONBLOCK) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Milliseconds for the kernel timeout argument: `None` → block
+/// forever; sub-millisecond waits round up so a short timeout never
+/// becomes a busy-loop.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis().min(i32::MAX as u128) as i32;
+            if ms == 0 && !d.is_zero() {
+                1
+            } else {
+                ms
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ backends
+
+/// One registration in the poll(2) backend's table.
+#[derive(Clone, Copy, Debug)]
+struct PollReg {
+    key: usize,
+    readable: bool,
+    writable: bool,
+    /// Oneshot emulation: cleared when the fd is reported, set again by
+    /// `modify`.
+    armed: bool,
+}
+
+#[derive(Debug, Default)]
+struct PollTable {
+    fds: HashMap<RawFd, PollReg>,
+}
+
+#[cfg(target_os = "linux")]
+#[derive(Debug)]
+struct EpollBackend {
+    epfd: OwnedFd,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollBackend {
+    fn new(notify_fd: RawFd) -> io::Result<EpollBackend> {
+        // SAFETY: epoll_create1 takes no pointers; a failure is
+        // reported through the return value.
+        let raw = unsafe { ffi::epoll_create1(ffi::EPOLL_CLOEXEC) };
+        if raw < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: `raw` is a fresh, valid epoll descriptor we own.
+        let epfd = unsafe { OwnedFd::from_raw_fd(raw) };
+        let backend = EpollBackend { epfd };
+        // The notify pipe is level-triggered and *not* oneshot: a
+        // pending wake-up byte keeps reporting until drained.
+        backend.ctl(ffi::EPOLL_CTL_ADD, notify_fd, ffi::EPOLLIN, NOTIFY_KEY)?;
+        Ok(backend)
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, key: usize) -> io::Result<()> {
+        let mut ev = ffi::EpollEvent {
+            events,
+            data: key as u64,
+        };
+        // SAFETY: `ev` is a valid epoll_event for the duration of the
+        // call; the epoll fd and target fd are live descriptors (an
+        // invalid one is reported via the return value, not UB).
+        if unsafe { ffi::epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn interest_bits(ev: Event) -> u32 {
+        let mut bits = ffi::EPOLLONESHOT;
+        if ev.readable {
+            bits |= ffi::EPOLLIN;
+        }
+        if ev.writable {
+            bits |= ffi::EPOLLOUT;
+        }
+        bits
+    }
+
+    fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<bool> {
+        let mut buf = [ffi::EpollEvent { events: 0, data: 0 }; 1024];
+        // SAFETY: `buf` is a valid, writable array of `buf.len()`
+        // epoll_events; the kernel writes at most `maxevents` entries.
+        let n = unsafe {
+            ffi::epoll_wait(
+                self.epfd.as_raw_fd(),
+                buf.as_mut_ptr(),
+                buf.len() as i32,
+                timeout_ms(timeout),
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(false);
+            }
+            return Err(err);
+        }
+        let mut notified = false;
+        for raw in buf.iter().take(n as usize) {
+            // Copy out of the (possibly packed) struct before use.
+            let (bits, data) = (raw.events, raw.data);
+            if data as usize == NOTIFY_KEY {
+                notified = true;
+                continue;
+            }
+            events.push(Event {
+                key: data as usize,
+                readable: bits & (ffi::EPOLLIN | ffi::EPOLLERR | ffi::EPOLLHUP) != 0,
+                writable: bits & (ffi::EPOLLOUT | ffi::EPOLLERR | ffi::EPOLLHUP) != 0,
+            });
+        }
+        Ok(notified)
+    }
+}
+
+#[derive(Debug)]
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll(EpollBackend),
+    Poll(Mutex<PollTable>),
+}
+
+// ------------------------------------------------------------- poller
+
+/// A readiness poller over oneshot registrations. See the crate docs
+/// for the contract; all methods are callable from any thread.
+#[derive(Debug)]
+pub struct Poller {
+    backend: Backend,
+    notify_read: std::io::PipeReader,
+    notify_write: std::io::PipeWriter,
+    kind: BackendKind,
+}
+
+impl Poller {
+    /// Creates a poller on the default backend for this platform
+    /// (epoll on Linux, poll elsewhere; `QID_POLL_BACKEND=poll` forces
+    /// the fallback).
+    pub fn new() -> io::Result<Poller> {
+        Poller::with_backend(BackendKind::default_kind())
+    }
+
+    /// Creates a poller on an explicit backend.
+    pub fn with_backend(kind: BackendKind) -> io::Result<Poller> {
+        let (notify_read, notify_write) = std::io::pipe()?;
+        // Both ends non-blocking: `notify` must never block a worker
+        // (a full pipe already implies a pending wake-up), and the
+        // drain in `wait` must stop at EAGAIN.
+        set_nonblocking(notify_read.as_raw_fd())?;
+        set_nonblocking(notify_write.as_raw_fd())?;
+        let backend = match kind {
+            #[cfg(target_os = "linux")]
+            BackendKind::Epoll => Backend::Epoll(EpollBackend::new(notify_read.as_raw_fd())?),
+            BackendKind::Poll => Backend::Poll(Mutex::new(PollTable::default())),
+        };
+        Ok(Poller {
+            backend,
+            notify_read,
+            notify_write,
+            kind,
+        })
+    }
+
+    /// Which backend this poller runs on.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// Registers `source` under `ev.key` with the given interest,
+    /// armed for exactly one readiness report.
+    pub fn add(&self, source: &impl AsRawFd, ev: Event) -> io::Result<()> {
+        if ev.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key usize::MAX is reserved for notify",
+            ));
+        }
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(epoll) => epoll.ctl(
+                ffi::EPOLL_CTL_ADD,
+                source.as_raw_fd(),
+                EpollBackend::interest_bits(ev),
+                ev.key,
+            ),
+            Backend::Poll(table) => {
+                let mut table = table.lock().expect("poll table lock");
+                if table.fds.contains_key(&source.as_raw_fd()) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "fd already registered",
+                    ));
+                }
+                table.fds.insert(
+                    source.as_raw_fd(),
+                    PollReg {
+                        key: ev.key,
+                        readable: ev.readable,
+                        writable: ev.writable,
+                        armed: true,
+                    },
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Re-arms (and possibly re-keys / re-aims) an existing
+    /// registration for one more readiness report.
+    pub fn modify(&self, source: &impl AsRawFd, ev: Event) -> io::Result<()> {
+        if ev.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key usize::MAX is reserved for notify",
+            ));
+        }
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(epoll) => epoll.ctl(
+                ffi::EPOLL_CTL_MOD,
+                source.as_raw_fd(),
+                EpollBackend::interest_bits(ev),
+                ev.key,
+            ),
+            Backend::Poll(table) => {
+                let mut table = table.lock().expect("poll table lock");
+                match table.fds.get_mut(&source.as_raw_fd()) {
+                    Some(reg) => {
+                        *reg = PollReg {
+                            key: ev.key,
+                            readable: ev.readable,
+                            writable: ev.writable,
+                            armed: true,
+                        };
+                        Ok(())
+                    }
+                    None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+                }
+            }
+        }
+    }
+
+    /// Removes a registration. (Closing the descriptor also removes it
+    /// from the epoll backend; calling `delete` first is still the
+    /// tidy path and the only one the poll backend can observe.)
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(epoll) => epoll.ctl(ffi::EPOLL_CTL_DEL, source.as_raw_fd(), 0, 0),
+            Backend::Poll(table) => {
+                let mut table = table.lock().expect("poll table lock");
+                match table.fds.remove(&source.as_raw_fd()) {
+                    Some(_) => Ok(()),
+                    None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+                }
+            }
+        }
+    }
+
+    /// Blocks until at least one armed source is ready, `timeout`
+    /// elapses, or [`Poller::notify`] is called; appends one [`Event`]
+    /// per ready source (each then disarmed until re-armed with
+    /// [`Poller::modify`]) and returns how many were appended. A plain
+    /// notify wake-up or an interrupted wait returns `Ok(0)`.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let before = events.len();
+        let notified = match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(epoll) => epoll.wait(events, timeout)?,
+            Backend::Poll(table) => self.poll_wait(table, events, timeout)?,
+        };
+        if notified {
+            self.drain_notify();
+        }
+        Ok(events.len() - before)
+    }
+
+    /// Wakes a blocked [`Poller::wait`] from any thread. Coalesces: a
+    /// full pipe means a wake-up is already pending, which is success.
+    pub fn notify(&self) -> io::Result<()> {
+        match (&self.notify_write).write(&[1u8]) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn drain_notify(&self) {
+        let mut buf = [0u8; 64];
+        while let Ok(n) = (&self.notify_read).read(&mut buf) {
+            if n < buf.len() {
+                break;
+            }
+        }
+    }
+
+    /// The poll(2) wait: snapshot armed fds, poll, translate revents.
+    fn poll_wait(
+        &self,
+        table: &Mutex<PollTable>,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<bool> {
+        let mut fds: Vec<ffi::PollFd> = vec![ffi::PollFd {
+            fd: self.notify_read.as_raw_fd(),
+            events: ffi::POLLIN,
+            revents: 0,
+        }];
+        {
+            let table = table.lock().expect("poll table lock");
+            for (&fd, reg) in &table.fds {
+                if !reg.armed {
+                    continue;
+                }
+                let mut bits = 0;
+                if reg.readable {
+                    bits |= ffi::POLLIN;
+                }
+                if reg.writable {
+                    bits |= ffi::POLLOUT;
+                }
+                fds.push(ffi::PollFd {
+                    fd,
+                    events: bits,
+                    revents: 0,
+                });
+            }
+        }
+        // SAFETY: `fds` is a valid, writable array of `fds.len()`
+        // pollfds for the duration of the call.
+        let n = unsafe {
+            ffi::poll(
+                fds.as_mut_ptr(),
+                fds.len() as std::os::raw::c_ulong,
+                timeout_ms(timeout),
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(false);
+            }
+            return Err(err);
+        }
+        let notified = fds[0].revents != 0;
+        let mut table = table.lock().expect("poll table lock");
+        for pfd in &fds[1..] {
+            if pfd.revents == 0 {
+                continue;
+            }
+            // The registration may have changed while `poll` ran; only
+            // report fds that are still armed under the same key space.
+            let Some(reg) = table.fds.get_mut(&pfd.fd) else {
+                continue;
+            };
+            if !reg.armed {
+                continue;
+            }
+            reg.armed = false;
+            let err = pfd.revents & (ffi::POLLERR | ffi::POLLHUP | ffi::POLLNVAL) != 0;
+            events.push(Event {
+                key: reg.key,
+                readable: pfd.revents & ffi::POLLIN != 0 || err,
+                writable: pfd.revents & ffi::POLLOUT != 0 || err,
+            });
+        }
+        Ok(notified)
+    }
+}
+
+// Keep the module-level alias referenced so both cfg arms compile
+// without an unused warning.
+const _: Option<ffi::Unused> = None;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    fn backends() -> Vec<BackendKind> {
+        #[cfg(target_os = "linux")]
+        {
+            vec![BackendKind::Epoll, BackendKind::Poll]
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            vec![BackendKind::Poll]
+        }
+    }
+
+    /// A connected (client, server) TCP pair on loopback.
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        for kind in backends() {
+            let poller = std::sync::Arc::new(Poller::with_backend(kind).unwrap());
+            assert_eq!(poller.backend_kind(), kind);
+            let waker = std::sync::Arc::clone(&poller);
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                waker.notify().unwrap();
+            });
+            let mut events = Vec::new();
+            let start = Instant::now();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(30)))
+                .unwrap();
+            assert_eq!(n, 0, "{kind:?}: notify is not an I/O event");
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "{kind:?}: wait returned promptly on notify"
+            );
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn readiness_is_oneshot_until_rearmed() {
+        for kind in backends() {
+            let poller = Poller::with_backend(kind).unwrap();
+            let (mut client, server) = tcp_pair();
+            poller.add(&server, Event::readable(7)).unwrap();
+
+            // Quiet socket: timeout, no events.
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert_eq!(n, 0, "{kind:?}: no data, no event");
+
+            // Data arrives: exactly one report.
+            client.write_all(b"x").unwrap();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(30)))
+                .unwrap();
+            assert_eq!(n, 1, "{kind:?}");
+            assert_eq!(events[0].key, 7);
+            assert!(events[0].readable);
+
+            // Still readable, but disarmed: oneshot means silence.
+            events.clear();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert_eq!(n, 0, "{kind:?}: oneshot must not re-report");
+
+            // Re-arm with pending data: fires again immediately.
+            poller.modify(&server, Event::readable(9)).unwrap();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(30)))
+                .unwrap();
+            assert_eq!(n, 1, "{kind:?}: re-arm with pending data fires");
+            assert_eq!(events[0].key, 9, "{kind:?}: modify re-keys");
+
+            // Deleted: pending data no longer reported.
+            poller.modify(&server, Event::readable(9)).unwrap();
+            poller.delete(&server).unwrap();
+            events.clear();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert_eq!(n, 0, "{kind:?}: deleted fds are silent");
+        }
+    }
+
+    #[test]
+    fn hangup_reports_readable() {
+        for kind in backends() {
+            let poller = Poller::with_backend(kind).unwrap();
+            let (client, server) = tcp_pair();
+            poller.add(&server, Event::readable(3)).unwrap();
+            drop(client); // EOF
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(30)))
+                .unwrap();
+            assert_eq!(n, 1, "{kind:?}: hangup wakes the reader");
+            assert!(events[0].readable, "{kind:?}: reported as readable (EOF)");
+        }
+    }
+
+    #[test]
+    fn notify_key_is_reserved() {
+        for kind in backends() {
+            let poller = Poller::with_backend(kind).unwrap();
+            let (_client, server) = tcp_pair();
+            assert!(poller.add(&server, Event::readable(NOTIFY_KEY)).is_err());
+        }
+    }
+
+    #[test]
+    fn notify_coalesces_without_blocking() {
+        // Far more notifies than the pipe holds: none may block or fail.
+        let poller = Poller::with_backend(BackendKind::Poll).unwrap();
+        for _ in 0..100_000 {
+            poller.notify().unwrap();
+        }
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        // Drained: a second wait times out quietly.
+        let start = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(
+            start.elapsed() >= Duration::from_millis(15),
+            "pipe was drained"
+        );
+    }
+}
