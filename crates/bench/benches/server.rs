@@ -1,8 +1,13 @@
-//! E8: served vs one-shot audit throughput. Scale via `QID_SCALE=full`.
+//! E8: served vs one-shot audit throughput, plus closed-loop
+//! saturation points from the `qid-loadgen` harness. Scale via
+//! `QID_SCALE=full`.
 //!
 //! Besides the printed table, writes the machine-readable
-//! `BENCH_server.json` (requests/sec and p50 latency per mode) to the
-//! working directory so CI can track the perf trajectory.
+//! `BENCH_server.json` (requests/sec and latency percentiles per
+//! mode and per saturation point) to the working directory so CI can
+//! track the perf trajectory. Exits non-zero if any saturation run
+//! recorded a transport error — a connection dying under load is a
+//! server bug, not a measurement.
 
 use qid_bench::experiments::{run_server_bench, ServerBenchConfig};
 use qid_bench::Scale;
@@ -17,5 +22,10 @@ fn main() {
     match std::fs::write(out, format!("{json}\n")) {
         Ok(()) => eprintln!("[server] wrote {out}"),
         Err(e) => eprintln!("[server] could not write {out}: {e}"),
+    }
+    let transport_errors: u64 = result.saturation.iter().map(|p| p.transport_errors).sum();
+    if transport_errors > 0 {
+        eprintln!("[server] FAILED: {transport_errors} transport error(s) under saturation load");
+        std::process::exit(1);
     }
 }

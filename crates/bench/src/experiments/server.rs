@@ -43,6 +43,11 @@ pub struct ServerBenchConfig {
     /// step raises `ulimit -n` first; pass something smaller when the
     /// environment cannot (the unit smoke test does).
     pub idle_high: usize,
+    /// Connection counts for the closed-loop saturation rows (the
+    /// `qid-loadgen` harness at two concurrencies).
+    pub saturation_conns: [usize; 2],
+    /// Measured window per saturation point, milliseconds.
+    pub saturation_ms: u64,
 }
 
 impl ServerBenchConfig {
@@ -55,6 +60,12 @@ impl ServerBenchConfig {
             workers: 4,
             idle_low: 10,
             idle_high: 1000,
+            saturation_conns: [4, 32],
+            saturation_ms: match scale {
+                Scale::Full => 10_000,
+                Scale::Default => 3_000,
+                Scale::Smoke => 1_000,
+            },
         }
     }
 }
@@ -111,6 +122,10 @@ pub struct ServerBenchResult {
     /// the readiness-core claim: within 2× of [`Self::idle_low`],
     /// because quiet registrations never touch a worker.
     pub idle_high: IdleScalingPoint,
+    /// Closed-loop saturation points from the `qid-loadgen` harness,
+    /// one per configured connection count: throughput and
+    /// p50/p99/p999 latency under the default check-heavy mix.
+    pub saturation: Vec<qid_loadgen::BenchReport>,
     /// The human-readable table.
     pub table: Table,
 }
@@ -164,6 +179,15 @@ impl ServerBenchResult {
                         }),
                     ),
                 ]),
+            ),
+            (
+                "saturation",
+                Json::Arr(
+                    self.saturation
+                        .iter()
+                        .map(qid_loadgen::BenchReport::to_json_value)
+                        .collect(),
+                ),
             ),
             (
                 "batch",
@@ -321,6 +345,30 @@ pub fn run_server_bench(cfg: ServerBenchConfig) -> ServerBenchResult {
     let idle_low = measure_idle_point(&mut client, addr, &request, cfg.idle_low, requests);
     let idle_high = measure_idle_point(&mut client, addr, &request, cfg.idle_high, requests);
 
+    // Saturation: the qid-loadgen harness drives the default
+    // check-heavy mix closed-loop at two connection counts against
+    // the same warm server. These are the rows that witness the
+    // zero-allocation request path under concurrency, not one
+    // sequential client.
+    let saturation: Vec<qid_loadgen::BenchReport> = cfg
+        .saturation_conns
+        .iter()
+        .map(|&conns| {
+            qid_loadgen::run(&qid_loadgen::LoadConfig {
+                addr: addr.to_string(),
+                path: path.clone(),
+                eps: cfg.eps,
+                seed: 7,
+                connections: conns,
+                duration: Duration::from_millis(cfg.saturation_ms),
+                warmup: Duration::from_millis((cfg.saturation_ms / 5).clamp(100, 1_000)),
+                mode: qid_loadgen::LoopMode::Closed,
+                weights: qid_loadgen::MixWeights::default(),
+            })
+            .expect("saturation run")
+        })
+        .collect();
+
     client.call(&Request::Shutdown).expect("shutdown");
     running.join().expect("server exits");
 
@@ -432,6 +480,16 @@ pub fn run_server_bench(cfg: ServerBenchConfig) -> ServerBenchResult {
         "-".to_string(),
         format!("{:.0}", idle_high.p50_us),
     ]);
+    for point in &saturation {
+        table.row(vec![
+            format!(
+                "saturation x{} conns (p99 {:.0} us, p999 {:.0} us)",
+                point.connections, point.p99_us, point.p999_us
+            ),
+            format!("{:.1}", point.rps),
+            format!("{:.0}", point.p50_us),
+        ]);
+    }
 
     ServerBenchResult {
         rows: n,
@@ -444,6 +502,7 @@ pub fn run_server_bench(cfg: ServerBenchConfig) -> ServerBenchResult {
         batched_per_cmd_us,
         idle_low,
         idle_high,
+        saturation,
         table,
     }
 }
@@ -533,6 +592,8 @@ mod tests {
             // under the CI step that raises `ulimit -n` first.
             idle_low: 10,
             idle_high: 200,
+            saturation_conns: [2, 4],
+            saturation_ms: 400,
         });
         assert_eq!(result.requests, 4);
         assert!(result.served.rps > 0.0);
@@ -543,12 +604,25 @@ mod tests {
         );
         assert!(result.sequential_per_cmd_us > 0.0);
         assert!(result.batched_per_cmd_us > 0.0);
-        assert_eq!(result.table.n_rows(), 7);
+        assert_eq!(result.table.n_rows(), 9);
+        // The saturation rows: one per configured concurrency, clean
+        // transport, real throughput, ordered percentiles.
+        assert_eq!(result.saturation.len(), 2);
+        for (point, conns) in result.saturation.iter().zip([2usize, 4]) {
+            assert_eq!(point.connections, conns);
+            assert_eq!(point.mode, "closed");
+            assert_eq!(point.transport_errors, 0, "{point:?}");
+            assert!(point.requests > 0 && point.rps > 0.0, "{point:?}");
+            assert!(point.p50_us > 0.0 && point.p50_us <= point.p99_us);
+            assert!(point.p99_us <= point.p999_us);
+        }
         let json = result.to_json();
         let parsed = qid_server::json::parse(&json).expect("valid json");
         assert_eq!(parsed.get("bench").and_then(|b| b.as_str()), Some("server"));
         assert!(parsed.get("served").and_then(|s| s.get("rps")).is_some());
         assert!(parsed.get("batch").and_then(|b| b.get("speedup")).is_some());
+        let saturation = parsed.get("saturation").expect("saturation rows");
+        assert!(matches!(saturation, qid_server::json::Json::Arr(rows) if rows.len() == 2));
         assert!(parsed
             .get("idle_scaling")
             .and_then(|i| i.get("p99_ratio"))

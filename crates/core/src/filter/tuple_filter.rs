@@ -78,6 +78,16 @@ impl TupleSampleFilter {
     /// Sort-based query, as accounted in the paper:
     /// `O(|A| · r log r)` comparisons.
     pub fn query_sorted(&self, attrs: &[AttrId]) -> FilterDecision {
+        let mut order = Vec::new();
+        self.query_sorted_into(attrs, &mut order)
+    }
+
+    /// [`Self::query_sorted`] with a caller-provided scratch buffer for
+    /// the row-order permutation, so repeated queries (the server's
+    /// steady-state `check` path) allocate nothing once `order` has
+    /// grown to the sample size. The buffer's contents on entry are
+    /// irrelevant; on return it holds the sorted permutation.
+    pub fn query_sorted_into(&self, attrs: &[AttrId], order: &mut Vec<u32>) -> FilterDecision {
         let n = self.sample.n_rows();
         if n < 2 {
             return FilterDecision::Accept;
@@ -87,7 +97,8 @@ impl TupleSampleFilter {
             // fails on some pair.
             return FilterDecision::Reject;
         }
-        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.clear();
+        order.extend(0..n as u32);
         order.sort_unstable_by(|&a, &b| self.sample.cmp_projected(a as usize, b as usize, attrs));
         for w in order.windows(2) {
             if self
@@ -202,6 +213,27 @@ mod tests {
         for subset in [vec![0], vec![1], vec![2], vec![0, 2], vec![1, 2]] {
             let a = attrs(&subset);
             assert_eq!(f.query_sorted(&a), f.query_hashed(&a), "subset {subset:?}");
+        }
+    }
+
+    #[test]
+    fn query_sorted_into_agrees_and_reuses_buffer() {
+        let ds = fixture(300);
+        let f = TupleSampleFilter::build(&ds, FilterParams::new(0.05), 7);
+        let mut order = Vec::new();
+        for subset in [vec![0], vec![1], vec![2], vec![0, 2], vec![1, 2]] {
+            let a = attrs(&subset);
+            assert_eq!(
+                f.query_sorted_into(&a, &mut order),
+                f.query_sorted(&a),
+                "subset {subset:?}"
+            );
+        }
+        // Once grown, the scratch buffer never reallocates.
+        let cap = order.capacity();
+        for subset in [vec![0], vec![1], vec![0, 2]] {
+            f.query_sorted_into(&attrs(&subset), &mut order);
+            assert_eq!(order.capacity(), cap);
         }
     }
 

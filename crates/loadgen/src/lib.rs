@@ -1,0 +1,61 @@
+//! # qid-loadgen — saturation load generation for `qid-server`
+//!
+//! The server benchmarks up to PR 5 measured *sequential* round trips:
+//! one client, one outstanding request. That answers "how fast is one
+//! request" but not "what does the server do at saturation" — the
+//! question the zero-allocation request path exists for. This crate is
+//! the missing harness:
+//!
+//! * [`mix`] — a **seeded synthetic request mix**: a deterministic
+//!   stream of `check` / `stats` / `sketch` / `audit` / `batch` wire
+//!   lines over one loaded dataset. Same seed ⇒ byte-identical stream,
+//!   so a benchmark row names everything needed to reproduce it.
+//! * [`runner`] — the **closed/open-loop driver**: N concurrent
+//!   connections, each sending its own seeded mix for a time-boxed
+//!   window. Closed loop keeps one request outstanding per connection
+//!   (throughput-seeking); open loop sends on a fixed schedule and
+//!   measures latency from the *scheduled* send time, so a stalling
+//!   server accrues queueing delay instead of silently pausing the
+//!   clock (no coordinated omission).
+//! * [`report`] — the aggregated [`report::BenchReport`]: rps,
+//!   p50/p99/p999 latency, error and transport-error counts, and
+//!   bytes sent/received (cross-checkable against the server's
+//!   `bytes_read`/`bytes_written` metrics).
+//!
+//! The harness allocates freely — it is the *measuring* side. The
+//! zero-allocation discipline applies to the server under test, and is
+//! proved separately by the counting-allocator test in the root crate.
+//!
+//! See `docs/BENCHMARKS.md` for every knob and how to read the output.
+//!
+//! ## One measured run
+//!
+//! ```no_run
+//! use qid_loadgen::{LoadConfig, LoopMode};
+//! use std::time::Duration;
+//!
+//! let report = qid_loadgen::run(&LoadConfig {
+//!     addr: "127.0.0.1:4070".to_string(),
+//!     path: "data.csv".to_string(),
+//!     eps: 0.01,
+//!     seed: 7,
+//!     connections: 16,
+//!     duration: Duration::from_secs(10),
+//!     warmup: Duration::from_secs(1),
+//!     mode: LoopMode::Closed,
+//!     weights: qid_loadgen::MixWeights::default(),
+//! })
+//! .unwrap();
+//! println!("{}", report.to_json());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mix;
+pub mod report;
+pub mod runner;
+
+pub use mix::{MixWeights, RequestMix};
+pub use report::BenchReport;
+pub use runner::{run, LoadConfig, LoopMode};

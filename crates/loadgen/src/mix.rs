@@ -1,0 +1,258 @@
+//! Seeded synthetic request mixes.
+//!
+//! A [`RequestMix`] turns `(seed, dataset, attribute names, weights)`
+//! into an infinite, deterministic stream of wire-ready request lines.
+//! Determinism is a hard requirement, not a convenience: a benchmark
+//! row is only reproducible if the traffic behind it is, so the same
+//! seed must yield a byte-identical stream on every machine (the
+//! vendored `rand` shim is deterministic per seed by contract).
+
+use qid_server::proto::{DatasetRef, Request};
+use rand::{RngExt, SeedableRng, StdRng};
+
+/// How many sub-`check`s a generated `batch` line carries.
+const BATCH_FANOUT: usize = 4;
+
+/// `audit` lattice depth in generated traffic — kept shallow so one
+/// audit costs milliseconds, not the whole measurement window.
+const AUDIT_MAX_KEY_SIZE: usize = 2;
+
+/// Relative frequencies of the generated commands (any `u32`s; only
+/// ratios matter, and all-zero falls back to pure `check`).
+///
+/// The default mix is deliberately `check`-heavy: `check` is the
+/// steady-state request the zero-allocation fast path serves, so a
+/// saturation run should spend most of its budget there, with enough
+/// `stats`/`sketch`/`batch`/`audit` sprinkled in to keep the general
+/// dispatch path honest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MixWeights {
+    /// Weight of `check` (fast-path candidate).
+    pub check: u32,
+    /// Weight of `stats` (sketch-backed, no materialisation).
+    pub stats: u32,
+    /// Weight of `sketch` (Theorem 2 Γ-estimate).
+    pub sketch: u32,
+    /// Weight of `audit` (lattice enumeration, the heavy request).
+    pub audit: u32,
+    /// Weight of `batch` (one line, `BATCH_FANOUT` = 4 sub-`check`s).
+    pub batch: u32,
+}
+
+impl Default for MixWeights {
+    fn default() -> Self {
+        MixWeights {
+            check: 88,
+            stats: 5,
+            sketch: 3,
+            audit: 1,
+            batch: 3,
+        }
+    }
+}
+
+impl MixWeights {
+    /// A pure-`check` mix: every request is a fast-path candidate.
+    pub fn check_only() -> Self {
+        MixWeights {
+            check: 1,
+            stats: 0,
+            sketch: 0,
+            audit: 0,
+            batch: 0,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.check + self.stats + self.sketch + self.audit + self.batch
+    }
+}
+
+/// A deterministic, seeded generator of request wire lines over one
+/// dataset. Two mixes built with the same arguments produce
+/// byte-identical streams.
+#[derive(Debug)]
+pub struct RequestMix {
+    rng: StdRng,
+    weights: MixWeights,
+    ds: DatasetRef,
+    attrs: Vec<String>,
+}
+
+impl RequestMix {
+    /// Builds a mix over `ds`, drawing attribute subsets from `attrs`
+    /// (the dataset's column names; an empty pool degenerates to
+    /// positional `"0"`).
+    pub fn new(seed: u64, ds: DatasetRef, mut attrs: Vec<String>, weights: MixWeights) -> Self {
+        if attrs.is_empty() {
+            attrs.push("0".to_string());
+        }
+        RequestMix {
+            rng: StdRng::seed_from_u64(seed),
+            weights,
+            ds,
+            attrs,
+        }
+    }
+
+    /// The next request in the stream.
+    pub fn next_request(&mut self) -> Request {
+        let total = self.weights.total();
+        let mut pick = if total == 0 {
+            0
+        } else {
+            self.rng.random_range(0..total)
+        };
+        let w = self.weights;
+        if total == 0 || pick < w.check {
+            return Request::Check {
+                ds: self.ds.clone(),
+                attrs: self.draw_attrs(),
+            };
+        }
+        pick -= w.check;
+        if pick < w.stats {
+            return Request::Stats {
+                ds: self.ds.clone(),
+            };
+        }
+        pick -= w.stats;
+        if pick < w.sketch {
+            return Request::Sketch {
+                ds: self.ds.clone(),
+                attrs: self.draw_attrs(),
+            };
+        }
+        pick -= w.sketch;
+        if pick < w.audit {
+            return Request::Audit {
+                ds: self.ds.clone(),
+                max_key_size: AUDIT_MAX_KEY_SIZE,
+            };
+        }
+        Request::Batch {
+            requests: (0..BATCH_FANOUT)
+                .map(|_| Request::Check {
+                    ds: self.ds.clone(),
+                    attrs: self.draw_attrs(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The next request, encoded as one wire line (no trailing
+    /// newline).
+    pub fn next_line(&mut self) -> String {
+        self.next_request().encode()
+    }
+
+    /// Draws 1–3 distinct attribute names via a partial Fisher–Yates
+    /// shuffle over the pool indices.
+    fn draw_attrs(&mut self) -> Vec<String> {
+        let n = self.attrs.len();
+        let k = self.rng.random_range(1..=n.min(3));
+        let mut indices: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = self.rng.random_range(i..n);
+            indices.swap(i, j);
+        }
+        indices[..k]
+            .iter()
+            .map(|&i| self.attrs[i].clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> DatasetRef {
+        DatasetRef {
+            path: "/data/people.csv".to_string(),
+            eps: 0.01,
+            seed: 7,
+        }
+    }
+
+    fn pool() -> Vec<String> {
+        vec!["zip".into(), "age".into(), "sex".into(), "job".into()]
+    }
+
+    #[test]
+    fn same_seed_yields_a_byte_identical_stream() {
+        let mut a = RequestMix::new(42, ds(), pool(), MixWeights::default());
+        let mut b = RequestMix::new(42, ds(), pool(), MixWeights::default());
+        for _ in 0..1000 {
+            assert_eq!(a.next_line(), b.next_line());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = RequestMix::new(1, ds(), pool(), MixWeights::default());
+        let mut b = RequestMix::new(2, ds(), pool(), MixWeights::default());
+        let diverged = (0..100).any(|_| a.next_line() != b.next_line());
+        assert!(diverged, "two seeds produced the same 100-line stream");
+    }
+
+    #[test]
+    fn default_mix_covers_every_command_and_stays_check_heavy() {
+        let mut m = RequestMix::new(7, ds(), pool(), MixWeights::default());
+        let mut checks = 0usize;
+        let mut others = std::collections::BTreeSet::new();
+        let total = 2000;
+        for _ in 0..total {
+            match m.next_request() {
+                Request::Check { attrs, .. } => {
+                    checks += 1;
+                    assert!(!attrs.is_empty() && attrs.len() <= 3);
+                    let unique: std::collections::BTreeSet<_> = attrs.iter().collect();
+                    assert_eq!(unique.len(), attrs.len(), "drawn attrs must be distinct");
+                }
+                Request::Stats { .. } => {
+                    others.insert("stats");
+                }
+                Request::Sketch { .. } => {
+                    others.insert("sketch");
+                }
+                Request::Audit { max_key_size, .. } => {
+                    assert_eq!(max_key_size, AUDIT_MAX_KEY_SIZE);
+                    others.insert("audit");
+                }
+                Request::Batch { requests } => {
+                    assert_eq!(requests.len(), BATCH_FANOUT);
+                    assert!(requests.iter().all(|r| matches!(r, Request::Check { .. })));
+                    others.insert("batch");
+                }
+                other => panic!("mix generated {other:?}"),
+            }
+        }
+        assert!(
+            checks > total * 3 / 4,
+            "default mix should be check-heavy: {checks}/{total}"
+        );
+        assert_eq!(
+            others.into_iter().collect::<Vec<_>>(),
+            vec!["audit", "batch", "sketch", "stats"],
+            "2000 draws should witness every non-check command"
+        );
+    }
+
+    #[test]
+    fn check_only_mix_generates_only_checks() {
+        let mut m = RequestMix::new(7, ds(), pool(), MixWeights::check_only());
+        for _ in 0..200 {
+            assert!(matches!(m.next_request(), Request::Check { .. }));
+        }
+    }
+
+    #[test]
+    fn generated_lines_decode_back() {
+        let mut m = RequestMix::new(3, ds(), pool(), MixWeights::default());
+        for _ in 0..200 {
+            let line = m.next_line();
+            Request::decode(&line).expect("generated lines are valid wire requests");
+        }
+    }
+}

@@ -1,0 +1,473 @@
+//! The closed/open-loop driver.
+//!
+//! One thread per connection, all released together by a barrier:
+//! a warm-up window (traffic sent, latencies discarded) followed by a
+//! time-boxed measured window. The two loop disciplines answer
+//! different questions:
+//!
+//! * **Closed loop** — each connection keeps exactly one request
+//!   outstanding. Throughput is the quantity under test: the measured
+//!   rps is the saturation rate at that concurrency, and latency is
+//!   whatever the saturated server delivers.
+//! * **Open loop** — requests are sent on a fixed schedule
+//!   (`target_rps` spread evenly across connections) regardless of
+//!   when replies arrive, and each latency is measured from the
+//!   *scheduled* send time. A server that stalls therefore accrues
+//!   queueing delay in the percentiles instead of quietly pausing the
+//!   arrival clock — the coordinated-omission trap closed-loop
+//!   latencies fall into.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use qid_server::proto::{DatasetRef, LoadMode, Request, Response};
+use qid_server::Client;
+
+use crate::mix::{MixWeights, RequestMix};
+use crate::report::BenchReport;
+
+/// The loop discipline of a run (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoopMode {
+    /// One outstanding request per connection; measures saturation
+    /// throughput.
+    Closed,
+    /// Fixed aggregate arrival rate (requests/second across all
+    /// connections); measures latency under a known offered load.
+    Open {
+        /// Scheduled aggregate request rate, requests per second.
+        rps: u64,
+    },
+}
+
+/// One saturation run, fully specified. Every field is a harness knob
+/// documented in `docs/BENCHMARKS.md`; two runs with equal configs
+/// drive byte-identical request streams.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Dataset path *as the server resolves it* (absolute paths avoid
+    /// surprises when the server's working directory differs).
+    pub path: String,
+    /// Separation slack ε of the dataset key.
+    pub eps: f64,
+    /// Mix seed; also the dataset-key seed.
+    pub seed: u64,
+    /// Concurrent connections (clamped to ≥ 1).
+    pub connections: usize,
+    /// Measured-window length.
+    pub duration: Duration,
+    /// Warm-up window before measurement: traffic flows (closed-loop),
+    /// latencies are discarded. Lets the registry, caches, and branch
+    /// predictors settle.
+    pub warmup: Duration,
+    /// Loop discipline.
+    pub mode: LoopMode,
+    /// Request-mix weights.
+    pub weights: MixWeights,
+}
+
+/// What one connection thread brings home.
+#[derive(Debug, Default)]
+struct ConnStats {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    errors: u64,
+    transport_errors: u64,
+    bytes_sent: u64,
+    bytes_received: u64,
+    /// This connection's actual measured-window length, seconds
+    /// (≥ `duration` when the final request ran past the deadline).
+    measured_s: f64,
+}
+
+/// Runs one load configuration to completion and aggregates the
+/// per-connection results.
+///
+/// Errors on the *setup* path (connecting the control client, loading
+/// the dataset) are returned as `Err`; errors during the run itself
+/// (a connection dying mid-window) are data, counted in
+/// [`BenchReport::transport_errors`].
+pub fn run(config: &LoadConfig) -> io::Result<BenchReport> {
+    let connections = config.connections.max(1);
+    let ds = DatasetRef {
+        path: config.path.clone(),
+        eps: config.eps,
+        seed: config.seed,
+    };
+
+    // Setup, outside every measured window: load the dataset once
+    // (stream mode — the resident sample answers the whole mix) and
+    // learn the column names the mix draws attribute subsets from.
+    let mut control = Client::connect(&config.addr)?;
+    match control
+        .call(&Request::Load {
+            ds: ds.clone(),
+            mode: LoadMode::Stream,
+        })
+        .map_err(|e| io::Error::other(format!("load request failed: {e}")))?
+    {
+        Response::Loaded { .. } => {}
+        Response::Error { message } => {
+            return Err(io::Error::other(format!("server rejected load: {message}")));
+        }
+        other => {
+            return Err(io::Error::other(format!(
+                "unexpected load reply: {other:?}"
+            )))
+        }
+    }
+    let attrs: Vec<String> = match control
+        .call(&Request::Stats { ds: ds.clone() })
+        .map_err(|e| io::Error::other(format!("stats request failed: {e}")))?
+    {
+        Response::Stats { columns, .. } => columns.into_iter().map(|(name, _)| name).collect(),
+        other => {
+            return Err(io::Error::other(format!(
+                "unexpected stats reply: {other:?}"
+            )))
+        }
+    };
+
+    // All threads connect, then start warm-up together on the barrier;
+    // the main thread measures the wall clock of the post-warm-up
+    // window (its own barrier arrival is the start signal).
+    let barrier = Arc::new(Barrier::new(connections + 1));
+    let mut handles = Vec::with_capacity(connections);
+    for i in 0..connections {
+        let barrier = Arc::clone(&barrier);
+        let config = config.clone();
+        let ds = ds.clone();
+        let attrs = attrs.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("qid-loadgen-{i}"))
+            .spawn(move || drive_connection(i, connections, &config, ds, attrs, &barrier))
+            .expect("spawn loadgen thread");
+        handles.push(handle);
+    }
+    barrier.wait();
+
+    let mut latencies = Vec::new();
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    let mut transport_errors = 0u64;
+    let mut bytes_sent = 0u64;
+    let mut bytes_received = 0u64;
+    let mut measured_windows: Vec<f64> = Vec::new();
+    for handle in handles {
+        let stats = handle
+            .join()
+            .map_err(|_| io::Error::other("a load-generator thread panicked"))?;
+        latencies.extend_from_slice(&stats.latencies_us);
+        ok += stats.ok;
+        errors += stats.errors;
+        transport_errors += stats.transport_errors;
+        bytes_sent += stats.bytes_sent;
+        bytes_received += stats.bytes_received;
+        if stats.measured_s > 0.0 {
+            measured_windows.push(stats.measured_s);
+        }
+    }
+    // Throughput is requests over the *measured* window. Threads may
+    // start their windows at slightly different times (warm-up
+    // overruns), so the mean per-connection window is the honest
+    // denominator.
+    let elapsed_s = if measured_windows.is_empty() {
+        0.0
+    } else {
+        measured_windows.iter().sum::<f64>() / measured_windows.len() as f64
+    };
+
+    let (mode, target_rps) = match config.mode {
+        LoopMode::Closed => ("closed", 0),
+        LoopMode::Open { rps } => ("open", rps),
+    };
+    Ok(BenchReport::from_raw(
+        mode,
+        connections,
+        target_rps,
+        elapsed_s,
+        &mut latencies,
+        ok,
+        errors,
+        transport_errors,
+        bytes_sent,
+        bytes_received,
+    ))
+}
+
+/// Runs one connection through warm-up and the measured window.
+fn drive_connection(
+    index: usize,
+    connections: usize,
+    config: &LoadConfig,
+    ds: DatasetRef,
+    attrs: Vec<String>,
+    barrier: &Barrier,
+) -> ConnStats {
+    let mut stats = ConnStats::default();
+    // Decorrelate per-connection streams without losing determinism:
+    // the sub-seed is a pure function of (seed, connection index).
+    let sub_seed = config
+        .seed
+        .wrapping_add((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut mix = RequestMix::new(sub_seed, ds, attrs, config.weights);
+
+    let stream = TcpStream::connect(&config.addr);
+    let stream = match stream.and_then(|s| {
+        s.set_nodelay(true)?;
+        s.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(s)
+    }) {
+        Ok(stream) => stream,
+        Err(_) => {
+            // The barrier must not deadlock on a failed connect.
+            barrier.wait();
+            stats.transport_errors = 1;
+            return stats;
+        }
+    };
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => {
+            barrier.wait();
+            stats.transport_errors = 1;
+            return stats;
+        }
+    });
+    let mut writer = stream;
+    let mut reply = String::new();
+
+    barrier.wait();
+    let started = Instant::now();
+
+    // Warm-up: closed-loop in both modes (its only job is to settle
+    // caches); latencies discarded, bytes still counted so the totals
+    // stay cross-checkable against the server's byte counters.
+    while started.elapsed() < config.warmup {
+        if exchange(&mut mix, &mut writer, &mut reader, &mut reply, &mut stats).is_none() {
+            return stats;
+        }
+    }
+    // A slow request straddling the warm-up boundary (the first
+    // `sketch` triggers a one-time sketch build; an `audit` enumerates
+    // the lattice) may overrun the wall window; the measured window
+    // still gets its full `duration`, starting when warm-up actually
+    // ended.
+    let measure_from = started.elapsed().max(config.warmup);
+    let deadline = measure_from + config.duration;
+
+    'measure: {
+        match config.mode {
+            LoopMode::Closed => {
+                while started.elapsed() < deadline {
+                    let t = Instant::now();
+                    let Some(served_ok) =
+                        exchange(&mut mix, &mut writer, &mut reader, &mut reply, &mut stats)
+                    else {
+                        break 'measure;
+                    };
+                    stats.latencies_us.push(t.elapsed().as_micros() as u64);
+                    if served_ok {
+                        stats.ok += 1;
+                    } else {
+                        stats.errors += 1;
+                    }
+                }
+            }
+            LoopMode::Open { rps } => {
+                // Each connection owns every `connections`-th slot of
+                // the aggregate schedule, phase-shifted by its index so
+                // the fleet's arrivals interleave instead of bursting.
+                let interval =
+                    Duration::from_nanos(1_000_000_000u64 * connections as u64 / rps.max(1));
+                let phase = interval * index as u32 / connections as u32;
+                let mut k = 0u32;
+                loop {
+                    let scheduled = measure_from + phase + interval * k;
+                    if scheduled >= deadline {
+                        break;
+                    }
+                    if let Some(lag) = scheduled.checked_sub(started.elapsed()) {
+                        std::thread::sleep(lag);
+                    }
+                    let Some(served_ok) =
+                        exchange(&mut mix, &mut writer, &mut reader, &mut reply, &mut stats)
+                    else {
+                        break 'measure;
+                    };
+                    // Latency from the *scheduled* arrival: running
+                    // late (a slow previous reply) is queueing delay
+                    // the percentile must include.
+                    let lat = started.elapsed().saturating_sub(scheduled);
+                    stats.latencies_us.push(lat.as_micros() as u64);
+                    if served_ok {
+                        stats.ok += 1;
+                    } else {
+                        stats.errors += 1;
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
+    stats.measured_s = started.elapsed().saturating_sub(measure_from).as_secs_f64();
+    stats
+}
+
+/// One request/reply exchange. Returns `Some(true)` for an `"ok":true`
+/// reply, `Some(false)` for a structured error reply, and `None` after
+/// recording a transport error (the connection is dead).
+fn exchange(
+    mix: &mut RequestMix,
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    reply: &mut String,
+    stats: &mut ConnStats,
+) -> Option<bool> {
+    let line = mix.next_line();
+    let sent = writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush());
+    if sent.is_err() {
+        stats.transport_errors += 1;
+        return None;
+    }
+    stats.bytes_sent += line.len() as u64 + 1;
+    reply.clear();
+    match reader.read_line(reply) {
+        Ok(0) | Err(_) => {
+            stats.transport_errors += 1;
+            None
+        }
+        Ok(n) => {
+            stats.bytes_received += n as u64;
+            Some(reply.starts_with(r#"{"ok":true"#))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qid_server::{Server, ServerConfig};
+
+    /// End-to-end smoke: a tiny closed-loop run against an in-process
+    /// server over a generated CSV must finish with zero transport
+    /// errors, non-zero throughput, and byte counters that agree with
+    /// the server's own read/write metrics.
+    #[test]
+    fn closed_loop_smoke_run_agrees_with_server_byte_counters() {
+        let dir = std::env::temp_dir().join("qid-loadgen-smoke");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("people.csv");
+        let mut csv = String::from("zip,age,sex\n");
+        for i in 0..200 {
+            csv.push_str(&format!("{:05},{},{}\n", i % 97, 18 + i % 60, i % 2));
+        }
+        std::fs::write(&path, csv).expect("write csv");
+
+        let server = Server::bind(&ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let addr = server.local_addr();
+        let state = server.state();
+        let running = server.spawn();
+
+        let report = run(&LoadConfig {
+            addr: addr.to_string(),
+            path: path.to_str().expect("utf-8 path").to_string(),
+            eps: 0.05,
+            seed: 7,
+            connections: 2,
+            duration: Duration::from_millis(300),
+            warmup: Duration::from_millis(100),
+            mode: LoopMode::Closed,
+            weights: MixWeights::default(),
+        })
+        .expect("run");
+
+        assert_eq!(report.mode, "closed");
+        assert_eq!(report.connections, 2);
+        assert_eq!(report.transport_errors, 0, "{report:?}");
+        assert_eq!(report.errors, 0, "the mix over a loaded dataset is all-ok");
+        assert!(report.requests > 0 && report.rps > 0.0, "{report:?}");
+        assert!(report.p50_us > 0.0 && report.p50_us <= report.p99_us);
+        assert!(report.p99_us <= report.p999_us);
+
+        // Server-side cross-check: the harness's sent bytes are a
+        // lower bound on what the server read (the control client and
+        // shutdown below also produce traffic), and likewise for the
+        // response direction.
+        let mut client = Client::connect(addr).expect("connect");
+        let server_report = match client.call(&Request::Metrics).expect("metrics") {
+            Response::Metrics(r) => r,
+            other => panic!("metrics failed: {other:?}"),
+        };
+        assert!(
+            server_report.bytes_read >= report.bytes_sent,
+            "server read {} < harness sent {}",
+            server_report.bytes_read,
+            report.bytes_sent
+        );
+        assert!(
+            server_report.bytes_written >= report.bytes_received,
+            "server wrote {} < harness received {}",
+            server_report.bytes_written,
+            report.bytes_received
+        );
+        client.call(&Request::Shutdown).expect("shutdown");
+        running.join().expect("server exits");
+        drop(state);
+    }
+
+    /// Open-loop pacing: the measured request count tracks the
+    /// scheduled rate (loosely — CI machines jitter), and the run
+    /// honours the configured mode in the report.
+    #[test]
+    fn open_loop_run_paces_near_the_scheduled_rate() {
+        let dir = std::env::temp_dir().join("qid-loadgen-open");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("people.csv");
+        std::fs::write(&path, "a,b\n1,2\n3,4\n5,6\n7,8\n").expect("write csv");
+
+        let server = Server::bind(&ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let addr = server.local_addr();
+        let running = server.spawn();
+
+        let report = run(&LoadConfig {
+            addr: addr.to_string(),
+            path: path.to_str().expect("utf-8 path").to_string(),
+            eps: 0.05,
+            seed: 11,
+            connections: 2,
+            duration: Duration::from_millis(500),
+            warmup: Duration::from_millis(50),
+            mode: LoopMode::Open { rps: 200 },
+            weights: MixWeights::check_only(),
+        })
+        .expect("run");
+
+        assert_eq!(report.mode, "open");
+        assert_eq!(report.target_rps, 200);
+        assert_eq!(report.transport_errors, 0, "{report:?}");
+        // 200 rps × 0.5 s ≈ 100 scheduled arrivals; allow wide slack
+        // for scheduler jitter but reject both runaway and stalled
+        // pacing.
+        assert!((30..=140).contains(&(report.requests as i64)), "{report:?}");
+
+        let mut client = Client::connect(addr).expect("connect");
+        client.call(&Request::Shutdown).expect("shutdown");
+        running.join().expect("server exits");
+    }
+}

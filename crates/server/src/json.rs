@@ -150,6 +150,31 @@ impl Json {
     }
 }
 
+/// [`write_escaped`] writing UTF-8 bytes straight into a byte buffer —
+/// the allocation-free serialisation path. Byte-for-byte identical to
+/// the `String` writer (escapes only fire on ASCII bytes, so iterating
+/// bytes and iterating chars agree); `escaped_writers_agree` pins that.
+pub(crate) fn write_escaped_bytes(out: &mut Vec<u8>, s: &str) {
+    out.push(b'"');
+    for &b in s.as_bytes() {
+        match b {
+            b'"' => out.extend_from_slice(b"\\\""),
+            b'\\' => out.extend_from_slice(b"\\\\"),
+            b'\n' => out.extend_from_slice(b"\\n"),
+            b'\r' => out.extend_from_slice(b"\\r"),
+            b'\t' => out.extend_from_slice(b"\\t"),
+            b if b < 0x20 => {
+                const HEX: &[u8; 16] = b"0123456789abcdef";
+                out.extend_from_slice(b"\\u00");
+                out.push(HEX[(b >> 4) as usize]);
+                out.push(HEX[(b & 0xf) as usize]);
+            }
+            b => out.push(b),
+        }
+    }
+    out.push(b'"');
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -533,6 +558,24 @@ mod tests {
     fn nonfinite_floats_become_null() {
         assert_eq!(Json::Num(f64::NAN).render(), "null");
         assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn escaped_writers_agree() {
+        for s in [
+            "plain",
+            "",
+            "a\"b\\c",
+            "tabs\tand\nnewlines\r",
+            "ctrl\u{1}\u{1f}byte",
+            "unicode é 😀 /",
+        ] {
+            let mut as_string = String::new();
+            write_escaped(&mut as_string, s);
+            let mut as_bytes = Vec::new();
+            write_escaped_bytes(&mut as_bytes, s);
+            assert_eq!(as_string.as_bytes(), &as_bytes[..], "input {s:?}");
+        }
     }
 
     #[test]

@@ -37,6 +37,15 @@
 //!   byte cap (`--max-line-bytes`, structured `line_too_long` answer,
 //!   `O(cap)` memory) and a per-connection token-bucket request-rate
 //!   limit (`--max-rps`, `rate_limited` answer before decoding).
+//! * [`fastpath`] — the **zero-allocation `check` path**: a byte-level
+//!   scanner over the request line, a per-connection [`Scratch`]
+//!   arena, a windowed-revalidation registry read
+//!   ([`Registry::peek`]), and direct byte serialisation, so the
+//!   steady-state request (a plain `check` over a resident entry)
+//!   performs no heap allocation at all — proved by a
+//!   counting-allocator test, not asserted by eye. Anything unusual
+//!   bails to the general path, which stays the single authority for
+//!   errors and edge cases.
 //! * [`pool`] — a fixed worker thread pool over `mpsc` channels;
 //!   shutdown drains in-flight work before the process exits.
 //! * [`server`] — the `std::net::TcpListener` accept loop and request
@@ -135,6 +144,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fastpath;
 pub mod json;
 pub mod metrics;
 pub mod poller;
@@ -145,6 +155,7 @@ pub mod resolve;
 pub mod server;
 
 pub use client::Client;
+pub use fastpath::Scratch;
 pub use poller::backend_name;
 pub use pool::WorkerPool;
 pub use proto::{sketch_params, DatasetRef, LoadMode, MetricsReport, Request, Response};
@@ -152,4 +163,5 @@ pub use registry::{CacheKey, Registry, RegistryConfig, RegistrySnapshot};
 pub use resolve::{resolve_attr_names, split_attr_spec, ResolvedAttrs};
 pub use server::{
     handle_request, RunningServer, Server, ServerConfig, ServerState, DEFAULT_MAX_LINE_BYTES,
+    DEFAULT_REVALIDATE_MS,
 };

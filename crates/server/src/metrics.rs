@@ -150,6 +150,12 @@ pub struct Metrics {
     /// Request lines rejected by the per-connection `--max-rps`
     /// token bucket.
     pub rejected_rate: AtomicU64,
+    /// Request bytes drained off client sockets, counted at the read
+    /// syscall — the server-side cross-check for a load harness's
+    /// sent-byte accounting.
+    pub bytes_read: AtomicU64,
+    /// Response bytes successfully written back to clients.
+    pub bytes_written: AtomicU64,
 }
 
 impl Metrics {
@@ -214,6 +220,8 @@ impl Metrics {
             connections: self.connections.load(Ordering::Relaxed),
             rejected_oversize: self.rejected_oversize.load(Ordering::Relaxed),
             rejected_rate: self.rejected_rate.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
             commands: self.command_stats(),
         }
     }
@@ -273,6 +281,16 @@ mod tests {
         let r = m.report(RegistrySnapshot::default());
         assert_eq!(r.rejected_oversize, 3);
         assert_eq!(r.rejected_rate, 5);
+    }
+
+    #[test]
+    fn byte_counters_flow_into_the_report() {
+        let m = Metrics::new();
+        m.bytes_read.fetch_add(1024, Ordering::Relaxed);
+        m.bytes_written.fetch_add(2048, Ordering::Relaxed);
+        let r = m.report(RegistrySnapshot::default());
+        assert_eq!(r.bytes_read, 1024);
+        assert_eq!(r.bytes_written, 2048);
     }
 
     #[test]

@@ -35,12 +35,13 @@
 //! knobs live here:
 //!
 //! * **`--max-line-bytes`** — `LineFramer` assembles lines in a
-//!   buffer that never exceeds the cap: the moment a line crosses it,
-//!   the framer emits one `Frame::Oversize`, discards everything up
-//!   to the next newline *without buffering it* (`O(cap)` memory no
-//!   matter how many bytes the client streams), and the server answers
-//!   a structured `line_too_long` error on a connection that stays
-//!   usable.
+//!   reused buffer whose partial tail never exceeds the cap: the
+//!   moment a line crosses it, the framer emits one `Frame::Oversize`,
+//!   discards everything up to the next newline *without buffering it*
+//!   (`O(cap + bytes-per-wake)` memory no matter how many bytes the
+//!   client streams — the wake budget is `MAX_BYTES_PER_WAKE`), and
+//!   the server answers a structured `line_too_long` error on a
+//!   connection that stays usable.
 //! * **`--max-rps`** — a per-connection `TokenBucket` (burst = one
 //!   second's budget) consulted before a line is even decoded, so a
 //!   flooding client is answered with cheap `rate_limited` errors
@@ -56,6 +57,7 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::fastpath::Scratch;
 use crate::metrics::HISTOGRAM_EPOCH;
 use crate::pool::Job;
 use crate::proto::Response;
@@ -90,24 +92,35 @@ pub(crate) struct ConnLimits {
 
 // ------------------------------------------------------------ framing
 
-/// One unit the framer hands back per input chunk.
-#[derive(Debug, PartialEq, Eq)]
+/// One unit the framer hands back per input chunk. Lines are byte
+/// ranges into the framer's own buffer ([`LineFramer::line`] resolves
+/// them), so framing a request allocates nothing — the buffer is
+/// reused wake after wake instead of minting a fresh `Vec` per line.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub(crate) enum Frame {
-    /// A complete line (newline stripped), at most `cap` bytes.
-    Line(Vec<u8>),
+    /// A complete line (newline stripped), at most `cap` bytes, valid
+    /// until the next [`LineFramer::consume`].
+    Line(std::ops::Range<usize>),
     /// A line crossed the cap; its bytes were discarded up to (and
     /// including) the next newline.
     Oversize,
 }
 
 /// Assembles newline-delimited frames from arbitrary chunks under a
-/// hard byte cap. Invariant: the internal buffer never holds more than
-/// `cap` bytes, so memory per connection is `O(cap)` regardless of
-/// client behaviour.
+/// hard byte cap on the *line*, not the buffer: the buffer holds every
+/// completed line of the current wake (so frames can be ranges into
+/// it) plus at most `cap` bytes of partial tail, and is compacted —
+/// not freed — by [`LineFramer::consume`] once the wake's frames are
+/// answered. Memory per connection is therefore
+/// `O(cap + bytes-per-wake)`, and the wake budget is
+/// [`MAX_BYTES_PER_WAKE`].
 #[derive(Debug)]
 pub(crate) struct LineFramer {
     cap: usize,
     buf: Vec<u8>,
+    /// Start of the partial (not yet newline-terminated) tail in `buf`;
+    /// everything before it is completed lines already framed.
+    line_start: usize,
     /// Inside an oversized line: discard until the next newline.
     skipping: bool,
 }
@@ -117,6 +130,7 @@ impl LineFramer {
         LineFramer {
             cap: cap.max(1),
             buf: Vec::new(),
+            line_start: 0,
             skipping: false,
         }
     }
@@ -137,24 +151,25 @@ impl LineFramer {
                 }
                 continue;
             }
+            let pending = self.buf.len() - self.line_start;
             match newline {
                 Some(i) => {
-                    if self.buf.len() + i > self.cap {
+                    if pending + i > self.cap {
                         out.push(Frame::Oversize);
-                        self.buf.clear();
+                        self.buf.truncate(self.line_start);
                     } else {
-                        let mut line = std::mem::take(&mut self.buf);
-                        line.extend_from_slice(&rest[..i]);
-                        out.push(Frame::Line(line));
+                        self.buf.extend_from_slice(&rest[..i]);
+                        out.push(Frame::Line(self.line_start..self.buf.len()));
+                        self.line_start = self.buf.len();
                     }
                     rest = &rest[i + 1..];
                 }
                 None => {
-                    if self.buf.len() + rest.len() > self.cap {
+                    if pending + rest.len() > self.cap {
                         // The line already exceeds the cap with no end
                         // in sight: reject now, buffer nothing more.
                         out.push(Frame::Oversize);
-                        self.buf.clear();
+                        self.buf.truncate(self.line_start);
                         self.skipping = true;
                         rest = &[];
                     } else {
@@ -164,7 +179,28 @@ impl LineFramer {
                 }
             }
         }
-        debug_assert!(self.buf.len() <= self.cap, "framer buffer exceeds cap");
+        debug_assert!(
+            self.buf.len() - self.line_start <= self.cap,
+            "framer tail exceeds cap"
+        );
+    }
+
+    /// Resolves a frame range to its line bytes.
+    pub fn line(&self, range: &std::ops::Range<usize>) -> &[u8] {
+        &self.buf[range.clone()]
+    }
+
+    /// Releases every completed line of the wake, compacting the
+    /// partial tail to the front of the buffer. Call after the wake's
+    /// frames are answered; outstanding [`Frame::Line`] ranges become
+    /// invalid. Capacity is retained, so the steady state allocates
+    /// nothing.
+    pub fn consume(&mut self) {
+        if self.line_start > 0 {
+            self.buf.copy_within(self.line_start.., 0);
+            self.buf.truncate(self.buf.len() - self.line_start);
+            self.line_start = 0;
+        }
     }
 
     /// Drains an unterminated final line at EOF. NDJSON clients are
@@ -172,15 +208,17 @@ impl LineFramer {
     /// half-close (`printf '…' | nc`) has always been answered, so the
     /// framer must not swallow it. A buffer mid-skip (the tail of an
     /// already-rejected oversized line) yields nothing.
-    pub fn take_eof_tail(&mut self) -> Option<Vec<u8>> {
+    pub fn take_eof_tail(&mut self) -> Option<std::ops::Range<usize>> {
         if self.skipping {
             self.skipping = false;
             return None;
         }
-        if self.buf.is_empty() {
+        if self.buf.len() == self.line_start {
             return None;
         }
-        Some(std::mem::take(&mut self.buf))
+        let range = self.line_start..self.buf.len();
+        self.line_start = self.buf.len();
+        Some(range)
     }
 }
 
@@ -223,13 +261,23 @@ impl TokenBucket {
 
 // --------------------------------------------------------- connection
 
-/// One client connection: the non-blocking socket plus the framing and
-/// rate-limit state that travels with it between poller and workers.
+/// One client connection: the non-blocking socket plus the framing,
+/// rate-limit, and scratch state that travels with it between poller
+/// and workers. The frame list, write batch, and parse/dispatch
+/// scratch are all reused across wake-ups (cleared, never freed), so
+/// the steady-state request path performs no heap allocation.
 #[derive(Debug)]
 pub(crate) struct Conn {
     pub stream: TcpStream,
     framer: LineFramer,
     bucket: Option<TokenBucket>,
+    /// Frames decoded this wake (ranges into `framer`'s buffer).
+    frames: Vec<Frame>,
+    /// The wake's response batch, written in one syscall.
+    out: Vec<u8>,
+    /// Per-connection parse/dispatch arena for the zero-allocation
+    /// request fast path.
+    scratch: Scratch,
 }
 
 impl Conn {
@@ -244,6 +292,9 @@ impl Conn {
             bucket: limits
                 .max_rps
                 .map(|rps| TokenBucket::new(rps, Instant::now())),
+            frames: Vec::new(),
+            out: Vec::new(),
+            scratch: Scratch::new(),
         })
     }
 }
@@ -258,10 +309,13 @@ pub(crate) enum Disposition {
 }
 
 /// Serves one readiness wake-up: drain the socket, answer every
-/// complete line, decide the connection's fate.
+/// complete line, decide the connection's fate. All working storage
+/// (frame list, line buffer, response batch, parse scratch) lives in
+/// `conn` and is reused, so a steady-state wake allocates nothing.
 pub(crate) fn serve_ready(conn: &mut Conn, state: &ServerState) -> Disposition {
     let mut chunk = [0u8; 8192];
-    let mut frames = Vec::new();
+    conn.frames.clear();
+    conn.out.clear();
     let mut eof = false;
     let mut total = 0usize;
     while total < MAX_BYTES_PER_WAKE {
@@ -272,57 +326,66 @@ pub(crate) fn serve_ready(conn: &mut Conn, state: &ServerState) -> Disposition {
             }
             Ok(n) => {
                 total += n;
-                conn.framer.push(&chunk[..n], &mut frames);
+                conn.framer.push(&chunk[..n], &mut conn.frames);
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
             Err(_) => return Disposition::Close,
         }
     }
+    if total > 0 {
+        state.add_bytes_read(total);
+    }
     if eof {
         // A final line terminated by EOF instead of a newline is still
         // a request: answer it, then close.
         if let Some(tail) = conn.framer.take_eof_tail() {
-            frames.push(Frame::Line(tail));
+            conn.frames.push(Frame::Line(tail));
         }
     }
 
-    let mut out = Vec::new();
     let mut close = eof;
-    for frame in frames {
-        match frame {
+    for i in 0..conn.frames.len() {
+        let range = match &conn.frames[i] {
             Frame::Oversize => {
-                state.on_oversize_line(&mut out);
+                state.on_oversize_line(&mut conn.out);
+                continue;
             }
-            Frame::Line(bytes) => {
-                if bytes.iter().all(|b| b.is_ascii_whitespace()) {
-                    continue; // blank keep-alive lines are free
-                }
-                if let Some(bucket) = &mut conn.bucket {
-                    if !bucket.try_take(Instant::now()) {
-                        state.on_rate_limited(&mut out);
-                        continue;
-                    }
-                }
-                let is_shutdown = state.answer_line(&bytes, &mut out);
-                if is_shutdown {
-                    // Flush the acknowledgement before raising the
-                    // flag, so the requester always sees its "bye".
-                    let _ = write_out(&conn.stream, &out);
-                    state.initiate_shutdown();
-                    return Disposition::Close;
-                }
-                if state.is_shutting_down() {
-                    // Drain contract: finish the in-flight request,
-                    // don't start the next one.
-                    close = true;
-                    break;
-                }
+            Frame::Line(range) => range.clone(),
+        };
+        let bytes = conn.framer.line(&range);
+        if bytes.iter().all(|b| b.is_ascii_whitespace()) {
+            continue; // blank keep-alive lines are free
+        }
+        if let Some(bucket) = &mut conn.bucket {
+            if !bucket.try_take(Instant::now()) {
+                state.on_rate_limited(&mut conn.out);
+                continue;
             }
         }
+        let is_shutdown = state.answer_line(bytes, &mut conn.scratch, &mut conn.out);
+        if is_shutdown {
+            // Flush the acknowledgement before raising the
+            // flag, so the requester always sees its "bye".
+            if write_out(&conn.stream, &conn.out).is_ok() {
+                state.add_bytes_written(conn.out.len());
+            }
+            state.initiate_shutdown();
+            return Disposition::Close;
+        }
+        if state.is_shutting_down() {
+            // Drain contract: finish the in-flight request,
+            // don't start the next one.
+            close = true;
+            break;
+        }
     }
-    if !out.is_empty() && write_out(&conn.stream, &out).is_err() {
-        return Disposition::Close;
+    conn.framer.consume();
+    if !conn.out.is_empty() {
+        if write_out(&conn.stream, &conn.out).is_err() {
+            return Disposition::Close;
+        }
+        state.add_bytes_written(conn.out.len());
     }
     if close || state.is_shutting_down() {
         Disposition::Close
@@ -481,37 +544,37 @@ fn dispatch(mut conn: Conn, pool: &Sender<Job>, handle: &PollerHandle, state: &A
 mod tests {
     use super::*;
 
-    fn frames(framer: &mut LineFramer, chunk: &[u8]) -> Vec<Frame> {
+    /// Feeds one chunk and resolves the emitted frames immediately:
+    /// `Some(bytes)` for a line, `None` for an oversize rejection.
+    fn feed(framer: &mut LineFramer, chunk: &[u8]) -> Vec<Option<Vec<u8>>> {
         let mut out = Vec::new();
         framer.push(chunk, &mut out);
-        out
+        out.iter()
+            .map(|frame| match frame {
+                Frame::Line(range) => Some(framer.line(range).to_vec()),
+                Frame::Oversize => None,
+            })
+            .collect()
+    }
+
+    fn line(bytes: &[u8]) -> Option<Vec<u8>> {
+        Some(bytes.to_vec())
     }
 
     #[test]
     fn framer_assembles_lines_across_chunks() {
         let mut f = LineFramer::new(64);
-        assert_eq!(frames(&mut f, b"hel"), vec![]);
-        assert_eq!(
-            frames(&mut f, b"lo\nwor"),
-            vec![Frame::Line(b"hello".to_vec())]
-        );
-        assert_eq!(
-            frames(&mut f, b"ld\n"),
-            vec![Frame::Line(b"world".to_vec())]
-        );
+        assert_eq!(feed(&mut f, b"hel"), vec![]);
+        assert_eq!(feed(&mut f, b"lo\nwor"), vec![line(b"hello")]);
+        assert_eq!(feed(&mut f, b"ld\n"), vec![line(b"world")]);
     }
 
     #[test]
     fn framer_handles_many_lines_in_one_chunk() {
         let mut f = LineFramer::new(64);
         assert_eq!(
-            frames(&mut f, b"a\nb\n\nc\n"),
-            vec![
-                Frame::Line(b"a".to_vec()),
-                Frame::Line(b"b".to_vec()),
-                Frame::Line(b"".to_vec()),
-                Frame::Line(b"c".to_vec()),
-            ]
+            feed(&mut f, b"a\nb\n\nc\n"),
+            vec![line(b"a"), line(b"b"), line(b""), line(b"c")]
         );
     }
 
@@ -519,41 +582,51 @@ mod tests {
     fn framer_rejects_oversize_and_recovers_on_next_line() {
         let mut f = LineFramer::new(4);
         // 10x the cap, streamed in chunks: exactly one Oversize, and
-        // the buffer never grows past the cap.
+        // the partial tail never grows past the cap.
         let mut out = Vec::new();
         for _ in 0..10 {
             f.push(b"xxxx", &mut out);
-            assert!(f.buf.len() <= 4, "O(cap) memory: {}", f.buf.len());
+            let tail = f.buf.len() - f.line_start;
+            assert!(tail <= 4, "O(cap) tail: {tail}");
         }
         assert_eq!(out, vec![Frame::Oversize]);
         // The tail of the oversized line is discarded; the next line
         // parses normally.
-        out.clear();
-        f.push(b"xx\nok\n", &mut out);
-        assert_eq!(out, vec![Frame::Line(b"ok".to_vec())]);
+        assert_eq!(feed(&mut f, b"xx\nok\n"), vec![line(b"ok")]);
     }
 
     #[test]
     fn framer_rejects_complete_line_just_over_cap() {
         let mut f = LineFramer::new(4);
+        assert_eq!(feed(&mut f, b"abcd\n"), vec![line(b"abcd")]);
+        assert_eq!(feed(&mut f, b"abcde\nxy\n"), vec![None, line(b"xy")]);
+    }
+
+    #[test]
+    fn framer_consume_compacts_but_keeps_the_partial_tail() {
+        let mut f = LineFramer::new(64);
+        assert_eq!(feed(&mut f, b"hello\npart"), vec![line(b"hello")]);
+        f.consume();
+        assert_eq!(f.line_start, 0, "completed lines released");
+        let cap_before = f.buf.capacity();
+        assert_eq!(feed(&mut f, b"ial\n"), vec![line(b"partial")]);
+        f.consume();
         assert_eq!(
-            frames(&mut f, b"abcd\n"),
-            vec![Frame::Line(b"abcd".to_vec())]
+            f.buf.capacity(),
+            cap_before,
+            "consume keeps capacity — the steady state never reallocates"
         );
-        assert_eq!(
-            frames(&mut f, b"abcde\nxy\n"),
-            vec![Frame::Oversize, Frame::Line(b"xy".to_vec()),]
-        );
+        // An idle consume (nothing pending) is a no-op.
+        f.consume();
+        assert_eq!(feed(&mut f, b"next\n"), vec![line(b"next")]);
     }
 
     #[test]
     fn framer_surrenders_an_unterminated_tail_at_eof() {
         let mut f = LineFramer::new(64);
-        assert_eq!(
-            frames(&mut f, b"a\npartial"),
-            vec![Frame::Line(b"a".to_vec())]
-        );
-        assert_eq!(f.take_eof_tail(), Some(b"partial".to_vec()));
+        assert_eq!(feed(&mut f, b"a\npartial"), vec![line(b"a")]);
+        let tail = f.take_eof_tail().expect("tail pending");
+        assert_eq!(f.line(&tail), b"partial");
         assert_eq!(f.take_eof_tail(), None, "drained once");
         // Mid-skip (oversized line already rejected): the tail is
         // garbage from the rejected line, not a request.

@@ -370,6 +370,13 @@ pub struct MetricsReport {
     /// Request lines rejected by the per-connection `--max-rps` token
     /// bucket (answered with `rate_limited`, before decoding).
     pub rejected_rate: u64,
+    /// Request bytes drained off client sockets since process start —
+    /// the server-side cross-check for a load harness's sent-byte
+    /// accounting (see `docs/BENCHMARKS.md`).
+    pub bytes_read: u64,
+    /// Response bytes successfully written back to clients since
+    /// process start.
+    pub bytes_written: u64,
     /// Per-command traffic, in fixed command order.
     pub commands: Vec<CommandStats>,
 }
@@ -629,6 +636,8 @@ impl Response {
                     Json::Int(report.rejected_oversize as i64),
                 ),
                 ("rejected_rate", Json::Int(report.rejected_rate as i64)),
+                ("bytes_read", Json::Int(report.bytes_read as i64)),
+                ("bytes_written", Json::Int(report.bytes_written as i64)),
                 (
                     "commands",
                     Json::Arr(
@@ -850,6 +859,8 @@ impl Response {
                     connections: u64_field("connections"),
                     rejected_oversize: u64_field("rejected_oversize"),
                     rejected_rate: u64_field("rejected_rate"),
+                    bytes_read: u64_field("bytes_read"),
+                    bytes_written: u64_field("bytes_written"),
                     commands,
                 }))
             }
@@ -1020,6 +1031,8 @@ mod tests {
                 connections: 12,
                 rejected_oversize: 2,
                 rejected_rate: 7,
+                bytes_read: 4096,
+                bytes_written: 9182,
                 commands: vec![CommandStats {
                     name: "audit".into(),
                     count: 4,

@@ -54,7 +54,7 @@ use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
-use std::time::UNIX_EPOCH;
+use std::time::{Instant, UNIX_EPOCH};
 
 use qid_core::filter::{FilterParams, SeparationFilter, TupleSampleFilter};
 use qid_core::sketch::{DistinctSketch, NonSeparationSketch, SketchParams};
@@ -234,6 +234,12 @@ impl Entry {
 struct SlotInner {
     cell: OnceLock<Result<Arc<Entry>, String>>,
     last_used: AtomicU64,
+    /// When this slot's entry last passed a source-stat freshness check,
+    /// as milliseconds since the registry was created **plus one** (so
+    /// `0` means "never validated"). [`Registry::peek`] serves without
+    /// re-statting while this stamp is younger than
+    /// [`RegistryConfig::revalidate_ms`].
+    validated: AtomicU64,
 }
 
 type Slot = Arc<SlotInner>;
@@ -251,6 +257,13 @@ pub struct RegistryConfig {
     /// Directory for the persistent warm tier (sample CSV + metadata
     /// per entry); `None` disables persistence.
     pub cache_dir: Option<PathBuf>,
+    /// How long (milliseconds) a freshness check stays valid for the
+    /// allocation-free [`Registry::peek`] fast path. Within this window
+    /// of the last source stat, `peek` serves the resident entry
+    /// without re-statting the file; `0` (the default here) disables
+    /// `peek` entirely, preserving strict stat-on-every-hit
+    /// invalidation. [`Registry::get_or_load`] always stats regardless.
+    pub revalidate_ms: u64,
 }
 
 impl Default for RegistryConfig {
@@ -259,6 +272,7 @@ impl Default for RegistryConfig {
             shards: 16,
             cache_bytes: None,
             cache_dir: None,
+            revalidate_ms: 0,
         }
     }
 }
@@ -296,6 +310,9 @@ pub struct RegistrySnapshot {
 pub struct Registry {
     shards: Vec<Shard>,
     config: RegistryConfig,
+    /// Epoch for the per-slot `validated` stamps (monotonic, so stamps
+    /// are immune to wall-clock jumps).
+    born: Instant,
     clock: AtomicU64,
     resident_bytes: AtomicU64,
     hits: AtomicU64,
@@ -330,6 +347,7 @@ impl Registry {
         Registry {
             shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
             config,
+            born: Instant::now(),
             clock: AtomicU64::new(0),
             resident_bytes: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -350,6 +368,58 @@ impl Registry {
     fn touch(&self, slot: &Slot) {
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
         slot.last_used.store(now, Ordering::Relaxed);
+    }
+
+    /// Milliseconds since the registry was created, offset by one so a
+    /// zero `validated` stamp always means "never".
+    fn stamp_now(&self) -> u64 {
+        (self.born.elapsed().as_millis() as u64).saturating_add(1)
+    }
+
+    /// Records that `slot`'s entry just passed (or just finished) a
+    /// source-freshness check, opening the [`Registry::peek`] window.
+    fn stamp_validated(&self, slot: &Slot) {
+        slot.validated.store(self.stamp_now(), Ordering::Relaxed);
+    }
+
+    /// The allocation-free read path: returns the resident entry for
+    /// `key` iff it is built, healthy, and was freshness-checked within
+    /// the last [`RegistryConfig::revalidate_ms`] milliseconds. Counted
+    /// as a cache hit. Returns `None` — never builds, restores, or
+    /// stats — in every other case; callers fall back to
+    /// [`Registry::get_or_load`], whose stat re-opens the window.
+    ///
+    /// The configured [`RegistryConfig::revalidate_ms`] window; `0`
+    /// means [`Registry::peek`] (and the request fast path built on
+    /// it) is disabled.
+    pub fn revalidate_window_ms(&self) -> u64 {
+        self.config.revalidate_ms
+    }
+
+    /// With `revalidate_ms == 0` (the default) this always returns
+    /// `None`: strict stat-on-every-hit invalidation.
+    pub fn peek(&self, key: &CacheKey) -> Option<Arc<Entry>> {
+        let window = self.config.revalidate_ms;
+        if window == 0 {
+            return None;
+        }
+        let slot = self
+            .shard(key)
+            .read()
+            .expect("shard lock")
+            .get(key)
+            .map(Arc::clone)?;
+        let stamp = slot.validated.load(Ordering::Relaxed);
+        if stamp == 0 || self.stamp_now().saturating_sub(stamp) >= window {
+            return None;
+        }
+        let entry = match slot.cell.get() {
+            Some(Ok(entry)) => Arc::clone(entry),
+            _ => return None,
+        };
+        self.touch(&slot);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(entry)
     }
 
     /// Returns the cached entry for `ds`, building it on first use.
@@ -386,6 +456,8 @@ impl Registry {
                         if self.is_stale(entry, &key) {
                             return self.rebuild(&key, ds, mode, &slot, allow_restore);
                         }
+                        // The stat just passed: re-open the peek window.
+                        self.stamp_validated(&slot);
                     }
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     (done.clone(), true)
@@ -801,6 +873,9 @@ impl Registry {
                 map.remove(key);
             }
         } else {
+            // A finished build (or disk restore) captured a fresh source
+            // stat, so the peek window opens from here.
+            self.stamp_validated(slot);
             self.enforce_budget(key);
         }
         result
@@ -1392,6 +1467,51 @@ mod tests {
         assert_eq!(reg.hits(), 1);
         assert_eq!(reg.misses(), 1);
         assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn peek_serves_within_the_revalidation_window() {
+        let path = fixture_csv("peek.csv", 300);
+        let reg = Registry::with_config(RegistryConfig {
+            revalidate_ms: 60_000,
+            ..RegistryConfig::default()
+        });
+        let ds = dsref(&path);
+        let key = CacheKey::of(&ds);
+        assert!(reg.peek(&key).is_none(), "nothing resident yet");
+        let (built, _) = reg.get_or_load(&ds, LoadMode::Memory);
+        let built = built.unwrap();
+        let peeked = reg.peek(&key).expect("fresh build opens the window");
+        assert!(Arc::ptr_eq(&built, &peeked));
+        assert_eq!(reg.hits(), 1, "peek counts as a cache hit");
+        // An unknown key stays a clean miss.
+        let mut other = ds.clone();
+        other.seed = 99;
+        assert!(reg.peek(&CacheKey::of(&other)).is_none());
+    }
+
+    #[test]
+    fn peek_disabled_by_default_and_expires() {
+        let path = fixture_csv("peek-off.csv", 300);
+        let ds = dsref(&path);
+        let key = CacheKey::of(&ds);
+
+        // Default config: window is 0, peek never serves.
+        let strict = Registry::new();
+        strict.get_or_load(&ds, LoadMode::Memory).0.unwrap();
+        assert!(strict.peek(&key).is_none(), "revalidate_ms=0 disables peek");
+
+        // A short window expires, and a general-path hit (which
+        // re-stats the source) re-opens it.
+        let reg = Registry::with_config(RegistryConfig {
+            revalidate_ms: 200,
+            ..RegistryConfig::default()
+        });
+        reg.get_or_load(&ds, LoadMode::Memory).0.unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(250));
+        assert!(reg.peek(&key).is_none(), "stale stamp closes the window");
+        reg.get_or_load(&ds, LoadMode::Memory).0.unwrap();
+        assert!(reg.peek(&key).is_some());
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::time::Instant;
 use qid_core::minkey::{enumerate_minimal_keys, GreedyRefineMinKey, LatticeConfig};
 use qid_core::separation::group_sizes;
 
+use crate::fastpath::Scratch;
 use crate::metrics::Metrics;
 use crate::poller::{poller_loop, push_response, Conn, ConnLimits, PollerHandle};
 use crate::proto::{
@@ -48,7 +49,19 @@ pub struct ServerConfig {
     /// (`--max-rps`); `None` disables rate limiting. Over-budget lines
     /// are answered with `rate_limited` before they are decoded.
     pub max_rps: Option<u32>,
+    /// Freshness-check revalidation window in milliseconds
+    /// (`--revalidate-ms`), enabling the zero-allocation `check` fast
+    /// path: within this window of the last source stat, a cached
+    /// entry is served without re-statting the file (see
+    /// [`Registry::peek`]). `0` disables the fast path and restores
+    /// strict stat-on-every-request invalidation.
+    pub revalidate_ms: u64,
 }
+
+/// Default `--revalidate-ms`: in-place source rewrites are noticed
+/// within a quarter second, while a `check`-saturating client stats
+/// the file at most ~4 times a second instead of once per request.
+pub const DEFAULT_REVALIDATE_MS: u64 = 250;
 
 impl Default for ServerConfig {
     fn default() -> Self {
@@ -59,6 +72,7 @@ impl Default for ServerConfig {
             cache_dir: None,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             max_rps: None,
+            revalidate_ms: DEFAULT_REVALIDATE_MS,
         }
     }
 }
@@ -121,6 +135,7 @@ impl Server {
         let registry = Registry::with_config(RegistryConfig {
             cache_bytes: config.cache_bytes,
             cache_dir: config.cache_dir.as_ref().map(std::path::PathBuf::from),
+            revalidate_ms: config.revalidate_ms,
             ..RegistryConfig::default()
         });
         Ok(Server {
@@ -295,7 +310,15 @@ impl ServerState {
     /// encoded response (plus newline) to `out`. Returns `true` when
     /// the line was a `shutdown` request — the caller flushes and
     /// raises the flag.
-    pub(crate) fn answer_line(&self, bytes: &[u8], out: &mut Vec<u8>) -> bool {
+    ///
+    /// A plain `check` over a resident, freshness-checked entry is
+    /// answered by the zero-allocation fast path (see
+    /// [`crate::fastpath`]) using the caller's per-connection
+    /// `scratch` arena; every other line takes the general
+    /// decode → dispatch → encode path. Public so integration tests
+    /// (the counting-allocator test in particular) can drive the exact
+    /// request path in-process.
+    pub fn answer_line(&self, bytes: &[u8], scratch: &mut Scratch, out: &mut Vec<u8>) -> bool {
         let Ok(line) = std::str::from_utf8(bytes) else {
             self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
             push_response(
@@ -308,6 +331,9 @@ impl ServerState {
         };
         let trimmed = line.trim();
         if trimmed.is_empty() {
+            return false;
+        }
+        if crate::fastpath::try_answer_check(self, trimmed, scratch, out) {
             return false;
         }
         let started = Instant::now();
@@ -363,6 +389,21 @@ impl ServerState {
                 max_rps: self.limits.max_rps.unwrap_or(0),
             },
         );
+    }
+
+    /// Counts request bytes drained off client sockets (the server
+    /// side of a load harness's sent-byte accounting).
+    pub(crate) fn add_bytes_read(&self, n: usize) {
+        self.metrics
+            .bytes_read
+            .fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Counts response bytes successfully written back to clients.
+    pub(crate) fn add_bytes_written(&self, n: usize) {
+        self.metrics
+            .bytes_written
+            .fetch_add(n as u64, Ordering::Relaxed);
     }
 }
 

@@ -22,6 +22,7 @@
 //! qid serve [--addr 127.0.0.1:0] [--workers 4]
 //!           [--cache-bytes N[K|M|G]] [--cache-dir DIR]
 //!           [--max-line-bytes N[K|M|G]] [--max-rps N]
+//!           [--revalidate-ms MS]
 //! qid query <addr> load    data.csv [--eps E] [--seed S] [--stream]
 //! qid query <addr> audit   data.csv [--eps E] [--seed S] [--max-key-size K]
 //! qid query <addr> key     data.csv [--eps E] [--seed S]
@@ -34,6 +35,22 @@
 //! qid query <addr> metrics
 //! qid query <addr> shutdown
 //! ```
+//!
+//! Saturation load testing (see docs/BENCHMARKS.md for the handbook):
+//!
+//! ```text
+//! qid bench <addr> <data.csv> [--connections N] [--duration-s S]
+//!           [--warmup-s S] [--seed S] [--eps E]
+//!           [--mode closed|open] [--rate RPS] [--check-only] [--json]
+//! ```
+//!
+//! `bench` opens N concurrent connections against a running server,
+//! drives a seeded synthetic request mix (check-heavy, plus stats /
+//! sketch / audit / batch) for a time-boxed window, and reports
+//! throughput with p50/p99/p999 latency. Closed loop (default) keeps
+//! one request outstanding per connection; `--mode open --rate R`
+//! sends on a fixed schedule and measures latency from the scheduled
+//! send time. Exits non-zero on any transport error.
 //!
 //! `sketch` returns Theorem 2's Γ-estimate (unseparated-pair count)
 //! for an attribute set, answered from a cached non-separation
@@ -107,10 +124,13 @@ fn usage() -> ! {
          [--budget B] [--exact]\n\
          \x20      qid serve [--addr HOST:PORT] [--workers N] \
          [--cache-bytes N[K|M|G]] [--cache-dir DIR] \
-         [--max-line-bytes N[K|M|G]] [--max-rps N]\n\
+         [--max-line-bytes N[K|M|G]] [--max-rps N] [--revalidate-ms MS]\n\
          \x20      qid query <addr> \
          <load|audit|key|check|sketch|mask|stats|batch|unload|metrics|shutdown> \
-         [data.csv | -] [flags]"
+         [data.csv | -] [flags]\n\
+         \x20      qid bench <addr> <data.csv> [--connections N] \
+         [--duration-s S] [--warmup-s S] [--seed S] [--eps E] \
+         [--mode closed|open] [--rate RPS] [--check-only] [--json]"
     );
     std::process::exit(2);
 }
@@ -181,6 +201,7 @@ fn main() -> ExitCode {
     match command.as_str() {
         "serve" => cmd_serve(&args[1..]),
         "query" => cmd_query(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         _ => {
             let Some(path) = args.get(1).cloned() else {
                 usage()
@@ -245,6 +266,15 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 // 0 keeps the default (unlimited) explicit.
                 config.max_rps = (rps > 0).then_some(rps);
             }
+            "--revalidate-ms" => {
+                config.revalidate_ms = take("--revalidate-ms").parse().unwrap_or_else(|_| {
+                    eprintln!(
+                        "--revalidate-ms wants a window in milliseconds \
+                         (0 restores stat-per-request freshness checks)"
+                    );
+                    usage()
+                });
+            }
             _ => {
                 eprintln!("unknown flag {flag}");
                 usage()
@@ -266,14 +296,16 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let mut stdout = std::io::stdout();
     let _ = writeln!(
         stdout,
-        "qid-server listening on {} (workers = {}, poller = {}, max-line-bytes = {}, max-rps = {})",
+        "qid-server listening on {} (workers = {}, poller = {}, max-line-bytes = {}, \
+         max-rps = {}, revalidate-ms = {})",
         server.local_addr(),
         config.workers.max(1),
         quasi_id::server::backend_name(),
         config.max_line_bytes,
         config
             .max_rps
-            .map_or("off".to_string(), |rps| rps.to_string())
+            .map_or("off".to_string(), |rps| rps.to_string()),
+        config.revalidate_ms
     );
     let _ = stdout.flush();
     match server.serve() {
@@ -579,6 +611,12 @@ fn print_response(response: &Response) -> ExitCode {
                 report.rejected_oversize,
                 report.rejected_rate
             );
+            outln!(
+                "wire: {} bytes read, {} bytes written \
+                 (cross-check against a load harness's sent/received totals)",
+                report.bytes_read,
+                report.bytes_written
+            );
             outln!("command     count  errors  latency_us      p50_us      p99_us");
             for c in &report.commands {
                 outln!(
@@ -610,6 +648,134 @@ fn print_response(response: &Response) -> ExitCode {
             eprintln!("server error: {message}");
             return ExitCode::FAILURE;
         }
+    }
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------- bench
+
+/// `qid bench <addr> <data.csv> [flags]` — the saturation load
+/// harness (see docs/BENCHMARKS.md). Exits non-zero on transport
+/// errors so CI can gate on a clean run.
+fn cmd_bench(args: &[String]) -> ExitCode {
+    use qid_loadgen::{LoadConfig, LoopMode, MixWeights};
+
+    let (Some(addr), Some(path)) = (args.first().cloned(), args.get(1).cloned()) else {
+        eprintln!("bench requires a server address and a data.csv path");
+        usage()
+    };
+    let mut connections = 16usize;
+    let mut duration_s = 10.0f64;
+    let mut warmup_s = 1.0f64;
+    let mut seed = 7u64;
+    let mut eps = 0.01f64;
+    let mut open = false;
+    let mut rate = 0u64;
+    let mut check_only = false;
+    let mut json = false;
+    let mut args = args[2..].iter();
+    while let Some(flag) = args.next() {
+        let mut take = |name: &str| -> &String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--connections" => {
+                connections = take("--connections").parse().unwrap_or_else(|_| usage())
+            }
+            "--duration-s" => duration_s = take("--duration-s").parse().unwrap_or_else(|_| usage()),
+            "--warmup-s" => warmup_s = take("--warmup-s").parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = take("--seed").parse().unwrap_or_else(|_| usage()),
+            "--eps" => eps = take("--eps").parse().unwrap_or_else(|_| usage()),
+            "--mode" => match take("--mode").as_str() {
+                "closed" => open = false,
+                "open" => open = true,
+                other => {
+                    eprintln!("--mode wants closed or open, not {other:?}");
+                    usage()
+                }
+            },
+            "--rate" => rate = take("--rate").parse().unwrap_or_else(|_| usage()),
+            "--check-only" => check_only = true,
+            "--json" => json = true,
+            _ => {
+                eprintln!("unknown flag {flag}");
+                usage()
+            }
+        }
+    }
+    if open && rate == 0 {
+        eprintln!("--mode open requires --rate RPS (the scheduled aggregate rate)");
+        usage()
+    }
+    // The server resolves paths in its own working directory.
+    let path = std::fs::canonicalize(&path)
+        .ok()
+        .and_then(|p| p.to_str().map(str::to_string))
+        .unwrap_or(path);
+    let config = LoadConfig {
+        addr: addr.clone(),
+        path,
+        eps,
+        seed,
+        connections,
+        duration: std::time::Duration::from_secs_f64(duration_s.max(0.1)),
+        warmup: std::time::Duration::from_secs_f64(warmup_s.max(0.0)),
+        mode: if open {
+            LoopMode::Open { rps: rate }
+        } else {
+            LoopMode::Closed
+        },
+        weights: if check_only {
+            MixWeights::check_only()
+        } else {
+            MixWeights::default()
+        },
+    };
+    let report = match qid_loadgen::run(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("bench setup failed against {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        outln!("{}", report.to_json());
+    } else {
+        outln!(
+            "{} loop, {} connections, {:.1}s measured (seed {seed}):",
+            report.mode,
+            report.connections,
+            report.elapsed_s
+        );
+        outln!(
+            "  {} requests ({} ok, {} errors) = {:.1} req/s",
+            report.requests,
+            report.ok,
+            report.errors,
+            report.rps
+        );
+        outln!(
+            "  latency p50 {:.0} us, p99 {:.0} us, p999 {:.0} us",
+            report.p50_us,
+            report.p99_us,
+            report.p999_us
+        );
+        outln!(
+            "  wire: {} bytes sent, {} bytes received \
+             (server-side totals: qid query {addr} metrics)",
+            report.bytes_sent,
+            report.bytes_received
+        );
+    }
+    if report.transport_errors > 0 {
+        eprintln!(
+            "bench: {} transport error(s) — connections died mid-run",
+            report.transport_errors
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

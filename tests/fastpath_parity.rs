@@ -1,0 +1,131 @@
+//! Fast-path/general-path parity.
+//!
+//! The zero-allocation `check` path is only allowed to exist because
+//! it is *observationally invisible*: any line it answers must get
+//! byte-identical output to the general decode → dispatch → encode
+//! path, and any line it is unsure about it must bail on (the general
+//! path stays the single authority for errors and edge cases).
+//!
+//! This suite drives the same request lines through two in-process
+//! servers over the same dataset — one with the fast path enabled
+//! (a large `revalidate_ms` window), one with it disabled
+//! (`revalidate_ms: 0`) — and asserts the response bytes agree on
+//! every line: fast-path hits, deliberate bails, and outright errors.
+
+use quasi_id::server::{Scratch, Server, ServerConfig, ServerState};
+use std::sync::Arc;
+
+/// Binds a throwaway server (no threads — `answer_line` is driven
+/// directly) and loads the shared dataset into its registry.
+fn server_with_window(revalidate_ms: u64, path: &str) -> Arc<ServerState> {
+    let server = Server::bind(&ServerConfig {
+        workers: 1,
+        revalidate_ms,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let state = server.state();
+    let mut scratch = Scratch::new();
+    let mut out = Vec::new();
+    let load = format!(r#"{{"cmd":"load","path":"{path}","eps":0.01,"seed":7}}"#);
+    state.answer_line(load.as_bytes(), &mut scratch, &mut out);
+    assert!(
+        out.starts_with(br#"{"ok":true,"kind":"loaded""#),
+        "load failed: {}",
+        String::from_utf8_lossy(&out)
+    );
+    state
+}
+
+#[test]
+fn fastpath_answers_are_byte_identical_to_the_general_path() {
+    let dir = std::env::temp_dir().join("qid-fastpath-parity");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("people.csv");
+    let mut csv = String::from("zip,age,sex,job\n");
+    for i in 0..400 {
+        csv.push_str(&format!(
+            "{:05},{},{},job{}\n",
+            i % 83,
+            18 + i % 55,
+            i % 2,
+            i % 5
+        ));
+    }
+    std::fs::write(&path, csv).expect("write csv");
+    let path = path.to_str().expect("utf-8 path");
+
+    let fast = server_with_window(3_600_000, path);
+    let general = server_with_window(0, path);
+
+    // Every shape the scanner must either serve identically or bail
+    // on: plain hits (varying key order, whitespace, defaults,
+    // positional attrs, duplicates), deliberate bails (string seed,
+    // scientific eps, escapes, unknown keys/attrs, non-string attrs),
+    // and lines that error on both sides.
+    let lines = [
+        // Fast-path hits.
+        format!(r#"{{"cmd":"check","path":"{path}","eps":0.01,"seed":7,"attrs":["zip","age"]}}"#),
+        format!(r#"{{"cmd":"check","path":"{path}","eps":0.01,"seed":7,"attrs":["sex"]}}"#),
+        format!(r#"{{"attrs":["age","zip"],"seed":7,"eps":0.01,"path":"{path}","cmd":"check"}}"#),
+        format!(r#"  {{ "cmd" : "check" , "path" : "{path}" , "attrs" : [ "zip" ] }}  "#),
+        format!(r#"{{"cmd":"check","path":"{path}","attrs":[]}}"#),
+        format!(r#"{{"cmd":"check","path":"{path}","eps":0.01,"seed":7,"attrs":["0","1"]}}"#),
+        format!(
+            r#"{{"cmd":"check","path":"{path}","eps":0.01,"seed":7,"attrs":["zip","zip","age"]}}"#
+        ),
+        format!(r#"{{"cmd":"check","path":"{path}","eps":0.5,"seed":7,"attrs":["zip"]}}"#),
+        // Bails the fast path must hand to the general parser.
+        format!(r#"{{"cmd":"check","path":"{path}","eps":0.01,"seed":"7","attrs":["zip"]}}"#),
+        format!(r#"{{"cmd":"check","path":"{path}","eps":1e-2,"seed":7,"attrs":["zip"]}}"#),
+        format!(r#"{{"cmd":"check","path":"{path}","eps":0.01,"seed":-1,"attrs":["zip"]}}"#),
+        format!(r#"{{"cmd":"check","path":"{path}","attrs":["zip"],"extra":1}}"#),
+        format!(r#"{{"cmd":"check","path":"{path}","attrs":["nope"]}}"#),
+        format!(r#"{{"cmd":"check","path":"{path}","attrs":[0,1]}}"#),
+        format!(r#"{{"cmd":"check","path":"{path}","attrs":["zip"]}}"#),
+        format!(r#"{{"cmd":"check","path":"{path}","attrs":["zip"]}} trailing"#),
+        // Errors on both sides.
+        r#"{"cmd":"check","attrs":["zip"]}"#.to_string(),
+        r#"{"cmd":"check","path":"/definitely/missing.csv","attrs":["zip"]}"#.to_string(),
+        r#"{"cmd":"explode"}"#.to_string(),
+        r#"not json"#.to_string(),
+        // Other commands, untouched by the fast path.
+        format!(r#"{{"cmd":"stats","path":"{path}","eps":0.01,"seed":7}}"#),
+        format!(
+            r#"{{"cmd":"batch","requests":[{{"cmd":"check","path":"{path}","eps":0.01,"seed":7,"attrs":["zip"]}}]}}"#
+        ),
+    ];
+
+    let mut fast_scratch = Scratch::new();
+    let mut general_scratch = Scratch::new();
+    let (mut fast_out, mut general_out) = (Vec::new(), Vec::new());
+    for line in &lines {
+        fast_out.clear();
+        general_out.clear();
+        fast.answer_line(line.as_bytes(), &mut fast_scratch, &mut fast_out);
+        general.answer_line(line.as_bytes(), &mut general_scratch, &mut general_out);
+        assert_eq!(
+            String::from_utf8_lossy(&fast_out),
+            String::from_utf8_lossy(&general_out),
+            "fast/general responses diverge on line: {line}"
+        );
+        assert!(!fast_out.is_empty(), "no response at all for line: {line}");
+    }
+
+    // And the repeated-hit path (memo warm) stays identical too.
+    let hot = format!(
+        r#"{{"cmd":"check","path":"{path}","eps":0.01,"seed":7,"attrs":["zip","age","sex"]}}"#
+    );
+    let mut reference: Option<Vec<u8>> = None;
+    for _ in 0..50 {
+        fast_out.clear();
+        general_out.clear();
+        fast.answer_line(hot.as_bytes(), &mut fast_scratch, &mut fast_out);
+        general.answer_line(hot.as_bytes(), &mut general_scratch, &mut general_out);
+        assert_eq!(fast_out, general_out, "hot-loop divergence");
+        match &reference {
+            Some(bytes) => assert_eq!(bytes, &fast_out, "answer drifted across repeats"),
+            None => reference = Some(fast_out.clone()),
+        }
+    }
+}

@@ -197,6 +197,8 @@ fn corpus() -> Vec<String> {
             connections: 512,
             rejected_oversize: 3,
             rejected_rate: 17,
+            bytes_read: 4096,
+            bytes_written: 9182,
             commands: vec![CommandStats {
                 name: "audit".into(),
                 count: 2,
