@@ -70,6 +70,11 @@ pub struct Scratch {
     /// The memoised cache key (canonicalisation is the one allocating
     /// step, paid once per revalidation window).
     memo: Option<KeyMemo>,
+    /// Span records for the requests served in the current poller
+    /// wake, published to the trace ring by the wake epilogue
+    /// ([`crate::server::ServerState::finish_wake`]). Fixed-size:
+    /// filling it never allocates.
+    pub(crate) spans: crate::obs::PendingSpans,
 }
 
 impl Scratch {
@@ -77,6 +82,13 @@ impl Scratch {
     /// the first few requests and stay there.
     pub fn new() -> Scratch {
         Scratch::default()
+    }
+
+    /// The FNV-1a hash of the memoised cache key — what the fast path
+    /// stamps into its trace spans without recomputing (or allocating)
+    /// anything. Zero when no key has been memoised yet.
+    pub(crate) fn memo_key_hash(&self) -> u64 {
+        self.memo.as_ref().map_or(0, |m| m.hash)
     }
 }
 
@@ -88,6 +100,8 @@ struct KeyMemo {
     eps_bits: u64,
     seed: u64,
     key: CacheKey,
+    /// `key.fnv64()`, precomputed so span capture costs one copy.
+    hash: u64,
     /// When the key was computed; re-canonicalised after the registry's
     /// revalidation window so a retargeted path cannot stay bound to an
     /// old entry for longer than staleness is already tolerated.
@@ -144,6 +158,7 @@ pub(crate) fn try_answer_check(
             eps: req.eps,
             seed: req.seed,
         });
+        let hash = key.fnv64();
         match &mut scratch.memo {
             Some(m) => {
                 m.raw_path.clear();
@@ -151,6 +166,7 @@ pub(crate) fn try_answer_check(
                 m.eps_bits = eps_bits;
                 m.seed = req.seed;
                 m.key = key;
+                m.hash = hash;
                 m.at = started;
             }
             memo @ None => {
@@ -159,6 +175,7 @@ pub(crate) fn try_answer_check(
                     eps_bits,
                     seed: req.seed,
                     key,
+                    hash,
                     at: started,
                 });
             }

@@ -46,6 +46,15 @@
 //!   counting-allocator test, not asserted by eye. Anything unusual
 //!   bails to the general path, which stays the single authority for
 //!   errors and edge cases.
+//! * [`obs`] — the **flight recorder**: per-request trace spans
+//!   captured into preallocated per-connection slots and published to
+//!   a fixed-size lock-light ring (queryable live via the `trace`
+//!   command), an optional `--metrics-addr` Prometheus text-format
+//!   exposition listener (hand-rolled HTTP GET, no deps), and NDJSON
+//!   slow-request (`--slow-ms`) and lifecycle-event (`--log-json`)
+//!   logging on stderr. Instrumentation preserves the zero-allocation
+//!   `check` fast-path contract — proved by the same counting-allocator
+//!   test with tracing, slow detection and the metrics listener all on.
 //! * [`pool`] — a fixed worker thread pool over `mpsc` channels;
 //!   shutdown drains in-flight work before the process exits.
 //! * [`server`] — the `std::net::TcpListener` accept loop and request
@@ -147,6 +156,7 @@ pub mod client;
 pub mod fastpath;
 pub mod json;
 pub mod metrics;
+pub mod obs;
 pub mod poller;
 pub mod pool;
 pub mod proto;
@@ -156,9 +166,10 @@ pub mod server;
 
 pub use client::Client;
 pub use fastpath::Scratch;
+pub use obs::BUILD_VERSION;
 pub use poller::backend_name;
 pub use pool::WorkerPool;
-pub use proto::{sketch_params, DatasetRef, LoadMode, MetricsReport, Request, Response};
+pub use proto::{sketch_params, DatasetRef, LoadMode, MetricsReport, Request, Response, TraceSpan};
 pub use registry::{CacheKey, Registry, RegistryConfig, RegistrySnapshot};
 pub use resolve::{resolve_attr_names, split_attr_spec, ResolvedAttrs};
 pub use server::{

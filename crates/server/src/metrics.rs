@@ -37,9 +37,9 @@ use crate::registry::RegistrySnapshot;
 /// Wire names of all commands, in the fixed order `metrics` reports.
 /// Batch sub-commands are recorded under their own names *and* the
 /// enclosing line under `batch`.
-pub const COMMAND_NAMES: [&str; 11] = [
+pub const COMMAND_NAMES: [&str; 12] = [
     "load", "audit", "key", "check", "sketch", "mask", "stats", "batch", "unload", "metrics",
-    "shutdown",
+    "shutdown", "trace",
 ];
 
 /// Buckets per command histogram: powers of two from 1 µs up to
@@ -51,13 +51,25 @@ pub const LATENCY_BUCKETS: usize = 28;
 /// `HISTOGRAM_EPOCH`–`2×HISTOGRAM_EPOCH` of traffic.
 pub const HISTOGRAM_EPOCH: Duration = Duration::from_secs(60);
 
+/// Upper edge (inclusive, in µs) of log₂ bucket `i` — what quantiles
+/// report, and what the Prometheus endpoint renders as `le` edges
+/// (converted to seconds).
+pub(crate) fn bucket_upper_us(i: usize) -> u64 {
+    (1u64 << (i + 1)) - 1
+}
+
 /// One command's sliding-window log₂ latency histogram: two epochs of
-/// [`LATENCY_BUCKETS`] buckets, rotated by [`LatencyHistogram::rotate`].
+/// [`LATENCY_BUCKETS`] buckets, rotated by [`LatencyHistogram::rotate`],
+/// plus a never-rotated cumulative copy for Prometheus exposition
+/// (Prometheus histograms are cumulative since process start; the
+/// scraper computes windows server-side).
 #[derive(Debug)]
 pub struct LatencyHistogram {
     epochs: [[AtomicU64; LATENCY_BUCKETS]; 2],
     /// Which epoch records land in (0 or 1).
     current: AtomicUsize,
+    /// Cumulative-since-start bucket counts (never rotated).
+    cumulative: [AtomicU64; LATENCY_BUCKETS],
 }
 
 impl Default for LatencyHistogram {
@@ -65,6 +77,7 @@ impl Default for LatencyHistogram {
         LatencyHistogram {
             epochs: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
             current: AtomicUsize::new(0),
+            cumulative: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -78,13 +91,21 @@ impl LatencyHistogram {
     /// Upper edge (inclusive, in µs) of bucket `i` — what quantiles
     /// report.
     fn bucket_upper_us(i: usize) -> u64 {
-        (1u64 << (i + 1)) - 1
+        bucket_upper_us(i)
     }
 
-    /// Records one observation into the current epoch.
+    /// Records one observation into the current epoch and the
+    /// cumulative copy.
     pub fn record(&self, us: u64) {
+        let bucket = Self::bucket_index(us);
         let epoch = self.current.load(Ordering::Relaxed) & 1;
-        self.epochs[epoch][Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.epochs[epoch][bucket].fetch_add(1, Ordering::Relaxed);
+        self.cumulative[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the cumulative-since-start bucket counts.
+    pub(crate) fn cumulative_counts(&self) -> [u64; LATENCY_BUCKETS] {
+        std::array::from_fn(|i| self.cumulative[i].load(Ordering::Relaxed))
     }
 
     /// Slides the window: zeroes the older epoch and makes it current.
@@ -196,6 +217,23 @@ impl Metrics {
             .collect()
     }
 
+    /// Raw `(count, errors, latency_us)` for command index `idx`
+    /// (aligned with [`COMMAND_NAMES`]) — the Prometheus counters.
+    pub(crate) fn raw_command_counters(&self, idx: usize) -> (u64, u64, u64) {
+        let c = &self.per_command[idx];
+        (
+            c.count.load(Ordering::Relaxed),
+            c.errors.load(Ordering::Relaxed),
+            c.latency_us.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Cumulative-since-start latency bucket counts for command index
+    /// `idx` (aligned with [`COMMAND_NAMES`]).
+    pub(crate) fn cumulative_buckets(&self, idx: usize) -> [u64; LATENCY_BUCKETS] {
+        self.per_command[idx].histogram.cumulative_counts()
+    }
+
     /// Slides every command histogram's window forward one epoch (see
     /// [`LatencyHistogram::rotate`]). Called by the poller thread every
     /// [`HISTOGRAM_EPOCH`].
@@ -206,9 +244,11 @@ impl Metrics {
     }
 
     /// Builds the full `metrics` payload given the registry's lifecycle
-    /// counters.
-    pub fn report(&self, registry: RegistrySnapshot) -> MetricsReport {
+    /// counters and the server's uptime.
+    pub fn report(&self, registry: RegistrySnapshot, uptime_seconds: u64) -> MetricsReport {
         MetricsReport {
+            uptime_seconds,
+            version: crate::obs::BUILD_VERSION.to_string(),
             cache_hits: registry.hits,
             cache_misses: registry.misses,
             cache_disk_hits: registry.disk_hits,
@@ -250,16 +290,21 @@ mod tests {
     #[test]
     fn report_includes_registry_snapshot() {
         let m = Metrics::new();
-        let r = m.report(RegistrySnapshot {
-            hits: 5,
-            misses: 2,
-            disk_hits: 1,
-            evictions: 3,
-            stale_rebuilds: 4,
-            upgrades: 2,
-            resident_bytes: 640,
-            datasets: 1,
-        });
+        let r = m.report(
+            RegistrySnapshot {
+                hits: 5,
+                misses: 2,
+                disk_hits: 1,
+                evictions: 3,
+                stale_rebuilds: 4,
+                upgrades: 2,
+                resident_bytes: 640,
+                datasets: 1,
+            },
+            17,
+        );
+        assert_eq!(r.uptime_seconds, 17);
+        assert_eq!(r.version, crate::obs::BUILD_VERSION);
         assert_eq!(r.cache_hits, 5);
         assert_eq!(r.cache_misses, 2);
         assert_eq!(r.cache_disk_hits, 1);
@@ -278,7 +323,7 @@ mod tests {
         let m = Metrics::new();
         m.rejected_oversize.fetch_add(3, Ordering::Relaxed);
         m.rejected_rate.fetch_add(5, Ordering::Relaxed);
-        let r = m.report(RegistrySnapshot::default());
+        let r = m.report(RegistrySnapshot::default(), 0);
         assert_eq!(r.rejected_oversize, 3);
         assert_eq!(r.rejected_rate, 5);
     }
@@ -288,7 +333,7 @@ mod tests {
         let m = Metrics::new();
         m.bytes_read.fetch_add(1024, Ordering::Relaxed);
         m.bytes_written.fetch_add(2048, Ordering::Relaxed);
-        let r = m.report(RegistrySnapshot::default());
+        let r = m.report(RegistrySnapshot::default(), 0);
         assert_eq!(r.bytes_read, 1024);
         assert_eq!(r.bytes_written, 2048);
     }
@@ -316,6 +361,23 @@ mod tests {
         // Third rotation with no new traffic: the window empties.
         h.rotate();
         assert_eq!(h.quantile_us(0.99), 0, "a quiet window reports zero");
+    }
+
+    #[test]
+    fn cumulative_buckets_survive_rotation() {
+        let m = Metrics::new();
+        m.record("check", Duration::from_micros(100), false);
+        m.rotate_histograms();
+        m.rotate_histograms();
+        m.rotate_histograms();
+        let idx = COMMAND_NAMES.iter().position(|&n| n == "check").unwrap();
+        assert_eq!(
+            m.cumulative_buckets(idx).iter().sum::<u64>(),
+            1,
+            "rotation must not erase the Prometheus view"
+        );
+        let (count, errors, latency_us) = m.raw_command_counters(idx);
+        assert_eq!((count, errors, latency_us), (1, 0, 100));
     }
 
     #[test]

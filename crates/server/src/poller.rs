@@ -59,7 +59,7 @@ use std::time::{Duration, Instant};
 
 use crate::fastpath::Scratch;
 use crate::metrics::HISTOGRAM_EPOCH;
-use crate::pool::Job;
+use crate::pool::GaugedSender;
 use crate::proto::Response;
 use crate::server::ServerState;
 
@@ -278,6 +278,9 @@ pub(crate) struct Conn {
     /// Per-connection parse/dispatch arena for the zero-allocation
     /// request fast path.
     scratch: Scratch,
+    /// When the poller handed this connection to the worker pool; the
+    /// worker's wake-up converts it to the spans' queue-wait time.
+    dispatched_at: Option<Instant>,
 }
 
 impl Conn {
@@ -295,6 +298,7 @@ impl Conn {
             frames: Vec::new(),
             out: Vec::new(),
             scratch: Scratch::new(),
+            dispatched_at: None,
         })
     }
 }
@@ -313,6 +317,13 @@ pub(crate) enum Disposition {
 /// (frame list, line buffer, response batch, parse scratch) lives in
 /// `conn` and is reused, so a steady-state wake allocates nothing.
 pub(crate) fn serve_ready(conn: &mut Conn, state: &ServerState) -> Disposition {
+    // Queue-wait: poller dispatch → a worker actually picking the
+    // connection up. Stamped into every span captured this wake.
+    if let Some(at) = conn.dispatched_at.take() {
+        conn.scratch
+            .spans
+            .set_queue_us(crate::obs::duration_us(at.elapsed()));
+    }
     let mut chunk = [0u8; 8192];
     conn.frames.clear();
     conn.out.clear();
@@ -348,7 +359,7 @@ pub(crate) fn serve_ready(conn: &mut Conn, state: &ServerState) -> Disposition {
     for i in 0..conn.frames.len() {
         let range = match &conn.frames[i] {
             Frame::Oversize => {
-                state.on_oversize_line(&mut conn.out);
+                state.on_oversize_line(&mut conn.scratch, &mut conn.out);
                 continue;
             }
             Frame::Line(range) => range.clone(),
@@ -359,7 +370,7 @@ pub(crate) fn serve_ready(conn: &mut Conn, state: &ServerState) -> Disposition {
         }
         if let Some(bucket) = &mut conn.bucket {
             if !bucket.try_take(Instant::now()) {
-                state.on_rate_limited(&mut conn.out);
+                state.on_rate_limited(&mut conn.scratch, &mut conn.out);
                 continue;
             }
         }
@@ -367,9 +378,11 @@ pub(crate) fn serve_ready(conn: &mut Conn, state: &ServerState) -> Disposition {
         if is_shutdown {
             // Flush the acknowledgement before raising the
             // flag, so the requester always sees its "bye".
+            let write_started = Instant::now();
             if write_out(&conn.stream, &conn.out).is_ok() {
                 state.add_bytes_written(conn.out.len());
             }
+            state.finish_wake(&mut conn.scratch, write_started.elapsed());
             state.initiate_shutdown();
             return Disposition::Close;
         }
@@ -381,11 +394,23 @@ pub(crate) fn serve_ready(conn: &mut Conn, state: &ServerState) -> Disposition {
         }
     }
     conn.framer.consume();
-    if !conn.out.is_empty() {
-        if write_out(&conn.stream, &conn.out).is_err() {
-            return Disposition::Close;
+    let mut write_failed = false;
+    if conn.out.is_empty() {
+        state.finish_wake(&mut conn.scratch, Duration::ZERO);
+    } else {
+        let write_started = Instant::now();
+        if write_out(&conn.stream, &conn.out).is_ok() {
+            state.add_bytes_written(conn.out.len());
+        } else {
+            write_failed = true;
         }
-        state.add_bytes_written(conn.out.len());
+        // Publish the wake's spans even when the write failed — the
+        // requests were served, and forensics on a dying peer are
+        // exactly when the trace matters.
+        state.finish_wake(&mut conn.scratch, write_started.elapsed());
+    }
+    if write_failed {
+        return Disposition::Close;
     }
     if close || state.is_shutting_down() {
         Disposition::Close
@@ -448,7 +473,7 @@ impl PollerHandle {
 pub(crate) fn poller_loop(
     poller: Arc<polling::Poller>,
     rx: Receiver<Conn>,
-    pool: Sender<Job>,
+    pool: GaugedSender,
     handle: PollerHandle,
     state: Arc<ServerState>,
 ) {
@@ -460,6 +485,7 @@ pub(crate) fn poller_loop(
         // Admit new/returning connections before and after each wait,
         // so a registration queued during dispatch is never stranded.
         admit(&poller, &rx, &mut idle, &mut next_key, &state);
+        state.obs().set_idle_fds(idle.len() as u64);
         let timeout = next_rotate
             .saturating_duration_since(Instant::now())
             .min(Duration::from_secs(1));
@@ -489,6 +515,7 @@ pub(crate) fn poller_loop(
     // Drop (close) every idle connection: poller-registered sockets
     // see EOF instead of hanging on a dead server.
     idle.clear();
+    state.obs().set_idle_fds(0);
 }
 
 /// Drains the registration queue into the poller's idle set.
@@ -527,17 +554,24 @@ fn alloc_key(next: &mut usize, idle: &HashMap<usize, Conn>) -> usize {
 
 /// Hands one readable connection to the worker pool; the worker
 /// returns it via `handle` when done.
-fn dispatch(mut conn: Conn, pool: &Sender<Job>, handle: &PollerHandle, state: &Arc<ServerState>) {
-    let state = Arc::clone(state);
+fn dispatch(mut conn: Conn, pool: &GaugedSender, handle: &PollerHandle, state: &Arc<ServerState>) {
     let handle = handle.clone();
+    conn.dispatched_at = Some(Instant::now());
+    state.obs().connection_dispatched();
+    let job_state = Arc::clone(state);
     // A send error means the pool is gone (shutdown); the connection
     // drops with the closure — EOF, exactly the drain behaviour.
-    let _ = pool.send(Box::new(move || match serve_ready(&mut conn, &state) {
-        Disposition::Rearm => {
-            let _ = handle.register(conn);
+    if !pool.send(move || {
+        match serve_ready(&mut conn, &job_state) {
+            Disposition::Rearm => {
+                let _ = handle.register(conn);
+            }
+            Disposition::Close => {}
         }
-        Disposition::Close => {}
-    }));
+        job_state.obs().connection_settled();
+    }) {
+        state.obs().connection_settled();
+    }
 }
 
 #[cfg(test)]

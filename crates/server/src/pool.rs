@@ -6,6 +6,7 @@
 //! signal — workers drain whatever is already queued, then exit, which
 //! is exactly the "graceful shutdown drains in-flight work" contract.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -79,6 +80,48 @@ impl Drop for WorkerPool {
     }
 }
 
+/// A [`WorkerPool`] submission handle that maintains a shared
+/// queue-depth gauge: the counter goes up when a job is enqueued and
+/// down when a worker starts running it, so its value is the number
+/// of jobs waiting for a worker — what the `qid_worker_queue_depth`
+/// Prometheus gauge exports. Cloneable like the raw sender, with the
+/// same keep-the-queue-open semantics.
+#[derive(Clone, Debug)]
+pub struct GaugedSender {
+    tx: Sender<Job>,
+    depth: Arc<AtomicU64>,
+}
+
+impl GaugedSender {
+    /// Wraps a pool sender with a shared depth counter (typically the
+    /// observability hub's).
+    pub fn new(tx: Sender<Job>, depth: Arc<AtomicU64>) -> GaugedSender {
+        GaugedSender { tx, depth }
+    }
+
+    /// Current queued-job count.
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Submits a job; returns `false` (and leaves the gauge untouched)
+    /// if the pool is shut down.
+    pub fn send(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        let depth = Arc::clone(&self.depth);
+        let wrapped: Job = Box::new(move || {
+            depth.fetch_sub(1, Ordering::Relaxed);
+            job();
+        });
+        if self.tx.send(wrapped).is_ok() {
+            true
+        } else {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
 fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
     loop {
         // Hold the lock only while popping, never while running a job.
@@ -135,5 +178,33 @@ mod tests {
     fn zero_workers_clamps_to_one() {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn gauged_sender_tracks_queue_depth() {
+        let mut pool = WorkerPool::new(1);
+        let depth = Arc::new(AtomicU64::new(0));
+        let tx = GaugedSender::new(pool.sender().unwrap(), Arc::clone(&depth));
+
+        // Park the single worker so queued jobs stay queued.
+        let (gate_tx, gate_rx) = channel::<()>();
+        assert!(tx.send(move || {
+            let _ = gate_rx.recv();
+        }));
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let ran = Arc::clone(&ran);
+            assert!(tx.send(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        // The parked job may or may not have been dequeued yet; the 5
+        // behind it cannot have been.
+        assert!(tx.depth() >= 5, "depth {} should be >= 5", tx.depth());
+        gate_tx.send(()).unwrap();
+        drop(tx);
+        pool.shutdown(); // drains the queue
+        assert_eq!(ran.load(Ordering::SeqCst), 5);
+        assert_eq!(depth.load(Ordering::SeqCst), 0, "gauge returns to zero");
     }
 }

@@ -27,6 +27,8 @@ pub const DEFAULT_SEED: u64 = 7;
 pub const DEFAULT_MAX_KEY_SIZE: usize = 3;
 /// Default adversary budget for `mask`.
 pub const DEFAULT_BUDGET: usize = 2;
+/// Default span count for `trace` when a request omits `last`.
+pub const DEFAULT_TRACE_LAST: usize = 50;
 
 /// Density threshold α of the served non-separation sketch: estimates
 /// are promised whenever `Γ_A ≥ α·C(n,2)`.
@@ -130,11 +132,26 @@ pub enum Request {
         /// Cache key.
         ds: DatasetRef,
     },
+    /// Purge every completed registry entry and every persisted cache
+    /// artifact (`unload --all` on the CLI).
+    UnloadAll,
     /// Server counters: per-command traffic, cache lifecycle counters,
     /// latency sums and percentiles.
     Metrics,
     /// Stop accepting connections, drain in-flight work, exit.
     Shutdown,
+    /// Read the newest request spans from the flight-recorder ring:
+    /// up to `last` records, optionally filtered by command name and
+    /// minimum total duration.
+    Trace {
+        /// Maximum spans to return (newest first).
+        last: usize,
+        /// Only spans for this wire command, when set.
+        command: Option<String>,
+        /// Only spans whose queue + serve + write total is at least
+        /// this many microseconds.
+        min_us: u64,
+    },
 }
 
 impl Request {
@@ -149,9 +166,30 @@ impl Request {
             Request::Mask { .. } => "mask",
             Request::Stats { .. } => "stats",
             Request::Batch { .. } => "batch",
-            Request::Unload { .. } => "unload",
+            Request::Unload { .. } | Request::UnloadAll => "unload",
             Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
+            Request::Trace { .. } => "trace",
+        }
+    }
+
+    /// The dataset reference the request addresses, when it has one
+    /// (registry-level commands do not).
+    pub fn dataset(&self) -> Option<&DatasetRef> {
+        match self {
+            Request::Load { ds, .. }
+            | Request::Audit { ds, .. }
+            | Request::Key { ds }
+            | Request::Check { ds, .. }
+            | Request::Sketch { ds, .. }
+            | Request::Mask { ds, .. }
+            | Request::Stats { ds }
+            | Request::Unload { ds } => Some(ds),
+            Request::Batch { .. }
+            | Request::UnloadAll
+            | Request::Metrics
+            | Request::Shutdown
+            | Request::Trace { .. } => None,
         }
     }
 
@@ -195,6 +233,18 @@ impl Request {
                     "requests",
                     Json::Arr(requests.iter().map(Request::to_json).collect()),
                 ));
+            }
+            Request::UnloadAll => pairs.push(("all", Json::Bool(true))),
+            Request::Trace {
+                last,
+                command,
+                min_us,
+            } => {
+                pairs.push(("last", Json::Int(*last as i64)));
+                if let Some(command) = command {
+                    pairs.push(("command", s(command)));
+                }
+                pairs.push(("min_us", json::u64_value(*min_us)));
             }
             Request::Metrics | Request::Shutdown => {}
         }
@@ -305,7 +355,21 @@ impl Request {
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(Request::Batch { requests })
             }
+            // `{"all": true}` purges the whole cache; otherwise the
+            // usual dataset key is required (a bare `unload` with
+            // neither stays an error).
+            "unload" if v.get("all").and_then(Json::as_bool) == Some(true) => {
+                Ok(Request::UnloadAll)
+            }
             "unload" => Ok(Request::Unload { ds: ds(v)? }),
+            "trace" => Ok(Request::Trace {
+                last: v
+                    .get("last")
+                    .and_then(Json::as_usize)
+                    .unwrap_or(DEFAULT_TRACE_LAST),
+                command: v.get("command").and_then(Json::as_str).map(str::to_string),
+                min_us: v.get("min_us").and_then(Json::as_u64).unwrap_or(0),
+            }),
             "metrics" => Ok(Request::Metrics),
             "shutdown" if allow_composite => Ok(Request::Shutdown),
             "batch" | "shutdown" => Err(format!("{cmd:?} is not allowed as a batch sub-command")),
@@ -377,8 +441,44 @@ pub struct MetricsReport {
     /// Response bytes successfully written back to clients since
     /// process start.
     pub bytes_written: u64,
+    /// Seconds since the server started.
+    pub uptime_seconds: u64,
+    /// The server's crate version (`CARGO_PKG_VERSION` at build time).
+    pub version: String,
     /// Per-command traffic, in fixed command order.
     pub commands: Vec<CommandStats>,
+}
+
+/// One request's span from the flight-recorder ring, as returned by
+/// the `trace` command. Timings are microseconds; `queue_us` and
+/// `write_us` are shared by every request served in the same poller
+/// wake (see `docs/ARCHITECTURE.md`, "Observability").
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Monotonic request id (1-based, assigned at serve time).
+    pub id: u64,
+    /// Wire command name; `"-"` for lines that never decoded
+    /// (protocol errors, oversize and rate-limited rejections).
+    pub command: String,
+    /// Outcome kind: `ok`, `error`, `protocol_error`,
+    /// `rejected_oversize`, or `rejected_rate`.
+    pub outcome: String,
+    /// Dataset cache-key hash as 16 hex digits (the registry's
+    /// persistence file stem); empty when no dataset was resolved.
+    pub key: String,
+    /// Wait between poller dispatch and a worker picking the
+    /// connection up.
+    pub queue_us: u64,
+    /// In-worker serve time for this request.
+    pub serve_us: u64,
+    /// Response write/flush time for the wake.
+    pub write_us: u64,
+    /// Request-line bytes.
+    pub bytes_in: u64,
+    /// Response bytes produced by this request.
+    pub bytes_out: u64,
+    /// How long ago the span was published, milliseconds.
+    pub age_ms: u64,
 }
 
 /// A server response.
@@ -474,6 +574,12 @@ pub enum Response {
     },
     /// `metrics` outcome.
     Metrics(MetricsReport),
+    /// `trace` outcome: the newest matching spans from the
+    /// flight-recorder ring, newest first.
+    Trace {
+        /// The matching spans (at most the request's `last`).
+        spans: Vec<TraceSpan>,
+    },
     /// `shutdown` acknowledged; the server drains and exits.
     ShuttingDown,
     /// The request line crossed the server's `--max-line-bytes` cap.
@@ -638,6 +744,8 @@ impl Response {
                 ("rejected_rate", Json::Int(report.rejected_rate as i64)),
                 ("bytes_read", Json::Int(report.bytes_read as i64)),
                 ("bytes_written", Json::Int(report.bytes_written as i64)),
+                ("uptime_seconds", Json::Int(report.uptime_seconds as i64)),
+                ("version", s(&report.version)),
                 (
                     "commands",
                     Json::Arr(
@@ -652,6 +760,32 @@ impl Response {
                                     ("latency_us", Json::Int(c.latency_us as i64)),
                                     ("p50_us", Json::Int(c.p50_us as i64)),
                                     ("p99_us", Json::Int(c.p99_us as i64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Trace { spans } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", s("trace")),
+                (
+                    "spans",
+                    Json::Arr(
+                        spans
+                            .iter()
+                            .map(|span| {
+                                obj(vec![
+                                    ("id", json::u64_value(span.id)),
+                                    ("command", s(&span.command)),
+                                    ("outcome", s(&span.outcome)),
+                                    ("key", s(&span.key)),
+                                    ("queue_us", json::u64_value(span.queue_us)),
+                                    ("serve_us", json::u64_value(span.serve_us)),
+                                    ("write_us", json::u64_value(span.write_us)),
+                                    ("bytes_in", json::u64_value(span.bytes_in)),
+                                    ("bytes_out", json::u64_value(span.bytes_out)),
+                                    ("age_ms", json::u64_value(span.age_ms)),
                                 ])
                             })
                             .collect(),
@@ -861,8 +995,44 @@ impl Response {
                     rejected_rate: u64_field("rejected_rate"),
                     bytes_read: u64_field("bytes_read"),
                     bytes_written: u64_field("bytes_written"),
+                    uptime_seconds: u64_field("uptime_seconds"),
+                    version: v
+                        .get("version")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
                     commands,
                 }))
+            }
+            "trace" => {
+                let spans = v
+                    .get("spans")
+                    .and_then(Json::as_arr)
+                    .ok_or("trace response needs a \"spans\" array")?
+                    .iter()
+                    .map(|span| {
+                        let text = |name: &str| {
+                            span.get(name)
+                                .and_then(Json::as_str)
+                                .unwrap_or("")
+                                .to_string()
+                        };
+                        let num = |name: &str| span.get(name).and_then(Json::as_u64).unwrap_or(0);
+                        TraceSpan {
+                            id: num("id"),
+                            command: text("command"),
+                            outcome: text("outcome"),
+                            key: text("key"),
+                            queue_us: num("queue_us"),
+                            serve_us: num("serve_us"),
+                            write_us: num("write_us"),
+                            bytes_in: num("bytes_in"),
+                            bytes_out: num("bytes_out"),
+                            age_ms: num("age_ms"),
+                        }
+                    })
+                    .collect();
+                Ok(Response::Trace { spans })
             }
             "bye" => Ok(Response::ShuttingDown),
             "line_too_long" => Ok(Response::LineTooLong {
@@ -934,8 +1104,19 @@ mod tests {
                 ],
             },
             Request::Unload { ds: ds() },
+            Request::UnloadAll,
             Request::Metrics,
             Request::Shutdown,
+            Request::Trace {
+                last: 20,
+                command: Some("check".into()),
+                min_us: 1_000,
+            },
+            Request::Trace {
+                last: DEFAULT_TRACE_LAST,
+                command: None,
+                min_us: 0,
+            },
         ];
         for req in reqs {
             let line = req.encode();
@@ -1033,6 +1214,8 @@ mod tests {
                 rejected_rate: 7,
                 bytes_read: 4096,
                 bytes_written: 9182,
+                uptime_seconds: 3600,
+                version: "0.1.0".into(),
                 commands: vec![CommandStats {
                     name: "audit".into(),
                     count: 4,
@@ -1042,6 +1225,35 @@ mod tests {
                     p99_us: 8191,
                 }],
             }),
+            Response::Trace { spans: vec![] },
+            Response::Trace {
+                spans: vec![
+                    TraceSpan {
+                        id: 9,
+                        command: "check".into(),
+                        outcome: "ok".into(),
+                        key: "00c0ffee00c0ffee".into(),
+                        queue_us: 12,
+                        serve_us: 345,
+                        write_us: 6,
+                        bytes_in: 128,
+                        bytes_out: 64,
+                        age_ms: 1500,
+                    },
+                    TraceSpan {
+                        id: 8,
+                        command: "-".into(),
+                        outcome: "protocol_error".into(),
+                        key: String::new(),
+                        queue_us: 0,
+                        serve_us: 2,
+                        write_us: 1,
+                        bytes_in: 17,
+                        bytes_out: 80,
+                        age_ms: 2000,
+                    },
+                ],
+            },
             Response::ShuttingDown,
             Response::LineTooLong { limit: 262_144 },
             Response::RateLimited { max_rps: 50 },
@@ -1068,6 +1280,30 @@ mod tests {
             }
             other => panic!("wrong request {other:?}"),
         }
+    }
+
+    #[test]
+    fn unload_all_is_explicit() {
+        assert_eq!(
+            Request::decode(r#"{"cmd":"unload","all":true}"#).unwrap(),
+            Request::UnloadAll
+        );
+        // `all` must be literally true: anything else falls back to the
+        // per-dataset form, which still demands a path.
+        assert!(Request::decode(r#"{"cmd":"unload","all":false}"#).is_err());
+        assert!(Request::decode(r#"{"cmd":"unload"}"#).is_err());
+    }
+
+    #[test]
+    fn trace_defaults_fill_in() {
+        assert_eq!(
+            Request::decode(r#"{"cmd":"trace"}"#).unwrap(),
+            Request::Trace {
+                last: DEFAULT_TRACE_LAST,
+                command: None,
+                min_us: 0,
+            }
+        );
     }
 
     #[test]

@@ -102,7 +102,7 @@ impl CacheKey {
     /// 64-bit FNV-1a over the full key — the persistence file stem.
     /// (Shard selection uses the std hasher via `Registry::shard`, not
     /// this.)
-    fn fnv64(&self) -> u64 {
+    pub fn fnv64(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut h = OFFSET;
@@ -264,6 +264,12 @@ pub struct RegistryConfig {
     /// `peek` entirely, preserving strict stat-on-every-hit
     /// invalidation. [`Registry::get_or_load`] always stats regardless.
     pub revalidate_ms: u64,
+    /// Observer for cache lifecycle events (build, restore, evict,
+    /// stale rebuild, unload, purge); `None` disables the hook. A
+    /// plain `fn` pointer rather than a closure so the config keeps
+    /// deriving `Clone`/`Debug`; the server installs an NDJSON logger
+    /// here behind `--log-json`.
+    pub event_sink: Option<fn(RegistryEvent)>,
 }
 
 impl Default for RegistryConfig {
@@ -273,8 +279,56 @@ impl Default for RegistryConfig {
             cache_bytes: None,
             cache_dir: None,
             revalidate_ms: 0,
+            event_sink: None,
         }
     }
+}
+
+/// A cache lifecycle event, delivered to
+/// [`RegistryConfig::event_sink`] as it happens. `key` is the entry's
+/// FNV-1a key hash ([`CacheKey::fnv64`]) — the same 16-hex-digit stem
+/// the persistence tier uses, so log lines join against on-disk
+/// artifacts and trace spans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegistryEvent {
+    /// A cold build scanned the source and produced a new entry.
+    Built {
+        /// FNV-1a hash of the entry's cache key.
+        key: u64,
+        /// The entry's resident footprint, bytes.
+        bytes: u64,
+    },
+    /// A persisted artifact was restored from the cache dir (no scan).
+    Restored {
+        /// FNV-1a hash of the entry's cache key.
+        key: u64,
+        /// The restored entry's resident footprint, bytes.
+        bytes: u64,
+    },
+    /// The LRU budget evicted a completed entry.
+    Evicted {
+        /// FNV-1a hash of the entry's cache key.
+        key: u64,
+        /// Bytes released by the eviction.
+        bytes: u64,
+    },
+    /// A source-file change forced a rebuild of a resident entry.
+    StaleRebuild {
+        /// FNV-1a hash of the entry's cache key.
+        key: u64,
+    },
+    /// An explicit `unload` removed the entry (resident or persisted).
+    Unloaded {
+        /// FNV-1a hash of the entry's cache key.
+        key: u64,
+    },
+    /// An `unload --all` purge completed.
+    Purged {
+        /// Resident entries dropped.
+        entries: u64,
+        /// Persisted artifact files removed.
+        files: u64,
+    },
 }
 
 /// A point-in-time view of the registry's lifecycle counters, consumed
@@ -363,6 +417,13 @@ impl Registry {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Delivers a lifecycle event to the configured sink, if any.
+    fn emit(&self, event: RegistryEvent) {
+        if let Some(sink) = self.config.event_sink {
+            sink(event);
+        }
     }
 
     fn touch(&self, slot: &Slot) {
@@ -690,7 +751,47 @@ impl Registry {
                 removed_disk |= std::fs::remove_file(path).is_ok();
             }
         }
+        if removed_resident || removed_disk {
+            self.emit(RegistryEvent::Unloaded { key: key.fnv64() });
+        }
         removed_resident || removed_disk
+    }
+
+    /// Purges the whole cache (`unload --all`): drops every *completed*
+    /// resident entry — a slot mid-build is left alone, matching
+    /// [`Registry::unload`] — and removes every persisted cache
+    /// artifact in the cache dir, whether or not a resident entry
+    /// references it (this is the GC path for keys that will never be
+    /// requested again). Returns dropped entries + removed files.
+    pub fn unload_all(&self) -> u64 {
+        let mut entries = 0u64;
+        for shard in &self.shards {
+            let mut map = shard.write().expect("shard lock");
+            let completed: Vec<CacheKey> = map
+                .iter()
+                .filter(|(_, slot)| slot.cell.get().is_some())
+                .map(|(key, _)| key.clone())
+                .collect();
+            for key in completed {
+                let slot = map.remove(&key).expect("slot present");
+                self.forget_bytes(&slot);
+                entries += 1;
+            }
+        }
+        let mut files = 0u64;
+        if let Some(dir) = &self.config.cache_dir {
+            if let Ok(listing) = std::fs::read_dir(dir) {
+                for dirent in listing.flatten() {
+                    let name = dirent.file_name();
+                    let is_artifact = name.to_str().is_some_and(is_cache_artifact);
+                    if is_artifact && std::fs::remove_file(dirent.path()).is_ok() {
+                        files += 1;
+                    }
+                }
+            }
+        }
+        self.emit(RegistryEvent::Purged { entries, files });
+        entries + files
     }
 
     /// Number of resident entries.
@@ -785,6 +886,7 @@ impl Registry {
             // Exactly one observer per rebuild reaches here, so the
             // counter matches actual rebuilds even under racing hits.
             self.stale_rebuilds.fetch_add(1, Ordering::Relaxed);
+            self.emit(RegistryEvent::StaleRebuild { key: key.fnv64() });
         } else {
             // Adopted a racer's fresh slot: their scan is shared with
             // us, which is hit semantics.
@@ -850,6 +952,10 @@ impl Registry {
                         self.disk_hits.fetch_add(1, Ordering::Relaxed);
                         self.resident_bytes
                             .fetch_add(entry.stored_bytes as u64, Ordering::Relaxed);
+                        self.emit(RegistryEvent::Restored {
+                            key: key.fnv64(),
+                            bytes: entry.stored_bytes as u64,
+                        });
                         return Ok(Arc::new(entry));
                     }
                 }
@@ -857,6 +963,10 @@ impl Registry {
                 build_entry(ds, &key.path, mode).map(|entry| {
                     self.resident_bytes
                         .fetch_add(entry.stored_bytes as u64, Ordering::Relaxed);
+                    self.emit(RegistryEvent::Built {
+                        key: key.fnv64(),
+                        bytes: entry.stored_bytes as u64,
+                    });
                     if let Some(dir) = &self.config.cache_dir {
                         // Best-effort: a failed persist only costs the
                         // next restart a re-scan.
@@ -913,8 +1023,21 @@ impl Registry {
             if let Some(slot) = map.get(&key) {
                 if matches!(slot.cell.get(), Some(Ok(_))) {
                     let slot = map.remove(&key).expect("slot present");
+                    // Capture the footprint before `forget_bytes` swaps
+                    // the sketch bytes to zero.
+                    let bytes = match slot.cell.get() {
+                        Some(Ok(entry)) => {
+                            (entry.stored_bytes as u64)
+                                + entry.sketch_bytes.load(Ordering::SeqCst) as u64
+                        }
+                        _ => 0,
+                    };
                     self.forget_bytes(&slot);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.emit(RegistryEvent::Evicted {
+                        key: key.fnv64(),
+                        bytes,
+                    });
                 }
             }
         }
@@ -1132,6 +1255,19 @@ fn pairs_meta_path(dir: &Path, key: &CacheKey) -> PathBuf {
 
 fn pairs_path(dir: &Path, key: &CacheKey) -> PathBuf {
     dir.join(format!("{:016x}.pairs.csv", key.fnv64()))
+}
+
+/// True iff `name` is one of the registry's persisted artifact files:
+/// a 16-hex-digit key stem followed by a known extension. `unload
+/// --all` uses this to purge the cache dir without touching foreign
+/// files (the dir may be shared, and in-flight `.tmp-*` files belong
+/// to the tmp sweeper, not the purge).
+fn is_cache_artifact(name: &str) -> bool {
+    const SUFFIXES: [&str; 4] = [".meta.json", ".sample.csv", ".pairs.json", ".pairs.csv"];
+    SUFFIXES.iter().any(|suffix| {
+        name.strip_suffix(suffix)
+            .is_some_and(|stem| stem.len() == 16 && stem.bytes().all(|b| b.is_ascii_hexdigit()))
+    })
 }
 
 /// The cache-key identity and source stat every persisted artifact's
@@ -1467,6 +1603,87 @@ mod tests {
         assert_eq!(reg.hits(), 1);
         assert_eq!(reg.misses(), 1);
         assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn unload_all_purges_resident_and_persisted() {
+        let dir = unique_dir("unload-all");
+        let reg = Registry::with_config(RegistryConfig {
+            cache_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        });
+        let path_a = fixture_csv("purge-a.csv", 300);
+        let path_b = fixture_csv("purge-b.csv", 400);
+        reg.get_or_load(&dsref(&path_a), LoadMode::Memory)
+            .0
+            .unwrap();
+        reg.get_or_load(&dsref(&path_b), LoadMode::Memory)
+            .0
+            .unwrap();
+        // A foreign file in a shared cache dir must survive the purge.
+        let foreign = dir.join("notes.txt");
+        std::fs::write(&foreign, "keep me").unwrap();
+        assert_eq!(reg.len(), 2);
+        assert!(reg.snapshot().resident_bytes > 0);
+
+        let removed = reg.unload_all();
+        // 2 resident entries + 2 persisted artifacts each (meta + sample).
+        assert_eq!(removed, 6);
+        assert!(reg.is_empty());
+        assert_eq!(reg.snapshot().resident_bytes, 0);
+        assert!(foreign.exists(), "purge must not touch foreign files");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|d| d.file_name().to_str().is_some_and(is_cache_artifact))
+            .collect();
+        assert!(leftovers.is_empty(), "artifacts left behind: {leftovers:?}");
+
+        // Idempotent: a second purge finds nothing.
+        assert_eq!(reg.unload_all(), 0);
+        // Purged keys rebuild cleanly on the next request.
+        let (entry, hit) = reg.get_or_load(&dsref(&path_a), LoadMode::Memory);
+        assert!(entry.is_ok());
+        assert!(!hit);
+    }
+
+    #[test]
+    fn cache_artifact_names_are_recognised() {
+        assert!(is_cache_artifact("00c0ffee00c0ffee.meta.json"));
+        assert!(is_cache_artifact("0123456789abcdef.sample.csv"));
+        assert!(is_cache_artifact("0123456789abcdef.pairs.json"));
+        assert!(is_cache_artifact("0123456789abcdef.pairs.csv"));
+        assert!(!is_cache_artifact("0123456789abcdef.tmp-1-2.sample.csv"));
+        assert!(!is_cache_artifact("notes.txt"));
+        assert!(!is_cache_artifact("short.meta.json"));
+        assert!(!is_cache_artifact("0123456789abcdeg.meta.json"));
+    }
+
+    #[test]
+    fn event_sink_sees_the_entry_lifecycle() {
+        static EVENTS: AtomicU64 = AtomicU64::new(0);
+        fn count(event: RegistryEvent) {
+            let bit = match event {
+                RegistryEvent::Built { .. } => 1,
+                RegistryEvent::Unloaded { .. } => 1 << 1,
+                RegistryEvent::Purged { .. } => 1 << 2,
+                _ => 1 << 3,
+            };
+            EVENTS.fetch_or(bit, Ordering::Relaxed);
+        }
+        let reg = Registry::with_config(RegistryConfig {
+            event_sink: Some(count),
+            ..RegistryConfig::default()
+        });
+        let path = fixture_csv("events.csv", 300);
+        reg.get_or_load(&dsref(&path), LoadMode::Memory).0.unwrap();
+        assert!(reg.unload(&dsref(&path)));
+        reg.get_or_load(&dsref(&path), LoadMode::Memory).0.unwrap();
+        reg.unload_all();
+        let seen = EVENTS.load(Ordering::Relaxed);
+        assert_eq!(seen & 1, 1, "build event");
+        assert_eq!(seen & (1 << 1), 1 << 1, "unload event");
+        assert_eq!(seen & (1 << 2), 1 << 2, "purge event");
     }
 
     #[test]

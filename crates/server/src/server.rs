@@ -4,14 +4,16 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use qid_core::minkey::{enumerate_minimal_keys, GreedyRefineMinKey, LatticeConfig};
 use qid_core::separation::group_sizes;
 
 use crate::fastpath::Scratch;
 use crate::metrics::Metrics;
+use crate::obs::{self, Obs};
 use crate::poller::{poller_loop, push_response, Conn, ConnLimits, PollerHandle};
+use crate::pool::GaugedSender;
 use crate::proto::{
     DatasetRef, LoadMode, Request, Response, SKETCH_ALPHA, SKETCH_K, SKETCH_REL_EPS,
 };
@@ -56,6 +58,19 @@ pub struct ServerConfig {
     /// [`Registry::peek`]). `0` disables the fast path and restores
     /// strict stat-on-every-request invalidation.
     pub revalidate_ms: u64,
+    /// Prometheus exposition listen address (`--metrics-addr`); `None`
+    /// disables the scrape endpoint. Port 0 picks an ephemeral port
+    /// (see [`ServerState::metrics_local_addr`]).
+    pub metrics_addr: Option<String>,
+    /// Slow-request threshold in milliseconds (`--slow-ms`): any
+    /// request whose queue + serve + write total crosses it emits one
+    /// NDJSON line on stderr with the full span breakdown. `None`
+    /// disables slow-request logging.
+    pub slow_ms: Option<u64>,
+    /// Emit registry lifecycle events (build, restore, evict,
+    /// stale-rebuild, unload, purge) and request rejections as NDJSON
+    /// on stderr (`--log-json`).
+    pub log_json: bool,
 }
 
 /// Default `--revalidate-ms`: in-place source rewrites are noticed
@@ -73,6 +88,9 @@ impl Default for ServerConfig {
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             max_rps: None,
             revalidate_ms: DEFAULT_REVALIDATE_MS,
+            metrics_addr: None,
+            slow_ms: None,
+            log_json: false,
         }
     }
 }
@@ -84,12 +102,27 @@ pub struct ServerState {
     pub registry: Registry,
     /// Traffic counters behind the `metrics` command.
     pub metrics: Metrics,
+    /// The flight recorder: trace ring, gauges, slow/JSON log switches.
+    obs: Obs,
     shutdown: AtomicBool,
     local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     limits: ConnLimits,
     /// Set once `serve` builds the poller, so `initiate_shutdown` can
     /// wake it.
     poller: OnceLock<Arc<polling::Poller>>,
+}
+
+/// Rewrites a wildcard bind (0.0.0.0 / ::) to loopback — not every
+/// platform accepts an unspecified address as a connect destination.
+fn connectable(mut addr: SocketAddr) -> SocketAddr {
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match addr.ip() {
+            std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    addr
 }
 
 impl ServerState {
@@ -98,24 +131,29 @@ impl ServerState {
         self.shutdown.load(Ordering::SeqCst)
     }
 
+    /// The observability hub (trace ring, gauges, log switches).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The bound Prometheus exposition address, when `--metrics-addr`
+    /// was configured (resolves ephemeral ports).
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
     /// Flags shutdown, wakes the poller thread, and pokes the accept
-    /// loop awake with a throwaway connection so it can observe the
-    /// flag.
+    /// loop (and the metrics listener, when present) awake with a
+    /// throwaway connection so they can observe the flag.
     pub(crate) fn initiate_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(poller) = self.poller.get() {
             let _ = poller.notify();
         }
-        // A wildcard bind (0.0.0.0 / ::) is not a connectable
-        // destination everywhere; aim the wake-up at loopback.
-        let mut addr = self.local_addr;
-        if addr.ip().is_unspecified() {
-            addr.set_ip(match addr.ip() {
-                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
+        let _ = TcpStream::connect(connectable(self.local_addr));
+        if let Some(addr) = self.metrics_addr {
+            let _ = TcpStream::connect(connectable(addr));
         }
-        let _ = TcpStream::connect(addr);
     }
 }
 
@@ -123,28 +161,51 @@ impl ServerState {
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
     state: Arc<ServerState>,
     workers: usize,
 }
 
 impl Server {
-    /// Binds the listener and builds the shared state.
+    /// Binds the listener (and the `--metrics-addr` exposition
+    /// listener, when configured) and builds the shared state. No
+    /// threads are spawned until [`Server::serve`].
     pub fn bind(config: &ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(listener) => Some(listener.local_addr()?),
+            None => None,
+        };
+        let event_sink: Option<fn(crate::registry::RegistryEvent)> = if config.log_json {
+            Some(obs::log_registry_event)
+        } else {
+            None
+        };
         let registry = Registry::with_config(RegistryConfig {
             cache_bytes: config.cache_bytes,
             cache_dir: config.cache_dir.as_ref().map(std::path::PathBuf::from),
             revalidate_ms: config.revalidate_ms,
+            event_sink,
             ..RegistryConfig::default()
         });
         Ok(Server {
             listener,
+            metrics_listener,
             state: Arc::new(ServerState {
                 registry,
                 metrics: Metrics::new(),
+                obs: Obs::new(
+                    config.slow_ms.map_or(0, |ms| ms.saturating_mul(1000)),
+                    config.log_json,
+                ),
                 shutdown: AtomicBool::new(false),
                 local_addr,
+                metrics_addr,
                 limits: ConnLimits {
                     max_line_bytes: config.max_line_bytes.max(1),
                     max_rps: config.max_rps.filter(|&rps| rps > 0),
@@ -179,7 +240,17 @@ impl Server {
         let _ = self.state.poller.set(Arc::clone(&poller));
         let (reg_tx, reg_rx) = std::sync::mpsc::channel::<Conn>();
         let handle = PollerHandle::new(reg_tx, Arc::clone(&poller));
-        let pool_tx = pool.sender().expect("fresh pool has an open queue");
+        let pool_tx = GaugedSender::new(
+            pool.sender().expect("fresh pool has an open queue"),
+            self.state.obs.queue_depth_handle(),
+        );
+        let metrics_thread = self.metrics_listener.map(|listener| {
+            let state = Arc::clone(&self.state);
+            std::thread::Builder::new()
+                .name("qid-metrics".to_string())
+                .spawn(move || obs::metrics_listener_loop(listener, state))
+                .expect("spawn metrics thread")
+        });
         let poller_thread = {
             let poller = Arc::clone(&poller);
             let handle = handle.clone();
@@ -257,6 +328,16 @@ impl Server {
         drop(handle);
         let _ = poller_thread.join();
         pool.shutdown();
+        if let Some(thread) = metrics_thread {
+            // The exposition accept loop may be parked in accept();
+            // poke it so it can observe the shutdown flag. (The
+            // accept-error shutdown path raises the flag without going
+            // through `initiate_shutdown`, so poke here too.)
+            if let Some(addr) = self.state.metrics_addr {
+                let _ = TcpStream::connect(connectable(addr));
+            }
+            let _ = thread.join();
+        }
         result
     }
 
@@ -319,6 +400,8 @@ impl ServerState {
     /// (the counting-allocator test in particular) can drive the exact
     /// request path in-process.
     pub fn answer_line(&self, bytes: &[u8], scratch: &mut Scratch, out: &mut Vec<u8>) -> bool {
+        let started = Instant::now();
+        let out_start = out.len();
         let Ok(line) = std::str::from_utf8(bytes) else {
             self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
             push_response(
@@ -327,6 +410,15 @@ impl ServerState {
                     message: "request line is not valid UTF-8".to_string(),
                 },
             );
+            self.obs.note(
+                &mut scratch.spans,
+                obs::CMD_NONE,
+                obs::OUTCOME_PROTOCOL,
+                0,
+                started.elapsed(),
+                bytes.len(),
+                out.len() - out_start,
+            );
             return false;
         };
         let trimmed = line.trim();
@@ -334,39 +426,112 @@ impl ServerState {
             return false;
         }
         if crate::fastpath::try_answer_check(self, trimmed, scratch, out) {
+            // The fast path's span is captured here (not inside it):
+            // the memoised key hash is a plain field read, so nothing
+            // on this branch allocates.
+            let key_hash = scratch.memo_key_hash();
+            self.obs.note(
+                &mut scratch.spans,
+                obs::CMD_CHECK,
+                obs::OUTCOME_OK,
+                key_hash,
+                started.elapsed(),
+                bytes.len(),
+                out.len() - out_start,
+            );
             return false;
         }
-        let started = Instant::now();
         let (response, command, is_error) = match Request::decode(trimmed) {
             Ok(request) => {
                 let command = request.command_name();
                 let shutdown = matches!(request, Request::Shutdown);
                 let response = handle_request(&request, self);
                 let is_error = matches!(response, Response::Error { .. });
+                // The general path may allocate freely, so hashing the
+                // dataset key (a canonicalising operation) is fine.
+                let key_hash = request.dataset().map_or(0, |ds| CacheKey::of(ds).fnv64());
                 if shutdown {
                     self.metrics.record(command, started.elapsed(), is_error);
                     push_response(out, &response);
+                    self.note_general(
+                        scratch, command, is_error, key_hash, started, bytes, out, out_start,
+                    );
                     return true;
                 }
-                (response, Some(command), is_error)
+                (response, Some((command, key_hash)), is_error)
             }
             Err(message) => {
                 self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 (Response::Error { message }, None, true)
             }
         };
-        if let Some(command) = command {
-            self.metrics.record(command, started.elapsed(), is_error);
-        }
         push_response(out, &response);
+        match command {
+            Some((command, key_hash)) => {
+                self.metrics.record(command, started.elapsed(), is_error);
+                self.note_general(
+                    scratch, command, is_error, key_hash, started, bytes, out, out_start,
+                );
+            }
+            None => {
+                self.obs.note(
+                    &mut scratch.spans,
+                    obs::CMD_NONE,
+                    obs::OUTCOME_PROTOCOL,
+                    0,
+                    started.elapsed(),
+                    bytes.len(),
+                    out.len() - out_start,
+                );
+            }
+        }
         false
+    }
+
+    /// Span capture for a decoded general-path request.
+    #[allow(clippy::too_many_arguments)]
+    fn note_general(
+        &self,
+        scratch: &mut Scratch,
+        command: &str,
+        is_error: bool,
+        key_hash: u64,
+        started: Instant,
+        bytes: &[u8],
+        out: &[u8],
+        out_start: usize,
+    ) {
+        let outcome = if is_error {
+            obs::OUTCOME_ERROR
+        } else {
+            obs::OUTCOME_OK
+        };
+        self.obs.note(
+            &mut scratch.spans,
+            obs::command_code(command),
+            outcome,
+            key_hash,
+            started.elapsed(),
+            bytes.len(),
+            out.len() - out_start,
+        );
+    }
+
+    /// Wake epilogue: stamps the write-phase duration on every span
+    /// captured during this poller wake, publishes them to the trace
+    /// ring, and runs slow-request detection. Public so the
+    /// counting-allocator test can drive the exact per-wake path.
+    pub fn finish_wake(&self, scratch: &mut Scratch, write: Duration) {
+        self.obs.publish_wake(&mut scratch.spans, write);
     }
 
     /// Answers (and counts) a request line that crossed
     /// `--max-line-bytes`. The line was never buffered whole — the
     /// framer discarded it in `O(cap)` memory — and the connection
     /// stays usable.
-    pub(crate) fn on_oversize_line(&self, out: &mut Vec<u8>) {
+    pub(crate) fn on_oversize_line(&self, scratch: &mut Scratch, out: &mut Vec<u8>) {
+        let started = Instant::now();
+        let out_start = out.len();
         self.metrics
             .rejected_oversize
             .fetch_add(1, Ordering::Relaxed);
@@ -376,12 +541,26 @@ impl ServerState {
                 limit: self.limits.max_line_bytes,
             },
         );
+        self.obs.note(
+            &mut scratch.spans,
+            obs::CMD_NONE,
+            obs::OUTCOME_OVERSIZE,
+            0,
+            started.elapsed(),
+            0,
+            out.len() - out_start,
+        );
+        if self.obs.log_json() {
+            obs::log_rejection("oversize_line");
+        }
     }
 
     /// Answers (and counts) a request rejected by the per-connection
     /// `--max-rps` token bucket, before any decoding work was spent on
     /// it.
-    pub(crate) fn on_rate_limited(&self, out: &mut Vec<u8>) {
+    pub(crate) fn on_rate_limited(&self, scratch: &mut Scratch, out: &mut Vec<u8>) {
+        let started = Instant::now();
+        let out_start = out.len();
         self.metrics.rejected_rate.fetch_add(1, Ordering::Relaxed);
         push_response(
             out,
@@ -389,6 +568,18 @@ impl ServerState {
                 max_rps: self.limits.max_rps.unwrap_or(0),
             },
         );
+        self.obs.note(
+            &mut scratch.spans,
+            obs::CMD_NONE,
+            obs::OUTCOME_RATE_LIMITED,
+            0,
+            started.elapsed(),
+            0,
+            out.len() - out_start,
+        );
+        if self.obs.log_json() {
+            obs::log_rejection("rate_limited");
+        }
     }
 
     /// Counts request bytes drained off client sockets (the server
@@ -628,7 +819,26 @@ fn dispatch(request: &Request, state: &ServerState, cache: &mut EntryCache) -> R
                 existed: state.registry.unload(ds),
             }
         }
-        Request::Metrics => Response::Metrics(state.metrics.report(state.registry.snapshot())),
+        Request::UnloadAll => {
+            cache.entries.clear();
+            Response::Unloaded {
+                existed: state.registry.unload_all() > 0,
+            }
+        }
+        Request::Metrics => Response::Metrics(
+            state
+                .metrics
+                .report(state.registry.snapshot(), state.obs.uptime_seconds()),
+        ),
+        Request::Trace {
+            last,
+            command,
+            min_us,
+        } => Response::Trace {
+            spans: state
+                .obs
+                .trace(*last, command.as_deref().map(obs::command_code), *min_us),
+        },
         Request::Shutdown => Response::ShuttingDown,
     }
 }

@@ -23,6 +23,7 @@
 //!           [--cache-bytes N[K|M|G]] [--cache-dir DIR]
 //!           [--max-line-bytes N[K|M|G]] [--max-rps N]
 //!           [--revalidate-ms MS]
+//!           [--metrics-addr HOST:PORT] [--slow-ms MS] [--log-json]
 //! qid query <addr> load    data.csv [--eps E] [--seed S] [--stream]
 //! qid query <addr> audit   data.csv [--eps E] [--seed S] [--max-key-size K]
 //! qid query <addr> key     data.csv [--eps E] [--seed S]
@@ -32,6 +33,8 @@
 //! qid query <addr> stats   data.csv
 //! qid query <addr> batch   -        # NDJSON sub-commands on stdin
 //! qid query <addr> unload  data.csv [--eps E] [--seed S]
+//! qid query <addr> unload  --all    # purge every cached entry + artifact
+//! qid query <addr> trace   [--last N] [--command CMD] [--min-us N]
 //! qid query <addr> metrics
 //! qid query <addr> shutdown
 //! ```
@@ -71,6 +74,15 @@
 //! survives) and `--max-rps` rate-limits each connection with a token
 //! bucket (default off; over-budget lines get `rate_limited` before
 //! they are decoded).
+//!
+//! Observability (see docs/ARCHITECTURE.md "Observability"): the
+//! server records a trace span for every request into a fixed-size
+//! ring, queryable live with `qid query <addr> trace`; `--metrics-addr`
+//! serves Prometheus text-format metrics over plain HTTP GET
+//! (`/metrics`); `--slow-ms` prints one NDJSON line on stderr per
+//! request slower than the threshold; `--log-json` adds NDJSON cache
+//! lifecycle events (build, restore, evict, stale-rebuild, unload,
+//! purge) and rejection events.
 
 use std::process::ExitCode;
 
@@ -83,7 +95,7 @@ use quasi_id::core::separation::group_sizes;
 use quasi_id::core::stream::tuple_filter_from_stream;
 use quasi_id::dataset::csv::{read_csv_path, CsvOptions, CsvTupleSource};
 use quasi_id::prelude::*;
-use quasi_id::server::proto::{DatasetRef, LoadMode, Request, Response};
+use quasi_id::server::proto::{DatasetRef, LoadMode, Request, Response, DEFAULT_TRACE_LAST};
 use quasi_id::server::{resolve_attr_names, split_attr_spec, Client, Server, ServerConfig};
 
 /// Prints one line to stdout, treating a closed pipe as a clean exit:
@@ -124,10 +136,11 @@ fn usage() -> ! {
          [--budget B] [--exact]\n\
          \x20      qid serve [--addr HOST:PORT] [--workers N] \
          [--cache-bytes N[K|M|G]] [--cache-dir DIR] \
-         [--max-line-bytes N[K|M|G]] [--max-rps N] [--revalidate-ms MS]\n\
+         [--max-line-bytes N[K|M|G]] [--max-rps N] [--revalidate-ms MS] \
+         [--metrics-addr HOST:PORT] [--slow-ms MS] [--log-json]\n\
          \x20      qid query <addr> \
-         <load|audit|key|check|sketch|mask|stats|batch|unload|metrics|shutdown> \
-         [data.csv | -] [flags]\n\
+         <load|audit|key|check|sketch|mask|stats|batch|unload|trace|metrics|shutdown> \
+         [data.csv | - | --all] [flags]\n\
          \x20      qid bench <addr> <data.csv> [--connections N] \
          [--duration-s S] [--warmup-s S] [--seed S] [--eps E] \
          [--mode closed|open] [--rate RPS] [--check-only] [--json]"
@@ -275,6 +288,14 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                     usage()
                 });
             }
+            "--metrics-addr" => config.metrics_addr = Some(take("--metrics-addr").clone()),
+            "--slow-ms" => {
+                config.slow_ms = Some(take("--slow-ms").parse().unwrap_or_else(|_| {
+                    eprintln!("--slow-ms wants a threshold in milliseconds");
+                    usage()
+                }));
+            }
+            "--log-json" => config.log_json = true,
             _ => {
                 eprintln!("unknown flag {flag}");
                 usage()
@@ -297,7 +318,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let _ = writeln!(
         stdout,
         "qid-server listening on {} (workers = {}, poller = {}, max-line-bytes = {}, \
-         max-rps = {}, revalidate-ms = {})",
+         max-rps = {}, revalidate-ms = {}, metrics = {})",
         server.local_addr(),
         config.workers.max(1),
         quasi_id::server::backend_name(),
@@ -305,7 +326,11 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         config
             .max_rps
             .map_or("off".to_string(), |rps| rps.to_string()),
-        config.revalidate_ms
+        config.revalidate_ms,
+        server
+            .state()
+            .metrics_local_addr()
+            .map_or("off".to_string(), |addr| addr.to_string())
     );
     let _ = stdout.flush();
     match server.serve() {
@@ -366,6 +391,17 @@ fn cmd_query(args: &[String]) -> ExitCode {
             }
         };
         return send_and_print(addr, &Request::Batch { requests });
+    }
+    if command == "trace" {
+        return cmd_trace(addr, &args[2..]);
+    }
+    // `unload --all` purges the whole cache; no dataset key involved.
+    if command == "unload" && args[2..].iter().any(|a| a == "--all") {
+        if args[2..].len() != 1 {
+            eprintln!("unload --all takes no other arguments");
+            usage()
+        }
+        return send_and_print(addr, &Request::UnloadAll);
     }
     let needs_path = !matches!(command.as_str(), "metrics" | "shutdown");
     let opts = if needs_path {
@@ -440,6 +476,42 @@ fn cmd_query(args: &[String]) -> ExitCode {
         }
     };
     send_and_print(addr, &request)
+}
+
+/// `qid query <addr> trace [--last N] [--command CMD] [--min-us N]` —
+/// pulls the newest matching spans out of the server's trace ring.
+/// These flags are trace-specific, so they are parsed here rather than
+/// in the shared `Opts`.
+fn cmd_trace(addr: &str, args: &[String]) -> ExitCode {
+    let mut last = DEFAULT_TRACE_LAST;
+    let mut command = None;
+    let mut min_us = 0u64;
+    let mut args = args.iter();
+    while let Some(flag) = args.next() {
+        let mut take = |name: &str| -> &String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--last" => last = take("--last").parse().unwrap_or_else(|_| usage()),
+            "--command" => command = Some(take("--command").clone()),
+            "--min-us" => min_us = take("--min-us").parse().unwrap_or_else(|_| usage()),
+            _ => {
+                eprintln!("unknown flag {flag}");
+                usage()
+            }
+        }
+    }
+    send_and_print(
+        addr,
+        &Request::Trace {
+            last,
+            command,
+            min_us,
+        },
+    )
 }
 
 /// Connects, sends one request, prints the response.
@@ -590,6 +662,11 @@ fn print_response(response: &Response) -> ExitCode {
         }
         Response::Metrics(report) => {
             outln!(
+                "server: version {}, up {} s",
+                report.version,
+                report.uptime_seconds
+            );
+            outln!(
                 "registry: {} datasets ({} bytes resident), {} cache hits, \
                  {} cache misses, {} disk hits",
                 report.datasets,
@@ -628,6 +705,45 @@ fn print_response(response: &Response) -> ExitCode {
                     c.p50_us,
                     c.p99_us
                 );
+            }
+        }
+        Response::Trace { spans } => {
+            if spans.is_empty() {
+                outln!("trace: no matching spans recorded");
+            } else {
+                outln!(
+                    "{:>8}  {:<9} {:<13} {:<16} {:>9} {:>9} {:>9} {:>7} {:>7} {:>9}",
+                    "id",
+                    "command",
+                    "outcome",
+                    "key",
+                    "queue_us",
+                    "serve_us",
+                    "write_us",
+                    "in_b",
+                    "out_b",
+                    "age_ms"
+                );
+                for s in spans {
+                    outln!(
+                        "{:>8}  {:<9} {:<13} {:<16} {:>9} {:>9} {:>9} {:>7} {:>7} {:>9}",
+                        s.id,
+                        s.command,
+                        s.outcome,
+                        if s.key.is_empty() {
+                            "-"
+                        } else {
+                            s.key.as_str()
+                        },
+                        s.queue_us,
+                        s.serve_us,
+                        s.write_us,
+                        s.bytes_in,
+                        s.bytes_out,
+                        s.age_ms
+                    );
+                }
+                outln!("trace: {} spans (newest first)", spans.len());
             }
         }
         Response::ShuttingDown => outln!("server shutting down"),

@@ -28,14 +28,14 @@ use proptest::prelude::*;
 use quasi_id::server::json;
 use quasi_id::server::metrics::COMMAND_NAMES;
 use quasi_id::server::proto::{
-    sketch_params, CommandStats, DatasetRef, LoadMode, MetricsReport, Request, Response,
+    sketch_params, CommandStats, DatasetRef, LoadMode, MetricsReport, Request, Response, TraceSpan,
 };
 use quasi_id::server::{Server, ServerConfig};
 
 const GOLDEN: &str = include_str!("golden/proto_conformance.ndjson");
 
 /// Every response `kind` the protocol can emit.
-const RESPONSE_KINDS: [&str; 14] = [
+const RESPONSE_KINDS: [&str; 15] = [
     "loaded",
     "audit",
     "key",
@@ -46,6 +46,7 @@ const RESPONSE_KINDS: [&str; 14] = [
     "batch",
     "unloaded",
     "metrics",
+    "trace",
     "bye",
     "line_too_long",
     "rate_limited",
@@ -109,6 +110,17 @@ fn corpus() -> Vec<String> {
             ],
         },
         Request::Unload { ds: ds() },
+        Request::UnloadAll,
+        Request::Trace {
+            last: 20,
+            command: Some("check".into()),
+            min_us: 1_000,
+        },
+        Request::Trace {
+            last: 50,
+            command: None,
+            min_us: 0,
+        },
         Request::Metrics,
         Request::Shutdown,
     ];
@@ -199,6 +211,8 @@ fn corpus() -> Vec<String> {
             rejected_rate: 17,
             bytes_read: 4096,
             bytes_written: 9182,
+            uptime_seconds: 3600,
+            version: "0.1.0".into(),
             commands: vec![CommandStats {
                 name: "audit".into(),
                 count: 2,
@@ -208,6 +222,35 @@ fn corpus() -> Vec<String> {
                 p99_us: 511,
             }],
         }),
+        Response::Trace {
+            spans: vec![
+                TraceSpan {
+                    id: 9,
+                    command: "check".into(),
+                    outcome: "ok".into(),
+                    key: "00c0ffee00c0ffee".into(),
+                    queue_us: 42,
+                    serve_us: 17,
+                    write_us: 3,
+                    bytes_in: 96,
+                    bytes_out: 64,
+                    age_ms: 1250,
+                },
+                TraceSpan {
+                    id: 8,
+                    command: "-".into(),
+                    outcome: "protocol_error".into(),
+                    key: String::new(),
+                    queue_us: 0,
+                    serve_us: 5,
+                    write_us: 0,
+                    bytes_in: 12,
+                    bytes_out: 80,
+                    age_ms: 2000,
+                },
+            ],
+        },
+        Response::Trace { spans: vec![] },
         Response::ShuttingDown,
         Response::LineTooLong { limit: 262_144 },
         Response::RateLimited { max_rps: 50 },
@@ -317,6 +360,7 @@ fn collect_kinds(response: &Response, kinds: &mut std::collections::BTreeSet<Str
         }
         Response::Unloaded { .. } => "unloaded",
         Response::Metrics(_) => "metrics",
+        Response::Trace { .. } => "trace",
         Response::ShuttingDown => "bye",
         Response::LineTooLong { .. } => "line_too_long",
         Response::RateLimited { .. } => "rate_limited",

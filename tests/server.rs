@@ -1394,3 +1394,220 @@ fn soak_500_idle_connections_do_not_degrade_served_p99() {
         );
     }
 }
+
+#[test]
+fn trace_reports_recent_spans_newest_first_and_the_cli_renders_them() {
+    let dir = scratch_dir("trace");
+    let csv = dir.join("t.csv");
+    write_fixture(&csv, 800);
+    let server = ServerUnderTest::spawn(2);
+    let ds = server.ds(&csv, 0.01, 7);
+    let mut client = server.client();
+    match client
+        .call(&Request::Load {
+            ds: ds.clone(),
+            mode: LoadMode::Stream,
+        })
+        .unwrap()
+    {
+        Response::Loaded { .. } => {}
+        other => panic!("expected loaded, got {other:?}"),
+    }
+    for _ in 0..8 {
+        match client
+            .call(&Request::Check {
+                ds: ds.clone(),
+                attrs: vec!["id".to_string()],
+            })
+            .unwrap()
+        {
+            Response::Check { .. } => {}
+            other => panic!("expected check, got {other:?}"),
+        }
+    }
+
+    // Unfiltered trace: newest-first ids, and both commands present.
+    let spans = match client
+        .call(&Request::Trace {
+            last: 50,
+            command: None,
+            min_us: 0,
+        })
+        .unwrap()
+    {
+        Response::Trace { spans } => spans,
+        other => panic!("expected trace, got {other:?}"),
+    };
+    assert!(spans.len() >= 9, "load + 8 checks recorded: {spans:?}");
+    assert!(
+        spans.windows(2).all(|w| w[0].id > w[1].id),
+        "spans must be newest-first with distinct ids: {spans:?}"
+    );
+    assert!(spans.iter().any(|s| s.command == "load"), "{spans:?}");
+
+    // Command filter narrows to checks only, and each span carries the
+    // same resolved cache key plus real sizes.
+    let checks = match client
+        .call(&Request::Trace {
+            last: 50,
+            command: Some("check".to_string()),
+            min_us: 0,
+        })
+        .unwrap()
+    {
+        Response::Trace { spans } => spans,
+        other => panic!("expected trace, got {other:?}"),
+    };
+    assert_eq!(checks.len(), 8, "{checks:?}");
+    for span in &checks {
+        assert_eq!(span.command, "check");
+        assert_eq!(span.outcome, "ok");
+        assert_eq!(span.key.len(), 16, "16 hex digits: {span:?}");
+        assert!(span.bytes_in > 0 && span.bytes_out > 0, "{span:?}");
+    }
+    assert!(
+        checks.windows(2).all(|w| w[0].key == w[1].key),
+        "one dataset, one key: {checks:?}"
+    );
+
+    // An impossible min_us filter (≈ 35 years, and exactly
+    // representable as a JSON number) yields an empty, valid answer.
+    match client
+        .call(&Request::Trace {
+            last: 50,
+            command: None,
+            min_us: 1 << 50,
+        })
+        .unwrap()
+    {
+        Response::Trace { spans } => assert!(spans.is_empty(), "{spans:?}"),
+        other => panic!("expected trace, got {other:?}"),
+    }
+
+    // The CLI renders a table of the same data.
+    let out = Command::new(env!("CARGO_BIN_EXE_qid"))
+        .args([
+            "query",
+            &server.addr,
+            "trace",
+            "--last",
+            "5",
+            "--command",
+            "check",
+        ])
+        .output()
+        .expect("qid query trace runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("command"), "header row: {stdout}");
+    assert!(stdout.contains("trace: 5 spans"), "{stdout}");
+    server.shutdown();
+}
+
+#[test]
+fn unload_all_purges_the_whole_cache_and_the_cli_drives_it() {
+    let dir = scratch_dir("unload-all");
+    let a = dir.join("a.csv");
+    let b = dir.join("b.csv");
+    write_fixture(&a, 800);
+    write_fixture(&b, 600);
+    let server = ServerUnderTest::spawn(2);
+    let mut client = server.client();
+    for (path, seed) in [(&a, 7u64), (&b, 8u64)] {
+        match client
+            .call(&Request::Load {
+                ds: server.ds(path, 0.01, seed),
+                mode: LoadMode::Stream,
+            })
+            .unwrap()
+        {
+            Response::Loaded { .. } => {}
+            other => panic!("expected loaded, got {other:?}"),
+        }
+    }
+    assert_eq!(metrics(&mut client).datasets, 2);
+
+    // `qid query <addr> unload --all`, as an operator would run it.
+    let out = Command::new(env!("CARGO_BIN_EXE_qid"))
+        .args(["query", &server.addr, "unload", "--all"])
+        .output()
+        .expect("qid query unload --all runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dropped"), "{stdout}");
+
+    let report = metrics(&mut client);
+    assert_eq!(report.datasets, 0, "{report:?}");
+    assert_eq!(report.cache_bytes, 0, "{report:?}");
+
+    // A second purge finds an already-empty cache.
+    match client.call(&Request::UnloadAll).unwrap() {
+        Response::Unloaded { existed } => assert!(!existed),
+        other => panic!("expected unloaded, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn flight_recorder_flags_announce_and_log_ndjson_events() {
+    let dir = scratch_dir("flags");
+    let csv = dir.join("f.csv");
+    write_fixture(&csv, 800);
+    let mut server = ServerUnderTest::spawn_full(
+        1,
+        &["--metrics-addr", "127.0.0.1:0", "--log-json"],
+        &[],
+        true,
+    );
+    assert!(
+        server.announce.contains("metrics = 127.0.0.1:"),
+        "announce line names the metrics listener: {}",
+        server.announce
+    );
+
+    let mut client = server.client();
+    match client
+        .call(&Request::Load {
+            ds: server.ds(&csv, 0.01, 7),
+            mode: LoadMode::Stream,
+        })
+        .unwrap()
+    {
+        Response::Loaded { .. } => {}
+        other => panic!("expected loaded, got {other:?}"),
+    }
+    match client.call(&Request::UnloadAll).unwrap() {
+        Response::Unloaded { existed } => assert!(existed),
+        other => panic!("expected unloaded, got {other:?}"),
+    }
+    assert_eq!(
+        client.call(&Request::Shutdown).expect("shutdown answered"),
+        Response::ShuttingDown
+    );
+    let status = server.child.wait().expect("server exits");
+    assert!(status.success(), "server exit status: {status:?}");
+
+    // The NDJSON event log recorded the cache lifecycle.
+    let mut stderr = String::new();
+    server
+        .child
+        .stderr
+        .take()
+        .expect("stderr piped")
+        .read_to_string(&mut stderr)
+        .unwrap();
+    assert!(
+        stderr.contains(r#""event":"cache_build""#),
+        "cache_build logged:\n{stderr}"
+    );
+    assert!(
+        stderr.contains(r#""event":"cache_purge""#),
+        "cache_purge logged:\n{stderr}"
+    );
+    for line in stderr.lines().filter(|l| l.contains(r#""event":"#)) {
+        assert!(
+            line.starts_with(r#"{"ts_ms":"#) && line.ends_with('}'),
+            "NDJSON shape: {line:?}"
+        );
+    }
+}

@@ -9,13 +9,18 @@
 //! output buffer), and asserts the allocation counter does not move
 //! across 100 served checks after warm-up.
 //!
-//! Scope honesty: the counter watches `answer_line` — parse, registry
-//! peek, attribute resolution, filter query, serialisation, metrics.
-//! The one remaining per-wake allocation in the live server is the
-//! `Box`ed closure that carries a readable connection from the poller
-//! thread to the worker pool; that hand-off sits *outside* the
-//! request path and is documented in
-//! `docs/ARCHITECTURE.md` ("Request path & allocation discipline").
+//! Scope honesty: the counter watches `answer_line` *plus*
+//! [`ServerState::finish_wake`] — parse, registry peek, attribute
+//! resolution, filter query, serialisation, metrics, span capture into
+//! the preallocated [`Scratch`] arena, and publication into the trace
+//! ring. The flight recorder is fully armed for the run: tracing is
+//! always on, `--slow-ms` detection is enabled (threshold high enough
+//! not to fire), and the `--metrics-addr` listener is bound. The one
+//! remaining per-wake allocation in the live server is the `Box`ed
+//! closure that carries a readable connection from the poller thread
+//! to the worker pool; that hand-off sits *outside* the request path
+//! and is documented in `docs/ARCHITECTURE.md` ("Request path &
+//! allocation discipline").
 //!
 //! One `#[test]` only: a global allocator is process-wide, and a
 //! concurrent test's allocations would race the counter.
@@ -91,10 +96,18 @@ fn steady_state_served_check_allocates_nothing() {
     // `bind` spawns no threads (only `serve`/`spawn` do), so nothing
     // else in the process allocates while the counter watches. A huge
     // revalidation window keeps the freshness stamp valid for the
-    // whole test.
+    // whole test. The observability subsystem is fully enabled — the
+    // zero-alloc contract must hold *under instrumentation*, not only
+    // with it off: the metrics listener is bound (not yet serving, as
+    // no thread runs), slow-request detection is armed with a
+    // threshold no test request can cross, and every request records a
+    // trace span.
     let server = Server::bind(&ServerConfig {
         workers: 1,
         revalidate_ms: 3_600_000,
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        slow_ms: Some(60_000),
+        log_json: false,
         ..ServerConfig::default()
     })
     .expect("bind");
@@ -129,12 +142,17 @@ fn steady_state_served_check_allocates_nothing() {
     for _ in 0..10 {
         out.clear();
         state.answer_line(check.as_bytes(), &mut scratch, &mut out);
+        state.finish_wake(&mut scratch, std::time::Duration::ZERO);
     }
 
     let before = ALLOCATIONS.load(Ordering::SeqCst);
     for _ in 0..100 {
         out.clear();
         let shutdown = state.answer_line(check.as_bytes(), &mut scratch, &mut out);
+        // The wake epilogue — span publication into the trace ring and
+        // slow-request detection — is part of the per-request path, so
+        // it runs inside the counted window.
+        state.finish_wake(&mut scratch, std::time::Duration::ZERO);
         assert!(!shutdown);
         assert!(out == expected, "fast-path answer drifted");
     }
