@@ -43,6 +43,18 @@ pub struct ServerBenchConfig {
     /// step raises `ulimit -n` first; pass something smaller when the
     /// environment cannot (the unit smoke test does).
     pub idle_high: usize,
+    /// Optional C10K-class idle herd (the headline row for the sharded
+    /// connection core). `None` skips it: at ≥10k connections the
+    /// in-process server doubles the fd bill (~2× the herd in one
+    /// process), beyond stock rlimits, so the row is measured on
+    /// demand — `default_at` arms it when the `QID_IDLE_10K`
+    /// environment variable is set (its value is the herd size; values
+    /// under 1000 fall back to 10_000). When `QID_IDLE_10K_BIN` also
+    /// names a `qid` binary, the point is measured against a *spawned*
+    /// server process instead — load generator and server then each
+    /// pay ~one fd per connection, which fits environments whose
+    /// per-process hard limit cannot cover both ends.
+    pub idle_10k: Option<usize>,
     /// Connection counts for the closed-loop saturation rows (the
     /// `qid-loadgen` harness at two concurrencies).
     pub saturation_conns: [usize; 2],
@@ -60,6 +72,14 @@ impl ServerBenchConfig {
             workers: 4,
             idle_low: 10,
             idle_high: 1000,
+            idle_10k: std::env::var("QID_IDLE_10K").ok().map(|v| {
+                let herd = v.parse().unwrap_or(10_000);
+                if herd < 1000 {
+                    10_000
+                } else {
+                    herd
+                }
+            }),
             saturation_conns: [4, 32],
             saturation_ms: match scale {
                 Scale::Full => 10_000,
@@ -122,6 +142,10 @@ pub struct ServerBenchResult {
     /// the readiness-core claim: within 2× of [`Self::idle_low`],
     /// because quiet registrations never touch a worker.
     pub idle_high: IdleScalingPoint,
+    /// Served-audit latency with a ≥10k idle herd sharded across the
+    /// pollers — measured only when [`ServerBenchConfig::idle_10k`]
+    /// is armed (see its fd-budget caveat).
+    pub idle_10k: Option<IdleScalingPoint>,
     /// Closed-loop saturation points from the `qid-loadgen` harness,
     /// one per configured connection count: throughput and
     /// p50/p99/p999 latency under the default check-heavy mix.
@@ -179,6 +203,25 @@ impl ServerBenchResult {
                         }),
                     ),
                 ]),
+            ),
+            (
+                "idle_scaling_10k",
+                match &self.idle_10k {
+                    Some(point) => obj(vec![
+                        ("idle", Json::Int(point.idle as i64)),
+                        ("p50_us", Json::Num(point.p50_us)),
+                        ("p99_us", Json::Num(point.p99_us)),
+                        (
+                            "p99_ratio_vs_low",
+                            Json::Num(if self.idle_low.p99_us > 0.0 {
+                                point.p99_us / self.idle_low.p99_us
+                            } else {
+                                0.0
+                            }),
+                        ),
+                    ]),
+                    None => Json::Null,
+                },
             ),
             (
                 "saturation",
@@ -254,6 +297,10 @@ pub fn run_server_bench(cfg: ServerBenchConfig) -> ServerBenchResult {
     let server_config = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: cfg.workers,
+        // Two shards even on small machines: the bench must measure
+        // the sharded connection core, and the idle herds should
+        // split across pollers the way a production deployment's do.
+        pollers: 2,
         cache_dir: Some(cache_dir.to_str().expect("utf-8 path").to_string()),
         ..ServerConfig::default()
     };
@@ -344,6 +391,14 @@ pub fn run_server_bench(cfg: ServerBenchConfig) -> ServerBenchResult {
     // 150 ms read per cycle and this measurement took *seconds*.
     let idle_low = measure_idle_point(&mut client, addr, &request, cfg.idle_low, requests);
     let idle_high = measure_idle_point(&mut client, addr, &request, cfg.idle_high, requests);
+    let idle_10k = cfg
+        .idle_10k
+        .map(|herd| match std::env::var("QID_IDLE_10K_BIN") {
+            Ok(bin) => {
+                measure_idle_point_external(&bin, cfg.workers, &path, &request, herd, requests)
+            }
+            Err(_) => measure_idle_point(&mut client, addr, &request, herd, requests),
+        });
 
     // Saturation: the qid-loadgen harness drives the default
     // check-heavy mix closed-loop at two connection counts against
@@ -480,6 +535,16 @@ pub fn run_server_bench(cfg: ServerBenchConfig) -> ServerBenchResult {
         "-".to_string(),
         format!("{:.0}", idle_high.p50_us),
     ]);
+    if let Some(point) = &idle_10k {
+        table.row(vec![
+            format!(
+                "audit + {} idle conns, 2 shards (p99 {:.0} us)",
+                point.idle, point.p99_us
+            ),
+            "-".to_string(),
+            format!("{:.0}", point.p50_us),
+        ]);
+    }
     for point in &saturation {
         table.row(vec![
             format!(
@@ -502,6 +567,7 @@ pub fn run_server_bench(cfg: ServerBenchConfig) -> ServerBenchResult {
         batched_per_cmd_us,
         idle_low,
         idle_high,
+        idle_10k,
         saturation,
         table,
     }
@@ -566,6 +632,83 @@ fn measure_idle_point(
     }
 }
 
+/// Measures the same idle-scaling point against a *spawned* server
+/// process (`bin` is a `qid` binary) instead of the in-process one.
+///
+/// The in-process server doubles the fd bill: every loopback
+/// connection costs this process two descriptors (client end + server
+/// end), so a 10k herd needs ~20k fds in one process — over the hard
+/// `RLIMIT_NOFILE` in locked-down containers that refuse `setrlimit`.
+/// Splitting the ends across two processes halves the per-process
+/// cost, which is also the honest C10K methodology: a load generator
+/// should not share a descriptor table with the system under test.
+fn measure_idle_point_external(
+    bin: &str,
+    workers: usize,
+    csv_path: &str,
+    audit: &Request,
+    idle: usize,
+    requests: usize,
+) -> IdleScalingPoint {
+    use std::io::BufRead as _;
+    use std::process::{Command, Stdio};
+
+    let mut child = Command::new(bin)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            &workers.to_string(),
+            "--pollers",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn external qid serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server announces its address")
+            .expect("read server stdout");
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            let token = rest.split_whitespace().next().expect("address token");
+            break token.parse().expect("announced address parses");
+        }
+    };
+    // Keep draining stdout so the child never blocks on a full pipe.
+    let _drain = std::thread::spawn(move || for _ in lines {});
+
+    let mut client = Client::connect(addr).expect("connect to external server");
+    let ds = match audit {
+        Request::Audit { ds, .. } => ds.clone(),
+        other => panic!("idle-scaling probe must be an audit, got {other:?}"),
+    };
+    assert_eq!(ds.path, csv_path, "audit must target the bench workload");
+    match client
+        .call(&Request::Load {
+            ds,
+            mode: LoadMode::Memory,
+        })
+        .expect("load on external server")
+    {
+        Response::Loaded { .. } => {}
+        other => panic!("external load failed: {other:?}"),
+    }
+    let point = measure_idle_point(&mut client, addr, audit, idle, requests);
+    match client.call(&Request::Shutdown).expect("shutdown external") {
+        Response::ShuttingDown => {}
+        other => panic!("external shutdown failed: {other:?}"),
+    }
+    drop(client);
+    let status = child.wait().expect("external server exits");
+    assert!(status.success(), "external server exit status: {status:?}");
+    point
+}
+
 /// Reads the server's accepted-connection counter off `metrics`.
 fn connections_accepted(client: &mut Client) -> u64 {
     match client.call(&Request::Metrics) {
@@ -592,6 +735,7 @@ mod tests {
             // under the CI step that raises `ulimit -n` first.
             idle_low: 10,
             idle_high: 200,
+            idle_10k: None,
             saturation_conns: [2, 4],
             saturation_ms: 400,
         });
@@ -627,6 +771,13 @@ mod tests {
             .get("idle_scaling")
             .and_then(|i| i.get("p99_ratio"))
             .is_some());
+        // The 10k row is opt-in (it costs ~20k fds); unarmed runs
+        // emit an explicit null so downstream tooling sees the key.
+        assert!(result.idle_10k.is_none());
+        assert!(matches!(
+            parsed.get("idle_scaling_10k"),
+            Some(qid_server::json::Json::Null)
+        ));
         // The acceptance bound: a large registered idle herd keeps
         // served-audit p99 within 2× of the 10-connection case. A
         // small absolute slack absorbs scheduler noise when both

@@ -27,16 +27,23 @@
 //!   [`json`] because the build environment is offline (no serde).
 //!   `batch` carries an array of sub-commands on one line, answered as
 //!   an array with one registry resolution per distinct dataset key.
-//! * [`poller`] — the **readiness-driven connection core**: one
-//!   dedicated poller thread owns every idle connection in
-//!   non-blocking mode behind a minimal vendored readiness shim
-//!   (`epoll` on Linux, `poll(2)` fallback) and hands only *readable*
-//!   connections to the worker pool, so thousands of idle keep-alive
-//!   clients cost zero worker time. It also owns the two
+//! * [`poller`] — the **sharded readiness-driven connection core**:
+//!   `--pollers` shard threads (default `min(4, cores)`) each own a
+//!   round-robin share of the idle connections in non-blocking mode
+//!   behind a minimal vendored readiness shim (`epoll` on Linux,
+//!   `kqueue` on the BSDs/macOS, `poll(2)` fallback) and hand only
+//!   *readable* connections to the worker pool, so thousands of idle
+//!   keep-alive clients cost zero worker time. Writes are
+//!   readiness-driven too: a response the socket refuses is parked
+//!   with the connection and finished by its owning shard when the
+//!   peer drains — a slow reader costs `writes_parked` increments,
+//!   never a blocked worker. The core also owns the
 //!   protocol-hardening knobs for untrusted clients: a request-line
 //!   byte cap (`--max-line-bytes`, structured `line_too_long` answer,
-//!   `O(cap)` memory) and a per-connection token-bucket request-rate
-//!   limit (`--max-rps`, `rate_limited` answer before decoding).
+//!   `O(cap)` memory), a per-connection token-bucket request-rate
+//!   limit (`--max-rps`, `rate_limited` answer before decoding), and
+//!   an admission cap on live connections (`--max-conns`, one
+//!   structured `too_busy` answer then close).
 //! * [`fastpath`] — the **zero-allocation `check` path**: a byte-level
 //!   scanner over the request line, a per-connection [`Scratch`]
 //!   arena, a windowed-revalidation registry read
@@ -54,7 +61,8 @@
 //!   slow-request (`--slow-ms`) and lifecycle-event (`--log-json`)
 //!   logging on stderr. Instrumentation preserves the zero-allocation
 //!   `check` fast-path contract — proved by the same counting-allocator
-//!   test with tracing, slow detection and the metrics listener all on.
+//!   test with tracing, slow detection, the metrics listener and two
+//!   live poller shards all on.
 //! * [`pool`] — a fixed worker thread pool over `mpsc` channels;
 //!   shutdown drains in-flight work before the process exits.
 //! * [`server`] — the `std::net::TcpListener` accept loop and request

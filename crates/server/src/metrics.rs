@@ -171,6 +171,14 @@ pub struct Metrics {
     /// Request lines rejected by the per-connection `--max-rps`
     /// token bucket.
     pub rejected_rate: AtomicU64,
+    /// Connections turned away at accept time by `--max-conns`
+    /// admission control (answered `too_busy`, then closed).
+    pub rejected_busy: AtomicU64,
+    /// Responses that could not be flushed in one nonblocking write
+    /// and were parked with their connection for the owning poller to
+    /// finish — the counter the slow-reader fault test watches to
+    /// prove the readiness-driven write path engaged.
+    pub writes_parked: AtomicU64,
     /// Request bytes drained off client sockets, counted at the read
     /// syscall — the server-side cross-check for a load harness's
     /// sent-byte accounting.
@@ -244,8 +252,14 @@ impl Metrics {
     }
 
     /// Builds the full `metrics` payload given the registry's lifecycle
-    /// counters and the server's uptime.
-    pub fn report(&self, registry: RegistrySnapshot, uptime_seconds: u64) -> MetricsReport {
+    /// counters, the server's uptime, and the per-poller-shard
+    /// connection gauges (in shard order).
+    pub fn report(
+        &self,
+        registry: RegistrySnapshot,
+        uptime_seconds: u64,
+        poller_connections: Vec<u64>,
+    ) -> MetricsReport {
         MetricsReport {
             uptime_seconds,
             version: crate::obs::BUILD_VERSION.to_string(),
@@ -260,6 +274,9 @@ impl Metrics {
             connections: self.connections.load(Ordering::Relaxed),
             rejected_oversize: self.rejected_oversize.load(Ordering::Relaxed),
             rejected_rate: self.rejected_rate.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            writes_parked: self.writes_parked.load(Ordering::Relaxed),
+            poller_connections,
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             commands: self.command_stats(),
@@ -302,6 +319,7 @@ mod tests {
                 datasets: 1,
             },
             17,
+            vec![3, 4],
         );
         assert_eq!(r.uptime_seconds, 17);
         assert_eq!(r.version, crate::obs::BUILD_VERSION);
@@ -316,6 +334,8 @@ mod tests {
         assert_eq!(r.commands.len(), COMMAND_NAMES.len());
         assert_eq!(r.rejected_oversize, 0);
         assert_eq!(r.rejected_rate, 0);
+        assert_eq!(r.rejected_busy, 0);
+        assert_eq!(r.poller_connections, vec![3, 4]);
     }
 
     #[test]
@@ -323,9 +343,13 @@ mod tests {
         let m = Metrics::new();
         m.rejected_oversize.fetch_add(3, Ordering::Relaxed);
         m.rejected_rate.fetch_add(5, Ordering::Relaxed);
-        let r = m.report(RegistrySnapshot::default(), 0);
+        m.rejected_busy.fetch_add(7, Ordering::Relaxed);
+        m.writes_parked.fetch_add(2, Ordering::Relaxed);
+        let r = m.report(RegistrySnapshot::default(), 0, vec![]);
         assert_eq!(r.rejected_oversize, 3);
         assert_eq!(r.rejected_rate, 5);
+        assert_eq!(r.rejected_busy, 7);
+        assert_eq!(r.writes_parked, 2);
     }
 
     #[test]
@@ -333,7 +357,7 @@ mod tests {
         let m = Metrics::new();
         m.bytes_read.fetch_add(1024, Ordering::Relaxed);
         m.bytes_written.fetch_add(2048, Ordering::Relaxed);
-        let r = m.report(RegistrySnapshot::default(), 0);
+        let r = m.report(RegistrySnapshot::default(), 0, vec![]);
         assert_eq!(r.bytes_read, 1024);
         assert_eq!(r.bytes_written, 2048);
     }

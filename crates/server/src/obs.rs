@@ -315,8 +315,9 @@ pub struct Obs {
     /// Spans dropped by arena overflow (ring collisions count
     /// separately inside the ring).
     spans_dropped: AtomicU64,
-    /// Idle connections parked in the poller (gauge, set each loop).
-    idle_fds: AtomicU64,
+    /// Connections registered with each poller shard (idle +
+    /// write-parked), one gauge per shard, set by each shard's loop.
+    shard_conns: Box<[AtomicU64]>,
     /// Connections currently dispatched to (or queued for) workers.
     dispatched: AtomicU64,
     /// Jobs sitting in the worker-pool queue; shared with the pool's
@@ -326,8 +327,9 @@ pub struct Obs {
 }
 
 impl Obs {
-    /// Creates the hub. `slow_us` of 0 disables slow-request lines.
-    pub(crate) fn new(slow_us: u64, log_json: bool) -> Obs {
+    /// Creates the hub with one connection gauge per poller shard.
+    /// `slow_us` of 0 disables slow-request lines.
+    pub(crate) fn new(slow_us: u64, log_json: bool, pollers: usize) -> Obs {
         Obs {
             born: Instant::now(),
             next_id: AtomicU64::new(0),
@@ -335,7 +337,7 @@ impl Obs {
             slow_us,
             log_json,
             spans_dropped: AtomicU64::new(0),
-            idle_fds: AtomicU64::new(0),
+            shard_conns: (0..pollers.max(1)).map(|_| AtomicU64::new(0)).collect(),
             dispatched: AtomicU64::new(0),
             queue_depth: Arc::new(AtomicU64::new(0)),
         }
@@ -362,14 +364,29 @@ impl Obs {
         self.queue_depth.load(Ordering::Relaxed)
     }
 
-    /// Updates the idle-connection gauge (poller loop).
-    pub(crate) fn set_idle_fds(&self, idle: u64) {
-        self.idle_fds.store(idle, Ordering::Relaxed);
+    /// Updates one shard's registered-connection gauge (each poller
+    /// loop sets its own slot). Out-of-range shards are ignored.
+    pub(crate) fn set_shard_conns(&self, shard: usize, conns: u64) {
+        if let Some(gauge) = self.shard_conns.get(shard) {
+            gauge.store(conns, Ordering::Relaxed);
+        }
     }
 
-    /// Idle connections parked in the poller.
+    /// Per-shard registered-connection gauges, in shard order.
+    pub(crate) fn shard_connections(&self) -> Vec<u64> {
+        self.shard_conns
+            .iter()
+            .map(|g| g.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Connections registered across all poller shards (idle +
+    /// write-parked).
     pub(crate) fn idle_fds(&self) -> u64 {
-        self.idle_fds.load(Ordering::Relaxed)
+        self.shard_conns
+            .iter()
+            .map(|g| g.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// A connection left the poller for the worker pool.
@@ -655,7 +672,7 @@ pub(crate) fn prometheus_text(state: &ServerState) -> String {
         );
     }
 
-    let singles: [(&str, &str, &str, u64); 14] = [
+    let singles: [(&str, &str, &str, u64); 16] = [
         (
             "qid_protocol_errors_total",
             "counter",
@@ -689,8 +706,20 @@ pub(crate) fn prometheus_text(state: &ServerState) -> String {
         (
             "qid_poller_registered_fds",
             "gauge",
-            "Idle connections registered with the poller.",
+            "Connections registered across all poller shards.",
             obs.idle_fds(),
+        ),
+        (
+            "qid_rejected_busy_total",
+            "counter",
+            "Connections turned away at accept by --max-conns admission control.",
+            metrics.rejected_busy.load(Ordering::Relaxed),
+        ),
+        (
+            "qid_writes_parked_total",
+            "counter",
+            "Responses parked with their connection for a readiness-driven flush.",
+            metrics.writes_parked.load(Ordering::Relaxed),
         ),
         (
             "qid_cache_hits_total",
@@ -773,6 +802,14 @@ pub(crate) fn prometheus_text(state: &ServerState) -> String {
         metrics.rejected_oversize.load(Ordering::Relaxed),
         metrics.rejected_rate.load(Ordering::Relaxed)
     );
+    let _ = writeln!(
+        out,
+        "# HELP qid_poller_connections Connections registered with each poller shard (idle + write-parked).\n\
+         # TYPE qid_poller_connections gauge"
+    );
+    for (shard, conns) in obs.shard_connections().iter().enumerate() {
+        let _ = writeln!(out, "qid_poller_connections{{poller=\"{shard}\"}} {conns}");
+    }
     out
 }
 
@@ -886,7 +923,7 @@ mod tests {
 
     #[test]
     fn pending_spans_overflow_is_counted_not_grown() {
-        let obs = Obs::new(0, false);
+        let obs = Obs::new(0, false, 1);
         let mut spans = PendingSpans::default();
         for _ in 0..(PENDING_SPANS + 3) {
             obs.note(
@@ -909,8 +946,116 @@ mod tests {
     }
 
     #[test]
+    fn shard_gauges_sum_into_the_registered_fd_gauge() {
+        let obs = Obs::new(0, false, 3);
+        obs.set_shard_conns(0, 10);
+        obs.set_shard_conns(1, 20);
+        obs.set_shard_conns(2, 30);
+        obs.set_shard_conns(99, 1_000_000); // out of range: ignored
+        assert_eq!(obs.shard_connections(), vec![10, 20, 30]);
+        assert_eq!(obs.idle_fds(), 60);
+    }
+
+    /// The seqlock stress test: writers on several threads hammer a
+    /// tiny ring (maximising lapping collisions) while a reader
+    /// snapshots continuously. Every field of every published record
+    /// is a deterministic function of its id, so a single torn word —
+    /// a reader observing a mix of two writers' records — is caught.
+    /// Afterwards, the drop counter must account for exactly the
+    /// tickets that did not surface as publishable records.
+    #[test]
+    fn ring_survives_concurrent_writers_without_tearing() {
+        use std::sync::atomic::AtomicBool;
+
+        const WRITERS: usize = 4;
+        const PER_WRITER: u64 = 20_000;
+
+        // Derives the full record from an id, mirroring what writers
+        // publish. A torn read mixes two ids and fails the comparison.
+        fn record_for(id: u64) -> SpanRecord {
+            SpanRecord {
+                id,
+                command: (id % COMMAND_NAMES.len() as u64) as u8,
+                outcome: (id % 5) as u8,
+                key_hash: id.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                queue_us: id ^ 0xaaaa,
+                serve_us: id.rotate_left(17),
+                write_us: id ^ 0x5555,
+                bytes_in: id.wrapping_add(7),
+                bytes_out: id.wrapping_mul(3),
+                end_us: id.rotate_right(23),
+            }
+        }
+
+        // 8 slots: with 4 writers × 20k tickets each, lapping
+        // collisions are guaranteed, exercising the drop path hard.
+        let ring = std::sync::Arc::new(TraceRing::new(8));
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+
+        let reader = {
+            let ring = std::sync::Arc::clone(&ring);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut seen = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    for record in ring.snapshot(usize::MAX) {
+                        assert_eq!(
+                            record,
+                            record_for(record.id),
+                            "torn span observed for id {}",
+                            record.id
+                        );
+                        seen += 1;
+                    }
+                }
+                seen
+            })
+        };
+
+        let writers: Vec<_> = (0..WRITERS as u64)
+            .map(|w| {
+                let ring = std::sync::Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    // Disjoint id ranges per writer; id 0 is skipped so
+                    // "never written" can't alias a real record.
+                    for i in 0..PER_WRITER {
+                        let id = 1 + w * PER_WRITER + i;
+                        ring.publish(&record_for(id));
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        let seen = reader.join().unwrap();
+        assert!(seen > 0, "the reader observed at least some records");
+
+        // Consistency: every ticket either became a stable published
+        // record or was dropped. After the writers join, head equals
+        // the total publish count, the surviving slots re-derive from
+        // their ids, and dropped ≤ head − surviving (each slot holds
+        // the last undropped write it received).
+        let total = WRITERS as u64 * PER_WRITER;
+        assert_eq!(ring.head.load(Ordering::Relaxed), total);
+        let survivors = ring.snapshot(usize::MAX);
+        for record in &survivors {
+            assert_eq!(*record, record_for(record.id), "settled slot is stable");
+            assert!(record.id >= 1 && record.id <= total);
+        }
+        let dropped = ring.dropped();
+        assert!(
+            dropped <= total - survivors.len() as u64,
+            "dropped ({dropped}) cannot exceed unpublished tickets \
+             ({total} - {})",
+            survivors.len()
+        );
+    }
+
+    #[test]
     fn trace_filters_by_command_and_duration() {
-        let obs = Obs::new(0, false);
+        let obs = Obs::new(0, false, 1);
         let mut spans = PendingSpans::default();
         obs.note(
             &mut spans,

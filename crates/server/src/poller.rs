@@ -1,33 +1,56 @@
 //! The readiness-driven connection core.
 //!
-//! One dedicated poller thread owns every idle connection in
-//! non-blocking mode behind the vendored [`polling`] shim (`epoll` on
-//! Linux, `poll(2)` fallback). Only connections with bytes to read are
-//! handed to the worker pool; a worker drains what the socket has,
-//! answers every complete request line, and hands the connection back
-//! to the poller. Idle keep-alive connections therefore cost **zero**
-//! worker time — the property that moves the server from tens of
-//! clients to thousands (the previous core charged every idle
-//! connection a blocked 150 ms read per cycle, so capacity degraded
-//! linearly in connection count).
+//! Connections are sharded round-robin across `--pollers` dedicated
+//! poller threads, each owning its own kernel queue behind the
+//! vendored [`polling`] shim (`epoll` on Linux, `kqueue` on
+//! macOS/BSD, `poll(2)` fallback). A poller owns every idle
+//! connection of its shard in non-blocking mode; only connections
+//! with bytes to read are handed to the worker pool. A worker drains
+//! what the socket has, answers every complete request line, and
+//! hands the connection back to **its own shard's** poller. Idle
+//! keep-alive connections therefore cost **zero** worker time — the
+//! property that moves the server from tens of clients to thousands —
+//! and readiness scanning plus trace-epilogue work parallelise across
+//! shards.
+//!
+//! Writes are readiness-driven too: a worker flushes the wake's
+//! response batch with non-blocking writes, and if the peer's window
+//! is full it **parks** the unsent bytes with the connection and
+//! returns to the pool. The owning poller re-arms the socket for
+//! *writability* and completes the flush inline on the poller thread,
+//! so a slow or stalled reader can never pin a worker (the previous
+//! core blocked a worker up to 10 s per stalled write). While a
+//! connection is write-parked the server does not read from it —
+//! natural backpressure for a client that pipelines without draining.
 //!
 //! ## Connection state machine
 //!
+//! Exactly one owner per state — a shard's poller thread *or* one
+//! worker — so request lines are answered in order with no
+//! per-connection locks:
+//!
 //! ```text
-//! accepted ──▶ polled (poller owns it, non-blocking, armed oneshot)
+//! accepted ──▶ polled (shard poller owns it, armed oneshot readable)
 //!                │  readable
 //!                ▼
-//!            dispatched (a worker owns it: read → frame → answer)
-//!                │                      │
-//!                │ partial line /       │ EOF, I/O error, shutdown,
-//!                │ all lines answered   │ or `shutdown` request
-//!                ▼                      ▼
-//!            re-armed ──▶ polled     closed (drained)
+//!            dispatched (one worker owns it: read → frame → answer
+//!                │       → non-blocking flush)
+//!                │ flushed             │ flush would    │ EOF, error,
+//!                │ clean               │ block          │ shutdown
+//!                ▼                     ▼                ▼
+//!            re-armed ──▶ polled   write-parked      closed
+//!                                  (shard poller owns it, armed
+//!                                   writable; flushes inline, then
+//!                                   re-arms readable — or closes if
+//!                                   the wake ended in EOF/shutdown)
 //! ```
 //!
-//! Exactly one thread owns a connection at any moment (the poller
-//! *or* one worker), so request lines are answered in order with no
-//! per-connection locks.
+//! A write-parked connection never visits the worker pool: the poller
+//! finishes the flush itself (responses are already rendered bytes;
+//! pushing them costs microseconds, not registry work). The parked
+//! bytes live in the connection's reused response buffer — the arena
+//! the zero-allocation guarantee already accounts for — so parking
+//! allocates nothing.
 //!
 //! ## Hardening at the byte boundary
 //!
@@ -53,6 +76,7 @@
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -63,11 +87,6 @@ use crate::pool::GaugedSender;
 use crate::proto::Response;
 use crate::server::ServerState;
 
-/// How long a worker may block writing one response batch before the
-/// connection is declared dead (slow-read protection: the poller and
-/// the other workers are never affected).
-const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
-
 /// Byte budget one worker spends reading a single connection per
 /// readiness wake-up. A connection with more buffered than this is
 /// re-armed (level-triggered readiness re-fires immediately), so one
@@ -75,8 +94,8 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 const MAX_BYTES_PER_WAKE: usize = 1 << 20;
 
 /// The name of the readiness backend [`polling::Poller::new`] picks on
-/// this host (`"epoll"` on Linux, `"poll"` elsewhere or when
-/// `QID_POLL_BACKEND=poll` forces the fallback).
+/// this host (`"epoll"` on Linux, `"kqueue"` on macOS/BSD, `"poll"`
+/// elsewhere or when `QID_POLL_BACKEND=poll` forces the fallback).
 pub fn backend_name() -> &'static str {
     polling::default_backend_name()
 }
@@ -261,6 +280,26 @@ impl TokenBucket {
 
 // --------------------------------------------------------- connection
 
+/// One admission slot: increments the server's live-connection count
+/// on creation and releases it on drop, so every close path — a
+/// worker's `Close`, the poller drain, a reaped parked flush, a failed
+/// registration — is accounted without explicit bookkeeping.
+#[derive(Debug)]
+pub(crate) struct LiveGuard(Arc<AtomicU64>);
+
+impl LiveGuard {
+    pub fn new(count: Arc<AtomicU64>) -> LiveGuard {
+        count.fetch_add(1, Ordering::Relaxed);
+        LiveGuard(count)
+    }
+}
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// One client connection: the non-blocking socket plus the framing,
 /// rate-limit, and scratch state that travels with it between poller
 /// and workers. The frame list, write batch, and parse/dispatch
@@ -273,14 +312,24 @@ pub(crate) struct Conn {
     bucket: Option<TokenBucket>,
     /// Frames decoded this wake (ranges into `framer`'s buffer).
     frames: Vec<Frame>,
-    /// The wake's response batch, written in one syscall.
+    /// The wake's response batch. Flushed with non-blocking writes;
+    /// bytes the peer's window cannot absorb stay here (write-parked)
+    /// until the owning poller sees the socket writable again.
     out: Vec<u8>,
+    /// How much of `out` has already reached the socket.
+    out_pos: usize,
+    /// A write-parked connection whose wake ended in EOF or shutdown:
+    /// close as soon as the parked bytes are flushed.
+    close_after_flush: bool,
     /// Per-connection parse/dispatch arena for the zero-allocation
     /// request fast path.
     scratch: Scratch,
     /// When the poller handed this connection to the worker pool; the
     /// worker's wake-up converts it to the spans' queue-wait time.
     dispatched_at: Option<Instant>,
+    /// The `--max-conns` admission slot this connection occupies
+    /// (`None` only before the accept loop admits it).
+    pub live: Option<LiveGuard>,
 }
 
 impl Conn {
@@ -297,16 +346,27 @@ impl Conn {
                 .map(|rps| TokenBucket::new(rps, Instant::now())),
             frames: Vec::new(),
             out: Vec::new(),
+            out_pos: 0,
+            close_after_flush: false,
             scratch: Scratch::new(),
             dispatched_at: None,
+            live: None,
         })
+    }
+
+    /// Whether unsent response bytes are parked with this connection.
+    /// A parked connection is armed for writability and flushed inline
+    /// by its poller instead of being dispatched to a worker.
+    pub fn parked(&self) -> bool {
+        self.out_pos < self.out.len()
     }
 }
 
 /// What a worker decides about a connection after one wake-up.
 #[derive(Debug, PartialEq, Eq)]
 pub(crate) enum Disposition {
-    /// Hand the connection back to the poller for the next request.
+    /// Hand the connection back to its shard's poller — armed readable
+    /// for the next request, or writable when the flush parked bytes.
     Rearm,
     /// Close it (EOF, I/O error, write failure, or shutdown).
     Close,
@@ -327,6 +387,8 @@ pub(crate) fn serve_ready(conn: &mut Conn, state: &ServerState) -> Disposition {
     let mut chunk = [0u8; 8192];
     conn.frames.clear();
     conn.out.clear();
+    conn.out_pos = 0;
+    conn.close_after_flush = false;
     let mut eof = false;
     let mut total = 0usize;
     while total < MAX_BYTES_PER_WAKE {
@@ -376,12 +438,12 @@ pub(crate) fn serve_ready(conn: &mut Conn, state: &ServerState) -> Disposition {
         }
         let is_shutdown = state.answer_line(bytes, &mut conn.scratch, &mut conn.out);
         if is_shutdown {
-            // Flush the acknowledgement before raising the
-            // flag, so the requester always sees its "bye".
+            // Flush the acknowledgement before raising the flag, so
+            // the requester normally sees its "bye". Best-effort: a
+            // requester whose own receive window is already full
+            // doesn't get to delay the drain.
             let write_started = Instant::now();
-            if write_out(&conn.stream, &conn.out).is_ok() {
-                state.add_bytes_written(conn.out.len());
-            }
+            let _ = flush_pending(conn, state);
             state.finish_wake(&mut conn.scratch, write_started.elapsed());
             state.initiate_shutdown();
             return Disposition::Close;
@@ -394,42 +456,73 @@ pub(crate) fn serve_ready(conn: &mut Conn, state: &ServerState) -> Disposition {
         }
     }
     conn.framer.consume();
-    let mut write_failed = false;
     if conn.out.is_empty() {
         state.finish_wake(&mut conn.scratch, Duration::ZERO);
-    } else {
-        let write_started = Instant::now();
-        if write_out(&conn.stream, &conn.out).is_ok() {
-            state.add_bytes_written(conn.out.len());
+        return if close || state.is_shutting_down() {
+            Disposition::Close
         } else {
-            write_failed = true;
+            Disposition::Rearm
+        };
+    }
+    let write_started = Instant::now();
+    let outcome = flush_pending(conn, state);
+    // Publish the wake's spans even when the write failed or parked —
+    // the requests were served, and forensics on a dying or stalled
+    // peer are exactly when the trace matters.
+    state.finish_wake(&mut conn.scratch, write_started.elapsed());
+    match outcome {
+        FlushOutcome::Error => Disposition::Close,
+        FlushOutcome::Done => {
+            if close || state.is_shutting_down() {
+                Disposition::Close
+            } else {
+                Disposition::Rearm
+            }
         }
-        // Publish the wake's spans even when the write failed — the
-        // requests were served, and forensics on a dying peer are
-        // exactly when the trace matters.
-        state.finish_wake(&mut conn.scratch, write_started.elapsed());
-    }
-    if write_failed {
-        return Disposition::Close;
-    }
-    if close || state.is_shutting_down() {
-        Disposition::Close
-    } else {
-        Disposition::Rearm
+        FlushOutcome::Parked => {
+            // The peer's window is full. Park the unsent bytes with
+            // the connection and give it back to its poller, which
+            // arms for writability and finishes the flush — this
+            // worker is free immediately, no matter how stalled the
+            // reader is.
+            state.metrics.writes_parked.fetch_add(1, Ordering::Relaxed);
+            conn.close_after_flush = close || state.is_shutting_down();
+            Disposition::Rearm
+        }
     }
 }
 
-/// Writes a response batch, temporarily flipping the socket to
-/// blocking mode with a write timeout (responses are small; a peer
-/// that cannot absorb one within [`WRITE_TIMEOUT`] is gone).
-fn write_out(stream: &TcpStream, bytes: &[u8]) -> std::io::Result<()> {
-    stream.set_nonblocking(false)?;
-    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
-    let result = (&mut &*stream).write_all(bytes);
-    // Restore non-blocking before the poller sees the socket again; if
-    // the write already failed, the connection is closing anyway.
-    let restored = stream.set_nonblocking(true);
-    result.and(restored)
+/// How one non-blocking flush attempt of `conn.out` ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FlushOutcome {
+    /// Everything was written; `out` is cleared (capacity retained).
+    Done,
+    /// The socket's send buffer filled; `conn.out_pos` marks progress
+    /// and the remainder stays parked in `conn.out`.
+    Parked,
+    /// The peer is gone (write error or zero-length write).
+    Error,
+}
+
+/// Pushes the unsent tail of `conn.out` with non-blocking writes,
+/// accounting every byte that reaches the socket. Never blocks: a full
+/// send buffer parks the remainder instead.
+fn flush_pending(conn: &mut Conn, state: &ServerState) -> FlushOutcome {
+    while conn.out_pos < conn.out.len() {
+        match (&conn.stream).write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return FlushOutcome::Error,
+            Ok(n) => {
+                conn.out_pos += n;
+                state.add_bytes_written(n);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return FlushOutcome::Parked,
+            Err(_) => return FlushOutcome::Error,
+        }
+    }
+    conn.out.clear();
+    conn.out_pos = 0;
+    FlushOutcome::Done
 }
 
 /// Appends one encoded response plus newline to a write batch.
@@ -441,7 +534,9 @@ pub(crate) fn push_response(out: &mut Vec<u8>, response: &Response) {
 // ------------------------------------------------------------- poller
 
 /// The handle workers and the accept loop use to (re)register a
-/// connection with the poller thread.
+/// connection with one poller shard. Workers always return a
+/// connection through the handle of the shard that dispatched it, so
+/// a connection lives on one shard for its whole life.
 #[derive(Clone, Debug)]
 pub(crate) struct PollerHandle {
     tx: Sender<Conn>,
@@ -465,12 +560,15 @@ impl PollerHandle {
     }
 }
 
-/// The poller thread body: owns every idle connection, waits for
-/// readiness, dispatches readable connections to the worker pool, and
-/// rotates the metrics histogram epochs on schedule. Exits as soon as
-/// shutdown is flagged, closing every idle connection (EOF to quiet
-/// keep-alive clients) — the drain half of graceful shutdown.
+/// One poller shard's thread body: owns its shard of the idle and
+/// write-parked connections, waits for readiness, dispatches readable
+/// connections to the worker pool, and flushes parked writes inline.
+/// Shard 0 additionally rotates the metrics histogram epochs on
+/// schedule. Exits as soon as shutdown is flagged, closing every owned
+/// connection (EOF to quiet keep-alive clients) — the drain half of
+/// graceful shutdown.
 pub(crate) fn poller_loop(
+    shard: usize,
     poller: Arc<polling::Poller>,
     rx: Receiver<Conn>,
     pool: GaugedSender,
@@ -485,7 +583,7 @@ pub(crate) fn poller_loop(
         // Admit new/returning connections before and after each wait,
         // so a registration queued during dispatch is never stranded.
         admit(&poller, &rx, &mut idle, &mut next_key, &state);
-        state.obs().set_idle_fds(idle.len() as u64);
+        state.obs().set_shard_conns(shard, idle.len() as u64);
         let timeout = next_rotate
             .saturating_duration_since(Instant::now())
             .min(Duration::from_secs(1));
@@ -496,13 +594,26 @@ pub(crate) fn poller_loop(
         if state.is_shutting_down() {
             break;
         }
-        let now = Instant::now();
-        if now >= next_rotate {
-            state.metrics.rotate_histograms();
-            next_rotate = now + HISTOGRAM_EPOCH;
+        // Exactly one shard rotates the (global) histogram epochs —
+        // double rotation would halve the sliding window.
+        if shard == 0 {
+            let now = Instant::now();
+            if now >= next_rotate {
+                state.metrics.rotate_histograms();
+                next_rotate = now + HISTOGRAM_EPOCH;
+            }
         }
         admit(&poller, &rx, &mut idle, &mut next_key, &state);
         for ev in events.drain(..) {
+            // Write-parked connections are completed inline: the
+            // bytes are already rendered, so finishing the flush on
+            // the poller thread costs microseconds and skips a
+            // pointless pool round-trip. They stay in the idle map
+            // (this shard keeps ownership) unless the flush ends them.
+            if idle.get(&ev.key).is_some_and(Conn::parked) {
+                flush_parked(&poller, &mut idle, ev.key, &state);
+                continue;
+            }
             let Some(conn) = idle.remove(&ev.key) else {
                 continue;
             };
@@ -512,13 +623,50 @@ pub(crate) fn poller_loop(
             dispatch(conn, &pool, &handle, &state);
         }
     }
-    // Drop (close) every idle connection: poller-registered sockets
-    // see EOF instead of hanging on a dead server.
+    // Drop (close) every owned connection: poller-registered sockets
+    // see EOF instead of hanging on a dead server. (Parked bytes to
+    // stalled readers are abandoned — the drain doesn't wait on them.)
     idle.clear();
-    state.obs().set_idle_fds(0);
+    state.obs().set_shard_conns(shard, 0);
 }
 
-/// Drains the registration queue into the poller's idle set.
+/// Completes (or advances) the flush of a write-parked connection on
+/// its poller thread. `Done` re-arms for readability — level-triggered
+/// readiness fires immediately if the client pipelined more requests —
+/// or closes when the parking wake ended in EOF/shutdown; `Parked`
+/// re-arms for writability; `Error` reaps the connection.
+fn flush_parked(
+    poller: &polling::Poller,
+    idle: &mut HashMap<usize, Conn>,
+    key: usize,
+    state: &ServerState,
+) {
+    let Some(conn) = idle.get_mut(&key) else {
+        return;
+    };
+    let close = match flush_pending(conn, state) {
+        FlushOutcome::Done => {
+            conn.close_after_flush
+                || poller
+                    .modify(&conn.stream, polling::Event::readable(key))
+                    .is_err()
+        }
+        FlushOutcome::Parked => poller
+            .modify(&conn.stream, polling::Event::writable(key))
+            .is_err(),
+        FlushOutcome::Error => true,
+    };
+    if close {
+        if let Some(conn) = idle.remove(&key) {
+            let _ = poller.delete(&conn.stream);
+        }
+    }
+}
+
+/// Drains the registration queue into the shard's idle set. A
+/// connection arriving with parked write bytes is armed for
+/// writability (finish the flush first); everything else for
+/// readability.
 fn admit(
     poller: &polling::Poller,
     rx: &Receiver<Conn>,
@@ -531,10 +679,12 @@ fn admit(
             continue; // dropped → EOF
         }
         let key = alloc_key(next_key, idle);
-        if poller
-            .add(&conn.stream, polling::Event::readable(key))
-            .is_ok()
-        {
+        let interest = if conn.parked() {
+            polling::Event::writable(key)
+        } else {
+            polling::Event::readable(key)
+        };
+        if poller.add(&conn.stream, interest).is_ok() {
             idle.insert(key, conn);
         }
         // A failed add drops the connection (EOF) — the client retries.

@@ -434,6 +434,19 @@ pub struct MetricsReport {
     /// Request lines rejected by the per-connection `--max-rps` token
     /// bucket (answered with `rate_limited`, before decoding).
     pub rejected_rate: u64,
+    /// Connections turned away at accept time by `--max-conns`
+    /// admission control (answered with `too_busy` and closed).
+    pub rejected_busy: u64,
+    /// Responses whose flush hit a full socket buffer and were parked
+    /// with the connection (completed later by the owning poller when
+    /// the peer drained; the worker was returned to the pool
+    /// immediately).
+    pub writes_parked: u64,
+    /// Connections currently owned by each poller shard, in shard
+    /// order (idle + write-parked; a dispatched connection is briefly
+    /// owned by a worker instead). Empty when reported by a pre-shard
+    /// server.
+    pub poller_connections: Vec<u64>,
     /// Request bytes drained off client sockets since process start —
     /// the server-side cross-check for a load harness's sent-byte
     /// accounting (see `docs/BENCHMARKS.md`).
@@ -597,6 +610,14 @@ pub enum Response {
         /// The server's configured per-connection requests/second.
         max_rps: u32,
     },
+    /// The server is at its `--max-conns` connection capacity. Sent
+    /// once on a freshly accepted connection, which is then closed —
+    /// back off and reconnect later (unlike `rate_limited`, the
+    /// connection does **not** stay usable).
+    TooBusy {
+        /// The server's configured connection cap.
+        max_conns: usize,
+    },
     /// Any failure.
     Error {
         /// Human-readable cause.
@@ -742,6 +763,18 @@ impl Response {
                     Json::Int(report.rejected_oversize as i64),
                 ),
                 ("rejected_rate", Json::Int(report.rejected_rate as i64)),
+                ("rejected_busy", Json::Int(report.rejected_busy as i64)),
+                ("writes_parked", Json::Int(report.writes_parked as i64)),
+                (
+                    "poller_connections",
+                    Json::Arr(
+                        report
+                            .poller_connections
+                            .iter()
+                            .map(|&n| json::u64_value(n))
+                            .collect(),
+                    ),
+                ),
                 ("bytes_read", Json::Int(report.bytes_read as i64)),
                 ("bytes_written", Json::Int(report.bytes_written as i64)),
                 ("uptime_seconds", Json::Int(report.uptime_seconds as i64)),
@@ -810,6 +843,17 @@ impl Response {
                     "error",
                     s(format!(
                         "connection exceeded {max_rps} requests/second; slow down"
+                    )),
+                ),
+            ]),
+            Response::TooBusy { max_conns } => obj(vec![
+                ("ok", Json::Bool(false)),
+                ("kind", s("too_busy")),
+                ("max_conns", Json::Int(*max_conns as i64)),
+                (
+                    "error",
+                    s(format!(
+                        "server at its {max_conns}-connection capacity; retry later"
                     )),
                 ),
             ]),
@@ -993,6 +1037,13 @@ impl Response {
                     connections: u64_field("connections"),
                     rejected_oversize: u64_field("rejected_oversize"),
                     rejected_rate: u64_field("rejected_rate"),
+                    rejected_busy: u64_field("rejected_busy"),
+                    writes_parked: u64_field("writes_parked"),
+                    poller_connections: v
+                        .get("poller_connections")
+                        .and_then(Json::as_arr)
+                        .map(|arr| arr.iter().filter_map(Json::as_u64).collect())
+                        .unwrap_or_default(),
                     bytes_read: u64_field("bytes_read"),
                     bytes_written: u64_field("bytes_written"),
                     uptime_seconds: u64_field("uptime_seconds"),
@@ -1044,6 +1095,9 @@ impl Response {
                     .and_then(Json::as_u64)
                     .and_then(|n| u32::try_from(n).ok())
                     .ok_or("rate_limited response needs an integer \"max_rps\"")?,
+            }),
+            "too_busy" => Ok(Response::TooBusy {
+                max_conns: usize_field("max_conns")?,
             }),
             "error" => Ok(Response::Error {
                 message: v
@@ -1212,6 +1266,9 @@ mod tests {
                 connections: 12,
                 rejected_oversize: 2,
                 rejected_rate: 7,
+                rejected_busy: 3,
+                writes_parked: 2,
+                poller_connections: vec![5, 7],
                 bytes_read: 4096,
                 bytes_written: 9182,
                 uptime_seconds: 3600,
@@ -1257,6 +1314,7 @@ mod tests {
             Response::ShuttingDown,
             Response::LineTooLong { limit: 262_144 },
             Response::RateLimited { max_rps: 50 },
+            Response::TooBusy { max_conns: 10_000 },
             Response::Error {
                 message: "no such file".into(),
             },

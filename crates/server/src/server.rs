@@ -1,8 +1,8 @@
 //! The resident audit service: accept loop, dispatch, graceful drain.
 
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -12,7 +12,7 @@ use qid_core::separation::group_sizes;
 use crate::fastpath::Scratch;
 use crate::metrics::Metrics;
 use crate::obs::{self, Obs};
-use crate::poller::{poller_loop, push_response, Conn, ConnLimits, PollerHandle};
+use crate::poller::{poller_loop, push_response, Conn, ConnLimits, LiveGuard, PollerHandle};
 use crate::pool::GaugedSender;
 use crate::proto::{
     DatasetRef, LoadMode, Request, Response, SKETCH_ALPHA, SKETCH_K, SKETCH_REL_EPS,
@@ -36,6 +36,16 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker thread count (clamped to ≥ 1).
     pub workers: usize,
+    /// Poller shard count (`--pollers`, clamped to ≥ 1): connections
+    /// are dealt round-robin across this many readiness threads, each
+    /// owning its shard's idle and write-parked sockets. Defaults to
+    /// [`default_pollers`].
+    pub pollers: usize,
+    /// Connection admission cap (`--max-conns`); `0` disables it. An
+    /// accept beyond the cap is answered with one structured
+    /// `too_busy` error and closed, instead of the listener running
+    /// the process out of fds.
+    pub max_conns: usize,
     /// Registry LRU budget in bytes (`--cache-bytes`); `None` disables
     /// eviction.
     pub cache_bytes: Option<u64>,
@@ -78,11 +88,21 @@ pub struct ServerConfig {
 /// the file at most ~4 times a second instead of once per request.
 pub const DEFAULT_REVALIDATE_MS: u64 = 250;
 
+/// Default `--pollers`: one readiness shard per core, capped at 4.
+/// Readiness scanning is cheap per connection, so a few shards carry
+/// tens of thousands of sockets; past that, more shards just shuffle
+/// cache lines.
+pub fn default_pollers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(4))
+}
+
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
+            pollers: default_pollers(),
+            max_conns: 0,
             cache_bytes: None,
             cache_dir: None,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
@@ -108,9 +128,16 @@ pub struct ServerState {
     local_addr: SocketAddr,
     metrics_addr: Option<SocketAddr>,
     limits: ConnLimits,
-    /// Set once `serve` builds the poller, so `initiate_shutdown` can
-    /// wake it.
-    poller: OnceLock<Arc<polling::Poller>>,
+    /// Admission cap (`--max-conns`); `0` = unlimited.
+    max_conns: usize,
+    /// Connections currently admitted (accepted and not yet closed).
+    /// Every admitted `Conn` carries a [`LiveGuard`] that decrements
+    /// this on drop, so every close path — worker, poller drain,
+    /// parked-flush failure — is accounted without bookkeeping calls.
+    live_conns: Arc<AtomicU64>,
+    /// Set once `serve` builds the poller shards, so
+    /// `initiate_shutdown` can wake them all.
+    pollers: OnceLock<Vec<Arc<polling::Poller>>>,
 }
 
 /// Rewrites a wildcard bind (0.0.0.0 / ::) to loopback — not every
@@ -142,13 +169,15 @@ impl ServerState {
         self.metrics_addr
     }
 
-    /// Flags shutdown, wakes the poller thread, and pokes the accept
+    /// Flags shutdown, wakes every poller shard, and pokes the accept
     /// loop (and the metrics listener, when present) awake with a
     /// throwaway connection so they can observe the flag.
     pub(crate) fn initiate_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(poller) = self.poller.get() {
-            let _ = poller.notify();
+        if let Some(pollers) = self.pollers.get() {
+            for poller in pollers {
+                let _ = poller.notify();
+            }
         }
         let _ = TcpStream::connect(connectable(self.local_addr));
         if let Some(addr) = self.metrics_addr {
@@ -164,6 +193,7 @@ pub struct Server {
     metrics_listener: Option<TcpListener>,
     state: Arc<ServerState>,
     workers: usize,
+    pollers: usize,
 }
 
 impl Server {
@@ -193,6 +223,7 @@ impl Server {
             event_sink,
             ..RegistryConfig::default()
         });
+        let pollers = config.pollers.max(1);
         Ok(Server {
             listener,
             metrics_listener,
@@ -202,6 +233,7 @@ impl Server {
                 obs: Obs::new(
                     config.slow_ms.map_or(0, |ms| ms.saturating_mul(1000)),
                     config.log_json,
+                    pollers,
                 ),
                 shutdown: AtomicBool::new(false),
                 local_addr,
@@ -210,9 +242,12 @@ impl Server {
                     max_line_bytes: config.max_line_bytes.max(1),
                     max_rps: config.max_rps.filter(|&rps| rps > 0),
                 },
-                poller: OnceLock::new(),
+                max_conns: config.max_conns,
+                live_conns: Arc::new(AtomicU64::new(0)),
+                pollers: OnceLock::new(),
             }),
             workers: config.workers.max(1),
+            pollers,
         })
     }
 
@@ -230,20 +265,44 @@ impl Server {
     /// drains in-flight requests *and* poller-registered idle
     /// connections before returning.
     ///
-    /// The loop itself only accepts: every connection is handed to the
-    /// poller thread (see [`crate::poller`]), which owns all idle
-    /// sockets in non-blocking mode and dispatches only *readable*
-    /// ones to the worker pool.
+    /// The loop itself only accepts (and enforces `--max-conns`):
+    /// every admitted connection is dealt round-robin to one of the
+    /// poller shards (see [`crate::poller`]), each of which owns its
+    /// shard's sockets in non-blocking mode and dispatches only
+    /// *readable* ones to the worker pool.
     pub fn serve(self) -> io::Result<()> {
         let mut pool = WorkerPool::new(self.workers);
-        let poller = Arc::new(polling::Poller::new()?);
-        let _ = self.state.poller.set(Arc::clone(&poller));
-        let (reg_tx, reg_rx) = std::sync::mpsc::channel::<Conn>();
-        let handle = PollerHandle::new(reg_tx, Arc::clone(&poller));
         let pool_tx = GaugedSender::new(
             pool.sender().expect("fresh pool has an open queue"),
             self.state.obs.queue_depth_handle(),
         );
+        let mut pollers = Vec::with_capacity(self.pollers);
+        let mut handles = Vec::with_capacity(self.pollers);
+        let mut poller_threads = Vec::with_capacity(self.pollers);
+        for shard in 0..self.pollers {
+            let poller = Arc::new(polling::Poller::new()?);
+            let (reg_tx, reg_rx) = std::sync::mpsc::channel::<Conn>();
+            let handle = PollerHandle::new(reg_tx, Arc::clone(&poller));
+            let thread = {
+                let poller = Arc::clone(&poller);
+                let handle = handle.clone();
+                let pool_tx = pool_tx.clone();
+                let state = Arc::clone(&self.state);
+                std::thread::Builder::new()
+                    .name(format!("qid-poller-{shard}"))
+                    .spawn(move || poller_loop(shard, poller, reg_rx, pool_tx, handle, state))
+                    .expect("spawn poller thread")
+            };
+            pollers.push(poller);
+            handles.push(handle);
+            poller_threads.push(thread);
+        }
+        // Each shard owns a sender clone; drop the original so the
+        // worker queue actually closes when the shards exit (a live
+        // local clone would leave `pool.shutdown()` joining workers
+        // that never see the disconnect).
+        drop(pool_tx);
+        let _ = self.state.pollers.set(pollers.clone());
         let metrics_thread = self.metrics_listener.map(|listener| {
             let state = Arc::clone(&self.state);
             std::thread::Builder::new()
@@ -251,21 +310,13 @@ impl Server {
                 .spawn(move || obs::metrics_listener_loop(listener, state))
                 .expect("spawn metrics thread")
         });
-        let poller_thread = {
-            let poller = Arc::clone(&poller);
-            let handle = handle.clone();
-            let state = Arc::clone(&self.state);
-            std::thread::Builder::new()
-                .name("qid-poller".to_string())
-                .spawn(move || poller_loop(poller, reg_rx, pool_tx, handle, state))
-                .expect("spawn poller thread")
-        };
         // Unknown accept errors are retried with backoff this many
         // times before giving up: a resident service must survive
         // transient failures (fd exhaustion, aborted handshakes), but
         // a permanently broken listener must not spin forever.
         let mut consecutive_errors = 0u32;
         let mut result = Ok(());
+        let mut next_shard = 0usize;
         loop {
             let (stream, _) = match self.listener.accept() {
                 Ok(conn) => {
@@ -311,22 +362,55 @@ impl Server {
                 .metrics
                 .connections
                 .fetch_add(1, Ordering::Relaxed);
-            let Some(conn) = Conn::new(stream, &self.state.limits) else {
+            if self.state.max_conns != 0
+                && self.state.live_conns.load(Ordering::Relaxed) >= self.state.max_conns as u64
+            {
+                // Admission control: answer a structured `too_busy`
+                // (best-effort — the socket is fresh, so one small
+                // write virtually always lands) and close, instead of
+                // accepting until EMFILE stalls the whole listener.
+                self.state
+                    .metrics
+                    .rejected_busy
+                    .fetch_add(1, Ordering::Relaxed);
+                if self.state.obs.log_json() {
+                    obs::log_rejection("too_busy");
+                }
+                let mut out = Vec::new();
+                push_response(
+                    &mut out,
+                    &Response::TooBusy {
+                        max_conns: self.state.max_conns,
+                    },
+                );
+                let _ = stream.set_nonblocking(true);
+                let _ = (&stream).write(&out);
+                continue; // dropped → closed
+            }
+            let Some(mut conn) = Conn::new(stream, &self.state.limits) else {
                 continue;
             };
-            // Fresh connections go through the poller too: readiness
-            // is level-triggered, so a request that already arrived
-            // fires the moment the registration lands.
-            handle.register(conn);
+            conn.live = Some(LiveGuard::new(Arc::clone(&self.state.live_conns)));
+            // Fresh connections go through a poller too: readiness is
+            // level-triggered, so a request that already arrived fires
+            // the moment the registration lands. Round-robin keeps the
+            // shards balanced without coordination.
+            handles[next_shard].register(conn);
+            next_shard = (next_shard + 1) % handles.len();
         }
-        // Drain, in dependency order: wake and join the poller (it
-        // closes every idle connection and stops dispatching), then
-        // close the pool queue and join the workers (finishing every
-        // dispatched request). Workers trying to re-register after the
-        // poller exited drop their connection — EOF, as drained.
-        let _ = poller.notify();
-        drop(handle);
-        let _ = poller_thread.join();
+        // Drain, in dependency order: wake and join every poller shard
+        // (each closes its idle connections and stops dispatching),
+        // then close the pool queue and join the workers (finishing
+        // every dispatched request). Workers trying to re-register
+        // after their shard exited drop their connection — EOF, as
+        // drained.
+        for poller in &pollers {
+            let _ = poller.notify();
+        }
+        drop(handles);
+        for thread in poller_threads {
+            let _ = thread.join();
+        }
         pool.shutdown();
         if let Some(thread) = metrics_thread {
             // The exposition accept loop may be parked in accept();
@@ -825,11 +909,11 @@ fn dispatch(request: &Request, state: &ServerState, cache: &mut EntryCache) -> R
                 existed: state.registry.unload_all() > 0,
             }
         }
-        Request::Metrics => Response::Metrics(
-            state
-                .metrics
-                .report(state.registry.snapshot(), state.obs.uptime_seconds()),
-        ),
+        Request::Metrics => Response::Metrics(state.metrics.report(
+            state.registry.snapshot(),
+            state.obs.uptime_seconds(),
+            state.obs.shard_connections(),
+        )),
         Request::Trace {
             last,
             command,

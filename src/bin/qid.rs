@@ -19,8 +19,8 @@
 //! Resident service (build the sample once, query it many times):
 //!
 //! ```text
-//! qid serve [--addr 127.0.0.1:0] [--workers 4]
-//!           [--cache-bytes N[K|M|G]] [--cache-dir DIR]
+//! qid serve [--addr 127.0.0.1:0] [--workers 4] [--pollers N]
+//!           [--max-conns N] [--cache-bytes N[K|M|G]] [--cache-dir DIR]
 //!           [--max-line-bytes N[K|M|G]] [--max-rps N]
 //!           [--revalidate-ms MS]
 //!           [--metrics-addr HOST:PORT] [--slow-ms MS] [--log-json]
@@ -66,14 +66,19 @@
 //! lifecycle".
 //!
 //! The server's connection core is readiness-driven (`epoll` on Linux,
-//! `poll(2)` fallback): idle keep-alive connections cost no worker
-//! time, so thousands of quiet clients can stay connected. Two knobs
-//! harden it against untrusted clients: `--max-line-bytes` caps the
-//! request-line length (default 256K; longer lines get a structured
-//! `line_too_long` error in O(cap) memory and the connection
-//! survives) and `--max-rps` rate-limits each connection with a token
-//! bucket (default off; over-budget lines get `rate_limited` before
-//! they are decoded).
+//! `kqueue` on macOS/BSD, `poll(2)` fallback), sharded across
+//! `--pollers` readiness threads (default: one per core, capped at 4):
+//! idle keep-alive connections cost no worker time, so tens of
+//! thousands of quiet clients can stay connected, and a stalled reader
+//! only write-parks its own connection instead of pinning a worker.
+//! Three knobs harden it against untrusted clients: `--max-conns` caps
+//! concurrent connections (beyond it, accepts are answered with a
+//! structured `too_busy` error and closed), `--max-line-bytes` caps
+//! the request-line length (default 256K; longer lines get a
+//! structured `line_too_long` error in O(cap) memory and the
+//! connection survives) and `--max-rps` rate-limits each connection
+//! with a token bucket (default off; over-budget lines get
+//! `rate_limited` before they are decoded).
 //!
 //! Observability (see docs/ARCHITECTURE.md "Observability"): the
 //! server records a trace span for every request into a fixed-size
@@ -134,8 +139,8 @@ fn usage() -> ! {
         "usage: qid <audit|key|check|mask|stats> <data.csv> \
          [--eps E] [--seed S] [--attrs a,b,c] [--max-key-size K] \
          [--budget B] [--exact]\n\
-         \x20      qid serve [--addr HOST:PORT] [--workers N] \
-         [--cache-bytes N[K|M|G]] [--cache-dir DIR] \
+         \x20      qid serve [--addr HOST:PORT] [--workers N] [--pollers N] \
+         [--max-conns N] [--cache-bytes N[K|M|G]] [--cache-dir DIR] \
          [--max-line-bytes N[K|M|G]] [--max-rps N] [--revalidate-ms MS] \
          [--metrics-addr HOST:PORT] [--slow-ms MS] [--log-json]\n\
          \x20      qid query <addr> \
@@ -253,6 +258,23 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         match flag.as_str() {
             "--addr" => config.addr = take("--addr").clone(),
             "--workers" => config.workers = take("--workers").parse().unwrap_or_else(|_| usage()),
+            "--pollers" => {
+                let pollers: usize = take("--pollers").parse().unwrap_or_else(|_| {
+                    eprintln!("--pollers wants a positive shard count");
+                    usage()
+                });
+                if pollers == 0 {
+                    eprintln!("--pollers must be >= 1");
+                    usage()
+                }
+                config.pollers = pollers;
+            }
+            "--max-conns" => {
+                config.max_conns = take("--max-conns").parse().unwrap_or_else(|_| {
+                    eprintln!("--max-conns wants a connection cap (0 disables)");
+                    usage()
+                });
+            }
             "--cache-bytes" => {
                 config.cache_bytes = Some(parse_bytes(take("--cache-bytes")).unwrap_or_else(|| {
                     eprintln!("--cache-bytes wants an integer with an optional K/M/G suffix");
@@ -317,11 +339,18 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let mut stdout = std::io::stdout();
     let _ = writeln!(
         stdout,
-        "qid-server listening on {} (workers = {}, poller = {}, max-line-bytes = {}, \
-         max-rps = {}, revalidate-ms = {}, metrics = {})",
+        "qid-server listening on {} (workers = {}, pollers = {}, poller = {}, \
+         max-conns = {}, max-line-bytes = {}, max-rps = {}, revalidate-ms = {}, \
+         metrics = {})",
         server.local_addr(),
         config.workers.max(1),
+        config.pollers.max(1),
         quasi_id::server::backend_name(),
+        if config.max_conns == 0 {
+            "off".to_string()
+        } else {
+            config.max_conns.to_string()
+        },
         config.max_line_bytes,
         config
             .max_rps
@@ -682,12 +711,20 @@ fn print_response(response: &Response) -> ExitCode {
                 report.cache_upgrades
             );
             outln!(
-                "connections: {} accepted; hardening: {} oversize lines rejected, \
-                 {} rate-limited",
+                "connections: {} accepted; hardening: {} rejected busy, \
+                 {} oversize lines rejected, {} rate-limited",
                 report.connections,
+                report.rejected_busy,
                 report.rejected_oversize,
                 report.rejected_rate
             );
+            if !report.poller_connections.is_empty() {
+                outln!(
+                    "pollers: {:?} connections per shard, {} writes parked",
+                    report.poller_connections,
+                    report.writes_parked
+                );
+            }
             outln!(
                 "wire: {} bytes read, {} bytes written \
                  (cross-check against a load harness's sent/received totals)",
@@ -757,6 +794,12 @@ fn print_response(response: &Response) -> ExitCode {
         Response::RateLimited { max_rps } => {
             eprintln!(
                 "server rate-limited the connection ({max_rps} requests/second); retry later"
+            );
+            return ExitCode::FAILURE;
+        }
+        Response::TooBusy { max_conns } => {
+            eprintln!(
+                "server is at its {max_conns}-connection capacity (--max-conns); retry later"
             );
             return ExitCode::FAILURE;
         }

@@ -1,0 +1,368 @@
+//! Fault-injection suite for the connection core: hostile or unlucky
+//! peers — slow readers that never drain, mid-response RSTs, half-open
+//! clients, and a herd that dies at once — must never pin a worker,
+//! poison a poller shard, or leak a connection slot.
+//!
+//! Each test spawns the real `qid serve` binary and attacks it over
+//! raw TCP, then proves liveness from the outside: a healthy
+//! connection keeps answering within a tight budget, and the
+//! per-shard `poller_connections` gauges show the damage was reaped.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use quasi_id::server::proto::{Request, Response};
+use quasi_id::server::{Client, MetricsReport};
+
+/// A `qid serve` child process bound to an ephemeral port.
+struct ServerUnderTest {
+    child: Child,
+    addr: String,
+}
+
+impl ServerUnderTest {
+    /// Spawns the server with extra `qid serve` flags and parses the
+    /// bound address off its announce line.
+    fn spawn_with(workers: usize, extra: &[&str]) -> ServerUnderTest {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_qid"))
+            .args(["serve", "--addr", "127.0.0.1:0", "--workers"])
+            .arg(workers.to_string())
+            .args(extra)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("server spawns");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut first_line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut first_line)
+            .expect("server announces its address");
+        let addr = first_line
+            .split("listening on ")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("unparseable announce line: {first_line:?}"))
+            .to_string();
+        ServerUnderTest { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect_timeout(self.addr.as_str(), Duration::from_secs(30))
+            .expect("client connects")
+    }
+
+    fn raw(&self) -> TcpStream {
+        TcpStream::connect(self.addr.as_str()).expect("raw stream connects")
+    }
+
+    /// Requests shutdown and waits for a clean exit — a poisoned
+    /// poller or a deadlocked drain fails here.
+    fn shutdown(mut self) {
+        let mut client = self.client();
+        assert_eq!(
+            client.call(&Request::Shutdown).expect("shutdown answered"),
+            Response::ShuttingDown
+        );
+        let status = self.child.wait().expect("server exits");
+        assert!(status.success(), "server exit status: {status:?}");
+    }
+}
+
+impl Drop for ServerUnderTest {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn metrics(client: &mut Client) -> MetricsReport {
+    match client.call(&Request::Metrics).expect("metrics answered") {
+        Response::Metrics(report) => report,
+        other => panic!("expected metrics, got {other:?}"),
+    }
+}
+
+/// One `metrics` request line in wire form. The response is ~50x the
+/// request, which makes `metrics` a convenient amplification gadget
+/// for filling a victim's socket buffers.
+fn metrics_line() -> Vec<u8> {
+    let mut line = Request::Metrics.encode().into_bytes();
+    line.push(b'\n');
+    line
+}
+
+/// Writes as much of `bytes` as the kernel will take without
+/// blocking and returns the count. A stalled peer must not stall the
+/// test either.
+fn burst_nonblocking(mut stream: &TcpStream, bytes: &[u8]) -> usize {
+    stream.set_nonblocking(true).expect("nonblocking");
+    let mut sent = 0;
+    while sent < bytes.len() {
+        match stream.write(&bytes[sent..]) {
+            Ok(0) => break,
+            Ok(n) => sent += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) => panic!("burst write failed: {e}"),
+        }
+    }
+    sent
+}
+
+/// Polls `check` every 25 ms until it passes or 30 s elapse.
+fn wait_until(what: &str, mut check: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if check() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// A reader that never drains must park the response with its
+/// connection, not pin the (only) worker: a healthy connection keeps
+/// answering well inside the old 10 s blocking-write budget.
+#[test]
+fn slow_reader_parks_the_write_and_frees_the_worker() {
+    // ONE worker: if the stalled flush blocked it, every other
+    // request on the server would stall behind it.
+    let server = ServerUnderTest::spawn_with(1, &["--pollers", "1"]);
+
+    let slow = server.raw();
+    // Clamp the receive window before any response bytes flow, then
+    // never read: the server's flush must hit WouldBlock.
+    polling::set_recv_buffer(&slow, 4096).expect("shrink client rcvbuf");
+    let burst: Vec<u8> = metrics_line()
+        .iter()
+        .copied()
+        .cycle()
+        .take(metrics_line().len() * 30_000)
+        .collect();
+    let sent = burst_nonblocking(&slow, &burst);
+    assert!(sent > 0, "burst must enqueue at least one request");
+
+    // The park shows up in the metrics the healthy connection serves
+    // — which is itself the liveness proof in miniature.
+    let mut healthy = server.client();
+    wait_until("a parked write", || metrics(&mut healthy).writes_parked > 0);
+
+    // With the write parked the single worker is free: a healthy
+    // request answers in well under the 100 ms liveness budget.
+    // (Take the best of five to keep scheduler noise out of CI.)
+    let best = (0..5)
+        .map(|_| {
+            let started = Instant::now();
+            let _ = metrics(&mut healthy);
+            started.elapsed()
+        })
+        .min()
+        .unwrap();
+    assert!(
+        best < Duration::from_millis(100),
+        "healthy request stalled behind a slow reader: {best:?}"
+    );
+
+    // Hanging up the slow reader errors the parked flush; the poller
+    // reaps the connection and the server drains cleanly.
+    drop(slow);
+    wait_until("the slow reader to be reaped", || {
+        metrics(&mut healthy).poller_connections.iter().sum::<u64>() <= 1
+    });
+    drop(healthy);
+    server.shutdown();
+}
+
+/// A peer that resets the connection mid-response (SO_LINGER 0 → RST
+/// while the flush is parked) is reaped without poisoning its poller
+/// shard: the gauge returns to baseline and the server drains.
+#[test]
+fn rst_mid_response_reaps_the_connection_without_poisoning_the_poller() {
+    let server = ServerUnderTest::spawn_with(2, &["--pollers", "1"]);
+    let mut healthy = server.client();
+
+    for round in 0..3 {
+        let victim = server.raw();
+        polling::set_recv_buffer(&victim, 4096).expect("shrink victim rcvbuf");
+        let burst: Vec<u8> = metrics_line()
+            .iter()
+            .copied()
+            .cycle()
+            .take(metrics_line().len() * 30_000)
+            .collect();
+        burst_nonblocking(&victim, &burst);
+        // Wait for the response to be in flight (first byte readable),
+        // then reset instead of closing: the parked flush must take
+        // the error path, not the graceful-EOF one.
+        victim
+            .set_nonblocking(false)
+            .and_then(|()| victim.set_read_timeout(Some(Duration::from_secs(10))))
+            .expect("restore blocking reads");
+        let mut first = [0u8; 1];
+        (&victim)
+            .read_exact(&mut first)
+            .unwrap_or_else(|e| panic!("round {round}: no response byte before RST: {e}"));
+        polling::set_linger_zero(&victim).expect("arm RST");
+        drop(victim);
+
+        wait_until("the RST victim to be reaped", || {
+            metrics(&mut healthy).poller_connections.iter().sum::<u64>() <= 1
+        });
+    }
+
+    // Three resets later the shard still serves and drains cleanly.
+    assert!(metrics(&mut healthy).connections >= 4);
+    drop(healthy);
+    server.shutdown();
+}
+
+/// A half-open client (shutdown of its write side) gets its final
+/// request answered before the connection is reaped — whether the
+/// line was newline-terminated or surrendered as an EOF tail. Neither
+/// variant wedges the server.
+#[test]
+fn half_open_clients_get_the_tail_answered_then_reaped() {
+    let server = ServerUnderTest::spawn_with(2, &["--pollers", "1"]);
+
+    // Newline-terminated final line: answered, then EOF.
+    let tail = server.raw();
+    tail.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    (&tail)
+        .write_all(&metrics_line())
+        .expect("send tail request");
+    tail.shutdown(Shutdown::Write).expect("half-close");
+    let mut reader = BufReader::new(&tail);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("tail answered");
+    assert!(
+        line.contains("\"metrics\""),
+        "expected a metrics response, got {line:?}"
+    );
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("clean EOF");
+    assert!(rest.is_empty(), "unexpected trailing bytes: {rest:?}");
+
+    // Unterminated final line: the EOF tail is still a request.
+    let torso = server.raw();
+    torso
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let unterminated = Request::Metrics.encode().into_bytes();
+    (&torso).write_all(&unterminated).expect("send EOF tail");
+    torso.shutdown(Shutdown::Write).expect("half-close");
+    let mut reader = BufReader::new(&torso);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("EOF tail answered");
+    assert!(
+        line.contains("\"metrics\""),
+        "expected the EOF tail to be answered, got {line:?}"
+    );
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("clean EOF");
+    assert!(rest.is_empty(), "unexpected trailing bytes: {rest:?}");
+
+    let mut healthy = server.client();
+    wait_until("both half-open clients to be reaped", || {
+        metrics(&mut healthy).poller_connections.iter().sum::<u64>() <= 1
+    });
+    drop(healthy);
+    server.shutdown();
+}
+
+/// Killing an entire herd of connections at once leaves the surviving
+/// connections on BOTH shards intact and answering: reaping one
+/// shard's casualties never disturbs the other shard's conns.
+#[test]
+fn killing_a_connection_herd_leaves_both_shards_flat() {
+    let server = ServerUnderTest::spawn_with(2, &["--pollers", "2"]);
+
+    // Six survivors first (round-robined 3 per shard), then the herd.
+    let mut keeps: Vec<Client> = (0..6).map(|_| server.client()).collect();
+    let herd: Vec<TcpStream> = (0..6).map(|_| server.raw()).collect();
+    wait_until("all twelve connections to be accepted", || {
+        metrics(&mut keeps[0]).connections >= 12
+    });
+
+    drop(herd);
+
+    // Every survivor still answers, and the per-shard gauges settle
+    // on exactly the survivors — spread across both shards.
+    wait_until("the herd to be reaped and survivors to hold", || {
+        for keep in &mut keeps {
+            let _ = metrics(keep);
+        }
+        let report = metrics(&mut keeps[0]);
+        let shards = &report.poller_connections;
+        shards.len() == 2 && shards.iter().sum::<u64>() == 6 && shards.iter().all(|&n| n >= 2)
+    });
+
+    drop(keeps);
+    server.shutdown();
+}
+
+/// `--max-conns` admission control: the connection over the cap gets
+/// a structured `too_busy` and a close instead of a worker, the
+/// rejection is counted, and closing an admitted connection frees its
+/// slot for the next comer.
+#[test]
+fn admission_cap_rejects_with_too_busy_and_recovers_on_close() {
+    let server = ServerUnderTest::spawn_with(2, &["--max-conns", "3", "--pollers", "1"]);
+
+    // Fill the cap and prove all three are admitted and answering.
+    let mut admitted: Vec<Client> = (0..3).map(|_| server.client()).collect();
+    for client in &mut admitted {
+        let _ = metrics(client);
+    }
+
+    // The fourth gets the structured rejection, then EOF.
+    let rejected = server.raw();
+    rejected
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut line = String::new();
+    BufReader::new(&rejected)
+        .read_line(&mut line)
+        .expect("rejection line");
+    assert!(
+        line.contains("\"too_busy\"") && line.contains('3'),
+        "expected a too_busy rejection naming the cap, got {line:?}"
+    );
+    assert!(metrics(&mut admitted[0]).rejected_busy >= 1);
+
+    // Closing one admitted connection frees the slot.
+    drop(admitted.pop());
+    wait_until("a freed slot to admit a new connection", || {
+        let Ok(mut client) = Client::connect_timeout(server.addr.as_str(), Duration::from_secs(5))
+        else {
+            return false;
+        };
+        matches!(client.call(&Request::Metrics), Ok(Response::Metrics(_)))
+    });
+
+    // Shutdown must itself get past admission control: the probe
+    // connections above close asynchronously, so retry until a slot
+    // frees up and the server acknowledges.
+    drop(admitted);
+    let mut server = server;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut client = Client::connect_timeout(server.addr.as_str(), Duration::from_secs(5))
+            .expect("shutdown client connects");
+        match client.call(&Request::Shutdown) {
+            Ok(Response::ShuttingDown) => break,
+            Ok(Response::TooBusy { .. }) | Err(_) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "admission control never freed a slot for shutdown"
+                );
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Ok(other) => panic!("expected shutting_down, got {other:?}"),
+        }
+    }
+    let status = server.child.wait().expect("server exits");
+    assert!(status.success(), "server exit status: {status:?}");
+}

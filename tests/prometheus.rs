@@ -27,7 +27,7 @@ use quasi_id::server::{Client, RunningServer, Server, ServerConfig};
 
 /// Metric families the scrape must always export (CI greps for these
 /// too; keep `.github/workflows/ci.yml` in sync).
-const REQUIRED_FAMILIES: [&str; 12] = [
+const REQUIRED_FAMILIES: [&str; 15] = [
     "qid_build_info",
     "qid_uptime_seconds",
     "qid_requests_total",
@@ -40,6 +40,9 @@ const REQUIRED_FAMILIES: [&str; 12] = [
     "qid_cache_entries",
     "qid_connections",
     "qid_rejected_lines_total",
+    "qid_rejected_busy_total",
+    "qid_writes_parked_total",
+    "qid_poller_connections",
 ];
 
 /// One parsed sample line: metric name, sorted labels, value.
@@ -388,6 +391,30 @@ fn scrape_is_lint_clean_and_consistent_with_json_metrics() {
     };
     assert_eq!(gauge("qid_cache_entries"), 1.0);
     assert!(gauge("qid_cache_resident_bytes") > 0.0);
+
+    // One `qid_poller_connections` sample per shard, labelled with its
+    // shard index, agreeing with the JSON report — and the scraping
+    // client itself is registered with *some* shard.
+    let shard_gauges: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| s.name == "qid_poller_connections")
+        .collect();
+    assert_eq!(
+        shard_gauges.len(),
+        report.poller_connections.len(),
+        "one per-shard gauge per poller"
+    );
+    for (shard, sample) in shard_gauges.iter().enumerate() {
+        assert_eq!(
+            sample.labels.get("poller").map(String::as_str),
+            Some(shard.to_string().as_str()),
+            "shard gauges are labelled in shard order"
+        );
+    }
+    assert!(
+        shard_gauges.iter().map(|s| s.value).sum::<f64>() >= 1.0,
+        "the connected client must be registered with a shard"
+    );
     let build = samples
         .iter()
         .find(|s| s.name == "qid_build_info")

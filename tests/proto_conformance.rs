@@ -35,7 +35,7 @@ use quasi_id::server::{Server, ServerConfig};
 const GOLDEN: &str = include_str!("golden/proto_conformance.ndjson");
 
 /// Every response `kind` the protocol can emit.
-const RESPONSE_KINDS: [&str; 15] = [
+const RESPONSE_KINDS: [&str; 16] = [
     "loaded",
     "audit",
     "key",
@@ -50,6 +50,7 @@ const RESPONSE_KINDS: [&str; 15] = [
     "bye",
     "line_too_long",
     "rate_limited",
+    "too_busy",
     "error",
 ];
 
@@ -209,6 +210,9 @@ fn corpus() -> Vec<String> {
             connections: 512,
             rejected_oversize: 3,
             rejected_rate: 17,
+            rejected_busy: 9,
+            writes_parked: 4,
+            poller_connections: vec![130, 127],
             bytes_read: 4096,
             bytes_written: 9182,
             uptime_seconds: 3600,
@@ -254,6 +258,7 @@ fn corpus() -> Vec<String> {
         Response::ShuttingDown,
         Response::LineTooLong { limit: 262_144 },
         Response::RateLimited { max_rps: 50 },
+        Response::TooBusy { max_conns: 10_000 },
         Response::Error {
             message: "reading /data/people.csv: no such file".into(),
         },
@@ -364,6 +369,7 @@ fn collect_kinds(response: &Response, kinds: &mut std::collections::BTreeSet<Str
         Response::ShuttingDown => "bye",
         Response::LineTooLong { .. } => "line_too_long",
         Response::RateLimited { .. } => "rate_limited",
+        Response::TooBusy { .. } => "too_busy",
         Response::Error { .. } => "error",
     };
     kinds.insert(kind.to_string());

@@ -7,7 +7,10 @@
 //! ([`ServerState::answer_line`], the same entry point the poller's
 //! workers call with the same per-connection [`Scratch`] arena and
 //! output buffer), and asserts the allocation counter does not move
-//! across 100 served checks after warm-up.
+//! across 100 served checks after warm-up — while a real server with
+//! TWO armed poller shards (one idle connection each) runs in the
+//! same process, so the sharded connection core and write-parking
+//! machinery cannot smuggle allocations into the steady state.
 //!
 //! Scope honesty: the counter watches `answer_line` *plus*
 //! [`ServerState::finish_wake`] — parse, registry peek, attribute
@@ -34,8 +37,10 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
-use quasi_id::server::{Scratch, Server, ServerConfig};
+use quasi_id::server::proto::{Request, Response};
+use quasi_id::server::{Client, Scratch, Server, ServerConfig};
 
 /// Heap allocations observed process-wide (allocs and growing
 /// reallocs; frees are irrelevant to the claim).
@@ -93,17 +98,21 @@ fn steady_state_served_check_allocates_nothing() {
     std::fs::write(&path, csv).expect("write csv");
     let path = path.to_str().expect("utf-8 path");
 
-    // `bind` spawns no threads (only `serve`/`spawn` do), so nothing
-    // else in the process allocates while the counter watches. A huge
-    // revalidation window keeps the freshness stamp valid for the
-    // whole test. The observability subsystem is fully enabled — the
-    // zero-alloc contract must hold *under instrumentation*, not only
-    // with it off: the metrics listener is bound (not yet serving, as
-    // no thread runs), slow-request detection is armed with a
-    // threshold no test request can cross, and every request records a
-    // trace span.
+    // The server RUNS for this proof: two poller shards armed with one
+    // idle connection each, the accept loop live, the metrics listener
+    // serving, workers parked on the queue. The claim must survive the
+    // sharded connection core, not just a bound-but-quiet process —
+    // and an idle shard iteration (channel poll, gauge store,
+    // `epoll_wait` into a reused buffer) is itself allocation-free, so
+    // live pollers cannot excuse a moving counter. A huge revalidation
+    // window keeps the freshness stamp valid for the whole test; the
+    // observability subsystem is fully enabled — the zero-alloc
+    // contract must hold *under instrumentation*: slow-request
+    // detection is armed with a threshold no test request can cross,
+    // and every request records a trace span.
     let server = Server::bind(&ServerConfig {
         workers: 1,
+        pollers: 2,
         revalidate_ms: 3_600_000,
         metrics_addr: Some("127.0.0.1:0".to_string()),
         slow_ms: Some(60_000),
@@ -112,6 +121,34 @@ fn steady_state_served_check_allocates_nothing() {
     })
     .expect("bind");
     let state = server.state();
+    let running = server.spawn();
+
+    // Arm both shards: round-robin admission puts one idle connection
+    // on each, and the wire client (a third connection) confirms via
+    // the per-shard gauges that every shard holds at least one before
+    // the counter starts watching.
+    let _idles: Vec<std::net::TcpStream> = (0..2)
+        .map(|_| std::net::TcpStream::connect(running.addr()).expect("idle conn"))
+        .collect();
+    let mut client = Client::connect(running.addr()).expect("wire client");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match client.call(&Request::Metrics).expect("metrics answered") {
+            Response::Metrics(report)
+                if report.poller_connections.len() == 2
+                    && report.poller_connections.iter().all(|&n| n >= 1) =>
+            {
+                break;
+            }
+            Response::Metrics(_) => {}
+            other => panic!("expected metrics, got {other:?}"),
+        }
+        assert!(
+            Instant::now() < deadline,
+            "both poller shards must arm a connection"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
     let mut scratch = Scratch::new();
     let mut out = Vec::new();
 
@@ -163,4 +200,14 @@ fn steady_state_served_check_allocates_nothing() {
         "steady-state served check allocated {} time(s) in 100 requests",
         after - before
     );
+
+    // Tear down the live server cleanly — a wedged drain would mean
+    // the counted window ran against a broken process.
+    drop(_idles);
+    assert_eq!(
+        client.call(&Request::Shutdown).expect("shutdown answered"),
+        Response::ShuttingDown
+    );
+    drop(client);
+    running.join().expect("clean drain");
 }

@@ -15,20 +15,29 @@
 //! * [`Poller::notify`] wakes a blocked [`Poller::wait`] from any
 //!   thread (a self-pipe under the hood).
 //!
-//! Two backends implement that contract:
+//! Three backends implement that contract:
 //!
 //! * **epoll** (Linux): `O(ready)` per wait, the default — idle
 //!   registrations are free, which is what lets thousands of quiet
 //!   keep-alive connections coexist with microsecond dispatch.
+//! * **kqueue** (macOS and the BSDs): the same `O(ready)` contract via
+//!   `EV_ONESHOT` filters, the default on those platforms.
 //! * **poll(2)** (any Unix): rebuilds the `pollfd` array every wait, so
 //!   each wait costs `O(registered)` — correct everywhere `poll` exists
-//!   and the fallback when epoll is unavailable. Force it with
-//!   `QID_POLL_BACKEND=poll` (useful for exercising the fallback in
-//!   tests on Linux).
+//!   and the fallback when neither kernel queue is available. Force it
+//!   with `QID_POLL_BACKEND=poll` (useful for exercising the fallback
+//!   in tests on Linux).
 //!
-//! Everything is `std` plus five libc symbols (`epoll_create1`,
-//! `epoll_ctl`, `epoll_wait`, `poll`, `fcntl`) declared directly — std
-//! already links libc, so no external crate is needed.
+//! The crate also exports three tiny `setsockopt` wrappers —
+//! [`set_recv_buffer`], [`set_send_buffer`], and [`set_linger_zero`] —
+//! because `std::net` has no way to shrink a socket buffer or force an
+//! RST on close, and the server's fault-injection tests need both. This
+//! crate is the workspace's one sanctioned home for `unsafe`, so the
+//! raw calls live here behind safe signatures.
+//!
+//! Everything is `std` plus a handful of libc symbols (`epoll_*` or
+//! `kqueue`/`kevent`, `poll`, `fcntl`, `setsockopt`) declared directly
+//! — std already links libc, so no external crate is needed.
 
 #![cfg_attr(not(unix), allow(unused))]
 
@@ -92,33 +101,67 @@ pub enum BackendKind {
     /// Linux `epoll(7)`: `O(ready)` waits.
     #[cfg(target_os = "linux")]
     Epoll,
+    /// BSD/macOS `kqueue(2)`: `O(ready)` waits via `EV_ONESHOT`.
+    #[cfg(any(
+        target_os = "macos",
+        target_os = "freebsd",
+        target_os = "netbsd",
+        target_os = "openbsd",
+        target_os = "dragonfly"
+    ))]
+    Kqueue,
     /// POSIX `poll(2)`: `O(registered)` waits, works everywhere.
     Poll,
 }
 
 impl BackendKind {
     /// The backend [`Poller::new`] would pick right now: `epoll` on
-    /// Linux unless `QID_POLL_BACKEND=poll` is set, `poll` elsewhere.
+    /// Linux and `kqueue` on macOS/BSD unless `QID_POLL_BACKEND=poll`
+    /// is set, `poll` elsewhere.
     pub fn default_kind() -> BackendKind {
+        if std::env::var_os("QID_POLL_BACKEND").is_some_and(|v| v == "poll") {
+            return BackendKind::Poll;
+        }
         #[cfg(target_os = "linux")]
         {
-            if std::env::var_os("QID_POLL_BACKEND").is_some_and(|v| v == "poll") {
-                BackendKind::Poll
-            } else {
-                BackendKind::Epoll
-            }
+            BackendKind::Epoll
         }
-        #[cfg(not(target_os = "linux"))]
+        #[cfg(any(
+            target_os = "macos",
+            target_os = "freebsd",
+            target_os = "netbsd",
+            target_os = "openbsd",
+            target_os = "dragonfly"
+        ))]
+        {
+            BackendKind::Kqueue
+        }
+        #[cfg(not(any(
+            target_os = "linux",
+            target_os = "macos",
+            target_os = "freebsd",
+            target_os = "netbsd",
+            target_os = "openbsd",
+            target_os = "dragonfly"
+        )))]
         {
             BackendKind::Poll
         }
     }
 
-    /// Stable human-readable name (`"epoll"` / `"poll"`).
+    /// Stable human-readable name (`"epoll"` / `"kqueue"` / `"poll"`).
     pub fn name(self) -> &'static str {
         match self {
             #[cfg(target_os = "linux")]
             BackendKind::Epoll => "epoll",
+            #[cfg(any(
+                target_os = "macos",
+                target_os = "freebsd",
+                target_os = "netbsd",
+                target_os = "openbsd",
+                target_os = "dragonfly"
+            ))]
+            BackendKind::Kqueue => "kqueue",
             BackendKind::Poll => "poll",
         }
     }
@@ -183,9 +226,243 @@ mod ffi {
         pub data: u64,
     }
 
+    // ---- kqueue (macOS and the BSDs) --------------------------------
+    //
+    // `struct kevent` layout differs per OS; each variant below matches
+    // the platform's libc definition. The `filter`/`flags`/`udata`
+    // types are aliased so the backend code is written once.
+
+    /// `EV_DELETE` on a filter that is not registered.
+    #[cfg(any(
+        target_os = "macos",
+        target_os = "freebsd",
+        target_os = "netbsd",
+        target_os = "openbsd",
+        target_os = "dragonfly"
+    ))]
+    pub const ENOENT: c_int = 2;
+
+    #[cfg(any(
+        target_os = "macos",
+        target_os = "freebsd",
+        target_os = "openbsd",
+        target_os = "dragonfly"
+    ))]
+    pub type KFilter = i16;
+    #[cfg(target_os = "netbsd")]
+    pub type KFilter = u32;
+
+    #[cfg(any(
+        target_os = "macos",
+        target_os = "freebsd",
+        target_os = "openbsd",
+        target_os = "dragonfly"
+    ))]
+    pub type KFlags = u16;
+    #[cfg(target_os = "netbsd")]
+    pub type KFlags = u32;
+
+    #[cfg(any(
+        target_os = "macos",
+        target_os = "freebsd",
+        target_os = "openbsd",
+        target_os = "dragonfly"
+    ))]
+    pub type KUdata = *mut c_void;
+    #[cfg(target_os = "netbsd")]
+    pub type KUdata = isize;
+
+    #[cfg(any(
+        target_os = "macos",
+        target_os = "freebsd",
+        target_os = "openbsd",
+        target_os = "dragonfly"
+    ))]
+    pub const EVFILT_READ: KFilter = -1;
+    #[cfg(any(
+        target_os = "macos",
+        target_os = "freebsd",
+        target_os = "openbsd",
+        target_os = "dragonfly"
+    ))]
+    pub const EVFILT_WRITE: KFilter = -2;
+    #[cfg(target_os = "netbsd")]
+    pub const EVFILT_READ: KFilter = 0;
+    #[cfg(target_os = "netbsd")]
+    pub const EVFILT_WRITE: KFilter = 1;
+
+    #[cfg(any(
+        target_os = "macos",
+        target_os = "freebsd",
+        target_os = "netbsd",
+        target_os = "openbsd",
+        target_os = "dragonfly"
+    ))]
+    pub const EV_ADD: KFlags = 0x0001;
+    #[cfg(any(
+        target_os = "macos",
+        target_os = "freebsd",
+        target_os = "netbsd",
+        target_os = "openbsd",
+        target_os = "dragonfly"
+    ))]
+    pub const EV_DELETE: KFlags = 0x0002;
+    #[cfg(any(
+        target_os = "macos",
+        target_os = "freebsd",
+        target_os = "netbsd",
+        target_os = "openbsd",
+        target_os = "dragonfly"
+    ))]
+    pub const EV_ONESHOT: KFlags = 0x0010;
+    #[cfg(any(
+        target_os = "macos",
+        target_os = "freebsd",
+        target_os = "netbsd",
+        target_os = "openbsd",
+        target_os = "dragonfly"
+    ))]
+    pub const EV_ERROR: KFlags = 0x4000;
+
+    /// `struct kevent`, macOS/DragonFly layout (`intptr_t data`).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    #[cfg(any(target_os = "macos", target_os = "dragonfly"))]
+    pub struct Kevent {
+        pub ident: usize,
+        pub filter: KFilter,
+        pub flags: KFlags,
+        pub fflags: u32,
+        pub data: isize,
+        pub udata: KUdata,
+    }
+
+    /// `struct kevent`, FreeBSD ≥ 12 layout (`int64_t data` + `ext`).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    #[cfg(target_os = "freebsd")]
+    pub struct Kevent {
+        pub ident: usize,
+        pub filter: KFilter,
+        pub flags: KFlags,
+        pub fflags: u32,
+        pub data: i64,
+        pub udata: KUdata,
+        pub ext: [u64; 4],
+    }
+
+    /// `struct kevent`, OpenBSD layout (`int64_t data`).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    #[cfg(target_os = "openbsd")]
+    pub struct Kevent {
+        pub ident: usize,
+        pub filter: KFilter,
+        pub flags: KFlags,
+        pub fflags: u32,
+        pub data: i64,
+        pub udata: KUdata,
+    }
+
+    /// `struct kevent`, NetBSD layout (32-bit filter/flags, integer
+    /// `udata`).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    #[cfg(target_os = "netbsd")]
+    pub struct Kevent {
+        pub ident: usize,
+        pub filter: KFilter,
+        pub flags: KFlags,
+        pub fflags: u32,
+        pub data: i64,
+        pub udata: KUdata,
+    }
+
+    /// Builds a change/event record; `key` travels in `udata`.
+    #[cfg(any(
+        target_os = "macos",
+        target_os = "freebsd",
+        target_os = "netbsd",
+        target_os = "openbsd",
+        target_os = "dragonfly"
+    ))]
+    pub fn kev(ident: usize, filter: KFilter, flags: KFlags, key: usize) -> Kevent {
+        Kevent {
+            ident,
+            filter,
+            flags,
+            fflags: 0,
+            data: 0,
+            udata: key as KUdata,
+            #[cfg(target_os = "freebsd")]
+            ext: [0; 4],
+        }
+    }
+
+    /// The registration key carried in a reported event's `udata`.
+    #[cfg(any(
+        target_os = "macos",
+        target_os = "freebsd",
+        target_os = "netbsd",
+        target_os = "openbsd",
+        target_os = "dragonfly"
+    ))]
+    pub fn kev_key(ev: &Kevent) -> usize {
+        ev.udata as usize
+    }
+
+    /// `struct timespec` for the `kevent` timeout (64-bit fields match
+    /// every supported 64-bit BSD/macOS target).
+    #[repr(C)]
+    #[cfg(any(
+        target_os = "macos",
+        target_os = "freebsd",
+        target_os = "netbsd",
+        target_os = "openbsd",
+        target_os = "dragonfly"
+    ))]
+    pub struct Timespec {
+        pub tv_sec: i64,
+        pub tv_nsec: i64,
+    }
+
+    // ---- setsockopt --------------------------------------------------
+
+    #[cfg(target_os = "linux")]
+    pub const SOL_SOCKET: c_int = 1;
+    #[cfg(target_os = "linux")]
+    pub const SO_SNDBUF: c_int = 7;
+    #[cfg(target_os = "linux")]
+    pub const SO_RCVBUF: c_int = 8;
+    #[cfg(target_os = "linux")]
+    pub const SO_LINGER: c_int = 13;
+
+    #[cfg(not(target_os = "linux"))]
+    pub const SOL_SOCKET: c_int = 0xffff;
+    #[cfg(not(target_os = "linux"))]
+    pub const SO_SNDBUF: c_int = 0x1001;
+    #[cfg(not(target_os = "linux"))]
+    pub const SO_RCVBUF: c_int = 0x1002;
+    #[cfg(not(target_os = "linux"))]
+    pub const SO_LINGER: c_int = 0x0080;
+
+    /// `struct linger` from `setsockopt(SO_LINGER)`.
+    #[repr(C)]
+    pub struct Linger {
+        pub l_onoff: c_int,
+        pub l_linger: c_int,
+    }
+
     extern "C" {
         pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
         pub fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
+        pub fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_void,
+            optlen: u32,
+        ) -> c_int;
         #[cfg(target_os = "linux")]
         pub fn epoll_create1(flags: c_int) -> c_int;
         #[cfg(target_os = "linux")]
@@ -196,6 +473,30 @@ mod ffi {
             events: *mut EpollEvent,
             maxevents: c_int,
             timeout: c_int,
+        ) -> c_int;
+        #[cfg(any(
+            target_os = "macos",
+            target_os = "freebsd",
+            target_os = "netbsd",
+            target_os = "openbsd",
+            target_os = "dragonfly"
+        ))]
+        pub fn kqueue() -> c_int;
+        #[cfg(any(
+            target_os = "macos",
+            target_os = "freebsd",
+            target_os = "netbsd",
+            target_os = "openbsd",
+            target_os = "dragonfly"
+        ))]
+        #[cfg_attr(target_os = "netbsd", link_name = "__kevent50")]
+        pub fn kevent(
+            kq: c_int,
+            changelist: *const Kevent,
+            nchanges: c_int,
+            eventlist: *mut Kevent,
+            nevents: c_int,
+            timeout: *const Timespec,
         ) -> c_int;
     }
 
@@ -217,6 +518,54 @@ fn set_nonblocking(fd: RawFd) -> io::Result<()> {
         return Err(io::Error::last_os_error());
     }
     Ok(())
+}
+
+/// Sets one fixed-size socket option.
+fn set_opt<T>(fd: RawFd, level: i32, name: i32, value: &T) -> io::Result<()> {
+    // SAFETY: `value` points to a live `T` for the duration of the
+    // call and `optlen` is exactly `size_of::<T>()`; the kernel only
+    // reads that many bytes. An invalid fd or option is reported
+    // through the return value.
+    let rc = unsafe {
+        ffi::setsockopt(
+            fd,
+            level,
+            name,
+            (value as *const T).cast(),
+            std::mem::size_of::<T>() as u32,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Shrinks (or grows) a socket's kernel receive buffer (`SO_RCVBUF`).
+///
+/// Fault-injection tests use a tiny receive buffer to simulate a
+/// reader that has stopped draining: once the buffer and the peer's
+/// send buffer fill, the peer's writes return `WouldBlock`.
+pub fn set_recv_buffer(sock: &impl AsRawFd, bytes: usize) -> io::Result<()> {
+    let v = bytes.min(i32::MAX as usize) as i32;
+    set_opt(sock.as_raw_fd(), ffi::SOL_SOCKET, ffi::SO_RCVBUF, &v)
+}
+
+/// Shrinks (or grows) a socket's kernel send buffer (`SO_SNDBUF`).
+pub fn set_send_buffer(sock: &impl AsRawFd, bytes: usize) -> io::Result<()> {
+    let v = bytes.min(i32::MAX as usize) as i32;
+    set_opt(sock.as_raw_fd(), ffi::SOL_SOCKET, ffi::SO_SNDBUF, &v)
+}
+
+/// Arms `SO_LINGER` with a zero timeout so closing the socket sends an
+/// immediate RST instead of the orderly FIN handshake. Fault-injection
+/// tests use this to simulate a peer that vanished mid-conversation.
+pub fn set_linger_zero(sock: &impl AsRawFd) -> io::Result<()> {
+    let linger = ffi::Linger {
+        l_onoff: 1,
+        l_linger: 0,
+    };
+    set_opt(sock.as_raw_fd(), ffi::SOL_SOCKET, ffi::SO_LINGER, &linger)
 }
 
 /// Milliseconds for the kernel timeout argument: `None` → block
@@ -340,10 +689,184 @@ impl EpollBackend {
     }
 }
 
+/// The kqueue backend: oneshot readiness via `EV_ONESHOT` filters.
+///
+/// kqueue registrations are per-(fd, filter) pairs, so "re-aim the
+/// interest" is expressed as delete-both-then-add-requested; deleting a
+/// filter that is not registered (`ENOENT`) is not an error. The key
+/// travels in `udata` and comes back verbatim with each event.
+#[cfg(any(
+    target_os = "macos",
+    target_os = "freebsd",
+    target_os = "netbsd",
+    target_os = "openbsd",
+    target_os = "dragonfly"
+))]
+#[derive(Debug)]
+struct KqueueBackend {
+    kq: OwnedFd,
+}
+
+#[cfg(any(
+    target_os = "macos",
+    target_os = "freebsd",
+    target_os = "netbsd",
+    target_os = "openbsd",
+    target_os = "dragonfly"
+))]
+impl KqueueBackend {
+    fn new(notify_fd: RawFd) -> io::Result<KqueueBackend> {
+        // SAFETY: kqueue takes no pointers; a failure is reported
+        // through the return value.
+        let raw = unsafe { ffi::kqueue() };
+        if raw < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: `raw` is a fresh, valid kqueue descriptor we own.
+        let kq = unsafe { OwnedFd::from_raw_fd(raw) };
+        let backend = KqueueBackend { kq };
+        // The notify pipe is level-triggered and *not* oneshot: a
+        // pending wake-up byte keeps reporting until drained.
+        backend.submit(notify_fd, ffi::EVFILT_READ, ffi::EV_ADD, NOTIFY_KEY, false)?;
+        Ok(backend)
+    }
+
+    /// Submits one change. `ignore_missing` swallows `ENOENT`
+    /// (deleting a filter that was never added or already fired its
+    /// oneshot).
+    fn submit(
+        &self,
+        fd: RawFd,
+        filter: ffi::KFilter,
+        flags: ffi::KFlags,
+        key: usize,
+        ignore_missing: bool,
+    ) -> io::Result<()> {
+        let change = ffi::kev(fd as usize, filter, flags, key);
+        // SAFETY: `change` is a valid kevent for the duration of the
+        // call; `nevents` is 0, so the null eventlist pointer is never
+        // written through.
+        let rc = unsafe {
+            ffi::kevent(
+                self.kq.as_raw_fd(),
+                &change,
+                1,
+                std::ptr::null_mut(),
+                0,
+                std::ptr::null(),
+            )
+        };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if ignore_missing && err.raw_os_error() == Some(ffi::ENOENT) {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    /// Drops any armed filters for `fd` and installs the requested
+    /// interest as fresh `EV_ONESHOT` filters (the oneshot contract:
+    /// kqueue auto-deletes the filter after it fires, so a reported fd
+    /// is silent until `modify` re-arms it).
+    fn arm(&self, fd: RawFd, ev: Event) -> io::Result<()> {
+        self.submit(fd, ffi::EVFILT_READ, ffi::EV_DELETE, 0, true)?;
+        self.submit(fd, ffi::EVFILT_WRITE, ffi::EV_DELETE, 0, true)?;
+        if ev.readable {
+            self.submit(
+                fd,
+                ffi::EVFILT_READ,
+                ffi::EV_ADD | ffi::EV_ONESHOT,
+                ev.key,
+                false,
+            )?;
+        }
+        if ev.writable {
+            self.submit(
+                fd,
+                ffi::EVFILT_WRITE,
+                ffi::EV_ADD | ffi::EV_ONESHOT,
+                ev.key,
+                false,
+            )?;
+        }
+        Ok(())
+    }
+
+    fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.submit(fd, ffi::EVFILT_READ, ffi::EV_DELETE, 0, true)?;
+        self.submit(fd, ffi::EVFILT_WRITE, ffi::EV_DELETE, 0, true)
+    }
+
+    fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<bool> {
+        let mut buf = [ffi::kev(0, ffi::EVFILT_READ, 0, 0); 256];
+        let ts;
+        let ts_ptr = match timeout {
+            None => std::ptr::null(),
+            Some(d) => {
+                ts = ffi::Timespec {
+                    tv_sec: d.as_secs().min(i64::MAX as u64) as i64,
+                    tv_nsec: d.subsec_nanos() as i64,
+                };
+                &ts as *const ffi::Timespec
+            }
+        };
+        // SAFETY: `buf` is a valid, writable array of `buf.len()`
+        // kevents and `ts_ptr` is null or points at a live Timespec;
+        // the kernel writes at most `nevents` entries.
+        let n = unsafe {
+            ffi::kevent(
+                self.kq.as_raw_fd(),
+                std::ptr::null(),
+                0,
+                buf.as_mut_ptr(),
+                buf.len() as i32,
+                ts_ptr,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(false);
+            }
+            return Err(err);
+        }
+        let mut notified = false;
+        for raw in buf.iter().take(n as usize) {
+            let key = ffi::kev_key(raw);
+            if key == NOTIFY_KEY {
+                notified = true;
+                continue;
+            }
+            if raw.flags & ffi::EV_ERROR != 0 {
+                // A failed change surfaced in the event list: report
+                // both directions so the consumer reaps the fd.
+                events.push(Event::all(key));
+                continue;
+            }
+            events.push(Event {
+                key,
+                readable: raw.filter == ffi::EVFILT_READ,
+                writable: raw.filter == ffi::EVFILT_WRITE,
+            });
+        }
+        Ok(notified)
+    }
+}
+
 #[derive(Debug)]
 enum Backend {
     #[cfg(target_os = "linux")]
     Epoll(EpollBackend),
+    #[cfg(any(
+        target_os = "macos",
+        target_os = "freebsd",
+        target_os = "netbsd",
+        target_os = "openbsd",
+        target_os = "dragonfly"
+    ))]
+    Kqueue(KqueueBackend),
     Poll(Mutex<PollTable>),
 }
 
@@ -378,6 +901,14 @@ impl Poller {
         let backend = match kind {
             #[cfg(target_os = "linux")]
             BackendKind::Epoll => Backend::Epoll(EpollBackend::new(notify_read.as_raw_fd())?),
+            #[cfg(any(
+                target_os = "macos",
+                target_os = "freebsd",
+                target_os = "netbsd",
+                target_os = "openbsd",
+                target_os = "dragonfly"
+            ))]
+            BackendKind::Kqueue => Backend::Kqueue(KqueueBackend::new(notify_read.as_raw_fd())?),
             BackendKind::Poll => Backend::Poll(Mutex::new(PollTable::default())),
         };
         Ok(Poller {
@@ -410,6 +941,14 @@ impl Poller {
                 EpollBackend::interest_bits(ev),
                 ev.key,
             ),
+            #[cfg(any(
+                target_os = "macos",
+                target_os = "freebsd",
+                target_os = "netbsd",
+                target_os = "openbsd",
+                target_os = "dragonfly"
+            ))]
+            Backend::Kqueue(kqueue) => kqueue.arm(source.as_raw_fd(), ev),
             Backend::Poll(table) => {
                 let mut table = table.lock().expect("poll table lock");
                 if table.fds.contains_key(&source.as_raw_fd()) {
@@ -449,6 +988,14 @@ impl Poller {
                 EpollBackend::interest_bits(ev),
                 ev.key,
             ),
+            #[cfg(any(
+                target_os = "macos",
+                target_os = "freebsd",
+                target_os = "netbsd",
+                target_os = "openbsd",
+                target_os = "dragonfly"
+            ))]
+            Backend::Kqueue(kqueue) => kqueue.arm(source.as_raw_fd(), ev),
             Backend::Poll(table) => {
                 let mut table = table.lock().expect("poll table lock");
                 match table.fds.get_mut(&source.as_raw_fd()) {
@@ -474,6 +1021,14 @@ impl Poller {
         match &self.backend {
             #[cfg(target_os = "linux")]
             Backend::Epoll(epoll) => epoll.ctl(ffi::EPOLL_CTL_DEL, source.as_raw_fd(), 0, 0),
+            #[cfg(any(
+                target_os = "macos",
+                target_os = "freebsd",
+                target_os = "netbsd",
+                target_os = "openbsd",
+                target_os = "dragonfly"
+            ))]
+            Backend::Kqueue(kqueue) => kqueue.delete(source.as_raw_fd()),
             Backend::Poll(table) => {
                 let mut table = table.lock().expect("poll table lock");
                 match table.fds.remove(&source.as_raw_fd()) {
@@ -494,6 +1049,14 @@ impl Poller {
         let notified = match &self.backend {
             #[cfg(target_os = "linux")]
             Backend::Epoll(epoll) => epoll.wait(events, timeout)?,
+            #[cfg(any(
+                target_os = "macos",
+                target_os = "freebsd",
+                target_os = "netbsd",
+                target_os = "openbsd",
+                target_os = "dragonfly"
+            ))]
+            Backend::Kqueue(kqueue) => kqueue.wait(events, timeout)?,
             Backend::Poll(table) => self.poll_wait(table, events, timeout)?,
         };
         if notified {
@@ -611,7 +1174,24 @@ mod tests {
         {
             vec![BackendKind::Epoll, BackendKind::Poll]
         }
-        #[cfg(not(target_os = "linux"))]
+        #[cfg(any(
+            target_os = "macos",
+            target_os = "freebsd",
+            target_os = "netbsd",
+            target_os = "openbsd",
+            target_os = "dragonfly"
+        ))]
+        {
+            vec![BackendKind::Kqueue, BackendKind::Poll]
+        }
+        #[cfg(not(any(
+            target_os = "linux",
+            target_os = "macos",
+            target_os = "freebsd",
+            target_os = "netbsd",
+            target_os = "openbsd",
+            target_os = "dragonfly"
+        )))]
         {
             vec![BackendKind::Poll]
         }
@@ -720,6 +1300,26 @@ mod tests {
             let poller = Poller::with_backend(kind).unwrap();
             let (_client, server) = tcp_pair();
             assert!(poller.add(&server, Event::readable(NOTIFY_KEY)).is_err());
+        }
+    }
+
+    #[test]
+    fn socket_option_helpers_apply() {
+        let (client, mut server) = tcp_pair();
+        set_recv_buffer(&server, 4096).unwrap();
+        set_send_buffer(&server, 4096).unwrap();
+        set_linger_zero(&client).unwrap();
+        // Linger-zero close sends an RST instead of the FIN handshake;
+        // the peer's read observes it as a reset (or, on lenient
+        // stacks, an EOF) promptly rather than hanging.
+        drop(client);
+        server
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        match server.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("unexpected {n} bytes from a reset peer"),
         }
     }
 
