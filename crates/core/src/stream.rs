@@ -20,9 +20,181 @@ use rand::SeedableRng;
 
 use qid_dataset::{Dataset, DatasetBuilder, DatasetError, TupleSource, Value};
 use qid_sampling::reservoir::{MultiReservoir, SkipReservoir};
+pub use qid_sampling::SkipState;
 
 use crate::filter::{FilterParams, PairSampleFilter, TupleSampleFilter};
 use crate::sketch::{NonSeparationSketch, SketchParams};
+
+/// The live state of a one-pass tuple-sample build (Algorithm 1's
+/// size-`r` reservoir plus its RNG), factored out of
+/// [`tuple_filter_from_stream`] so a build can *pause and resume*.
+///
+/// A cold build is `new` → `push` every tuple → [`to_filter`]. An
+/// append-aware consumer clones the ingest (it is cheap: `r·m` values,
+/// mostly `Arc` handles), pushes only the new suffix, and finishes —
+/// by construction the exact computation a cold rebuild over the whole
+/// stream would run, so the resulting filter is bit-identical.
+///
+/// [`to_filter`]: TupleIngest::to_filter
+#[derive(Clone, Debug)]
+pub struct TupleIngest {
+    names: Vec<String>,
+    rng: StdRng,
+    reservoir: SkipReservoir<Vec<Value>>,
+}
+
+impl TupleIngest {
+    /// Starts a tuple-sample build over a stream with the given
+    /// attribute names; `params` sizes the reservoir (Θ(m/√ε)).
+    pub fn new(names: Vec<String>, params: FilterParams, seed: u64) -> Self {
+        let r = params.tuple_sample_size(names.len()).max(1);
+        TupleIngest {
+            names,
+            rng: StdRng::seed_from_u64(seed),
+            reservoir: SkipReservoir::new(r),
+        }
+    }
+
+    /// Offers one tuple; returns `true` if the reservoir retained it.
+    pub fn push(&mut self, tuple: Vec<Value>) -> bool {
+        self.reservoir.push(tuple, &mut self.rng)
+    }
+
+    /// Tuples offered so far (the stream length `n`).
+    pub fn rows(&self) -> usize {
+        self.reservoir.seen()
+    }
+
+    /// Attribute names the build was started with.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Builds the Algorithm 1 filter over the sample retained so far.
+    /// Non-consuming: the ingest remains valid for further pushes.
+    pub fn to_filter(&self, params: FilterParams) -> Result<TupleSampleFilter, DatasetError> {
+        let mut b = DatasetBuilder::new(self.names.clone());
+        for tuple in self.reservoir.items() {
+            b.push_row(tuple.clone())?;
+        }
+        Ok(TupleSampleFilter::from_sample(b.finish(), params))
+    }
+
+    /// Checkpoints the ingest: reservoir scalars plus the RNG's raw
+    /// state. The retained rows are *not* included — they are exactly
+    /// the filter's sample in slot order, which callers already
+    /// persist; [`TupleIngest::resume`] takes them back alongside this.
+    pub fn checkpoint(&self) -> IngestCheckpoint {
+        IngestCheckpoint {
+            skip: self.reservoir.state(),
+            rng: self.rng.state(),
+        }
+    }
+
+    /// Rebuilds a paused ingest from a checkpoint and the retained
+    /// rows (in reservoir slot order). Returns `None` when the pieces
+    /// are inconsistent — see [`SkipReservoir::resume`].
+    pub fn resume(
+        names: Vec<String>,
+        checkpoint: IngestCheckpoint,
+        items: Vec<Vec<Value>>,
+    ) -> Option<Self> {
+        let reservoir = SkipReservoir::resume(checkpoint.skip, items)?;
+        let rng = StdRng::from_state(checkpoint.rng)?;
+        Some(TupleIngest {
+            names,
+            rng,
+            reservoir,
+        })
+    }
+}
+
+/// The serialisable scalar state of a paused [`TupleIngest`]: the
+/// Algorithm L skip state and the xoshiro256** RNG words. Everything
+/// here round-trips through integers, so persistence cannot perturb
+/// the resumed trajectory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestCheckpoint {
+    /// Reservoir scalars (capacity, seen, next accept, weight bits).
+    pub skip: SkipState,
+    /// Raw RNG state ([`StdRng::state`]).
+    pub rng: [u64; 4],
+}
+
+/// The live state of a one-pass pair-sample build: `s` independent
+/// size-2 reservoirs sharing one skip heap, plus the RNG. The pair
+/// analogue of [`TupleIngest`], with the same pause/clone/resume
+/// contract (minus persistence — the shared heap is rebuilt from
+/// scratch on restore paths, which simply costs a full scan there).
+#[derive(Clone, Debug)]
+pub struct PairIngest {
+    names: Vec<String>,
+    rng: StdRng,
+    mr: MultiReservoir<Vec<Value>>,
+}
+
+impl PairIngest {
+    /// Starts a pair-sample build with `s` slots over a stream with
+    /// the given attribute names.
+    pub fn new(names: Vec<String>, s: usize, seed: u64) -> Self {
+        PairIngest {
+            names,
+            rng: StdRng::seed_from_u64(seed),
+            mr: MultiReservoir::new(s.max(1), 2),
+        }
+    }
+
+    /// Offers one tuple to all slots. The tuple is copied only when a
+    /// slot retains it.
+    pub fn push(&mut self, tuple: &[Value]) {
+        self.mr.push_with(|| tuple.to_vec(), &mut self.rng);
+    }
+
+    /// Tuples offered so far (the stream length `n`).
+    pub fn rows(&self) -> usize {
+        self.mr.seen()
+    }
+
+    /// Lays the slots out as the `2s`-row pair data set the filters
+    /// expect (pair `i` at rows `(i, s+i)`). Errors on streams shorter
+    /// than 2 tuples — no pairs exist.
+    fn to_pair_rows(&self) -> Result<Dataset, DatasetError> {
+        let n = self.mr.seen();
+        if n < 2 {
+            return Err(DatasetError::InvalidSpec(format!(
+                "pair sampling needs a stream of at least 2 tuples, got {n}"
+            )));
+        }
+        let mut b = DatasetBuilder::new(self.names.clone());
+        for slot in self.mr.slots() {
+            debug_assert_eq!(slot.len(), 2, "slots hold exactly 2 after n >= 2");
+            b.push_row(slot[0].clone())?;
+        }
+        for slot in self.mr.slots() {
+            b.push_row(slot[1].clone())?;
+        }
+        Ok(b.finish())
+    }
+
+    /// Builds the Motwani–Xu pair filter over the pairs retained so
+    /// far. Non-consuming.
+    pub fn to_pair_filter(&self, params: FilterParams) -> Result<PairSampleFilter, DatasetError> {
+        Ok(PairSampleFilter::from_pair_rows(
+            self.to_pair_rows()?,
+            params,
+        ))
+    }
+
+    /// Builds the non-separation sketch (Theorem 2) over the pairs
+    /// retained so far. Non-consuming.
+    pub fn to_sketch(&self, params: SketchParams) -> Result<NonSeparationSketch, DatasetError> {
+        Ok(NonSeparationSketch::from_pair_rows(
+            self.to_pair_rows()?,
+            self.mr.seen(),
+            params,
+        ))
+    }
+}
 
 /// Builds the tuple filter (Algorithm 1) in one pass.
 ///
@@ -33,18 +205,11 @@ pub fn tuple_filter_from_stream(
     params: FilterParams,
     seed: u64,
 ) -> Result<TupleSampleFilter, DatasetError> {
-    let m = source.n_attrs();
-    let r = params.tuple_sample_size(m).max(1);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut reservoir: SkipReservoir<Vec<Value>> = SkipReservoir::new(r);
+    let mut ingest = TupleIngest::new(source.attr_names(), params, seed);
     while let Some(tuple) = source.next_tuple()? {
-        reservoir.push(tuple, &mut rng);
+        ingest.push(tuple);
     }
-    let mut b = DatasetBuilder::new(source.attr_names());
-    for tuple in reservoir.into_items() {
-        b.push_row(tuple)?;
-    }
-    Ok(TupleSampleFilter::from_sample(b.finish(), params))
+    ingest.to_filter(params)
 }
 
 /// Builds the Motwani–Xu pair filter in one pass.
@@ -57,11 +222,12 @@ pub fn pair_filter_from_stream(
     params: FilterParams,
     seed: u64,
 ) -> Result<PairSampleFilter, DatasetError> {
-    let m = source.n_attrs();
-    let s = params.pair_sample_size(m).max(1);
-    let (slots, _n) = collect_pair_slots(source, s, seed)?;
-    let pairs = pair_slots_to_dataset(source.attr_names(), slots)?;
-    Ok(PairSampleFilter::from_pair_rows(pairs, params))
+    let s = params.pair_sample_size(source.n_attrs()).max(1);
+    let mut ingest = PairIngest::new(source.attr_names(), s, seed);
+    while let Some(tuple) = source.next_tuple()? {
+        ingest.push(&tuple);
+    }
+    ingest.to_pair_filter(params)
 }
 
 /// Builds the non-separation sketch in one pass.
@@ -70,52 +236,12 @@ pub fn sketch_from_stream(
     params: SketchParams,
     seed: u64,
 ) -> Result<NonSeparationSketch, DatasetError> {
-    let m = source.n_attrs();
-    let s = params.pair_sample_size(m).max(1);
-    let (slots, n) = collect_pair_slots(source, s, seed)?;
-    let pairs = pair_slots_to_dataset(source.attr_names(), slots)?;
-    Ok(NonSeparationSketch::from_pair_rows(pairs, n, params))
-}
-
-/// One reservoir slot: (up to) two owned tuples.
-type PairSlot = Vec<Vec<Value>>;
-
-/// Runs the multi-slot pair reservoir over the stream; returns the
-/// filled slots and the stream length.
-fn collect_pair_slots(
-    source: &mut dyn TupleSource,
-    s: usize,
-    seed: u64,
-) -> Result<(Vec<PairSlot>, usize), DatasetError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut mr: MultiReservoir<Vec<Value>> = MultiReservoir::new(s, 2);
+    let s = params.pair_sample_size(source.n_attrs()).max(1);
+    let mut ingest = PairIngest::new(source.attr_names(), s, seed);
     while let Some(tuple) = source.next_tuple()? {
-        mr.push(&tuple, &mut rng);
+        ingest.push(&tuple);
     }
-    let n = mr.seen();
-    if n < 2 {
-        return Err(DatasetError::InvalidSpec(format!(
-            "pair sampling needs a stream of at least 2 tuples, got {n}"
-        )));
-    }
-    Ok((mr.into_slots(), n))
-}
-
-/// Lays out pair slots as the `2s`-row data set the filters expect
-/// (pair `i` at rows `(i, s+i)`).
-fn pair_slots_to_dataset(
-    names: Vec<String>,
-    slots: Vec<PairSlot>,
-) -> Result<Dataset, DatasetError> {
-    let mut b = DatasetBuilder::new(names);
-    for slot in &slots {
-        debug_assert_eq!(slot.len(), 2, "slots hold exactly 2 after n >= 2");
-        b.push_row(slot[0].clone())?;
-    }
-    for slot in &slots {
-        b.push_row(slot[1].clone())?;
-    }
-    Ok(b.finish())
+    ingest.to_sketch(params)
 }
 
 #[cfg(test)]

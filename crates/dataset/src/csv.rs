@@ -6,7 +6,7 @@
 //! data sets.
 
 use std::fs::File;
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, BufReader, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use crate::builder::DatasetBuilder;
@@ -252,6 +252,38 @@ impl CsvTupleSource {
             Interner::with_limit(STREAM_INTERN_LIMIT),
         )
     }
+
+    /// Opens exactly the byte range `[offset, offset + len)` of a CSV
+    /// file as a tuple stream of *data rows only*, with externally
+    /// supplied attribute names — the append-suffix path: the header
+    /// was parsed when the file was first ingested, and the caller
+    /// guarantees `offset` sits on a row boundary. The hard `len` cap
+    /// means rows appended after the caller captured its stat are left
+    /// for the next revalidation rather than silently consumed.
+    ///
+    /// Values are inferred per-field exactly like [`open`](Self::open)
+    /// (a fresh intern cache changes nothing observable: `Value`
+    /// equality is by content), so a sample continued over a suffix
+    /// matches one rebuilt over the whole file.
+    pub fn open_suffix(
+        path: impl AsRef<Path>,
+        offset: u64,
+        len: u64,
+        names: Vec<String>,
+        opts: &CsvOptions,
+    ) -> Result<Self, DatasetError> {
+        let mut file = File::open(path)?;
+        file.seek(SeekFrom::Start(offset))?;
+        let reader = Box::new(BufReader::new(file.take(len))) as Box<dyn BufRead>;
+        Ok(CsvTupleSource {
+            records: RecordReader::new(reader, opts.delimiter),
+            opts: opts.clone(),
+            names,
+            interner: Interner::with_limit(STREAM_INTERN_LIMIT),
+            pending: None,
+            rows_read: 0,
+        })
+    }
 }
 
 impl<R: BufRead> CsvTupleSource<R> {
@@ -372,6 +404,39 @@ fn write_record<'a, W: Write>(w: &mut W, fields: impl Iterator<Item = &'a str>) 
 mod tests {
     use super::*;
     use crate::schema::DataType;
+
+    #[test]
+    fn open_suffix_reads_exactly_the_byte_range() {
+        let dir = std::env::temp_dir().join("qid-csv-suffix");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("suffix.csv");
+        let head = "a,b\n1,x\n2,y\n";
+        let tail = "3,z\n4,w\n";
+        std::fs::write(&path, format!("{head}{tail}extra,row\n")).unwrap();
+
+        let mut src = CsvTupleSource::open_suffix(
+            &path,
+            head.len() as u64,
+            tail.len() as u64,
+            vec!["a".into(), "b".into()],
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(src.n_attrs(), 2);
+        // Rows inside the range come through with full type inference;
+        // the row past `len` (appended after a hypothetical stat) does
+        // not — even though it is on disk.
+        assert_eq!(
+            src.next_tuple().unwrap(),
+            Some(vec![Value::Int(3), Value::text("z")])
+        );
+        assert_eq!(
+            src.next_tuple().unwrap(),
+            Some(vec![Value::Int(4), Value::text("w")])
+        );
+        assert_eq!(src.next_tuple().unwrap(), None);
+        assert_eq!(src.rows_read(), 2);
+    }
 
     #[test]
     fn basic_parse_with_header() {

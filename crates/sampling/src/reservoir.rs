@@ -168,6 +168,66 @@ impl<T> SkipReservoir<T> {
     pub fn seen(&self) -> usize {
         self.seen
     }
+
+    /// The reservoir's scalar state, for checkpointing. Together with a
+    /// copy of [`items`](Self::items) this is everything Algorithm L
+    /// carries between items; [`SkipReservoir::resume`] rebuilds a
+    /// reservoir that continues the exact same trajectory (same RNG ⇒
+    /// same accepts, same slots, same final sample).
+    pub fn state(&self) -> SkipState {
+        SkipState {
+            capacity: self.capacity,
+            seen: self.seen,
+            next_accept: self.next_accept,
+            w_bits: self.w.to_bits(),
+        }
+    }
+
+    /// Rebuilds a reservoir from a checkpoint taken by
+    /// [`SkipReservoir::state`] plus the retained items.
+    ///
+    /// Returns `None` when the pieces are mutually inconsistent (item
+    /// count does not match the phase implied by `seen`, or the weight
+    /// is outside Algorithm L's (0, 1] invariant) — a corrupted or
+    /// hand-edited checkpoint, not a programming error, so no panic.
+    pub fn resume(state: SkipState, items: Vec<T>) -> Option<Self> {
+        if state.capacity == 0 {
+            return None;
+        }
+        let expected = state.seen.min(state.capacity);
+        if items.len() != expected {
+            return None;
+        }
+        let w = f64::from_bits(state.w_bits);
+        if !w.is_finite() || !(0.0..=1.0).contains(&w) {
+            return None;
+        }
+        Some(SkipReservoir {
+            capacity: state.capacity,
+            items,
+            seen: state.seen,
+            next_accept: state.next_accept,
+            w,
+        })
+    }
+}
+
+/// The scalar half of a [`SkipReservoir`] checkpoint (the items travel
+/// separately — they usually already live in a persisted sample file).
+///
+/// `w_bits` is the bit pattern of Algorithm L's running weight `W`
+/// (`f64::to_bits`): bits rather than the float so a serialisation
+/// round-trip cannot perturb the skip sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SkipState {
+    /// Reservoir capacity `k`.
+    pub capacity: usize,
+    /// Items offered so far.
+    pub seen: usize,
+    /// Index (0-based among offered items) of the next accept.
+    pub next_accept: usize,
+    /// `f64::to_bits` of the running weight `W`.
+    pub w_bits: u64,
 }
 
 /// `s` independent reservoirs of capacity `k` over one stream, sharing a
@@ -225,10 +285,19 @@ impl<T: Clone> MultiReservoir<T> {
 
     /// Offers one item to all slots.
     pub fn push<R: Rng + ?Sized>(&mut self, item: &T, rng: &mut R) {
+        self.push_with(|| item.clone(), rng);
+    }
+
+    /// Offers one item to all slots, materialising a copy only when a
+    /// slot actually retains it. `make` is called once per retaining
+    /// slot and not at all for skipped items — the common case after
+    /// warm-up — so callers holding a borrowed form of the item avoid
+    /// an up-front conversion on the hot path.
+    pub fn push_with<R: Rng + ?Sized, F: FnMut() -> T>(&mut self, mut make: F, rng: &mut R) {
         if self.seen < self.k {
             // Warm-up: every slot takes the first k items.
             for slot in &mut self.slots {
-                slot.push(item.clone());
+                slot.push(make());
             }
             self.seen += 1;
             if self.seen == self.k {
@@ -245,7 +314,7 @@ impl<T: Clone> MultiReservoir<T> {
             }
             self.schedule.pop();
             let victim = rng.random_range(0..self.k);
-            self.slots[slot][victim] = item.clone();
+            self.slots[slot][victim] = make();
             self.schedule_slot(slot, self.seen + 1, rng);
         }
         self.seen += 1;
@@ -391,6 +460,61 @@ mod tests {
         for slot in mr.slots() {
             assert_eq!(slot, &vec![0, 1, 2, 3]);
         }
+    }
+
+    #[test]
+    fn skip_reservoir_resume_continues_exact_trajectory() {
+        // Run one reservoir straight through; run a second to the
+        // checkpoint, round-trip it through state()/resume, and finish.
+        // Same RNG sequence ⇒ bit-identical samples.
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut straight = SkipReservoir::new(20);
+        for x in 0..5_000 {
+            straight.push(x, &mut rng_a);
+        }
+
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let mut first_half = SkipReservoir::new(20);
+        for x in 0..2_500 {
+            first_half.push(x, &mut rng_b);
+        }
+        let state = first_half.state();
+        let items = first_half.into_items();
+        let mut resumed = SkipReservoir::resume(state, items).expect("valid checkpoint");
+        for x in 2_500..5_000 {
+            resumed.push(x, &mut rng_b);
+        }
+
+        assert_eq!(straight.items(), resumed.items());
+        assert_eq!(straight.seen(), resumed.seen());
+        assert_eq!(straight.state(), resumed.state());
+    }
+
+    #[test]
+    fn skip_reservoir_resume_rejects_inconsistent_checkpoints() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut r = SkipReservoir::new(3);
+        for x in 0..100 {
+            r.push(x, &mut rng);
+        }
+        let good = r.state();
+        let items = r.into_items();
+
+        // Item count disagrees with the phase implied by `seen`.
+        assert!(SkipReservoir::resume(good, vec![1, 2]).is_none());
+        // Zero capacity.
+        let mut bad = good;
+        bad.capacity = 0;
+        assert!(SkipReservoir::resume(bad, items.clone()).is_none());
+        // Weight outside (0, 1].
+        let mut bad = good;
+        bad.w_bits = 2.0_f64.to_bits();
+        assert!(SkipReservoir::resume(bad, items.clone()).is_none());
+        let mut bad = good;
+        bad.w_bits = f64::NAN.to_bits();
+        assert!(SkipReservoir::resume(bad, items.clone()).is_none());
+        // The untouched checkpoint still resumes.
+        assert!(SkipReservoir::resume(good, items).is_some());
     }
 
     #[test]

@@ -269,6 +269,8 @@ impl Metrics {
             cache_evictions: registry.evictions,
             cache_stale_rebuilds: registry.stale_rebuilds,
             cache_upgrades: registry.upgrades,
+            cache_append_updates: registry.append_updates,
+            cache_sweep_refreshes: registry.sweep_refreshes,
             cache_bytes: registry.resident_bytes,
             datasets: registry.datasets,
             connections: self.connections.load(Ordering::Relaxed),
@@ -315,6 +317,8 @@ mod tests {
                 evictions: 3,
                 stale_rebuilds: 4,
                 upgrades: 2,
+                append_updates: 6,
+                sweep_refreshes: 7,
                 resident_bytes: 640,
                 datasets: 1,
             },
@@ -329,6 +333,8 @@ mod tests {
         assert_eq!(r.cache_evictions, 3);
         assert_eq!(r.cache_stale_rebuilds, 4);
         assert_eq!(r.cache_upgrades, 2);
+        assert_eq!(r.cache_append_updates, 6);
+        assert_eq!(r.cache_sweep_refreshes, 7);
         assert_eq!(r.cache_bytes, 640);
         assert_eq!(r.datasets, 1);
         assert_eq!(r.commands.len(), COMMAND_NAMES.len());

@@ -566,6 +566,14 @@ pub(crate) fn log_registry_event(event: RegistryEvent) {
             "{{\"ts_ms\":{},\"event\":\"cache_stale_rebuild\",\"key\":\"{key:016x}\"}}",
             unix_ms()
         ),
+        RegistryEvent::AppendUpdate { key, bytes } => format!(
+            "{{\"ts_ms\":{},\"event\":\"cache_append_update\",\"key\":\"{key:016x}\",\"bytes\":{bytes}}}",
+            unix_ms()
+        ),
+        RegistryEvent::DiskEvicted { key, bytes } => format!(
+            "{{\"ts_ms\":{},\"event\":\"cache_disk_evict\",\"key\":\"{key:016x}\",\"bytes\":{bytes}}}",
+            unix_ms()
+        ),
         RegistryEvent::Unloaded { key } => format!(
             "{{\"ts_ms\":{},\"event\":\"cache_unload\",\"key\":\"{key:016x}\"}}",
             unix_ms()
@@ -672,7 +680,7 @@ pub(crate) fn prometheus_text(state: &ServerState) -> String {
         );
     }
 
-    let singles: [(&str, &str, &str, u64); 16] = [
+    let singles: [(&str, &str, &str, u64); 18] = [
         (
             "qid_protocol_errors_total",
             "counter",
@@ -756,6 +764,18 @@ pub(crate) fn prometheus_text(state: &ServerState) -> String {
             "counter",
             "Stream-mode entries upgraded to materialised datasets.",
             registry.upgrades,
+        ),
+        (
+            "qid_cache_append_updates_total",
+            "counter",
+            "Grown sources absorbed incrementally (suffix-only scans).",
+            registry.append_updates,
+        ),
+        (
+            "qid_cache_sweep_refreshes_total",
+            "counter",
+            "Entries refreshed by the background revalidation sweeper.",
+            registry.sweep_refreshes,
         ),
         (
             "qid_cache_resident_bytes",

@@ -420,6 +420,13 @@ pub struct MetricsReport {
     /// Sample-only entries upgraded to a fully materialised dataset
     /// (each upgrade is also counted as a miss — it re-scans).
     pub cache_upgrades: u64,
+    /// Grown source files absorbed incrementally: only the appended
+    /// suffix was scanned and the resident reservoirs resumed (not a
+    /// miss, not a stale rebuild).
+    pub cache_append_updates: u64,
+    /// Stale or appended entries the `--sweep-ms` background sweeper
+    /// refreshed ahead of traffic.
+    pub cache_sweep_refreshes: u64,
     /// Current resident bytes across all cached entries (samples,
     /// column sketches, non-separation sketches, materialised codes).
     pub cache_bytes: u64,
@@ -755,6 +762,14 @@ impl Response {
                     Json::Int(report.cache_stale_rebuilds as i64),
                 ),
                 ("cache_upgrades", Json::Int(report.cache_upgrades as i64)),
+                (
+                    "cache_append_updates",
+                    Json::Int(report.cache_append_updates as i64),
+                ),
+                (
+                    "cache_sweep_refreshes",
+                    Json::Int(report.cache_sweep_refreshes as i64),
+                ),
                 ("cache_bytes", Json::Int(report.cache_bytes as i64)),
                 ("datasets", Json::Int(report.datasets as i64)),
                 ("connections", Json::Int(report.connections as i64)),
@@ -1032,6 +1047,8 @@ impl Response {
                     cache_evictions: u64_field("cache_evictions"),
                     cache_stale_rebuilds: u64_field("cache_stale_rebuilds"),
                     cache_upgrades: u64_field("cache_upgrades"),
+                    cache_append_updates: u64_field("cache_append_updates"),
+                    cache_sweep_refreshes: u64_field("cache_sweep_refreshes"),
                     cache_bytes: u64_field("cache_bytes"),
                     datasets: v.get("datasets").and_then(Json::as_usize).unwrap_or(0),
                     connections: u64_field("connections"),
@@ -1261,6 +1278,8 @@ mod tests {
                 cache_evictions: 1,
                 cache_stale_rebuilds: 1,
                 cache_upgrades: 1,
+                cache_append_updates: 2,
+                cache_sweep_refreshes: 1,
                 cache_bytes: 4096,
                 datasets: 1,
                 connections: 12,

@@ -28,22 +28,43 @@
 //!   a restart — restores the sketch from disk instead of re-scanning
 //!   the (possibly multi-GB) source. Samples are `Θ(m/√ε)`, so the
 //!   warm tier is tiny.
-//! * **File-change invalidation.** Every hit stats the source file and
-//!   compares mtime + length against the values captured *before* the
-//!   building scan started; a rewritten CSV triggers a rebuild instead
-//!   of a stale answer (with the usual stat-based caveat: a
-//!   same-length rewrite inside the filesystem's mtime resolution is
-//!   indistinguishable). Disk-restored entries carry the same stat, so
+//! * **File-change invalidation.** Every hit re-stamps the source file
+//!   ([`SourceStamp`]: length, mtime, *and* an FNV-64 fingerprint over
+//!   a fixed prefix) and classifies it against the stamp captured
+//!   *before* the building scan started. A same-length rewrite is
+//!   caught by the fingerprint even when it lands inside the
+//!   filesystem's mtime resolution; the remaining blind spot is a
+//!   same-length same-mtime rewrite entirely beyond the fingerprinted
+//!   prefix. Disk-restored entries carry the same stamp, so
 //!   persistence never resurrects stale data.
+//! * **Append absorption.** A *grown* source whose prefix fingerprint
+//!   still matches (and whose old bytes ended on a row boundary) is a
+//!   pure append: instead of rebuilding, the registry resumes the
+//!   entry's paused ingest state ([`qid_core::stream::TupleIngest`])
+//!   and feeds only the new suffix through the reservoir, the column
+//!   sketches, and — when the sketch was built in-process — the pair
+//!   reservoirs. The result is bit-identical to a cold rebuild over
+//!   the whole file, at suffix cost (`cache_append_updates`).
+//! * **Background revalidation.** [`Registry::sweep`] (driven by the
+//!   server's `--sweep-ms` thread) walks resident entries, re-stamps
+//!   fresh ones (keeping the [`Registry::peek`] window open so the
+//!   zero-alloc fast path never falls back), and absorbs/rebuilds
+//!   changed ones ahead of traffic (`cache_sweep_refreshes`).
+//! * **Warm-tier GC.** With [`RegistryConfig::cache_disk_bytes`] set,
+//!   persisted artifacts are garbage-collected oldest-first (grouped
+//!   by key stem) whenever a persist pushes the directory over budget,
+//!   so never-again-requested keys cannot grow the cache dir forever.
 //!
 //! The full state machine (also documented in `docs/ARCHITECTURE.md`):
 //!
 //! ```text
 //!            ┌────── restore hit ──────────────┐
 //!  miss ──▶ building ── scan ok ──▶ cached ──▶ persisted (sample on disk)
-//!            │                       │  ▲
-//!            └─ error (slot dropped) │  └── rebuild (miss) ◀─ stale
-//!                                    ├──▶ stale    (source mtime/len changed)
+//!            │                       │  ▲ ▲
+//!            └─ error (slot dropped) │  │ └ absorb suffix ◀─ appended
+//!                                    │  └── rebuild (miss) ◀─ stale
+//!                                    ├──▶ appended (source grew, prefix intact)
+//!                                    ├──▶ stale    (source rewritten/truncated)
 //!                                    ├──▶ evicted  (LRU under budget pressure)
 //!                                    └──▶ unloaded (explicit protocol command)
 //! ```
@@ -51,6 +72,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::io::Read as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -58,7 +80,7 @@ use std::time::{Instant, UNIX_EPOCH};
 
 use qid_core::filter::{FilterParams, SeparationFilter, TupleSampleFilter};
 use qid_core::sketch::{DistinctSketch, NonSeparationSketch, SketchParams};
-use qid_core::stream::{sketch_from_stream, tuple_filter_from_stream};
+use qid_core::stream::{sketch_from_stream, IngestCheckpoint, PairIngest, SkipState, TupleIngest};
 use qid_dataset::csv::{read_csv_path, read_csv_str, write_csv, CsvOptions, CsvTupleSource};
 use qid_dataset::{AttrId, Dataset, DatasetError, DatasetTupleSource, TupleSource, Value};
 
@@ -103,9 +125,7 @@ impl CacheKey {
     /// (Shard selection uses the std hasher via `Registry::shard`, not
     /// this.)
     pub fn fnv64(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
+        let mut h = FNV_OFFSET;
         for byte in self
             .path
             .as_bytes()
@@ -115,40 +135,194 @@ impl CacheKey {
             .chain(self.seed.to_le_bytes())
         {
             h ^= u64::from(byte);
-            h = h.wrapping_mul(PRIME);
+            h = h.wrapping_mul(FNV_PRIME);
         }
         h
     }
 }
 
-/// The source-file identity captured when an entry is built: length and
-/// modification time. Hits compare this against a fresh `stat` to catch
-/// in-place rewrites.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// How many leading bytes of the source file the content fingerprint
+/// covers. Large enough that any realistic header + early rows are
+/// inside it, small enough that re-stamping a hit is one buffered read
+/// of a page-cached region, not a scan.
+pub const FINGERPRINT_PREFIX: u64 = 64 * 1024;
+
+/// The source-file identity captured when an entry is built: length,
+/// modification time, and an FNV-64 fingerprint over the first
+/// [`FINGERPRINT_PREFIX`] bytes. Hits classify a fresh stamp against
+/// this to catch in-place rewrites (even same-length ones inside the
+/// filesystem's mtime resolution, via the fingerprint) and to recognise
+/// pure appends (same prefix, longer file).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct SourceStat {
+pub struct SourceStamp {
     /// File length in bytes.
     pub len: u64,
     /// Modification time, seconds since the Unix epoch.
     pub mtime_s: u64,
     /// Sub-second part of the modification time, nanoseconds.
     pub mtime_ns: u32,
+    /// FNV-1a over the first `min(len, FINGERPRINT_PREFIX)` bytes.
+    pub prefix_fnv: u64,
 }
 
-impl SourceStat {
-    /// Stats `path`; `None` if the file cannot be statted (missing,
-    /// permissions) or its mtime predates the epoch.
-    pub fn of(path: &str) -> Option<SourceStat> {
+impl SourceStamp {
+    /// Stats `path` and fingerprints its prefix; `None` if the file
+    /// cannot be statted or read (missing, permissions) or its mtime
+    /// predates the epoch. The stat is taken *before* the prefix read,
+    /// matching the build discipline: a file mutated between the two
+    /// yields a stamp that cannot match any future capture, which
+    /// classifies as stale — never as silently fresh.
+    pub fn capture(path: &str) -> Option<SourceStamp> {
         let meta = std::fs::metadata(path).ok()?;
         let mtime = meta
             .modified()
             .ok()
             .and_then(|t| t.duration_since(UNIX_EPOCH).ok())?;
-        Some(SourceStat {
-            len: meta.len(),
+        let len = meta.len();
+        let upto = len.min(FINGERPRINT_PREFIX);
+        let (prefix_fnv, _) = prefix_hashes(path, upto, upto).ok()?;
+        Some(SourceStamp {
+            len,
             mtime_s: mtime.as_secs(),
             mtime_ns: mtime.subsec_nanos(),
+            prefix_fnv,
         })
     }
+}
+
+/// FNV-1a over `path`'s first `upto` bytes, also yielding the running
+/// hash value at the earlier `checkpoint` boundary (`checkpoint ≤
+/// upto`) — so one read classifies a grown file against both its old
+/// and new prefix windows. Reads through a fixed stack buffer.
+fn prefix_hashes(path: &str, checkpoint: u64, upto: u64) -> std::io::Result<(u64, u64)> {
+    debug_assert!(checkpoint <= upto);
+    let mut file = std::fs::File::open(path)?;
+    let mut h = FNV_OFFSET;
+    let mut at_checkpoint = h;
+    let mut pos: u64 = 0;
+    let mut buf = [0u8; 8192];
+    while pos < upto {
+        let want = (upto - pos).min(buf.len() as u64) as usize;
+        let got = file.read(&mut buf[..want])?;
+        if got == 0 {
+            // Shorter than the stat said (raced a truncation): the
+            // partial hash cannot match a full-prefix stamp, so the
+            // caller classifies this as stale.
+            break;
+        }
+        for &b in &buf[..got] {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            pos += 1;
+            if pos == checkpoint {
+                at_checkpoint = h;
+            }
+        }
+    }
+    Ok((h, at_checkpoint))
+}
+
+/// The verdict of re-stamping a source file against the stamp its
+/// entry was built from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Freshness {
+    /// Unchanged (or unstattable — the sample is all we have, and the
+    /// paper's point is that it keeps answering queries).
+    Fresh,
+    /// The file *grew*, the old prefix window hashes identically, and
+    /// the old bytes ended on a row boundary: a pure append. `new` is
+    /// the full stamp of the grown file (captured before the check
+    /// reads), ready to record on the absorbed entry.
+    Appended {
+        /// Stamp of the grown file.
+        new: SourceStamp,
+    },
+    /// Rewritten, truncated, or a grown file whose prefix changed (or
+    /// whose old tail straddles a row): only a full rebuild is sound.
+    Stale,
+}
+
+/// Classifies the current state of `path` against the stamp `then` the
+/// entry was built from. Entries built from an unstattable source
+/// (`then == None`) never invalidate.
+///
+/// The same-length arm compares content fingerprints *even when the
+/// mtime matches* — a same-length in-place rewrite landing within the
+/// filesystem's mtime resolution used to be invisible to stat-based
+/// checks. The residual blind spot is a same-length same-mtime rewrite
+/// that only touches bytes beyond [`FINGERPRINT_PREFIX`].
+fn classify(then: Option<SourceStamp>, path: &str) -> Freshness {
+    let Some(then) = then else {
+        return Freshness::Fresh;
+    };
+    let Ok(meta) = std::fs::metadata(path) else {
+        return Freshness::Fresh; // missing ≠ stale
+    };
+    let Some(mtime) = meta
+        .modified()
+        .ok()
+        .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+    else {
+        return Freshness::Fresh;
+    };
+    let (mtime_s, mtime_ns) = (mtime.as_secs(), mtime.subsec_nanos());
+    let len = meta.len();
+    if len < then.len {
+        return Freshness::Stale; // truncated
+    }
+    if len == then.len {
+        if mtime_s != then.mtime_s || mtime_ns != then.mtime_ns {
+            return Freshness::Stale;
+        }
+        // Same length, same mtime: the stat alone proves nothing (the
+        // false-negative family) — verify the content fingerprint.
+        let upto = len.min(FINGERPRINT_PREFIX);
+        return match prefix_hashes(path, upto, upto) {
+            Ok((fnv, _)) if fnv == then.prefix_fnv => Freshness::Fresh,
+            Ok(_) => Freshness::Stale,
+            Err(_) => Freshness::Fresh, // unreadable now: keep serving
+        };
+    }
+    // Grown. One read hashes both windows: the old prefix (must match
+    // the stamp for this to be an append) and the new prefix (recorded
+    // on the absorbed entry).
+    if then.len == 0 {
+        return Freshness::Stale;
+    }
+    let old_window = then.len.min(FINGERPRINT_PREFIX);
+    let new_window = len.min(FINGERPRINT_PREFIX);
+    let Ok((new_fnv, old_fnv)) = prefix_hashes(path, old_window, new_window) else {
+        return Freshness::Fresh;
+    };
+    if old_fnv != then.prefix_fnv {
+        return Freshness::Stale; // grew *and* rewrote the prefix
+    }
+    // The old content must end exactly on a row boundary; otherwise
+    // the append completed a partial final line and the already-counted
+    // last row changed meaning — only a full rebuild is sound.
+    if byte_at(path, then.len - 1) != Some(b'\n') {
+        return Freshness::Stale;
+    }
+    Freshness::Appended {
+        new: SourceStamp {
+            len,
+            mtime_s,
+            mtime_ns,
+            prefix_fnv: new_fnv,
+        },
+    }
+}
+
+/// Reads the single byte at `offset`, if possible.
+fn byte_at(path: &str, offset: u64) -> Option<u8> {
+    use std::io::{Seek, SeekFrom};
+    let mut file = std::fs::File::open(path).ok()?;
+    file.seek(SeekFrom::Start(offset)).ok()?;
+    let mut b = [0u8; 1];
+    file.read_exact(&mut b).ok()?;
+    Some(b[0])
 }
 
 /// The artifacts cached for one dataset: the tuple sample (Theorem 1),
@@ -163,10 +337,11 @@ pub struct Entry {
     /// and disk-restored entries, where only the sample is kept.
     pub dataset: Option<Dataset>,
     /// Per-column KMV distinct-count sketches (one per attribute, in
-    /// schema order), built during the loading pass so `stats` can
-    /// answer without materialising. `None` only for entries restored
-    /// from a pre-sketch persisted meta.
-    pub cols: Option<Vec<DistinctSketch>>,
+    /// schema order), built during the loading pass so `stats` always
+    /// answers without materialising. Every construction path produces
+    /// them (build, restore, append absorb), so `stats` on a stream
+    /// entry can never fall back to a silent full materialisation.
+    pub cols: Vec<DistinctSketch>,
     /// Rows seen when the entry was built (stream length or `n_rows`).
     pub rows: usize,
     /// Attribute count.
@@ -177,10 +352,22 @@ pub struct Entry {
     /// is what LRU eviction charges against
     /// [`RegistryConfig::cache_bytes`].
     pub stored_bytes: usize,
-    /// Source-file stat captured *before* the building scan, so a file
-    /// rewritten mid-scan still reads as changed on the next hit.
+    /// Source-file stamp captured *before* the building scan, so a
+    /// file rewritten mid-scan still reads as changed on the next hit.
     /// `None` when the source could not be statted.
-    pub source: Option<SourceStat>,
+    pub source: Option<SourceStamp>,
+    /// The paused streaming build (reservoir + RNG) this entry's
+    /// sample came from. `Some` for stream-built and checkpoint-
+    /// restored entries; appends resume it over just the new suffix.
+    /// `None` for memory-mode entries (they rebuild fully — the
+    /// materialised dataset must cover the appended rows anyway) and
+    /// pre-checkpoint restores.
+    ingest: Option<TupleIngest>,
+    /// The paused pair-sample build behind the non-separation sketch,
+    /// recorded when [`Registry::sketch_for`] builds by scanning in
+    /// process — so an append can advance the sketch over the suffix
+    /// instead of re-scanning. Written at most once, like the sketch.
+    pair_ingest: OnceLock<PairIngest>,
     /// The lazily built Theorem 2 sketch: written once (concurrent
     /// `sketch` queries collapse onto one build), dropped with the
     /// entry.
@@ -196,16 +383,15 @@ impl Entry {
     fn new(
         filter: TupleSampleFilter,
         dataset: Option<Dataset>,
-        cols: Option<Vec<DistinctSketch>>,
+        cols: Vec<DistinctSketch>,
         rows: usize,
         attrs: usize,
-        source: Option<SourceStat>,
+        source: Option<SourceStamp>,
+        ingest: Option<TupleIngest>,
     ) -> Entry {
         let stored_bytes = filter.stored_bytes()
             + dataset.as_ref().map_or(0, |ds| ds.code_bytes())
-            + cols
-                .as_ref()
-                .map_or(0, |cs| cs.iter().map(DistinctSketch::stored_bytes).sum());
+            + cols.iter().map(DistinctSketch::stored_bytes).sum::<usize>();
         Entry {
             filter,
             dataset,
@@ -214,6 +400,8 @@ impl Entry {
             attrs,
             stored_bytes,
             source,
+            ingest,
+            pair_ingest: OnceLock::new(),
             sketch_cell: OnceLock::new(),
             sketch_bytes: std::sync::atomic::AtomicUsize::new(0),
         }
@@ -225,6 +413,12 @@ impl Entry {
         self.sketch_cell
             .get()
             .and_then(|r| r.as_ref().ok().cloned())
+    }
+
+    /// True iff this entry can absorb a pure append without a re-scan
+    /// (it carries resumable ingest state).
+    pub fn append_capable(&self) -> bool {
+        self.ingest.is_some()
     }
 }
 
@@ -257,6 +451,12 @@ pub struct RegistryConfig {
     /// Directory for the persistent warm tier (sample CSV + metadata
     /// per entry); `None` disables persistence.
     pub cache_dir: Option<PathBuf>,
+    /// Byte budget for the persistent warm tier; `None` disables disk
+    /// GC. When a persist pushes the directory's artifact total over
+    /// this, whole key-stem groups (sample + meta + pairs together)
+    /// are removed oldest-first until it fits — so keys that are never
+    /// requested again cannot grow the cache dir without bound.
+    pub cache_disk_bytes: Option<u64>,
     /// How long (milliseconds) a freshness check stays valid for the
     /// allocation-free [`Registry::peek`] fast path. Within this window
     /// of the last source stat, `peek` serves the resident entry
@@ -278,6 +478,7 @@ impl Default for RegistryConfig {
             shards: 16,
             cache_bytes: None,
             cache_dir: None,
+            cache_disk_bytes: None,
             revalidate_ms: 0,
             event_sink: None,
         }
@@ -317,6 +518,22 @@ pub enum RegistryEvent {
         /// FNV-1a hash of the entry's cache key.
         key: u64,
     },
+    /// A grown source was absorbed incrementally: only the appended
+    /// suffix was scanned, the resident entry's reservoir resumed.
+    AppendUpdate {
+        /// FNV-1a hash of the entry's cache key.
+        key: u64,
+        /// Suffix bytes absorbed (new length minus old length).
+        bytes: u64,
+    },
+    /// The warm-tier byte budget removed a persisted key's artifacts
+    /// (oldest first).
+    DiskEvicted {
+        /// FNV-1a hash of the removed artifacts' cache key stem.
+        key: u64,
+        /// Artifact bytes removed.
+        bytes: u64,
+    },
     /// An explicit `unload` removed the entry (resident or persisted).
     Unloaded {
         /// FNV-1a hash of the entry's cache key.
@@ -351,6 +568,13 @@ pub struct RegistrySnapshot {
     /// Sample-only entries upgraded to a materialised dataset (each is
     /// also a miss — the upgrade re-scans the source).
     pub upgrades: u64,
+    /// Grown sources absorbed incrementally (suffix-only scans; these
+    /// are *not* stale rebuilds and not misses).
+    pub append_updates: u64,
+    /// Stale or appended entries the background sweeper refreshed
+    /// ahead of traffic (entries that merely re-stamped fresh are not
+    /// counted).
+    pub sweep_refreshes: u64,
     /// Current resident total: every entry's [`Entry::stored_bytes`]
     /// plus its built non-separation sketch, if any.
     pub resident_bytes: u64,
@@ -375,6 +599,8 @@ pub struct Registry {
     evictions: AtomicU64,
     stale_rebuilds: AtomicU64,
     upgrades: AtomicU64,
+    append_updates: AtomicU64,
+    sweep_refreshes: AtomicU64,
 }
 
 impl Default for Registry {
@@ -410,6 +636,8 @@ impl Registry {
             evictions: AtomicU64::new(0),
             stale_rebuilds: AtomicU64::new(0),
             upgrades: AtomicU64::new(0),
+            append_updates: AtomicU64::new(0),
+            sweep_refreshes: AtomicU64::new(0),
         }
     }
 
@@ -514,11 +742,23 @@ impl Registry {
             match slot.cell.get() {
                 Some(done) => {
                     if let Ok(entry) = done {
-                        if self.is_stale(entry, &key) {
-                            return self.rebuild(&key, ds, mode, &slot, allow_restore);
+                        match classify(entry.source, &key.path) {
+                            Freshness::Fresh => {
+                                // The stamp just passed: re-open the
+                                // peek window.
+                                self.stamp_validated(&slot);
+                            }
+                            Freshness::Appended { new } if entry.append_capable() => {
+                                // The entry is reused (suffix-only
+                                // scan): hit semantics, plus the
+                                // absorb's own counter.
+                                self.hits.fetch_add(1, Ordering::Relaxed);
+                                let (result, _) =
+                                    self.refresh_appended(&key, ds, &slot, entry, new);
+                                return (result, true);
+                            }
+                            _ => return self.rebuild(&key, ds, mode, &slot, allow_restore),
                         }
-                        // The stat just passed: re-open the peek window.
-                        self.stamp_validated(&slot);
                     }
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     (done.clone(), true)
@@ -648,23 +888,36 @@ impl Registry {
                     }
                     None => {
                         self.misses.fetch_add(1, Ordering::Relaxed);
-                        let sk = CsvTupleSource::open(&key.path, &CsvOptions::default())
-                            .map_err(|e| format!("reading {}: {e}", key.path))
-                            .and_then(|mut src| {
-                                sketch_from_stream(&mut src, params, ds.seed)
-                                    .map_err(|e| format!("streaming {}: {e}", key.path))
-                            })?;
+                        let mut src = CsvTupleSource::open(&key.path, &CsvOptions::default())
+                            .map_err(|e| format!("reading {}: {e}", key.path))?;
+                        // Driven through a PairIngest (rather than
+                        // `sketch_from_stream`, which it re-implements
+                        // verbatim) so the pair-reservoir state can be
+                        // kept on the entry for append absorption.
+                        let slots = params.pair_sample_size(src.n_attrs()).max(1);
+                        let mut ingest = PairIngest::new(src.attr_names(), slots, ds.seed);
+                        loop {
+                            match src.next_tuple() {
+                                Ok(Some(tuple)) => ingest.push(&tuple),
+                                Ok(None) => break,
+                                Err(e) => return Err(format!("streaming {}: {e}", key.path)),
+                            }
+                        }
+                        let sk = ingest
+                            .to_sketch(params)
+                            .map_err(|e| format!("streaming {}: {e}", key.path))?;
                         // The sample and the sketch must describe the
                         // same data: if the source changed between the
                         // entry build and this scan, fail now — the
-                        // stat-on-hit check will rebuild the entry
+                        // stamp-on-hit check will rebuild the entry
                         // (and with it this cell) on the next lookup.
-                        if SourceStat::of(&key.path) != entry.source {
+                        if SourceStamp::capture(&key.path) != entry.source {
                             return Err(format!(
                                 "{} changed while the sketch was building; retry",
                                 key.path
                             ));
                         }
+                        let _ = entry.pair_ingest.set(ingest);
                         sk
                     }
                 };
@@ -718,6 +971,7 @@ impl Registry {
             if let Some(dir) = &self.config.cache_dir {
                 // Best-effort, like sample persistence.
                 let _ = persist_sketch(dir, key, entry, &sketch, params);
+                self.enforce_disk_budget(key);
             }
         }
         sketch
@@ -822,6 +1076,16 @@ impl Registry {
         self.disk_hits.load(Ordering::Relaxed)
     }
 
+    /// Grown sources absorbed incrementally so far.
+    pub fn append_updates(&self) -> u64 {
+        self.append_updates.load(Ordering::Relaxed)
+    }
+
+    /// Entries the background sweeper refreshed so far.
+    pub fn sweep_refreshes(&self) -> u64 {
+        self.sweep_refreshes.load(Ordering::Relaxed)
+    }
+
     /// All lifecycle counters at once, for the `metrics` command.
     pub fn snapshot(&self) -> RegistrySnapshot {
         RegistrySnapshot {
@@ -831,35 +1095,90 @@ impl Registry {
             evictions: self.evictions.load(Ordering::Relaxed),
             stale_rebuilds: self.stale_rebuilds.load(Ordering::Relaxed),
             upgrades: self.upgrades.load(Ordering::Relaxed),
+            append_updates: self.append_updates.load(Ordering::Relaxed),
+            sweep_refreshes: self.sweep_refreshes.load(Ordering::Relaxed),
             resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
             datasets: self.len(),
         }
     }
 
-    // ------------------------------------------------------ internals
-
-    /// True iff the source file's current stat differs from the one the
-    /// entry was built against. A source that cannot be statted now
-    /// (deleted, permissions) is *not* stale: the sample is all we
-    /// have, and the paper's point is that it keeps answering queries.
-    fn is_stale(&self, entry: &Entry, key: &CacheKey) -> bool {
-        Self::stale_against(entry, SourceStat::of(&key.path))
+    /// One background-revalidation pass: walks every resident completed
+    /// entry, re-stamps its source, and acts on the verdict *ahead of
+    /// traffic* — fresh entries get their [`Registry::peek`] window
+    /// re-opened (so the zero-allocation fast path keeps serving
+    /// between sweeps without ever falling back to a stat), appended
+    /// ones are absorbed, stale ones rebuilt. Returns the number of
+    /// entries this pass actually refreshed (absorbed or rebuilt).
+    ///
+    /// Safe to race with foreground lookups: refresh goes through the
+    /// same swap-then-build-once discipline as the request path, so a
+    /// sweeper and a foreground caller landing on the same changed
+    /// entry share one scan and count one miss.
+    pub fn sweep(&self) -> u64 {
+        let mut refreshed = 0u64;
+        for shard in &self.shards {
+            let slots: Vec<(CacheKey, Slot)> = {
+                let map = shard.read().expect("shard lock");
+                map.iter()
+                    .map(|(key, slot)| (key.clone(), Arc::clone(slot)))
+                    .collect()
+            };
+            for (key, slot) in slots {
+                let Some(Ok(entry)) = slot.cell.get() else {
+                    continue; // mid-build or failed: the request path owns those
+                };
+                let entry = Arc::clone(entry);
+                let ds = DatasetRef {
+                    path: key.path.clone(),
+                    eps: f64::from_bits(key.eps_bits),
+                    seed: key.seed,
+                };
+                match classify(entry.source, &key.path) {
+                    Freshness::Fresh => self.stamp_validated(&slot),
+                    Freshness::Appended { new } if entry.append_capable() => {
+                        let (result, swapped) =
+                            self.refresh_appended(&key, &ds, &slot, &entry, new);
+                        if result.is_ok() && swapped {
+                            refreshed += 1;
+                        }
+                    }
+                    _ => {
+                        let mode = if entry.dataset.is_some() {
+                            LoadMode::Memory
+                        } else {
+                            LoadMode::Stream
+                        };
+                        let allow_restore = matches!(mode, LoadMode::Stream);
+                        let (result, adopted) =
+                            self.refresh_stale(&key, &ds, mode, &slot, allow_restore, false);
+                        if result.is_ok() && !adopted {
+                            refreshed += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if refreshed > 0 {
+            self.sweep_refreshes.fetch_add(refreshed, Ordering::Relaxed);
+        }
+        refreshed
     }
 
-    /// [`Registry::is_stale`] with a prefetched stat — the one shared
-    /// definition of staleness, usable where filesystem I/O is not
-    /// (e.g. under a shard write lock).
-    fn stale_against(entry: &Entry, now: Option<SourceStat>) -> bool {
+    // ------------------------------------------------------ internals
+
+    /// True iff the entry's recorded stamp differs from the prefetched
+    /// one — the lock-safe staleness predicate (no filesystem I/O, so
+    /// it may run under a shard write lock). A source that cannot be
+    /// stamped now (deleted, permissions) is *not* stale: the sample
+    /// is all we have, and the paper's point is that it keeps
+    /// answering queries.
+    fn stamp_mismatch(entry: &Entry, now: Option<SourceStamp>) -> bool {
         matches!((entry.source, now), (Some(then), Some(n)) if then != n)
     }
 
     /// Replaces the slot for `key` with a fresh one and builds into it
-    /// (the stale path). `allow_restore` is forwarded so a stale
-    /// rebuild may still use the disk tier — the restore itself
-    /// verifies the source stat, so stale persisted files never match.
-    /// The returned boolean follows the [`Registry::get_or_load`]
-    /// contract: `true` iff this caller adopted a racer's rebuild
-    /// instead of paying its own.
+    /// (the stale path, from the request path). See
+    /// [`Registry::refresh_stale`].
     fn rebuild(
         &self,
         key: &CacheKey,
@@ -868,17 +1187,39 @@ impl Registry {
         observed: &Slot,
         allow_restore: bool,
     ) -> (Result<Arc<Entry>, String>, bool) {
-        // Stat once, out here: the swap predicate runs under the shard
+        self.refresh_stale(key, ds, mode, observed, allow_restore, true)
+    }
+
+    /// The stale path: swaps in a fresh slot (unless a racer already
+    /// refreshed the entry) and builds into it. `allow_restore` is
+    /// forwarded so a stale rebuild may still use the disk tier — the
+    /// restore itself verifies the source stamp, so stale persisted
+    /// files never match. `count_adopt_hit` is true on the request
+    /// path (adopting a racer's rebuild shares its scan — hit
+    /// semantics) and false from the sweeper, which is not a lookup.
+    /// The returned boolean follows the [`Registry::get_or_load`]
+    /// contract: `true` iff this caller adopted a racer's rebuild
+    /// instead of paying its own.
+    fn refresh_stale(
+        &self,
+        key: &CacheKey,
+        ds: &DatasetRef,
+        mode: LoadMode,
+        observed: &Slot,
+        allow_restore: bool,
+        count_adopt_hit: bool,
+    ) -> (Result<Arc<Entry>, String>, bool) {
+        // Stamp once, out here: the swap predicate runs under the shard
         // write lock, and filesystem I/O there would stall every
         // lookup on the shard behind a slow disk.
-        let now = SourceStat::of(&key.path);
+        let now = SourceStamp::capture(&key.path);
         let (slot, we_swapped) = self.swap_slot_if(key, |cur| {
             // Swap the slot we saw go stale. If a racer already swapped
             // it, swap again only if *their* result is stale too —
             // adopting a fresh rebuild (or a build in flight) as-is.
             Arc::ptr_eq(cur, observed)
                 || cur.cell.get().is_some_and(|r| match r {
-                    Ok(entry) => Self::stale_against(entry, now),
+                    Ok(entry) => Self::stamp_mismatch(entry, now),
                     Err(_) => true,
                 })
         });
@@ -887,15 +1228,138 @@ impl Registry {
             // counter matches actual rebuilds even under racing hits.
             self.stale_rebuilds.fetch_add(1, Ordering::Relaxed);
             self.emit(RegistryEvent::StaleRebuild { key: key.fnv64() });
-        } else {
-            // Adopted a racer's fresh slot: their scan is shared with
-            // us, which is hit semantics.
+        } else if count_adopt_hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         (
             self.run_build(key, ds, mode, &slot, allow_restore),
             !we_swapped,
         )
+    }
+
+    /// The append path: swaps in a fresh slot (unless a racer already
+    /// refreshed the entry) and fills it by *absorbing* the appended
+    /// suffix into `old`'s resumable ingest state — bit-identical to a
+    /// cold rebuild over the whole file, at suffix cost. Falls back to
+    /// a full scan (a miss) if the absorb fails for any reason. The
+    /// returned boolean is `true` iff this caller performed the swap.
+    fn refresh_appended(
+        &self,
+        key: &CacheKey,
+        ds: &DatasetRef,
+        observed: &Slot,
+        old: &Arc<Entry>,
+        new: SourceStamp,
+    ) -> (Result<Arc<Entry>, String>, bool) {
+        let (slot, we_swapped) = self.swap_slot_if(key, |cur| {
+            // Swap the slot we saw as appended. If a racer already
+            // swapped it, swap again only if their result still holds
+            // the old stamp (nobody actually refreshed) — otherwise
+            // adopt their fresh slot (or wait on their build in
+            // flight) as-is.
+            Arc::ptr_eq(cur, observed)
+                || cur.cell.get().is_some_and(|r| match r {
+                    Ok(entry) => entry.source == old.source,
+                    Err(_) => true,
+                })
+        });
+        let result = slot
+            .cell
+            .get_or_init(|| match self.absorb_append(key, ds, old, new) {
+                Ok(entry) => {
+                    self.append_updates.fetch_add(1, Ordering::Relaxed);
+                    self.resident_bytes
+                        .fetch_add(entry.stored_bytes as u64, Ordering::Relaxed);
+                    self.emit(RegistryEvent::AppendUpdate {
+                        key: key.fnv64(),
+                        bytes: new.len - old.source.map_or(0, |s| s.len),
+                    });
+                    if let Some(dir) = &self.config.cache_dir {
+                        // Re-persist so a restart resumes from the
+                        // absorbed state, not the pre-append sample.
+                        let _ = persist_entry(dir, key, &entry);
+                        self.enforce_disk_budget(key);
+                    }
+                    Ok(entry)
+                }
+                Err(_) => {
+                    // Absorb failed (unreadable suffix, inconsistent
+                    // state): pay the full scan instead.
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.scan_build(key, ds, LoadMode::Stream)
+                }
+            })
+            .clone();
+        self.finish_build(key, &slot, &result);
+        (result, we_swapped)
+    }
+
+    /// Feeds the appended suffix (`old.source.len ..= new.len` bytes of
+    /// the source) through the entry's paused reservoir, column
+    /// sketches, and — if the sketch was built in-process — pair
+    /// reservoirs, producing a new entry equal to a cold rebuild over
+    /// the grown file.
+    fn absorb_append(
+        &self,
+        key: &CacheKey,
+        ds: &DatasetRef,
+        old: &Arc<Entry>,
+        new: SourceStamp,
+    ) -> Result<Arc<Entry>, String> {
+        let old_stamp = old.source.ok_or("entry has no source stamp")?;
+        let mut ingest = old
+            .ingest
+            .clone()
+            .ok_or("entry has no resumable ingest state")?;
+        let mut cols = old.cols.clone();
+        let mut pair = old.pair_ingest.get().cloned();
+        let mut src = CsvTupleSource::open_suffix(
+            &key.path,
+            old_stamp.len,
+            new.len - old_stamp.len,
+            ingest.names().to_vec(),
+            &CsvOptions::default(),
+        )
+        .map_err(|e| format!("reading {}: {e}", key.path))?;
+        loop {
+            let tuple = match src.next_tuple() {
+                Ok(Some(tuple)) => tuple,
+                Ok(None) => break,
+                Err(e) => return Err(format!("streaming {}: {e}", key.path)),
+            };
+            if tuple.len() != old.attrs {
+                return Err(format!(
+                    "appended row width {} != schema width {}",
+                    tuple.len(),
+                    old.attrs
+                ));
+            }
+            for (sk, v) in cols.iter_mut().zip(&tuple) {
+                sk.observe(v);
+            }
+            if let Some(p) = &mut pair {
+                p.push(&tuple);
+            }
+            ingest.push(tuple);
+        }
+        let params = FilterParams::new(ds.eps);
+        let filter = ingest
+            .to_filter(params)
+            .map_err(|e| format!("rebuilding sample for {}: {e}", key.path))?;
+        let rows = ingest.rows();
+        let entry = Entry::new(filter, None, cols, rows, old.attrs, Some(new), Some(ingest));
+        let entry = Arc::new(entry);
+        if let Some(pair) = pair {
+            // The old entry had an in-process sketch: advance it over
+            // the suffix too, so `sketch` stays warm across appends.
+            let sketch_params = sketch_params();
+            if let Ok(sk) = pair.to_sketch(sketch_params) {
+                let sk = self.admit_sketch(&entry, sk, key, true, sketch_params);
+                let _ = entry.sketch_cell.set(Ok(sk));
+                let _ = entry.pair_ingest.set(pair);
+            }
+        }
+        Ok(entry)
     }
 
     /// Swaps in a fresh slot for `key` when `should_swap` says the
@@ -960,35 +1424,53 @@ impl Registry {
                     }
                 }
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                build_entry(ds, &key.path, mode).map(|entry| {
-                    self.resident_bytes
-                        .fetch_add(entry.stored_bytes as u64, Ordering::Relaxed);
-                    self.emit(RegistryEvent::Built {
-                        key: key.fnv64(),
-                        bytes: entry.stored_bytes as u64,
-                    });
-                    if let Some(dir) = &self.config.cache_dir {
-                        // Best-effort: a failed persist only costs the
-                        // next restart a re-scan.
-                        let _ = persist_entry(dir, key, &entry);
-                    }
-                    Arc::new(entry)
-                })
+                self.scan_build(key, ds, mode)
             })
             .clone();
+        self.finish_build(key, slot, &result);
+        result
+    }
+
+    /// A full source scan (a miss): builds the entry, books its bytes,
+    /// persists it, and enforces the warm-tier budget. Runs only from
+    /// inside a slot's one-time build closure.
+    fn scan_build(
+        &self,
+        key: &CacheKey,
+        ds: &DatasetRef,
+        mode: LoadMode,
+    ) -> Result<Arc<Entry>, String> {
+        build_entry(ds, &key.path, mode).map(|entry| {
+            self.resident_bytes
+                .fetch_add(entry.stored_bytes as u64, Ordering::Relaxed);
+            self.emit(RegistryEvent::Built {
+                key: key.fnv64(),
+                bytes: entry.stored_bytes as u64,
+            });
+            if let Some(dir) = &self.config.cache_dir {
+                // Best-effort: a failed persist only costs the
+                // next restart a re-scan.
+                let _ = persist_entry(dir, key, &entry);
+                self.enforce_disk_budget(key);
+            }
+            Arc::new(entry)
+        })
+    }
+
+    /// The common tail of every slot fill: evict a failed slot so a
+    /// later request retries, or stamp a successful one (the build
+    /// captured a fresh source stamp, so the peek window opens from
+    /// here) and enforce the LRU budget.
+    fn finish_build(&self, key: &CacheKey, slot: &Slot, result: &Result<Arc<Entry>, String>) {
         if result.is_err() {
-            // Evict the failed slot so a later request retries.
             let mut map = self.shard(key).write().expect("shard lock");
             if map.get(key).is_some_and(|cur| Arc::ptr_eq(cur, slot)) {
                 map.remove(key);
             }
         } else {
-            // A finished build (or disk restore) captured a fresh source
-            // stat, so the peek window opens from here.
             self.stamp_validated(slot);
             self.enforce_budget(key);
         }
-        result
     }
 
     /// Evicts least-recently-used completed entries until the resident
@@ -1043,19 +1525,84 @@ impl Registry {
         }
     }
 
+    /// Garbage-collects the persistent warm tier down to
+    /// [`RegistryConfig::cache_disk_bytes`]: artifacts are grouped by
+    /// their 16-hex key stem (a key's sample, meta, and pairs files
+    /// live and die together — removing a sample while keeping its
+    /// meta would poison restores) and whole groups are removed oldest
+    /// first, `protect` (the key just persisted) last of all. Runs
+    /// after every persist; best-effort like persistence itself.
+    fn enforce_disk_budget(&self, protect: &CacheKey) {
+        let (Some(dir), Some(budget)) = (&self.config.cache_dir, self.config.cache_disk_bytes)
+        else {
+            return;
+        };
+        let Ok(listing) = std::fs::read_dir(dir) else {
+            return;
+        };
+        // stem → (newest artifact mtime, total bytes, paths)
+        let mut groups: HashMap<String, (std::time::SystemTime, u64, Vec<PathBuf>)> =
+            HashMap::new();
+        let mut total: u64 = 0;
+        for dirent in listing.flatten() {
+            let name = dirent.file_name();
+            let Some(stem) = name.to_str().and_then(artifact_stem) else {
+                continue;
+            };
+            let Ok(meta) = dirent.metadata() else {
+                continue;
+            };
+            let mtime = meta.modified().unwrap_or(UNIX_EPOCH);
+            let bytes = meta.len();
+            total += bytes;
+            let group = groups
+                .entry(stem.to_string())
+                .or_insert((UNIX_EPOCH, 0, Vec::new()));
+            group.0 = group.0.max(mtime);
+            group.1 += bytes;
+            group.2.push(dirent.path());
+        }
+        if total <= budget {
+            return;
+        }
+        let protect_stem = format!("{:016x}", protect.fnv64());
+        let mut victims: Vec<(std::time::SystemTime, String, u64, Vec<PathBuf>)> = groups
+            .into_iter()
+            .filter(|(stem, _)| *stem != protect_stem)
+            .map(|(stem, (mtime, bytes, paths))| (mtime, stem, bytes, paths))
+            .collect();
+        victims.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        for (_, stem, bytes, paths) in victims {
+            if total <= budget {
+                break;
+            }
+            for path in paths {
+                let _ = std::fs::remove_file(path);
+            }
+            total = total.saturating_sub(bytes);
+            self.emit(RegistryEvent::DiskEvicted {
+                key: u64::from_str_radix(&stem, 16).unwrap_or(0),
+                bytes,
+            });
+        }
+    }
+
     /// Attempts to restore `key` from the persistence directory.
     /// Succeeds only if the metadata matches the key exactly, the
-    /// source file's current stat matches the recorded one, and the
+    /// source file's current stamp matches the recorded one, and the
     /// sample file holds exactly the shape the metadata promises (a
     /// truncated or externally modified sample must re-scan, not
-    /// silently change filter answers).
+    /// silently change filter answers). Pre-version-2 metas (no
+    /// content fingerprint, no column sketches, no checkpoint) are
+    /// rejected wholesale by the version gate — the entry re-scans
+    /// rather than silently materialising on the next `stats`.
     fn try_restore(&self, key: &CacheKey, ds: &DatasetRef) -> Option<Entry> {
         let dir = self.config.cache_dir.as_ref()?;
         let meta = read_meta(&meta_path(dir, key))?;
         if !meta.header.matches_key(key) {
             return None; // file-stem hash collision
         }
-        let now = SourceStat::of(&key.path)?;
+        let now = SourceStamp::capture(&key.path)?;
         if now != meta.header.source {
             return None; // the source changed since the sample was taken
         }
@@ -1063,13 +1610,36 @@ impl Registry {
         if sample.n_rows() != meta.sample_rows || sample.n_attrs() != meta.header.attrs {
             return None;
         }
+        if meta.cols.len() != meta.header.attrs {
+            return None;
+        }
+        // Resume the paused ingest, if the meta carries a checkpoint:
+        // the persisted sample rows *are* the reservoir items in slot
+        // order (the roundtrip guard at persist time proved they read
+        // back value-exact). A checkpoint that does not cohere with
+        // the header drops the resume — the entry still restores, it
+        // just rebuilds fully on the next append.
+        let ingest = meta
+            .ingest
+            .filter(|ck| ck.skip.seen == meta.header.rows)
+            .and_then(|ck| {
+                let names: Vec<String> = sample.schema().names().map(str::to_string).collect();
+                let items: Vec<Vec<Value>> = (0..sample.n_rows())
+                    .map(|row| {
+                        (0..sample.n_attrs())
+                            .map(|a| sample.value(row, AttrId::new(a)).clone())
+                            .collect()
+                    })
+                    .collect();
+                TupleIngest::resume(names, ck, items)
+            });
         let params = FilterParams::new(ds.eps);
         let filter = TupleSampleFilter::from_sample(sample, params);
-        let cols = meta.cols.map(|cols| {
-            cols.into_iter()
-                .map(|minima| DistinctSketch::from_minima(COLUMN_SKETCH_K, minima))
-                .collect()
-        });
+        let cols = meta
+            .cols
+            .into_iter()
+            .map(|minima| DistinctSketch::from_minima(COLUMN_SKETCH_K, minima))
+            .collect();
         Some(Entry::new(
             filter,
             None,
@@ -1077,6 +1647,7 @@ impl Registry {
             meta.header.rows,
             meta.header.attrs,
             Some(now),
+            ingest,
         ))
     }
 
@@ -1128,9 +1699,9 @@ fn build_entry(ds: &DatasetRef, canonical_path: &str, mode: LoadMode) -> Result<
         return Err(format!("eps must be in (0, 1), got {}", ds.eps));
     }
     let params = FilterParams::new(ds.eps);
-    // Stat before the scan: a file rewritten *during* the read then
-    // differs from the recorded stat, so the next hit rebuilds.
-    let source = SourceStat::of(canonical_path);
+    // Stamp before the scan: a file rewritten *during* the read then
+    // differs from the recorded stamp, so the next hit rebuilds.
+    let source = SourceStamp::capture(canonical_path);
     match mode {
         LoadMode::Memory => {
             let dataset = read_csv_path(&ds.path, &CsvOptions::default())
@@ -1145,20 +1716,39 @@ fn build_entry(ds: &DatasetRef, canonical_path: &str, mode: LoadMode) -> Result<
             let filter = TupleSampleFilter::build(&dataset, params, ds.seed);
             let cols = cols_from_dataset(&dataset);
             let (rows, attrs) = (dataset.n_rows(), dataset.n_attrs());
+            // No resumable ingest: a memory-mode entry must cover any
+            // appended rows in its materialised dataset anyway, so an
+            // append rebuilds it fully.
             Ok(Entry::new(
                 filter,
                 Some(dataset),
-                Some(cols),
+                cols,
                 rows,
                 attrs,
                 source,
+                None,
             ))
         }
         LoadMode::Stream => {
             let mut source_rows = CsvTupleSource::open(&ds.path, &CsvOptions::default())
                 .map_err(|e| format!("reading {}: {e}", ds.path))?;
             let mut tee = CardinalityTee::new(&mut source_rows);
-            let filter = tuple_filter_from_stream(&mut tee, params, ds.seed)
+            // Driven through a TupleIngest (the same computation
+            // `tuple_filter_from_stream` runs) so the reservoir + RNG
+            // state stays on the entry: a later pure append resumes it
+            // over just the new suffix.
+            let mut ingest = TupleIngest::new(tee.attr_names(), params, ds.seed);
+            loop {
+                match tee.next_tuple() {
+                    Ok(Some(tuple)) => {
+                        ingest.push(tuple);
+                    }
+                    Ok(None) => break,
+                    Err(e) => return Err(format!("streaming {}: {e}", ds.path)),
+                }
+            }
+            let filter = ingest
+                .to_filter(params)
                 .map_err(|e| format!("streaming {}: {e}", ds.path))?;
             let cols = tee.into_cols();
             let rows = source_rows.rows_read();
@@ -1168,7 +1758,15 @@ fn build_entry(ds: &DatasetRef, canonical_path: &str, mode: LoadMode) -> Result<
                     "data set too small to analyse ({rows} rows x {attrs} attributes)"
                 ));
             }
-            Ok(Entry::new(filter, None, Some(cols), rows, attrs, source))
+            Ok(Entry::new(
+                filter,
+                None,
+                cols,
+                rows,
+                attrs,
+                source,
+                Some(ingest),
+            ))
         }
     }
 }
@@ -1238,8 +1836,12 @@ impl TupleSource for CardinalityTee<'_> {
 // ---------------------------------------------------- persistence tier
 
 /// On-disk format version; bump on any layout change so old files are
-/// ignored, not misread.
-const PERSIST_VERSION: i64 = 1;
+/// ignored, not misread. Version 2 added the source content
+/// fingerprint, made the column-sketch state mandatory (so a restored
+/// entry can never silently materialise on `stats`), and added the
+/// optional ingest checkpoint; version-1 metas are rejected by the
+/// version gate and simply re-scan.
+const PERSIST_VERSION: i64 = 2;
 
 fn meta_path(dir: &Path, key: &CacheKey) -> PathBuf {
     dir.join(format!("{:016x}.meta.json", key.fnv64()))
@@ -1263,10 +1865,17 @@ fn pairs_path(dir: &Path, key: &CacheKey) -> PathBuf {
 /// files (the dir may be shared, and in-flight `.tmp-*` files belong
 /// to the tmp sweeper, not the purge).
 fn is_cache_artifact(name: &str) -> bool {
+    artifact_stem(name).is_some()
+}
+
+/// The 16-hex-digit key stem of a persisted artifact file name, or
+/// `None` for foreign files. The disk-budget GC groups artifacts by
+/// this stem so a key's files are removed together.
+fn artifact_stem(name: &str) -> Option<&str> {
     const SUFFIXES: [&str; 4] = [".meta.json", ".sample.csv", ".pairs.json", ".pairs.csv"];
-    SUFFIXES.iter().any(|suffix| {
+    SUFFIXES.iter().find_map(|suffix| {
         name.strip_suffix(suffix)
-            .is_some_and(|stem| stem.len() == 16 && stem.bytes().all(|b| b.is_ascii_hexdigit()))
+            .filter(|stem| stem.len() == 16 && stem.bytes().all(|b| b.is_ascii_hexdigit()))
     })
 }
 
@@ -1280,7 +1889,7 @@ struct PersistedHeader {
     seed: u64,
     rows: usize,
     attrs: usize,
-    source: SourceStat,
+    source: SourceStamp,
 }
 
 impl PersistedHeader {
@@ -1297,7 +1906,7 @@ fn header_fields(
     key: &CacheKey,
     rows: usize,
     attrs: usize,
-    source: SourceStat,
+    source: SourceStamp,
 ) -> Vec<(&'static str, Json)> {
     vec![
         ("version", Json::Int(PERSIST_VERSION)),
@@ -1309,6 +1918,7 @@ fn header_fields(
         ("source_len", json::u64_value(source.len)),
         ("source_mtime_s", json::u64_value(source.mtime_s)),
         ("source_mtime_ns", Json::Int(i64::from(source.mtime_ns))),
+        ("source_fnv", json::u64_value(source.prefix_fnv)),
     ]
 }
 
@@ -1324,10 +1934,11 @@ fn read_header(v: &Json) -> Option<PersistedHeader> {
         seed: u64_field("seed")?,
         rows: v.get("rows").and_then(Json::as_usize)?,
         attrs: v.get("attrs").and_then(Json::as_usize)?,
-        source: SourceStat {
+        source: SourceStamp {
             len: u64_field("source_len")?,
             mtime_s: u64_field("source_mtime_s")?,
             mtime_ns: v.get("source_mtime_ns").and_then(Json::as_u64)? as u32,
+            prefix_fnv: u64_field("source_fnv")?,
         },
     })
 }
@@ -1336,9 +1947,14 @@ struct PersistedMeta {
     header: PersistedHeader,
     /// Rows in the persisted sample file — restore integrity check.
     sample_rows: usize,
-    /// Per-column KMV minima (the column sketches' full state), absent
-    /// in metas written before the sketch-backed `stats` era.
-    cols: Option<Vec<Vec<u64>>>,
+    /// Per-column KMV minima (the column sketches' full state),
+    /// mandatory since version 2 so a restored entry always answers
+    /// `stats` without materialising.
+    cols: Vec<Vec<u64>>,
+    /// The paused ingest's scalar state (reservoir skip state + RNG
+    /// words); the retained rows are the sample file itself. Absent
+    /// for memory-mode entries, whose appends rebuild fully.
+    ingest: Option<IngestCheckpoint>,
 }
 
 /// Renders `ds` as CSV and proves the bytes round-trip value-exactly.
@@ -1401,17 +2017,37 @@ fn persist_entry(dir: &Path, key: &CacheKey, entry: &Entry) -> std::io::Result<(
     publish(&sample_tmp, &buf, &sample_final)?;
     let mut fields = header_fields(key, entry.rows, entry.attrs, source);
     fields.push(("sample_rows", Json::Int(sample.n_rows() as i64)));
-    if let Some(cols) = &entry.cols {
-        // The column sketches' full state (k minima per column) rides
-        // along, so a restored entry keeps answering `stats` without a
-        // scan. ~8·k·m bytes — still sample-scale.
+    // The column sketches' full state (k minima per column) rides
+    // along, so a restored entry keeps answering `stats` without a
+    // scan. ~8·k·m bytes — still sample-scale.
+    fields.push((
+        "cols",
+        Json::Arr(
+            entry
+                .cols
+                .iter()
+                .map(|sk| Json::Arr(sk.minima().map(json::u64_value).collect()))
+                .collect(),
+        ),
+    ));
+    if let Some(ingest) = &entry.ingest {
+        // The paused build's scalar state. The sample rows written
+        // above are the reservoir items in slot order, so checkpoint +
+        // sample reconstruct the exact mid-stream trajectory — an
+        // append after a restart still absorbs incrementally.
+        let ck = ingest.checkpoint();
         fields.push((
-            "cols",
-            Json::Arr(
-                cols.iter()
-                    .map(|sk| Json::Arr(sk.minima().map(json::u64_value).collect()))
-                    .collect(),
-            ),
+            "ingest",
+            obj(vec![
+                ("capacity", Json::Int(ck.skip.capacity as i64)),
+                ("seen", Json::Int(ck.skip.seen as i64)),
+                ("next_accept", json::u64_value(ck.skip.next_accept as u64)),
+                ("w_bits", json::u64_value(ck.skip.w_bits)),
+                (
+                    "rng",
+                    Json::Arr(ck.rng.iter().copied().map(json::u64_value).collect()),
+                ),
+            ]),
         ));
     }
     let meta = obj(fields).render();
@@ -1502,27 +2138,49 @@ fn read_meta(path: &Path) -> Option<PersistedMeta> {
     let text = std::fs::read_to_string(path).ok()?;
     let v = json::parse(text.trim()).ok()?;
     let header = read_header(&v)?;
-    // Column-sketch state is optional (absent in pre-sketch metas), but
-    // when present it must be well-formed — a corrupt list rejects the
-    // whole meta rather than restoring a half-right entry.
-    let cols = match v.get("cols") {
-        None => None,
-        Some(cols) => Some(
-            cols.as_arr()?
+    // Column-sketch state is mandatory since version 2, and must be
+    // well-formed — a corrupt list rejects the whole meta rather than
+    // restoring a half-right entry.
+    let cols = v
+        .get("cols")?
+        .as_arr()?
+        .iter()
+        .map(|col| {
+            col.as_arr()?
                 .iter()
-                .map(|col| {
-                    col.as_arr()?
-                        .iter()
-                        .map(Json::as_u64_lossless)
-                        .collect::<Option<Vec<u64>>>()
-                })
-                .collect::<Option<Vec<Vec<u64>>>>()?,
-        ),
+                .map(Json::as_u64_lossless)
+                .collect::<Option<Vec<u64>>>()
+        })
+        .collect::<Option<Vec<Vec<u64>>>>()?;
+    // The ingest checkpoint is optional (memory-mode entries), but
+    // when present it must be complete.
+    let ingest = match v.get("ingest") {
+        None => None,
+        Some(ck) => Some(IngestCheckpoint {
+            skip: SkipState {
+                capacity: ck.get("capacity").and_then(Json::as_usize)?,
+                seen: ck.get("seen").and_then(Json::as_usize)?,
+                next_accept: usize::try_from(ck.get("next_accept")?.as_u64_lossless()?).ok()?,
+                w_bits: ck.get("w_bits")?.as_u64_lossless()?,
+            },
+            rng: {
+                let words = ck.get("rng")?.as_arr()?;
+                if words.len() != 4 {
+                    return None;
+                }
+                let mut rng = [0u64; 4];
+                for (slot, w) in rng.iter_mut().zip(words) {
+                    *slot = w.as_u64_lossless()?;
+                }
+                rng
+            },
+        }),
     };
     Some(PersistedMeta {
         header,
         sample_rows: v.get("sample_rows").and_then(Json::as_usize)?,
         cols,
+        ingest,
     })
 }
 
@@ -2162,7 +2820,7 @@ mod tests {
         let reg = Registry::new();
         let (entry, _) = reg.get_or_load(&dsref(&path), LoadMode::Stream);
         let entry = entry.unwrap();
-        let cols = entry.cols.as_ref().expect("stream builds carry sketches");
+        let cols = &entry.cols;
         assert_eq!(cols.len(), 2);
         // id: 300 distinct (over k=256, an estimate); parity: exactly 2.
         assert!(!cols[0].is_exact());
@@ -2185,10 +2843,7 @@ mod tests {
         let (mem, _) = reg.get_or_load(&dsref(&path), LoadMode::Memory);
         let other = Registry::new();
         let (stream, _) = other.get_or_load(&dsref(&path), LoadMode::Stream);
-        assert_eq!(
-            mem.unwrap().cols.as_ref().unwrap(),
-            stream.unwrap().cols.as_ref().unwrap()
-        );
+        assert_eq!(mem.unwrap().cols, stream.unwrap().cols);
     }
 
     #[test]
@@ -2275,7 +2930,7 @@ mod tests {
             assert_eq!(restored.query(&a), built.query(&a));
         }
         // The restored entry still answers stats (cols survived too).
-        assert!(entry.cols.is_some());
+        assert_eq!(entry.cols.len(), 2);
     }
 
     #[test]
@@ -2364,5 +3019,392 @@ mod tests {
         assert!(reg.sketch_for(&ds, &entry).is_err());
         // …and no bytes were charged for it.
         assert_eq!(reg.snapshot().resident_bytes, entry.stored_bytes as u64);
+    }
+
+    // ------------------------------------ append + revalidation suite
+
+    fn append_rows(path: &str, start: usize, rows: usize, salt: u64) {
+        let mut f = std::fs::File::options().append(true).open(path).unwrap();
+        for i in start..start + rows {
+            writeln!(f, "{},{}", i as u64 + salt * 1_000_000, i % 2).unwrap();
+        }
+    }
+
+    fn sample_rows(ds: &Dataset) -> Vec<Vec<Value>> {
+        (0..ds.n_rows())
+            .map(|row| {
+                (0..ds.n_attrs())
+                    .map(|a| ds.value(row, AttrId::new(a)).clone())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_length_same_mtime_rewrite_is_caught_by_fingerprint() {
+        let path = fixture_csv("inplace.csv", 300);
+        let reg = Registry::new();
+        reg.get_or_load(&dsref(&path), LoadMode::Stream).0.unwrap();
+
+        // Rewrite one byte in place — same length — then pin the mtime
+        // back to the build-time value, so the change lands entirely
+        // inside the filesystem's timestamp resolution. This is the
+        // exact false-negative family a stat-only check misses.
+        let mtime = std::fs::metadata(&path).unwrap().modified().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let target = bytes.iter().position(|&b| b == b'0').unwrap();
+        bytes[target] = b'9';
+        std::fs::write(&path, &bytes).unwrap();
+        let f = std::fs::File::options().write(true).open(&path).unwrap();
+        f.set_modified(mtime).unwrap();
+        drop(f);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().modified().unwrap(),
+            mtime,
+            "fixture drifted: the rewrite must not move the mtime"
+        );
+
+        reg.get_or_load(&dsref(&path), LoadMode::Stream).0.unwrap();
+        assert_eq!(
+            reg.snapshot().stale_rebuilds,
+            1,
+            "the content fingerprint must catch a same-stat rewrite"
+        );
+        assert_eq!(reg.append_updates(), 0);
+    }
+
+    #[test]
+    fn truncated_source_triggers_full_rebuild() {
+        let path = fixture_csv("truncate.csv", 300);
+        let reg = Registry::new();
+        let (entry, _) = reg.get_or_load(&dsref(&path), LoadMode::Stream);
+        assert_eq!(entry.unwrap().rows, 300);
+        // Same prefix, fewer rows: shrinkage can never be an append.
+        write_fixture(Path::new(&path), 200, 0);
+        let (entry, _) = reg.get_or_load(&dsref(&path), LoadMode::Stream);
+        assert_eq!(entry.unwrap().rows, 200);
+        assert_eq!(reg.snapshot().stale_rebuilds, 1);
+        assert_eq!(reg.append_updates(), 0);
+    }
+
+    #[test]
+    fn pure_append_is_absorbed_and_bit_identical_to_a_cold_rebuild() {
+        let path = fixture_csv("append.csv", 400);
+        let reg = Registry::new();
+        let (entry, _) = reg.get_or_load(&dsref(&path), LoadMode::Stream);
+        assert_eq!(entry.unwrap().rows, 400);
+
+        append_rows(&path, 400, 300, 0);
+        let (absorbed, hit) = reg.get_or_load(&dsref(&path), LoadMode::Stream);
+        let absorbed = absorbed.unwrap();
+        assert!(hit, "the absorbing lookup is a hit, not a rebuild");
+        assert_eq!(absorbed.rows, 700);
+        assert_eq!(reg.append_updates(), 1);
+        assert_eq!(reg.snapshot().stale_rebuilds, 0);
+        assert_eq!(reg.misses(), 1, "only the cold build scanned the file");
+
+        // The absorbed entry must be indistinguishable from a cold
+        // rebuild over the grown file: the resumed reservoir makes the
+        // same accept/evict decisions the one-pass build would have,
+        // so the sample, the column sketches, and therefore every
+        // query answer are bit-identical — not merely statistically
+        // equivalent.
+        let cold_reg = Registry::new();
+        let (cold, _) = cold_reg.get_or_load(&dsref(&path), LoadMode::Stream);
+        let cold = cold.unwrap();
+        assert_eq!(
+            sample_rows(absorbed.filter.sample()),
+            sample_rows(cold.filter.sample())
+        );
+        assert_eq!(absorbed.cols, cold.cols);
+        assert_eq!(absorbed.rows, cold.rows);
+        assert_eq!(absorbed.attrs, cold.attrs);
+    }
+
+    #[test]
+    fn append_advances_the_sketch_without_a_rescan() {
+        let path = fixture_csv("append-sketch.csv", 400);
+        let reg = Registry::new();
+        let ds = dsref(&path);
+        let (entry, _) = reg.get_or_load(&ds, LoadMode::Stream);
+        // Build the pair sketch in-process so its paused reservoirs are
+        // parked on the entry, ready to resume over the suffix.
+        reg.sketch_for(&ds, &entry.unwrap()).unwrap();
+
+        append_rows(&path, 400, 300, 0);
+        let (absorbed, _) = reg.get_or_load(&ds, LoadMode::Stream);
+        let absorbed = absorbed.unwrap();
+        let sketch = absorbed
+            .sketch()
+            .expect("absorb advances the parked pair build eagerly");
+
+        let cold_reg = Registry::new();
+        let (cold_entry, _) = cold_reg.get_or_load(&ds, LoadMode::Stream);
+        let cold = cold_reg.sketch_for(&ds, &cold_entry.unwrap()).unwrap();
+        assert_eq!(sketch.source_pairs(), cold.source_pairs());
+        assert_eq!(sample_rows(sketch.pairs()), sample_rows(cold.pairs()));
+    }
+
+    #[test]
+    fn append_completing_a_partial_final_line_rebuilds() {
+        let dir = unique_dir("partial");
+        let path = dir.join("partial.csv");
+        std::fs::write(&path, "id,parity\n1,1\n2,0\n3,1").unwrap();
+        let path = path.to_str().unwrap().to_string();
+        let reg = Registry::new();
+        let (entry, _) = reg.get_or_load(&dsref(&path), LoadMode::Stream);
+        assert_eq!(entry.unwrap().rows, 3);
+
+        // The growth first *completes* the unterminated final row
+        // (changing a row the sample may already hold), then adds a
+        // new one: only a full rebuild is sound.
+        let mut f = std::fs::File::options().append(true).open(&path).unwrap();
+        write!(f, "7\n4,0\n").unwrap();
+        drop(f);
+        let (entry, _) = reg.get_or_load(&dsref(&path), LoadMode::Stream);
+        assert_eq!(entry.unwrap().rows, 4);
+        assert_eq!(reg.append_updates(), 0, "a straddled row must not absorb");
+        assert_eq!(reg.snapshot().stale_rebuilds, 1);
+    }
+
+    #[test]
+    fn sweep_absorbs_appends_ahead_of_traffic() {
+        let path = fixture_csv("sweep.csv", 300);
+        let reg = Registry::with_config(RegistryConfig {
+            revalidate_ms: 60_000,
+            ..RegistryConfig::default()
+        });
+        let ds = dsref(&path);
+        reg.get_or_load(&ds, LoadMode::Stream).0.unwrap();
+        let hits_before = reg.hits();
+
+        assert_eq!(reg.sweep(), 0, "a fresh entry needs no refresh");
+        assert_eq!(reg.sweep_refreshes(), 0);
+
+        append_rows(&path, 300, 200, 0);
+        assert_eq!(reg.sweep(), 1);
+        assert_eq!(reg.sweep_refreshes(), 1);
+        assert_eq!(reg.append_updates(), 1);
+        assert_eq!(reg.hits(), hits_before, "the sweeper is not a lookup");
+        assert_eq!(reg.misses(), 1, "the suffix absorb is not a scan");
+
+        // The refresh re-opened the revalidation window, so the
+        // zero-alloc fast path serves the absorbed entry immediately.
+        let peeked = reg
+            .peek(&CacheKey::of(&ds))
+            .expect("sweep keeps the peek window open");
+        assert_eq!(peeked.rows, 500);
+    }
+
+    #[test]
+    fn sweeper_racing_a_foreground_rebuild_shares_one_scan() {
+        let path = fixture_csv("race.csv", 300);
+        let reg = Arc::new(Registry::new());
+        let ds = dsref(&path);
+        reg.get_or_load(&ds, LoadMode::Stream).0.unwrap();
+        // Rewritten (prefix changed): stale however you look at it.
+        write_fixture(Path::new(&path), 300, 9);
+
+        let sweeper = {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || reg.sweep())
+        };
+        let (entry, _) = reg.get_or_load(&ds, LoadMode::Stream);
+        entry.unwrap();
+        sweeper.join().unwrap();
+
+        // However the race lands — sweeper first, foreground first, or
+        // truly interleaved — the swap-then-build-once discipline
+        // admits exactly one rebuild scan and counts it exactly once.
+        assert_eq!(reg.misses(), 2, "cold build + exactly one rebuild scan");
+        assert_eq!(reg.snapshot().stale_rebuilds, 1, "one swap, ever");
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn append_does_not_disturb_an_in_flight_audit() {
+        let path = fixture_csv("inflight.csv", 300);
+        let reg = Registry::new();
+        let ds = dsref(&path);
+        let (audit_entry, _) = reg.get_or_load(&ds, LoadMode::Stream);
+        let audit_entry = audit_entry.unwrap(); // held across the append
+        let before = sample_rows(audit_entry.filter.sample());
+
+        append_rows(&path, 300, 100, 0);
+        let (absorbed, _) = reg.get_or_load(&ds, LoadMode::Stream);
+        let absorbed = absorbed.unwrap();
+
+        assert!(
+            !Arc::ptr_eq(&audit_entry, &absorbed),
+            "absorb publishes a new entry instead of mutating the old"
+        );
+        assert_eq!(audit_entry.rows, 300, "the in-flight view is immutable");
+        assert_eq!(sample_rows(audit_entry.filter.sample()), before);
+        assert_eq!(absorbed.rows, 400);
+    }
+
+    #[test]
+    fn v1_metas_are_rejected_and_stats_does_not_materialise() {
+        let dir = unique_dir("v1-meta");
+        let path = fixture_csv("v1.csv", 300);
+        let ds = dsref(&path);
+        {
+            let reg = Registry::with_config(RegistryConfig {
+                cache_dir: Some(dir.clone()),
+                ..RegistryConfig::default()
+            });
+            reg.get_or_load(&ds, LoadMode::Stream).0.unwrap();
+        }
+        // Downgrade the persisted meta to the pre-append v1 marker: a
+        // v1 meta has no column sketches and no fingerprint, so
+        // restoring it would resurrect the silent-materialise path.
+        let meta_path = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|d| d.path())
+            .find(|p| p.to_str().is_some_and(|s| s.ends_with(".meta.json")))
+            .expect("meta persisted");
+        let text = std::fs::read_to_string(&meta_path).unwrap();
+        let downgraded = text.replacen("\"version\":2", "\"version\":1", 1);
+        assert_ne!(text, downgraded, "fixture drifted: no version field");
+        std::fs::write(&meta_path, downgraded).unwrap();
+
+        let reg = Registry::with_config(RegistryConfig {
+            cache_dir: Some(dir),
+            ..RegistryConfig::default()
+        });
+        let (entry, _) = reg.get_or_load(&ds, LoadMode::Stream);
+        let entry = entry.unwrap();
+        assert_eq!(reg.disk_hits(), 0, "a v1 meta must not restore");
+        assert_eq!(reg.misses(), 1, "rejected restore falls back to a scan");
+        assert_eq!(reg.snapshot().upgrades, 0);
+        assert!(
+            entry.dataset.is_none(),
+            "stats on a stream entry must not silently materialise"
+        );
+        assert_eq!(entry.cols.len(), 2, "stats answers from column sketches");
+    }
+
+    #[test]
+    fn disk_budget_evicts_oldest_artifact_groups() {
+        let dir = unique_dir("disk-gc");
+        let path_a = fixture_csv("gc-a.csv", 300);
+        let path_b = fixture_csv("gc-b.csv", 300);
+        let path_c = fixture_csv("gc-c.csv", 300);
+        let stem_of = |path: &str| format!("{:016x}", CacheKey::of(&dsref(path)).fnv64());
+        let group_bytes = |dir: &Path, stem: &str| -> u64 {
+            std::fs::read_dir(dir)
+                .unwrap()
+                .flatten()
+                .filter(|d| {
+                    d.file_name()
+                        .to_str()
+                        .and_then(artifact_stem)
+                        .is_some_and(|s| s == stem)
+                })
+                .map(|d| d.metadata().unwrap().len())
+                .sum()
+        };
+
+        // Measure one persisted group, then budget for two and a half:
+        // the third build must garbage-collect the oldest group.
+        {
+            let reg = Registry::with_config(RegistryConfig {
+                cache_dir: Some(dir.clone()),
+                ..RegistryConfig::default()
+            });
+            reg.get_or_load(&dsref(&path_a), LoadMode::Stream)
+                .0
+                .unwrap();
+        }
+        let group = group_bytes(&dir, &stem_of(&path_a));
+        assert!(group > 0, "build must persist");
+
+        let reg = Registry::with_config(RegistryConfig {
+            cache_dir: Some(dir.clone()),
+            cache_disk_bytes: Some(group * 5 / 2),
+            ..RegistryConfig::default()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        reg.get_or_load(&dsref(&path_b), LoadMode::Stream)
+            .0
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        reg.get_or_load(&dsref(&path_c), LoadMode::Stream)
+            .0
+            .unwrap();
+
+        assert_eq!(
+            group_bytes(&dir, &stem_of(&path_a)),
+            0,
+            "oldest group garbage-collected"
+        );
+        assert!(group_bytes(&dir, &stem_of(&path_b)) > 0, "b survives");
+        assert!(
+            group_bytes(&dir, &stem_of(&path_c)) > 0,
+            "the just-persisted group is protected"
+        );
+        // The resident tier is untouched by disk GC.
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn unload_all_purges_orphaned_artifacts_from_prior_processes() {
+        let dir = unique_dir("orphans");
+        let path = fixture_csv("orphan.csv", 300);
+        {
+            let reg = Registry::with_config(RegistryConfig {
+                cache_dir: Some(dir.clone()),
+                ..RegistryConfig::default()
+            });
+            reg.get_or_load(&dsref(&path), LoadMode::Stream).0.unwrap();
+        } // "restart": artifacts on disk, nothing resident
+        let reg = Registry::with_config(RegistryConfig {
+            cache_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        });
+        assert!(reg.is_empty());
+        let removed = reg.unload_all();
+        assert_eq!(removed, 2, "orphaned meta + sample purged");
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|d| d.file_name().to_str().is_some_and(is_cache_artifact))
+            .count();
+        assert_eq!(leftovers, 0);
+    }
+
+    #[test]
+    fn absorbed_append_persists_and_restores_without_a_scan() {
+        let dir = unique_dir("append-persist");
+        let path = fixture_csv("append-persist.csv", 300);
+        let ds = dsref(&path);
+        {
+            let reg = Registry::with_config(RegistryConfig {
+                cache_dir: Some(dir.clone()),
+                ..RegistryConfig::default()
+            });
+            reg.get_or_load(&ds, LoadMode::Stream).0.unwrap();
+            append_rows(&path, 300, 200, 0);
+            let (absorbed, _) = reg.get_or_load(&ds, LoadMode::Stream);
+            assert_eq!(absorbed.unwrap().rows, 500);
+            assert_eq!(reg.append_updates(), 1);
+        }
+        // A fresh process restores the *absorbed* state — stamp, rows,
+        // and resumable ingest — so the next append still absorbs.
+        let reg = Registry::with_config(RegistryConfig {
+            cache_dir: Some(dir),
+            ..RegistryConfig::default()
+        });
+        let (restored, _) = reg.get_or_load(&ds, LoadMode::Stream);
+        let restored = restored.unwrap();
+        assert_eq!(reg.disk_hits(), 1, "restored, not re-scanned");
+        assert_eq!(restored.rows, 500);
+        assert!(restored.append_capable(), "restore resumes ingest state");
+        append_rows(&path, 500, 100, 0);
+        let (again, _) = reg.get_or_load(&ds, LoadMode::Stream);
+        assert_eq!(again.unwrap().rows, 600);
+        assert_eq!(reg.append_updates(), 1, "post-restore appends absorb");
+        assert_eq!(reg.snapshot().stale_rebuilds, 0);
     }
 }

@@ -52,6 +52,11 @@ pub struct ServerConfig {
     /// Registry persistence directory (`--cache-dir`); `None` disables
     /// the on-disk warm tier.
     pub cache_dir: Option<String>,
+    /// On-disk warm-tier byte budget (`--cache-disk-bytes`); `None`
+    /// lets persisted artifacts accumulate without bound. When the
+    /// budget is exceeded, whole artifact groups (sample + sketch +
+    /// metas sharing one cache-key stem) are removed oldest-first.
+    pub cache_disk_bytes: Option<u64>,
     /// Longest accepted request line in bytes (`--max-line-bytes`).
     /// Longer lines are answered with a structured `line_too_long`
     /// error, discarded in `O(cap)` memory, and the connection stays
@@ -68,6 +73,13 @@ pub struct ServerConfig {
     /// [`Registry::peek`]). `0` disables the fast path and restores
     /// strict stat-on-every-request invalidation.
     pub revalidate_ms: u64,
+    /// Background revalidation sweep interval in milliseconds
+    /// (`--sweep-ms`); `0` (the default) disables the sweeper. When
+    /// armed, a dedicated thread walks every resident cache entry on
+    /// this cadence and refreshes stale or appended ones ahead of
+    /// traffic, so request latency does not absorb rebuild cost (see
+    /// [`Registry::sweep`]).
+    pub sweep_ms: u64,
     /// Prometheus exposition listen address (`--metrics-addr`); `None`
     /// disables the scrape endpoint. Port 0 picks an ephemeral port
     /// (see [`ServerState::metrics_local_addr`]).
@@ -105,9 +117,11 @@ impl Default for ServerConfig {
             max_conns: 0,
             cache_bytes: None,
             cache_dir: None,
+            cache_disk_bytes: None,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             max_rps: None,
             revalidate_ms: DEFAULT_REVALIDATE_MS,
+            sweep_ms: 0,
             metrics_addr: None,
             slow_ms: None,
             log_json: false,
@@ -194,6 +208,7 @@ pub struct Server {
     state: Arc<ServerState>,
     workers: usize,
     pollers: usize,
+    sweep_ms: u64,
 }
 
 impl Server {
@@ -219,6 +234,7 @@ impl Server {
         let registry = Registry::with_config(RegistryConfig {
             cache_bytes: config.cache_bytes,
             cache_dir: config.cache_dir.as_ref().map(std::path::PathBuf::from),
+            cache_disk_bytes: config.cache_disk_bytes,
             revalidate_ms: config.revalidate_ms,
             event_sink,
             ..RegistryConfig::default()
@@ -248,6 +264,7 @@ impl Server {
             }),
             workers: config.workers.max(1),
             pollers,
+            sweep_ms: config.sweep_ms,
         })
     }
 
@@ -309,6 +326,28 @@ impl Server {
                 .name("qid-metrics".to_string())
                 .spawn(move || obs::metrics_listener_loop(listener, state))
                 .expect("spawn metrics thread")
+        });
+        // Background revalidation (`--sweep-ms`): one thread walking
+        // the registry on a fixed cadence, refreshing stale or appended
+        // entries ahead of traffic. It naps in short slices so shutdown
+        // is observed within ~50 ms rather than a full sweep interval.
+        let sweeper_thread = (self.sweep_ms > 0).then(|| {
+            let state = Arc::clone(&self.state);
+            let interval = std::time::Duration::from_millis(self.sweep_ms);
+            std::thread::Builder::new()
+                .name("qid-sweeper".to_string())
+                .spawn(move || {
+                    let nap = std::time::Duration::from_millis(50).min(interval);
+                    let mut next = std::time::Instant::now() + interval;
+                    while !state.is_shutting_down() {
+                        if std::time::Instant::now() >= next {
+                            state.registry.sweep();
+                            next = std::time::Instant::now() + interval;
+                        }
+                        std::thread::sleep(nap);
+                    }
+                })
+                .expect("spawn sweeper thread")
         });
         // Unknown accept errors are retried with backoff this many
         // times before giving up: a resident service must survive
@@ -412,6 +451,9 @@ impl Server {
             let _ = thread.join();
         }
         pool.shutdown();
+        if let Some(thread) = sweeper_thread {
+            let _ = thread.join();
+        }
         if let Some(thread) = metrics_thread {
             // The exposition accept loop may be parked in accept();
             // poke it so it can observe the shutdown flag. (The
@@ -892,7 +934,7 @@ fn dispatch(request: &Request, state: &ServerState, cache: &mut EntryCache) -> R
             })
         }
         Request::Stats { ds } => match cache.sample_entry(state, ds) {
-            Ok(entry) => stats_response(state, ds, &entry),
+            Ok(entry) => stats_response(&entry),
             Err(message) => Response::Error { message },
         },
         Request::Unload { ds } => {
@@ -927,12 +969,14 @@ fn dispatch(request: &Request, state: &ServerState, cache: &mut EntryCache) -> R
     }
 }
 
-/// Answers `stats` from the best resident artifact: exact dictionary
-/// sizes when the dataset is materialised, KMV estimates from the
-/// per-column sketches for stream-mode entries, and only as a last
-/// resort (an entry restored from a pre-sketch persisted meta, which
-/// has neither) a materialisation upgrade.
-fn stats_response(state: &ServerState, ds: &DatasetRef, entry: &Entry) -> Response {
+/// Answers `stats` from the resident artifact: exact dictionary sizes
+/// when the dataset is materialised, KMV estimates from the per-column
+/// sketches otherwise. Every entry carries its column sketches (the
+/// registry's persistence format guarantees it since version 2), so a
+/// `stats` on a stream entry can never silently materialise the whole
+/// dataset — `cache_upgrades` stays at 0 unless `load --mode memory`
+/// asks for it.
+fn stats_response(entry: &Entry) -> Response {
     fn exact_stats(dataset: &qid_dataset::Dataset) -> Response {
         Response::Stats {
             rows: dataset.n_rows(),
@@ -951,31 +995,21 @@ fn stats_response(state: &ServerState, ds: &DatasetRef, entry: &Entry) -> Respon
     if let Some(dataset) = &entry.dataset {
         return exact_stats(dataset);
     }
-    if let Some(cols) = &entry.cols {
-        let schema = entry.filter.sample().schema();
-        return Response::Stats {
-            rows: entry.rows,
-            exact: cols.iter().all(qid_core::sketch::DistinctSketch::is_exact),
-            columns: cols
-                .iter()
-                .enumerate()
-                .map(|(a, sk)| {
-                    (
-                        schema.attr(qid_dataset::AttrId::new(a)).name().to_string(),
-                        sk.estimate(),
-                    )
-                })
-                .collect(),
-        };
-    }
-    match state.registry.get_or_load_materialised(ds).0 {
-        Ok(upgraded) => match &upgraded.dataset {
-            Some(dataset) => exact_stats(dataset),
-            None => Response::Error {
-                message: "internal error: materialised load produced no dataset".to_string(),
-            },
-        },
-        Err(message) => Response::Error { message },
+    let cols = &entry.cols;
+    let schema = entry.filter.sample().schema();
+    Response::Stats {
+        rows: entry.rows,
+        exact: cols.iter().all(qid_core::sketch::DistinctSketch::is_exact),
+        columns: cols
+            .iter()
+            .enumerate()
+            .map(|(a, sk)| {
+                (
+                    schema.attr(qid_dataset::AttrId::new(a)).name().to_string(),
+                    sk.estimate(),
+                )
+            })
+            .collect(),
     }
 }
 

@@ -21,8 +21,9 @@
 //! ```text
 //! qid serve [--addr 127.0.0.1:0] [--workers 4] [--pollers N]
 //!           [--max-conns N] [--cache-bytes N[K|M|G]] [--cache-dir DIR]
+//!           [--cache-disk-bytes N[K|M|G]]
 //!           [--max-line-bytes N[K|M|G]] [--max-rps N]
-//!           [--revalidate-ms MS]
+//!           [--revalidate-ms MS] [--sweep-ms MS]
 //!           [--metrics-addr HOST:PORT] [--slow-ms MS] [--log-json]
 //! qid query <addr> load    data.csv [--eps E] [--seed S] [--stream]
 //! qid query <addr> audit   data.csv [--eps E] [--seed S] [--max-key-size K]
@@ -62,8 +63,13 @@
 //! the server resolves each distinct dataset key once for the whole
 //! batch. `--cache-bytes` caps the registry's resident memory (LRU
 //! eviction); `--cache-dir` persists built samples so a restarted
-//! server warms up without re-scanning sources. See README "Cache
-//! lifecycle".
+//! server warms up without re-scanning sources; `--cache-disk-bytes`
+//! caps that warm tier on disk (whole artifact groups evicted
+//! oldest-first). `--sweep-ms` arms a background revalidation thread
+//! that refreshes stale or appended sources ahead of traffic — with
+//! it, an append-only CSV that grows between queries is absorbed
+//! incrementally (only the new suffix is scanned) before the next
+//! request arrives. See README "Cache lifecycle".
 //!
 //! The server's connection core is readiness-driven (`epoll` on Linux,
 //! `kqueue` on macOS/BSD, `poll(2)` fallback), sharded across
@@ -141,7 +147,8 @@ fn usage() -> ! {
          [--budget B] [--exact]\n\
          \x20      qid serve [--addr HOST:PORT] [--workers N] [--pollers N] \
          [--max-conns N] [--cache-bytes N[K|M|G]] [--cache-dir DIR] \
-         [--max-line-bytes N[K|M|G]] [--max-rps N] [--revalidate-ms MS] \
+         [--cache-disk-bytes N[K|M|G]] [--max-line-bytes N[K|M|G]] \
+         [--max-rps N] [--revalidate-ms MS] [--sweep-ms MS] \
          [--metrics-addr HOST:PORT] [--slow-ms MS] [--log-json]\n\
          \x20      qid query <addr> \
          <load|audit|key|check|sketch|mask|stats|batch|unload|trace|metrics|shutdown> \
@@ -282,6 +289,15 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 }))
             }
             "--cache-dir" => config.cache_dir = Some(take("--cache-dir").clone()),
+            "--cache-disk-bytes" => {
+                config.cache_disk_bytes =
+                    Some(parse_bytes(take("--cache-disk-bytes")).unwrap_or_else(|| {
+                        eprintln!(
+                            "--cache-disk-bytes wants an integer with an optional K/M/G suffix"
+                        );
+                        usage()
+                    }))
+            }
             "--max-line-bytes" => {
                 let bytes = parse_bytes(take("--max-line-bytes")).unwrap_or_else(|| {
                     eprintln!("--max-line-bytes wants an integer with an optional K/M/G suffix");
@@ -306,6 +322,15 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                     eprintln!(
                         "--revalidate-ms wants a window in milliseconds \
                          (0 restores stat-per-request freshness checks)"
+                    );
+                    usage()
+                });
+            }
+            "--sweep-ms" => {
+                config.sweep_ms = take("--sweep-ms").parse().unwrap_or_else(|_| {
+                    eprintln!(
+                        "--sweep-ms wants a background revalidation interval \
+                         in milliseconds (0 disables the sweeper)"
                     );
                     usage()
                 });
@@ -341,7 +366,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         stdout,
         "qid-server listening on {} (workers = {}, pollers = {}, poller = {}, \
          max-conns = {}, max-line-bytes = {}, max-rps = {}, revalidate-ms = {}, \
-         metrics = {})",
+         sweep-ms = {}, metrics = {})",
         server.local_addr(),
         config.workers.max(1),
         config.pollers.max(1),
@@ -356,6 +381,11 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             .max_rps
             .map_or("off".to_string(), |rps| rps.to_string()),
         config.revalidate_ms,
+        if config.sweep_ms == 0 {
+            "off".to_string()
+        } else {
+            config.sweep_ms.to_string()
+        },
         server
             .state()
             .metrics_local_addr()
@@ -705,10 +735,13 @@ fn print_response(response: &Response) -> ExitCode {
                 report.cache_disk_hits
             );
             outln!(
-                "lifecycle: {} evictions, {} stale rebuilds, {} upgrades",
+                "lifecycle: {} evictions, {} stale rebuilds, {} upgrades, \
+                 {} append updates, {} sweep refreshes",
                 report.cache_evictions,
                 report.cache_stale_rebuilds,
-                report.cache_upgrades
+                report.cache_upgrades,
+                report.cache_append_updates,
+                report.cache_sweep_refreshes
             );
             outln!(
                 "connections: {} accepted; hardening: {} rejected busy, \

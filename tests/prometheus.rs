@@ -27,7 +27,7 @@ use quasi_id::server::{Client, RunningServer, Server, ServerConfig};
 
 /// Metric families the scrape must always export (CI greps for these
 /// too; keep `.github/workflows/ci.yml` in sync).
-const REQUIRED_FAMILIES: [&str; 15] = [
+const REQUIRED_FAMILIES: [&str; 17] = [
     "qid_build_info",
     "qid_uptime_seconds",
     "qid_requests_total",
@@ -38,6 +38,8 @@ const REQUIRED_FAMILIES: [&str; 15] = [
     "qid_poller_registered_fds",
     "qid_cache_resident_bytes",
     "qid_cache_entries",
+    "qid_cache_append_updates_total",
+    "qid_cache_sweep_refreshes_total",
     "qid_connections",
     "qid_rejected_lines_total",
     "qid_rejected_busy_total",

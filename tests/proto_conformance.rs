@@ -205,6 +205,8 @@ fn corpus() -> Vec<String> {
             cache_evictions: 0,
             cache_stale_rebuilds: 0,
             cache_upgrades: 0,
+            cache_append_updates: 2,
+            cache_sweep_refreshes: 1,
             cache_bytes: 4144,
             datasets: 1,
             connections: 512,

@@ -815,8 +815,35 @@ fn rewriting_the_csv_in_place_triggers_a_rebuild() {
     assert_eq!(load(&mut client, &ds), (800, false));
     assert_eq!(load(&mut client, &ds), (800, true), "second load is a hit");
 
-    // Rewrite the file in place: different length and content.
-    write_fixture(&csv, 900);
+    // Growing the fixture keeps the old 800 rows as an intact prefix,
+    // so this is an *append*, not a rewrite: the entry absorbs the
+    // suffix and the load is still a hit.
+    write_fixture(&csv, 850);
+    assert_eq!(
+        load(&mut client, &ds),
+        (850, true),
+        "a pure append is absorbed, not rebuilt"
+    );
+    let report = metrics(&mut client);
+    assert_eq!(report.cache_append_updates, 1, "{report:?}");
+    assert_eq!(report.cache_stale_rebuilds, 0, "{report:?}");
+
+    // A genuine rewrite: different length AND different content from
+    // the first data row on, so the prefix fingerprint cannot match.
+    {
+        let mut f = std::fs::File::create(&csv).unwrap();
+        writeln!(f, "id,zip,age,sex").unwrap();
+        for i in 0..900 {
+            writeln!(
+                f,
+                "{i},{},{},{}",
+                50100 + i % 40,
+                18 + (i * 7) % 60,
+                if i % 2 == 0 { "M" } else { "F" }
+            )
+            .unwrap();
+        }
+    }
     let (rows, cached) = load(&mut client, &ds);
     assert_eq!(
         rows, 900,

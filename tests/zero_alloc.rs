@@ -110,10 +110,18 @@ fn steady_state_served_check_allocates_nothing() {
     // contract must hold *under instrumentation*: slow-request
     // detection is armed with a threshold no test request can cross,
     // and every request records a trace span.
+    // The background revalidation sweeper is ARMED for the run: its
+    // thread naps in 50 ms slices alongside the counted window, and an
+    // idle nap iteration (deadline compare, shutdown-flag load, sleep)
+    // must be allocation-free too. The interval is an hour so no
+    // actual sweep pass — which walks shards and re-stamps sources,
+    // allocating on its own thread by design — lands inside the
+    // counted window of this process-wide counter.
     let server = Server::bind(&ServerConfig {
         workers: 1,
         pollers: 2,
         revalidate_ms: 3_600_000,
+        sweep_ms: 3_600_000,
         metrics_addr: Some("127.0.0.1:0".to_string()),
         slow_ms: Some(60_000),
         log_json: false,

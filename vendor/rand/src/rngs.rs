@@ -7,9 +7,29 @@ use crate::{Rng, SeedableRng};
 ///
 /// Not cryptographically secure; statistically solid for simulation
 /// and property-testing workloads.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StdRng {
     s: [u64; 4],
+}
+
+impl StdRng {
+    /// The generator's raw xoshiro256** state, for checkpointing.
+    /// `from_state(rng.state())` continues the exact output sequence.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a state captured by [`StdRng::state`].
+    ///
+    /// The all-zero state is a fixed point of xoshiro256** (the
+    /// generator would emit zeros forever); it cannot arise from
+    /// `seed_from_u64`, so reject it rather than resume a dead stream.
+    pub fn from_state(s: [u64; 4]) -> Option<Self> {
+        if s == [0; 4] {
+            return None;
+        }
+        Some(StdRng { s })
+    }
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
