@@ -70,6 +70,14 @@ impl TupleIngest {
         &self.names
     }
 
+    /// Approximate heap bytes the paused build retains: the
+    /// reservoir's tuple copies (a second copy of the sample rows)
+    /// plus text payloads. Scalars and names are noise. Cache byte
+    /// budgets charge this so a parked ingest is not free memory.
+    pub fn retained_bytes(&self) -> usize {
+        self.reservoir.items().iter().map(|t| tuple_bytes(t)).sum()
+    }
+
     /// Builds the Algorithm 1 filter over the sample retained so far.
     /// Non-consuming: the ingest remains valid for further pushes.
     pub fn to_filter(&self, params: FilterParams) -> Result<TupleSampleFilter, DatasetError> {
@@ -155,6 +163,18 @@ impl PairIngest {
         self.mr.seen()
     }
 
+    /// Approximate heap bytes the paused build retains: the `2s` pair
+    /// tuple copies plus text payloads. The pair analogue of
+    /// [`TupleIngest::retained_bytes`].
+    pub fn retained_bytes(&self) -> usize {
+        self.mr
+            .slots()
+            .iter()
+            .flat_map(|slot| slot.iter())
+            .map(|t| tuple_bytes(t))
+            .sum()
+    }
+
     /// Lays the slots out as the `2s`-row pair data set the filters
     /// expect (pair `i` at rows `(i, s+i)`). Errors on streams shorter
     /// than 2 tuples — no pairs exist.
@@ -194,6 +214,22 @@ impl PairIngest {
             params,
         ))
     }
+}
+
+/// Approximate heap bytes of one retained tuple: the `Vec` spine plus
+/// each value's text payload (ints, floats, and nulls are inline;
+/// interned strings are counted at full length even when shared —
+/// cache accounting prefers a small overestimate to an undercount).
+fn tuple_bytes(tuple: &[Value]) -> usize {
+    std::mem::size_of::<Vec<Value>>()
+        + std::mem::size_of_val(tuple)
+        + tuple
+            .iter()
+            .map(|v| match v {
+                Value::Text(s) => s.len(),
+                _ => 0,
+            })
+            .sum::<usize>()
 }
 
 /// Builds the tuple filter (Algorithm 1) in one pass.

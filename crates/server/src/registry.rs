@@ -29,22 +29,32 @@
 //!   the (possibly multi-GB) source. Samples are `Θ(m/√ε)`, so the
 //!   warm tier is tiny.
 //! * **File-change invalidation.** Every hit re-stamps the source file
-//!   ([`SourceStamp`]: length, mtime, *and* an FNV-64 fingerprint over
-//!   a fixed prefix) and classifies it against the stamp captured
-//!   *before* the building scan started. A same-length rewrite is
-//!   caught by the fingerprint even when it lands inside the
-//!   filesystem's mtime resolution; the remaining blind spot is a
-//!   same-length same-mtime rewrite entirely beyond the fingerprinted
-//!   prefix. Disk-restored entries carry the same stamp, so
-//!   persistence never resurrects stale data.
-//! * **Append absorption.** A *grown* source whose prefix fingerprint
-//!   still matches (and whose old bytes ended on a row boundary) is a
-//!   pure append: instead of rebuilding, the registry resumes the
-//!   entry's paused ingest state ([`qid_core::stream::TupleIngest`])
-//!   and feeds only the new suffix through the reservoir, the column
-//!   sketches, and — when the sketch was built in-process — the pair
-//!   reservoirs. The result is bit-identical to a cold rebuild over
-//!   the whole file, at suffix cost (`cache_append_updates`).
+//!   ([`SourceStamp`]: length, mtime, an FNV-64 fingerprint over a
+//!   fixed prefix, *and* an FNV-64 over the whole content) and
+//!   classifies it against the stamp captured *before* the building
+//!   scan started. For a same-length same-mtime file the stat alone is
+//!   trusted only once it *can* prove freshness — a stamp captured
+//!   within the mtime race window of the file's own mtime
+//!   ([`MTIME_RACE_WINDOW_MS`]) re-reads the prefix fingerprint on
+//!   each hit until one check passes after the window closes, so an
+//!   in-place rewrite hiding inside the filesystem's timestamp
+//!   resolution is caught (the false-negative family). The remaining
+//!   blind spots are a racy same-length rewrite entirely beyond the
+//!   fingerprinted prefix, and deliberate mtime forgery (a rewrite
+//!   that pins the old mtime back from *outside* the race window).
+//!   Disk-restored entries carry the same stamp, so persistence never
+//!   resurrects stale data.
+//! * **Append absorption.** A *grown* source whose **entire** old
+//!   content re-hashes to the recorded whole-content FNV (and whose
+//!   old bytes ended on a row boundary) is a pure append: instead of
+//!   rebuilding, the registry resumes the entry's paused ingest state
+//!   ([`qid_core::stream::TupleIngest`]) and feeds only the new suffix
+//!   through the reservoir, the column sketches, and — when the
+//!   sketch was built in-process — the pair reservoirs. The result is
+//!   bit-identical to a cold rebuild over the whole file, at
+//!   hash-plus-suffix cost (`cache_append_updates`). A rewrite beyond
+//!   the prefix combined with growth therefore rebuilds — it can
+//!   never be absorbed as an append.
 //! * **Background revalidation.** [`Registry::sweep`] (driven by the
 //!   server's `--sweep-ms` thread) walks resident entries, re-stamps
 //!   fresh ones (keeping the [`Registry::peek`] window open so the
@@ -150,13 +160,24 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// of a page-cached region, not a scan.
 pub const FINGERPRINT_PREFIX: u64 = 64 * 1024;
 
+/// How close (milliseconds) a stamp's capture time must be to the
+/// file's mtime for a later same-mtime rewrite to be able to hide from
+/// a stat-based check. Sized for the coarsest common filesystem
+/// timestamp granularity (FAT: 2 s) plus a little scheduler slack.
+/// Outside this window a rewrite necessarily moves the mtime, so the
+/// stat alone proves freshness; inside it, hits re-read the content
+/// fingerprint (the git "racy stat" discipline).
+pub const MTIME_RACE_WINDOW_MS: u64 = 2_500;
+
 /// The source-file identity captured when an entry is built: length,
-/// modification time, and an FNV-64 fingerprint over the first
-/// [`FINGERPRINT_PREFIX`] bytes. Hits classify a fresh stamp against
-/// this to catch in-place rewrites (even same-length ones inside the
-/// filesystem's mtime resolution, via the fingerprint) and to recognise
-/// pure appends (same prefix, longer file).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// modification time, an FNV-64 fingerprint over the first
+/// [`FINGERPRINT_PREFIX`] bytes, and an FNV-64 over the entire
+/// content. Hits classify a fresh stamp against this to catch in-place
+/// rewrites (even same-length ones inside the filesystem's mtime
+/// resolution, via the fingerprint) and to recognise pure appends —
+/// the whole-content hash is what proves a grown file's old bytes are
+/// untouched, however large the file is.
+#[derive(Clone, Copy, Debug)]
 pub struct SourceStamp {
     /// File length in bytes.
     pub len: u64,
@@ -166,42 +187,127 @@ pub struct SourceStamp {
     pub mtime_ns: u32,
     /// FNV-1a over the first `min(len, FINGERPRINT_PREFIX)` bytes.
     pub prefix_fnv: u64,
+    /// FNV-1a over all `len` bytes. On a grown file, the running hash
+    /// at the old length must equal the old stamp's `full_fnv` for the
+    /// growth to classify as a pure append.
+    pub full_fnv: u64,
+    /// Wall-clock capture time, milliseconds since the Unix epoch.
+    /// Excluded from equality: it records *when* the identity was
+    /// taken, not what the file contained — see [`SourceStamp::eq`].
+    pub captured_ms: u64,
 }
 
+/// Two stamps are equal iff they describe the same file *content*
+/// (length, mtime, both hashes). The capture time is deliberately
+/// ignored: re-stamping an unchanged file at a later moment must
+/// compare equal, or every persistence restore and stale check would
+/// see a phantom change.
+impl PartialEq for SourceStamp {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && self.mtime_s == other.mtime_s
+            && self.mtime_ns == other.mtime_ns
+            && self.prefix_fnv == other.prefix_fnv
+            && self.full_fnv == other.full_fnv
+    }
+}
+
+impl Eq for SourceStamp {}
+
 impl SourceStamp {
-    /// Stats `path` and fingerprints its prefix; `None` if the file
-    /// cannot be statted or read (missing, permissions) or its mtime
-    /// predates the epoch. The stat is taken *before* the prefix read,
-    /// matching the build discipline: a file mutated between the two
-    /// yields a stamp that cannot match any future capture, which
-    /// classifies as stale — never as silently fresh.
+    /// Stats `path` and hashes its content (prefix window + full
+    /// length); `None` if the file cannot be statted or read (missing,
+    /// permissions) or its mtime predates the epoch. The stat is taken
+    /// *before* the read, matching the build discipline: a file
+    /// mutated between the two yields a stamp that cannot match any
+    /// future capture, which classifies as stale — never as silently
+    /// fresh.
     pub fn capture(path: &str) -> Option<SourceStamp> {
+        let captured_ms = unix_ms_now();
         let meta = std::fs::metadata(path).ok()?;
         let mtime = meta
             .modified()
             .ok()
             .and_then(|t| t.duration_since(UNIX_EPOCH).ok())?;
         let len = meta.len();
-        let upto = len.min(FINGERPRINT_PREFIX);
-        let (prefix_fnv, _) = prefix_hashes(path, upto, upto).ok()?;
+        let scan = scan_content(path, len, len).ok()?;
         Some(SourceStamp {
             len,
             mtime_s: mtime.as_secs(),
             mtime_ns: mtime.subsec_nanos(),
-            prefix_fnv,
+            prefix_fnv: scan.prefix_fnv,
+            full_fnv: scan.full_fnv,
+            captured_ms,
         })
+    }
+
+    /// The file's mtime as milliseconds since the Unix epoch.
+    fn mtime_ms(&self) -> u64 {
+        self.mtime_s
+            .saturating_mul(1_000)
+            .saturating_add(u64::from(self.mtime_ns) / 1_000_000)
+    }
+
+    /// The wall-clock moment after which any rewrite of the file must
+    /// move its mtime past the recorded one.
+    fn race_horizon_ms(&self) -> u64 {
+        self.mtime_ms().saturating_add(MTIME_RACE_WINDOW_MS)
+    }
+
+    /// True while a same-length same-mtime rewrite could still be
+    /// hiding from the stat: the stamp was captured inside the mtime
+    /// race window, so content written after the capture may share the
+    /// recorded mtime. Racy stamps pay a fingerprint re-read on hits
+    /// until one check passes beyond the horizon.
+    fn is_racy(&self) -> bool {
+        self.captured_ms < self.race_horizon_ms()
     }
 }
 
-/// FNV-1a over `path`'s first `upto` bytes, also yielding the running
-/// hash value at the earlier `checkpoint` boundary (`checkpoint ≤
-/// upto`) — so one read classifies a grown file against both its old
-/// and new prefix windows. Reads through a fixed stack buffer.
-fn prefix_hashes(path: &str, checkpoint: u64, upto: u64) -> std::io::Result<(u64, u64)> {
-    debug_assert!(checkpoint <= upto);
+/// Wall-clock milliseconds since the Unix epoch (0 on a pre-epoch
+/// clock, which only makes every stamp permanently racy — safe).
+fn unix_ms_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
+}
+
+/// The running FNV-1a state of one sequential read of a source file:
+/// the hash at the prefix-window boundary, at the caller's `mark`
+/// (the old length, on grown-file checks), and at the end, plus the
+/// byte just before the mark (the old content's final byte — the
+/// row-boundary check) and how many bytes were actually read.
+struct ContentScan {
+    /// Hash after `min(upto, FINGERPRINT_PREFIX)` bytes.
+    prefix_fnv: u64,
+    /// Hash after `mark` bytes.
+    mark_fnv: u64,
+    /// Hash after every byte read.
+    full_fnv: u64,
+    /// The byte at offset `mark - 1`, if the read got that far.
+    byte_before_mark: Option<u8>,
+    /// Bytes actually read — short of `upto` when the file shrank
+    /// between the stat and the read.
+    read: u64,
+}
+
+/// One buffered sequential read of `path`'s first `upto` bytes,
+/// tracking the running FNV-1a at every boundary a freshness check
+/// needs (`mark ≤ upto`). A single read serves capture (`mark ==
+/// upto`), the same-length fingerprint re-check (`upto ≤
+/// FINGERPRINT_PREFIX`), and the grown-file append check (`mark ==
+/// old length`) — so no check ever reads the file twice.
+fn scan_content(path: &str, mark: u64, upto: u64) -> std::io::Result<ContentScan> {
+    debug_assert!(mark <= upto);
     let mut file = std::fs::File::open(path)?;
     let mut h = FNV_OFFSET;
-    let mut at_checkpoint = h;
+    let mut scan = ContentScan {
+        prefix_fnv: h,
+        mark_fnv: h,
+        full_fnv: h,
+        byte_before_mark: None,
+        read: 0,
+    };
     let mut pos: u64 = 0;
     let mut buf = [0u8; 8192];
     while pos < upto {
@@ -209,19 +315,31 @@ fn prefix_hashes(path: &str, checkpoint: u64, upto: u64) -> std::io::Result<(u64
         let got = file.read(&mut buf[..want])?;
         if got == 0 {
             // Shorter than the stat said (raced a truncation): the
-            // partial hash cannot match a full-prefix stamp, so the
+            // partial hashes cannot match a complete stamp, so the
             // caller classifies this as stale.
             break;
         }
         for &b in &buf[..got] {
+            if pos + 1 == mark {
+                scan.byte_before_mark = Some(b);
+            }
             h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
             pos += 1;
-            if pos == checkpoint {
-                at_checkpoint = h;
+            if pos == mark {
+                scan.mark_fnv = h;
+            }
+            if pos == FINGERPRINT_PREFIX {
+                scan.prefix_fnv = h;
             }
         }
     }
-    Ok((h, at_checkpoint))
+    if upto <= FINGERPRINT_PREFIX {
+        // The whole file fits inside the prefix window.
+        scan.prefix_fnv = h;
+    }
+    scan.full_fnv = h;
+    scan.read = pos;
+    Ok(scan)
 }
 
 /// The verdict of re-stamping a source file against the stamp its
@@ -246,83 +364,99 @@ enum Freshness {
 
 /// Classifies the current state of `path` against the stamp `then` the
 /// entry was built from. Entries built from an unstattable source
-/// (`then == None`) never invalidate.
+/// (`then == None`) never invalidate. The returned flag is `true` iff
+/// the same-length arm *read and matched* the content fingerprint —
+/// the caller uses it to settle the racy-stat state (see
+/// [`Registry::classify_for_slot`]).
 ///
-/// The same-length arm compares content fingerprints *even when the
-/// mtime matches* — a same-length in-place rewrite landing within the
-/// filesystem's mtime resolution used to be invisible to stat-based
-/// checks. The residual blind spot is a same-length same-mtime rewrite
-/// that only touches bytes beyond [`FINGERPRINT_PREFIX`].
-fn classify(then: Option<SourceStamp>, path: &str) -> Freshness {
+/// With `verify_content`, the same-length same-mtime arm re-reads the
+/// prefix fingerprint instead of trusting the stat — required while
+/// the stamp is racy ([`SourceStamp::is_racy`]): a rewrite inside the
+/// filesystem's mtime resolution is invisible to the stat alone. The
+/// residual blind spots are a *racy* same-length rewrite that only
+/// touches bytes beyond [`FINGERPRINT_PREFIX`], and deliberate mtime
+/// forgery from outside the race window.
+///
+/// The grown arm never trusts a prefix alone: the entire old content
+/// is re-hashed and must equal the stamp's whole-content FNV before
+/// the growth classifies as [`Freshness::Appended`] — a rewrite
+/// beyond the prefix combined with growth is `Stale`, not a silently
+/// absorbed append.
+fn classify(then: Option<SourceStamp>, path: &str, verify_content: bool) -> (Freshness, bool) {
+    let captured_ms = unix_ms_now();
     let Some(then) = then else {
-        return Freshness::Fresh;
+        return (Freshness::Fresh, false);
     };
     let Ok(meta) = std::fs::metadata(path) else {
-        return Freshness::Fresh; // missing ≠ stale
+        return (Freshness::Fresh, false); // missing ≠ stale
     };
     let Some(mtime) = meta
         .modified()
         .ok()
         .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
     else {
-        return Freshness::Fresh;
+        return (Freshness::Fresh, false);
     };
     let (mtime_s, mtime_ns) = (mtime.as_secs(), mtime.subsec_nanos());
     let len = meta.len();
     if len < then.len {
-        return Freshness::Stale; // truncated
+        return (Freshness::Stale, false); // truncated
     }
     if len == then.len {
         if mtime_s != then.mtime_s || mtime_ns != then.mtime_ns {
-            return Freshness::Stale;
+            return (Freshness::Stale, false);
         }
-        // Same length, same mtime: the stat alone proves nothing (the
-        // false-negative family) — verify the content fingerprint.
+        if !verify_content {
+            // Outside the race window (or already settled) a matching
+            // stat is proof: any rewrite would have moved the mtime.
+            return (Freshness::Fresh, false);
+        }
+        // Same length, same mtime, racy stamp: the stat alone proves
+        // nothing (the false-negative family) — verify the content
+        // fingerprint.
         let upto = len.min(FINGERPRINT_PREFIX);
-        return match prefix_hashes(path, upto, upto) {
-            Ok((fnv, _)) if fnv == then.prefix_fnv => Freshness::Fresh,
-            Ok(_) => Freshness::Stale,
-            Err(_) => Freshness::Fresh, // unreadable now: keep serving
+        return match scan_content(path, 0, upto) {
+            Ok(scan) if scan.read == upto && scan.prefix_fnv == then.prefix_fnv => {
+                (Freshness::Fresh, true)
+            }
+            Ok(_) => (Freshness::Stale, false),
+            Err(_) => (Freshness::Fresh, false), // unreadable now: keep serving
         };
     }
-    // Grown. One read hashes both windows: the old prefix (must match
-    // the stamp for this to be an append) and the new prefix (recorded
-    // on the absorbed entry).
+    // Grown. One read re-hashes the *entire* old content (a prefix
+    // match is not enough — a rewrite beyond it plus growth must
+    // rebuild, not absorb) and continues over the suffix, yielding the
+    // grown file's prefix and whole-content hashes for the new stamp.
     if then.len == 0 {
-        return Freshness::Stale;
+        return (Freshness::Stale, false);
     }
-    let old_window = then.len.min(FINGERPRINT_PREFIX);
-    let new_window = len.min(FINGERPRINT_PREFIX);
-    let Ok((new_fnv, old_fnv)) = prefix_hashes(path, old_window, new_window) else {
-        return Freshness::Fresh;
+    let Ok(scan) = scan_content(path, then.len, len) else {
+        return (Freshness::Fresh, false);
     };
-    if old_fnv != then.prefix_fnv {
-        return Freshness::Stale; // grew *and* rewrote the prefix
+    if scan.read < len || scan.mark_fnv != then.full_fnv {
+        // Shrank mid-read (volatile) or the old bytes changed: only a
+        // full rebuild is sound.
+        return (Freshness::Stale, false);
     }
     // The old content must end exactly on a row boundary; otherwise
     // the append completed a partial final line and the already-counted
     // last row changed meaning — only a full rebuild is sound.
-    if byte_at(path, then.len - 1) != Some(b'\n') {
-        return Freshness::Stale;
+    if scan.byte_before_mark != Some(b'\n') {
+        return (Freshness::Stale, false);
     }
-    Freshness::Appended {
-        new: SourceStamp {
-            len,
-            mtime_s,
-            mtime_ns,
-            prefix_fnv: new_fnv,
+    (
+        Freshness::Appended {
+            new: SourceStamp {
+                len,
+                mtime_s,
+                mtime_ns,
+                prefix_fnv: scan.prefix_fnv,
+                full_fnv: scan.full_fnv,
+                captured_ms,
+            },
         },
-    }
-}
-
-/// Reads the single byte at `offset`, if possible.
-fn byte_at(path: &str, offset: u64) -> Option<u8> {
-    use std::io::{Seek, SeekFrom};
-    let mut file = std::fs::File::open(path).ok()?;
-    file.seek(SeekFrom::Start(offset)).ok()?;
-    let mut b = [0u8; 1];
-    file.read_exact(&mut b).ok()?;
-    Some(b[0])
+        false,
+    )
 }
 
 /// The artifacts cached for one dataset: the tuple sample (Theorem 1),
@@ -347,10 +481,11 @@ pub struct Entry {
     /// Attribute count.
     pub attrs: usize,
     /// Approximate resident bytes at build time: the sample, the
-    /// column sketches, and the materialised dataset's codes, if any.
-    /// Together with the lazily added non-separation sketch bytes this
-    /// is what LRU eviction charges against
-    /// [`RegistryConfig::cache_bytes`].
+    /// column sketches, the materialised dataset's codes (if any), and
+    /// the retained resumable-ingest tuples (a second copy of the
+    /// sample rows, kept so appends can resume). Together with the
+    /// lazily added non-separation sketch bytes this is what LRU
+    /// eviction charges against [`RegistryConfig::cache_bytes`].
     pub stored_bytes: usize,
     /// Source-file stamp captured *before* the building scan, so a
     /// file rewritten mid-scan still reads as changed on the next hit.
@@ -391,7 +526,8 @@ impl Entry {
     ) -> Entry {
         let stored_bytes = filter.stored_bytes()
             + dataset.as_ref().map_or(0, |ds| ds.code_bytes())
-            + cols.iter().map(DistinctSketch::stored_bytes).sum::<usize>();
+            + cols.iter().map(DistinctSketch::stored_bytes).sum::<usize>()
+            + ingest.as_ref().map_or(0, TupleIngest::retained_bytes);
         Entry {
             filter,
             dataset,
@@ -434,6 +570,13 @@ struct SlotInner {
     /// re-statting while this stamp is younger than
     /// [`RegistryConfig::revalidate_ms`].
     validated: AtomicU64,
+    /// True once the stat alone is known to prove freshness for this
+    /// slot's entry: either the stamp was never racy, or a fingerprint
+    /// re-read passed *after* the mtime race window closed (any later
+    /// rewrite must move the mtime). Until then, every hit on a racy
+    /// stamp pays the prefix re-read — see
+    /// [`Registry::classify_for_slot`].
+    content_settled: std::sync::atomic::AtomicBool,
 }
 
 type Slot = Arc<SlotInner>;
@@ -671,6 +814,29 @@ impl Registry {
         slot.validated.store(self.stamp_now(), Ordering::Relaxed);
     }
 
+    /// Classifies `slot`'s entry against its source, applying the
+    /// racy-stat discipline: a stamp captured safely after the file's
+    /// mtime is proven fresh by a matching stat alone, so the content
+    /// re-read runs only while the stamp is racy
+    /// ([`SourceStamp::is_racy`]) and the slot has not yet settled.
+    /// Once a fingerprint check passes after the race window closes,
+    /// the slot records that the stat is trustworthy and warm hits
+    /// stop reading the file entirely.
+    fn classify_for_slot(&self, slot: &Slot, entry: &Entry, path: &str) -> Freshness {
+        let verify = entry.source.is_some_and(|s| s.is_racy())
+            && !slot.content_settled.load(Ordering::Relaxed);
+        let (verdict, verified) = classify(entry.source, path, verify);
+        if verified
+            && verdict == Freshness::Fresh
+            && entry
+                .source
+                .is_some_and(|s| unix_ms_now() >= s.race_horizon_ms())
+        {
+            slot.content_settled.store(true, Ordering::Relaxed);
+        }
+        verdict
+    }
+
     /// The allocation-free read path: returns the resident entry for
     /// `key` iff it is built, healthy, and was freshness-checked within
     /// the last [`RegistryConfig::revalidate_ms`] milliseconds. Counted
@@ -742,7 +908,7 @@ impl Registry {
             match slot.cell.get() {
                 Some(done) => {
                     if let Ok(entry) = done {
-                        match classify(entry.source, &key.path) {
+                        match self.classify_for_slot(&slot, entry, &key.path) {
                             Freshness::Fresh => {
                                 // The stamp just passed: re-open the
                                 // peek window.
@@ -750,11 +916,12 @@ impl Registry {
                             }
                             Freshness::Appended { new } if entry.append_capable() => {
                                 // The entry is reused (suffix-only
-                                // scan): hit semantics, plus the
-                                // absorb's own counter.
-                                self.hits.fetch_add(1, Ordering::Relaxed);
+                                // scan): hit semantics — counted
+                                // inside refresh_appended, and only
+                                // when the absorb does not fall back
+                                // to a full scan (a miss).
                                 let (result, _) =
-                                    self.refresh_appended(&key, ds, &slot, entry, new);
+                                    self.refresh_appended(&key, ds, &slot, entry, new, true);
                                 return (result, true);
                             }
                             _ => return self.rebuild(&key, ds, mode, &slot, allow_restore),
@@ -953,7 +1120,10 @@ impl Registry {
     /// accounting, persists it if configured, and wraps it for the
     /// cell. The resident total is bumped *before* the per-entry byte
     /// count becomes visible, so a concurrent `forget_bytes` can never
-    /// subtract bytes that were not yet added.
+    /// subtract bytes that were not yet added. The charge includes the
+    /// paused pair-sample tuples retained alongside the sketch (set on
+    /// `entry.pair_ingest` before this call), so LRU eviction sees the
+    /// full cost of keeping the sketch append-resumable.
     fn admit_sketch(
         &self,
         entry: &Entry,
@@ -963,7 +1133,11 @@ impl Registry {
         params: SketchParams,
     ) -> Arc<NonSeparationSketch> {
         let sketch = Arc::new(sketch);
-        let bytes = sketch.stored_bytes();
+        let bytes = sketch.stored_bytes()
+            + entry
+                .pair_ingest
+                .get()
+                .map_or(0, PairIngest::retained_bytes);
         self.resident_bytes
             .fetch_add(bytes as u64, Ordering::SeqCst);
         entry.sketch_bytes.store(bytes, Ordering::SeqCst);
@@ -1133,11 +1307,12 @@ impl Registry {
                     eps: f64::from_bits(key.eps_bits),
                     seed: key.seed,
                 };
-                match classify(entry.source, &key.path) {
+                match self.classify_for_slot(&slot, &entry, &key.path) {
                     Freshness::Fresh => self.stamp_validated(&slot),
                     Freshness::Appended { new } if entry.append_capable() => {
+                        // The sweeper is not a lookup: no hit counted.
                         let (result, swapped) =
-                            self.refresh_appended(&key, &ds, &slot, &entry, new);
+                            self.refresh_appended(&key, &ds, &slot, &entry, new, false);
                         if result.is_ok() && swapped {
                             refreshed += 1;
                         }
@@ -1241,8 +1416,13 @@ impl Registry {
     /// refreshed the entry) and fills it by *absorbing* the appended
     /// suffix into `old`'s resumable ingest state — bit-identical to a
     /// cold rebuild over the whole file, at suffix cost. Falls back to
-    /// a full scan (a miss) if the absorb fails for any reason. The
-    /// returned boolean is `true` iff this caller performed the swap.
+    /// a full scan (a miss) if the absorb fails for any reason.
+    /// `count_hit` is true on the request path, where the lookup is
+    /// counted as a hit — unless *this* caller's absorb fell back to
+    /// the full scan, which is already counted as a miss (so `hits +
+    /// misses` always equals lookups); the sweeper passes false, it is
+    /// not a lookup. The returned boolean is `true` iff this caller
+    /// performed the swap.
     fn refresh_appended(
         &self,
         key: &CacheKey,
@@ -1250,6 +1430,7 @@ impl Registry {
         observed: &Slot,
         old: &Arc<Entry>,
         new: SourceStamp,
+        count_hit: bool,
     ) -> (Result<Arc<Entry>, String>, bool) {
         let (slot, we_swapped) = self.swap_slot_if(key, |cur| {
             // Swap the slot we saw as appended. If a racer already
@@ -1263,6 +1444,7 @@ impl Registry {
                     Err(_) => true,
                 })
         });
+        let fell_back = std::cell::Cell::new(false);
         let result = slot
             .cell
             .get_or_init(|| match self.absorb_append(key, ds, old, new) {
@@ -1284,12 +1466,21 @@ impl Registry {
                 }
                 Err(_) => {
                     // Absorb failed (unreadable suffix, inconsistent
-                    // state): pay the full scan instead.
+                    // state): pay the full scan instead. That scan is
+                    // the miss; the caller must not also count a hit.
+                    fell_back.set(true);
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     self.scan_build(key, ds, LoadMode::Stream)
                 }
             })
             .clone();
+        // A caller that adopted a racer's slot (closure not run) shares
+        // that work — hit semantics, like waiting on an in-flight
+        // build. Only the caller whose own absorb fell back to a scan
+        // skips the hit: its lookup is the miss counted above.
+        if count_hit && !fell_back.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
         self.finish_build(key, &slot, &result);
         (result, we_swapped)
     }
@@ -1354,9 +1545,11 @@ impl Registry {
             // the suffix too, so `sketch` stays warm across appends.
             let sketch_params = sketch_params();
             if let Ok(sk) = pair.to_sketch(sketch_params) {
+                // Pair state goes on the entry *before* admission so
+                // the sketch byte charge covers its retained tuples.
+                let _ = entry.pair_ingest.set(pair);
                 let sk = self.admit_sketch(&entry, sk, key, true, sketch_params);
                 let _ = entry.sketch_cell.set(Ok(sk));
-                let _ = entry.pair_ingest.set(pair);
             }
         }
         Ok(entry)
@@ -1839,9 +2032,11 @@ impl TupleSource for CardinalityTee<'_> {
 /// ignored, not misread. Version 2 added the source content
 /// fingerprint, made the column-sketch state mandatory (so a restored
 /// entry can never silently materialise on `stats`), and added the
-/// optional ingest checkpoint; version-1 metas are rejected by the
-/// version gate and simply re-scan.
-const PERSIST_VERSION: i64 = 2;
+/// optional ingest checkpoint. Version 3 added the whole-content FNV
+/// (the append path's integrity gate) and the stamp's capture time
+/// (the racy-stat discipline) to the source stat. Older metas are
+/// rejected by the version gate and simply re-scan.
+const PERSIST_VERSION: i64 = 3;
 
 fn meta_path(dir: &Path, key: &CacheKey) -> PathBuf {
     dir.join(format!("{:016x}.meta.json", key.fnv64()))
@@ -1919,6 +2114,8 @@ fn header_fields(
         ("source_mtime_s", json::u64_value(source.mtime_s)),
         ("source_mtime_ns", Json::Int(i64::from(source.mtime_ns))),
         ("source_fnv", json::u64_value(source.prefix_fnv)),
+        ("source_full_fnv", json::u64_value(source.full_fnv)),
+        ("source_captured_ms", json::u64_value(source.captured_ms)),
     ]
 }
 
@@ -1939,6 +2136,8 @@ fn read_header(v: &Json) -> Option<PersistedHeader> {
             mtime_s: u64_field("source_mtime_s")?,
             mtime_ns: v.get("source_mtime_ns").and_then(Json::as_u64)? as u32,
             prefix_fnv: u64_field("source_fnv")?,
+            full_fnv: u64_field("source_full_fnv")?,
+            captured_ms: u64_field("source_captured_ms")?,
         },
     })
 }
@@ -2874,10 +3073,16 @@ mod tests {
             assert!(Arc::ptr_eq(&sketches[0], sk), "one sketch for everyone");
         }
         assert_eq!(reg.misses(), 2, "sample build + exactly one sketch scan");
-        // The sketch participates in the byte accounting.
+        // The sketch participates in the byte accounting, together
+        // with the pair-sample tuples retained for append absorption.
+        let pair_bytes = entry
+            .pair_ingest
+            .get()
+            .map_or(0, PairIngest::retained_bytes);
+        assert!(pair_bytes > 0, "the pair state rides along with the sketch");
         assert_eq!(
             reg.snapshot().resident_bytes,
-            (entry.stored_bytes + sketches[0].stored_bytes()) as u64
+            (entry.stored_bytes + sketches[0].stored_bytes() + pair_bytes) as u64
         );
     }
 
@@ -3074,6 +3279,80 @@ mod tests {
     }
 
     #[test]
+    fn rewrite_beyond_the_prefix_plus_growth_rebuilds_not_absorbs() {
+        // A re-exported CSV that updates old rows *and* adds new ones
+        // must never be absorbed as an append: the whole-content FNV
+        // gate on the grown path has to catch a rewrite landing beyond
+        // the 64 KiB fingerprint prefix.
+        let path = fixture_csv("deep-rewrite.csv", 12_000);
+        let old_len = std::fs::metadata(&path).unwrap().len();
+        assert!(
+            old_len > FINGERPRINT_PREFIX + 16,
+            "fixture drifted: old content must extend past the prefix"
+        );
+        let reg = Registry::new();
+        let (entry, _) = reg.get_or_load(&dsref(&path), LoadMode::Stream);
+        assert_eq!(entry.unwrap().rows, 12_000);
+
+        // Flip one parity digit on the final line — far beyond the
+        // prefix — then append genuinely new rows.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let target = bytes.len() - 2;
+        assert!(target as u64 > FINGERPRINT_PREFIX);
+        assert_eq!(bytes[target], b'1', "fixture drifted: last parity");
+        bytes[target] = b'9';
+        std::fs::write(&path, &bytes).unwrap();
+        append_rows(&path, 12_000, 300, 0);
+
+        let (rebuilt, _) = reg.get_or_load(&dsref(&path), LoadMode::Stream);
+        assert_eq!(rebuilt.unwrap().rows, 12_300);
+        assert_eq!(
+            reg.snapshot().stale_rebuilds,
+            1,
+            "a beyond-prefix rewrite + growth is stale, not an append"
+        );
+        assert_eq!(
+            reg.append_updates(),
+            0,
+            "absorbing here would serve a stale sample"
+        );
+    }
+
+    #[test]
+    fn a_settled_stat_is_trusted_without_rereading_content() {
+        // The racy-stat discipline: once a stamp's capture time lies
+        // beyond the mtime race window, an unchanged stat alone proves
+        // freshness and warm hits never re-read the file. The flip
+        // side — asserted here on purpose — is that a rewrite which
+        // *forges* the mtime back from outside that window is served
+        // stale; catching it would cost a content read on every warm
+        // hit, which is exactly what REVIEW flagged. (Inside the
+        // window the fingerprint does catch it — see
+        // same_length_same_mtime_rewrite_is_caught_by_fingerprint.)
+        let path = fixture_csv("settled.csv", 300);
+        let backdated = std::time::SystemTime::now() - std::time::Duration::from_secs(10);
+        let f = std::fs::File::options().write(true).open(&path).unwrap();
+        f.set_modified(backdated).unwrap();
+        drop(f);
+
+        let reg = Registry::new();
+        reg.get_or_load(&dsref(&path), LoadMode::Stream).0.unwrap();
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let target = bytes.iter().position(|&b| b == b'0').unwrap();
+        bytes[target] = b'9';
+        std::fs::write(&path, &bytes).unwrap();
+        let f = std::fs::File::options().write(true).open(&path).unwrap();
+        f.set_modified(backdated).unwrap();
+        drop(f);
+
+        let (_, hit) = reg.get_or_load(&dsref(&path), LoadMode::Stream);
+        assert!(hit, "an unchanged non-racy stat is trusted as-is");
+        assert_eq!(reg.hits(), 1);
+        assert_eq!(reg.snapshot().stale_rebuilds, 0);
+    }
+
+    #[test]
     fn truncated_source_triggers_full_rebuild() {
         let path = fixture_csv("truncate.csv", 300);
         let reg = Registry::new();
@@ -3165,6 +3444,34 @@ mod tests {
         assert_eq!(entry.unwrap().rows, 4);
         assert_eq!(reg.append_updates(), 0, "a straddled row must not absorb");
         assert_eq!(reg.snapshot().stale_rebuilds, 1);
+    }
+
+    #[test]
+    fn absorb_fallback_counts_the_lookup_exactly_once() {
+        // When classification says Appended but the absorb itself
+        // fails (here: the appended row widens the schema), the lookup
+        // falls back to a full scan and is counted as that miss — not
+        // as a hit *and* a miss, which would push hits + misses past
+        // the number of lookups and skew hit-rate metrics.
+        let path = fixture_csv("fallback.csv", 300);
+        let reg = Registry::new();
+        reg.get_or_load(&dsref(&path), LoadMode::Stream).0.unwrap();
+        assert_eq!((reg.hits(), reg.misses()), (0, 1));
+
+        let mut f = std::fs::File::options().append(true).open(&path).unwrap();
+        writeln!(f, "300,0,9").unwrap();
+        drop(f);
+
+        let (result, _) = reg.get_or_load(&dsref(&path), LoadMode::Stream);
+        assert!(result.is_err(), "the widened row fails the full scan too");
+        assert_eq!(reg.append_updates(), 0);
+        let lookups = 2;
+        assert_eq!(
+            reg.hits() + reg.misses(),
+            lookups,
+            "the fallback lookup is one miss, never also a hit"
+        );
+        assert_eq!((reg.hits(), reg.misses()), (0, 2));
     }
 
     #[test]
@@ -3265,7 +3572,7 @@ mod tests {
             .find(|p| p.to_str().is_some_and(|s| s.ends_with(".meta.json")))
             .expect("meta persisted");
         let text = std::fs::read_to_string(&meta_path).unwrap();
-        let downgraded = text.replacen("\"version\":2", "\"version\":1", 1);
+        let downgraded = text.replacen("\"version\":3", "\"version\":1", 1);
         assert_ne!(text, downgraded, "fixture drifted: no version field");
         std::fs::write(&meta_path, downgraded).unwrap();
 

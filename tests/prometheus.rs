@@ -413,10 +413,27 @@ fn scrape_is_lint_clean_and_consistent_with_json_metrics() {
             "shard gauges are labelled in shard order"
         );
     }
-    assert!(
-        shard_gauges.iter().map(|s| s.value).sum::<f64>() >= 1.0,
-        "the connected client must be registered with a shard"
-    );
+    // The scraping client itself is registered with *some* shard. The
+    // gauge is only refreshed when a poller loop re-admits connections,
+    // and right after a response is written the protocol connection is
+    // briefly owned by a worker instead — so a scrape can race that
+    // window and read zero. Re-scrape until the poller catches up.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    loop {
+        let registered: f64 = parse_exposition(&scrape(&server, "/metrics").1)
+            .iter()
+            .filter(|s| s.name == "qid_poller_connections")
+            .map(|s| s.value)
+            .sum();
+        if registered >= 1.0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "the connected client must be registered with a shard"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
     let build = samples
         .iter()
         .find(|s| s.name == "qid_build_info")
