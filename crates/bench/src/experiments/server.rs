@@ -583,8 +583,18 @@ pub fn run_server_bench(cfg: ServerBenchConfig) -> ServerBenchResult {
     // Warm restart: a fresh server over the same cache dir answers its
     // first audit from the persisted Θ(m/√ε) sample — the restart story
     // the registry's disk tier exists for. Measured as one request
-    // because it is a one-time cost per (restart, dataset).
-    let server = Server::bind(&server_config).expect("bind restarted server");
+    // because it is a one-time cost per (restart, dataset). The journal
+    // is pinned off for this life: armed (the production default), the
+    // boot-time replay would eagerly re-admit the entry and resume the
+    // first life's counters, turning the measured audit into a plain
+    // resident hit and breaking the disk-hit/miss proof below. The
+    // eager-replay path is covered by tests/crash_recovery.rs and the
+    // CI crash-recovery loop; this row measures the lazy restore.
+    let restart_config = ServerConfig {
+        wal_max_bytes: 0,
+        ..server_config.clone()
+    };
+    let server = Server::bind(&restart_config).expect("bind restarted server");
     let addr = server.local_addr();
     let running = server.spawn();
     let mut client = Client::connect(addr).expect("connect to restarted server");

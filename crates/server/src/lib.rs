@@ -63,6 +63,16 @@
 //!   `check` fast-path contract — proved by the same counting-allocator
 //!   test with tracing, slow detection, the metrics listener and two
 //!   live poller shards all on.
+//! * [`wal`] — the **durability tier**: a write-ahead journal of
+//!   registry lifecycle events plus a periodic snapshot and a
+//!   checksummed counter checkpoint under `--cache-dir`, fsync'd off
+//!   the request path by a background flusher. On startup the journal
+//!   is replayed: cumulative counters resume (dashboards survive
+//!   restarts — `qid_restarts_total` counts prior lives), the previous
+//!   resident set is eagerly re-admitted in preserved LRU order, and a
+//!   journal without a clean-shutdown record is crash evidence that
+//!   unlocks the immediate `*.tmp` orphan sweep. `qid wal <dir>`
+//!   dumps/verifies the journal.
 //! * [`pool`] — a fixed worker thread pool over `mpsc` channels;
 //!   shutdown drains in-flight work before the process exits.
 //! * [`server`] — the `std::net::TcpListener` accept loop and request
@@ -171,6 +181,7 @@ pub mod proto;
 pub mod registry;
 pub mod resolve;
 pub mod server;
+pub mod wal;
 
 pub use client::Client;
 pub use fastpath::Scratch;

@@ -273,6 +273,8 @@ impl Metrics {
             cache_sweep_refreshes: registry.sweep_refreshes,
             cache_bytes: registry.resident_bytes,
             datasets: registry.datasets,
+            restarts: registry.restarts,
+            wal_replayed_events: registry.wal_replayed_events,
             connections: self.connections.load(Ordering::Relaxed),
             rejected_oversize: self.rejected_oversize.load(Ordering::Relaxed),
             rejected_rate: self.rejected_rate.load(Ordering::Relaxed),
@@ -321,6 +323,8 @@ mod tests {
                 sweep_refreshes: 7,
                 resident_bytes: 640,
                 datasets: 1,
+                restarts: 2,
+                wal_replayed_events: 9,
             },
             17,
             vec![3, 4],
@@ -337,6 +341,8 @@ mod tests {
         assert_eq!(r.cache_sweep_refreshes, 7);
         assert_eq!(r.cache_bytes, 640);
         assert_eq!(r.datasets, 1);
+        assert_eq!(r.restarts, 2);
+        assert_eq!(r.wal_replayed_events, 9);
         assert_eq!(r.commands.len(), COMMAND_NAMES.len());
         assert_eq!(r.rejected_oversize, 0);
         assert_eq!(r.rejected_rate, 0);

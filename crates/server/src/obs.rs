@@ -570,6 +570,10 @@ pub(crate) fn log_registry_event(event: RegistryEvent) {
             "{{\"ts_ms\":{},\"event\":\"cache_append_update\",\"key\":\"{key:016x}\",\"bytes\":{bytes}}}",
             unix_ms()
         ),
+        RegistryEvent::SketchBuilt { key, bytes } => format!(
+            "{{\"ts_ms\":{},\"event\":\"cache_sketch_build\",\"key\":\"{key:016x}\",\"bytes\":{bytes}}}",
+            unix_ms()
+        ),
         RegistryEvent::DiskEvicted { key, bytes } => format!(
             "{{\"ts_ms\":{},\"event\":\"cache_disk_evict\",\"key\":\"{key:016x}\",\"bytes\":{bytes}}}",
             unix_ms()
@@ -680,7 +684,7 @@ pub(crate) fn prometheus_text(state: &ServerState) -> String {
         );
     }
 
-    let singles: [(&str, &str, &str, u64); 18] = [
+    let singles: [(&str, &str, &str, u64); 20] = [
         (
             "qid_protocol_errors_total",
             "counter",
@@ -782,6 +786,18 @@ pub(crate) fn prometheus_text(state: &ServerState) -> String {
             "gauge",
             "Approximate bytes of resident cache entries.",
             registry.resident_bytes,
+        ),
+        (
+            "qid_restarts_total",
+            "counter",
+            "Prior lives of this server's cache dir, per the registry journal.",
+            registry.restarts,
+        ),
+        (
+            "qid_wal_replayed_events_total",
+            "counter",
+            "Registry journal records replayed at startup to warm the cache.",
+            registry.wal_replayed_events,
         ),
         (
             "qid_trace_spans_dropped_total",

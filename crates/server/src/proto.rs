@@ -463,6 +463,15 @@ pub struct MetricsReport {
     pub bytes_written: u64,
     /// Seconds since the server started.
     pub uptime_seconds: u64,
+    /// Prior lives of this server's cache dir, recovered from the
+    /// registry's write-ahead journal at startup. `0` on a first boot
+    /// or when the journal is disabled. Lifecycle counters above
+    /// resume across those restarts, so rate/delta dashboards see one
+    /// continuous series.
+    pub restarts: u64,
+    /// Journal records replayed at startup to warm this registry
+    /// (counters + resident set); `0` when the journal is disabled.
+    pub wal_replayed_events: u64,
     /// The server's crate version (`CARGO_PKG_VERSION` at build time).
     pub version: String,
     /// Per-command traffic, in fixed command order.
@@ -793,6 +802,11 @@ impl Response {
                 ("bytes_read", Json::Int(report.bytes_read as i64)),
                 ("bytes_written", Json::Int(report.bytes_written as i64)),
                 ("uptime_seconds", Json::Int(report.uptime_seconds as i64)),
+                ("restarts", Json::Int(report.restarts as i64)),
+                (
+                    "wal_replayed_events",
+                    Json::Int(report.wal_replayed_events as i64),
+                ),
                 ("version", s(&report.version)),
                 (
                     "commands",
@@ -1064,6 +1078,10 @@ impl Response {
                     bytes_read: u64_field("bytes_read"),
                     bytes_written: u64_field("bytes_written"),
                     uptime_seconds: u64_field("uptime_seconds"),
+                    // Absent on pre-WAL peers: defaults keep decode
+                    // backward compatible.
+                    restarts: u64_field("restarts"),
+                    wal_replayed_events: u64_field("wal_replayed_events"),
                     version: v
                         .get("version")
                         .and_then(Json::as_str)
@@ -1291,6 +1309,8 @@ mod tests {
                 bytes_read: 4096,
                 bytes_written: 9182,
                 uptime_seconds: 3600,
+                restarts: 2,
+                wal_replayed_events: 41,
                 version: "0.1.0".into(),
                 commands: vec![CommandStats {
                     name: "audit".into(),

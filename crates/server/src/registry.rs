@@ -613,6 +613,13 @@ pub struct RegistryConfig {
     /// deriving `Clone`/`Debug`; the server installs an NDJSON logger
     /// here behind `--log-json`.
     pub event_sink: Option<fn(RegistryEvent)>,
+    /// Size budget for the registry's write-ahead journal
+    /// (`registry.wal` under [`RegistryConfig::cache_dir`]): past this
+    /// many bytes the journal is folded into `registry.snapshot` and
+    /// truncated, bounding replay cost. `0` disables the journal (and
+    /// with it warm restart recovery); the journal is also off when no
+    /// cache dir is configured. See [`crate::wal`].
+    pub wal_max_bytes: u64,
 }
 
 impl Default for RegistryConfig {
@@ -624,6 +631,7 @@ impl Default for RegistryConfig {
             cache_disk_bytes: None,
             revalidate_ms: 0,
             event_sink: None,
+            wal_max_bytes: crate::wal::DEFAULT_WAL_MAX_BYTES,
         }
     }
 }
@@ -677,6 +685,15 @@ pub enum RegistryEvent {
         /// Artifact bytes removed.
         bytes: u64,
     },
+    /// A non-separation witness sketch was built and admitted for a
+    /// resident entry (persisted alongside the sample as the `.pairs`
+    /// artifacts).
+    SketchBuilt {
+        /// FNV-1a hash of the entry's cache key.
+        key: u64,
+        /// The sketch's resident footprint, bytes.
+        bytes: u64,
+    },
     /// An explicit `unload` removed the entry (resident or persisted).
     Unloaded {
         /// FNV-1a hash of the entry's cache key.
@@ -723,6 +740,13 @@ pub struct RegistrySnapshot {
     pub resident_bytes: u64,
     /// Entries currently resident.
     pub datasets: usize,
+    /// Prior lives of this registry's cache dir: how many times a
+    /// journal-armed registry has opened it before this one. `0` on a
+    /// first boot or when the journal is disabled.
+    pub restarts: u64,
+    /// Journal records replayed at startup to recover this registry's
+    /// counters and resident set.
+    pub wal_replayed_events: u64,
 }
 
 /// The shared cache. All methods take `&self`; the registry is meant to
@@ -736,19 +760,36 @@ pub struct Registry {
     born: Instant,
     clock: AtomicU64,
     resident_bytes: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    disk_hits: AtomicU64,
-    evictions: AtomicU64,
-    stale_rebuilds: AtomicU64,
-    upgrades: AtomicU64,
-    append_updates: AtomicU64,
-    sweep_refreshes: AtomicU64,
+    /// The cumulative lifecycle counters, in an `Arc` because the
+    /// journal's flusher thread checkpoints them independently of the
+    /// registry's lifetime (see [`crate::wal`]).
+    counters: Arc<crate::wal::LifecycleCounters>,
+    /// The write-ahead journal, when persistence is configured and
+    /// [`RegistryConfig::wal_max_bytes`] is non-zero.
+    wal: Option<Arc<crate::wal::Wal>>,
+    /// Prior lives recovered from the journal (see
+    /// [`RegistrySnapshot::restarts`]).
+    restarts: u64,
+    /// Journal records replayed at startup.
+    wal_replayed_events: u64,
 }
 
 impl Default for Registry {
     fn default() -> Self {
         Registry::with_config(RegistryConfig::default())
+    }
+}
+
+impl Drop for Registry {
+    /// A dropped registry is a **clean** shutdown: the journal writes
+    /// its final counter checkpoint and the clean-shutdown record,
+    /// syncs, and joins its flusher thread. A killed process never
+    /// runs this — the record's absence is exactly the crash evidence
+    /// the next boot's recovery keys off.
+    fn drop(&mut self) {
+        if let Some(wal) = &self.wal {
+            wal.close(&self.counters);
+        }
     }
 }
 
@@ -760,27 +801,117 @@ impl Registry {
     }
 
     /// Creates an empty registry with an explicit lifecycle
-    /// configuration. Orphaned `*.tmp` files in the persistence
-    /// directory (a writer killed mid-persist) are swept on creation.
+    /// configuration.
+    ///
+    /// When persistence is configured this is also **recovery**: the
+    /// write-ahead journal under the cache dir is replayed first
+    /// (see [`crate::wal`]) — cumulative counters resume, the
+    /// journal's verdict on the previous life's shutdown decides how
+    /// aggressively orphaned `*.tmp` files are swept (crash evidence
+    /// ⇒ immediately; clean or unknown ⇒ only past the age gate), and
+    /// the previous resident set is eagerly re-admitted from the warm
+    /// tier in preserved LRU order, so replayed keys serve their first
+    /// post-restart request without a build miss.
     pub fn with_config(config: RegistryConfig) -> Self {
+        // The journal's replay verdict gates the tmp sweep, so open it
+        // before touching anything else in the dir.
+        let wal = match (&config.cache_dir, config.wal_max_bytes) {
+            (Some(dir), max) if max > 0 => crate::wal::Wal::open(dir, max).ok().map(Arc::new),
+            _ => None,
+        };
+        let crashed = wal
+            .as_ref()
+            .map(|w| w.recovery().had_journal && !w.recovery().clean_shutdown)
+            .unwrap_or(false);
         if let Some(dir) = &config.cache_dir {
-            sweep_tmp_files(dir);
+            sweep_tmp_files(dir, crashed);
         }
+        let counters = Arc::new(crate::wal::LifecycleCounters::default());
+        let (restarts, wal_replayed_events, resident) = match &wal {
+            Some(w) => {
+                let r = w.recovery();
+                counters.seed(&r.counters);
+                (r.restarts, r.replayed_events, r.resident.clone())
+            }
+            None => (0, 0, Vec::new()),
+        };
         let n = config.shards.max(1);
-        Registry {
+        let registry = Registry {
             shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
             config,
             born: Instant::now(),
             clock: AtomicU64::new(0),
             resident_bytes: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            disk_hits: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            stale_rebuilds: AtomicU64::new(0),
-            upgrades: AtomicU64::new(0),
-            append_updates: AtomicU64::new(0),
-            sweep_refreshes: AtomicU64::new(0),
+            counters: Arc::clone(&counters),
+            wal: wal.clone(),
+            restarts,
+            wal_replayed_events,
+        };
+        // Arm before re-admitting so the restores of this life are
+        // journaled like any other.
+        if let Some(w) = &wal {
+            w.arm(counters);
+        }
+        registry.readmit(&resident);
+        registry
+    }
+
+    /// Eagerly re-admits the previous life's resident set from the
+    /// warm tier, least-recently-touched first so the LRU order
+    /// survives the restart. Restore-only: a key whose artifacts are
+    /// gone, stale, or mismatched is skipped (the next request for it
+    /// rebuilds normally) — recovery must never pay cold source scans
+    /// for state it merely remembers. Each successful re-admission is
+    /// a disk hit and is journaled like any other restore.
+    fn readmit(&self, resident: &[u64]) {
+        if resident.is_empty() {
+            return;
+        }
+        let Some(dir) = self.config.cache_dir.clone() else {
+            return;
+        };
+        for &stem in resident {
+            let Some(meta) = read_meta(&dir.join(format!("{stem:016x}.meta.json"))) else {
+                continue;
+            };
+            // The meta carries the key's full identity; trusting it is
+            // gated on the stem round-tripping (a collision or foreign
+            // artifact fails here).
+            let key = CacheKey {
+                path: meta.header.path.clone(),
+                eps_bits: meta.header.eps_bits,
+                seed: meta.header.seed,
+            };
+            if key.fnv64() != stem {
+                continue;
+            }
+            let ds = DatasetRef {
+                path: key.path.clone(),
+                eps: f64::from_bits(key.eps_bits),
+                seed: key.seed,
+            };
+            let Some(entry) = self.try_restore(&key, &ds) else {
+                continue;
+            };
+            let entry = Arc::new(entry);
+            let slot: Slot = Arc::new(SlotInner::default());
+            self.touch(&slot);
+            let _ = slot.cell.set(Ok(Arc::clone(&entry)));
+            self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.resident_bytes
+                .fetch_add(entry.stored_bytes as u64, Ordering::Relaxed);
+            // try_restore proved the current source stamp matches the
+            // persisted one, so the peek window opens immediately.
+            self.stamp_validated(&slot);
+            self.emit(RegistryEvent::Restored {
+                key: stem,
+                bytes: entry.stored_bytes as u64,
+            });
+            self.shard(&key)
+                .write()
+                .expect("shard lock")
+                .insert(key.clone(), slot);
+            self.enforce_budget(&key);
         }
     }
 
@@ -790,8 +921,14 @@ impl Registry {
         &self.shards[(h.finish() % self.shards.len() as u64) as usize]
     }
 
-    /// Delivers a lifecycle event to the configured sink, if any.
+    /// Delivers a lifecycle event to the write-ahead journal and the
+    /// configured sink. No event is emitted on the served-hit fast
+    /// path, so neither observer can cost the zero-alloc window
+    /// anything.
     fn emit(&self, event: RegistryEvent) {
+        if let Some(wal) = &self.wal {
+            wal.record(event);
+        }
         if let Some(sink) = self.config.event_sink {
             sink(event);
         }
@@ -873,7 +1010,7 @@ impl Registry {
             _ => return None,
         };
         self.touch(&slot);
-        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.counters.hits.fetch_add(1, Ordering::Relaxed);
         Some(entry)
     }
 
@@ -927,13 +1064,13 @@ impl Registry {
                             _ => return self.rebuild(&key, ds, mode, &slot, allow_restore),
                         }
                     }
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
                     (done.clone(), true)
                 }
                 None => {
                     // A build is in flight; wait on it. The scan is
                     // shared, so this still counts as a hit.
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
                     let result = self.run_build(&key, ds, mode, &slot, allow_restore);
                     (result, true)
                 }
@@ -956,7 +1093,7 @@ impl Registry {
             if !we_inserted {
                 // Same as the in-flight case above: someone else owns
                 // the build; waiting on it shares the scan.
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
                 return (self.run_build(&key, ds, mode, &slot, allow_restore), true);
             }
             (self.run_build(&key, ds, mode, &slot, allow_restore), false)
@@ -991,12 +1128,12 @@ impl Registry {
                             .is_some_and(|r| !r.as_ref().is_ok_and(|e| e.dataset.is_some()))
                     });
                     if we_swapped {
-                        self.upgrades.fetch_add(1, Ordering::Relaxed);
+                        self.counters.upgrades.fetch_add(1, Ordering::Relaxed);
                     }
                     if we_swapped && hit {
                         // Reclassify: the cached entry was unusable
                         // and we are the one paying the re-scan.
-                        self.hits.fetch_sub(1, Ordering::Relaxed);
+                        self.counters.hits.fetch_sub(1, Ordering::Relaxed);
                     }
                     // An upgrade must materialise, which the disk tier
                     // cannot do — force a source scan.
@@ -1043,7 +1180,7 @@ impl Registry {
                 let params = sketch_params();
                 if entry.dataset.is_none() {
                     if let Some(sk) = self.try_restore_sketch(&key, entry, params) {
-                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
                         return Ok(self.admit_sketch(entry, sk, &key, false, params));
                     }
                 }
@@ -1054,7 +1191,7 @@ impl Registry {
                             .map_err(|e: DatasetError| e.to_string())?
                     }
                     None => {
-                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        self.counters.misses.fetch_add(1, Ordering::Relaxed);
                         let mut src = CsvTupleSource::open(&key.path, &CsvOptions::default())
                             .map_err(|e| format!("reading {}: {e}", key.path))?;
                         // Driven through a PairIngest (rather than
@@ -1141,6 +1278,10 @@ impl Registry {
         self.resident_bytes
             .fetch_add(bytes as u64, Ordering::SeqCst);
         entry.sketch_bytes.store(bytes, Ordering::SeqCst);
+        self.emit(RegistryEvent::SketchBuilt {
+            key: key.fnv64(),
+            bytes: bytes as u64,
+        });
         if persist {
             if let Some(dir) = &self.config.cache_dir {
                 // Best-effort, like sample persistence.
@@ -1237,42 +1378,65 @@ impl Registry {
 
     /// Lookups answered from cache so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.counters.hits.load(Ordering::Relaxed)
     }
 
     /// Lookups that had to scan the source so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.counters.misses.load(Ordering::Relaxed)
     }
 
     /// Lookups answered by restoring a persisted sample so far.
     pub fn disk_hits(&self) -> u64 {
-        self.disk_hits.load(Ordering::Relaxed)
+        self.counters.disk_hits.load(Ordering::Relaxed)
     }
 
     /// Grown sources absorbed incrementally so far.
     pub fn append_updates(&self) -> u64 {
-        self.append_updates.load(Ordering::Relaxed)
+        self.counters.append_updates.load(Ordering::Relaxed)
     }
 
     /// Entries the background sweeper refreshed so far.
     pub fn sweep_refreshes(&self) -> u64 {
-        self.sweep_refreshes.load(Ordering::Relaxed)
+        self.counters.sweep_refreshes.load(Ordering::Relaxed)
     }
 
     /// All lifecycle counters at once, for the `metrics` command.
     pub fn snapshot(&self) -> RegistrySnapshot {
         RegistrySnapshot {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            disk_hits: self.disk_hits.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            stale_rebuilds: self.stale_rebuilds.load(Ordering::Relaxed),
-            upgrades: self.upgrades.load(Ordering::Relaxed),
-            append_updates: self.append_updates.load(Ordering::Relaxed),
-            sweep_refreshes: self.sweep_refreshes.load(Ordering::Relaxed),
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            disk_hits: self.counters.disk_hits.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            stale_rebuilds: self.counters.stale_rebuilds.load(Ordering::Relaxed),
+            upgrades: self.counters.upgrades.load(Ordering::Relaxed),
+            append_updates: self.counters.append_updates.load(Ordering::Relaxed),
+            sweep_refreshes: self.counters.sweep_refreshes.load(Ordering::Relaxed),
             resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
             datasets: self.len(),
+            restarts: self.restarts,
+            wal_replayed_events: self.wal_replayed_events,
+        }
+    }
+
+    /// Prior lives of this registry's cache dir, per the journal. `0`
+    /// on a first boot or with the journal disabled.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Journal records replayed at startup (see [`crate::wal`]).
+    pub fn wal_replayed_events(&self) -> u64 {
+        self.wal_replayed_events
+    }
+
+    /// Test hook: tears the journal down the way a kill -9 would — no
+    /// shutdown record, no final checkpoint — so unit tests can
+    /// simulate a crash without killing the test process.
+    #[cfg(test)]
+    fn crash_for_test(&self) {
+        if let Some(wal) = &self.wal {
+            wal.abort_for_test();
         }
     }
 
@@ -1334,7 +1498,9 @@ impl Registry {
             }
         }
         if refreshed > 0 {
-            self.sweep_refreshes.fetch_add(refreshed, Ordering::Relaxed);
+            self.counters
+                .sweep_refreshes
+                .fetch_add(refreshed, Ordering::Relaxed);
         }
         refreshed
     }
@@ -1401,10 +1567,10 @@ impl Registry {
         if we_swapped {
             // Exactly one observer per rebuild reaches here, so the
             // counter matches actual rebuilds even under racing hits.
-            self.stale_rebuilds.fetch_add(1, Ordering::Relaxed);
+            self.counters.stale_rebuilds.fetch_add(1, Ordering::Relaxed);
             self.emit(RegistryEvent::StaleRebuild { key: key.fnv64() });
         } else if count_adopt_hit {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
         }
         (
             self.run_build(key, ds, mode, &slot, allow_restore),
@@ -1449,7 +1615,7 @@ impl Registry {
             .cell
             .get_or_init(|| match self.absorb_append(key, ds, old, new) {
                 Ok(entry) => {
-                    self.append_updates.fetch_add(1, Ordering::Relaxed);
+                    self.counters.append_updates.fetch_add(1, Ordering::Relaxed);
                     self.resident_bytes
                         .fetch_add(entry.stored_bytes as u64, Ordering::Relaxed);
                     self.emit(RegistryEvent::AppendUpdate {
@@ -1469,7 +1635,7 @@ impl Registry {
                     // state): pay the full scan instead. That scan is
                     // the miss; the caller must not also count a hit.
                     fell_back.set(true);
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.counters.misses.fetch_add(1, Ordering::Relaxed);
                     self.scan_build(key, ds, LoadMode::Stream)
                 }
             })
@@ -1479,7 +1645,7 @@ impl Registry {
         // build. Only the caller whose own absorb fell back to a scan
         // skips the hit: its lookup is the miss counted above.
         if count_hit && !fell_back.get() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
         }
         self.finish_build(key, &slot, &result);
         (result, we_swapped)
@@ -1606,7 +1772,7 @@ impl Registry {
             .get_or_init(|| {
                 if allow_restore {
                     if let Some(entry) = self.try_restore(key, ds) {
-                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
                         self.resident_bytes
                             .fetch_add(entry.stored_bytes as u64, Ordering::Relaxed);
                         self.emit(RegistryEvent::Restored {
@@ -1616,7 +1782,7 @@ impl Registry {
                         return Ok(Arc::new(entry));
                     }
                 }
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
                 self.scan_build(key, ds, mode)
             })
             .clone();
@@ -1708,7 +1874,7 @@ impl Registry {
                         _ => 0,
                     };
                     self.forget_bytes(&slot);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.counters.evictions.fetch_add(1, Ordering::Relaxed);
                     self.emit(RegistryEvent::Evicted {
                         key: key.fnv64(),
                         bytes,
@@ -1722,9 +1888,17 @@ impl Registry {
     /// [`RegistryConfig::cache_disk_bytes`]: artifacts are grouped by
     /// their 16-hex key stem (a key's sample, meta, and pairs files
     /// live and die together — removing a sample while keeping its
-    /// meta would poison restores) and whole groups are removed oldest
-    /// first, `protect` (the key just persisted) last of all. Runs
-    /// after every persist; best-effort like persistence itself.
+    /// meta would poison restores) and whole groups are removed
+    /// least-recently-*used* first, `protect` (the key just persisted)
+    /// last of all. Recency comes from the journal's per-key
+    /// last-access order (restores touch it; they never touch the
+    /// files' mtime, which is why mtime alone once evicted a hot
+    /// restored key ahead of a cold never-requested one). Keys the
+    /// journal has never seen sort before all known ones — they are
+    /// exactly the never-requested artifacts the budget should drop
+    /// first; mtime breaks ties and carries the whole ordering when
+    /// the journal is disabled. Runs after every persist; best-effort
+    /// like persistence itself.
     fn enforce_disk_budget(&self, protect: &CacheKey) {
         let (Some(dir), Some(budget)) = (&self.config.cache_dir, self.config.cache_disk_bytes)
         else {
@@ -1759,13 +1933,24 @@ impl Registry {
             return;
         }
         let protect_stem = format!("{:016x}", protect.fnv64());
-        let mut victims: Vec<(std::time::SystemTime, String, u64, Vec<PathBuf>)> = groups
+        let access = self
+            .wal
+            .as_ref()
+            .map(|w| w.last_access())
+            .unwrap_or_default();
+        let mut victims: Vec<(u64, std::time::SystemTime, String, u64, Vec<PathBuf>)> = groups
             .into_iter()
             .filter(|(stem, _)| *stem != protect_stem)
-            .map(|(stem, (mtime, bytes, paths))| (mtime, stem, bytes, paths))
+            .map(|(stem, (mtime, bytes, paths))| {
+                let seq = u64::from_str_radix(&stem, 16)
+                    .ok()
+                    .and_then(|k| access.get(&k).copied())
+                    .unwrap_or(0);
+                (seq, mtime, stem, bytes, paths)
+            })
             .collect();
-        victims.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
-        for (_, stem, bytes, paths) in victims {
+        victims.sort_by(|a, b| (a.0, a.1, &a.2).cmp(&(b.0, b.1, &b.2)));
+        for (_, _, stem, bytes, paths) in victims {
             if total <= budget {
                 break;
             }
@@ -2311,9 +2496,17 @@ fn publish(tmp: &Path, bytes: &[u8], dest: &Path) -> std::io::Result<()> {
 /// in-flight file when several servers share one cache dir.
 const TMP_SWEEP_MIN_AGE: std::time::Duration = std::time::Duration::from_secs(3600);
 
-/// Removes old `*.tmp` files left behind by a writer killed
-/// mid-persist (temp names are never reused: pid + counter).
-fn sweep_tmp_files(dir: &Path) {
+/// Removes `*.tmp` files left behind by a writer killed mid-persist
+/// (temp names are never reused: pid + counter).
+///
+/// With `crashed` — the journal found no clean-shutdown record for the
+/// previous life — every tmp file is known debris and is reclaimed
+/// immediately, so a crash-restart loop faster than the age gate
+/// cannot accumulate orphans inside the disk budget's directory.
+/// Without crash evidence (clean shutdown, first boot, or no journal)
+/// only files past [`TMP_SWEEP_MIN_AGE`] go, preserving a live sibling
+/// process's in-flight persist.
+fn sweep_tmp_files(dir: &Path, crashed: bool) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
@@ -2321,12 +2514,13 @@ fn sweep_tmp_files(dir: &Path) {
         if !entry.file_name().to_string_lossy().ends_with(".tmp") {
             continue;
         }
-        let old_enough = entry
-            .metadata()
-            .and_then(|m| m.modified())
-            .ok()
-            .and_then(|t| t.elapsed().ok())
-            .is_some_and(|age| age >= TMP_SWEEP_MIN_AGE);
+        let old_enough = crashed
+            || entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                .is_some_and(|age| age >= TMP_SWEEP_MIN_AGE);
         if old_enough {
             let _ = std::fs::remove_file(entry.path());
         }
@@ -2776,8 +2970,13 @@ mod tests {
     fn persistence_restores_without_a_scan() {
         let dir = unique_dir("persist");
         let path = fixture_csv("warm.csv", 400);
+        // Journal off: this test pins the lazy on-demand restore path,
+        // which still serves WAL-less dirs (and keys outside the
+        // journal's resident set). Eager re-admission has its own
+        // tests below.
         let config = RegistryConfig {
             cache_dir: Some(dir.clone()),
+            wal_max_bytes: 0,
             ..RegistryConfig::default()
         };
         let first = Registry::with_config(config.clone());
@@ -2843,6 +3042,7 @@ mod tests {
         let ds = dsref(path.to_str().unwrap());
         let config = RegistryConfig {
             cache_dir: Some(dir.clone()),
+            wal_max_bytes: 0,
             ..RegistryConfig::default()
         };
         let first = Registry::with_config(config.clone());
@@ -2899,6 +3099,7 @@ mod tests {
         drop(f);
         let config = RegistryConfig {
             cache_dir: Some(dir.clone()),
+            wal_max_bytes: 0,
             ..RegistryConfig::default()
         };
         let ds = dsref(path.to_str().unwrap());
@@ -2931,6 +3132,7 @@ mod tests {
         let path = fixture_csv("updisk.csv", 300);
         let config = RegistryConfig {
             cache_dir: Some(dir.clone()),
+            wal_max_bytes: 0,
             ..RegistryConfig::default()
         };
         let first = Registry::with_config(config.clone());
@@ -2956,6 +3158,7 @@ mod tests {
         let path = fixture_csv("memdisk.csv", 300);
         let config = RegistryConfig {
             cache_dir: Some(dir.clone()),
+            wal_max_bytes: 0,
             ..RegistryConfig::default()
         };
         let first = Registry::with_config(config.clone());
@@ -3115,6 +3318,7 @@ mod tests {
         let ds = dsref(&path);
         let config = RegistryConfig {
             cache_dir: Some(dir.clone()),
+            wal_max_bytes: 0,
             ..RegistryConfig::default()
         };
         let first = Registry::with_config(config.clone());
@@ -3146,6 +3350,7 @@ mod tests {
         let ds = dsref(path.to_str().unwrap());
         let config = RegistryConfig {
             cache_dir: Some(dir.clone()),
+            wal_max_bytes: 0,
             ..RegistryConfig::default()
         };
         let first = Registry::with_config(config.clone());
@@ -3558,6 +3763,7 @@ mod tests {
         {
             let reg = Registry::with_config(RegistryConfig {
                 cache_dir: Some(dir.clone()),
+                wal_max_bytes: 0,
                 ..RegistryConfig::default()
             });
             reg.get_or_load(&ds, LoadMode::Stream).0.unwrap();
@@ -3578,6 +3784,7 @@ mod tests {
 
         let reg = Registry::with_config(RegistryConfig {
             cache_dir: Some(dir),
+            wal_max_bytes: 0,
             ..RegistryConfig::default()
         });
         let (entry, _) = reg.get_or_load(&ds, LoadMode::Stream);
@@ -3615,9 +3822,13 @@ mod tests {
 
         // Measure one persisted group, then budget for two and a half:
         // the third build must garbage-collect the oldest group.
+        // Journal off: this pins the mtime-fallback victim ordering
+        // (used whenever the journal has no last-access evidence);
+        // journal-ordered GC has its own test.
         {
             let reg = Registry::with_config(RegistryConfig {
                 cache_dir: Some(dir.clone()),
+                wal_max_bytes: 0,
                 ..RegistryConfig::default()
             });
             reg.get_or_load(&dsref(&path_a), LoadMode::Stream)
@@ -3630,6 +3841,7 @@ mod tests {
         let reg = Registry::with_config(RegistryConfig {
             cache_dir: Some(dir.clone()),
             cache_disk_bytes: Some(group * 5 / 2),
+            wal_max_bytes: 0,
             ..RegistryConfig::default()
         });
         std::thread::sleep(std::time::Duration::from_millis(10));
@@ -3662,12 +3874,14 @@ mod tests {
         {
             let reg = Registry::with_config(RegistryConfig {
                 cache_dir: Some(dir.clone()),
+                wal_max_bytes: 0,
                 ..RegistryConfig::default()
             });
             reg.get_or_load(&dsref(&path), LoadMode::Stream).0.unwrap();
         } // "restart": artifacts on disk, nothing resident
         let reg = Registry::with_config(RegistryConfig {
             cache_dir: Some(dir.clone()),
+            wal_max_bytes: 0,
             ..RegistryConfig::default()
         });
         assert!(reg.is_empty());
@@ -3689,6 +3903,7 @@ mod tests {
         {
             let reg = Registry::with_config(RegistryConfig {
                 cache_dir: Some(dir.clone()),
+                wal_max_bytes: 0,
                 ..RegistryConfig::default()
             });
             reg.get_or_load(&ds, LoadMode::Stream).0.unwrap();
@@ -3701,6 +3916,7 @@ mod tests {
         // and resumable ingest — so the next append still absorbs.
         let reg = Registry::with_config(RegistryConfig {
             cache_dir: Some(dir),
+            wal_max_bytes: 0,
             ..RegistryConfig::default()
         });
         let (restored, _) = reg.get_or_load(&ds, LoadMode::Stream);
@@ -3713,5 +3929,201 @@ mod tests {
         assert_eq!(again.unwrap().rows, 600);
         assert_eq!(reg.append_updates(), 1, "post-restore appends absorb");
         assert_eq!(reg.snapshot().stale_rebuilds, 0);
+    }
+
+    // ------------------------------------- journal + recovery suite
+
+    #[test]
+    fn warm_restart_readmits_the_resident_set_and_resumes_counters() {
+        let dir = unique_dir("wal-warm");
+        let path_a = fixture_csv("wal-a.csv", 300);
+        let path_b = fixture_csv("wal-b.csv", 400);
+        let config = RegistryConfig {
+            cache_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        };
+        let first = Registry::with_config(config.clone());
+        assert_eq!(first.restarts(), 0, "first boot");
+        first
+            .get_or_load(&dsref(&path_a), LoadMode::Stream)
+            .0
+            .unwrap();
+        first
+            .get_or_load(&dsref(&path_b), LoadMode::Stream)
+            .0
+            .unwrap();
+        first
+            .get_or_load(&dsref(&path_a), LoadMode::Stream)
+            .0
+            .unwrap();
+        assert_eq!((first.hits(), first.misses()), (1, 2));
+        drop(first); // clean shutdown: counters land in the journal
+
+        let second = Registry::with_config(config);
+        // Both keys were eagerly re-admitted during construction…
+        assert_eq!(second.len(), 2, "resident set survives the restart");
+        assert_eq!(second.restarts(), 1);
+        assert!(second.wal_replayed_events() > 0);
+        assert_eq!(second.disk_hits(), 2, "re-admission restores, never scans");
+        // …and the cumulative counters resumed instead of resetting.
+        assert_eq!(second.misses(), 2, "prior-life misses survive");
+        assert_eq!(second.hits(), 1, "prior-life hits survive");
+        // Replayed keys serve as plain hits: zero build misses.
+        let (entry, hit) = second.get_or_load(&dsref(&path_a), LoadMode::Stream);
+        assert!(hit, "a replayed key is already resident");
+        assert_eq!(entry.unwrap().rows, 300);
+        assert_eq!(second.misses(), 2, "no scan for a replayed key");
+        let snap = second.snapshot();
+        assert_eq!(snap.restarts, 1);
+        assert_eq!(snap.wal_replayed_events, second.wal_replayed_events());
+    }
+
+    #[test]
+    fn crash_recovery_resumes_counters_without_a_shutdown_record() {
+        let dir = unique_dir("wal-crash");
+        let path = fixture_csv("wal-crash.csv", 300);
+        let config = RegistryConfig {
+            cache_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        };
+        let first = Registry::with_config(config.clone());
+        first
+            .get_or_load(&dsref(&path), LoadMode::Stream)
+            .0
+            .unwrap();
+        first.crash_for_test(); // kill -9: no shutdown record
+        drop(first);
+
+        let second = Registry::with_config(config);
+        assert_eq!(second.restarts(), 1);
+        assert_eq!(second.len(), 1, "the built key is re-admitted");
+        assert_eq!(second.misses(), 1, "the journaled build survives the crash");
+        assert_eq!(second.disk_hits(), 1, "the re-admission restore");
+        let (_, hit) = second.get_or_load(&dsref(&path), LoadMode::Stream);
+        assert!(hit);
+    }
+
+    #[test]
+    fn crash_evidence_unlocks_the_tmp_sweep_and_clean_shutdown_does_not() {
+        let dir = unique_dir("wal-tmp");
+        let path = fixture_csv("wal-tmp.csv", 300);
+        let config = RegistryConfig {
+            cache_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        };
+        let first = Registry::with_config(config.clone());
+        first
+            .get_or_load(&dsref(&path), LoadMode::Stream)
+            .0
+            .unwrap();
+        // A fresh in-flight tmp file, then a crash: nothing can still
+        // be writing it, so the next boot reclaims it immediately.
+        let orphan = dir.join("cafebabe00000001.sample.123-0.tmp");
+        std::fs::write(&orphan, b"partial").unwrap();
+        first.crash_for_test();
+        drop(first);
+
+        let second = Registry::with_config(config.clone());
+        assert!(
+            !orphan.exists(),
+            "crash evidence reclaims fresh tmp files immediately"
+        );
+        // After a *clean* shutdown the age gate is back: a fresh tmp
+        // could belong to a live sibling process and must survive.
+        let in_flight = dir.join("cafebabe00000002.sample.456-0.tmp");
+        std::fs::write(&in_flight, b"mid-write").unwrap();
+        drop(second);
+        let _third = Registry::with_config(config);
+        assert!(
+            in_flight.exists(),
+            "a clean shutdown keeps the 1h age gate for tmp files"
+        );
+    }
+
+    #[test]
+    fn disk_gc_protects_journal_recent_keys_over_newer_mtimes() {
+        let dir = unique_dir("wal-gc");
+        let path_a = fixture_csv("wal-gc-a.csv", 300);
+        let path_b = fixture_csv("wal-gc-b.csv", 300);
+        let path_c = fixture_csv("wal-gc-c.csv", 300);
+        let stem_of = |path: &str| format!("{:016x}", CacheKey::of(&dsref(path)).fnv64());
+        let group_paths = |dir: &Path, stem: &str| -> Vec<PathBuf> {
+            std::fs::read_dir(dir)
+                .unwrap()
+                .flatten()
+                .filter(|d| {
+                    d.file_name()
+                        .to_str()
+                        .and_then(artifact_stem)
+                        .is_some_and(|s| s == stem)
+                })
+                .map(|d| d.path())
+                .collect()
+        };
+
+        // Key A is journaled (built under the WAL, cleanly shut down).
+        {
+            let reg = Registry::with_config(RegistryConfig {
+                cache_dir: Some(dir.clone()),
+                ..RegistryConfig::default()
+            });
+            reg.get_or_load(&dsref(&path_a), LoadMode::Stream)
+                .0
+                .unwrap();
+        }
+        // Key B is journal-unknown: built with the journal off, so GC
+        // has only its (newer) mtime to go on.
+        {
+            let reg = Registry::with_config(RegistryConfig {
+                cache_dir: Some(dir.clone()),
+                wal_max_bytes: 0,
+                ..RegistryConfig::default()
+            });
+            reg.get_or_load(&dsref(&path_b), LoadMode::Stream)
+                .0
+                .unwrap();
+        }
+        let a_paths = group_paths(&dir, &stem_of(&path_a));
+        assert!(!a_paths.is_empty(), "A persisted");
+        let group: u64 = a_paths
+            .iter()
+            .map(|p| std::fs::metadata(p).unwrap().len())
+            .sum();
+        // Backdate A's artifacts: under mtime-ordered GC, A — the key a
+        // client just restored — would be the first victim.
+        let ancient = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1);
+        for p in &a_paths {
+            std::fs::File::options()
+                .write(true)
+                .open(p)
+                .unwrap()
+                .set_modified(ancient)
+                .unwrap();
+        }
+
+        // Restart with the journal on and a budget for ~2.5 groups:
+        // re-admission restores A (a journal access), then building C
+        // pushes the dir over budget.
+        let reg = Registry::with_config(RegistryConfig {
+            cache_dir: Some(dir.clone()),
+            cache_disk_bytes: Some(group * 5 / 2),
+            ..RegistryConfig::default()
+        });
+        reg.get_or_load(&dsref(&path_c), LoadMode::Stream)
+            .0
+            .unwrap();
+
+        assert!(
+            !group_paths(&dir, &stem_of(&path_a)).is_empty(),
+            "the just-restored key survives despite the oldest mtime"
+        );
+        assert!(
+            group_paths(&dir, &stem_of(&path_b)).is_empty(),
+            "the journal-unknown group is the eviction victim"
+        );
+        assert!(
+            !group_paths(&dir, &stem_of(&path_c)).is_empty(),
+            "the just-persisted group is protected"
+        );
     }
 }

@@ -55,7 +55,9 @@ pub struct ServerConfig {
     /// On-disk warm-tier byte budget (`--cache-disk-bytes`); `None`
     /// lets persisted artifacts accumulate without bound. When the
     /// budget is exceeded, whole artifact groups (sample + sketch +
-    /// metas sharing one cache-key stem) are removed oldest-first.
+    /// metas sharing one cache-key stem) are removed coldest-first,
+    /// ordered by each stem's last lifecycle event in the registry
+    /// journal (file mtime for stems the journal has never seen).
     pub cache_disk_bytes: Option<u64>,
     /// Longest accepted request line in bytes (`--max-line-bytes`).
     /// Longer lines are answered with a structured `line_too_long`
@@ -93,6 +95,12 @@ pub struct ServerConfig {
     /// stale-rebuild, unload, purge) and request rejections as NDJSON
     /// on stderr (`--log-json`).
     pub log_json: bool,
+    /// Write-ahead journal size budget (`--wal-max-bytes`): the
+    /// registry journal under `--cache-dir` is folded into a snapshot
+    /// and truncated past this many bytes. `0` disables the journal
+    /// (and with it warm restart recovery and `qid_restarts_total`);
+    /// ignored when no cache dir is configured. See [`crate::wal`].
+    pub wal_max_bytes: u64,
 }
 
 /// Default `--revalidate-ms`: in-place source rewrites are noticed
@@ -125,6 +133,7 @@ impl Default for ServerConfig {
             metrics_addr: None,
             slow_ms: None,
             log_json: false,
+            wal_max_bytes: crate::wal::DEFAULT_WAL_MAX_BYTES,
         }
     }
 }
@@ -237,6 +246,7 @@ impl Server {
             cache_disk_bytes: config.cache_disk_bytes,
             revalidate_ms: config.revalidate_ms,
             event_sink,
+            wal_max_bytes: config.wal_max_bytes,
             ..RegistryConfig::default()
         });
         let pollers = config.pollers.max(1);

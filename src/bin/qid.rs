@@ -25,6 +25,8 @@
 //!           [--max-line-bytes N[K|M|G]] [--max-rps N]
 //!           [--revalidate-ms MS] [--sweep-ms MS]
 //!           [--metrics-addr HOST:PORT] [--slow-ms MS] [--log-json]
+//!           [--wal-max-bytes N[K|M|G]]
+//! qid wal   <cache-dir> [--verify] [--dump]
 //! qid query <addr> load    data.csv [--eps E] [--seed S] [--stream]
 //! qid query <addr> audit   data.csv [--eps E] [--seed S] [--max-key-size K]
 //! qid query <addr> key     data.csv [--eps E] [--seed S]
@@ -70,6 +72,16 @@
 //! it, an append-only CSV that grows between queries is absorbed
 //! incrementally (only the new suffix is scanned) before the next
 //! request arrives. See README "Cache lifecycle".
+//!
+//! With `--cache-dir` set the registry also keeps a write-ahead journal
+//! of lifecycle events plus a periodic snapshot (`--wal-max-bytes`
+//! bounds the journal, `0` disables it). A restarted server replays the
+//! journal to resume its cumulative counters and eagerly re-admit the
+//! previous resident set; a journal without a clean-shutdown record is
+//! crash evidence that lets orphaned `*.tmp` build files be reclaimed
+//! immediately. `qid wal <cache-dir>` prints the recovered state
+//! (`--dump` shows raw records, `--verify` exits non-zero on
+//! corruption). See docs/ARCHITECTURE.md "Durability".
 //!
 //! The server's connection core is readiness-driven (`epoll` on Linux,
 //! `kqueue` on macOS/BSD, `poll(2)` fallback), sharded across
@@ -149,13 +161,15 @@ fn usage() -> ! {
          [--max-conns N] [--cache-bytes N[K|M|G]] [--cache-dir DIR] \
          [--cache-disk-bytes N[K|M|G]] [--max-line-bytes N[K|M|G]] \
          [--max-rps N] [--revalidate-ms MS] [--sweep-ms MS] \
-         [--metrics-addr HOST:PORT] [--slow-ms MS] [--log-json]\n\
+         [--metrics-addr HOST:PORT] [--slow-ms MS] [--log-json] \
+         [--wal-max-bytes N[K|M|G]]\n\
          \x20      qid query <addr> \
          <load|audit|key|check|sketch|mask|stats|batch|unload|trace|metrics|shutdown> \
          [data.csv | - | --all] [flags]\n\
          \x20      qid bench <addr> <data.csv> [--connections N] \
          [--duration-s S] [--warmup-s S] [--seed S] [--eps E] \
-         [--mode closed|open] [--rate RPS] [--check-only] [--json]"
+         [--mode closed|open] [--rate RPS] [--check-only] [--json]\n\
+         \x20      qid wal <cache-dir> [--verify] [--dump]"
     );
     std::process::exit(2);
 }
@@ -227,6 +241,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args[1..]),
         "query" => cmd_query(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
+        "wal" => cmd_wal(&args[1..]),
         _ => {
             let Some(path) = args.get(1).cloned() else {
                 usage()
@@ -343,6 +358,15 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 }));
             }
             "--log-json" => config.log_json = true,
+            "--wal-max-bytes" => {
+                config.wal_max_bytes = parse_bytes(take("--wal-max-bytes")).unwrap_or_else(|| {
+                    eprintln!(
+                        "--wal-max-bytes wants an integer with an optional \
+                             K/M/G suffix (0 disables the registry journal)"
+                    );
+                    usage()
+                })
+            }
             _ => {
                 eprintln!("unknown flag {flag}");
                 usage()
@@ -400,6 +424,106 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         Err(e) => {
             eprintln!("server error: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+// ------------------------------------------------------------------ wal
+
+/// `qid wal <cache-dir> [--verify] [--dump]` — offline forensics on a
+/// cache directory's registry journal. The summary answers "what would
+/// the next boot recover"; `--dump` prints the raw records; `--verify`
+/// exits non-zero iff the journal is internally inconsistent (a
+/// crash-torn tail is expected wear, not corruption).
+fn cmd_wal(args: &[String]) -> ExitCode {
+    let mut dir: Option<&str> = None;
+    let mut verify = false;
+    let mut dump = false;
+    for arg in args {
+        match arg.as_str() {
+            "--verify" => verify = true,
+            "--dump" => dump = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag for qid wal: {flag}");
+                usage()
+            }
+            path if dir.is_none() => dir = Some(path),
+            extra => {
+                eprintln!("unexpected argument: {extra}");
+                usage()
+            }
+        }
+    }
+    let Some(dir) = dir else { usage() };
+    let report = quasi_id::server::wal::inspect(std::path::Path::new(dir));
+    if !report.had_journal {
+        outln!("{dir}: no registry journal (server never ran with a WAL here)");
+        return if verify && !report.issues.is_empty() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    match report.snapshot_seq {
+        Some(seq) => outln!("snapshot: through seq {seq}, {} keys", report.snapshot_keys),
+        None => outln!("snapshot: none (journal has not rotated yet)"),
+    }
+    outln!(
+        "journal: {} records, seq {}..={}, {} prior lives",
+        report.events,
+        report.first_seq,
+        report.last_seq,
+        report.restarts
+    );
+    outln!(
+        "shutdown: {}{}",
+        if report.clean_shutdown {
+            "clean (shutdown record present)"
+        } else {
+            "unclean — crash evidence; tmp orphans reclaimable immediately"
+        },
+        if report.torn_tail {
+            "; torn final record (killed mid-write)"
+        } else {
+            ""
+        }
+    );
+    outln!(
+        "resident: {} keys would be re-admitted on the next boot",
+        report.resident
+    );
+    let c = &report.counters;
+    outln!(
+        "counters: {} hits, {} misses, {} disk hits, {} evictions, \
+         {} stale rebuilds, {} upgrades, {} append updates, {} sweep refreshes",
+        c.hits,
+        c.misses,
+        c.disk_hits,
+        c.evictions,
+        c.stale_rebuilds,
+        c.upgrades,
+        c.append_updates,
+        c.sweep_refreshes
+    );
+    if dump {
+        for line in &report.lines {
+            outln!("{line}");
+        }
+    }
+    if report.issues.is_empty() {
+        if verify {
+            outln!("verify: ok");
+        }
+        ExitCode::SUCCESS
+    } else {
+        for issue in &report.issues {
+            eprintln!("issue: {issue}");
+        }
+        if verify {
+            eprintln!("verify: {} issue(s)", report.issues.len());
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
         }
     }
 }
@@ -724,6 +848,12 @@ fn print_response(response: &Response) -> ExitCode {
                 "server: version {}, up {} s",
                 report.version,
                 report.uptime_seconds
+            );
+            outln!(
+                "durability: {} prior lives of this cache dir, \
+                 {} journal events replayed at startup",
+                report.restarts,
+                report.wal_replayed_events
             );
             outln!(
                 "registry: {} datasets ({} bytes resident), {} cache hits, \

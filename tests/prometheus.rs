@@ -27,7 +27,7 @@ use quasi_id::server::{Client, RunningServer, Server, ServerConfig};
 
 /// Metric families the scrape must always export (CI greps for these
 /// too; keep `.github/workflows/ci.yml` in sync).
-const REQUIRED_FAMILIES: [&str; 17] = [
+const REQUIRED_FAMILIES: [&str; 19] = [
     "qid_build_info",
     "qid_uptime_seconds",
     "qid_requests_total",
@@ -40,6 +40,8 @@ const REQUIRED_FAMILIES: [&str; 17] = [
     "qid_cache_entries",
     "qid_cache_append_updates_total",
     "qid_cache_sweep_refreshes_total",
+    "qid_restarts_total",
+    "qid_wal_replayed_events_total",
     "qid_connections",
     "qid_rejected_lines_total",
     "qid_rejected_busy_total",

@@ -218,6 +218,8 @@ fn corpus() -> Vec<String> {
             bytes_read: 4096,
             bytes_written: 9182,
             uptime_seconds: 3600,
+            restarts: 2,
+            wal_replayed_events: 41,
             version: "0.1.0".into(),
             commands: vec![CommandStats {
                 name: "audit".into(),

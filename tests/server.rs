@@ -749,8 +749,11 @@ fn qid_query_cli_talks_to_the_server() {
 fn restart_with_cache_dir_answers_without_rescanning() {
     // The acceptance test for the registry's disk tier: a server
     // restarted over the same --cache-dir answers a previously-loaded
-    // audit with ZERO build misses (no source scan) and the exact same
-    // keys, because the persisted Θ(m/√ε) sample is the sketch.
+    // audit with ZERO new build misses (no source scan) and the exact
+    // same keys, because the persisted Θ(m/√ε) sample is the sketch.
+    // With the registry journal armed (the --cache-dir default) the
+    // restart also replays the journal: the first life's counters
+    // resume and the entry is re-admitted eagerly at boot.
     let dir = scratch_dir("restart");
     let cache = dir.join("cache");
     let csv = dir.join("restart.csv");
@@ -784,11 +787,18 @@ fn restart_with_cache_dir_answers_without_rescanning() {
         "the restored sample is the same sample"
     );
     let report = metrics(&mut client);
+    // misses == 1 is the first life's cold scan, resumed through the
+    // journal — a re-scan on this side of the restart would make it 2.
     assert_eq!(
-        report.cache_misses, 0,
+        report.cache_misses, 1,
         "a warm restart must not re-scan the source: {report:?}"
     );
     assert_eq!(report.cache_disk_hits, 1, "restored from the disk tier");
+    assert_eq!(report.restarts, 1, "the journal counted the prior life");
+    assert!(
+        report.wal_replayed_events > 0,
+        "the restart replayed the journal: {report:?}"
+    );
     assert_eq!(report.datasets, 1);
     server.shutdown();
 }

@@ -18,7 +18,10 @@
 //! the preallocated [`Scratch`] arena, and publication into the trace
 //! ring. The flight recorder is fully armed for the run: tracing is
 //! always on, `--slow-ms` detection is enabled (threshold high enough
-//! not to fire), and the `--metrics-addr` listener is bound. The one
+//! not to fire), the `--metrics-addr` listener is bound, and the
+//! registry's write-ahead journal is armed (`--cache-dir` set), so the
+//! durability flusher's ticks and counter-checkpoint rewrites run
+//! alongside the counted window. The one
 //! remaining per-wake allocation in the live server is the `Box`ed
 //! closure that carries a readable connection from the poller thread
 //! to the worker pool; that hand-off sits *outside* the request path
@@ -117,6 +120,16 @@ fn steady_state_served_check_allocates_nothing() {
     // actual sweep pass — which walks shards and re-stamps sources,
     // allocating on its own thread by design — lands inside the
     // counted window of this process-wide counter.
+    // The registry journal (WAL) is ARMED too: `cache_dir` is set, so
+    // the durability flusher thread ticks every 100 ms alongside the
+    // counted window and — because served checks move the hit counter —
+    // rewrites the counter checkpoint file during it. Both the idle
+    // tick and the checkpoint rewrite (a reused buffer, manual integer
+    // rendering, persistent fds) must be allocation-free; the `check`
+    // path itself emits no journal events, so `record()` never runs in
+    // the window.
+    let cache_dir = dir.join("cache");
+    let _ = std::fs::remove_dir_all(&cache_dir); // stale journal from a prior run
     let server = Server::bind(&ServerConfig {
         workers: 1,
         pollers: 2,
@@ -125,6 +138,7 @@ fn steady_state_served_check_allocates_nothing() {
         metrics_addr: Some("127.0.0.1:0".to_string()),
         slow_ms: Some(60_000),
         log_json: false,
+        cache_dir: Some(cache_dir.to_str().expect("utf-8 cache dir").to_string()),
         ..ServerConfig::default()
     })
     .expect("bind");
